@@ -1,0 +1,508 @@
+(* difftrace — command-line front end.
+
+   Subcommands:
+     run       execute a workload (optionally fault-injected), print the
+               capture statistics and decoded traces
+     compare   run a workload twice (normal vs. fault), print B-score,
+               suspicious traces and a diffNLR
+     table     sweep a filter/attribute grid and print the paper-style
+               ranking table
+     filters   print the Table I filter catalog *)
+
+open Cmdliner
+open Difftrace
+module R = Difftrace_simulator.Runtime
+module Fault = Difftrace_simulator.Fault
+module Tracer = Difftrace_parlot.Tracer
+module Capture = Difftrace_parlot.Capture
+module Trace = Difftrace_trace.Trace
+module Trace_set = Difftrace_trace.Trace_set
+module F = Difftrace_filter.Filter
+module A = Difftrace_fca.Attributes
+module Linkage = Difftrace_cluster.Linkage
+module Odd_even = Difftrace_workloads.Odd_even
+module Ilcs = Difftrace_workloads.Ilcs
+module Lulesh = Difftrace_workloads.Lulesh
+
+type workload = Oddeven | Ilcs_w | Lulesh_w | Heat_w | Heat2d_w
+
+let workload_conv =
+  let parse = function
+    | "oddeven" -> Ok Oddeven
+    | "ilcs" -> Ok Ilcs_w
+    | "lulesh" -> Ok Lulesh_w
+    | "heat" -> Ok Heat_w
+    | "heat2d" -> Ok Heat2d_w
+    | s -> Error (`Msg ("unknown workload: " ^ s))
+  in
+  let print ppf w =
+    Format.pp_print_string ppf
+      (match w with
+      | Oddeven -> "oddeven"
+      | Ilcs_w -> "ilcs"
+      | Lulesh_w -> "lulesh"
+      | Heat_w -> "heat"
+      | Heat2d_w -> "heat2d")
+  in
+  Arg.conv (parse, print)
+
+let fault_conv =
+  let parse s =
+    match Fault.of_string s with
+    | f -> Ok f
+    | exception Invalid_argument m -> Error (`Msg m)
+  in
+  Arg.conv (parse, Fault.pp)
+
+let run_workload w ~np ~seed ~level ~fault =
+  match w with
+  | Oddeven -> fst (Odd_even.run ~np ~seed ~level ~fault ())
+  | Ilcs_w -> fst (Ilcs.run ~np ~seed ~level ~fault ())
+  | Lulesh_w -> Lulesh.run ~np ~seed ~level ~fault ()
+  | Heat_w -> fst (Difftrace_workloads.Heat.run ~np ~seed ~level ~fault ())
+  | Heat2d_w ->
+    (* np selects the grid: np ranks arranged np/2 x 2 when even *)
+    let px = max 1 (np / 2) and py = if np >= 2 then 2 else 1 in
+    fst (Difftrace_workloads.Heat2d.run ~px ~py ~seed ~level ~fault ())
+
+(* common options *)
+let workload_t =
+  Arg.(
+    value
+    & opt workload_conv Oddeven
+    & info [ "w"; "workload" ] ~docv:"WORKLOAD"
+        ~doc:"Workload to execute: oddeven, ilcs, lulesh, heat or heat2d.")
+
+let np_t =
+  Arg.(value & opt int 8 & info [ "np" ] ~docv:"N" ~doc:"Number of MPI ranks.")
+
+let seed_t =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Scheduler seed.")
+
+let fault_t =
+  Arg.(
+    value
+    & opt fault_conv Fault.No_fault
+    & info [ "f"; "fault" ] ~docv:"FAULT"
+        ~doc:
+          "Fault to inject, e.g. 'swapBug(rank=5,after=7)', \
+           'dlBug(rank=5,after=7)', 'wrongSize(rank=2)', 'wrongOp(rank=0)', \
+           'noCritical(rank=6,thread=4)', \
+           'skipFunction(rank=2,func=LagrangeLeapFrog)' or 'none'.")
+
+let all_images_t =
+  Arg.(
+    value & flag
+    & info [ "all-images" ]
+        ~doc:"Capture library-level frames too (ParLOT all-images mode).")
+
+let filter_t =
+  Arg.(
+    value
+    & opt string "11.mpiall"
+    & info [ "filter" ] ~docv:"SPEC"
+        ~doc:
+          "Filter spec: two drop digits (returns, plt) then keep \
+           categories, e.g. '11.mpiall', '01.mem.ompcrit', '11.all'.")
+
+let custom_t =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "custom" ] ~docv:"REGEX"
+        ~doc:"Regex bound to each 'cust' component of the filter spec.")
+
+let attrs_t =
+  Arg.(
+    value
+    & opt string "sing.noFreq"
+    & info [ "attrs" ] ~docv:"SPEC"
+        ~doc:"FCA attributes: sing|doub . actual|log10|noFreq.")
+
+let k_t = Arg.(value & opt int 10 & info [ "k" ] ~docv:"K" ~doc:"NLR constant K.")
+
+let linkage_t =
+  Arg.(
+    value
+    & opt string "ward"
+    & info [ "linkage" ] ~docv:"METHOD"
+        ~doc:"Linkage: single, complete, average, weighted, centroid, median, ward.")
+
+let level_of all_images = if all_images then Tracer.All_images else Tracer.Main_image
+
+let config_of ~filter ~custom ~attrs ~k ~linkage =
+  Config.make
+    ~filter:(F.of_spec ~custom filter)
+    ~attrs:(A.of_name attrs) ~k
+    ~linkage:(Linkage.method_of_string linkage)
+    ()
+
+(* --- run ----------------------------------------------------------- *)
+
+let run_cmd =
+  let doc = "Execute a workload on the simulator and dump its traces." in
+  let show_traces =
+    Arg.(value & flag & info [ "traces" ] ~doc:"Print every decoded trace.")
+  in
+  let action w np seed fault all_images show_traces =
+    let outcome = run_workload w ~np ~seed ~level:(level_of all_images) ~fault in
+    Format.printf "%a@." Capture.pp_stats outcome.R.stats;
+    if outcome.R.deadlocked <> [] then
+      Printf.printf "DEADLOCK: %s\n"
+        (String.concat ", "
+           (List.map (fun (p, t) -> Printf.sprintf "%d.%d" p t) outcome.R.deadlocked));
+    (match outcome.R.collective_mismatch with
+    | Some m -> Printf.printf "collective mismatch: %s\n" m
+    | None -> ());
+    List.iter
+      (fun r ->
+        Printf.printf "race: process %d cell %s threads %s\n" r.R.race_pid
+          r.R.cell_name
+          (String.concat "," (List.map string_of_int r.R.tids)))
+      outcome.R.races;
+    if show_traces then
+      Array.iter
+        (fun tr ->
+          Printf.printf "--- T%s%s\n%s\n" (Trace.label tr)
+            (if tr.Trace.truncated then " (truncated)" else "")
+            (String.concat "\n"
+               (Trace.to_strings (Trace_set.symtab outcome.R.traces) tr)))
+        (Trace_set.traces outcome.R.traces)
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const action $ workload_t $ np_t $ seed_t $ fault_t $ all_images_t
+          $ show_traces)
+
+(* --- compare ------------------------------------------------------- *)
+
+let compare_cmd =
+  let doc =
+    "Run a workload normally and with a fault; print B-score, suspicious \
+     traces and a diffNLR."
+  in
+  let diffnlr_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "diffnlr" ] ~docv:"LABEL"
+          ~doc:"Trace to diff (e.g. '5' or '6.4'); default: top suspect.")
+  in
+  let action w np seed fault all_images filter custom attrs k linkage diffnlr =
+    if fault = Fault.No_fault then
+      prerr_endline "warning: comparing a run against itself (--fault none)";
+    let level = level_of all_images in
+    let normal = run_workload w ~np ~seed ~level ~fault:Fault.No_fault in
+    let faulty = run_workload w ~np ~seed ~level ~fault in
+    let config = config_of ~filter ~custom ~attrs ~k ~linkage in
+    let c =
+      Pipeline.compare_runs config ~normal:normal.R.traces ~faulty:faulty.R.traces
+    in
+    Printf.printf "configuration: %s\n" (Config.name config);
+    Printf.printf "B-score: %.3f\n" c.Pipeline.bscore;
+    Printf.printf "top processes: %s\n"
+      (String.concat ", " (List.map string_of_int (Pipeline.top_processes c)));
+    Printf.printf "top threads:   %s\n"
+      (String.concat ", " (Pipeline.top_threads c));
+    Printf.printf "suspicious traces:\n";
+    Array.iteri
+      (fun i (l, s) ->
+        if i < 8 && s > 1e-9 then Printf.printf "  %-6s %.3f\n" l s)
+      c.Pipeline.suspects;
+    let target =
+      match diffnlr with
+      | Some l -> l
+      | None -> fst c.Pipeline.suspects.(0)
+    in
+    print_string
+      (Difftrace_diff.Diffnlr.render
+         ~title:(Printf.sprintf "diffNLR(%s)" target)
+         (Pipeline.diffnlr c target))
+  in
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(const action $ workload_t $ np_t $ seed_t $ fault_t $ all_images_t
+          $ filter_t $ custom_t $ attrs_t $ k_t $ linkage_t $ diffnlr_t)
+
+(* --- table --------------------------------------------------------- *)
+
+let table_cmd =
+  let doc = "Sweep filters x attributes and print the ranking table." in
+  let filters_t =
+    Arg.(
+      value
+      & opt_all string [ "11.mpiall" ]
+      & info [ "F"; "filter-spec" ] ~docv:"SPEC"
+          ~doc:"Filter spec; repeatable for a multi-filter grid.")
+  in
+  let action w np seed fault all_images filters custom k linkage =
+    let level = level_of all_images in
+    let normal = run_workload w ~np ~seed ~level ~fault:Fault.No_fault in
+    let faulty = run_workload w ~np ~seed ~level ~fault in
+    let filters = List.map (F.of_spec ~custom) filters in
+    let rows =
+      Ranking.sweep
+        (Ranking.grid ~filters ~k
+           ~linkage:(Linkage.method_of_string linkage)
+           ())
+        ~normal:normal.R.traces ~faulty:faulty.R.traces
+    in
+    print_string (Ranking.render rows)
+  in
+  Cmd.v (Cmd.info "table" ~doc)
+    Term.(const action $ workload_t $ np_t $ seed_t $ fault_t $ all_images_t
+          $ filters_t $ custom_t $ k_t $ linkage_t)
+
+(* --- record / analyze: the offline archive workflow ----------------- *)
+
+let record_cmd =
+  let doc =
+    "Execute a workload and archive its compressed traces to a directory \
+     (record once, re-analyze offline with any filters)."
+  in
+  let out_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Archive directory to write.")
+  in
+  let action w np seed fault all_images out =
+    let outcome = run_workload w ~np ~seed ~level:(level_of all_images) ~fault in
+    let n = Difftrace_parlot.Archive.save ~dir:out outcome.R.traces in
+    Printf.printf "archived %d trace files to %s\n" n out;
+    if outcome.R.deadlocked <> [] then
+      Printf.printf "(the run was HUNG: %d threads truncated)\n"
+        (List.length outcome.R.deadlocked)
+  in
+  Cmd.v (Cmd.info "record" ~doc)
+    Term.(const action $ workload_t $ np_t $ seed_t $ fault_t $ all_images_t $ out_t)
+
+let analyze_cmd =
+  let doc =
+    "Compare two recorded archives (normal vs. faulty) offline: B-score, \
+     suspicious traces and a diffNLR — the paper's re-analysis loop."
+  in
+  let normal_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "normal" ] ~docv:"DIR" ~doc:"Archive of the working run.")
+  in
+  let faulty_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "faulty" ] ~docv:"DIR" ~doc:"Archive of the faulty run.")
+  in
+  let diffnlr_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "diffnlr" ] ~docv:"LABEL" ~doc:"Trace to diff; default: top suspect.")
+  in
+  let action normal_dir faulty_dir filter custom attrs k linkage diffnlr =
+    let normal = Difftrace_parlot.Archive.load ~dir:normal_dir in
+    let faulty = Difftrace_parlot.Archive.load ~dir:faulty_dir in
+    let config = config_of ~filter ~custom ~attrs ~k ~linkage in
+    let c = Pipeline.compare_runs config ~normal ~faulty in
+    Printf.printf "configuration: %s\n" (Config.name config);
+    Printf.printf "B-score: %.3f\n" c.Pipeline.bscore;
+    Printf.printf "suspicious traces:\n";
+    Array.iteri
+      (fun i (l, s) -> if i < 8 && s > 1e-9 then Printf.printf "  %-6s %.3f\n" l s)
+      c.Pipeline.suspects;
+    let target =
+      match diffnlr with Some l -> l | None -> fst c.Pipeline.suspects.(0)
+    in
+    print_string
+      (Difftrace_diff.Diffnlr.render
+         ~title:(Printf.sprintf "diffNLR(%s)" target)
+         (Pipeline.diffnlr c target))
+  in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(const action $ normal_t $ faulty_t $ filter_t $ custom_t $ attrs_t
+          $ k_t $ linkage_t $ diffnlr_t)
+
+(* --- triage (single-run analysis, no reference needed) ------------- *)
+
+let triage_cmd =
+  let doc =
+    "Analyze a single (possibly faulty) run: JSM outliers, dendrogram, and \
+     the least-progressed threads — no reference execution needed."
+  in
+  let action w np seed fault all_images filter custom attrs k linkage =
+    let outcome = run_workload w ~np ~seed ~level:(level_of all_images) ~fault in
+    if outcome.R.deadlocked <> [] then
+      Printf.printf "run is HUNG: %d threads never terminated\n"
+        (List.length outcome.R.deadlocked);
+    let config = config_of ~filter ~custom ~attrs ~k ~linkage in
+    let a = Pipeline.analyze config outcome.R.traces in
+    print_endline "JSM outliers (most dissimilar traces of this run):";
+    let entries = Pipeline.triage a in
+    print_string
+      (Pipeline.render_triage
+         (Array.sub entries 0 (min 8 (Array.length entries))));
+    print_endline "least-progressed threads (logical clocks):";
+    let prog = Difftrace_temporal.Progress.least_progressed outcome in
+    print_string
+      (Difftrace_temporal.Progress.render
+         (List.filteri (fun i _ -> i < 8) prog));
+    print_endline "dendrogram:";
+    print_string (Pipeline.dendrogram a);
+    print_endline "STAT-style stack tree (where is everyone now):";
+    print_string
+      (Difftrace_stacktree.Stacktree.render
+         (Difftrace_stacktree.Stacktree.build outcome.R.traces))
+  in
+  Cmd.v (Cmd.info "triage" ~doc)
+    Term.(const action $ workload_t $ np_t $ seed_t $ fault_t $ all_images_t
+          $ filter_t $ custom_t $ attrs_t $ k_t $ linkage_t)
+
+(* --- export (OTF2-style archive) ------------------------------------ *)
+
+let export_cmd =
+  let doc =
+    "Run a workload and export its logically-timestamped traces as an \
+     OTF2-style text archive on stdout."
+  in
+  let action w np seed fault all_images =
+    let outcome = run_workload w ~np ~seed ~level:(level_of all_images) ~fault in
+    print_string
+      (Difftrace_temporal.Otf2.render (Difftrace_temporal.Otf2.of_outcome outcome))
+  in
+  Cmd.v (Cmd.info "export" ~doc)
+    Term.(const action $ workload_t $ np_t $ seed_t $ fault_t $ all_images_t)
+
+(* --- explore: schedule exploration ----------------------------------- *)
+
+let explore_cmd =
+  let doc =
+    "Run one workload under many scheduler seeds and report how the \
+     outcome varies (deadlock frequency, distinct trace shapes) — simple \
+     nondeterminism control."
+  in
+  let seeds_t =
+    Arg.(
+      value
+      & opt int 8
+      & info [ "n"; "seeds" ] ~docv:"N" ~doc:"Number of seeds to explore (1..N).")
+  in
+  let action w np fault all_images nseeds =
+    let level = level_of all_images in
+    let seeds = List.init nseeds (fun i -> i + 1) in
+    let verdicts =
+      List.map
+        (fun seed ->
+          let o = run_workload w ~np ~seed ~level ~fault in
+          { Difftrace_simulator.Explore.seed;
+            deadlocked = o.R.deadlocked <> [];
+            timed_out = o.R.timed_out;
+            races = List.length o.R.races;
+            fingerprint =
+              Difftrace_simulator.Explore.fingerprint_of o.R.traces })
+        seeds
+    in
+    let fps =
+      List.sort_uniq Int.compare
+        (List.map (fun v -> v.Difftrace_simulator.Explore.fingerprint) verdicts)
+    in
+    let summary =
+      { Difftrace_simulator.Explore.verdicts;
+        deadlock_seeds =
+          List.filter_map
+            (fun v ->
+              if v.Difftrace_simulator.Explore.deadlocked then
+                Some v.Difftrace_simulator.Explore.seed
+              else None)
+            verdicts;
+        distinct_outcomes = List.length fps }
+    in
+    print_string (Difftrace_simulator.Explore.render summary)
+  in
+  Cmd.v (Cmd.info "explore" ~doc)
+    Term.(const action $ workload_t $ np_t $ fault_t $ all_images_t $ seeds_t)
+
+(* --- report: a complete markdown debugging report ------------------- *)
+
+let report_cmd =
+  let doc =
+    "Run the full DiffTrace loop for one fault and write a markdown report: \
+     configuration search, ranking, diffNLR, phase diff, calling-context \
+     deltas and stack tree."
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write to FILE (default stdout).")
+  in
+  let action w np seed fault all_images out =
+    let level = level_of all_images in
+    let normal = run_workload w ~np ~seed ~level ~fault:Fault.No_fault in
+    let faulty = run_workload w ~np ~seed ~level ~fault in
+    let report =
+      Report.generate ~fault_label:(Fault.to_string fault) ~normal ~faulty
+    in
+    match out with
+    | None -> print_string report.Report.markdown
+    | Some file ->
+      let oc = open_out file in
+      output_string oc report.Report.markdown;
+      close_out oc;
+      Printf.printf "wrote %s (%d bytes)\n" file
+        (String.length report.Report.markdown)
+  in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(const action $ workload_t $ np_t $ seed_t $ fault_t $ all_images_t
+          $ out_t)
+
+(* --- autotune: search the configuration grid ------------------------ *)
+
+let autotune_cmd =
+  let doc =
+    "Search the filter/attribute/K/linkage grid for the configuration that \
+     most sharply separates a faulty run from the normal one (the paper's \
+     Fig. 1 refinement loop, automated)."
+  in
+  let ks_t =
+    Arg.(
+      value
+      & opt_all int [ 10 ]
+      & info [ "K" ] ~docv:"K" ~doc:"NLR constants to sweep (repeatable).")
+  in
+  let action w np seed fault all_images custom ks =
+    let level = level_of all_images in
+    let normal = run_workload w ~np ~seed ~level ~fault:Fault.No_fault in
+    let faulty = run_workload w ~np ~seed ~level ~fault in
+    ignore custom;
+    let r =
+      Autotune.search ~ks ~normal:normal.R.traces ~faulty:faulty.R.traces ()
+    in
+    Printf.printf "evaluated %d configurations\n" r.Autotune.evaluated;
+    print_string (Autotune.render r);
+    Printf.printf "best: %s (B-score %.3f, top suspect %s)\n"
+      (Config.name r.Autotune.best.Autotune.config)
+      r.Autotune.best.Autotune.bscore
+      (Option.value ~default:"-" r.Autotune.best.Autotune.top_suspect)
+  in
+  Cmd.v (Cmd.info "autotune" ~doc)
+    Term.(const action $ workload_t $ np_t $ seed_t $ fault_t $ all_images_t
+          $ custom_t $ ks_t)
+
+(* --- filters ------------------------------------------------------- *)
+
+let filters_cmd =
+  let doc = "Print the predefined filter catalog (paper Table I)." in
+  let action () =
+    Difftrace_util.Texttable.print
+      ~headers:[ "Category"; "Sub-Category"; "Description" ]
+      (List.map (fun (a, b, c) -> [ a; b; c ]) F.predefined)
+  in
+  Cmd.v (Cmd.info "filters" ~doc) Term.(const action $ const ())
+
+let () =
+  let doc = "whole-program trace analysis and diffing for HPC debugging" in
+  let info = Cmd.info "difftrace" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; compare_cmd; table_cmd; record_cmd; analyze_cmd; triage_cmd;
+            autotune_cmd; report_cmd; explore_cmd; export_cmd; filters_cmd ]))

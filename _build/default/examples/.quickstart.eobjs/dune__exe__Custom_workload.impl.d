@@ -1,0 +1,1 @@
+examples/custom_workload.ml: Array Config Difftrace Difftrace_diff Difftrace_fca Difftrace_filter Difftrace_simulator List Pipeline Printf Ranking

@@ -1,0 +1,1 @@
+examples/hang_triage.mli:

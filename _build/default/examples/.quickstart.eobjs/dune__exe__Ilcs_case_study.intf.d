@@ -1,0 +1,1 @@
+examples/ilcs_case_study.mli:

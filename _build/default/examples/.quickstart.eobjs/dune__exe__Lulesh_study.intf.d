@@ -1,0 +1,1 @@
+examples/lulesh_study.mli:

@@ -1,0 +1,68 @@
+(* LULESH2 study (paper §V): trace statistics of the fault-free run,
+   the NLR-constant sweep, and Table IX's ranking for the injected
+   skipped-LagrangeLeapFrog fault in rank 2. *)
+
+open Difftrace
+module R = Difftrace_simulator.Runtime
+module Fault = Difftrace_simulator.Fault
+module Lulesh = Difftrace_workloads.Lulesh
+module Trace = Difftrace_trace.Trace
+module Trace_set = Difftrace_trace.Trace_set
+module Nlr = Difftrace_nlr.Nlr
+module F = Difftrace_filter.Filter
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let () =
+  section "Fault-free LULESH2 (8 ranks x 4 OMP threads)";
+  let normal, hydro = Lulesh.simulate ~edge:6 ~cycles:2 ~fault:Fault.No_fault () in
+  Format.printf "%a@." Difftrace_parlot.Capture.pp_stats normal.R.stats;
+  Printf.printf
+    "physics: E_int %.4f + E_kin %.4f = %.4f (deposit 3.0), peak pressure \
+     %.3f at cell %d, dt %.3f\n"
+    hydro.Lulesh.total_internal_energy hydro.Lulesh.total_kinetic_energy
+    (hydro.Lulesh.total_internal_energy +. hydro.Lulesh.total_kinetic_energy)
+    hydro.Lulesh.max_pressure hydro.Lulesh.shock_cell hydro.Lulesh.final_dt;
+
+  section "NLR summarization vs. the constant K (paper: x1.92 @K=10, x16.74 @K=50)";
+  let tr = Trace_set.find_exn normal.R.traces ~pid:0 ~tid:0 in
+  let ids = Trace.call_ids tr in
+  List.iter
+    (fun k ->
+      let table = Nlr.Loop_table.create () in
+      let nlr = Nlr.of_ids ~table ~k ids in
+      Printf.printf "K=%-3d  %6d calls -> %5d NLR elements  (factor %.2f)\n" k
+        (Array.length ids) (Nlr.length nlr) (Nlr.reduction_factor nlr))
+    [ 2; 10; 50 ];
+
+  section "Fault: rank 2 never calls LagrangeLeapFrog (Table IX)";
+  let faulty =
+    Lulesh.run ~edge:6 ~cycles:2
+      ~fault:(Fault.Skip_function { rank = 2; func = "LagrangeLeapFrog" })
+      ()
+  in
+  Printf.printf "deadlocked threads: %s\n"
+    (String.concat ", "
+       (List.map (fun (p, t) -> Printf.sprintf "%d.%d" p t) faulty.R.deadlocked));
+  let rows =
+    Ranking.sweep
+      (Ranking.grid ~filters:[ F.make [ F.Everything ] ] ())
+      ~normal:normal.R.traces ~faulty:faulty.R.traces
+  in
+  print_string (Ranking.render rows);
+
+  section "diffNLR of the skipped rank's master thread";
+  let c =
+    Pipeline.compare_runs
+      (Config.make ~filter:(F.make [ F.Everything ]) ())
+      ~normal:normal.R.traces ~faulty:faulty.R.traces
+  in
+  let d = Pipeline.diffnlr c "2.0" in
+  Printf.printf "common elements: %d, differing elements: %d\n"
+    (Difftrace_diff.Diffnlr.common_length d)
+    (Difftrace_diff.Diffnlr.changed_length d);
+  (* the full figure is large; show the first lines *)
+  let rendered = Difftrace_diff.Diffnlr.render ~title:"diffNLR(2.0)" d in
+  let lines = String.split_on_char '\n' rendered in
+  List.iteri (fun i l -> if i < 28 then print_endline l) lines

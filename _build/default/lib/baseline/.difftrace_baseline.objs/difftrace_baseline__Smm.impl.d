@@ -1,0 +1,1 @@
+lib/baseline/smm.ml: Array Difftrace_trace Float Hashtbl List Option Symtab Trace Trace_set

@@ -1,0 +1,1 @@
+lib/baseline/smm.mli: Difftrace_trace

@@ -1,0 +1,105 @@
+open Difftrace_trace
+
+(* per source state: total outgoing count and per-destination counts *)
+type row = { mutable total : int; dests : (string, int) Hashtbl.t }
+type t = { rows : (string, row) Hashtbl.t }
+
+let of_calls names =
+  let rows = Hashtbl.create 64 in
+  for i = 0 to Array.length names - 2 do
+    let src = names.(i) and dst = names.(i + 1) in
+    let row =
+      match Hashtbl.find_opt rows src with
+      | Some r -> r
+      | None ->
+        let r = { total = 0; dests = Hashtbl.create 8 } in
+        Hashtbl.add rows src r;
+        r
+    in
+    row.total <- row.total + 1;
+    Hashtbl.replace row.dests dst
+      (1 + Option.value ~default:0 (Hashtbl.find_opt row.dests dst))
+  done;
+  { rows }
+
+let of_trace symtab tr =
+  of_calls (Array.map (Symtab.name symtab) (Trace.call_ids tr))
+
+let n_states t = Hashtbl.length t.rows
+
+let transition_probability t ~src ~dst =
+  match Hashtbl.find_opt t.rows src with
+  | None -> 0.0
+  | Some row ->
+    if row.total = 0 then 0.0
+    else
+      float_of_int (Option.value ~default:0 (Hashtbl.find_opt row.dests dst))
+      /. float_of_int row.total
+
+(* half-L1 (total variation) distance between two transition rows *)
+let row_distance a b =
+  match (a, b) with
+  | None, None -> 0.0
+  | Some _, None | None, Some _ -> 1.0
+  | Some ra, Some rb ->
+    let dests = Hashtbl.create 16 in
+    Hashtbl.iter (fun d _ -> Hashtbl.replace dests d ()) ra.dests;
+    Hashtbl.iter (fun d _ -> Hashtbl.replace dests d ()) rb.dests;
+    let p row d =
+      if row.total = 0 then 0.0
+      else
+        float_of_int (Option.value ~default:0 (Hashtbl.find_opt row.dests d))
+        /. float_of_int row.total
+    in
+    let acc = ref 0.0 in
+    Hashtbl.iter (fun d () -> acc := !acc +. Float.abs (p ra d -. p rb d)) dests;
+    !acc /. 2.0
+
+let distance a b =
+  let srcs = Hashtbl.create 32 in
+  Hashtbl.iter (fun s _ -> Hashtbl.replace srcs s ()) a.rows;
+  Hashtbl.iter (fun s _ -> Hashtbl.replace srcs s ()) b.rows;
+  let n = Hashtbl.length srcs in
+  if n = 0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    Hashtbl.iter
+      (fun s () ->
+        acc := !acc +. row_distance (Hashtbl.find_opt a.rows s) (Hashtbl.find_opt b.rows s))
+      srcs;
+    !acc /. float_of_int n
+  end
+
+let models_of ts =
+  let symtab = Trace_set.symtab ts in
+  let traces = Trace_set.traces ts in
+  let short = Array.for_all (fun tr -> tr.Trace.tid = 0) traces in
+  Array.map
+    (fun tr -> (Trace.label ~short tr, of_trace symtab tr))
+    traces
+
+let outliers ts =
+  let models = models_of ts in
+  let n = Array.length models in
+  let scores =
+    Array.mapi
+      (fun i (label, m) ->
+        let acc = ref 0.0 in
+        Array.iteri (fun j (_, m') -> if j <> i then acc := !acc +. distance m m') models;
+        (label, if n <= 1 then 0.0 else !acc /. float_of_int (n - 1)))
+      models
+  in
+  Array.sort (fun (_, a) (_, b) -> Float.compare b a) scores;
+  scores
+
+let rank_changes ~normal ~faulty =
+  let mn = models_of normal and mf = models_of faulty in
+  let changes =
+    Array.to_list mn
+    |> List.filter_map (fun (label, m) ->
+           Array.find_opt (fun (l, _) -> l = label) mf
+           |> Option.map (fun (_, m') -> (label, distance m m')))
+  in
+  let arr = Array.of_list changes in
+  Array.sort (fun (_, a) (_, b) -> Float.compare b a) arr;
+  arr

@@ -1,0 +1,50 @@
+(** AutomaDeD-style Semi-Markov Models — the related-work baseline
+    (paper §VI, refs [28][29]).
+
+    AutomaDeD "captures the application's control flow via Semi Markov
+    Models and detects outlier executions": per task, a matrix of
+    transition probabilities between code blocks. Here states are
+    function {e names} of the call stream (names, not per-capture IDs,
+    so models from different runs are comparable) and the dwell-time
+    component is logical — every call weighs 1 — which is the part of
+    AutomaDeD that survives without wall-clock timestamps. The baseline
+    serves two purposes: a point of comparison for DiffTrace's
+    JSM/B-score ranking in the benches, and a second opinion for
+    single-run outlier detection. *)
+
+type t
+
+(** [of_calls names] — transition model of one trace's call sequence. *)
+val of_calls : string array -> t
+
+(** [of_trace symtab trace] — model over the trace's call events. *)
+val of_trace : Difftrace_trace.Symtab.t -> Difftrace_trace.Trace.t -> t
+
+(** [n_states t] — number of distinct states (functions) observed as
+    transition sources. *)
+val n_states : t -> int
+
+(** [transition_probability t ~src ~dst] — P(next = dst | current =
+    src); 0 when [src] was never seen. *)
+val transition_probability : t -> src:string -> dst:string -> float
+
+(** [distance a b] — dissimilarity in [0, 1]: mean over the union of
+    source states of half the L1 distance between the two transition
+    distributions (a state missing from one model counts as fully
+    different). [distance a a = 0]; symmetric. *)
+val distance : t -> t -> float
+
+(** [outliers ts] — AutomaDeD-style single-run outlier scores: each
+    trace's mean model distance to every other trace, sorted
+    descending. Labels follow {!Difftrace_trace.Trace.label} (short
+    form when the run is single-threaded). *)
+val outliers : Difftrace_trace.Trace_set.t -> (string * float) array
+
+(** [rank_changes ~normal ~faulty] — relative-debugging with SMMs: for
+    each trace label present in both runs, the model distance between
+    its normal and faulty versions, sorted descending — the baseline
+    counterpart of DiffTrace's JSM_D row change. *)
+val rank_changes :
+  normal:Difftrace_trace.Trace_set.t ->
+  faulty:Difftrace_trace.Trace_set.t ->
+  (string * float) array

@@ -1,0 +1,1 @@
+lib/classify/classifier.ml: Array Difftrace_util Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/classify/features.ml: Array Difftrace Difftrace_fca Difftrace_nlr Difftrace_simulator Float Lazy List

@@ -1,0 +1,1 @@
+lib/classify/features.mli: Difftrace Difftrace_simulator

@@ -1,0 +1,90 @@
+type model = {
+  dim : int;
+  mean : float array;
+  stddev : float array;
+  centroids : (string * float array) list; (* in normalized space *)
+}
+
+let normalize m v = Array.mapi (fun i x -> (x -. m.mean.(i)) /. m.stddev.(i)) v
+
+let train examples =
+  (match examples with
+  | [] -> invalid_arg "Classifier.train: no examples"
+  | (_, v) :: rest ->
+    let dim = Array.length v in
+    if List.exists (fun (_, w) -> Array.length w <> dim) rest then
+      invalid_arg "Classifier.train: inconsistent dimensions");
+  let dim = Array.length (snd (List.hd examples)) in
+  let n = float_of_int (List.length examples) in
+  let mean = Array.make dim 0.0 in
+  List.iter (fun (_, v) -> Array.iteri (fun i x -> mean.(i) <- mean.(i) +. x) v) examples;
+  Array.iteri (fun i s -> mean.(i) <- s /. n) mean;
+  let var = Array.make dim 0.0 in
+  List.iter
+    (fun (_, v) ->
+      Array.iteri (fun i x -> var.(i) <- var.(i) +. ((x -. mean.(i)) ** 2.0)) v)
+    examples;
+  let stddev =
+    Array.map (fun s -> let d = sqrt (s /. n) in if d < 1e-9 then 1.0 else d) var
+  in
+  let m0 = { dim; mean; stddev; centroids = [] } in
+  let by_class = Hashtbl.create 8 in
+  List.iter
+    (fun (label, v) ->
+      let nv = normalize m0 v in
+      let sum, count =
+        Option.value ~default:(Array.make dim 0.0, 0) (Hashtbl.find_opt by_class label)
+      in
+      Array.iteri (fun i x -> sum.(i) <- sum.(i) +. x) nv;
+      Hashtbl.replace by_class label (sum, count + 1))
+    examples;
+  let centroids =
+    Hashtbl.fold
+      (fun label (sum, count) acc ->
+        (label, Array.map (fun s -> s /. float_of_int count) sum) :: acc)
+      by_class []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  { m0 with centroids }
+
+let classes m = List.map fst m.centroids
+
+let distance a b =
+  let acc = ref 0.0 in
+  Array.iteri (fun i x -> acc := !acc +. ((x -. b.(i)) ** 2.0)) a;
+  sqrt !acc
+
+let classify m v =
+  if Array.length v <> m.dim then invalid_arg "Classifier.classify: dimension";
+  let nv = normalize m v in
+  List.fold_left
+    (fun (best_l, best_d) (label, c) ->
+      let d = distance nv c in
+      if d < best_d then (label, d) else (best_l, best_d))
+    ("", infinity) m.centroids
+
+let confusion m examples =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun (truth, v) ->
+      let predicted, _ = classify m v in
+      let key = (truth, predicted) in
+      Hashtbl.replace counts key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)))
+    examples;
+  Hashtbl.fold (fun (t, p) c acc -> (t, p, c) :: acc) counts []
+  |> List.sort compare
+
+let accuracy m examples =
+  if examples = [] then invalid_arg "Classifier.accuracy: no examples";
+  let correct =
+    List.fold_left
+      (fun acc (truth, v) -> if fst (classify m v) = truth then acc + 1 else acc)
+      0 examples
+  in
+  float_of_int correct /. float_of_int (List.length examples)
+
+let render_confusion rows =
+  Difftrace_util.Texttable.render
+    ~headers:[ "True class"; "Predicted"; "Count" ]
+    (List.map (fun (t, p, c) -> [ t; p; string_of_int c ]) rows)

@@ -1,0 +1,31 @@
+(** Nearest-centroid bug classifier over {!Features} vectors.
+
+    Deliberately simple and fully deterministic: features are
+    z-score-normalized over the training set, one centroid per class,
+    Euclidean nearest centroid wins. The point (per the paper's future
+    work) is to show the *features* carry the bug class, not to tune a
+    learner. *)
+
+type model
+
+(** [train examples] — [(class_label, feature_vector)] pairs. All
+    vectors must share one dimension; at least one example required.
+    Raises [Invalid_argument] otherwise. *)
+val train : (string * float array) list -> model
+
+(** [classes m] — distinct labels, sorted. *)
+val classes : model -> string list
+
+(** [classify m v] — the predicted label and the (normalized-space)
+    distance to its centroid. *)
+val classify : model -> float array -> string * float
+
+(** [confusion m examples] — rows of
+    [(true_label, predicted_label, count)] over a labeled test set. *)
+val confusion : model -> (string * float array) list -> (string * string * int) list
+
+(** [accuracy m examples] — fraction classified correctly. *)
+val accuracy : model -> (string * float array) list -> float
+
+(** [render_confusion rows] — a confusion-matrix table. *)
+val render_confusion : (string * string * int) list -> string

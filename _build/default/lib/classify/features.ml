@@ -1,0 +1,70 @@
+module Pipeline = Difftrace.Pipeline
+module Lattice = Difftrace_fca.Lattice
+module Nlr = Difftrace_nlr.Nlr
+module R = Difftrace_simulator.Runtime
+
+type t = {
+  bscore : float;
+  mean_row_change : float;
+  suspect_concentration : float;
+  truncated_fraction : float;
+  deadlocked : float;
+  collective_mismatch : float;
+  race_count : float;
+  lattice_growth : float;
+  loop_drift : float;
+}
+
+let names =
+  [| "bscore"; "mean_row_change"; "suspect_concentration";
+     "truncated_fraction"; "deadlocked"; "collective_mismatch"; "race_count";
+     "lattice_growth"; "loop_drift" |]
+
+let to_vector t =
+  [| t.bscore; t.mean_row_change; t.suspect_concentration;
+     t.truncated_fraction; t.deadlocked; t.collective_mismatch; t.race_count;
+     t.lattice_growth; t.loop_drift |]
+
+let extract (c : Pipeline.comparison) ~(faulty_outcome : R.outcome) =
+  let suspects = c.Pipeline.suspects in
+  let total = Array.fold_left (fun acc (_, s) -> acc +. s) 0.0 suspects in
+  let top = if Array.length suspects = 0 then 0.0 else snd suspects.(0) in
+  let n_f = Array.length c.Pipeline.faulty.Pipeline.nlrs in
+  let truncated =
+    Array.fold_left
+      (fun acc (_, t) -> if t then acc + 1 else acc)
+      0 c.Pipeline.faulty.Pipeline.nlrs
+  in
+  let lat a = float_of_int (Lattice.size (Lazy.force a.Pipeline.lattice)) in
+  (* mean relative NLR-length change over traces present in both runs *)
+  let drift =
+    let acc = ref 0.0 and n = ref 0 in
+    Array.iteri
+      (fun i label ->
+        match Pipeline.nlr_of c.Pipeline.faulty label with
+        | exception Not_found -> ()
+        | f_nlr, _ ->
+          let n_len = float_of_int (Nlr.length (fst c.Pipeline.normal.Pipeline.nlrs.(i))) in
+          let f_len = float_of_int (Nlr.length f_nlr) in
+          if n_len > 0.0 then begin
+            acc := !acc +. (Float.abs (f_len -. n_len) /. n_len);
+            incr n
+          end)
+      c.Pipeline.normal.Pipeline.labels;
+    if !n = 0 then 0.0 else !acc /. float_of_int !n
+  in
+  { bscore = c.Pipeline.bscore;
+    mean_row_change =
+      (if Array.length suspects = 0 then 0.0
+       else total /. float_of_int (Array.length suspects));
+    suspect_concentration = (if total <= 1e-12 then 0.0 else top /. total);
+    truncated_fraction =
+      (if n_f = 0 then 0.0 else float_of_int truncated /. float_of_int n_f);
+    deadlocked = (if faulty_outcome.R.deadlocked <> [] then 1.0 else 0.0);
+    collective_mismatch =
+      (if faulty_outcome.R.collective_mismatch <> None then 1.0 else 0.0);
+    race_count = float_of_int (List.length faulty_outcome.R.races);
+    lattice_growth =
+      (let ln = lat c.Pipeline.normal in
+       if ln <= 0.0 then 1.0 else lat c.Pipeline.faulty /. ln);
+    loop_drift = drift }

@@ -1,0 +1,36 @@
+(** Elevated features for bug classification (paper §VII future work
+    (3): "whether concept lattices and loop structures can be used as
+    elevated features for precise bug classifications").
+
+    One feature vector summarizes a (normal, faulty) run pair: how much
+    the clustering restructured (B-score), how concentrated the
+    suspicion is, whether the job hung, what the runtime diagnosed, and
+    how the concept lattice and the loop structures moved. *)
+
+type t = {
+  bscore : float;
+  mean_row_change : float;     (** mean JSM_D row change *)
+  suspect_concentration : float;
+      (** top suspect's share of the total row change (1 = one clear
+          culprit, ≈1/n = diffuse) *)
+  truncated_fraction : float;  (** share of faulty traces truncated *)
+  deadlocked : float;          (** 1.0 if the faulty run hung *)
+  collective_mismatch : float; (** 1.0 if a collective was diagnosed *)
+  race_count : float;          (** locking-discipline violations *)
+  lattice_growth : float;      (** |faulty lattice| / |normal lattice| *)
+  loop_drift : float;
+      (** mean relative change in per-trace NLR length *)
+}
+
+(** [names] — feature names, in {!to_vector} order. *)
+val names : string array
+
+(** [to_vector t] — the numeric vector (same order as [names]). *)
+val to_vector : t -> float array
+
+(** [extract comparison ~faulty_outcome] — build the vector from a
+    pipeline comparison plus the faulty run's runtime diagnostics. *)
+val extract :
+  Difftrace.Pipeline.comparison ->
+  faulty_outcome:Difftrace_simulator.Runtime.outcome ->
+  t

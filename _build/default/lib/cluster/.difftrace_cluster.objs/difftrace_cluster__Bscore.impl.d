@@ -1,0 +1,1 @@
+lib/cluster/bscore.ml: Array Linkage List

@@ -1,0 +1,1 @@
+lib/cluster/dendrogram.ml: Array Bytes Linkage Printf String

@@ -1,0 +1,1 @@
+lib/cluster/jsm.ml: Array Context Difftrace_fca Difftrace_util Float List

@@ -1,0 +1,1 @@
+lib/cluster/jsm.mli: Difftrace_fca

@@ -1,0 +1,1 @@
+lib/cluster/linkage.ml: Array Float Hashtbl List

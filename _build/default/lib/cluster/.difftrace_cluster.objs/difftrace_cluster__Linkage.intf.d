@@ -1,0 +1,1 @@
+lib/cluster/linkage.mli:

@@ -1,0 +1,43 @@
+let bk_of_assignments x y =
+  let n = Array.length x in
+  if Array.length y <> n then invalid_arg "Bscore: leaf count mismatch";
+  if n = 0 then invalid_arg "Bscore: empty clusterings";
+  let kx = 1 + Array.fold_left max 0 x and ky = 1 + Array.fold_left max 0 y in
+  let mm = Array.make_matrix kx ky 0 in
+  for i = 0 to n - 1 do
+    mm.(x.(i)).(y.(i)) <- mm.(x.(i)).(y.(i)) + 1
+  done;
+  let tk = ref 0 and pk = ref 0 and qk = ref 0 in
+  for a = 0 to kx - 1 do
+    let row = ref 0 in
+    for b = 0 to ky - 1 do
+      tk := !tk + (mm.(a).(b) * mm.(a).(b));
+      row := !row + mm.(a).(b)
+    done;
+    pk := !pk + (!row * !row)
+  done;
+  for b = 0 to ky - 1 do
+    let col = ref 0 in
+    for a = 0 to kx - 1 do
+      col := !col + mm.(a).(b)
+    done;
+    qk := !qk + (!col * !col)
+  done;
+  let tk = !tk - n and pk = !pk - n and qk = !qk - n in
+  if pk = 0 || qk = 0 then 1.0
+  else float_of_int tk /. sqrt (float_of_int pk *. float_of_int qk)
+
+let bk a b ~k =
+  if a.Linkage.n <> b.Linkage.n then invalid_arg "Bscore.bk: leaf count mismatch";
+  bk_of_assignments (Linkage.cut_k a k) (Linkage.cut_k b k)
+
+let series a b =
+  let n = a.Linkage.n in
+  List.init (max 0 (n - 2)) (fun i ->
+      let k = i + 2 in
+      (k, bk a b ~k))
+
+let score a b =
+  match series a b with
+  | [] -> 1.0
+  | s -> List.fold_left (fun acc (_, v) -> acc +. v) 0.0 s /. float_of_int (List.length s)

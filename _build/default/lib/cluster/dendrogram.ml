@@ -1,0 +1,80 @@
+type tree =
+  | Leaf of int
+  | Node of { left : tree; right : tree; height : float; size : int }
+
+let of_linkage (t : Linkage.t) =
+  let n = t.Linkage.n in
+  let nodes = Array.make (n + Array.length t.Linkage.merges) (Leaf 0) in
+  for i = 0 to n - 1 do
+    nodes.(i) <- Leaf i
+  done;
+  Array.iteri
+    (fun step (m : Linkage.merge) ->
+      nodes.(n + step) <-
+        Node
+          { left = nodes.(m.Linkage.a);
+            right = nodes.(m.Linkage.b);
+            height = m.Linkage.dist;
+            size = m.Linkage.size })
+    t.Linkage.merges;
+  let nmerges = Array.length t.Linkage.merges in
+  if nmerges = 0 then nodes.(0) else nodes.(n + nmerges - 1)
+
+let rec leaf_order = function
+  | Leaf i -> [ i ]
+  | Node { left; right; _ } -> leaf_order left @ leaf_order right
+
+let height = function Leaf _ -> 0.0 | Node { height; _ } -> height
+
+(* Recursive box rendering: each subtree renders as lines plus the
+   column index of its connector. *)
+let render ?labels (t : Linkage.t) =
+  let label i =
+    match labels with
+    | Some ls when i < Array.length ls -> ls.(i)
+    | Some _ | None -> string_of_int i
+  in
+  let tree = of_linkage t in
+  let rec go = function
+    | Leaf i ->
+      let s = label i in
+      ([ s ], String.length s / 2, String.length s)
+    | Node { left; right; height; _ } ->
+      let llines, lcol, lw = go left in
+      let rlines, rcol, rw = go right in
+      let head = Printf.sprintf "[%.2f]" height in
+      (* widen the gap so the height label always fits *)
+      let gap = max 3 (String.length head + 2 - lw - rw) in
+      let width = lw + gap + rw in
+      let pad_to w s = s ^ String.make (max 0 (w - String.length s)) ' ' in
+      let merged =
+        let rec zip a b =
+          match (a, b) with
+          | [], [] -> []
+          | x :: xs, [] -> (pad_to lw x ^ String.make gap ' ' ^ String.make rw ' ') :: zip xs []
+          | [], y :: ys -> (String.make (lw + gap) ' ' ^ pad_to rw y) :: zip [] ys
+          | x :: xs, y :: ys -> (pad_to lw x ^ String.make gap ' ' ^ pad_to rw y) :: zip xs ys
+        in
+        zip llines rlines
+      in
+      let rcol_abs = lw + gap + rcol in
+      let connector = Bytes.make width ' ' in
+      for c = lcol to rcol_abs do
+        Bytes.set connector c '-'
+      done;
+      Bytes.set connector lcol '+';
+      Bytes.set connector rcol_abs '+';
+      let mid = (lcol + rcol_abs) / 2 in
+      let head_line = Bytes.make width ' ' in
+      Bytes.set head_line mid '|';
+      let head_start = min (max 0 (mid - (String.length head / 2))) (max 0 (width - String.length head)) in
+      String.iteri
+        (fun i c ->
+          if head_start + i < width then Bytes.set head_line (head_start + i) c)
+        head;
+      ( Bytes.to_string head_line :: Bytes.to_string connector :: merged,
+        mid,
+        width )
+  in
+  let lines, _, _ = go tree in
+  String.concat "\n" lines ^ "\n"

@@ -1,0 +1,24 @@
+(** Dendrogram structure and text rendering (paper §III-C).
+
+    DiffTrace "reorders the dendrograms built to achieve the
+    clustering"; this module materializes a {!Linkage.t} merge list as
+    a tree, provides the leaf order a dendrogram plot would use, and
+    renders an ASCII figure. *)
+
+type tree =
+  | Leaf of int
+  | Node of { left : tree; right : tree; height : float; size : int }
+
+(** [of_linkage t] — the merge tree ([t] must come from
+    {!Linkage.cluster}, n ≥ 1). *)
+val of_linkage : Linkage.t -> tree
+
+(** [leaf_order tree] — leaves left-to-right, the dendrogram x-axis. *)
+val leaf_order : tree -> int list
+
+(** [height tree] — root merge height (0 for a single leaf). *)
+val height : tree -> float
+
+(** [render ?labels t] — ASCII dendrogram of a linkage (labels default
+    to leaf indices), drawn top-down with merge heights annotated. *)
+val render : ?labels:string array -> Linkage.t -> string

@@ -1,0 +1,47 @@
+open Difftrace_fca
+
+type t = { labels : string array; m : float array array }
+
+let of_context ctx =
+  let n = Context.n_objects ctx in
+  let labels = Array.init n (Context.object_label ctx) in
+  let m =
+    Array.init n (fun i -> Array.init n (fun j -> Context.jaccard ctx i j))
+  in
+  { labels; m }
+
+let size t = Array.length t.labels
+
+let index_of labels l =
+  let found = ref (-1) in
+  Array.iteri (fun i x -> if x = l && !found < 0 then found := i) labels;
+  !found
+
+let align a b =
+  let common =
+    Array.to_list a.labels |> List.filter (fun l -> index_of b.labels l >= 0)
+  in
+  let labels = Array.of_list common in
+  let n = Array.length labels in
+  let ai = Array.map (fun l -> index_of a.labels l) labels in
+  let bi = Array.map (fun l -> index_of b.labels l) labels in
+  let pick src idx =
+    Array.init n (fun i -> Array.init n (fun j -> src.(idx.(i)).(idx.(j))))
+  in
+  ({ labels; m = pick a.m ai }, { labels; m = pick b.m bi })
+
+let diff a b =
+  let a', b' = align a b in
+  let n = Array.length a'.labels in
+  let m =
+    Array.init n (fun i ->
+        Array.init n (fun j -> Float.abs (b'.m.(i).(j) -. a'.m.(i).(j))))
+  in
+  { labels = a'.labels; m }
+
+let row_change t i = Array.fold_left ( +. ) 0.0 t.m.(i)
+
+let to_distance t =
+  { t with m = Array.map (Array.map (fun s -> 1.0 -. s)) t.m }
+
+let heatmap t = Difftrace_util.Texttable.heatmap ~labels:t.labels t.m

@@ -1,0 +1,34 @@
+(** Jaccard Similarity Matrices (paper Fig. 4) and their diff JSM_D.
+
+    JSM[i][j] is the Jaccard similarity of traces i and j's attribute
+    sets; JSM_D = |JSM_faulty − JSM_normal| is the paper's "diff of
+    diffs" that isolates what the fault changed. Matrices carry their
+    trace labels so that two runs are aligned by label, not position. *)
+
+type t = { labels : string array; m : float array array }
+
+(** [of_context ctx] — pairwise Jaccard over the context's objects. *)
+val of_context : Difftrace_fca.Context.t -> t
+
+(** [size t] is the number of traces. *)
+val size : t -> int
+
+(** [align a b] — both matrices restricted to their common labels, in
+    [a]'s label order. *)
+val align : t -> t -> t * t
+
+(** [diff a b] = |b − a| over the traces common to both (in [a]'s
+    label order). Traces present in only one run are dropped; they are
+    reported separately by the pipeline. *)
+val diff : t -> t -> t
+
+(** [row_change t i] = Σ_j t.m[i][j] — how much trace [i]'s similarity
+    relation changed; the per-trace suspicion score. *)
+val row_change : t -> int -> float
+
+(** [to_distance t] — 1 − similarity, for clustering a plain JSM.
+    A JSM_D is already a dissimilarity and is clustered as is. *)
+val to_distance : t -> t
+
+(** [heatmap t] — text rendering (Fig. 4). *)
+val heatmap : t -> string

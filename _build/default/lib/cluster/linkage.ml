@@ -1,0 +1,172 @@
+type method_ = Single | Complete | Average | Weighted | Centroid | Median | Ward
+
+let method_name = function
+  | Single -> "single"
+  | Complete -> "complete"
+  | Average -> "average"
+  | Weighted -> "weighted"
+  | Centroid -> "centroid"
+  | Median -> "median"
+  | Ward -> "ward"
+
+let method_of_string = function
+  | "single" -> Single
+  | "complete" -> Complete
+  | "average" -> Average
+  | "weighted" -> Weighted
+  | "centroid" -> Centroid
+  | "median" -> Median
+  | "ward" -> Ward
+  | s -> invalid_arg ("Linkage.method_of_string: " ^ s)
+
+let all_methods = [ Single; Complete; Average; Weighted; Centroid; Median; Ward ]
+
+type merge = { a : int; b : int; dist : float; size : int }
+type t = { n : int; merges : merge array }
+
+(* Centroid, median and ward obey Lance–Williams on squared distances;
+   the reported height is the square root (SciPy's convention). *)
+let squared_space = function Centroid | Median | Ward -> true | Single | Complete | Average | Weighted -> false
+
+(* d(k, i∪j) from d(k,i), d(k,j), d(i,j) and the cluster sizes. *)
+let lance_williams meth ~ni ~nj ~nk dki dkj dij =
+  let fi = float_of_int ni
+  and fj = float_of_int nj
+  and fk = float_of_int nk in
+  match meth with
+  | Single -> Float.min dki dkj
+  | Complete -> Float.max dki dkj
+  | Average -> ((fi *. dki) +. (fj *. dkj)) /. (fi +. fj)
+  | Weighted -> 0.5 *. (dki +. dkj)
+  | Centroid ->
+    let s = fi +. fj in
+    ((fi /. s) *. dki) +. ((fj /. s) *. dkj) -. (fi *. fj /. (s *. s) *. dij)
+  | Median -> (0.5 *. dki) +. (0.5 *. dkj) -. (0.25 *. dij)
+  | Ward ->
+    let s = fk +. fi +. fj in
+    (((fk +. fi) *. dki) +. ((fk +. fj) *. dkj) -. (fk *. dij)) /. s
+
+let validate m =
+  let n = Array.length m in
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> n then invalid_arg "Linkage.cluster: not square";
+      if Float.abs m.(i).(i) > 1e-12 then
+        invalid_arg "Linkage.cluster: nonzero diagonal";
+      Array.iteri
+        (fun j v ->
+          if Float.abs (v -. m.(j).(i)) > 1e-9 then
+            invalid_arg "Linkage.cluster: not symmetric")
+        row)
+    m;
+  n
+
+let cluster meth m =
+  let n = validate m in
+  if n = 0 then invalid_arg "Linkage.cluster: empty matrix";
+  let sq = squared_space meth in
+  (* dist.(i).(j) between active clusters, in working space *)
+  let size = 2 * n in
+  let d = Array.make_matrix size size nan in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      d.(i).(j) <- (if sq then m.(i).(j) *. m.(i).(j) else m.(i).(j))
+    done
+  done;
+  let active = Array.make size false in
+  let csize = Array.make size 0 in
+  for i = 0 to n - 1 do
+    active.(i) <- true;
+    csize.(i) <- 1
+  done;
+  let merges = ref [] in
+  for step = 0 to n - 2 do
+    (* find the closest active pair; ties by smallest (a, b) *)
+    let best = ref (-1, -1, infinity) in
+    for i = 0 to n + step - 1 do
+      if active.(i) then
+        for j = i + 1 to n + step - 1 do
+          if active.(j) then
+            let _, _, bd = !best in
+            if d.(i).(j) < bd -. 1e-15 then best := (i, j, d.(i).(j))
+        done
+    done;
+    let a, b, dij = !best in
+    if a < 0 then invalid_arg "Linkage.cluster: disconnected (nan distances?)";
+    let newc = n + step in
+    let ni = csize.(a) and nj = csize.(b) in
+    (* distances from every other active cluster to the new one *)
+    for k = 0 to newc - 1 do
+      if active.(k) && k <> a && k <> b then begin
+        let v =
+          lance_williams meth ~ni ~nj ~nk:csize.(k) d.(k).(a) d.(k).(b) dij
+        in
+        d.(k).(newc) <- v;
+        d.(newc).(k) <- v
+      end
+    done;
+    active.(a) <- false;
+    active.(b) <- false;
+    active.(newc) <- true;
+    csize.(newc) <- ni + nj;
+    d.(newc).(newc) <- 0.0;
+    let height = if sq then sqrt (Float.max 0.0 dij) else dij in
+    merges := { a; b; dist = height; size = ni + nj } :: !merges
+  done;
+  { n; merges = Array.of_list (List.rev !merges) }
+
+(* Flat cuts use a union-find over the merge prefix. *)
+let assignments_of_prefix t nmerges =
+  let parent = Array.init (t.n + nmerges) (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  Array.iteri
+    (fun step mg ->
+      if step < nmerges then begin
+        let c = t.n + step in
+        parent.(find mg.a) <- c;
+        parent.(find mg.b) <- c
+      end)
+    t.merges;
+  (* normalize cluster ids by first appearance over leaves *)
+  let ids = Hashtbl.create 16 in
+  Array.init t.n (fun leaf ->
+      let root = find leaf in
+      match Hashtbl.find_opt ids root with
+      | Some id -> id
+      | None ->
+        let id = Hashtbl.length ids in
+        Hashtbl.add ids root id;
+        id)
+
+let cut_k t k =
+  if k < 1 || k > t.n then invalid_arg "Linkage.cut_k";
+  assignments_of_prefix t (t.n - k)
+
+let cut_height t h =
+  let nmerges = ref 0 in
+  Array.iter (fun mg -> if mg.dist <= h then incr nmerges) t.merges;
+  (* merges are in nondecreasing height order for the monotone methods;
+     for centroid/median count all merges below the threshold anyway *)
+  assignments_of_prefix t !nmerges
+
+let cophenetic t =
+  let n = t.n in
+  let coph = Array.make_matrix n n 0.0 in
+  let members = Array.make (2 * n) [] in
+  for i = 0 to n - 1 do
+    members.(i) <- [ i ]
+  done;
+  Array.iteri
+    (fun step mg ->
+      let la = members.(mg.a) and lb = members.(mg.b) in
+      List.iter
+        (fun x ->
+          List.iter
+            (fun y ->
+              coph.(x).(y) <- mg.dist;
+              coph.(y).(x) <- mg.dist)
+            lb)
+        la;
+      members.(n + step) <- la @ lb)
+    t.merges;
+  coph

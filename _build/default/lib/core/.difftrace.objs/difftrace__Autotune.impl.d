@@ -1,0 +1,1 @@
+lib/core/autotune.ml: Array Config Difftrace_cluster Difftrace_fca Difftrace_filter Difftrace_util Float List Option Pipeline Printf

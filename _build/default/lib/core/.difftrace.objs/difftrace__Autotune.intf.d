@@ -1,0 +1,1 @@
+lib/core/autotune.mli: Config Difftrace_cluster Difftrace_fca Difftrace_filter Difftrace_trace

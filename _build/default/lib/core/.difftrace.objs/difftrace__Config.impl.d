@@ -1,0 +1,1 @@
+lib/core/config.ml: Difftrace_cluster Difftrace_fca Difftrace_filter Printf

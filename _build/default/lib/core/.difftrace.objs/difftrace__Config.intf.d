@@ -1,0 +1,1 @@
+lib/core/config.mli: Difftrace_cluster Difftrace_fca Difftrace_filter

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Config Difftrace_cluster Difftrace_diff Difftrace_fca Difftrace_nlr Difftrace_trace Lazy

@@ -1,0 +1,1 @@
+lib/core/ranking.ml: Config Difftrace_fca Difftrace_filter Difftrace_util Float List Pipeline Printf String

@@ -1,0 +1,1 @@
+lib/core/ranking.mli: Config Difftrace_cluster Difftrace_fca Difftrace_filter Difftrace_trace

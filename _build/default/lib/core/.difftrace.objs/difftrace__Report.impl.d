@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Autotune Buffer Config Difftrace_diff Difftrace_simulator Difftrace_stacktree Difftrace_temporal List Pipeline Printf String

@@ -1,0 +1,1 @@
+lib/core/report.mli: Config Difftrace_simulator

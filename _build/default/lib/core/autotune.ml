@@ -1,0 +1,76 @@
+module Filter = Difftrace_filter.Filter
+module Attributes = Difftrace_fca.Attributes
+module Linkage = Difftrace_cluster.Linkage
+
+type candidate = {
+  config : Config.t;
+  bscore : float;
+  concentration : float;
+  top_suspect : string option;
+}
+
+type result = { best : candidate; ranked : candidate list; evaluated : int }
+
+let evaluate config ~normal ~faulty =
+  let c = Pipeline.compare_runs config ~normal ~faulty in
+  let suspects = c.Pipeline.suspects in
+  let total = Array.fold_left (fun acc (_, s) -> acc +. s) 0.0 suspects in
+  let concentration =
+    if total <= 1e-12 || Array.length suspects = 0 then 0.0
+    else snd suspects.(0) /. total
+  in
+  { config;
+    bscore = c.Pipeline.bscore;
+    concentration;
+    top_suspect =
+      (if Array.length suspects > 0 && snd suspects.(0) > 1e-9 then
+         Some (fst suspects.(0))
+       else None) }
+
+let better a b =
+  match Float.compare a.bscore b.bscore with
+  | 0 -> Float.compare b.concentration a.concentration
+  | c -> c
+
+let search ?filters ?attrs ?(ks = [ 10 ]) ?linkages ~normal ~faulty () =
+  let filters =
+    match filters with
+    | Some f -> f
+    | None -> [ Filter.make [ Filter.Mpi_all ]; Filter.make [ Filter.Everything ] ]
+  in
+  let attrs = match attrs with Some a -> a | None -> Attributes.all in
+  let linkages = match linkages with Some l -> l | None -> [ Linkage.Ward ] in
+  if filters = [] || attrs = [] || ks = [] || linkages = [] then
+    invalid_arg "Autotune.search: empty axis";
+  let candidates =
+    List.concat_map
+      (fun filter ->
+        List.concat_map
+          (fun attr ->
+            List.concat_map
+              (fun k ->
+                List.map
+                  (fun linkage ->
+                    evaluate
+                      (Config.make ~filter ~attrs:attr ~k ~linkage ())
+                      ~normal ~faulty)
+                  linkages)
+              ks)
+          attrs)
+      filters
+  in
+  let ranked = List.stable_sort better candidates in
+  match ranked with
+  | [] -> assert false
+  | best :: _ -> { best; ranked; evaluated = List.length candidates }
+
+let render r =
+  Difftrace_util.Texttable.render
+    ~headers:[ "Configuration"; "B-score"; "Concentration"; "Top suspect" ]
+    (List.map
+       (fun c ->
+         [ Config.name c.config;
+           Printf.sprintf "%.3f" c.bscore;
+           Printf.sprintf "%.2f" c.concentration;
+           Option.value ~default:"-" c.top_suspect ])
+       r.ranked)

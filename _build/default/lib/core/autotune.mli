@@ -1,0 +1,43 @@
+(** Automated parameter refinement (paper Fig. 1's iterative loop and
+    §II-F: the user "can alter the linkage method, the FCA attributes,
+    adjust the NLR constants and/or the front-end filters" when one
+    pass fails to localize a bug — inspired by the systematic search of
+    Zeller's delta debugging, which the paper cites as an influence).
+
+    [search] explores the configuration grid and ranks configurations
+    by how sharply they separate the faulty run from the normal one:
+    primarily by ascending B-score (most restructured clustering),
+    breaking ties by descending {e suspect concentration} (the top
+    suspect's share of the total JSM_D row change — a configuration
+    that points at one thread beats one that points everywhere). *)
+
+type candidate = {
+  config : Config.t;
+  bscore : float;
+  concentration : float;  (** ∈ [0, 1]; 0 when nothing changed *)
+  top_suspect : string option;
+}
+
+type result = {
+  best : candidate;        (** also first in [ranked] *)
+  ranked : candidate list;
+  evaluated : int;
+}
+
+(** [search ?filters ?attrs ?ks ?linkages ~normal ~faulty ()] —
+    exhaustive deterministic sweep of the cross product. Defaults:
+    MPI-all + everything filters; all six Table V attribute specs;
+    K ∈ {10}; ward linkage. Raises [Invalid_argument] if any axis is
+    empty. *)
+val search :
+  ?filters:Difftrace_filter.Filter.t list ->
+  ?attrs:Difftrace_fca.Attributes.spec list ->
+  ?ks:int list ->
+  ?linkages:Difftrace_cluster.Linkage.method_ list ->
+  normal:Difftrace_trace.Trace_set.t ->
+  faulty:Difftrace_trace.Trace_set.t ->
+  unit ->
+  result
+
+(** [render result] — a report table of the ranked candidates. *)
+val render : result -> string

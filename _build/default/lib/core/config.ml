@@ -1,0 +1,32 @@
+type t = {
+  filter : Difftrace_filter.Filter.t;
+  attrs : Difftrace_fca.Attributes.spec;
+  k : int;
+  repeats : int;
+  linkage : Difftrace_cluster.Linkage.method_;
+}
+
+let make ?filter ?attrs ?(k = 10) ?(repeats = 2) ?linkage () =
+  { filter =
+      (match filter with
+      | Some f -> f
+      | None -> Difftrace_filter.Filter.make [ Difftrace_filter.Filter.Mpi_all ]);
+    attrs =
+      (match attrs with
+      | Some a -> a
+      | None ->
+        { Difftrace_fca.Attributes.granularity = Difftrace_fca.Attributes.Single;
+          freq_mode = Difftrace_fca.Attributes.No_freq });
+    k;
+    repeats;
+    linkage =
+      (match linkage with Some l -> l | None -> Difftrace_cluster.Linkage.Ward) }
+
+let filter_name t =
+  Printf.sprintf "%s.K%d" (Difftrace_filter.Filter.name t.filter) t.k
+
+let attrs_name t = Difftrace_fca.Attributes.name t.attrs
+
+let name t =
+  Printf.sprintf "%s / %s / %s" (filter_name t) (attrs_name t)
+    (Difftrace_cluster.Linkage.method_name t.linkage)

@@ -1,0 +1,32 @@
+(** One point in DiffTrace's parameter space (the dashed box of the
+    paper's Fig. 1): front-end filter × FCA attributes × NLR constant ×
+    linkage method. Ranking tables sweep grids of these. *)
+
+type t = {
+  filter : Difftrace_filter.Filter.t;
+  attrs : Difftrace_fca.Attributes.spec;
+  k : int;            (** NLR constant K *)
+  repeats : int;      (** NLR loop-creation threshold *)
+  linkage : Difftrace_cluster.Linkage.method_;
+}
+
+(** [make ?filter ?attrs ?k ?repeats ?linkage ()] — defaults: MPI-all
+    filter, single/noFreq attributes, K=10, repeats=2, ward. *)
+val make :
+  ?filter:Difftrace_filter.Filter.t ->
+  ?attrs:Difftrace_fca.Attributes.spec ->
+  ?k:int ->
+  ?repeats:int ->
+  ?linkage:Difftrace_cluster.Linkage.method_ ->
+  unit ->
+  t
+
+(** [filter_name t] — e.g. ["11.mpiall.cust.K10"] (the paper's filter
+    column, K folded in). *)
+val filter_name : t -> string
+
+(** [attrs_name t] — e.g. ["sing.noFreq"]. *)
+val attrs_name : t -> string
+
+(** [name t] — full label including the linkage. *)
+val name : t -> string

@@ -1,0 +1,207 @@
+open Difftrace_trace
+module Filter = Difftrace_filter.Filter
+module Nlr = Difftrace_nlr.Nlr
+module Attributes = Difftrace_fca.Attributes
+module Context = Difftrace_fca.Context
+module Lattice = Difftrace_fca.Lattice
+module Jsm = Difftrace_cluster.Jsm
+module Linkage = Difftrace_cluster.Linkage
+module Bscore = Difftrace_cluster.Bscore
+module Diffnlr = Difftrace_diff.Diffnlr
+
+type analysis = {
+  config : Config.t;
+  symtab : Symtab.t;
+  loop_table : Nlr.Loop_table.t;
+  labels : string array;
+  nlrs : (Nlr.t * bool) array;
+  context : Context.t;
+  lattice : Lattice.t Lazy.t;
+  jsm : Jsm.t;
+}
+
+(* Re-intern a trace's call IDs into the shared symbol table so that
+   the normal and faulty runs (separate captures) agree on IDs — a
+   precondition for sharing the loop table across the two runs. *)
+let remap_calls ~shared ~own (tr : Trace.t) =
+  Array.map
+    (fun id -> Symtab.intern shared (Symtab.name own id))
+    (Trace.call_ids tr)
+
+let analyze ?symtab ?loop_table (config : Config.t) ts =
+  let shared = match symtab with Some s -> s | None -> Symtab.create () in
+  let table =
+    match loop_table with Some t -> t | None -> Nlr.Loop_table.create ()
+  in
+  let filtered = Filter.apply_set config.Config.filter ts in
+  let own = Trace_set.symtab filtered in
+  let traces = Trace_set.traces filtered in
+  (* single-threaded runs are labeled "5", hybrid runs "5.0"/"5.4",
+     matching the paper's tables *)
+  let short = Array.for_all (fun tr -> tr.Trace.tid = 0) traces in
+  let labels = Array.map (fun tr -> Trace.label ~short tr) traces in
+  let nlrs =
+    Array.map
+      (fun tr ->
+        let ids = remap_calls ~shared ~own tr in
+        ( Nlr.of_ids ~table ~k:config.Config.k ~repeats:config.Config.repeats ids,
+          tr.Trace.truncated ))
+      traces
+  in
+  let rows =
+    Array.to_list
+      (Array.mapi
+         (fun i (nlr, _) ->
+           (labels.(i), Attributes.of_nlr config.Config.attrs shared nlr))
+         nlrs)
+  in
+  let context = Context.of_attr_sets rows in
+  { config;
+    symtab = shared;
+    loop_table = table;
+    labels;
+    nlrs;
+    context;
+    lattice = lazy (Lattice.of_context_incremental context);
+    jsm = Jsm.of_context context }
+
+let nlr_of analysis label =
+  let found = ref None in
+  Array.iteri
+    (fun i l -> if l = label && !found = None then found := Some i)
+    analysis.labels;
+  match !found with
+  | Some i -> analysis.nlrs.(i)
+  | None -> raise Not_found
+
+type comparison = {
+  cmp_config : Config.t;
+  normal : analysis;
+  faulty : analysis;
+  jsm_d : Jsm.t;
+  bscore : float;
+  suspects : (string * float) array;
+  only_normal : string list;
+  only_faulty : string list;
+}
+
+let compare_runs (config : Config.t) ~normal ~faulty =
+  let symtab = Symtab.create () in
+  let loop_table = Nlr.Loop_table.create () in
+  let a_n = analyze ~symtab ~loop_table config normal in
+  let a_f = analyze ~symtab ~loop_table config faulty in
+  let jn, jf = Jsm.align a_n.jsm a_f.jsm in
+  let jsm_d = Jsm.diff a_n.jsm a_f.jsm in
+  let bscore =
+    if Jsm.size jsm_d < 2 then 1.0
+    else
+      let meth = config.Config.linkage in
+      let dn = Linkage.cluster meth (Jsm.to_distance jn).Jsm.m in
+      let df = Linkage.cluster meth (Jsm.to_distance jf).Jsm.m in
+      Bscore.score dn df
+  in
+  let suspects =
+    Array.mapi (fun i l -> (l, Jsm.row_change jsm_d i)) jsm_d.Jsm.labels
+  in
+  Array.sort (fun (_, a) (_, b) -> Float.compare b a) suspects;
+  let members m =
+    Array.to_list m |> List.map (fun l -> l)
+  in
+  let diff_only a b =
+    List.filter (fun l -> not (Array.exists (String.equal l) b)) (members a)
+  in
+  { cmp_config = config;
+    normal = a_n;
+    faulty = a_f;
+    jsm_d;
+    bscore;
+    suspects;
+    only_normal = diff_only a_n.labels a_f.labels;
+    only_faulty = diff_only a_f.labels a_n.labels }
+
+let split_label l =
+  match String.split_on_char '.' l with
+  | [ p ] -> (int_of_string p, 0)
+  | [ p; t ] -> (int_of_string p, int_of_string t)
+  | _ -> invalid_arg ("Pipeline: bad trace label " ^ l)
+
+let top_processes ?(limit = 6) c =
+  let scores = Hashtbl.create 16 in
+  Array.iter
+    (fun (l, s) ->
+      let p, _ = split_label l in
+      let cur = Option.value ~default:0.0 (Hashtbl.find_opt scores p) in
+      if s > cur then Hashtbl.replace scores p s)
+    c.suspects;
+  Hashtbl.fold (fun p s acc -> (p, s) :: acc) scores []
+  |> List.filter (fun (_, s) -> s > 1e-9)
+  |> List.sort (fun (pa, a) (pb, b) ->
+         match Float.compare b a with 0 -> Int.compare pa pb | x -> x)
+  |> List.filteri (fun i _ -> i < limit)
+  |> List.map fst
+
+let top_threads ?(limit = 6) c =
+  Array.to_list c.suspects
+  |> List.filter (fun (l, s) ->
+         let _, t = split_label l in
+         t >= 1 && s > 1e-9)
+  |> List.filteri (fun i _ -> i < limit)
+  |> List.map fst
+
+let diffnlr c label =
+  let n = nlr_of c.normal label and f = nlr_of c.faulty label in
+  Diffnlr.make c.normal.symtab ~normal:n ~faulty:f
+
+type triage_entry = { tr_label : string; tr_score : float; tr_truncated : bool }
+
+let triage analysis =
+  let j = analysis.jsm in
+  let n = Jsm.size j in
+  let entries =
+    Array.mapi
+      (fun i label ->
+        let sum = ref 0.0 in
+        for k = 0 to n - 1 do
+          if k <> i then sum := !sum +. j.Jsm.m.(i).(k)
+        done;
+        let mean = if n <= 1 then 1.0 else !sum /. float_of_int (n - 1) in
+        { tr_label = label;
+          tr_score = 1.0 -. mean;
+          tr_truncated = snd analysis.nlrs.(i) })
+      j.Jsm.labels
+  in
+  Array.sort
+    (fun a b ->
+      match Float.compare b.tr_score a.tr_score with
+      | 0 -> Bool.compare b.tr_truncated a.tr_truncated
+      | c -> c)
+    entries;
+  entries
+
+let render_triage entries =
+  Difftrace_util.Texttable.render
+    ~headers:[ "Trace"; "Outlier score"; "Truncated" ]
+    (Array.to_list entries
+    |> List.map (fun e ->
+           [ e.tr_label;
+             Printf.sprintf "%.3f" e.tr_score;
+             (if e.tr_truncated then "yes" else "") ]))
+
+let dendrogram analysis =
+  let dist = (Jsm.to_distance analysis.jsm).Jsm.m in
+  if Array.length dist < 2 then "(fewer than two traces)\n"
+  else
+    let t = Linkage.cluster analysis.config.Config.linkage dist in
+    Difftrace_cluster.Dendrogram.render ~labels:analysis.jsm.Jsm.labels t
+
+let raw_calls analysis label =
+  let nlr, _ = nlr_of analysis label in
+  Array.to_list
+    (Array.map (Symtab.name analysis.symtab)
+       (Nlr.expand ~table:analysis.loop_table nlr))
+
+let phasediff c label =
+  Difftrace_diff.Phasediff.compare
+    ~normal:(raw_calls c.normal label)
+    ~faulty:(raw_calls c.faulty label)
+    ()

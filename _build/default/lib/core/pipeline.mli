@@ -1,0 +1,98 @@
+(** The DiffTrace pipeline (paper Fig. 1).
+
+    [analyze] takes one execution's decoded traces through
+    decompress → filter → NLR → FCA attributes → formal context →
+    concept lattice → JSM. [compare_runs] runs it for a normal and a
+    faulty execution against a *shared* symbol table and loop table (so
+    L-ids mean the same thing in both), then computes JSM_D, the
+    B-score between the two hierarchical clusterings, and the
+    suspicious-trace ranking. *)
+
+type analysis = {
+  config : Config.t;
+  symtab : Difftrace_trace.Symtab.t;  (** shared, unified symbol table *)
+  loop_table : Difftrace_nlr.Nlr.Loop_table.t;  (** shared loop table *)
+  labels : string array;
+  nlrs : (Difftrace_nlr.Nlr.t * bool) array;
+      (** per trace: summary + truncation flag, indexed like [labels] *)
+  context : Difftrace_fca.Context.t;
+  lattice : Difftrace_fca.Lattice.t Lazy.t;
+      (** built incrementally (Godin) on demand *)
+  jsm : Difftrace_cluster.Jsm.t;
+}
+
+(** [analyze ?symtab ?loop_table config ts] — fresh shared tables are
+    created when not supplied. *)
+val analyze :
+  ?symtab:Difftrace_trace.Symtab.t ->
+  ?loop_table:Difftrace_nlr.Nlr.Loop_table.t ->
+  Config.t ->
+  Difftrace_trace.Trace_set.t ->
+  analysis
+
+(** [nlr_of analysis label] — that trace's summary and truncation flag.
+    Raises [Not_found] for unknown labels. *)
+val nlr_of : analysis -> string -> Difftrace_nlr.Nlr.t * bool
+
+type comparison = {
+  cmp_config : Config.t;
+  normal : analysis;
+  faulty : analysis;
+  jsm_d : Difftrace_cluster.Jsm.t;
+  bscore : float;
+      (** Fowlkes–Mallows agreement of the two clusterings; low =
+          the fault restructured the similarity relation *)
+  suspects : (string * float) array;
+      (** every common trace with its JSM_D row change, descending *)
+  only_normal : string list;  (** labels present only in the normal run *)
+  only_faulty : string list;
+}
+
+val compare_runs :
+  Config.t ->
+  normal:Difftrace_trace.Trace_set.t ->
+  faulty:Difftrace_trace.Trace_set.t ->
+  comparison
+
+(** [top_processes ?limit c] — pids ranked by their most-changed
+    master/thread row (descending), zero-change pids dropped. *)
+val top_processes : ?limit:int -> comparison -> int list
+
+(** [top_threads ?limit c] — worker-thread labels ("p.t", t ≥ 1)
+    ranked by row change, zero-change threads dropped. *)
+val top_threads : ?limit:int -> comparison -> string list
+
+(** [diffnlr c label] — the diffNLR of that thread between the two
+    runs (paper Figs. 5–7). Raises [Not_found] for unknown labels. *)
+val diffnlr : comparison -> string -> Difftrace_diff.Diffnlr.t
+
+(** {2 Single-run triage}
+
+    §II-A: "many types of faults may be apparent just by analyzing
+    JSM_faulty: for instance, processes whose execution got truncated
+    will look highly dissimilar to those that terminated normally."
+    Triage ranks the traces of a {e single} run by how much they stand
+    out from the rest — no reference run required. *)
+
+type triage_entry = {
+  tr_label : string;
+  tr_score : float;  (** 1 − mean similarity to every other trace *)
+  tr_truncated : bool;
+}
+
+(** [triage a] — entries sorted by descending outlier score;
+    truncated traces break score ties first. *)
+val triage : analysis -> triage_entry array
+
+(** [render_triage entries] — a small report table. *)
+val render_triage : triage_entry array -> string
+
+(** [dendrogram a] — ASCII dendrogram of the analysis's hierarchical
+    clustering (1 − JSM distances, the analysis's linkage method). *)
+val dendrogram : analysis -> string
+
+(** [phasediff c label] — phase-aware diff of that thread's filtered
+    call sequences (phases cut at MPI collectives; see
+    {!Difftrace_diff.Phasediff}). Raises [Not_found] for unknown
+    labels. *)
+val phasediff : comparison -> string -> Difftrace_diff.Phasediff.t

@@ -1,0 +1,49 @@
+module Filter = Difftrace_filter.Filter
+module Attributes = Difftrace_fca.Attributes
+
+type row = {
+  config : Config.t;
+  bscore : float;
+  top_processes : int list;
+  top_threads : string list;
+}
+
+let grid ~filters ?attrs ?(k = 10) ?linkage () =
+  let attrs = match attrs with Some a -> a | None -> Attributes.all in
+  List.concat_map
+    (fun f ->
+      List.map (fun a -> Config.make ~filter:f ~attrs:a ~k ?linkage ()) attrs)
+    filters
+
+let sweep configs ~normal ~faulty =
+  let rows =
+    List.map
+      (fun config ->
+        let c = Pipeline.compare_runs config ~normal ~faulty in
+        { config;
+          bscore = c.Pipeline.bscore;
+          top_processes = Pipeline.top_processes c;
+          top_threads = Pipeline.top_threads c })
+      configs
+  in
+  List.stable_sort (fun a b -> Float.compare a.bscore b.bscore) rows
+
+let render ?max_rows rows =
+  let rows =
+    match max_rows with
+    | None -> rows
+    | Some n -> List.filteri (fun i _ -> i < n) rows
+  in
+  let cells =
+    List.map
+      (fun r ->
+        [ Config.filter_name r.config;
+          Config.attrs_name r.config;
+          Printf.sprintf "%.3f" r.bscore;
+          String.concat ", " (List.map string_of_int r.top_processes);
+          String.concat ", " r.top_threads ])
+      rows
+  in
+  Difftrace_util.Texttable.render
+    ~headers:[ "Filter"; "Attributes"; "B-score"; "Top Processes"; "Top Threads" ]
+    cells

@@ -1,0 +1,36 @@
+(** Ranking tables (paper Tables VI–IX).
+
+    Sweeps a grid of configurations over a (normal, faulty) run pair;
+    each row reports the configuration, the B-score of the two
+    clusterings, and the top suspicious processes / threads. Rows are
+    sorted by ascending B-score — the configurations under which the
+    fault restructured the execution most float to the top, which is
+    how the paper's tables are ordered. *)
+
+type row = {
+  config : Config.t;
+  bscore : float;
+  top_processes : int list;
+  top_threads : string list;
+}
+
+(** [grid ~filters ?attrs ?k ?linkage ()] — the cross product of
+    [filters] × [attrs] (default: all six Table V specs). *)
+val grid :
+  filters:Difftrace_filter.Filter.t list ->
+  ?attrs:Difftrace_fca.Attributes.spec list ->
+  ?k:int ->
+  ?linkage:Difftrace_cluster.Linkage.method_ ->
+  unit ->
+  Config.t list
+
+(** [sweep configs ~normal ~faulty] — one row per configuration,
+    sorted by ascending B-score (ties keep grid order). *)
+val sweep :
+  Config.t list ->
+  normal:Difftrace_trace.Trace_set.t ->
+  faulty:Difftrace_trace.Trace_set.t ->
+  row list
+
+(** [render ?max_rows rows] — the paper-style four-column table. *)
+val render : ?max_rows:int -> row list -> string

@@ -1,0 +1,22 @@
+(** One-shot markdown debugging reports.
+
+    Bundles the whole DiffTrace loop for a (normal, faulty) run pair
+    into a single document: runtime diagnostics, configuration search,
+    the comparison under the best configuration, the top suspect's
+    diffNLR, phase analysis, calling-context deltas and the faulty
+    run's stack tree — the artifact a debugging engineer would attach
+    to a ticket. *)
+
+type t = {
+  markdown : string;
+  best_config : Config.t;
+  top_suspect : string option;
+}
+
+(** [generate ~fault_label ~normal ~faulty] — [fault_label] is shown in
+    the header; the outcomes provide traces plus diagnostics. *)
+val generate :
+  fault_label:string ->
+  normal:Difftrace_simulator.Runtime.outcome ->
+  faulty:Difftrace_simulator.Runtime.outcome ->
+  t

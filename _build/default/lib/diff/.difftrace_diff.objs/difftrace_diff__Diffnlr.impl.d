@@ -1,0 +1,1 @@
+lib/diff/diffnlr.ml: Array Buffer Difftrace_nlr List Myers Nlr Printf String

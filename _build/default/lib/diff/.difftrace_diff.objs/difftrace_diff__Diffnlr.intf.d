@@ -1,0 +1,1 @@
+lib/diff/diffnlr.mli: Difftrace_nlr Difftrace_trace Myers

@@ -1,0 +1,1 @@
+lib/diff/myers.mli:

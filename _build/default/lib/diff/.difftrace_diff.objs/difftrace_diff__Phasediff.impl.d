@@ -1,0 +1,1 @@
+lib/diff/phasediff.ml: Array Buffer Diffnlr Difftrace_util List Myers Option Printf String

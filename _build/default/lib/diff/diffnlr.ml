@@ -1,0 +1,91 @@
+open Difftrace_nlr
+
+type t = {
+  blocks : string Myers.block list;
+  normal_truncated : bool;
+  faulty_truncated : bool;
+}
+
+let of_strings ~normal ~faulty =
+  let a = Array.of_list normal and b = Array.of_list faulty in
+  { blocks = Myers.blocks (Myers.diff ~equal:String.equal a b);
+    normal_truncated = false;
+    faulty_truncated = false }
+
+let make symtab ~normal:(nlr_n, trunc_n) ~faulty:(nlr_f, trunc_f) =
+  let strings nlr = Array.of_list (Nlr.to_strings symtab nlr) in
+  let a = strings nlr_n and b = strings nlr_f in
+  { blocks = Myers.blocks (Myers.diff ~equal:String.equal a b);
+    normal_truncated = trunc_n;
+    faulty_truncated = trunc_f }
+
+let common_length t =
+  List.fold_left
+    (fun acc -> function
+      | Myers.Common l -> acc + List.length l
+      | Myers.Changed _ -> acc)
+    0 t.blocks
+
+let changed_length t =
+  List.fold_left
+    (fun acc -> function
+      | Myers.Common _ -> acc
+      | Myers.Changed { del; ins } -> acc + List.length del + List.length ins)
+    0 t.blocks
+
+let render ?(title = "diffNLR") t =
+  let width =
+    List.fold_left
+      (fun acc b ->
+        let lens =
+          match b with
+          | Myers.Common l -> List.map String.length l
+          | Myers.Changed { del; ins } ->
+            List.map String.length del @ List.map String.length ins
+        in
+        List.fold_left max acc lens)
+      12 t.blocks
+  in
+  let pad s = s ^ String.make (max 0 (width - String.length s)) ' ' in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "=== %s ===\n" title);
+  Buffer.add_string buf
+    (Printf.sprintf "    %s | %s\n" (pad "normal") (pad "faulty"));
+  let rule () =
+    Buffer.add_string buf
+      (Printf.sprintf "    %s-+-%s\n" (String.make width '-') (String.make width '-'))
+  in
+  rule ();
+  List.iter
+    (fun block ->
+      (match block with
+      | Myers.Common lines ->
+        List.iter
+          (fun l -> Buffer.add_string buf (Printf.sprintf "  = %s | %s\n" (pad l) (pad l)))
+          lines
+      | Myers.Changed { del; ins } ->
+        let rec zip d i =
+          match (d, i) with
+          | [], [] -> ()
+          | dh :: dt, [] ->
+            Buffer.add_string buf (Printf.sprintf "  < %s | %s\n" (pad dh) (pad ""));
+            zip dt []
+          | [], ih :: it ->
+            Buffer.add_string buf (Printf.sprintf "  > %s | %s\n" (pad "") (pad ih));
+            zip [] it
+          | dh :: dt, ih :: it ->
+            Buffer.add_string buf (Printf.sprintf "  ~ %s | %s\n" (pad dh) (pad ih));
+            zip dt it
+        in
+        zip del ins);
+      rule ())
+    t.blocks;
+  (match (t.normal_truncated, t.faulty_truncated) with
+  | false, true ->
+    Buffer.add_string buf
+      "    faulty trace is TRUNCATED: the thread hung inside its last call\n"
+  | true, false ->
+    Buffer.add_string buf "    normal trace is TRUNCATED (unexpected)\n"
+  | true, true -> Buffer.add_string buf "    both traces are TRUNCATED\n"
+  | false, false -> ());
+  Buffer.contents buf

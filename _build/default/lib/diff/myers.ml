@@ -1,0 +1,132 @@
+type 'a op = Keep of 'a | Delete of 'a | Insert of 'a
+
+(* Greedy O(ND) with stored per-round V arrays for backtracking, as in
+   Myers' paper §4. *)
+let diff ~equal a b =
+  let n = Array.length a and m = Array.length b in
+  if n = 0 then List.init m (fun j -> Insert b.(j))
+  else if m = 0 then List.init n (fun i -> Delete a.(i))
+  else begin
+    let max_d = n + m in
+    let offset = max_d in
+    let v = Array.make ((2 * max_d) + 1) 0 in
+    let trace = ref [] in
+    let found = ref None in
+    let d = ref 0 in
+    while !found = None && !d <= max_d do
+      trace := Array.copy v :: !trace;
+      let dd = !d in
+      let k = ref (-dd) in
+      while !found = None && !k <= dd do
+        let kk = !k in
+        let x =
+          if kk = -dd || (kk <> dd && v.(offset + kk - 1) < v.(offset + kk + 1))
+          then v.(offset + kk + 1)
+          else v.(offset + kk - 1) + 1
+        in
+        let x = ref x in
+        let y () = !x - kk in
+        while !x < n && y () < m && equal a.(!x) b.(y ()) do
+          incr x
+        done;
+        v.(offset + kk) <- !x;
+        if !x >= n && y () >= m then found := Some dd;
+        k := !k + 2
+      done;
+      incr d
+    done;
+    let d_final = match !found with Some d -> d | None -> assert false in
+    (* Backtrack using the saved V arrays (most recent first). *)
+    let traces = Array.of_list (List.rev !trace) in
+    let ops = ref [] in
+    let x = ref n and y = ref m in
+    for d = d_final downto 1 do
+      let v = traces.(d) in
+      (* v here is the V array *at the start* of round d, i.e. after
+         round d-1: index it with the predecessor k. *)
+      let k = !x - !y in
+      let prev_k =
+        if k = -d || (k <> d && v.(offset + k - 1) < v.(offset + k + 1)) then
+          k + 1
+        else k - 1
+      in
+      let prev_x = v.(offset + prev_k) in
+      let prev_y = prev_x - prev_k in
+      (* snake *)
+      while !x > prev_x && !y > prev_y do
+        decr x;
+        decr y;
+        ops := Keep a.(!x) :: !ops
+      done;
+      if !x = prev_x then begin
+        (* came from k+1: an insertion of b.(prev_y) *)
+        decr y;
+        ops := Insert b.(!y) :: !ops
+      end
+      else begin
+        decr x;
+        ops := Delete a.(!x) :: !ops
+      end
+    done;
+    (* leading snake of round 0 *)
+    while !x > 0 && !y > 0 do
+      decr x;
+      decr y;
+      ops := Keep a.(!x) :: !ops
+    done;
+    assert (!x = 0 && !y = 0);
+    !ops
+  end
+
+let edit_distance ~equal a b =
+  List.fold_left
+    (fun acc -> function Keep _ -> acc | Delete _ | Insert _ -> acc + 1)
+    0 (diff ~equal a b)
+
+let apply script =
+  let a = ref [] and b = ref [] in
+  List.iter
+    (function
+      | Keep x ->
+        a := x :: !a;
+        b := x :: !b
+      | Delete x -> a := x :: !a
+      | Insert x -> b := x :: !b)
+    script;
+  (List.rev !a, List.rev !b)
+
+type 'a block =
+  | Common of 'a list
+  | Changed of { del : 'a list; ins : 'a list }
+
+let blocks script =
+  let out = ref [] in
+  let commons = ref [] and dels = ref [] and inss = ref [] in
+  let flush_changed () =
+    if !dels <> [] || !inss <> [] then begin
+      out := Changed { del = List.rev !dels; ins = List.rev !inss } :: !out;
+      dels := [];
+      inss := []
+    end
+  in
+  let flush_common () =
+    if !commons <> [] then begin
+      out := Common (List.rev !commons) :: !out;
+      commons := []
+    end
+  in
+  List.iter
+    (function
+      | Keep x ->
+        flush_changed ();
+        commons := x :: !commons
+      | Delete x ->
+        flush_common ();
+        dels := x :: !dels
+      | Insert x ->
+        flush_common ();
+        inss := x :: !inss)
+    script;
+  flush_changed ();
+  flush_common ();
+  List.rev !out

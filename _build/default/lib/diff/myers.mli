@@ -1,0 +1,30 @@
+(** Myers' O(ND) difference algorithm (paper ref [18]) — the engine
+    under diffNLR, applied to totally-ordered trace/NLR sequences. *)
+
+type 'a op =
+  | Keep of 'a    (** present in both sequences *)
+  | Delete of 'a  (** only in the first (normal) sequence *)
+  | Insert of 'a  (** only in the second (faulty) sequence *)
+
+(** [diff ~equal a b] is a minimal edit script turning [a] into [b];
+    [Keep]s and [Delete]s appear in [a]'s order, [Insert]s in [b]'s. *)
+val diff : equal:('a -> 'a -> bool) -> 'a array -> 'a array -> 'a op list
+
+(** [edit_distance ~equal a b] is the number of non-[Keep] operations
+    (the D in O(ND)). *)
+val edit_distance : equal:('a -> 'a -> bool) -> 'a array -> 'a array -> int
+
+(** [apply script] replays the script, returning [(a, b)] — the two
+    sequences it encodes. [diff] then [apply] is the identity pair
+    (property-tested). *)
+val apply : 'a op list -> 'a list * 'a list
+
+(** Contiguous runs of the script, for block-structured display. *)
+type 'a block =
+  | Common of 'a list  (** the "main stem" *)
+  | Changed of { del : 'a list; ins : 'a list }
+      (** a differing region: [del] from the first sequence, [ins]
+          from the second (either may be empty) *)
+
+(** [blocks script] groups the script into maximal blocks. *)
+val blocks : 'a op list -> 'a block list

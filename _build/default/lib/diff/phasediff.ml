@@ -1,0 +1,73 @@
+let default_markers name =
+  List.mem name
+    [ "MPI_Barrier"; "MPI_Allreduce"; "MPI_Reduce"; "MPI_Bcast";
+      "MPI_Allgather"; "MPI_Gather"; "MPI_Scatter"; "MPI_Alltoall";
+      "MPI_Scan"; "MPI_Comm_split" ]
+
+let split ~markers calls =
+  let phases = ref [] and current = ref [] in
+  List.iter
+    (fun c ->
+      current := c :: !current;
+      if markers c then begin
+        phases := List.rev !current :: !phases;
+        current := []
+      end)
+    calls;
+  if !current <> [] then phases := List.rev !current :: !phases;
+  List.rev !phases
+
+type phase_report = {
+  index : int;
+  normal_phase : string list;
+  faulty_phase : string list;
+  distance : int;
+}
+
+type t = {
+  phases : phase_report list;
+  first_divergent : int option;
+  total_phases : int;
+}
+
+let compare ?(markers = default_markers) ~normal ~faulty () =
+  let pn = split ~markers normal and pf = split ~markers faulty in
+  let total = max (List.length pn) (List.length pf) in
+  let nth l i = Option.value ~default:[] (List.nth_opt l i) in
+  let phases =
+    List.init total (fun i ->
+        let a = nth pn i and b = nth pf i in
+        { index = i;
+          normal_phase = a;
+          faulty_phase = b;
+          distance =
+            Myers.edit_distance ~equal:String.equal (Array.of_list a)
+              (Array.of_list b) })
+  in
+  { phases;
+    first_divergent =
+      List.find_opt (fun p -> p.distance > 0) phases |> Option.map (fun p -> p.index);
+    total_phases = total }
+
+let render t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Difftrace_util.Texttable.render
+       ~headers:[ "Phase"; "Normal calls"; "Faulty calls"; "Edit distance" ]
+       (List.map
+          (fun p ->
+            [ string_of_int p.index;
+              string_of_int (List.length p.normal_phase);
+              string_of_int (List.length p.faulty_phase);
+              string_of_int p.distance ])
+          t.phases));
+  (match t.first_divergent with
+  | None -> Buffer.add_string buf "phases are identical\n"
+  | Some i ->
+    Buffer.add_string buf (Printf.sprintf "first divergent phase: %d\n" i);
+    let p = List.nth t.phases i in
+    Buffer.add_string buf
+      (Diffnlr.render
+         ~title:(Printf.sprintf "phase %d" i)
+         (Diffnlr.of_strings ~normal:p.normal_phase ~faulty:p.faulty_phase)));
+  Buffer.contents buf

@@ -1,0 +1,47 @@
+(** Phase-aware trace diffing.
+
+    Long whole-program traces blur a Myers diff: a single early
+    divergence shifts everything after it. HPC programs, however, are
+    punctuated by synchronization points (collectives), which cut an
+    execution into {e phases} that can be diffed independently — one of
+    the extensible "vantage points" the paper's §I calls for. This
+    module splits two call sequences at marker calls, pairs the phases
+    positionally, diffs each pair, and reports where behaviour first
+    diverged. *)
+
+(** [default_markers name] — true for MPI collective operations
+    (barrier, reduce, allreduce, bcast, gather, scatter, alltoall,
+    scan, comm split). *)
+val default_markers : string -> bool
+
+(** [split ~markers calls] — the phases of a call sequence; each marker
+    call closes its phase (and is included in it). A trailing segment
+    without a marker forms the final phase. Empty input → no phases. *)
+val split : markers:(string -> bool) -> string list -> string list list
+
+type phase_report = {
+  index : int;
+  normal_phase : string list;
+  faulty_phase : string list;
+  distance : int;  (** Myers edit distance between the two phases *)
+}
+
+type t = {
+  phases : phase_report list;  (** every phase pair, in order *)
+  first_divergent : int option;
+      (** index of the first phase with nonzero distance *)
+  total_phases : int;
+}
+
+(** [compare ~markers ~normal ~faulty] — positional phase pairing;
+    unmatched trailing phases diff against the empty sequence. *)
+val compare :
+  ?markers:(string -> bool) ->
+  normal:string list ->
+  faulty:string list ->
+  unit ->
+  t
+
+(** [render t] — a table of per-phase distances plus the diffNLR-style
+    rendering of the first divergent phase (if any). *)
+val render : t -> string

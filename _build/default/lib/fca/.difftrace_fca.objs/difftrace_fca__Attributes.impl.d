@@ -1,0 +1,1 @@
+lib/fca/attributes.ml: Array Difftrace_nlr Float Hashtbl List Nlr Option Printf String

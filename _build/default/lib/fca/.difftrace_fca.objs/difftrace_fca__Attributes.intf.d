@@ -1,0 +1,1 @@
+lib/fca/attributes.mli: Difftrace_nlr Difftrace_trace

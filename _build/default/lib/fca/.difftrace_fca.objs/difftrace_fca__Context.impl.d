@@ -1,0 +1,1 @@
+lib/fca/context.ml: Array Bitset Difftrace_util Hashtbl List Texttable Vec

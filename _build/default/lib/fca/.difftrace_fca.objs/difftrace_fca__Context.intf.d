@@ -1,0 +1,1 @@
+lib/fca/context.mli: Difftrace_util

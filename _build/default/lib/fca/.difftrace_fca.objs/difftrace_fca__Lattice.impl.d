@@ -1,0 +1,1 @@
+lib/fca/lattice.ml: Array Bitset Buffer Context Difftrace_util Hashtbl Int List Printf String Vec

@@ -1,0 +1,1 @@
+lib/fca/lattice.mli: Context Difftrace_util

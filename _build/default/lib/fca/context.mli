@@ -1,0 +1,46 @@
+(** Formal contexts K = (G, M, I) — paper §II-E, Table IV.
+
+    Objects are traces, attributes are mined strings; the incidence
+    relation is stored as one attribute bitset per object, which makes
+    the Galois derivations ([common_attrs]/[common_objects]) cheap word
+    operations. *)
+
+type t
+
+(** [of_attr_sets rows] builds a context from
+    [(object_label, attributes)] pairs. The attribute universe is the
+    union, in first-seen order. *)
+val of_attr_sets : (string * string list) list -> t
+
+val n_objects : t -> int
+val n_attrs : t -> int
+
+(** [object_label t i] / [attr_name t j]. *)
+val object_label : t -> int -> string
+
+val attr_name : t -> int -> string
+
+(** [has t i j] — does object [i] carry attribute [j]? *)
+val has : t -> int -> int -> bool
+
+(** [object_attrs t i] — the intent of the single object [i] (shared,
+    do not mutate). *)
+val object_attrs : t -> int -> Difftrace_util.Bitset.t
+
+(** [common_attrs t objs] — attributes common to every object in
+    [objs]; the full attribute set when [objs] is empty. *)
+val common_attrs : t -> Difftrace_util.Bitset.t -> Difftrace_util.Bitset.t
+
+(** [common_objects t attrs] — objects carrying every attribute in
+    [attrs]; all objects when [attrs] is empty. *)
+val common_objects : t -> Difftrace_util.Bitset.t -> Difftrace_util.Bitset.t
+
+(** [closure t attrs] = [common_attrs (common_objects attrs)]. *)
+val closure : t -> Difftrace_util.Bitset.t -> Difftrace_util.Bitset.t
+
+(** [jaccard t i j] — Jaccard similarity of the two objects' attribute
+    sets (1.0 when both are empty). *)
+val jaccard : t -> int -> int -> float
+
+(** [to_table t] — the cross table (Table IV style). *)
+val to_table : t -> string

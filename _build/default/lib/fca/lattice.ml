@@ -1,0 +1,271 @@
+open Difftrace_util
+
+type concept = { extent : Bitset.t; intent : Bitset.t }
+
+type t = { concepts : concept array }
+
+let canonical arr =
+  let cmp a b =
+    match Int.compare (Bitset.cardinal b.extent) (Bitset.cardinal a.extent) with
+    | 0 -> Bitset.compare a.extent b.extent
+    | c -> c
+  in
+  let arr = Array.copy arr in
+  Array.sort cmp arr;
+  arr
+
+let concepts t = t.concepts
+let size t = Array.length t.concepts
+
+(* --- Ganter's NextClosure ------------------------------------------ *)
+
+let of_context_batch ctx =
+  let m = Context.n_attrs ctx in
+  let intents = ref [] in
+  let a = ref (Context.closure ctx (Bitset.create m)) in
+  let continue_enum = ref true in
+  intents := [ !a ];
+  if Bitset.cardinal !a = m then continue_enum := false;
+  while !continue_enum do
+    (* next_closure: scan attributes from largest to smallest *)
+    let next = ref None in
+    let i = ref (m - 1) in
+    while !next = None && !i >= 0 do
+      let cur = !a in
+      if Bitset.mem cur !i then a := Bitset.diff cur (Bitset.singleton m !i)
+      else begin
+        let cand = Bitset.copy !a in
+        Bitset.add cand !i;
+        let b = Context.closure ctx cand in
+        (* lectic validity: B \ A has no attribute smaller than i *)
+        let fresh = Bitset.diff b !a in
+        let ok = ref true in
+        Bitset.iter (fun j -> if j < !i then ok := false) fresh;
+        if !ok then next := Some b
+      end;
+      decr i
+    done;
+    match !next with
+    | None -> continue_enum := false
+    | Some b ->
+      intents := b :: !intents;
+      a := b;
+      if Bitset.cardinal b = m then continue_enum := false
+  done;
+  (* A context can yield the full intent both as closure(∅) and at the
+     end; dedupe defensively. *)
+  let seen = Hashtbl.create 64 in
+  let uniq =
+    List.filter
+      (fun intent ->
+        let key = Bitset.to_list intent in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      !intents
+  in
+  let concepts =
+    List.map
+      (fun intent -> { extent = Context.common_objects ctx intent; intent })
+      uniq
+  in
+  { concepts = canonical (Array.of_list concepts) }
+
+(* --- Godin's incremental algorithm --------------------------------- *)
+
+let of_context_incremental ctx =
+  let m = Context.n_attrs ctx in
+  let n = Context.n_objects ctx in
+  (* live concept store; intents are unique *)
+  let store : concept Vec.t = Vec.create () in
+  let intent_index : (int list, int) Hashtbl.t = Hashtbl.create 64 in
+  let add_concept c =
+    let key = Bitset.to_list c.intent in
+    if not (Hashtbl.mem intent_index key) then begin
+      Hashtbl.add intent_index key (Vec.length store);
+      Vec.push store c
+    end
+  in
+  (* virtual bottom: empty extent, full intent *)
+  add_concept { extent = Bitset.create n; intent = Bitset.full m };
+  for g = 0 to n - 1 do
+    let ag = Context.object_attrs ctx g in
+    (* candidate new intents: intent(C) ∩ A(g) for every concept C,
+       with extent = union of extents of concepts whose intent ⊇ J
+       (computed before g is added anywhere), plus g itself *)
+    let candidates : (int list, Bitset.t * Bitset.t) Hashtbl.t =
+      Hashtbl.create 32
+    in
+    Vec.iter
+      (fun c ->
+        let j = Bitset.inter c.intent ag in
+        let key = Bitset.to_list j in
+        if not (Hashtbl.mem intent_index key) then
+          match Hashtbl.find_opt candidates key with
+          | Some _ -> ()
+          | None ->
+            (* extent(J) = ∪ extents of concepts whose intent ⊇ J *)
+            let ext = Bitset.create n in
+            Vec.iter
+              (fun c' ->
+                if Bitset.subset j c'.intent then Bitset.add_all ext c'.extent)
+              store;
+            Hashtbl.add candidates key (ext, j))
+      store;
+    (* update existing concepts whose intent is carried by g *)
+    Vec.iteri
+      (fun idx c ->
+        if Bitset.subset c.intent ag then
+          Vec.set store idx { c with extent = (let e = Bitset.copy c.extent in
+                                               Bitset.add e g;
+                                               e) })
+      store;
+    (* add the new concepts *)
+    Hashtbl.iter
+      (fun _ (ext, j) ->
+        let e = Bitset.copy ext in
+        Bitset.add e g;
+        add_concept { extent = e; intent = j })
+      candidates
+  done;
+  (* Drop the virtual bottom if it is not a real concept: the bottom
+     concept's intent must equal closure of its extent. For extent ∅
+     the real intent is the full attribute set only if no object
+     carries it; when some object has all attributes the (∅, M)
+     seed has been absorbed (extent grew). Remove any concept whose
+     intent ≠ closure(extent) — only the seed can violate this. *)
+  let real =
+    Vec.to_array store
+    |> Array.to_list
+    |> List.filter (fun c ->
+           Bitset.equal (Context.common_attrs ctx c.extent) c.intent)
+  in
+  { concepts = canonical (Array.of_list real) }
+
+(* --- queries -------------------------------------------------------- *)
+
+let equal a b =
+  size a = size b
+  && Array.for_all2
+       (fun c1 c2 -> Bitset.equal c1.extent c2.extent && Bitset.equal c1.intent c2.intent)
+       a.concepts b.concepts
+
+let top t =
+  if size t = 0 then invalid_arg "Lattice.top: empty lattice";
+  t.concepts.(0)
+
+let bottom t =
+  if size t = 0 then invalid_arg "Lattice.bottom: empty lattice";
+  t.concepts.(size t - 1)
+
+let object_concept t i =
+  (* most specific concept containing object i: minimal extent *)
+  let best = ref None in
+  Array.iter
+    (fun c ->
+      if Bitset.mem c.extent i then
+        match !best with
+        | None -> best := Some c
+        | Some b ->
+          if Bitset.cardinal c.extent < Bitset.cardinal b.extent then best := Some c)
+    t.concepts;
+  match !best with
+  | Some c -> c
+  | None -> invalid_arg "Lattice.object_concept: object in no concept"
+
+let covers t =
+  let n = size t in
+  let lt i j =
+    (* concept i strictly below j in the order: extent(i) ⊂ extent(j) *)
+    Bitset.subset t.concepts.(i).extent t.concepts.(j).extent
+    && not (Bitset.equal t.concepts.(i).extent t.concepts.(j).extent)
+  in
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if lt i j then begin
+        let between = ref false in
+        for k = 0 to n - 1 do
+          if k <> i && k <> j && lt i k && lt k j then between := true
+        done;
+        if not !between then edges := (i, j) :: !edges
+      end
+    done
+  done;
+  List.rev !edges
+
+let to_string ctx t =
+  let buf = Buffer.create 1024 in
+  let attr_owner = Hashtbl.create 64 in
+  (* reduced labeling: each attribute belongs to the concept with the
+     largest extent whose intent contains it *)
+  for a = 0 to Context.n_attrs ctx - 1 do
+    let best = ref (-1) in
+    Array.iteri
+      (fun i c ->
+        if Bitset.mem c.intent a && !best = -1 then best := i)
+      t.concepts;
+    if !best >= 0 then
+      Hashtbl.add attr_owner !best (Context.attr_name ctx a)
+  done;
+  Array.iteri
+    (fun i c ->
+      let objs =
+        Bitset.fold (fun o acc -> Context.object_label ctx o :: acc) c.extent []
+        |> List.rev
+      in
+      let own_attrs = List.rev (Hashtbl.find_all attr_owner i) in
+      Buffer.add_string buf
+        (Printf.sprintf "#%d extent={%s}%s\n" i (String.concat ", " objs)
+           (if own_attrs = [] then ""
+            else " introduces {" ^ String.concat ", " own_attrs ^ "}")))
+    t.concepts;
+  List.iter
+    (fun (child, parent) ->
+      Buffer.add_string buf (Printf.sprintf "  #%d -> #%d\n" child parent))
+    (covers t);
+  Buffer.contents buf
+
+let dot_escape s =
+  String.concat ""
+    (List.map
+       (function '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let to_dot ?(title = "concept lattice") ctx t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph lattice {\n";
+  Buffer.add_string buf (Printf.sprintf "  label=\"%s\";\n" (dot_escape title));
+  Buffer.add_string buf "  rankdir=BT;\n  node [shape=record];\n";
+  (* reduced labeling: attribute at its most general concept *)
+  let attr_owner = Hashtbl.create 64 in
+  for a = 0 to Context.n_attrs ctx - 1 do
+    let best = ref (-1) in
+    Array.iteri
+      (fun i c -> if Bitset.mem c.intent a && !best = -1 then best := i)
+      t.concepts;
+    if !best >= 0 then Hashtbl.add attr_owner !best (Context.attr_name ctx a)
+  done;
+  Array.iteri
+    (fun i c ->
+      let objs =
+        Bitset.fold (fun o acc -> Context.object_label ctx o :: acc) c.extent []
+        |> List.rev |> String.concat ", "
+      in
+      let attrs = String.concat ", " (List.rev (Hashtbl.find_all attr_owner i)) in
+      Buffer.add_string buf
+        (Printf.sprintf "  c%d [label=\"{%s|%s}\"];\n" i (dot_escape attrs)
+           (dot_escape objs)))
+    t.concepts;
+  List.iter
+    (fun (child, parent) ->
+      Buffer.add_string buf (Printf.sprintf "  c%d -> c%d;\n" child parent))
+    (covers t);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let jaccard t i j =
+  let ci = object_concept t i and cj = object_concept t j in
+  Bitset.jaccard ci.intent cj.intent

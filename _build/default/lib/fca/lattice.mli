@@ -1,0 +1,67 @@
+(** Concept lattices and their construction (paper §III-B, Fig. 3).
+
+    Two constructions are provided:
+    - {!of_context_incremental} — Godin's incremental algorithm, the
+      paper's choice: objects are injected one at a time into an
+      initially empty lattice, the mode that scales to long-running
+      executions producing traces one by one;
+    - {!of_context_batch} — Ganter's NextClosure, the batch baseline
+      the paper dismisses for long traces; kept as an oracle for
+      property tests and for the ablation bench.
+
+    Both return the same set of formal concepts (tested). *)
+
+type concept = {
+  extent : Difftrace_util.Bitset.t;  (** objects *)
+  intent : Difftrace_util.Bitset.t;  (** attributes *)
+}
+
+type t
+
+(** [concepts t] in canonical order: extent cardinality descending,
+    ties by extent bit order — top first, bottom last. *)
+val concepts : t -> concept array
+
+val size : t -> int
+
+(** [of_context_batch ctx] — Ganter's NextClosure over [ctx]. *)
+val of_context_batch : Context.t -> t
+
+(** [of_context_incremental ctx] — Godin-style incremental insertion of
+    [ctx]'s objects in index order. *)
+val of_context_incremental : Context.t -> t
+
+(** [equal a b] — same concept sets. *)
+val equal : t -> t -> bool
+
+(** [top t] — the concept with all objects; [bottom t] — the concept
+    with all (shared) attributes. *)
+val top : t -> concept
+
+val bottom : t -> concept
+
+(** [object_concept t i] — the most specific concept whose extent
+    contains object [i] (its "object concept"). *)
+val object_concept : t -> int -> concept
+
+(** [covers t] — covering edges [(child, parent)] of the lattice order
+    (extents: child ⊂ parent, nothing strictly between), as indices
+    into [concepts t]. *)
+val covers : t -> (int * int) list
+
+(** [to_string ctx t] — a Fig. 3-style textual rendering: one line per
+    concept, top first, with full extents and reduced attribute
+    labeling (each attribute shown at its most general concept). *)
+val to_string : Context.t -> t -> string
+
+(** [to_dot ?title ctx t] — Graphviz rendering of the lattice (Fig. 3's
+    visual form): one box per concept with reduced attribute labeling
+    and full extents, covering edges bottom-up. *)
+val to_dot : ?title:string -> Context.t -> t -> string
+
+(** [jaccard t i j] — Jaccard similarity of two objects computed from
+    the lattice (paper §II-E: "the complete pairwise JSM can easily be
+    computed from concept lattices"): the intents of the two object
+    concepts are intersected/unioned. Agrees exactly with
+    {!Context.jaccard} (property-tested). *)
+val jaccard : t -> int -> int -> float

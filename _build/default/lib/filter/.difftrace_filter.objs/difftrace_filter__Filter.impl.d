@@ -1,0 +1,1 @@
+lib/filter/filter.ml: Array Difftrace_trace Difftrace_util Event List Printf Re String Symtab Trace Trace_set

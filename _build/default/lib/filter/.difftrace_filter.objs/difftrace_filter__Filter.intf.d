@@ -1,0 +1,1 @@
+lib/filter/filter.mli: Difftrace_trace

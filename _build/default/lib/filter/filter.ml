@@ -1,0 +1,167 @@
+open Difftrace_trace
+
+type keep =
+  | Mpi_all
+  | Mpi_collectives
+  | Mpi_send_recv
+  | Mpi_internal
+  | Omp_all
+  | Omp_critical
+  | Omp_mutex
+  | Sys_memory
+  | Sys_network
+  | Sys_poll
+  | Sys_string
+  | Custom of string
+  | Everything
+
+type t = { drop_returns : bool; drop_plt : bool; keeps : keep list }
+
+let make ?(drop_returns = true) ?(drop_plt = true) keeps =
+  { drop_returns; drop_plt; keeps }
+
+let keep_name = function
+  | Mpi_all -> "mpiall"
+  | Mpi_collectives -> "mpicol"
+  | Mpi_send_recv -> "mpisr"
+  | Mpi_internal -> "mpilib"
+  | Omp_all -> "ompall"
+  | Omp_critical -> "ompcrit"
+  | Omp_mutex -> "ompmutex"
+  | Sys_memory -> "mem"
+  | Sys_network -> "net"
+  | Sys_poll -> "poll"
+  | Sys_string -> "str"
+  | Custom _ -> "cust"
+  | Everything -> "all"
+
+let name t =
+  let digit b = if b then "1" else "0" in
+  String.concat "."
+    (Printf.sprintf "%s%s" (digit t.drop_returns) (digit t.drop_plt)
+    :: List.map keep_name t.keeps)
+
+let of_spec ?(custom = []) s =
+  match String.split_on_char '.' s with
+  | [] -> invalid_arg "Filter.of_spec: empty spec"
+  | digits :: rest ->
+    if String.length digits <> 2 || String.exists (fun c -> c <> '0' && c <> '1') digits
+    then invalid_arg ("Filter.of_spec: bad drop digits in " ^ s);
+    let customs = ref custom in
+    let next_custom () =
+      match !customs with
+      | [] -> ".*"
+      | c :: tl ->
+        customs := tl;
+        c
+    in
+    let keep_of = function
+      | "mpiall" | "mpi" -> Mpi_all
+      | "mpicol" -> Mpi_collectives
+      | "mpisr" -> Mpi_send_recv
+      | "mpilib" -> Mpi_internal
+      | "ompall" | "omp" -> Omp_all
+      | "ompcrit" -> Omp_critical
+      | "ompmutex" -> Omp_mutex
+      | "mem" -> Sys_memory
+      | "net" -> Sys_network
+      | "poll" -> Sys_poll
+      | "str" -> Sys_string
+      | "cust" -> Custom (next_custom ())
+      | "all" -> Everything
+      | other -> invalid_arg ("Filter.of_spec: unknown component " ^ other)
+    in
+    { drop_returns = digits.[0] = '1';
+      drop_plt = digits.[1] = '1';
+      keeps = List.map keep_of rest }
+
+let contains_any hay needles =
+  List.exists
+    (fun needle ->
+      let nl = String.length needle and hl = String.length hay in
+      let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+      go 0)
+    needles
+
+let starts_with prefix s = String.starts_with ~prefix s
+
+let collectives =
+  [ "MPI_Barrier"; "MPI_Allreduce"; "MPI_Reduce"; "MPI_Bcast"; "MPI_Allgather";
+    "MPI_Gather"; "MPI_Scatter"; "MPI_Alltoall"; "MPI_Scan" ]
+
+let send_recvs = [ "MPI_Send"; "MPI_Isend"; "MPI_Recv"; "MPI_Irecv"; "MPI_Wait"; "MPI_Waitall" ]
+
+let keep_matches k fname =
+  match k with
+  | Mpi_all -> starts_with "MPI_" fname
+  | Mpi_collectives -> List.mem fname collectives
+  | Mpi_send_recv -> List.mem fname send_recvs
+  | Mpi_internal -> starts_with "MPID" fname
+  | Omp_all -> starts_with "GOMP_" fname || starts_with "omp_" fname
+  | Omp_critical -> fname = "GOMP_critical_start" || fname = "GOMP_critical_end"
+  | Omp_mutex ->
+    contains_any fname [ "mutex" ] || fname = "omp_set_lock" || fname = "omp_unset_lock"
+  | Sys_memory -> contains_any fname [ "memcpy"; "memchk"; "memset"; "memmove"; "alloc" ]
+  | Sys_network -> contains_any fname [ "network"; "tcp"; "socket"; "sched" ]
+  | Sys_poll -> contains_any fname [ "poll"; "yield"; "sched" ]
+  | Sys_string -> starts_with "str" fname
+  | Custom re -> Re.execp (Re.compile (Re.Perl.re re)) fname
+  | Everything -> true
+
+let matches t fname =
+  t.keeps = [] || List.exists (fun k -> keep_matches k fname) t.keeps
+
+(* Per-symbol keep decision, precompiled once per (filter, symtab). *)
+let keep_table t symtab =
+  let compiled =
+    List.map
+      (function
+        | Custom re ->
+          let re = Re.compile (Re.Perl.re re) in
+          fun fname -> Re.execp re fname
+        | k -> fun fname -> keep_matches k fname)
+      t.keeps
+  in
+  let names = Symtab.names symtab in
+  Array.map
+    (fun fname ->
+      let plt = String.length fname > 4 && String.ends_with ~suffix:".plt" fname in
+      let kept = compiled = [] || List.exists (fun f -> f fname) compiled in
+      kept && not (t.drop_plt && plt))
+    names
+
+let apply_with_table t table events =
+  let out = Difftrace_util.Vec.with_capacity (Array.length events) in
+  Array.iter
+    (fun e ->
+      let keep =
+        (match e with
+        | Event.Return _ when t.drop_returns -> false
+        | Event.Call id | Event.Return id -> table.(id))
+      in
+      if keep then Difftrace_util.Vec.push out e)
+    events;
+  Difftrace_util.Vec.to_array out
+
+let apply t symtab events = apply_with_table t (keep_table t symtab) events
+
+let apply_set t ts =
+  let table = keep_table t (Trace_set.symtab ts) in
+  Trace_set.map_events (fun tr -> apply_with_table t table tr.Trace.events) ts
+
+let predefined =
+  [ ("Primary", "Returns", "Filter out all returns");
+    ("Primary", "PLT", "Filter out the \".plt\" stub calls for dynamically resolved externals");
+    ("MPI", "MPI All", "Only keep functions that start with \"MPI_\"");
+    ("MPI", "MPI Collectives", "Only keep MPI collective calls (MPI_Barrier, MPI_Allreduce, ...)");
+    ("MPI", "MPI Send/Recv", "Only keep MPI_Send, MPI_Isend, MPI_Recv, MPI_Irecv and MPI_Wait");
+    ("MPI", "MPI Internal Library", "Keep all inner MPI library calls");
+    ("OMP", "OMP All", "Only keep OMP calls (starting with GOMP_)");
+    ("OMP", "OMP Critical", "Only keep GOMP_critical_start and GOMP_critical_end");
+    ("OMP", "OMP Mutex", "Only keep OMP mutex/lock calls");
+    ("System", "Memory", "Keep any memory related functions (memcpy, memchk, alloc, malloc, ...)");
+    ("System", "Network", "Keep any network related functions (network, tcp, sched, ...)");
+    ("System", "Poll", "Keep any poll related functions (poll, yield, sched, ...)");
+    ("System", "String", "Keep any string related functions (strlen, strcpy, ...)");
+    ("Advanced", "Custom", "Any regular expression can be captured");
+    ("Advanced", "Everything", "Does not filter anything") ]

@@ -1,0 +1,1 @@
+lib/nlr/nlr.ml: Array Difftrace_trace Difftrace_util Hashtbl Printf String Vec

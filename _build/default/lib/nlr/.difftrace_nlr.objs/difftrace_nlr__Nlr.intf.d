@@ -1,0 +1,1 @@
+lib/nlr/nlr.mli: Difftrace_trace

@@ -1,0 +1,1 @@
+lib/parlot/archive.ml: Array Buffer Difftrace_trace Difftrace_util Event Filename Fun Lzw Printf Scanf String Symtab Sys Trace Trace_set Tracer

@@ -1,0 +1,1 @@
+lib/parlot/archive.mli: Difftrace_trace

@@ -1,0 +1,1 @@
+lib/parlot/capture.ml: Array Difftrace_trace Difftrace_util Event Format Hashtbl List Symtab Trace Trace_set Tracer

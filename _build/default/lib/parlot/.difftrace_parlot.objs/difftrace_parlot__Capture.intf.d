@@ -1,0 +1,1 @@
+lib/parlot/capture.mli: Difftrace_trace Format Tracer

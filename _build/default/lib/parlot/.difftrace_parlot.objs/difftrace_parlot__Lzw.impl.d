@@ -1,0 +1,1 @@
+lib/parlot/lzw.ml: Buffer Char Difftrace_util Hashtbl String Varint Vec

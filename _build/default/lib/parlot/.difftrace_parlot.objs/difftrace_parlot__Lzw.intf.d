@@ -1,0 +1,1 @@
+lib/parlot/lzw.mli:

@@ -1,0 +1,1 @@
+lib/parlot/tracer.ml: Buffer Difftrace_trace Difftrace_util Event Lzw String Symtab Trace Varint Vec

@@ -1,0 +1,1 @@
+lib/parlot/tracer.mli: Difftrace_trace

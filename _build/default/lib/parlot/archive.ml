@@ -1,0 +1,108 @@
+open Difftrace_trace
+
+let manifest_file dir = Filename.concat dir "manifest"
+
+let trace_file dir ~pid ~tid =
+  Filename.concat dir (Printf.sprintf "trace_%d_%d.lzw" pid tid)
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let save ~dir ts =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let symtab = Trace_set.symtab ts in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "difftrace-archive 1\n";
+  Buffer.add_string buf (Printf.sprintf "symbols %d\n" (Symtab.size symtab));
+  Array.iter
+    (fun name -> Buffer.add_string buf (Printf.sprintf "%S\n" name))
+    (Symtab.names symtab);
+  let traces = Trace_set.traces ts in
+  Buffer.add_string buf (Printf.sprintf "threads %d\n" (Array.length traces));
+  Array.iter
+    (fun (tr : Trace.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "thread %d %d %s %d\n" tr.Trace.pid tr.Trace.tid
+           (if tr.Trace.truncated then "truncated" else "complete")
+           (Trace.length tr)))
+    traces;
+  write_file (manifest_file dir) (Buffer.contents buf);
+  Array.iter
+    (fun (tr : Trace.t) ->
+      let enc = Lzw.encoder () in
+      let scratch = Buffer.create 16 in
+      Array.iter
+        (fun ev ->
+          Buffer.clear scratch;
+          Difftrace_util.Varint.write scratch (Event.encode ev);
+          Lzw.feed_string enc (Buffer.contents scratch))
+        tr.Trace.events;
+      write_file (trace_file dir ~pid:tr.Trace.pid ~tid:tr.Trace.tid) (Lzw.finish enc))
+    traces;
+  Array.length traces
+
+let load ~dir =
+  let manifest = read_file (manifest_file dir) in
+  let lines = String.split_on_char '\n' manifest in
+  let fail msg = invalid_arg ("Archive.load: " ^ msg) in
+  match lines with
+  | "difftrace-archive 1" :: rest ->
+    let nsyms, rest =
+      match rest with
+      | l :: rest ->
+        (try Scanf.sscanf l "symbols %d" (fun n -> (n, rest))
+         with Scanf.Scan_failure _ | Failure _ -> fail "missing symbols header")
+      | [] -> fail "truncated manifest"
+    in
+    let symtab = Symtab.create () in
+    let rec read_syms n rest =
+      if n = 0 then rest
+      else
+        match rest with
+        | l :: rest ->
+          let name = try Scanf.sscanf l "%S" (fun s -> s) with _ -> fail "bad symbol" in
+          ignore (Symtab.intern symtab name);
+          read_syms (n - 1) rest
+        | [] -> fail "truncated symbols"
+    in
+    let rest = read_syms nsyms rest in
+    let nthreads, rest =
+      match rest with
+      | l :: rest ->
+        (try Scanf.sscanf l "threads %d" (fun n -> (n, rest))
+         with Scanf.Scan_failure _ | Failure _ -> fail "missing threads header")
+      | [] -> fail "truncated manifest"
+    in
+    let rec read_threads n rest acc =
+      if n = 0 then acc
+      else
+        match rest with
+        | l :: rest ->
+          let pid, tid, status, len =
+            try Scanf.sscanf l "thread %d %d %s %d" (fun a b c d -> (a, b, c, d))
+            with Scanf.Scan_failure _ | Failure _ -> fail "bad thread line"
+          in
+          let truncated =
+            match status with
+            | "truncated" -> true
+            | "complete" -> false
+            | _ -> fail "bad thread status"
+          in
+          let data = read_file (trace_file dir ~pid ~tid) in
+          let tr = Tracer.decode ~symtab ~pid ~tid ~truncated data in
+          if Trace.length tr <> len then fail "trace length mismatch";
+          read_threads (n - 1) rest (tr :: acc)
+        | [] -> fail "truncated thread list"
+    in
+    let traces = read_threads nthreads rest [] in
+    Trace_set.create symtab traces
+  | _ -> fail "bad magic"

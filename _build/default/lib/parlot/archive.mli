@@ -1,0 +1,28 @@
+(** On-disk trace archives.
+
+    The paper's workflow records traces once and re-analyzes them
+    offline "with different filters" at every debug iteration. An
+    archive directory holds exactly what ParLOT leaves behind: one
+    compressed trace file per thread plus a manifest (symbol table,
+    thread list, truncation flags).
+
+    Layout:
+    {v
+    <dir>/manifest        version, symbols, one line per thread
+    <dir>/trace_P_T.lzw   compressed event stream of thread (P, T)
+    v} *)
+
+(** [save ~dir outcome_traces] writes the archive (creating [dir] if
+    needed) and returns the number of trace files written. Re-encodes
+    each decoded trace with the streaming LZW codec. *)
+val save : dir:string -> Difftrace_trace.Trace_set.t -> int
+
+(** [load ~dir] reads an archive back into a trace set.
+    Raises [Sys_error] on IO failure and [Invalid_argument] on a
+    malformed manifest or corrupt trace file. *)
+val load : dir:string -> Difftrace_trace.Trace_set.t
+
+(** [manifest_file dir] / [trace_file dir ~pid ~tid] — file paths. *)
+val manifest_file : string -> string
+
+val trace_file : string -> pid:int -> tid:int -> string

@@ -1,0 +1,40 @@
+(** Execution-wide trace capture.
+
+    One [Capture.t] stands for one instrumented run: it owns the shared
+    symbol table, hands a {!Tracer.t} to each (process, thread) on first
+    use, and at the end decodes every compressed stream into a
+    {!Difftrace_trace.Trace_set.t}. It also reports the §V statistics
+    (compressed bytes per thread, decompressed event counts, distinct
+    functions). *)
+
+type t
+
+(** [create ?level ()] — capture level defaults to [Main_image]. *)
+val create : ?level:Tracer.level -> unit -> t
+
+val symtab : t -> Difftrace_trace.Symtab.t
+val level : t -> Tracer.level
+
+(** [tracer t ~pid ~tid] is that thread's tracer, created on first
+    request. *)
+val tracer : t -> pid:int -> tid:int -> Tracer.t
+
+(** [finish t] closes every stream and decodes the trace set. Idempotent
+    decoding is not supported: call once. *)
+val finish : t -> Difftrace_trace.Trace_set.t
+
+type stats = {
+  threads : int;
+  total_events : int;          (** retained (post image-filter) events *)
+  total_compressed_bytes : int;
+  mean_compressed_bytes : float;   (** per thread *)
+  mean_events_per_process : float; (** decompressed calls+returns, per process *)
+  mean_distinct_functions : float; (** distinct IDs per process *)
+  compression_ratio : float;       (** raw varint bytes / compressed bytes *)
+}
+
+(** [stats t ts] summarizes a finished capture against its decoded trace
+    set. *)
+val stats : t -> Difftrace_trace.Trace_set.t -> stats
+
+val pp_stats : Format.formatter -> stats -> unit

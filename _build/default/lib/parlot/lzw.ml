@@ -1,0 +1,106 @@
+open Difftrace_util
+
+(* Classic LZW. Codes 0..255 denote single bytes; code 256 is the
+   end-of-stream marker; fresh phrases get codes from 257 up. The
+   current phrase is represented by its dictionary code, so the encoder
+   state is O(1) per step plus the dictionary. *)
+
+let eos_code = 256
+let first_code = 257
+
+type encoder = {
+  dict : (int * char, int) Hashtbl.t;
+  mutable next_code : int;
+  mutable current : int; (* code of the pending phrase; -1 = none *)
+  out : Buffer.t;
+  mutable fed : int;
+}
+
+let encoder () =
+  { dict = Hashtbl.create 4096;
+    next_code = first_code;
+    current = -1;
+    out = Buffer.create 256;
+    fed = 0 }
+
+let feed e c =
+  e.fed <- e.fed + 1;
+  if e.current < 0 then e.current <- Char.code c
+  else
+    match Hashtbl.find_opt e.dict (e.current, c) with
+    | Some code -> e.current <- code
+    | None ->
+      Varint.write e.out e.current;
+      Hashtbl.add e.dict (e.current, c) e.next_code;
+      e.next_code <- e.next_code + 1;
+      e.current <- Char.code c
+
+let feed_string e s = String.iter (feed e) s
+
+let finish e =
+  if e.current >= 0 then begin
+    Varint.write e.out e.current;
+    e.current <- -1
+  end;
+  Varint.write e.out eos_code;
+  Buffer.contents e.out
+
+let output_size e = Buffer.length e.out
+let input_size e = e.fed
+
+let compress s =
+  let e = encoder () in
+  feed_string e s;
+  finish e
+
+(* Decoder: phrases are stored as (prefix_code, last_byte) pairs; a
+   phrase is materialized by walking prefixes. Handles the KwKwK case
+   (a code one past the dictionary end refers to the phrase currently
+   being defined). *)
+let decompress s =
+  let phrases = Vec.create () in
+  (* phrases.(i) corresponds to code first_code+i *)
+  let phrase_bytes code =
+    let buf = Buffer.create 16 in
+    let rec go code =
+      if code < 256 then Buffer.add_char buf (Char.chr code)
+      else begin
+        let prefix, last = Vec.get phrases (code - first_code) in
+        go prefix;
+        Buffer.add_char buf last
+      end
+    in
+    go code;
+    Buffer.contents buf
+  in
+  let first_byte code =
+    let rec go code =
+      if code < 256 then Char.chr code
+      else
+        let prefix, _ = Vec.get phrases (code - first_code) in
+        go prefix
+    in
+    go code
+  in
+  let out = Buffer.create (String.length s * 3) in
+  let len = String.length s in
+  let rec loop pos prev =
+    if pos >= len then invalid_arg "Lzw.decompress: missing end-of-stream";
+    let code, pos = Varint.read s pos in
+    if code = eos_code then ()
+    else begin
+      let valid_max = first_code + Vec.length phrases in
+      if code > valid_max || code < 0 then invalid_arg "Lzw.decompress: bad code";
+      (match prev with
+      | None -> ()
+      | Some prev ->
+        (* Define the phrase prev ++ first_byte(code); for the KwKwK
+           case code = valid_max, whose first byte equals prev's. *)
+        let last = if code = valid_max then first_byte prev else first_byte code in
+        Vec.push phrases (prev, last));
+      Buffer.add_string out (phrase_bytes code);
+      loop pos (Some code)
+    end
+  in
+  if len > 0 then loop 0 None;
+  Buffer.contents out

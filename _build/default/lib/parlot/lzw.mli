@@ -1,0 +1,39 @@
+(** Streaming LZW compression over byte strings.
+
+    ParLOT's defining property is *on-the-fly, incremental* compression
+    of each thread's function-ID stream: events are compressed as they
+    are produced, so only a bounded encoder state (not the trace) is
+    resident, and the output is appended to the thread's trace file as
+    the application runs. This module reproduces that property with the
+    classic LZW scheme over bytes; dictionary codes are emitted as
+    LEB128 varints so fresh (small) codes stay short. *)
+
+type encoder
+
+(** [encoder ()] is a fresh streaming encoder. *)
+val encoder : unit -> encoder
+
+(** [feed e byte] pushes one input byte; any completed codes are
+    appended to the encoder's internal output buffer immediately. *)
+val feed : encoder -> char -> unit
+
+(** [feed_string e s] pushes every byte of [s]. *)
+val feed_string : encoder -> string -> unit
+
+(** [finish e] flushes the pending phrase and returns the complete
+    compressed output. The encoder must not be fed afterwards. *)
+val finish : encoder -> string
+
+(** [output_size e] is the number of compressed bytes produced so far
+    (excluding the unflushed pending phrase). *)
+val output_size : encoder -> int
+
+(** [input_size e] is the number of bytes fed so far. *)
+val input_size : encoder -> int
+
+(** [compress s] is one-shot compression. *)
+val compress : string -> string
+
+(** [decompress s] inverts [compress]/[feed]+[finish].
+    Raises [Invalid_argument] on corrupt input. *)
+val decompress : string -> string

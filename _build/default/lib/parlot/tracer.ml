@@ -1,0 +1,68 @@
+open Difftrace_util
+open Difftrace_trace
+
+type image = Main | Library
+type level = Main_image | All_images
+
+type t = {
+  symtab : Symtab.t;
+  level : level;
+  pid : int;
+  tid : int;
+  encoder : Lzw.encoder;
+  scratch : Buffer.t;
+  mutable nevents : int;
+  mutable truncated : bool;
+}
+
+let create ~symtab ~level ~pid ~tid =
+  { symtab;
+    level;
+    pid;
+    tid;
+    encoder = Lzw.encoder ();
+    scratch = Buffer.create 16;
+    nevents = 0;
+    truncated = false }
+
+let pid t = t.pid
+let tid t = t.tid
+let keeps t image = match (t.level, image) with All_images, _ | Main_image, Main -> true | Main_image, Library -> false
+
+let record t event =
+  Buffer.clear t.scratch;
+  Varint.write t.scratch (Event.encode event);
+  Lzw.feed_string t.encoder (Buffer.contents t.scratch);
+  t.nevents <- t.nevents + 1
+
+let on_call ?(image = Main) t name =
+  if keeps t image then record t (Event.Call (Symtab.intern t.symtab name))
+
+let on_return ?(image = Main) t name =
+  if keeps t image then record t (Event.Return (Symtab.intern t.symtab name))
+
+let scoped ?image t name f =
+  on_call ?image t name;
+  let r = f () in
+  on_return ?image t name;
+  r
+
+let set_truncated t = t.truncated <- true
+let events_recorded t = t.nevents
+let compressed_so_far t = Lzw.output_size t.encoder
+let finish t = (Lzw.finish t.encoder, t.truncated)
+
+let decode ~symtab ~pid ~tid ~truncated data =
+  let raw = Lzw.decompress data in
+  let events = Vec.create () in
+  let len = String.length raw in
+  let rec go pos =
+    if pos < len then begin
+      let v, pos = Varint.read raw pos in
+      Vec.push events (Event.decode v);
+      go pos
+    end
+  in
+  go 0;
+  ignore symtab;
+  Trace.make ~pid ~tid ~truncated (Vec.to_array events)

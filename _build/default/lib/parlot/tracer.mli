@@ -1,0 +1,60 @@
+(** Per-thread trace recorder with ParLOT's on-the-fly compression.
+
+    The simulated runtime calls [on_call]/[on_return] exactly where Pin
+    instrumentation would fire; events are varint-serialized and pushed
+    straight into a streaming {!Lzw} encoder, so the in-memory footprint
+    during capture is the encoder state, not the trace. *)
+
+(** Which binary image a function belongs to. ParLOT captures either the
+    [main image] only (user code + API entry points) or [all images]
+    (including inner library frames). *)
+type image = Main | Library
+
+type level = Main_image | All_images
+
+type t
+
+(** [create ~symtab ~level ~pid ~tid]. *)
+val create :
+  symtab:Difftrace_trace.Symtab.t -> level:level -> pid:int -> tid:int -> t
+
+val pid : t -> int
+val tid : t -> int
+
+(** [on_call t ?image name] records entry into [name]. Events from
+    [Library] images are dropped under [Main_image] capture, mirroring
+    ParLOT's image filter. [image] defaults to [Main]. *)
+val on_call : ?image:image -> t -> string -> unit
+
+(** [on_return t ?image name] records exit from [name]. *)
+val on_return : ?image:image -> t -> string -> unit
+
+(** [scoped t ?image name f] records the call, runs [f ()], records the
+    return, and passes exceptions through *without* recording the return
+    — a thread killed inside a call leaves a truncated trace, as the
+    paper's deadlock examples show. *)
+val scoped : ?image:image -> t -> string -> (unit -> 'a) -> 'a
+
+(** [set_truncated t] marks the thread as never having terminated. *)
+val set_truncated : t -> unit
+
+(** [events_recorded t] is the number of retained events so far. *)
+val events_recorded : t -> int
+
+(** [compressed_so_far t] is the compressed byte count so far. *)
+val compressed_so_far : t -> int
+
+(** [finish t] closes the stream and returns the compressed trace file
+    contents together with the truncation flag. *)
+val finish : t -> string * bool
+
+(** [decode ~symtab ~pid ~tid ~truncated data] decompresses a finished
+    stream back into a {!Difftrace_trace.Trace.t} — the pipeline's
+    "ParLOT decoder" stage. *)
+val decode :
+  symtab:Difftrace_trace.Symtab.t ->
+  pid:int ->
+  tid:int ->
+  truncated:bool ->
+  string ->
+  Difftrace_trace.Trace.t

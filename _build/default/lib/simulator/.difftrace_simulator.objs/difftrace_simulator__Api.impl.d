@@ -1,0 +1,1 @@
+lib/simulator/api.ml: Array Difftrace_parlot Effect Int List Runtime Tracer

@@ -1,0 +1,1 @@
+lib/simulator/api.mli: Runtime

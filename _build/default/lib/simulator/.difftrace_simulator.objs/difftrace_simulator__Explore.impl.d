@@ -1,0 +1,1 @@
+lib/simulator/explore.ml: Array Buffer Char Difftrace_trace Difftrace_util Digest Int List Printf Runtime String

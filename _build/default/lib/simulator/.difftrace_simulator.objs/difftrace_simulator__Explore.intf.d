@@ -1,0 +1,1 @@
+lib/simulator/explore.mli: Difftrace_trace Runtime

@@ -1,0 +1,1 @@
+lib/simulator/fault.ml: Format List Printf String

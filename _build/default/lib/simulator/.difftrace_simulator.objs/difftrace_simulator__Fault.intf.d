@@ -1,0 +1,1 @@
+lib/simulator/fault.mli: Format

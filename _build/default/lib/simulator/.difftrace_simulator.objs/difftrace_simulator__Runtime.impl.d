@@ -1,0 +1,1 @@
+lib/simulator/runtime.ml: Array Capture Difftrace_parlot Difftrace_trace Difftrace_util Effect Hashtbl Int List Option Printf Prng Queue String Tracer Vclock Vec

@@ -1,0 +1,1 @@
+lib/simulator/runtime.mli: Difftrace_parlot Difftrace_trace Effect Vclock

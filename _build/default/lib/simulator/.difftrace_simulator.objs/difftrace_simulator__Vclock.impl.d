@@ -1,0 +1,1 @@
+lib/simulator/vclock.ml: Array Format List String

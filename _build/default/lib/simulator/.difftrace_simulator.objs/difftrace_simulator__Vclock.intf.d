@@ -1,0 +1,1 @@
+lib/simulator/vclock.mli: Format

@@ -1,0 +1,202 @@
+open Difftrace_parlot
+open Runtime
+
+let on_call ?image env name = Tracer.on_call ?image (tracer env) name
+let on_return ?image env name = Tracer.on_return ?image (tracer env) name
+
+(* Inner library frames around a blocking point: entry frames are
+   recorded before the effect, exits after it, so a hang truncates the
+   trace inside the library — as real ParLOT all-images traces show. *)
+let with_lib_frames env names f =
+  List.iter (fun n -> on_call ~image:Tracer.Library env n) names;
+  let r = f () in
+  List.iter (fun n -> on_return ~image:Tracer.Library env n) (List.rev names);
+  r
+
+let traced env name ~lib f =
+  on_call env name;
+  let r = with_lib_frames env lib f in
+  on_return env name;
+  r
+
+let mpi_init env =
+  traced env "MPI_Init" ~lib:[ "MPID_Init"; "MPIDU_Init"; "socket" ] (fun () -> ())
+
+let mpi_finalize env =
+  traced env "MPI_Finalize" ~lib:[ "MPID_Finalize"; "poll" ] (fun () -> ())
+
+let comm_rank env =
+  traced env "MPI_Comm_rank" ~lib:[] (fun () -> pid env)
+
+let comm_size env =
+  traced env "MPI_Comm_size" ~lib:[] (fun () -> np env)
+
+let send env ~dst ?(tag = 0) data =
+  traced env "MPI_Send"
+    ~lib:[ "MPID_Send"; "MPIDI_CH3_iSend"; "memcpy"; "poll" ]
+    (fun () -> Effect.perform (E_send { dst; tag; data }))
+
+let recv env ~src ?(tag = 0) () =
+  traced env "MPI_Recv"
+    ~lib:[ "MPID_Recv"; "MPIDI_CH3U_Recvq"; "memcpy"; "poll" ]
+    (fun () -> Effect.perform (E_recv { src; tag }))
+
+let collective env name lib call =
+  traced env name ~lib (fun () -> Effect.perform (E_collective call))
+
+let the_comm env = function Some c -> c | None -> comm_world env
+
+let barrier ?comm env =
+  ignore
+    (collective env "MPI_Barrier"
+       [ "MPID_Barrier"; "poll" ]
+       { kind = C_barrier; data = [||]; op = Op_sum; count = 0; root = 0;
+         comm = the_comm env comm })
+
+let allreduce ?comm env ?count ~op data =
+  let count = match count with Some c -> c | None -> Array.length data in
+  collective env "MPI_Allreduce"
+    [ "MPID_Allreduce"; "memcpy"; "poll" ]
+    { kind = C_allreduce; data; op; count; root = 0; comm = the_comm env comm }
+
+let reduce ?comm env ~root ~op data =
+  collective env "MPI_Reduce"
+    [ "MPID_Reduce"; "memcpy"; "poll" ]
+    { kind = C_reduce; data; op; count = Array.length data; root;
+      comm = the_comm env comm }
+
+let bcast ?comm env ~root data =
+  collective env "MPI_Bcast"
+    [ "MPID_Bcast"; "memcpy"; "poll" ]
+    { kind = C_bcast; data; op = Op_sum; count = 0; root; comm = the_comm env comm }
+
+let parallel env ~num_threads body =
+  if num_threads <= 0 then invalid_arg "Api.parallel: num_threads";
+  on_call env "GOMP_parallel_start";
+  Effect.perform (E_fork (body, num_threads));
+  on_return env "GOMP_parallel_start";
+  (* the master executes the region as team member 0 *)
+  body env;
+  on_call env "GOMP_parallel_end";
+  Effect.perform E_join;
+  on_return env "GOMP_parallel_end"
+
+let critical ?(name = "default") env f =
+  on_call env "GOMP_critical_start";
+  Effect.perform (E_lock name);
+  on_return env "GOMP_critical_start";
+  let r = f () in
+  on_call env "GOMP_critical_end";
+  Effect.perform (E_unlock name);
+  on_return env "GOMP_critical_end";
+  r
+
+let omp_get_thread_num env =
+  traced env "omp_get_thread_num" ~lib:[] (fun () -> tid env)
+
+let yield env =
+  on_call ~image:Tracer.Library env "sched_yield";
+  Effect.perform E_yield;
+  on_return ~image:Tracer.Library env "sched_yield"
+
+let call env name f =
+  on_call env name;
+  let r = f () in
+  on_return env name;
+  r
+
+let libc env name =
+  on_call env (name ^ ".plt");
+  on_call env name;
+  on_return env name;
+  on_return env (name ^ ".plt")
+
+type request = int
+
+let isend env ~dst ?(tag = 0) data =
+  traced env "MPI_Isend"
+    ~lib:[ "MPID_Isend"; "memcpy" ]
+    (fun () -> Effect.perform (E_isend { dst; tag; data }))
+
+let irecv env ~src ?(tag = 0) () =
+  traced env "MPI_Irecv"
+    ~lib:[ "MPID_Irecv" ]
+    (fun () -> Effect.perform (E_irecv { src; tag }))
+
+let wait env req =
+  traced env "MPI_Wait" ~lib:[ "MPID_Progress_wait"; "poll" ] (fun () ->
+      Effect.perform (E_wait req))
+
+let test env req =
+  traced env "MPI_Test" ~lib:[ "MPID_Progress_test" ] (fun () ->
+      Effect.perform (E_test req))
+
+let waitall env reqs =
+  traced env "MPI_Waitall" ~lib:[ "MPID_Progress_wait"; "poll" ] (fun () ->
+      List.map (fun r -> Effect.perform (E_wait r)) reqs)
+
+let allgather ?comm env data =
+  collective env "MPI_Allgather"
+    [ "MPID_Allgather"; "memcpy" ]
+    { kind = C_allgather; data; op = Op_sum; count = Array.length data; root = 0;
+      comm = the_comm env comm }
+
+let gather ?comm env ~root data =
+  collective env "MPI_Gather"
+    [ "MPID_Gather"; "memcpy" ]
+    { kind = C_gather; data; op = Op_sum; count = Array.length data; root;
+      comm = the_comm env comm }
+
+let scatter ?comm env ~root ~count data =
+  collective env "MPI_Scatter"
+    [ "MPID_Scatter"; "memcpy" ]
+    { kind = C_scatter; data; op = Op_sum; count; root; comm = the_comm env comm }
+
+let alltoall ?comm env ~count data =
+  collective env "MPI_Alltoall"
+    [ "MPID_Alltoall"; "memcpy" ]
+    { kind = C_alltoall; data; op = Op_sum; count; root = 0;
+      comm = the_comm env comm }
+
+let scan ?comm env ~op data =
+  collective env "MPI_Scan"
+    [ "MPID_Scan"; "memcpy" ]
+    { kind = C_scan; data; op; count = Array.length data; root = 0;
+      comm = the_comm env comm }
+
+(* MPI_Comm_split: an allgather of (color, key, pid) over the parent,
+   after which every member deterministically derives its group. *)
+let comm_split ?comm env ~color ~key =
+  traced env "MPI_Comm_split" ~lib:[ "MPID_Comm_split"; "memcpy" ] (fun () ->
+      let parent = the_comm env comm in
+      let gathered =
+        Effect.perform
+          (E_collective
+             { kind = C_allgather;
+               data = [| color; key; Runtime.pid env |];
+               op = Op_sum;
+               count = 3;
+               root = 0;
+               comm = parent })
+      in
+      let n = Array.length gathered / 3 in
+      let mine =
+        List.init n (fun i ->
+            (gathered.(3 * i), gathered.((3 * i) + 1), gathered.((3 * i) + 2)))
+        |> List.filter (fun (c, _, _) -> c = color)
+        (* order members by (key, pid), as MPI_Comm_split does *)
+        |> List.sort (fun (_, k1, p1) (_, k2, p2) ->
+               match Int.compare k1 k2 with 0 -> Int.compare p1 p2 | c -> c)
+        |> List.map (fun (_, _, p) -> p)
+      in
+      derive_comm ~parent ~color ~members:(Array.of_list mine))
+
+(* MPI_Sendrecv: the deadlock-free combined exchange — the receive is
+   posted before the send, inside one traced call. *)
+let sendrecv env ~dst ?(sendtag = 0) ~src ?(recvtag = 0) data =
+  traced env "MPI_Sendrecv"
+    ~lib:[ "MPID_Irecv"; "MPID_Send"; "MPID_Progress_wait"; "poll" ]
+    (fun () ->
+      let r = Effect.perform (E_irecv { src; tag = recvtag }) in
+      Effect.perform (E_send { dst; tag = sendtag; data });
+      Effect.perform (E_wait r))

@@ -1,0 +1,134 @@
+(** Traced MPI / OpenMP programming interface.
+
+    These wrappers are what workloads call. Each wrapper records the
+    call event, performs the matching simulator effect, and records the
+    return event — so a call that never completes (deadlock) leaves a
+    trace ending in that call, exactly like a ParLOT trace of a hung
+    process. Under [All_images] capture the wrappers additionally emit
+    plausible inner library frames ([MPID_*], [memcpy], [poll], …),
+    giving the Table I system filters something to select. *)
+
+open Runtime
+
+(** {2 MPI} *)
+
+val mpi_init : env -> unit
+val mpi_finalize : env -> unit
+
+(** [comm_rank env] records [MPI_Comm_rank] and returns the rank. *)
+val comm_rank : env -> int
+
+(** [comm_size env] records [MPI_Comm_size] and returns [np]. *)
+val comm_size : env -> int
+
+(** [send env ~dst ?tag data] — blocking standard-mode send: completes
+    immediately below the eager limit, otherwise rendezvous. *)
+val send : env -> dst:int -> ?tag:int -> payload -> unit
+
+(** [recv env ~src ?tag ()] — blocking receive from [(src, tag)]. *)
+val recv : env -> src:int -> ?tag:int -> unit -> payload
+
+val barrier : ?comm:comm -> env -> unit
+
+(** [allreduce env ?count ~op data] — [count] defaults to
+    [Array.length data]; passing a different count reproduces the
+    paper's wrong-collective-size deadlock. *)
+val allreduce : ?comm:comm -> env -> ?count:int -> op:reduce_op -> payload -> payload
+
+(** [reduce env ~root ~op data] — result at [root], [[||]] elsewhere. *)
+val reduce : ?comm:comm -> env -> root:int -> op:reduce_op -> payload -> payload
+
+(** [bcast env ~root data] — [data] is consulted only at [root]. *)
+val bcast : ?comm:comm -> env -> root:int -> payload -> payload
+
+(** {2 OpenMP} *)
+
+(** [parallel env ~num_threads body] forks a team; [body] runs once per
+    team member with that member's [env] ([tid] 0..n-1, master is 0). *)
+val parallel : env -> num_threads:int -> (env -> unit) -> unit
+
+(** [critical ?name env f] runs [f] under the (process-wide) named
+    critical section, recording [GOMP_critical_start]/[_end]. *)
+val critical : ?name:string -> env -> (unit -> 'a) -> 'a
+
+(** [omp_get_thread_num env] is [tid env], recorded in the trace. *)
+val omp_get_thread_num : env -> int
+
+(** {2 Generic} *)
+
+(** [yield env] cooperatively yields (records a library-level
+    [sched_yield], visible in all-images captures). *)
+val yield : env -> unit
+
+(** [call env name f] records user-function [name] around [f ()] —
+    the instrumentation point for main-image user code. *)
+val call : env -> string -> (unit -> 'a) -> 'a
+
+(** [libc env name] records a call to libc function [name] through its
+    PLT stub (an extra [name.plt] frame, as Pin observes). *)
+val libc : env -> string -> unit
+
+(** {2 Nonblocking point-to-point} *)
+
+(** An MPI request handle, completed by {!wait}. *)
+type request
+
+(** [isend env ~dst ?tag data] — nonblocking standard-mode send. The
+    call never blocks; complete the request with {!wait} (for
+    rendezvous-sized messages that happens when the receiver consumes
+    the message). *)
+val isend : env -> dst:int -> ?tag:int -> payload -> request
+
+(** [irecv env ~src ?tag ()] — nonblocking receive; matching follows
+    posting order per (source, tag). *)
+val irecv : env -> src:int -> ?tag:int -> unit -> request
+
+(** [wait env r] — block until [r] completes; returns the received
+    payload, or [[||]] for send requests. A request can be waited on
+    once. *)
+val wait : env -> request -> payload
+
+(** [test env r] — MPI_Test: [Some payload] if [r] completed (the
+    request is consumed), [None] if still pending. *)
+val test : env -> request -> payload option
+
+(** [waitall env rs] — wait on each request in order. *)
+val waitall : env -> request list -> payload list
+
+(** {2 Additional collectives (Table I's collective list)} *)
+
+(** [allgather env data] — every rank contributes [data]; everyone
+    receives the rank-ordered concatenation. All ranks must pass the
+    same element count. *)
+val allgather : ?comm:comm -> env -> payload -> payload
+
+(** [gather env ~root data] — like {!allgather} but only [root]
+    receives the concatenation; others get [[||]]. *)
+val gather : ?comm:comm -> env -> root:int -> payload -> payload
+
+(** [scatter env ~root ~count data] — [root] provides [np * count]
+    elements; every rank receives its [count]-element slice. A root
+    buffer of the wrong size hangs the collective (diagnosed). *)
+val scatter : ?comm:comm -> env -> root:int -> count:int -> payload -> payload
+
+(** [alltoall env ~count data] — each rank provides [np * count]
+    elements; rank [d] receives the [d]-th [count]-slice of every
+    rank, in rank order. *)
+val alltoall : ?comm:comm -> env -> count:int -> payload -> payload
+
+(** [scan env ~op data] — inclusive prefix reduction: rank [i] gets
+    the reduction of ranks [0..i]. *)
+val scan : ?comm:comm -> env -> op:reduce_op -> payload -> payload
+
+(** [comm_split ?comm env ~color ~key] — partition the parent
+    communicator (default world): members sharing [color] form a new
+    communicator, ordered by ([key], rank). Collective over the
+    parent. Root arguments to collectives on the result still take
+    {e global} pids (of members). *)
+val comm_split : ?comm:comm -> env -> color:int -> key:int -> comm
+
+(** [sendrecv env ~dst ?sendtag ~src ?recvtag data] — MPI_Sendrecv:
+    send [data] to [dst] and receive from [src] in one deadlock-free
+    call (the receive is posted first internally). *)
+val sendrecv :
+  env -> dst:int -> ?sendtag:int -> src:int -> ?recvtag:int -> payload -> payload

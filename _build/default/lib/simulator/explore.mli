@@ -1,0 +1,42 @@
+(** Schedule exploration.
+
+    The DOE correctness report the paper builds on (§I, ref [3])
+    classifies "nondeterminism control" as one of the six debugging
+    method types. The simulator's scheduler is a pure function of its
+    seed, which makes the simplest form of it trivial: run the same
+    program under many schedules and report how the outcome varies —
+    does a potential deadlock actually fire, does a racy update change
+    the result, how many distinct trace shapes exist? *)
+
+type verdict = {
+  seed : int;
+  deadlocked : bool;
+  timed_out : bool;
+  races : int;
+  fingerprint : int;
+      (** hash of all decoded traces: schedules with equal fingerprints
+          produced identical executions *)
+}
+
+type summary = {
+  verdicts : verdict list;       (** one per seed, in seed order *)
+  deadlock_seeds : int list;     (** seeds whose run hung *)
+  distinct_outcomes : int;       (** number of distinct fingerprints *)
+}
+
+(** [run ?np ?eager_limit ?max_steps ~seeds program] — execute
+    [program] once per seed. *)
+val run :
+  ?np:int ->
+  ?eager_limit:int ->
+  ?max_steps:int ->
+  seeds:int list ->
+  (Runtime.env -> unit) ->
+  summary
+
+(** [render s] — a compact report table. *)
+val render : summary -> string
+
+(** [fingerprint_of ts] — the full-content trace digest used in
+    verdicts (exposed for external drivers). *)
+val fingerprint_of : Difftrace_trace.Trace_set.t -> int

@@ -1,0 +1,59 @@
+type t =
+  | No_fault
+  | Swap_send_recv of { rank : int; after_iter : int }
+  | Deadlock_recv of { rank : int; after_iter : int }
+  | Wrong_collective_size of { rank : int }
+  | Wrong_collective_op of { rank : int }
+  | No_critical of { rank : int; thread : int }
+  | Skip_function of { rank : int; func : string }
+
+let equal (a : t) (b : t) = a = b
+
+let to_string = function
+  | No_fault -> "none"
+  | Swap_send_recv { rank; after_iter } ->
+    Printf.sprintf "swapBug(rank=%d,after=%d)" rank after_iter
+  | Deadlock_recv { rank; after_iter } ->
+    Printf.sprintf "dlBug(rank=%d,after=%d)" rank after_iter
+  | Wrong_collective_size { rank } -> Printf.sprintf "wrongSize(rank=%d)" rank
+  | Wrong_collective_op { rank } -> Printf.sprintf "wrongOp(rank=%d)" rank
+  | No_critical { rank; thread } ->
+    Printf.sprintf "noCritical(rank=%d,thread=%d)" rank thread
+  | Skip_function { rank; func } ->
+    Printf.sprintf "skipFunction(rank=%d,func=%s)" rank func
+
+(* Parses "name" or "name(k=v,...)". *)
+let of_string s =
+  let fail () = invalid_arg ("Fault.of_string: " ^ s) in
+  let name, args =
+    match String.index_opt s '(' with
+    | None -> (s, [])
+    | Some i ->
+      if s.[String.length s - 1] <> ')' then fail ();
+      let name = String.sub s 0 i in
+      let inner = String.sub s (i + 1) (String.length s - i - 2) in
+      let args =
+        if inner = "" then []
+        else
+          List.map
+            (fun kv ->
+              match String.split_on_char '=' kv with
+              | [ k; v ] -> (String.trim k, String.trim v)
+              | _ -> fail ())
+            (String.split_on_char ',' inner)
+      in
+      (name, args)
+  in
+  let geti k = match List.assoc_opt k args with Some v -> int_of_string v | None -> fail () in
+  let gets k = match List.assoc_opt k args with Some v -> v | None -> fail () in
+  match name with
+  | "none" -> No_fault
+  | "swapBug" -> Swap_send_recv { rank = geti "rank"; after_iter = geti "after" }
+  | "dlBug" -> Deadlock_recv { rank = geti "rank"; after_iter = geti "after" }
+  | "wrongSize" -> Wrong_collective_size { rank = geti "rank" }
+  | "wrongOp" -> Wrong_collective_op { rank = geti "rank" }
+  | "noCritical" -> No_critical { rank = geti "rank"; thread = geti "thread" }
+  | "skipFunction" -> Skip_function { rank = geti "rank"; func = gets "func" }
+  | _ -> fail ()
+
+let pp ppf f = Format.pp_print_string ppf (to_string f)

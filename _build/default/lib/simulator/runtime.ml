@@ -1,0 +1,994 @@
+open Difftrace_util
+open Difftrace_parlot
+module Trace_set = Difftrace_trace.Trace_set
+
+type payload = int array
+type reduce_op = Op_sum | Op_min | Op_max | Op_prod
+
+let apply_op op a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Runtime.apply_op: length mismatch";
+  let f =
+    match op with
+    | Op_sum -> ( + )
+    | Op_min -> min
+    | Op_max -> max
+    | Op_prod -> ( * )
+  in
+  Array.map2 f a b
+
+type coll_kind =
+  | C_barrier
+  | C_allreduce
+  | C_reduce
+  | C_bcast
+  | C_allgather
+  | C_gather
+  | C_scatter
+  | C_alltoall
+  | C_scan
+
+(* A communicator: an identifier plus its member ranks (sorted). The
+   world communicator has id 0 and every rank. *)
+type comm = { comm_id : int; members : int array }
+
+type coll_call = {
+  kind : coll_kind;
+  data : payload;
+  op : reduce_op;
+  count : int;
+  root : int;
+  comm : comm;
+}
+
+type race = { race_pid : int; cell_name : string; tids : int list }
+
+(* ------------------------------------------------------------------ *)
+(* Fibers and scheduler state                                          *)
+(* ------------------------------------------------------------------ *)
+
+type fiber = {
+  f_pid : int;
+  f_tid : int;
+  mutable status : status;
+  mutable held : string list; (* critical sections currently held *)
+  mutable fork : fork option; (* the team this fiber is a child of *)
+}
+
+and status =
+  | Runnable of (unit -> unit)
+  | Blocked of blocked
+  | Done
+  | Hung (* still blocked / running when the run ended abnormally *)
+
+and blocked =
+  | B_send of {
+      dst : int;
+      tag : int;
+      data : payload;
+      stamp : Vclock.stamp;
+      wake : unit -> unit;
+    }
+  | B_recv of { src : int; tag : int; wake : payload -> unit }
+  | B_coll of { seq : int }
+  | B_join of { fork : fork; wake : unit -> unit }
+  | B_lock of { name : string }
+  | B_wait of { req : int }
+
+and fork = { parent : fiber; mutable children : fiber list }
+
+(* [m_notify] carries the request ID of a rendezvous-sized Isend: the
+   request completes when this message is consumed by a receive;
+   [m_stamp] is the sender's logical clock at the send. *)
+type mail = {
+  m_src : int;
+  m_tag : int;
+  m_data : payload;
+  m_notify : int option;
+  m_stamp : Vclock.stamp;
+}
+
+(* A recorded synchronization action with its logical timestamp. *)
+type sync_point = { sp_op : string; sp_stamp : Vclock.stamp }
+
+(* nonblocking-communication request state *)
+type req_state =
+  | Req_ready of payload
+  | Req_recv of { pid : int; src : int; tag : int } (* posted, unmatched *)
+  | Req_send (* rendezvous isend not yet consumed *)
+
+type participant = { p_fiber : fiber; p_call : coll_call; p_wake : payload -> unit }
+
+type coll_slot = {
+  mutable members : participant list;
+  mutable poisoned : bool; (* mismatch detected: never completes *)
+}
+
+type lock_state = { mutable holder : fiber option; waiters : (fiber * (unit -> unit)) Queue.t }
+
+type access = { a_tid : int; a_write : bool; a_locked : bool }
+
+type state = {
+  np : int;
+  eager_limit : int;
+  rng : Prng.t;
+  capture : Capture.t;
+  fibers : fiber Vec.t;
+  mailboxes : mail Vec.t array; (* indexed by destination pid *)
+  coll_seq : (int * int, int) Hashtbl.t;
+  (* (comm_id, pid) -> next collective sequence number in that comm *)
+  colls : (int * int, coll_slot) Hashtbl.t; (* (comm_id, seq) -> slot *)
+  mutable next_comm : int;
+  locks : ((int * string), lock_state) Hashtbl.t;
+  accesses : ((int * int), access Vec.t) Hashtbl.t; (* (pid, cell id) *)
+  cell_names : (int, string) Hashtbl.t;
+  pending_forks : (int * int, fork) Hashtbl.t;
+  weights : float array; (* per-pid scheduling weight (OS jitter model) *)
+  requests : (int, req_state) Hashtbl.t;
+  req_waiters : (int, payload -> unit) Hashtbl.t; (* fiber wake by request *)
+  vclocks : Vclock.t array; (* per-process vector clock *)
+  lamports : int array; (* per-process Lamport clock *)
+  sync_logs : (int * int, sync_point Vec.t) Hashtbl.t;
+  mutable next_req : int;
+  mutable next_cell : int;
+  mutable steps_left : int;
+  mutable timed_out : bool;
+  mutable mismatch : string option;
+}
+
+type env = { e_pid : int; e_tid : int; e_st : state; e_fiber : fiber }
+
+let comm_world env : comm =
+  { comm_id = 0; members = Array.init env.e_st.np (fun i -> i) }
+
+let comm_rank_in (c : comm) pid =
+  let found = ref None in
+  Array.iteri
+    (fun i p -> if p = pid && !found = None then found := Some i)
+    c.members;
+  !found
+
+(* Deterministic identity for a split result: every member computes the
+   same id from the same inputs, so collectives on the new communicator
+   match across ranks without central coordination. *)
+let derive_comm ~(parent : comm) ~color ~(members : int array) : comm =
+  { comm_id = Hashtbl.hash (parent.comm_id, color, Array.to_list members);
+    members }
+
+let pid env = env.e_pid
+let tid env = env.e_tid
+let np env = env.e_st.np
+let tracer env = Capture.tracer env.e_st.capture ~pid:env.e_pid ~tid:env.e_tid
+let capture_level env = Capture.level env.e_st.capture
+
+type _ Effect.t +=
+  | E_yield : unit Effect.t
+  | E_send : { dst : int; tag : int; data : payload } -> unit Effect.t
+  | E_recv : { src : int; tag : int } -> payload Effect.t
+  | E_collective : coll_call -> payload Effect.t
+  | E_fork : (env -> unit) * int -> unit Effect.t
+  | E_join : unit Effect.t
+  | E_lock : string -> unit Effect.t
+  | E_unlock : string -> unit Effect.t
+  | E_isend : { dst : int; tag : int; data : payload } -> int Effect.t
+  | E_irecv : { src : int; tag : int } -> int Effect.t
+  | E_wait : int -> payload Effect.t
+  | E_test : int -> payload option Effect.t
+
+(* ------------------------------------------------------------------ *)
+(* Matching helpers                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* First mailbox entry for [dst] matching (src, tag), removed if found.
+   FIFO per (src, tag) pair, as MPI's non-overtaking rule requires. *)
+let rec take_mail st ~dst ~src ~tag =
+  let box = st.mailboxes.(dst) in
+  let found = ref None in
+  let i = ref 0 in
+  while !found = None && !i < Vec.length box do
+    let m = Vec.get box !i in
+    if m.m_src = src && m.m_tag = tag then found := Some !i;
+    incr i
+  done;
+  match !found with
+  | None -> None
+  | Some idx ->
+    let m = Vec.get box idx in
+    (* compact: shift left *)
+    for j = idx to Vec.length box - 2 do
+      Vec.set box j (Vec.get box (j + 1))
+    done;
+    Vec.truncate box (Vec.length box - 1);
+    (match m.m_notify with
+    | Some req -> complete_request st req [||] None
+    | None -> ());
+    Some (m.m_data, m.m_stamp)
+
+(* Mark a request ready, waking any fiber blocked in MPI_Wait on it.
+   [stamp] is the sender's clock when completing a posted receive; it is
+   folded into the receiving process's clock at match time. *)
+and complete_request st req data stamp =
+  (match (stamp, Hashtbl.find_opt st.requests req) with
+  | Some (s : Vclock.stamp), Some (Req_recv r) ->
+    Vclock.merge st.vclocks.(r.pid) s.Vclock.vec;
+    if s.Vclock.lamport > st.lamports.(r.pid) then
+      st.lamports.(r.pid) <- s.Vclock.lamport
+  | _, (Some (Req_recv _ | Req_ready _ | Req_send) | None) -> ());
+  Hashtbl.replace st.requests req (Req_ready data);
+  match Hashtbl.find_opt st.req_waiters req with
+  | Some wake ->
+    Hashtbl.remove st.req_waiters req;
+    Hashtbl.remove st.requests req;
+    wake data
+  | None -> ()
+
+(* A fiber of process [src] blocked sending to [dst] with [tag]. *)
+let find_blocked_sender st ~dst ~src ~tag =
+  let found = ref None in
+  Vec.iter
+    (fun f ->
+      if Option.is_none !found && f.f_pid = src then
+        match f.status with
+        | Blocked (B_send s) when s.dst = dst && s.tag = tag ->
+          found := Some (f, s.data, s.stamp, s.wake)
+        | _ -> ())
+    st.fibers;
+  !found
+
+(* A fiber of process [dst] blocked receiving from (src, tag). *)
+let find_blocked_recv st ~dst ~src ~tag =
+  let found = ref None in
+  Vec.iter
+    (fun f ->
+      if Option.is_none !found && f.f_pid = dst then
+        match f.status with
+        | Blocked (B_recv r) when r.src = src && r.tag = tag ->
+          found := Some (f, r.wake)
+        | _ -> ())
+    st.fibers;
+  !found
+
+(* --- logical clocks ------------------------------------------------ *)
+
+(* A local step of process [pid]: tick its clocks and snapshot. *)
+let local_stamp st pid =
+  Vclock.tick st.vclocks.(pid) pid;
+  st.lamports.(pid) <- st.lamports.(pid) + 1;
+  { Vclock.lamport = st.lamports.(pid); vec = Vclock.copy st.vclocks.(pid) }
+
+(* The receive rule: fold the sender's stamp into [pid]'s clocks. *)
+let absorb_stamp st pid (stamp : Vclock.stamp) =
+  Vclock.merge st.vclocks.(pid) stamp.Vclock.vec;
+  if stamp.Vclock.lamport > st.lamports.(pid) then
+    st.lamports.(pid) <- stamp.Vclock.lamport
+
+let record_sync st fiber op stamp =
+  let key = (fiber.f_pid, fiber.f_tid) in
+  let log =
+    match Hashtbl.find_opt st.sync_logs key with
+    | Some v -> v
+    | None ->
+      let v = Vec.create () in
+      Hashtbl.add st.sync_logs key v;
+      v
+  in
+  Vec.push log { sp_op = op; sp_stamp = stamp }
+
+(* stamp + record a send-side action on the current fiber *)
+let send_stamp st fiber op =
+  let s = local_stamp st fiber.f_pid in
+  record_sync st fiber op s;
+  s
+
+(* absorb + stamp + record a receive-side action *)
+let recv_stamp st fiber op (sender : Vclock.stamp) =
+  absorb_stamp st fiber.f_pid sender;
+  let s = local_stamp st fiber.f_pid in
+  record_sync st fiber op s
+
+(* Earliest posted-but-unmatched Irecv request at [dst] for (src, tag);
+   MPI matches receives in posting order, and request IDs are issued in
+   posting order. *)
+let find_posted_recv st ~dst ~src ~tag =
+  let best = ref None in
+  Hashtbl.iter
+    (fun id state ->
+      match state with
+      | Req_recv r when r.pid = dst && r.src = src && r.tag = tag ->
+        (match !best with Some b when b < id -> () | _ -> best := Some id)
+      | Req_recv _ | Req_ready _ | Req_send -> ())
+    st.requests;
+  !best
+
+let coll_kind_name = function
+  | C_barrier -> "MPI_Barrier"
+  | C_allreduce -> "MPI_Allreduce"
+  | C_reduce -> "MPI_Reduce"
+  | C_bcast -> "MPI_Bcast"
+  | C_allgather -> "MPI_Allgather"
+  | C_gather -> "MPI_Gather"
+  | C_scatter -> "MPI_Scatter"
+  | C_alltoall -> "MPI_Alltoall"
+  | C_scan -> "MPI_Scan"
+
+(* Completion check for a collective slot: all np processes joined with
+   consistent kind and count. The op applied is rank 0's (lowest pid),
+   so a wrong op in rank 0 silently changes the result (§IV-D). *)
+let try_complete_coll st skey slot =
+  let comm_size =
+    match slot.members with
+    | [] -> max_int
+    | p :: _ -> Array.length p.p_call.comm.members
+  in
+  if (not slot.poisoned) && List.length slot.members = comm_size then begin
+    let members =
+      List.sort (fun a b -> Int.compare a.p_fiber.f_pid b.p_fiber.f_pid) slot.members
+    in
+    match members with
+    | [] -> ()
+    | first :: _ ->
+      let kind = first.p_call.kind and count = first.p_call.count in
+      let consistent =
+        List.for_all
+          (fun p -> p.p_call.kind = kind && p.p_call.count = count)
+          members
+      in
+      if not consistent then begin
+        slot.poisoned <- true;
+        if st.mismatch = None then
+          st.mismatch <-
+            Some
+              (Printf.sprintf "collective #%d: mismatched %s" (snd skey)
+                 (String.concat "/"
+                    (List.map
+                       (fun p ->
+                         Printf.sprintf "%s(count=%d)@p%d"
+                           (coll_kind_name p.p_call.kind)
+                           p.p_call.count p.p_fiber.f_pid)
+                       members)))
+      end
+      else begin
+        Hashtbl.remove st.colls skey;
+        (* a completed collective synchronizes all participants'
+           logical clocks *)
+        let merged = Vclock.create st.np in
+        let max_lamport = ref 0 in
+        List.iter
+          (fun p ->
+            Vclock.merge merged st.vclocks.(p.p_fiber.f_pid);
+            if st.lamports.(p.p_fiber.f_pid) > !max_lamport then
+              max_lamport := st.lamports.(p.p_fiber.f_pid))
+          members;
+        List.iter
+          (fun p ->
+            let pid = p.p_fiber.f_pid in
+            Vclock.merge st.vclocks.(pid) merged;
+            if !max_lamport > st.lamports.(pid) then st.lamports.(pid) <- !max_lamport;
+            record_sync st p.p_fiber
+              (coll_kind_name first.p_call.kind)
+              (local_stamp st pid))
+          members;
+        let op = first.p_call.op in
+        let chunk = count in
+        let sorted_data = List.map (fun p -> p.p_call.data) members in
+        let bad_vector_size =
+          match kind with
+          | C_scatter ->
+            let root = first.p_call.root in
+            List.exists
+              (fun p ->
+                p.p_fiber.f_pid = root
+                && Array.length p.p_call.data <> comm_size * chunk)
+              members
+          | C_alltoall ->
+            List.exists
+              (fun p -> Array.length p.p_call.data <> comm_size * chunk)
+              members
+          | C_barrier | C_allreduce | C_reduce | C_bcast | C_allgather
+          | C_gather | C_scan -> false
+        in
+        if bad_vector_size then begin
+          slot.poisoned <- true;
+          Hashtbl.add st.colls skey slot;
+          if st.mismatch = None then
+            st.mismatch <-
+              Some
+                (Printf.sprintf "collective #%d: %s buffer not np*count"
+                   (snd skey) (coll_kind_name kind))
+        end
+        else
+        let deliver =
+          match kind with
+          | C_barrier -> fun _ -> [||]
+          | C_allreduce ->
+            let acc =
+              List.fold_left
+                (fun acc p ->
+                  match acc with
+                  | None -> Some p.p_call.data
+                  | Some a -> Some (apply_op op a p.p_call.data))
+                None members
+            in
+            let result = Option.get acc in
+            fun _ -> Array.copy result
+          | C_reduce ->
+            let acc =
+              List.fold_left
+                (fun acc p ->
+                  match acc with
+                  | None -> Some p.p_call.data
+                  | Some a -> Some (apply_op op a p.p_call.data))
+                None members
+            in
+            let result = Option.get acc in
+            fun (p : participant) ->
+              if p.p_fiber.f_pid = p.p_call.root then Array.copy result else [||]
+          | C_bcast ->
+            let root = first.p_call.root in
+            let root_data =
+              match List.find_opt (fun p -> p.p_fiber.f_pid = root) members with
+              | Some p -> p.p_call.data
+              | None -> [||]
+            in
+            fun _ -> Array.copy root_data
+          | C_allgather ->
+            let all = Array.concat sorted_data in
+            fun _ -> Array.copy all
+          | C_gather ->
+            let all = Array.concat sorted_data in
+            fun (p : participant) ->
+              if p.p_fiber.f_pid = p.p_call.root then Array.copy all else [||]
+          | C_scatter ->
+            let root = first.p_call.root in
+            let root_data =
+              match List.find_opt (fun p -> p.p_fiber.f_pid = root) members with
+              | Some p -> p.p_call.data
+              | None -> [||]
+            in
+            fun (p : participant) ->
+              let r = Option.get (comm_rank_in p.p_call.comm p.p_fiber.f_pid) in
+              Array.sub root_data (r * chunk) chunk
+          | C_alltoall ->
+            (* contribution of sender s to receiver d: s.data[d*chunk ..] *)
+            fun (p : participant) ->
+              let d = Option.get (comm_rank_in p.p_call.comm p.p_fiber.f_pid) in
+              Array.concat
+                (List.map (fun data -> Array.sub data (d * chunk) chunk) sorted_data)
+          | C_scan ->
+            (* inclusive prefix reduction in rank order *)
+            let prefixes = Hashtbl.create st.np in
+            let _ =
+              List.fold_left
+                (fun acc p ->
+                  let acc =
+                    match acc with
+                    | None -> p.p_call.data
+                    | Some a -> apply_op op a p.p_call.data
+                  in
+                  Hashtbl.replace prefixes p.p_fiber.f_pid (Array.copy acc);
+                  Some acc)
+                None members
+            in
+            fun (p : participant) -> Hashtbl.find prefixes p.p_fiber.f_pid
+        in
+        List.iter (fun p -> p.p_wake (deliver p)) members
+      end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Fiber startup and the effect handler                                *)
+(* ------------------------------------------------------------------ *)
+
+let fiber_done st fiber =
+  fiber.status <- Done;
+  (* wake a parent waiting on a fully-finished team *)
+  match fiber.fork with
+  | None -> ()
+  | Some fork -> (
+    ignore st;
+    match fork.parent.status with
+    | Blocked (B_join j) when j.fork == fork ->
+      if List.for_all (fun c -> c.status = Done) fork.children then j.wake ()
+    | _ -> ())
+
+let rec start_fiber st fiber (thunk : unit -> unit) =
+  let open Effect.Deep in
+  match_with thunk ()
+    { retc = (fun () -> fiber_done st fiber);
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | E_yield ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                fiber.status <- Runnable (fun () -> continue k ()))
+          | E_send { dst; tag; data } ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                handle_send st fiber ~dst ~tag ~data k)
+          | E_recv { src; tag } ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                handle_recv st fiber ~src ~tag k)
+          | E_collective call ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                handle_collective st fiber call k)
+          | E_fork (body, nthreads) ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                handle_fork st fiber body nthreads k)
+          | E_join ->
+            Some (fun (k : (a, unit) continuation) -> handle_join st fiber k)
+          | E_lock name ->
+            Some (fun (k : (a, unit) continuation) -> handle_lock st fiber name k)
+          | E_unlock name ->
+            Some
+              (fun (k : (a, unit) continuation) -> handle_unlock st fiber name k)
+          | E_isend { dst; tag; data } ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                handle_isend st fiber ~dst ~tag ~data k)
+          | E_irecv { src; tag } ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                handle_irecv st fiber ~src ~tag k)
+          | E_wait req ->
+            Some (fun (k : (a, unit) continuation) -> handle_wait st fiber req k)
+          | E_test req ->
+            Some (fun (k : (a, unit) continuation) -> handle_test st fiber req k)
+          | _ -> None) }
+
+and handle_send :
+    state -> fiber -> dst:int -> tag:int -> data:payload ->
+    (unit, unit) Effect.Deep.continuation -> unit =
+ fun st fiber ~dst ~tag ~data k ->
+  let open Effect.Deep in
+  let stamp = send_stamp st fiber "MPI_Send" in
+  match find_blocked_recv st ~dst ~src:fiber.f_pid ~tag with
+  | Some (rf, wake) ->
+    (* wake only flips the receiver's status to Runnable *)
+    recv_stamp st rf "MPI_Recv" stamp;
+    wake data;
+    fiber.status <- Runnable (fun () -> continue k ())
+  | None ->
+    (match find_posted_recv st ~dst ~src:fiber.f_pid ~tag with
+     | Some req ->
+       complete_request st req data (Some stamp);
+       fiber.status <- Runnable (fun () -> continue k ())
+     | None ->
+    if Array.length data <= st.eager_limit then begin
+      (* eager: buffer at the destination and complete locally *)
+      Vec.push st.mailboxes.(dst)
+        { m_src = fiber.f_pid; m_tag = tag; m_data = data; m_notify = None;
+          m_stamp = stamp };
+      fiber.status <- Runnable (fun () -> continue k ())
+    end
+    else
+      (* rendezvous: wait for the matching receive *)
+      fiber.status <-
+        Blocked
+          (B_send
+             { dst;
+               tag;
+               data;
+               stamp;
+               wake = (fun () -> fiber.status <- Runnable (fun () -> continue k ())) }))
+
+and handle_recv :
+    state -> fiber -> src:int -> tag:int ->
+    (payload, unit) Effect.Deep.continuation -> unit =
+ fun st fiber ~src ~tag k ->
+  let open Effect.Deep in
+  match take_mail st ~dst:fiber.f_pid ~src ~tag with
+  | Some (data, stamp) ->
+    recv_stamp st fiber "MPI_Recv" stamp;
+    fiber.status <- Runnable (fun () -> continue k data)
+  | None -> (
+    match find_blocked_sender st ~dst:fiber.f_pid ~src ~tag with
+    | Some (_sf, data, stamp, wake) ->
+      recv_stamp st fiber "MPI_Recv" stamp;
+      wake ();
+      fiber.status <- Runnable (fun () -> continue k data)
+    | None ->
+      fiber.status <-
+        Blocked
+          (B_recv
+             { src;
+               tag;
+               wake =
+                 (fun data -> fiber.status <- Runnable (fun () -> continue k data)) }))
+
+and handle_collective :
+    state -> fiber -> coll_call ->
+    (payload, unit) Effect.Deep.continuation -> unit =
+ fun st fiber call k ->
+  let open Effect.Deep in
+  let ckey = (call.comm.comm_id, fiber.f_pid) in
+  let seq = Option.value ~default:0 (Hashtbl.find_opt st.coll_seq ckey) in
+  Hashtbl.replace st.coll_seq ckey (seq + 1);
+  let skey = (call.comm.comm_id, seq) in
+  let slot =
+    match Hashtbl.find_opt st.colls skey with
+    | Some s -> s
+    | None ->
+      let s = { members = []; poisoned = false } in
+      Hashtbl.add st.colls skey s;
+      s
+  in
+  let wake data = fiber.status <- Runnable (fun () -> continue k data) in
+  slot.members <- { p_fiber = fiber; p_call = call; p_wake = wake } :: slot.members;
+  fiber.status <- Blocked (B_coll { seq });
+  try_complete_coll st skey slot
+
+and handle_fork :
+    state -> fiber -> (env -> unit) -> int ->
+    (unit, unit) Effect.Deep.continuation -> unit =
+ fun st fiber body nthreads k ->
+  let open Effect.Deep in
+  if Hashtbl.mem st.pending_forks (fiber.f_pid, fiber.f_tid) then
+    invalid_arg "Runtime: nested parallel regions are not supported";
+  let fork = { parent = fiber; children = [] } in
+  let children =
+    List.init (nthreads - 1) (fun i ->
+        let t = i + 1 in
+        let child =
+          { f_pid = fiber.f_pid;
+            f_tid = t;
+            status = Done (* placeholder, set below *);
+            held = [];
+            fork = Some fork }
+        in
+        let env = { e_pid = child.f_pid; e_tid = t; e_st = st; e_fiber = child } in
+        child.status <-
+          Runnable (fun () -> start_fiber st child (fun () -> body env));
+        Vec.push st.fibers child;
+        child)
+  in
+  fork.children <- children;
+  (* The master resumes immediately and runs the team body for rank 0
+     itself (OpenMP semantics); it performs E_join afterwards, looked up
+     through [pending_forks]. *)
+  Hashtbl.replace st.pending_forks (fiber.f_pid, fiber.f_tid) fork;
+  fiber.status <- Runnable (fun () -> continue k ())
+
+and handle_join :
+    state -> fiber -> (unit, unit) Effect.Deep.continuation -> unit =
+ fun st fiber k ->
+  let open Effect.Deep in
+  match Hashtbl.find_opt st.pending_forks (fiber.f_pid, fiber.f_tid) with
+  | None -> fiber.status <- Runnable (fun () -> continue k ())
+  | Some fork ->
+    Hashtbl.remove st.pending_forks (fiber.f_pid, fiber.f_tid);
+    if List.for_all (fun c -> c.status = Done) fork.children then
+      fiber.status <- Runnable (fun () -> continue k ())
+    else
+      fiber.status <-
+        Blocked
+          (B_join
+             { fork;
+               wake = (fun () -> fiber.status <- Runnable (fun () -> continue k ())) })
+
+and handle_lock :
+    state -> fiber -> string -> (unit, unit) Effect.Deep.continuation -> unit =
+ fun st fiber name k ->
+  let open Effect.Deep in
+  let key = (fiber.f_pid, name) in
+  let ls =
+    match Hashtbl.find_opt st.locks key with
+    | Some ls -> ls
+    | None ->
+      let ls = { holder = None; waiters = Queue.create () } in
+      Hashtbl.add st.locks key ls;
+      ls
+  in
+  match ls.holder with
+  | None ->
+    ls.holder <- Some fiber;
+    fiber.held <- name :: fiber.held;
+    fiber.status <- Runnable (fun () -> continue k ())
+  | Some _ ->
+    let wake () =
+      ls.holder <- Some fiber;
+      fiber.held <- name :: fiber.held;
+      fiber.status <- Runnable (fun () -> continue k ())
+    in
+    Queue.push (fiber, wake) ls.waiters;
+    fiber.status <- Blocked (B_lock { name })
+
+and fresh_request st state0 =
+  let id = st.next_req in
+  st.next_req <- id + 1;
+  Hashtbl.replace st.requests id state0;
+  id
+
+and handle_isend :
+    state -> fiber -> dst:int -> tag:int -> data:payload ->
+    (int, unit) Effect.Deep.continuation -> unit =
+ fun st fiber ~dst ~tag ~data k ->
+  let open Effect.Deep in
+  let resume req = fiber.status <- Runnable (fun () -> continue k req) in
+  let stamp = send_stamp st fiber "MPI_Isend" in
+  match find_blocked_recv st ~dst ~src:fiber.f_pid ~tag with
+  | Some (rf, wake) ->
+    recv_stamp st rf "MPI_Recv" stamp;
+    wake data;
+    resume (fresh_request st (Req_ready [||]))
+  | None -> (
+    match find_posted_recv st ~dst ~src:fiber.f_pid ~tag with
+    | Some posted ->
+      complete_request st posted data (Some stamp);
+      resume (fresh_request st (Req_ready [||]))
+    | None ->
+      if Array.length data <= st.eager_limit then begin
+        Vec.push st.mailboxes.(dst)
+          { m_src = fiber.f_pid; m_tag = tag; m_data = data; m_notify = None;
+            m_stamp = stamp };
+        resume (fresh_request st (Req_ready [||]))
+      end
+      else begin
+        (* rendezvous-sized: the call itself never blocks, but the
+           request completes only when the message is consumed *)
+        let req = fresh_request st Req_send in
+        Vec.push st.mailboxes.(dst)
+          { m_src = fiber.f_pid; m_tag = tag; m_data = data; m_notify = Some req;
+            m_stamp = stamp };
+        resume req
+      end)
+
+and handle_irecv :
+    state -> fiber -> src:int -> tag:int ->
+    (int, unit) Effect.Deep.continuation -> unit =
+ fun st fiber ~src ~tag k ->
+  let open Effect.Deep in
+  let resume req = fiber.status <- Runnable (fun () -> continue k req) in
+  match take_mail st ~dst:fiber.f_pid ~src ~tag with
+  | Some (data, stamp) ->
+    absorb_stamp st fiber.f_pid stamp;
+    resume (fresh_request st (Req_ready data))
+  | None -> (
+    match find_blocked_sender st ~dst:fiber.f_pid ~src ~tag with
+    | Some (_sf, data, stamp, wake) ->
+      absorb_stamp st fiber.f_pid stamp;
+      wake ();
+      resume (fresh_request st (Req_ready data))
+    | None -> resume (fresh_request st (Req_recv { pid = fiber.f_pid; src; tag })))
+
+and handle_wait :
+    state -> fiber -> int -> (payload, unit) Effect.Deep.continuation -> unit =
+ fun st fiber req k ->
+  let open Effect.Deep in
+  match Hashtbl.find_opt st.requests req with
+  | None -> invalid_arg "Runtime: MPI_Wait on an unknown or finished request"
+  | Some (Req_ready data) ->
+    Hashtbl.remove st.requests req;
+    record_sync st fiber "MPI_Wait" (local_stamp st fiber.f_pid);
+    fiber.status <- Runnable (fun () -> continue k data)
+  | Some (Req_recv _ | Req_send) ->
+    Hashtbl.replace st.req_waiters req (fun data ->
+        record_sync st fiber "MPI_Wait" (local_stamp st fiber.f_pid);
+        fiber.status <- Runnable (fun () -> continue k data));
+    fiber.status <- Blocked (B_wait { req })
+
+and handle_test :
+    state -> fiber -> int -> (payload option, unit) Effect.Deep.continuation -> unit =
+ fun st fiber req k ->
+  let open Effect.Deep in
+  match Hashtbl.find_opt st.requests req with
+  | None -> invalid_arg "Runtime: MPI_Test on an unknown or finished request"
+  | Some (Req_ready data) ->
+    Hashtbl.remove st.requests req;
+    record_sync st fiber "MPI_Test" (local_stamp st fiber.f_pid);
+    fiber.status <- Runnable (fun () -> continue k (Some data))
+  | Some (Req_recv _ | Req_send) ->
+    (* incomplete: return immediately (and let others run) *)
+    fiber.status <- Runnable (fun () -> continue k None)
+
+and handle_unlock :
+    state -> fiber -> string -> (unit, unit) Effect.Deep.continuation -> unit =
+ fun st fiber name k ->
+  let open Effect.Deep in
+  let key = (fiber.f_pid, name) in
+  (match Hashtbl.find_opt st.locks key with
+  | Some ls when (match ls.holder with Some f -> f == fiber | None -> false) ->
+    fiber.held <- List.filter (fun n -> n <> name) fiber.held;
+    if Queue.is_empty ls.waiters then ls.holder <- None
+    else
+      let _, wake = Queue.pop ls.waiters in
+      wake ()
+  | _ -> invalid_arg "Runtime: unlock of a lock not held");
+  fiber.status <- Runnable (fun () -> continue k ())
+
+(* ------------------------------------------------------------------ *)
+(* Shared memory with access recording                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Shm = struct
+  type 'a cell = { id : int; name : string; protected_ : bool; mutable v : 'a }
+
+  let counter = ref 0
+
+  let cell ?(protected_ = false) name v =
+    incr counter;
+    { id = !counter; name; protected_; v }
+
+  (* Bounded per-(process, cell) log: flagging a discipline violation
+     needs only one witness per thread, not the full access history. *)
+  let max_log = 4096
+
+  let record env c write =
+    if c.protected_ then begin
+      let st = env.e_st in
+      Hashtbl.replace st.cell_names c.id c.name;
+      let key = (env.e_pid, c.id) in
+      let log =
+        match Hashtbl.find_opt st.accesses key with
+        | Some v -> v
+        | None ->
+          let v = Vec.create () in
+          Hashtbl.add st.accesses key v;
+          v
+      in
+      if Vec.length log < max_log then
+        Vec.push log
+          { a_tid = env.e_tid; a_write = write; a_locked = env.e_fiber.held <> [] }
+    end
+
+  let read env c =
+    record env c false;
+    c.v
+
+  let write env c v =
+    record env c true;
+    c.v <- v
+end
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pick_runnable st =
+  let candidates = Vec.create () in
+  Vec.iter
+    (fun f -> match f.status with Runnable _ -> Vec.push candidates f | _ -> ())
+    st.fibers;
+  let n = Vec.length candidates in
+  if n = 0 then None
+  else begin
+    (* weighted pick: per-process weights model OS timing jitter;
+       uniform weights degrade to a plain seeded choice *)
+    let total = ref 0.0 in
+    Vec.iter (fun f -> total := !total +. st.weights.(f.f_pid)) candidates;
+    let target = Prng.float st.rng *. !total in
+    let acc = ref 0.0 and chosen = ref None in
+    Vec.iter
+      (fun f ->
+        if !chosen = None then begin
+          acc := !acc +. st.weights.(f.f_pid);
+          if !acc >= target then chosen := Some f
+        end)
+      candidates;
+    match !chosen with Some f -> Some f | None -> Some (Vec.get candidates (n - 1))
+  end
+
+let schedule st =
+  let continue_run = ref true in
+  while !continue_run do
+    if st.steps_left <= 0 then begin
+      st.timed_out <- true;
+      continue_run := false
+    end
+    else
+      match pick_runnable st with
+      | None -> continue_run := false
+      | Some fiber -> (
+        st.steps_left <- st.steps_left - 1;
+        match fiber.status with
+        | Runnable thunk -> thunk ()
+        | Blocked _ | Done | Hung -> assert false)
+  done
+
+(* A "race" here is a locking-discipline violation: a write to a
+   protected cell performed while holding no critical section. (The
+   intentional unlocked *reads* HPC search codes do — a master scanning
+   its workers' champions — are not flagged.) *)
+let races_of st =
+  Hashtbl.fold
+    (fun (pid, cell_id) log acc ->
+      let conflicting_tids = Hashtbl.create 8 in
+      Vec.iter
+        (fun a ->
+          if a.a_write && not a.a_locked then
+            Hashtbl.replace conflicting_tids a.a_tid ())
+        log;
+      if Hashtbl.length conflicting_tids = 0 then acc
+      else
+        { race_pid = pid;
+          cell_name =
+            (match Hashtbl.find_opt st.cell_names cell_id with
+            | Some n -> n
+            | None -> "?");
+          tids =
+            List.sort Int.compare
+              (Hashtbl.fold (fun t () l -> t :: l) conflicting_tids []) }
+        :: acc)
+    st.accesses []
+
+type outcome = {
+  traces : Trace_set.t;
+  stats : Capture.stats;
+  deadlocked : (int * int) list;
+  timed_out : bool;
+  collective_mismatch : string option;
+  races : race list;
+  sync_log : ((int * int) * sync_point array) list;
+}
+
+let run ?(np = 1) ?(eager_limit = 4) ?(seed = 1) ?(max_steps = 2_000_000)
+    ?(level = Tracer.Main_image) ?(jitter = 0.0) program =
+  if np <= 0 then invalid_arg "Runtime.run: np must be positive";
+  if jitter < 0.0 || jitter >= 1.0 then
+    invalid_arg "Runtime.run: jitter must be in [0, 1)";
+  let wrng = Prng.create (seed lxor 0x5DEECE66D) in
+  let weights =
+    Array.init np (fun _ ->
+        1.0 +. (jitter *. ((2.0 *. Prng.float wrng) -. 1.0)))
+  in
+  let st =
+    { np;
+      eager_limit;
+      rng = Prng.create seed;
+      weights;
+      capture = Capture.create ~level ();
+      fibers = Vec.create ();
+      mailboxes = Array.init np (fun _ -> Vec.create ());
+      coll_seq = Hashtbl.create 64;
+      colls = Hashtbl.create 64;
+      next_comm = 1;
+      locks = Hashtbl.create 16;
+      accesses = Hashtbl.create 64;
+      cell_names = Hashtbl.create 16;
+      pending_forks = Hashtbl.create 16;
+      requests = Hashtbl.create 64;
+      req_waiters = Hashtbl.create 16;
+      vclocks = Array.init np (fun _ -> Vclock.create np);
+      lamports = Array.make np 0;
+      sync_logs = Hashtbl.create 32;
+      next_req = 0;
+      next_cell = 0;
+      steps_left = max_steps;
+      timed_out = false;
+      mismatch = None }
+  in
+  for p = 0 to np - 1 do
+    let fiber = { f_pid = p; f_tid = 0; status = Done; held = []; fork = None } in
+    let env = { e_pid = p; e_tid = 0; e_st = st; e_fiber = fiber } in
+    (* touch the tracer so even an empty thread produces a trace file *)
+    ignore (Capture.tracer st.capture ~pid:p ~tid:0);
+    fiber.status <-
+      Runnable (fun () -> start_fiber st fiber (fun () -> program env));
+    Vec.push st.fibers fiber
+  done;
+  schedule st;
+  let deadlocked = ref [] in
+  Vec.iter
+    (fun f ->
+      match f.status with
+      | Done -> ()
+      | Runnable _ | Blocked _ | Hung ->
+        f.status <- Hung;
+        deadlocked := (f.f_pid, f.f_tid) :: !deadlocked;
+        Tracer.set_truncated (Capture.tracer st.capture ~pid:f.f_pid ~tid:f.f_tid))
+    st.fibers;
+  let traces = Capture.finish st.capture in
+  let stats = Capture.stats st.capture traces in
+  { traces;
+    stats;
+    deadlocked = List.sort compare (List.rev !deadlocked);
+    timed_out = st.timed_out;
+    collective_mismatch = st.mismatch;
+    races = races_of st;
+    sync_log =
+      Hashtbl.fold (fun key v acc -> (key, Vec.to_array v) :: acc) st.sync_logs []
+      |> List.sort compare }

@@ -1,0 +1,180 @@
+(** Deterministic cooperative MPI + OpenMP execution simulator.
+
+    This substrate replaces the paper's physical testbed (MPI + GOMP
+    under Pin). A run executes [np] SPMD processes, each a cooperative
+    fiber (OCaml 5 effect handlers); processes may fork OpenMP-style
+    thread teams. The scheduler is seeded and fully deterministic, so a
+    normal and a fault-injected execution differ only through the fault
+    — the property DiffTrace's diffing relies on.
+
+    Faithfully modeled semantics (these carry the paper's bugs):
+    - point-to-point messages with an {e eager limit}: small sends
+      buffer and complete immediately, large sends rendezvous (block
+      until the matching receive) — the [swapBug] trap;
+    - collectives that complete only when all [np] processes have
+      joined with the same kind and count — a wrong count hangs the
+      job (§IV-C);
+    - the reduction operator actually applied is rank 0's — a wrong
+      operator in rank 0 silently changes semantics (§IV-D);
+    - global-deadlock detection: when nothing can run, every live
+      fiber's trace is truncated at its blocking call, exactly like the
+      ParLOT files of a hung job;
+    - a step budget standing in for the cluster job time limit, so
+      livelocks (e.g. workers spinning forever after their master
+      deadlocked) also end with truncated traces;
+    - critical sections and a locking-discipline checker that flags
+      writes to protected shared cells made outside any critical
+      section (§IV-B's bug class). *)
+
+(** Message and reduction payloads: arrays of ints. *)
+type payload = int array
+
+type reduce_op = Op_sum | Op_min | Op_max | Op_prod
+
+(** [apply_op op a b] combines elementwise ([a] and [b] must have equal
+    length). *)
+val apply_op : reduce_op -> payload -> payload -> payload
+
+(** Per-fiber execution context, passed to the program. *)
+type env
+
+val pid : env -> int
+val tid : env -> int
+val np : env -> int
+
+(** [tracer env] is this thread's ParLOT tracer; the {!Api} wrappers
+    use it to record call/return events. *)
+val tracer : env -> Difftrace_parlot.Tracer.t
+
+(** [capture_level env] — main image vs. all images. *)
+val capture_level : env -> Difftrace_parlot.Tracer.level
+
+(** A locking-discipline violation: a write to a [protected] shared
+    cell performed outside any critical section (§IV-B's bug class). *)
+type race = { race_pid : int; cell_name : string; tids : int list }
+
+(** A synchronization action recorded with its logical timestamp
+    (paper future work (2): logically timestamping trace entries to
+    mine temporal properties such as happened-before). [sp_op] is the
+    MPI operation name; [sp_stamp] its Lamport + vector-clock stamp. *)
+type sync_point = { sp_op : string; sp_stamp : Vclock.stamp }
+
+type outcome = {
+  traces : Difftrace_trace.Trace_set.t;
+  stats : Difftrace_parlot.Capture.stats;
+  deadlocked : (int * int) list;
+      (** threads still blocked/running when the run ended abnormally *)
+  timed_out : bool;  (** step budget exhausted (livelock / job limit) *)
+  collective_mismatch : string option;
+      (** diagnostic when a collective could never complete *)
+  races : race list;
+  sync_log : ((int * int) * sync_point array) list;
+      (** per (pid, tid): the logically-timestamped synchronization
+          actions, in program order *)
+}
+
+(** [run ?np ?eager_limit ?seed ?max_steps ?level ?jitter program]
+    executes [program env] once per rank and returns the decoded traces
+    plus diagnostics. [eager_limit] is in payload words (default 4);
+    [max_steps] bounds scheduler steps (default 2_000_000). [jitter]
+    ∈ [0, 1) (default 0) models OS timing noise: each process gets a
+    seed-derived scheduling weight in [1−jitter, 1+jitter], so ranks
+    advance at slightly different rates — still fully deterministic per
+    seed, but breaking the perfect symmetry that real clusters never
+    have. *)
+val run :
+  ?np:int ->
+  ?eager_limit:int ->
+  ?seed:int ->
+  ?max_steps:int ->
+  ?level:Difftrace_parlot.Tracer.level ->
+  ?jitter:float ->
+  (env -> unit) ->
+  outcome
+
+(** {2 Effects — the raw simulator interface}
+
+    Programs normally go through {!Api}, which wraps these effects with
+    ParLOT tracing. They are exposed for the API layer and for tests. *)
+
+type coll_kind =
+  | C_barrier
+  | C_allreduce
+  | C_reduce
+  | C_bcast
+  | C_allgather
+  | C_gather
+  | C_scatter
+  | C_alltoall
+  | C_scan
+
+(** A communicator: an identifier plus its member ranks (sorted
+    ascending). Collectives match per communicator, in per-member call
+    order; vector collectives (gather/scatter/alltoall/allgather/scan)
+    order their data by rank {e within} the communicator. *)
+type comm = { comm_id : int; members : int array }
+
+(** [comm_world env] — the world communicator (id 0, every rank). *)
+val comm_world : env -> comm
+
+(** [comm_rank_in comm pid] — [pid]'s rank within [comm], or [None] if
+    not a member. *)
+val comm_rank_in : comm -> int -> int option
+
+(** [derive_comm ~parent ~color ~members] — the deterministic
+    communicator all members of a split with the same [color] obtain
+    (same inputs → same identity on every rank). *)
+val derive_comm : parent:comm -> color:int -> members:int array -> comm
+
+type coll_call = {
+  kind : coll_kind;
+  data : payload;
+  op : reduce_op;
+  count : int;
+  root : int;
+  comm : comm;
+}
+
+type _ Effect.t +=
+  | E_yield : unit Effect.t
+  | E_send : { dst : int; tag : int; data : payload } -> unit Effect.t
+  | E_recv : { src : int; tag : int } -> payload Effect.t
+  | E_collective : coll_call -> payload Effect.t
+  | E_fork : (env -> unit) * int -> unit Effect.t
+  | E_join : unit Effect.t
+  | E_lock : string -> unit Effect.t
+  | E_unlock : string -> unit Effect.t
+  | E_isend : { dst : int; tag : int; data : payload } -> int Effect.t
+      (** nonblocking send; returns a request handle. Never blocks: an
+          eager-sized message buffers and the request is immediately
+          complete; a rendezvous-sized message is posted but its
+          request completes only when a receive consumes it. *)
+  | E_irecv : { src : int; tag : int } -> int Effect.t
+      (** nonblocking receive; returns a request handle that completes
+          when a matching message arrives (receives match in posting
+          order). *)
+  | E_wait : int -> payload Effect.t
+      (** block until the request completes; returns the received
+          payload ([[||]] for send requests). Each request can be
+          waited on exactly once. *)
+  | E_test : int -> payload option Effect.t
+      (** nonblocking completion check: [Some payload] consumes the
+          completed request, [None] leaves it pending (MPI_Test). *)
+
+(** {2 Shared memory with access recording} *)
+
+module Shm : sig
+  (** A per-process shared cell. Writes to cells declared
+      [~protected_:true] are checked against the locking discipline:
+      writing one outside a critical section surfaces in
+      [outcome.races]. *)
+  type 'a cell
+
+  (** [cell ?protected_ name v] — [name] appears in race reports;
+      [protected_] (default false) declares the cell as
+      critical-section-guarded. *)
+  val cell : ?protected_:bool -> string -> 'a -> 'a cell
+
+  val read : env -> 'a cell -> 'a
+  val write : env -> 'a cell -> 'a -> unit
+end

@@ -1,0 +1,58 @@
+type t = int array
+
+let create n =
+  if n <= 0 then invalid_arg "Vclock.create";
+  Array.make n 0
+
+let copy = Array.copy
+let size = Array.length
+
+let get t i =
+  if i < 0 || i >= Array.length t then invalid_arg "Vclock.get";
+  t.(i)
+
+let tick t i =
+  if i < 0 || i >= Array.length t then invalid_arg "Vclock.tick";
+  t.(i) <- t.(i) + 1
+
+let same_size a b =
+  if Array.length a <> Array.length b then invalid_arg "Vclock: size mismatch"
+
+let merge t other =
+  same_size t other;
+  Array.iteri (fun i v -> if v > t.(i) then t.(i) <- v) other
+
+let leq a b =
+  same_size a b;
+  let ok = ref true in
+  Array.iteri (fun i v -> if v > b.(i) then ok := false) a;
+  !ok
+
+let equal a b =
+  same_size a b;
+  a = b
+
+type order = Before | After | Equal | Concurrent
+
+let ord a b =
+  match (leq a b, leq b a) with
+  | true, true -> Equal
+  | true, false -> Before
+  | false, true -> After
+  | false, false -> Concurrent
+
+let happens_before a b = ord a b = Before
+let concurrent a b = ord a b = Concurrent
+let to_list = Array.to_list
+
+let of_list l =
+  if l = [] then invalid_arg "Vclock.of_list";
+  Array.of_list l
+
+let pp ppf t =
+  Format.fprintf ppf "<%s>"
+    (String.concat "," (List.map string_of_int (to_list t)))
+
+type stamp = { lamport : int; vec : t }
+
+let stamp_happens_before a b = happens_before a.vec b.vec

@@ -1,0 +1,62 @@
+(** Vector clocks and Lamport stamps (paper §VII future work (2) and
+    ref [46]).
+
+    The runtime stamps every synchronization action (send, receive,
+    collective, wait) with a per-process vector clock plus a Lamport
+    scalar; {!ord}/{!happens_before} then answer temporal queries over
+    two executions' traces — the "mine temporal properties such as
+    happened-before" the paper plans on top of OTF2 timestamps. *)
+
+type t
+
+(** [create n] is the zero clock over [n] processes. *)
+val create : int -> t
+
+val copy : t -> t
+
+(** [size t] is the number of components. *)
+val size : t -> int
+
+(** [get t i] is component [i]. *)
+val get : t -> int -> int
+
+(** [tick t i] increments component [i] in place (a local step of
+    process [i]). *)
+val tick : t -> int -> unit
+
+(** [merge t other] sets [t] to the componentwise maximum in place (the
+    receive rule). *)
+val merge : t -> t -> unit
+
+(** [leq a b] — pointwise ≤. *)
+val leq : t -> t -> bool
+
+val equal : t -> t -> bool
+
+(** Causal relation between two stamps. *)
+type order = Before | After | Equal | Concurrent
+
+(** [ord a b] — [Before] iff a ≤ b pointwise and a ≠ b, etc. *)
+val ord : t -> t -> order
+
+(** [happens_before a b] = [ord a b = Before]. *)
+val happens_before : t -> t -> bool
+
+(** [concurrent a b] = [ord a b = Concurrent]. *)
+val concurrent : t -> t -> bool
+
+(** [to_list t] / [of_list l]. *)
+val to_list : t -> int list
+
+val of_list : int list -> t
+
+(** [pp ppf t] prints as [<1,0,3>]. *)
+val pp : Format.formatter -> t -> unit
+
+(** A full logical stamp: Lamport scalar + vector snapshot. *)
+type stamp = { lamport : int; vec : t }
+
+(** [stamp_happens_before a b] — vector-clock happens-before over
+    stamps. [Lamport] consistency ([a → b] implies
+    [a.lamport < b.lamport]) is property-tested. *)
+val stamp_happens_before : stamp -> stamp -> bool

@@ -1,0 +1,1 @@
+lib/stacktree/cct.ml: Array Buffer Difftrace_trace Difftrace_util Event Hashtbl Int List Option Printf String Symtab Trace Trace_set

@@ -1,0 +1,1 @@
+lib/stacktree/cct.mli: Difftrace_trace

@@ -1,0 +1,1 @@
+lib/stacktree/stacktree.ml: Array Buffer Difftrace_trace Event Hashtbl Int List Option Printf String Symtab Trace Trace_set

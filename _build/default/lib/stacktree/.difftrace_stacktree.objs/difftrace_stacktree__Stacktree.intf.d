@@ -1,0 +1,1 @@
+lib/stacktree/stacktree.mli: Difftrace_trace

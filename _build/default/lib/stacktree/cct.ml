@@ -1,0 +1,168 @@
+open Difftrace_trace
+
+type node = {
+  frame : string;
+  calls : int;
+  by : (int * int) list;
+  children : node list;
+}
+
+type t = { roots : node list }
+
+(* Mutable builder tree. *)
+type mnode = {
+  m_frame : string;
+  mutable m_calls : int;
+  mutable m_by : (int * int) list;
+  m_children : (string, mnode) Hashtbl.t;
+  m_order : string Difftrace_util.Vec.t; (* first-seen child order *)
+}
+
+let mnode frame =
+  { m_frame = frame;
+    m_calls = 0;
+    m_by = [];
+    m_children = Hashtbl.create 4;
+    m_order = Difftrace_util.Vec.create () }
+
+let child_of parent frame =
+  match Hashtbl.find_opt parent.m_children frame with
+  | Some c -> c
+  | None ->
+    let c = mnode frame in
+    Hashtbl.add parent.m_children frame c;
+    Difftrace_util.Vec.push parent.m_order frame;
+    c
+
+let add_trace root symtab (tr : Trace.t) =
+  let who = (tr.Trace.pid, tr.Trace.tid) in
+  let stack = ref [ root ] in
+  let touch node =
+    node.m_calls <- node.m_calls + 1;
+    match node.m_by with
+    | w :: _ when w = who -> ()
+    | _ -> node.m_by <- who :: node.m_by
+  in
+  Array.iter
+    (fun ev ->
+      match ev with
+      | Event.Call id ->
+        let top = List.hd !stack in
+        let c = child_of top (Symtab.name symtab id) in
+        touch c;
+        stack := c :: !stack
+      | Event.Return id -> (
+        match !stack with
+        | top :: (_ :: _ as rest) when top.m_frame = Symtab.name symtab id ->
+          stack := rest
+        | _ -> () (* unmatched return: filtered trace, ignore *)))
+    tr.Trace.events
+
+let rec freeze m =
+  { frame = m.m_frame;
+    calls = m.m_calls;
+    by = List.sort_uniq compare m.m_by;
+    children =
+      Difftrace_util.Vec.to_list m.m_order
+      |> List.map (fun f -> freeze (Hashtbl.find m.m_children f)) }
+
+let freeze_root root = { roots = (freeze root).children }
+
+let of_trace symtab tr =
+  let root = mnode "<root>" in
+  add_trace root symtab tr;
+  freeze_root root
+
+let coalesce ts =
+  let symtab = Trace_set.symtab ts in
+  let root = mnode "<root>" in
+  Array.iter (add_trace root symtab) (Trace_set.traces ts);
+  freeze_root root
+
+let total_calls t =
+  let rec go acc n = List.fold_left go (acc + n.calls) n.children in
+  List.fold_left go 0 t.roots
+
+let find t path =
+  let rec go nodes = function
+    | [] -> None
+    | [ frame ] -> List.find_opt (fun n -> n.frame = frame) nodes
+    | frame :: rest -> (
+      match List.find_opt (fun n -> n.frame = frame) nodes with
+      | Some n -> go n.children rest
+      | None -> None)
+  in
+  go t.roots path
+
+type delta = { path : string list; normal_calls : int; faulty_calls : int }
+
+let diff ~normal ~faulty =
+  let table = Hashtbl.create 256 in
+  let rec walk which prefix nodes =
+    List.iter
+      (fun n ->
+        let path = List.rev (n.frame :: prefix) in
+        let a, b = Option.value ~default:(0, 0) (Hashtbl.find_opt table path) in
+        Hashtbl.replace table path
+          (match which with `N -> (n.calls, b) | `F -> (a, n.calls));
+        walk which (n.frame :: prefix) n.children)
+      nodes
+  in
+  walk `N [] normal.roots;
+  walk `F [] faulty.roots;
+  Hashtbl.fold
+    (fun path (a, b) acc ->
+      if a <> b then { path; normal_calls = a; faulty_calls = b } :: acc else acc)
+    table []
+  |> List.sort (fun x y ->
+         match
+           Int.compare
+             (abs (y.faulty_calls - y.normal_calls))
+             (abs (x.faulty_calls - x.normal_calls))
+         with
+         | 0 -> compare x.path y.path
+         | c -> c)
+
+let render ?(max_depth = max_int) t =
+  let buf = Buffer.create 1024 in
+  let rec go depth indent n =
+    if depth <= max_depth then begin
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s x%d (%d threads)\n" indent n.frame n.calls
+           (List.length n.by));
+      List.iter (go (depth + 1) (indent ^ "  ")) n.children
+    end
+  in
+  List.iter (go 1 "") t.roots;
+  Buffer.contents buf
+
+let render_diff deltas =
+  Difftrace_util.Texttable.render
+    ~headers:[ "Calling context"; "Normal"; "Faulty" ]
+    (List.map
+       (fun d ->
+         [ String.concat " > " d.path;
+           string_of_int d.normal_calls;
+           string_of_int d.faulty_calls ])
+       deltas)
+
+let to_dot ?(title = "calling-context tree") t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph cct {\n";
+  Buffer.add_string buf (Printf.sprintf "  label=%S;\n" title);
+  Buffer.add_string buf "  node [shape=box];\n";
+  let counter = ref 0 in
+  let rec go parent n =
+    let id = !counter in
+    incr counter;
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [label=\"%s\\nx%d (%d thr)\"];\n" id n.frame n.calls
+         (List.length n.by));
+    (match parent with
+    | Some p -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" p id)
+    | None -> ());
+    List.iter (go (Some id)) n.children
+  in
+  List.iter (go None) t.roots;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

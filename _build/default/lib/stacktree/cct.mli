@@ -1,0 +1,55 @@
+(** Coalesced calling-context trees (paper §II-E / §VI, ref [15]).
+
+    CSTGs "have proven effective in locating bugs within Uintah and
+    perform STAT-like equivalence class formation, albeit with the
+    added detail of maintaining calling contexts". This module builds a
+    calling-context tree from each trace's call/return nesting — node =
+    call path, weight = number of invocations — coalesces the trees of
+    all threads of a run, and diffs two coalesced trees, yielding the
+    per-context call-count deltas that localize behavioural changes
+    with full context. *)
+
+type node = {
+  frame : string;
+  calls : int;            (** total invocations of this context *)
+  by : (int * int) list;  (** threads contributing, sorted *)
+  children : node list;
+}
+
+type t = { roots : node list }
+
+(** [of_trace symtab trace] — one thread's calling-context tree. Calls
+    left open at the end of a truncated trace still count. *)
+val of_trace : Difftrace_trace.Symtab.t -> Difftrace_trace.Trace.t -> t
+
+(** [coalesce ts] — the merged tree over every trace of the run. *)
+val coalesce : Difftrace_trace.Trace_set.t -> t
+
+(** [total_calls t] — sum of [calls] over all nodes. *)
+val total_calls : t -> int
+
+(** [find t path] — the node at [path] (a list of frames from a root),
+    if present. *)
+val find : t -> string list -> node option
+
+(** A context whose call count changed between two runs. *)
+type delta = {
+  path : string list;
+  normal_calls : int;  (** 0 = context only in the faulty run *)
+  faulty_calls : int;  (** 0 = context disappeared *)
+}
+
+(** [diff ~normal ~faulty] — all contexts whose counts differ, sorted
+    by descending |delta|. *)
+val diff : normal:t -> faulty:t -> delta list
+
+(** [render ?max_depth t] — indented tree with counts and contributor
+    summaries. *)
+val render : ?max_depth:int -> t -> string
+
+(** [render_diff deltas] — a change table ("context, normal, faulty"). *)
+val render_diff : delta list -> string
+
+(** [to_dot ?title t] — Graphviz rendering of the coalesced tree; edge
+    labels carry call counts. *)
+val to_dot : ?title:string -> t -> string

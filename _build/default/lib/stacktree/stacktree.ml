@@ -1,0 +1,98 @@
+open Difftrace_trace
+
+let final_stack symtab (tr : Trace.t) =
+  let stack = ref [] in
+  Array.iter
+    (fun ev ->
+      match ev with
+      | Event.Call id -> stack := id :: !stack
+      | Event.Return id -> (
+        (* pop the matching frame; ignore unmatched returns, which
+           appear when the trace was filtered *)
+        match !stack with
+        | top :: rest when top = id -> stack := rest
+        | _ -> ()))
+    tr.Trace.events;
+  List.rev_map (Symtab.name symtab) !stack
+
+type node = { frame : string; members : (int * int) list; children : node list }
+type t = { roots : node list; idle : (int * int) list }
+
+(* Build the tree from (stack, thread) pairs by grouping on the head
+   frame at each level. Ordering: nodes sorted by descending member
+   count, ties by frame name. *)
+let rec build_level entries =
+  let by_frame = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (stack, who) ->
+      match stack with
+      | [] -> ()
+      | frame :: rest ->
+        if not (Hashtbl.mem by_frame frame) then order := frame :: !order;
+        Hashtbl.replace by_frame frame
+          ((rest, who) :: Option.value ~default:[] (Hashtbl.find_opt by_frame frame)))
+    entries;
+  List.rev !order
+  |> List.map (fun frame ->
+         let sub = List.rev (Hashtbl.find by_frame frame) in
+         { frame;
+           members = List.sort compare (List.map snd sub);
+           children = build_level sub })
+  |> List.sort (fun a b ->
+         match Int.compare (List.length b.members) (List.length a.members) with
+         | 0 -> String.compare a.frame b.frame
+         | c -> c)
+
+let build ts =
+  let symtab = Trace_set.symtab ts in
+  let entries =
+    Array.to_list (Trace_set.traces ts)
+    |> List.map (fun (tr : Trace.t) ->
+           (final_stack symtab tr, (tr.Trace.pid, tr.Trace.tid)))
+  in
+  let idle = List.filter (fun (s, _) -> s = []) entries |> List.map snd in
+  { roots = build_level entries; idle = List.sort compare idle }
+
+let equivalence_classes t =
+  let classes = Hashtbl.create 32 in
+  let rec walk prefix node =
+    let stack = List.rev (node.frame :: prefix) in
+    (* threads whose stack ENDS at this node: members not in any child *)
+    let deeper =
+      List.concat_map (fun c -> c.members) node.children |> List.sort_uniq compare
+    in
+    let ending = List.filter (fun m -> not (List.mem m deeper)) node.members in
+    if ending <> [] then Hashtbl.replace classes stack ending;
+    List.iter (walk (node.frame :: prefix)) node.children
+  in
+  List.iter (walk []) t.roots;
+  let cls =
+    Hashtbl.fold (fun stack members acc -> (stack, members) :: acc) classes []
+    |> List.sort (fun (sa, ma) (sb, mb) ->
+           match Int.compare (List.length mb) (List.length ma) with
+           | 0 -> compare sa sb
+           | c -> c)
+  in
+  if t.idle = [] then cls else cls @ [ ([], t.idle) ]
+
+let label (p, t) = Printf.sprintf "%d.%d" p t
+
+let members_summary members =
+  let n = List.length members in
+  let shown = List.filteri (fun i _ -> i < 6) members |> List.map label in
+  Printf.sprintf "[%d: %s%s]" n (String.concat "," shown)
+    (if n > 6 then ",..." else "")
+
+let render t =
+  let buf = Buffer.create 1024 in
+  let rec go indent node =
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s %s\n" indent node.frame (members_summary node.members));
+    List.iter (go (indent ^ "  ")) node.children
+  in
+  List.iter (go "") t.roots;
+  if t.idle <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "(completed cleanly) %s\n" (members_summary t.idle));
+  Buffer.contents buf

@@ -1,0 +1,46 @@
+(** STAT-style stack prefix trees (paper §II-E and §VI, refs [14][15]).
+
+    "The widely used and highly successful STAT tool owes most of its
+    success for being able to efficiently collect stack traces, organize
+    them as prefix-trees, and equivalence the processes into teams" —
+    this module provides that view over the simulator's whole-program
+    traces: each thread's *final* call stack (functions entered but
+    never returned from) is reconstructed from its call/return stream;
+    the stacks are merged into a prefix tree whose nodes carry the set
+    of threads passing through; threads with identical final stacks form
+    equivalence classes. For a hung run this answers "where is everyone
+    stuck" at a glance — the triage STAT performs on live jobs. *)
+
+(** [final_stack symtab trace] — the call stack at the end of the
+    trace, outermost function first. Empty for a thread that returned
+    from everything (a completed run whose events balance). Unmatched
+    returns are ignored (robustness against filtered traces). *)
+val final_stack :
+  Difftrace_trace.Symtab.t -> Difftrace_trace.Trace.t -> string list
+
+(** A prefix-tree node: the function name, the threads whose final
+    stack goes through this frame, and the deeper frames. *)
+type node = {
+  frame : string;
+  members : (int * int) list;  (** (pid, tid), sorted *)
+  children : node list;
+}
+
+type t = {
+  roots : node list;
+  idle : (int * int) list;
+      (** threads with an empty final stack (completed cleanly) *)
+}
+
+(** [build ts] — the merged prefix tree over every trace's final
+    stack. *)
+val build : Difftrace_trace.Trace_set.t -> t
+
+(** [equivalence_classes t] — groups of threads with identical final
+    stacks, largest class first; the empty-stack class (if any) comes
+    last. Each class is [(stack, members)]. *)
+val equivalence_classes : t -> (string list * (int * int) list) list
+
+(** [render t] — STAT-like ASCII tree, member counts and sample labels
+    on every node. *)
+val render : t -> string

@@ -1,0 +1,1 @@
+lib/temporal/otf2.ml: Array Buffer Difftrace_simulator Difftrace_trace Difftrace_util Event Hashtbl List Printf Queue Scanf String Symtab Trace Trace_set

@@ -1,0 +1,1 @@
+lib/temporal/otf2.mli: Difftrace_simulator Difftrace_trace

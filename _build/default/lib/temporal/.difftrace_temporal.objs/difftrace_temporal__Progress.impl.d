@@ -1,0 +1,1 @@
+lib/temporal/progress.ml: Array Difftrace_simulator Difftrace_util Int List Option Printf

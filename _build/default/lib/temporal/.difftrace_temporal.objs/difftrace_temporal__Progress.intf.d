@@ -1,0 +1,1 @@
+lib/temporal/progress.mli: Difftrace_simulator

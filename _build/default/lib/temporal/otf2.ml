@@ -1,0 +1,215 @@
+open Difftrace_trace
+module R = Difftrace_simulator.Runtime
+module Vclock = Difftrace_simulator.Vclock
+
+type sync = { op : string; lamport : int; vector : int list }
+type event = Enter of string | Leave of string | Sync of sync
+
+type location = { pid : int; tid : int; truncated : bool; events : event list }
+type t = { locations : location list }
+
+(* Attach each recorded sync point after the ENTER of the call it
+   stamps: the fiber's sync records are in program order, so a queue
+   matched by operation name suffices. MPI_Waitall is the one composite
+   case — it performs several waits inside a single traced call — and
+   is handled by draining consecutive MPI_Wait records. *)
+let events_of_trace symtab (tr : Trace.t) syncs =
+  let q = Queue.create () in
+  Array.iter (fun sp -> Queue.push sp q) syncs;
+  let out = ref [] in
+  let emit e = out := e :: !out in
+  let sync_of (sp : R.sync_point) =
+    Sync
+      { op = sp.R.sp_op;
+        lamport = sp.R.sp_stamp.Vclock.lamport;
+        vector = Vclock.to_list sp.R.sp_stamp.Vclock.vec }
+  in
+  Array.iter
+    (fun ev ->
+      match ev with
+      | Event.Return id -> emit (Leave (Symtab.name symtab id))
+      | Event.Call id ->
+        let name = Symtab.name symtab id in
+        emit (Enter name);
+        let matches sp_op =
+          sp_op = name || (name = "MPI_Waitall" && sp_op = "MPI_Wait")
+        in
+        let rec drain () =
+          match Queue.peek_opt q with
+          | Some sp when matches sp.R.sp_op ->
+            ignore (Queue.pop q);
+            emit (sync_of sp);
+            if name = "MPI_Waitall" then drain ()
+          | Some _ | None -> ()
+        in
+        drain ())
+    tr.Trace.events;
+  (* any unmatched sync records are appended, preserving order *)
+  Queue.iter (fun sp -> emit (sync_of sp)) q;
+  List.rev !out
+
+let of_outcome (outcome : R.outcome) =
+  let ts = outcome.R.traces in
+  let symtab = Trace_set.symtab ts in
+  let locations =
+    Array.to_list (Trace_set.traces ts)
+    |> List.map (fun (tr : Trace.t) ->
+           let syncs =
+             match List.assoc_opt (tr.Trace.pid, tr.Trace.tid) outcome.R.sync_log with
+             | Some s -> s
+             | None -> [||]
+           in
+           { pid = tr.Trace.pid;
+             tid = tr.Trace.tid;
+             truncated = tr.Trace.truncated;
+             events = events_of_trace symtab tr syncs })
+  in
+  { locations }
+
+(* --- rendering ------------------------------------------------------ *)
+
+let render t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "OTF2-TEXT 1\n";
+  (* string definitions *)
+  let strings = Hashtbl.create 128 in
+  let order = Difftrace_util.Vec.create () in
+  let intern s =
+    match Hashtbl.find_opt strings s with
+    | Some i -> i
+    | None ->
+      let i = Hashtbl.length strings in
+      Hashtbl.add strings s i;
+      Difftrace_util.Vec.push order s;
+      i
+  in
+  List.iter
+    (fun loc ->
+      List.iter
+        (function
+          | Enter n | Leave n -> ignore (intern n)
+          | Sync s -> ignore (intern s.op))
+        loc.events)
+    t.locations;
+  Difftrace_util.Vec.iteri
+    (fun i s -> Buffer.add_string buf (Printf.sprintf "DEF STRING %d %S\n" i s))
+    order;
+  List.iter
+    (fun loc ->
+      Buffer.add_string buf
+        (Printf.sprintf "DEF LOCATION %d %d %s\n" loc.pid loc.tid
+           (if loc.truncated then "TRUNCATED" else "COMPLETE")))
+    t.locations;
+  (* events per location *)
+  List.iter
+    (fun loc ->
+      Buffer.add_string buf (Printf.sprintf "BEGIN %d %d\n" loc.pid loc.tid);
+      List.iter
+        (fun e ->
+          Buffer.add_string buf
+            (match e with
+            | Enter n -> Printf.sprintf "E %d\n" (intern n)
+            | Leave n -> Printf.sprintf "L %d\n" (intern n)
+            | Sync s ->
+              Printf.sprintf "S %d %d %s\n" (intern s.op) s.lamport
+                (String.concat "," (List.map string_of_int s.vector))))
+        loc.events;
+      Buffer.add_string buf (Printf.sprintf "END %d %d\n" loc.pid loc.tid))
+    t.locations;
+  Buffer.contents buf
+
+(* --- parsing --------------------------------------------------------- *)
+
+let parse text =
+  let fail line = invalid_arg ("Otf2.parse: bad line: " ^ line) in
+  let lines = String.split_on_char '\n' text in
+  let strings = Hashtbl.create 128 in
+  let locations = ref [] in
+  let current = ref None in
+  let header_seen = ref false in
+  let name id =
+    match Hashtbl.find_opt strings id with
+    | Some s -> s
+    | None -> invalid_arg "Otf2.parse: undefined string id"
+  in
+  List.iter
+    (fun line ->
+      if line <> "" then
+        match String.split_on_char ' ' line with
+        | [ "OTF2-TEXT"; "1" ] -> header_seen := true
+        | "DEF" :: "STRING" :: id :: rest ->
+          let raw = String.concat " " rest in
+          let s = Scanf.sscanf raw "%S" (fun s -> s) in
+          Hashtbl.add strings (int_of_string id) s
+        | [ "DEF"; "LOCATION"; pid; tid; status ] ->
+          locations :=
+            { pid = int_of_string pid;
+              tid = int_of_string tid;
+              truncated = status = "TRUNCATED";
+              events = [] }
+            :: !locations
+        | [ "BEGIN"; pid; tid ] ->
+          current := Some (int_of_string pid, int_of_string tid, ref [])
+        | [ "END"; pid; tid ] -> (
+          match !current with
+          | Some (p, t, evs) when p = int_of_string pid && t = int_of_string tid ->
+            let events = List.rev !evs in
+            locations :=
+              List.map
+                (fun loc ->
+                  if loc.pid = p && loc.tid = t then { loc with events } else loc)
+                !locations;
+            current := None
+          | Some _ | None -> fail line)
+        | [ "E"; id ] -> (
+          match !current with
+          | Some (_, _, evs) -> evs := Enter (name (int_of_string id)) :: !evs
+          | None -> fail line)
+        | [ "L"; id ] -> (
+          match !current with
+          | Some (_, _, evs) -> evs := Leave (name (int_of_string id)) :: !evs
+          | None -> fail line)
+        | [ "S"; id; lamport; vec ] -> (
+          match !current with
+          | Some (_, _, evs) ->
+            evs :=
+              Sync
+                { op = name (int_of_string id);
+                  lamport = int_of_string lamport;
+                  vector =
+                    List.map int_of_string (String.split_on_char ',' vec) }
+              :: !evs
+          | None -> fail line)
+        | _ -> fail line)
+    lines;
+  if not !header_seen then invalid_arg "Otf2.parse: missing header";
+  { locations = List.rev !locations }
+
+let equal a b = a = b
+
+let sync_points t =
+  List.concat_map
+    (fun loc ->
+      List.filter_map
+        (function Sync s -> Some ((loc.pid, loc.tid), s) | Enter _ | Leave _ -> None)
+        loc.events)
+    t.locations
+
+let to_trace_set t =
+  let symtab = Symtab.create () in
+  let traces =
+    List.map
+      (fun loc ->
+        let events =
+          List.filter_map
+            (function
+              | Enter n -> Some (Event.Call (Symtab.intern symtab n))
+              | Leave n -> Some (Event.Return (Symtab.intern symtab n))
+              | Sync _ -> None)
+            loc.events
+        in
+        Trace.make ~pid:loc.pid ~tid:loc.tid ~truncated:loc.truncated
+          (Array.of_list events))
+      t.locations
+  in
+  Trace_set.create symtab traces

@@ -1,0 +1,52 @@
+(** OTF2-style trace export (paper §VII future work (2)).
+
+    Serializes a run — per-thread call/return streams plus the
+    logically-timestamped synchronization log — into a self-contained
+    textual format modeled on OTF2's structure: a definitions section
+    (strings, locations) followed by per-location event records. ENTER
+    and LEAVE records carry the per-location sequence position; SYNC
+    records additionally carry the Lamport scalar and the full vector
+    clock, so downstream tools can mine temporal properties without the
+    simulator. A parser is provided (and round-trip tested). *)
+
+type sync = { op : string; lamport : int; vector : int list }
+
+type event =
+  | Enter of string
+  | Leave of string
+  | Sync of sync
+
+type location = {
+  pid : int;
+  tid : int;
+  truncated : bool;
+  events : event list;
+      (** call/return events in order; SYNC records follow the ENTER of
+          the operation they stamp *)
+}
+
+type t = { locations : location list }
+
+(** [of_outcome outcome] — build the archive from a simulator run. *)
+val of_outcome : Difftrace_simulator.Runtime.outcome -> t
+
+(** [render t] — the textual archive. *)
+val render : t -> string
+
+(** [parse s] — inverse of [render].
+    Raises [Invalid_argument] on malformed input. *)
+val parse : string -> t
+
+(** [equal a b] — structural equality (for round-trip checks). *)
+val equal : t -> t -> bool
+
+(** [sync_points t] — every SYNC record with its location, in file
+    order. *)
+val sync_points : t -> ((int * int) * sync) list
+
+(** [to_trace_set t] — reconstruct a plain trace set from the archive's
+    ENTER/LEAVE records (SYNC records are ignored), enabling the whole
+    DiffTrace pipeline to run on imported OTF2-style archives.
+    [of_outcome] followed by [to_trace_set] reproduces the original
+    traces exactly (property-tested). *)
+val to_trace_set : t -> Difftrace_trace.Trace_set.t

@@ -1,0 +1,51 @@
+module R = Difftrace_simulator.Runtime
+module Vclock = Difftrace_simulator.Vclock
+
+type entry = {
+  pid : int;
+  tid : int;
+  last_op : string option;
+  last_lamport : int;
+  sync_count : int;
+}
+
+let of_outcome (outcome : R.outcome) =
+  List.map
+    (fun ((pid, tid), syncs) ->
+      let n = Array.length syncs in
+      if n = 0 then { pid; tid; last_op = None; last_lamport = 0; sync_count = 0 }
+      else
+        let last = syncs.(n - 1) in
+        { pid;
+          tid;
+          last_op = Some last.R.sp_op;
+          last_lamport = last.R.sp_stamp.Vclock.lamport;
+          sync_count = n })
+    outcome.R.sync_log
+
+let least_progressed outcome =
+  List.stable_sort
+    (fun a b -> Int.compare a.last_lamport b.last_lamport)
+    (of_outcome outcome)
+
+let last_stamp (outcome : R.outcome) key =
+  match List.assoc_opt key outcome.R.sync_log with
+  | Some syncs when Array.length syncs > 0 ->
+    Some syncs.(Array.length syncs - 1).R.sp_stamp
+  | Some _ | None -> None
+
+let hb outcome ~a ~b =
+  match (last_stamp outcome a, last_stamp outcome b) with
+  | Some sa, Some sb -> Some (Vclock.ord sa.Vclock.vec sb.Vclock.vec)
+  | _ -> None
+
+let render entries =
+  Difftrace_util.Texttable.render
+    ~headers:[ "Thread"; "Last sync"; "Lamport"; "#syncs" ]
+    (List.map
+       (fun e ->
+         [ Printf.sprintf "%d.%d" e.pid e.tid;
+           Option.value ~default:"-" e.last_op;
+           string_of_int e.last_lamport;
+           string_of_int e.sync_count ])
+       entries)

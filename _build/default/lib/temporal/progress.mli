@@ -1,0 +1,35 @@
+(** Progress measures over logically-timestamped traces.
+
+    The paper notes (§VI) that diffNLR "does not (yet) incorporate
+    progress measures" and points at PRODOMETER's {e least progressed
+    tasks}. With the simulator's Lamport/vector stamps this becomes
+    direct: a hung thread's last synchronization stamp tells how far it
+    got relative to everyone else, without a reference run. *)
+
+type entry = {
+  pid : int;
+  tid : int;
+  last_op : string option;  (** last completed synchronization, if any *)
+  last_lamport : int;       (** 0 when the thread never synchronized *)
+  sync_count : int;
+}
+
+(** [of_outcome outcome] — one entry per thread. *)
+val of_outcome : Difftrace_simulator.Runtime.outcome -> entry list
+
+(** [least_progressed outcome] — entries sorted by ascending Lamport
+    time of their last synchronization: the first entries are the
+    threads whose progress stopped earliest (the PRODOMETER-style
+    suspects for a hang). *)
+val least_progressed : Difftrace_simulator.Runtime.outcome -> entry list
+
+(** [hb outcome ~a ~b] — causal order between the last synchronization
+    points of two threads, [None] if either never synchronized. *)
+val hb :
+  Difftrace_simulator.Runtime.outcome ->
+  a:int * int ->
+  b:int * int ->
+  Difftrace_simulator.Vclock.order option
+
+(** [render entries] — a small report table. *)
+val render : entry list -> string

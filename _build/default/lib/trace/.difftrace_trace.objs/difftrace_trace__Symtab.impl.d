@@ -1,0 +1,1 @@
+lib/trace/symtab.ml: Difftrace_util Hashtbl Vec

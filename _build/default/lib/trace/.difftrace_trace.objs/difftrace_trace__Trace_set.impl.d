@@ -1,0 +1,1 @@
+lib/trace/trace_set.ml: Array Int List Symtab Trace

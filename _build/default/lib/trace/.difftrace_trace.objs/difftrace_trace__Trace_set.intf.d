@@ -1,0 +1,1 @@
+lib/trace/trace_set.mli: Event Symtab Trace

@@ -1,0 +1,17 @@
+type t = Call of int | Return of int
+
+let id = function Call i | Return i -> i
+let is_call = function Call _ -> true | Return _ -> false
+let is_return e = not (is_call e)
+
+let equal a b =
+  match (a, b) with
+  | Call x, Call y | Return x, Return y -> x = y
+  | Call _, Return _ | Return _, Call _ -> false
+
+let to_string symtab = function
+  | Call i -> Symtab.name symtab i
+  | Return i -> "ret " ^ Symtab.name symtab i
+
+let encode = function Call i -> i lsl 1 | Return i -> (i lsl 1) lor 1
+let decode n = if n land 1 = 0 then Call (n lsr 1) else Return (n lsr 1)

@@ -1,0 +1,23 @@
+open Difftrace_util
+
+type t = { by_name : (string, int) Hashtbl.t; by_id : string Vec.t }
+
+let create () = { by_name = Hashtbl.create 256; by_id = Vec.create () }
+
+let intern t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some id -> id
+  | None ->
+    let id = Vec.length t.by_id in
+    Hashtbl.add t.by_name name id;
+    Vec.push t.by_id name;
+    id
+
+let find_opt t name = Hashtbl.find_opt t.by_name name
+
+let name t id =
+  if id < 0 || id >= Vec.length t.by_id then invalid_arg "Symtab.name: unknown ID";
+  Vec.get t.by_id id
+
+let size t = Vec.length t.by_id
+let names t = Vec.to_array t.by_id

@@ -1,0 +1,28 @@
+(** Function-symbol interning.
+
+    ParLOT stores traces as sequences of small integer function IDs, not
+    strings; all analysis layers work on IDs and only resolve names for
+    presentation. A symbol table is shared by every thread of an
+    execution so that IDs are comparable across traces. *)
+
+type t
+
+(** [create ()] is an empty table. *)
+val create : unit -> t
+
+(** [intern t name] returns the ID of [name], assigning the next free ID
+    on first sight. IDs are dense, starting at 0. *)
+val intern : t -> string -> int
+
+(** [find_opt t name] is the ID of [name] if already interned. *)
+val find_opt : t -> string -> int option
+
+(** [name t id] is the name of [id].
+    Raises [Invalid_argument] for unknown IDs. *)
+val name : t -> int -> string
+
+(** [size t] is the number of interned symbols. *)
+val size : t -> int
+
+(** [names t] is all interned names, indexed by ID. *)
+val names : t -> string array

@@ -1,0 +1,31 @@
+type t = { pid : int; tid : int; events : Event.t array; truncated : bool }
+
+let make ~pid ~tid ~truncated events = { pid; tid; events; truncated }
+
+let label ?(short = false) t =
+  if short && t.tid = 0 then string_of_int t.pid
+  else Printf.sprintf "%d.%d" t.pid t.tid
+
+let length t = Array.length t.events
+
+let call_ids t =
+  let out = Difftrace_util.Vec.with_capacity (Array.length t.events) in
+  Array.iter
+    (function
+      | Event.Call id -> Difftrace_util.Vec.push out id
+      | Event.Return _ -> ())
+    t.events;
+  Difftrace_util.Vec.to_array out
+
+let distinct_functions t =
+  let seen = Hashtbl.create 64 in
+  Array.iter (fun e -> Hashtbl.replace seen (Event.id e) ()) t.events;
+  Hashtbl.length seen
+
+let to_strings symtab t = Array.to_list (Array.map (Event.to_string symtab) t.events)
+
+let pp symtab ppf t =
+  Format.fprintf ppf "@[<v 2>T%s%s:@ %a@]" (label t)
+    (if t.truncated then " (truncated)" else "")
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut Format.pp_print_string)
+    (to_strings symtab t)

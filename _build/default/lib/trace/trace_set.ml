@@ -1,0 +1,33 @@
+type t = { symtab : Symtab.t; traces : Trace.t array }
+
+let compare_trace (a : Trace.t) (b : Trace.t) =
+  match Int.compare a.pid b.pid with 0 -> Int.compare a.tid b.tid | c -> c
+
+let create symtab traces =
+  let arr = Array.of_list traces in
+  Array.sort compare_trace arr;
+  { symtab; traces = arr }
+
+let symtab t = t.symtab
+let traces t = t.traces
+let cardinal t = Array.length t.traces
+
+let find t ~pid ~tid =
+  Array.find_opt (fun (tr : Trace.t) -> tr.pid = pid && tr.tid = tid) t.traces
+
+let find_exn t ~pid ~tid =
+  match find t ~pid ~tid with Some tr -> tr | None -> raise Not_found
+
+let labels ?short t = Array.map (fun tr -> Trace.label ?short tr) t.traces
+
+let processes t =
+  List.sort_uniq Int.compare
+    (Array.to_list (Array.map (fun (tr : Trace.t) -> tr.pid) t.traces))
+
+let total_events t =
+  Array.fold_left (fun acc tr -> acc + Trace.length tr) 0 t.traces
+
+let map_events f t =
+  { t with
+    traces =
+      Array.map (fun (tr : Trace.t) -> { tr with Trace.events = f tr }) t.traces }

@@ -1,0 +1,37 @@
+(** The traces of one whole-program execution.
+
+    Groups every per-thread trace of a run together with the execution's
+    shared symbol table; this is what the DiffTrace pipeline consumes and
+    what "JSM of an execution" is defined over. *)
+
+type t
+
+(** [create symtab traces] sorts traces by [(pid, tid)]. *)
+val create : Symtab.t -> Trace.t list -> t
+
+val symtab : t -> Symtab.t
+
+(** [traces t] in [(pid, tid)] order. *)
+val traces : t -> Trace.t array
+
+(** [cardinal t] is the number of traces. *)
+val cardinal : t -> int
+
+(** [find t ~pid ~tid] is the trace of that thread. *)
+val find : t -> pid:int -> tid:int -> Trace.t option
+
+(** [find_exn t ~pid ~tid] — raises [Not_found] when absent. *)
+val find_exn : t -> pid:int -> tid:int -> Trace.t
+
+(** [labels ?short t] is [Trace.label] of each trace, in order. *)
+val labels : ?short:bool -> t -> string array
+
+(** [processes t] is the sorted list of distinct pids. *)
+val processes : t -> int list
+
+(** [total_events t] is the summed event count. *)
+val total_events : t -> int
+
+(** [map_events f t] rewrites every trace's event array (used by the
+    filtering stage); the symbol table is shared unchanged. *)
+val map_events : (Trace.t -> Event.t array) -> t -> t

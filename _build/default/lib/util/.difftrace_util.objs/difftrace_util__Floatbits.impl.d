@@ -1,0 +1,1 @@
+lib/util/floatbits.ml: Array Int64

@@ -1,0 +1,141 @@
+(* Bit sets packed into OCaml native ints, [bits_per_word] bits per word. *)
+
+let bits_per_word = Sys.int_size
+
+type t = { mutable words : int array; cap : int }
+
+let words_for cap = (cap + bits_per_word - 1) / bits_per_word
+
+let create cap =
+  if cap < 0 then invalid_arg "Bitset.create";
+  { words = Array.make (max 1 (words_for cap)) 0; cap }
+
+let capacity s = s.cap
+let copy s = { words = Array.copy s.words; cap = s.cap }
+
+let check s i =
+  if i < 0 || i >= s.cap then invalid_arg "Bitset: index out of range"
+
+let add s i =
+  check s i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  s.words.(w) <- s.words.(w) lor (1 lsl b)
+
+let remove s i =
+  check s i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  s.words.(w) <- s.words.(w) land lnot (1 lsl b)
+
+let mem s i =
+  check s i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  s.words.(w) land (1 lsl b) <> 0
+
+let singleton n i =
+  let s = create n in
+  add s i;
+  s
+
+let full n =
+  let s = create n in
+  for i = 0 to n - 1 do
+    add s i
+  done;
+  s
+
+let of_list n l =
+  let s = create n in
+  List.iter (add s) l;
+  s
+
+let is_empty s = Array.for_all (fun w -> w = 0) s.words
+
+(* Kernighan popcount: adequate for our word counts. *)
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+  go x 0
+
+let cardinal s = Array.fold_left (fun acc w -> acc + popcount w) 0 s.words
+
+let same_cap a b =
+  if a.cap <> b.cap then invalid_arg "Bitset: capacity mismatch"
+
+let equal a b =
+  same_cap a b;
+  let rec go i = i >= Array.length a.words || (a.words.(i) = b.words.(i) && go (i + 1)) in
+  go 0
+
+let compare a b =
+  same_cap a b;
+  let rec go i =
+    if i >= Array.length a.words then 0
+    else
+      let c = Int.compare a.words.(i) b.words.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let subset a b =
+  same_cap a b;
+  let rec go i =
+    i >= Array.length a.words || (a.words.(i) land lnot b.words.(i) = 0 && go (i + 1))
+  in
+  go 0
+
+let map2 f a b =
+  same_cap a b;
+  { words = Array.init (Array.length a.words) (fun i -> f a.words.(i) b.words.(i));
+    cap = a.cap }
+
+let inter a b = map2 ( land ) a b
+let union a b = map2 ( lor ) a b
+let diff a b = map2 (fun x y -> x land lnot y) a b
+
+let count2 f a b =
+  same_cap a b;
+  let acc = ref 0 in
+  for i = 0 to Array.length a.words - 1 do
+    acc := !acc + popcount (f a.words.(i) b.words.(i))
+  done;
+  !acc
+
+let inter_cardinal a b = count2 ( land ) a b
+let union_cardinal a b = count2 ( lor ) a b
+
+let jaccard a b =
+  let u = union_cardinal a b in
+  if u = 0 then 1.0 else float_of_int (inter_cardinal a b) /. float_of_int u
+
+let add_all a b =
+  same_cap a b;
+  for i = 0 to Array.length a.words - 1 do
+    a.words.(i) <- a.words.(i) lor b.words.(i)
+  done
+
+let inter_into a b =
+  same_cap a b;
+  for i = 0 to Array.length a.words - 1 do
+    a.words.(i) <- a.words.(i) land b.words.(i)
+  done
+
+let iter f s =
+  for i = 0 to s.cap - 1 do
+    let w = i / bits_per_word and b = i mod bits_per_word in
+    if s.words.(w) land (1 lsl b) <> 0 then f i
+  done
+
+let fold f s init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) s;
+  !acc
+
+let to_list s = List.rev (fold (fun i acc -> i :: acc) s [])
+
+let hash s = Array.fold_left (fun h w -> (h * 1000003) lxor w) s.cap s.words
+
+let pp ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Format.pp_print_int)
+    (to_list s)

@@ -1,0 +1,89 @@
+(** Fixed-capacity bit sets over the integers [0 .. capacity-1].
+
+    Used throughout the FCA and clustering code for concept extents and
+    intents, where fast intersection / union / subset tests dominate the
+    running time of lattice construction. *)
+
+type t
+
+(** [create n] is the empty set with capacity [n] (elements [0..n-1]). *)
+val create : int -> t
+
+(** [capacity s] is the capacity [s] was created with. *)
+val capacity : t -> int
+
+(** [copy s] is a fresh set equal to [s]. *)
+val copy : t -> t
+
+(** [singleton n i] is the capacity-[n] set containing only [i]. *)
+val singleton : int -> int -> t
+
+(** [full n] is the capacity-[n] set containing all of [0..n-1]. *)
+val full : int -> t
+
+(** [of_list n l] is the capacity-[n] set of the elements of [l]. *)
+val of_list : int -> int list -> t
+
+(** [add s i] adds [i] to [s] in place. Raises [Invalid_argument] if [i]
+    is outside [0..capacity-1]. *)
+val add : t -> int -> unit
+
+(** [remove s i] removes [i] from [s] in place. *)
+val remove : t -> int -> unit
+
+(** [mem s i] tests membership. *)
+val mem : t -> int -> bool
+
+(** [is_empty s] is [true] iff [s] has no element. *)
+val is_empty : t -> bool
+
+(** [cardinal s] is the number of elements of [s]. *)
+val cardinal : t -> int
+
+(** [equal a b] is set equality. The sets must have equal capacity. *)
+val equal : t -> t -> bool
+
+(** [compare a b] is a total order compatible with [equal]. *)
+val compare : t -> t -> int
+
+(** [subset a b] is [true] iff every element of [a] is in [b]. *)
+val subset : t -> t -> bool
+
+(** [inter a b] is a fresh set [a ∩ b]. *)
+val inter : t -> t -> t
+
+(** [union a b] is a fresh set [a ∪ b]. *)
+val union : t -> t -> t
+
+(** [diff a b] is a fresh set [a \ b]. *)
+val diff : t -> t -> t
+
+(** [inter_cardinal a b] is [cardinal (inter a b)] without allocating. *)
+val inter_cardinal : t -> t -> int
+
+(** [union_cardinal a b] is [cardinal (union a b)] without allocating. *)
+val union_cardinal : t -> t -> int
+
+(** [jaccard a b] is [|a ∩ b| / |a ∪ b|], and [1.0] when both are empty. *)
+val jaccard : t -> t -> float
+
+(** [add_all a b] adds every element of [b] to [a] in place. *)
+val add_all : t -> t -> unit
+
+(** [inter_into a b] replaces [a] by [a ∩ b] in place. *)
+val inter_into : t -> t -> unit
+
+(** [iter f s] applies [f] to the elements of [s] in increasing order. *)
+val iter : (int -> unit) -> t -> unit
+
+(** [fold f s init] folds over elements in increasing order. *)
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** [to_list s] is the elements in increasing order. *)
+val to_list : t -> int list
+
+(** [hash s] is a hash compatible with [equal]. *)
+val hash : t -> int
+
+(** [pp ppf s] prints as [{0, 3, 7}]. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,19 @@
+let to_ints fs =
+  let out = Array.make (2 * Array.length fs) 0 in
+  Array.iteri
+    (fun i f ->
+      let b = Int64.bits_of_float f in
+      out.(2 * i) <- Int64.to_int (Int64.shift_right_logical b 32);
+      out.((2 * i) + 1) <- Int64.to_int (Int64.logand b 0xFFFFFFFFL))
+    fs;
+  out
+
+let of_ints p =
+  if Array.length p mod 2 <> 0 then invalid_arg "Floatbits.of_ints: odd length";
+  Array.init
+    (Array.length p / 2)
+    (fun i ->
+      Int64.float_of_bits
+        (Int64.logor
+           (Int64.shift_left (Int64.of_int p.(2 * i)) 32)
+           (Int64.of_int p.((2 * i) + 1))))

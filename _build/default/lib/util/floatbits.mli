@@ -1,0 +1,13 @@
+(** Lossless float <-> int-array coding.
+
+    The simulator's message payloads are [int array]s; numerical
+    workloads ship floating-point data by splitting each IEEE-754 value
+    into two 32-bit halves (a single [Int64.to_int] would lose the sign
+    bit on 63-bit OCaml ints). *)
+
+(** [to_ints fs] — two ints per float, in order. *)
+val to_ints : float array -> int array
+
+(** [of_ints p] — inverse of [to_ints]. [Array.length p] must be even.
+    Raises [Invalid_argument] otherwise. *)
+val of_ints : int array -> float array

@@ -1,0 +1,39 @@
+(* SplitMix64 (Steele et al.), the standard seeding-quality generator:
+   tiny state, full 64-bit period of the underlying Weyl sequence. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+let copy g = { state = g.state }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next g =
+  g.state <- Int64.add g.state golden;
+  mix g.state
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let r = Int64.to_int (Int64.shift_right_logical (next g) 2) in
+  r mod bound
+
+let float g =
+  let r = Int64.to_float (Int64.shift_right_logical (next g) 11) in
+  r /. 9007199254740992.0 (* 2^53 *)
+
+let bool g = Int64.logand (next g) 1L = 1L
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done
+
+let split g = { state = next g }

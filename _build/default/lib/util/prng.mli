@@ -1,0 +1,34 @@
+(** Deterministic pseudo-random number generation (SplitMix64).
+
+    Every stochastic choice in the simulator and the workload generators
+    goes through this module so that an execution is a pure function of
+    its seed — a prerequisite for trace diffing, for reproducible tests,
+    and for comparing a normal and a fault-injected run of the *same*
+    schedule. *)
+
+type t
+
+(** [create seed] is a generator seeded with [seed]. *)
+val create : int -> t
+
+(** [copy g] is an independent generator with the same state. *)
+val copy : t -> t
+
+(** [next g] is the next raw 64-bit state-step output (as an [int64]). *)
+val next : t -> int64
+
+(** [int g bound] is uniform in [0 .. bound-1]. Requires [bound > 0]. *)
+val int : t -> int -> int
+
+(** [float g] is uniform in [0, 1). *)
+val float : t -> float
+
+(** [bool g] is a fair coin flip. *)
+val bool : t -> bool
+
+(** [shuffle g a] permutes [a] in place (Fisher–Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [split g] derives a new independent generator from [g], advancing
+    [g]. *)
+val split : t -> t

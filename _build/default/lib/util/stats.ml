@@ -1,0 +1,41 @@
+let nonempty a = if Array.length a = 0 then invalid_arg "Stats: empty array"
+
+let sum a = Array.fold_left ( +. ) 0.0 a
+
+let mean a =
+  nonempty a;
+  sum a /. float_of_int (Array.length a)
+
+let variance a =
+  nonempty a;
+  let m = mean a in
+  Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 a
+  /. float_of_int (Array.length a)
+
+let stddev a = sqrt (variance a)
+
+let median a =
+  nonempty a;
+  let b = Array.copy a in
+  Array.sort Float.compare b;
+  let n = Array.length b in
+  if n mod 2 = 1 then b.(n / 2) else (b.((n / 2) - 1) +. b.(n / 2)) /. 2.0
+
+let minimum a =
+  nonempty a;
+  Array.fold_left Float.min a.(0) a
+
+let maximum a =
+  nonempty a;
+  Array.fold_left Float.max a.(0) a
+
+let geomean a =
+  nonempty a;
+  let acc =
+    Array.fold_left
+      (fun acc x ->
+        if x <= 0.0 then invalid_arg "Stats.geomean: nonpositive value";
+        acc +. log x)
+      0.0 a
+  in
+  exp (acc /. float_of_int (Array.length a))

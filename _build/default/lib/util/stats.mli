@@ -1,0 +1,26 @@
+(** Small numeric summaries used by the benchmark harness and the
+    EXPERIMENTS.md reporting (trace-size statistics, reduction factors,
+    ranking stability). *)
+
+(** [mean a] — arithmetic mean. Raises [Invalid_argument] on empty. *)
+val mean : float array -> float
+
+(** [variance a] — population variance. *)
+val variance : float array -> float
+
+(** [stddev a] — population standard deviation. *)
+val stddev : float array -> float
+
+(** [median a] — median (does not modify [a]). *)
+val median : float array -> float
+
+(** [minimum a], [maximum a]. *)
+val minimum : float array -> float
+
+val maximum : float array -> float
+
+(** [sum a]. *)
+val sum : float array -> float
+
+(** [geomean a] — geometric mean of positive values. *)
+val geomean : float array -> float

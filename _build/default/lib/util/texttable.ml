@@ -1,0 +1,73 @@
+type align = Left | Right | Center
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+    | Center ->
+      let l = (width - n) / 2 in
+      String.make l ' ' ^ s ^ String.make (width - n - l) ' '
+
+let render ?aligns ~headers rows =
+  let ncols = List.length headers in
+  List.iter
+    (fun r ->
+      if List.length r <> ncols then invalid_arg "Texttable.render: ragged row")
+    rows;
+  let aligns =
+    match aligns with
+    | Some a when List.length a = ncols -> Array.of_list a
+    | Some _ -> invalid_arg "Texttable.render: aligns length mismatch"
+    | None -> Array.make ncols Left
+  in
+  let cells = Array.of_list (List.map Array.of_list (headers :: rows)) in
+  let widths = Array.make ncols 0 in
+  Array.iter
+    (fun row ->
+      Array.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) row)
+    cells;
+  let buf = Buffer.create 1024 in
+  let hline () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let line row =
+    Buffer.add_char buf '|';
+    Array.iteri
+      (fun i c ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad aligns.(i) widths.(i) c);
+        Buffer.add_string buf " |")
+      row;
+    Buffer.add_char buf '\n'
+  in
+  hline ();
+  line cells.(0);
+  hline ();
+  for i = 1 to Array.length cells - 1 do
+    line cells.(i)
+  done;
+  if Array.length cells > 1 then hline ();
+  Buffer.contents buf
+
+let print ?aligns ~headers rows = print_string (render ?aligns ~headers rows)
+
+let heatmap ~labels m =
+  let n = Array.length m in
+  if Array.length labels <> n then invalid_arg "Texttable.heatmap: labels mismatch";
+  let headers = "" :: Array.to_list labels in
+  let rows =
+    List.init n (fun i ->
+        labels.(i)
+        :: Array.to_list (Array.map (fun v -> Printf.sprintf "%.2f" v) m.(i)))
+  in
+  let aligns = Left :: List.init n (fun _ -> Right) in
+  render ~aligns ~headers rows

@@ -1,0 +1,16 @@
+(** Plain-text table rendering for the paper's ranking tables and the
+    reproduction harness output. *)
+
+type align = Left | Right | Center
+
+(** [render ?aligns ~headers rows] lays the table out with box-drawing
+    separators; every row must have [List.length headers] cells.
+    [aligns] defaults to all-[Left]. *)
+val render : ?aligns:align list -> headers:string list -> string list list -> string
+
+(** [print ?aligns ~headers rows] renders and prints to stdout. *)
+val print : ?aligns:align list -> headers:string list -> string list list -> unit
+
+(** [heatmap ~labels m] renders a square float matrix with 2-decimal
+    cells and row/column labels — used for the JSM "heatmaps" (Fig. 4). *)
+val heatmap : labels:string array -> float array array -> string

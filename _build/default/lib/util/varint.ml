@@ -1,0 +1,39 @@
+let write buf n =
+  if n < 0 then invalid_arg "Varint.write: negative";
+  let rec go n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let read s pos =
+  let len = String.length s in
+  let rec go pos shift acc =
+    if pos >= len then invalid_arg "Varint.read: truncated input";
+    let b = Char.code s.[pos] in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then (acc, pos + 1) else go (pos + 1) (shift + 7) acc
+  in
+  go pos 0 0
+
+let size n =
+  if n < 0 then invalid_arg "Varint.size: negative";
+  let rec go n acc = if n < 0x80 then acc else go (n lsr 7) (acc + 1) in
+  go n 1
+
+let write_list buf l =
+  write buf (List.length l);
+  List.iter (write buf) l
+
+let read_list s pos =
+  let n, pos = read s pos in
+  let rec go i pos acc =
+    if i = n then (List.rev acc, pos)
+    else
+      let v, pos = read s pos in
+      go (i + 1) pos (v :: acc)
+  in
+  go 0 pos []

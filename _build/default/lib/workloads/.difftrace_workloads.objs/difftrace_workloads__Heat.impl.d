@@ -1,0 +1,1 @@
+lib/workloads/heat.ml: Api Array Difftrace_simulator Fault Runtime Shm

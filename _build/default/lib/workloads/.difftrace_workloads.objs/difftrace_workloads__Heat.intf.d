@@ -1,0 +1,1 @@
+lib/workloads/heat.mli: Difftrace_parlot Difftrace_simulator

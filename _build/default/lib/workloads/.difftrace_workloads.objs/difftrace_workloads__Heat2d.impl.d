@@ -1,0 +1,1 @@
+lib/workloads/heat2d.ml: Api Array Difftrace_simulator Fault Option Runtime Shm

@@ -1,0 +1,1 @@
+lib/workloads/heat2d.mli: Difftrace_parlot Difftrace_simulator

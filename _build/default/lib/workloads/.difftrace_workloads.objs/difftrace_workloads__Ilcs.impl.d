@@ -1,0 +1,1 @@
+lib/workloads/ilcs.ml: Api Array Difftrace_simulator Fault Printf Runtime Shm Tsp

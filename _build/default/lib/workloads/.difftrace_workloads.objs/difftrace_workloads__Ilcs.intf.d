@@ -1,0 +1,1 @@
+lib/workloads/ilcs.mli: Difftrace_parlot Difftrace_simulator

@@ -1,0 +1,1 @@
+lib/workloads/lulesh.ml: Api Array Difftrace_simulator Difftrace_util Fault Float List Runtime

@@ -1,0 +1,1 @@
+lib/workloads/lulesh.mli: Difftrace_parlot Difftrace_simulator

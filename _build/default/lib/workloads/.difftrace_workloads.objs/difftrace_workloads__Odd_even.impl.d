@@ -1,0 +1,1 @@
+lib/workloads/odd_even.ml: Api Array Difftrace_simulator Difftrace_util Fault Int Prng Runtime

@@ -1,0 +1,1 @@
+lib/workloads/odd_even.mli: Difftrace_parlot Difftrace_simulator

@@ -1,0 +1,1 @@
+lib/workloads/tsp.ml: Array Difftrace_util Prng

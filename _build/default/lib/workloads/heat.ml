@@ -1,0 +1,149 @@
+open Difftrace_simulator
+open Runtime
+
+type result = { iterations : int; final_residual : int; field : int array }
+
+let is m fault ~rank =
+  match (m, fault) with
+  | `Swap, Fault.Swap_send_recv { rank = r; after_iter = _ } -> r = rank
+  | `Dl, Fault.Deadlock_recv { rank = r; after_iter = _ } -> r = rank
+  | `Skip, Fault.Skip_function { rank = r; func } -> r = rank && func = "ExchangeHalo"
+  | `Wsize, Fault.Wrong_collective_size { rank = r } -> r = rank
+  | (`Swap | `Dl | `Skip | `Wsize), _ -> false
+
+let after fault =
+  match fault with
+  | Fault.Swap_send_recv { after_iter; _ } | Fault.Deadlock_recv { after_iter; _ } ->
+    after_iter
+  | Fault.No_fault | Fault.Wrong_collective_size _ | Fault.Wrong_collective_op _
+  | Fault.No_critical _ | Fault.Skip_function _ -> 0
+
+let run ?(np = 8) ?(workers = 4) ?(seed = 1) ?level ?(cells_per_rank = 24)
+    ?(halo = 2) ?(max_iters = 30) ?(eager_limit = 4) ?max_steps ~fault () =
+  let iterations = ref 0 in
+  let final_residual = ref 0 in
+  let gathered = ref [||] in
+  let outcome =
+    Runtime.run ~np ~seed ~eager_limit ?max_steps ?level (fun env ->
+        Api.call env "main" (fun () ->
+            Api.mpi_init env;
+            let rank = Api.comm_rank env in
+            let np = Api.comm_size env in
+            let cpr = cells_per_rank in
+            (* rank 0 builds the initial field: a hot spot mid-domain *)
+            let init =
+              if rank = 0 then
+                Api.call env "InitField" (fun () ->
+                    Array.init (np * cpr) (fun i ->
+                        if i = np * cpr / 2 then 1_000_000 else 0))
+              else [||]
+            in
+            let field =
+              ref (Api.scatter env ~root:0 ~count:cpr init)
+            in
+            let residual = Shm.cell ~protected_:true "residual" 0 in
+            let exchange_halo it =
+              (* boundary values from the neighbours; zero at the walls *)
+              let left = rank - 1 and right = rank + 1 in
+              let send_payload side =
+                match side with
+                | `Left -> Array.sub !field 0 halo
+                | `Right -> Array.sub !field (cpr - halo) halo
+              in
+              let swapped = is `Swap fault ~rank && it > after fault in
+              if is `Dl fault ~rank && it > after fault then begin
+                (* a receive that can never match: actual deadlock (the
+                   dummy halos below are never reached) *)
+                ignore (Api.recv env ~src:(if rank = 0 then 1 else 0) ~tag:666 ());
+                (Array.make halo 0, Array.make halo 0)
+              end
+              else if swapped then begin
+                (* faulty protocol: blocking sends first *)
+                if left >= 0 then Api.send env ~dst:left ~tag:1 (send_payload `Left);
+                if right < np then Api.send env ~dst:right ~tag:1 (send_payload `Right);
+                let l =
+                  if left >= 0 then Api.recv env ~src:left ~tag:1 ()
+                  else Array.make halo 0
+                in
+                let r =
+                  if right < np then Api.recv env ~src:right ~tag:1 ()
+                  else Array.make halo 0
+                in
+                (l, r)
+              end
+              else begin
+                (* correct protocol: post receives, then send, then wait *)
+                let rl = if left >= 0 then Some (Api.irecv env ~src:left ~tag:1 ()) else None in
+                let rr = if right < np then Some (Api.irecv env ~src:right ~tag:1 ()) else None in
+                if left >= 0 then Api.send env ~dst:left ~tag:1 (send_payload `Left);
+                if right < np then Api.send env ~dst:right ~tag:1 (send_payload `Right);
+                let l =
+                  match rl with Some r -> Api.wait env r | None -> Array.make halo 0
+                in
+                let r =
+                  match rr with Some r -> Api.wait env r | None -> Array.make halo 0
+                in
+                (l, r)
+              end
+            in
+            let continue_loop = ref true in
+            let it = ref 0 in
+            while !continue_loop && !it < max_iters do
+              incr it;
+              let left_halo, right_halo =
+                if is `Skip fault ~rank then (Array.make halo 0, Array.make halo 0)
+                else Api.call env "ExchangeHalo" (fun () -> exchange_halo !it)
+              in
+              (* Jacobi update across the OpenMP team *)
+              Api.critical env (fun () -> Shm.write env residual 0);
+              let old = !field in
+              let fresh = Array.copy old in
+              Api.call env "JacobiSweep" (fun () ->
+                  Api.parallel env ~num_threads:workers (fun tenv ->
+                      let t = Runtime.tid tenv in
+                      let per = (cpr + workers - 1) / workers in
+                      let lo = t * per and hi = min cpr ((t + 1) * per) in
+                      let local = ref 0 in
+                      Api.call tenv "JacobiKernel" (fun () ->
+                          for i = lo to hi - 1 do
+                            let get j =
+                              if j < 0 then left_halo.(halo + j)
+                              else if j >= cpr then right_halo.(j - cpr)
+                              else old.(j)
+                            in
+                            let v = (get (i - 1) + (2 * get i) + get (i + 1)) / 4 in
+                            fresh.(i) <- v;
+                            local := !local + abs (v - old.(i))
+                          done);
+                      let update () =
+                        Shm.write tenv residual (Shm.read tenv residual + !local)
+                      in
+                      let skip_critical =
+                        match fault with
+                        | Fault.No_critical { rank = r; thread } ->
+                          r = rank && thread = t
+                        | Fault.No_fault | Fault.Swap_send_recv _
+                        | Fault.Deadlock_recv _ | Fault.Wrong_collective_size _
+                        | Fault.Wrong_collective_op _ | Fault.Skip_function _ ->
+                          false
+                      in
+                      if skip_critical then update ()
+                      else Api.critical tenv update));
+              field := fresh;
+              let count =
+                if is `Wsize fault ~rank then Some 3 else None
+              in
+              let local_res = Api.critical env (fun () -> Shm.read env residual) in
+              let g = Api.allreduce env ?count ~op:Op_sum [| local_res |] in
+              if rank = 0 then begin
+                iterations := !it;
+                final_residual := g.(0)
+              end;
+              if g.(0) = 0 then continue_loop := false
+            done;
+            let all = Api.gather env ~root:0 !field in
+            if rank = 0 then gathered := all;
+            Api.mpi_finalize env))
+  in
+  ( outcome,
+    { iterations = !iterations; final_residual = !final_residual; field = !gathered } )

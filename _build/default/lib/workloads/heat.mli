@@ -1,0 +1,47 @@
+(** 1-D heat diffusion (Jacobi stencil) under MPI + OpenMP.
+
+    The classic HPC kernel the paper's introduction motivates: rank 0
+    scatters the initial field, each rank iterates a Jacobi update on
+    its block (the cell loop runs in an OpenMP team, accumulating the
+    local residual under a critical section), halo cells are exchanged
+    with neighbours every iteration (receives posted first), and an
+    Allreduce of the residual decides convergence — a global value, so
+    all ranks agree on the iteration count. Rank 0 gathers the final
+    field. Arithmetic is scaled-integer, so results are exact and
+    deterministic.
+
+    Fault points:
+    - [Swap_send_recv {rank; after_iter}] — that rank falls back to a
+      blocking send-then-recv halo protocol; because its neighbours
+      still post receives first the run completes, but the protocol
+      flip is plainly visible in the trace (MPI_Send replacing the
+      MPI_Irecv/MPI_Wait pattern) — a silent bug for diffNLR to find;
+    - [Deadlock_recv {rank; after_iter}] — a receive nobody matches;
+    - [Skip_function {rank; func = "ExchangeHalo"}] — the §V-style
+      dropped call: neighbours block forever;
+    - [Wrong_collective_size {rank}] — wrong count in the residual
+      Allreduce: every rank hangs there;
+    - [No_critical {rank; thread}] — that worker adds its partial
+      residual without the critical section (flagged by the
+      discipline checker). *)
+
+type result = {
+  iterations : int;        (** Jacobi iterations executed (rank 0 view) *)
+  final_residual : int;    (** scaled-integer global residual *)
+  field : int array;       (** gathered final field (rank 0); [[||]] on
+                               abnormal runs *)
+}
+
+val run :
+  ?np:int ->
+  ?workers:int ->
+  ?seed:int ->
+  ?level:Difftrace_parlot.Tracer.level ->
+  ?cells_per_rank:int ->
+  ?halo:int ->
+  ?max_iters:int ->
+  ?eager_limit:int ->
+  ?max_steps:int ->
+  fault:Difftrace_simulator.Fault.t ->
+  unit ->
+  Difftrace_simulator.Runtime.outcome * result

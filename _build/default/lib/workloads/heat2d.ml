@@ -1,0 +1,169 @@
+open Difftrace_simulator
+open Runtime
+
+type result = {
+  iterations : int;
+  final_residual : int;
+  field : int array;
+  row_max : int array;
+}
+
+let is_skip fault ~rank =
+  match fault with
+  | Fault.Skip_function { rank = r; func } -> r = rank && func = "ExchangeHalo2D"
+  | Fault.No_fault | Fault.Swap_send_recv _ | Fault.Deadlock_recv _
+  | Fault.Wrong_collective_size _ | Fault.Wrong_collective_op _
+  | Fault.No_critical _ -> false
+
+let run ?(px = 3) ?(py = 2) ?(workers = 3) ?(seed = 1) ?level ?(w = 8) ?(h = 6)
+    ?(max_iters = 12) ?max_steps ~fault () =
+  let np = px * py in
+  let iterations = ref 0 in
+  let final_residual = ref 0 in
+  let out_field = ref [||] in
+  let out_row_max = ref [||] in
+  let outcome =
+    Runtime.run ~np ~seed ?level ?max_steps (fun env ->
+        Api.call env "main" (fun () ->
+            Api.mpi_init env;
+            let rank = Api.comm_rank env in
+            let rx = rank mod px and ry = rank / px in
+            (* row and column communicators: the real comm_split use *)
+            let row_comm = Api.comm_split env ~color:ry ~key:rx in
+            let col_comm = Api.comm_split env ~color:rx ~key:ry in
+            (* local block, row-major: cell (col i, row j) at j*w + i *)
+            let cell i j = (j * w) + i in
+            let field = Array.make (w * h) 0 in
+            (* hot spot at the global centre *)
+            let gx = px * w / 2 and gy = py * h / 2 in
+            if gx / w = rx && gy / h = ry then
+              field.(cell (gx mod w) (gy mod h)) <- 1_000_000;
+            let residual = Shm.cell ~protected_:true "residual2d" 0 in
+            let north = if ry > 0 then Some (rank - px) else None in
+            let south = if ry < py - 1 then Some (rank + px) else None in
+            let west = if rx > 0 then Some (rank - 1) else None in
+            let east = if rx < px - 1 then Some (rank + 1) else None in
+            let col j = Array.init h (fun r -> field.(cell j r)) in
+            let row j = Array.sub field (j * w) w in
+            let exchange () =
+              (* post all four receives, then send, then complete *)
+              let post = Option.map (fun src -> Api.irecv env ~src ~tag:1 ()) in
+              let rn, rs, rw, re =
+                Api.call env "CommRecv" (fun () ->
+                    (post north, post south, post west, post east))
+              in
+              Api.call env "CommSend" (fun () ->
+                  Option.iter (fun d -> Api.send env ~dst:d ~tag:1 (row 0)) north;
+                  Option.iter (fun d -> Api.send env ~dst:d ~tag:1 (row (h - 1))) south;
+                  Option.iter (fun d -> Api.send env ~dst:d ~tag:1 (col 0)) west;
+                  Option.iter (fun d -> Api.send env ~dst:d ~tag:1 (col (w - 1))) east);
+              let zero n = Array.make n 0 in
+              let wait n = function
+                | Some r -> Api.wait env r
+                | None -> zero n
+              in
+              (wait w rn, wait w rs, wait h rw, wait h re)
+            in
+            for _it = 1 to max_iters do
+              let hn, hs, hw, he =
+                if is_skip fault ~rank then
+                  (Array.make w 0, Array.make w 0, Array.make h 0, Array.make h 0)
+                else Api.call env "ExchangeHalo2D" (fun () -> exchange ())
+              in
+              Api.critical env (fun () -> Shm.write env residual 0);
+              let old = Array.copy field in
+              Api.call env "JacobiSweep2D" (fun () ->
+                  Api.parallel env ~num_threads:workers (fun tenv ->
+                      let t = Runtime.tid tenv in
+                      let per = (h + workers - 1) / workers in
+                      let jlo = t * per and jhi = min h ((t + 1) * per) in
+                      let local = ref 0 in
+                      Api.call tenv "JacobiKernel2D" (fun () ->
+                          for j = jlo to jhi - 1 do
+                            for i = 0 to w - 1 do
+                              let g di dj =
+                                let i' = i + di and j' = j + dj in
+                                if i' < 0 then hw.(j)
+                                else if i' >= w then he.(j)
+                                else if j' < 0 then hn.(i)
+                                else if j' >= h then hs.(i)
+                                else old.(cell i' j')
+                              in
+                              let v =
+                                ((4 * old.(cell i j)) + g (-1) 0 + g 1 0
+                                + g 0 (-1) + g 0 1)
+                                / 8
+                              in
+                              field.(cell i j) <- v;
+                              local := !local + abs (v - old.(cell i j))
+                            done
+                          done);
+                      let update () =
+                        Shm.write tenv residual (Shm.read tenv residual + !local)
+                      in
+                      let skip_critical =
+                        match fault with
+                        | Fault.No_critical { rank = r; thread } ->
+                          r = rank && thread = t
+                        | Fault.No_fault | Fault.Swap_send_recv _
+                        | Fault.Deadlock_recv _ | Fault.Wrong_collective_size _
+                        | Fault.Wrong_collective_op _ | Fault.Skip_function _ ->
+                          false
+                      in
+                      if skip_critical then update ()
+                      else Api.critical tenv update));
+              (* world residual *)
+              let count =
+                match fault with
+                | Fault.Wrong_collective_size { rank = r } when r = rank -> Some 2
+                | Fault.Wrong_collective_size _ | Fault.No_fault
+                | Fault.Swap_send_recv _ | Fault.Deadlock_recv _
+                | Fault.Wrong_collective_op _ | Fault.No_critical _
+                | Fault.Skip_function _ -> None
+              in
+              let local_res = Api.critical env (fun () -> Shm.read env residual) in
+              let g = Api.allreduce env ?count ~op:Op_sum [| local_res |] in
+              if rank = 0 then begin
+                incr iterations;
+                final_residual := g.(0)
+              end;
+              (* per-row hottest cell: a row-communicator collective *)
+              let local_max = Array.fold_left max 0 field in
+              ignore (Api.allreduce ~comm:row_comm env ~op:Op_max [| local_max |])
+            done;
+            (* assemble: row gather to each row's first rank, then a
+               column gather of the assembled strips at world rank 0 *)
+            let row_root = ry * px in
+            let gathered = Api.gather ~comm:row_comm env ~root:row_root field in
+            let strip =
+              if rank = row_root then begin
+                (* interleave the rx-ordered blocks into strip rows *)
+                let strip = Array.make (px * w * h) 0 in
+                for b = 0 to px - 1 do
+                  for j = 0 to h - 1 do
+                    Array.blit gathered ((b * w * h) + (j * w)) strip
+                      ((j * px * w) + (b * w))
+                      w
+                  done
+                done;
+                strip
+              end
+              else [||]
+            in
+            let local_max = Array.fold_left max 0 field in
+            let rmax = Api.allreduce ~comm:row_comm env ~op:Op_max [| local_max |] in
+            if rx = 0 then begin
+              let full = Api.gather ~comm:col_comm env ~root:0 strip in
+              let maxes = Api.gather ~comm:col_comm env ~root:0 rmax in
+              if rank = 0 then begin
+                out_field := full;
+                out_row_max := maxes
+              end
+            end;
+            Api.mpi_finalize env))
+  in
+  ( outcome,
+    { iterations = !iterations;
+      final_residual = !final_residual;
+      field = !out_field;
+      row_max = !out_row_max } )

@@ -1,0 +1,39 @@
+(** 2-D heat diffusion on a process grid with sub-communicators.
+
+    The 2-D companion of {!Heat}: ranks form a [px × py] Cartesian
+    grid (rank = ry·px + rx); each owns a [w × h] cell block. Every
+    iteration exchanges four halos (receives posted first), runs a
+    5-point Jacobi update across the OpenMP team, and reduces the
+    residual over the world communicator. Row and column communicators
+    built with [MPI_Comm_split] are exercised for real work: each row
+    tracks its row-maximum temperature (row-comm Allreduce) and the
+    final field is assembled by row gathers into column 0 followed by
+    a column-comm gather at rank 0.
+
+    Fault points: [Skip_function {rank; func = "ExchangeHalo2D"}]
+    (neighbours hang), [Wrong_collective_size {rank}] (residual
+    Allreduce mismatch hangs the world), [No_critical {rank; thread}]
+    (unprotected residual accumulation, flagged by the discipline
+    checker). *)
+
+type result = {
+  iterations : int;
+  final_residual : int;    (** scaled-integer global residual *)
+  field : int array;       (** full [px·w × py·h] field, row-major,
+                               gathered at rank 0 ([[||]] on hangs) *)
+  row_max : int array;     (** per-row maximum cell value (rank 0 view) *)
+}
+
+val run :
+  ?px:int ->
+  ?py:int ->
+  ?workers:int ->
+  ?seed:int ->
+  ?level:Difftrace_parlot.Tracer.level ->
+  ?w:int ->
+  ?h:int ->
+  ?max_iters:int ->
+  ?max_steps:int ->
+  fault:Difftrace_simulator.Fault.t ->
+  unit ->
+  Difftrace_simulator.Runtime.outcome * result

@@ -1,0 +1,362 @@
+open Difftrace_simulator
+open Runtime
+
+let floats_to_payload = Difftrace_util.Floatbits.to_ints
+let payload_to_floats = Difftrace_util.Floatbits.of_ints
+
+(* -------------------------------------------------------------------- *)
+(* Physics constants (Sedov-style setup, ideal-gas EOS)                  *)
+(* -------------------------------------------------------------------- *)
+
+let gamma = 1.4
+let e_ambient = 1e-6
+let e_deposit = 3.0
+let rho0 = 1.0
+let dx0 = 1.0
+let courant = 0.45
+let dt_max = 0.1
+let q_quadratic = 2.0
+let q_linear = 0.25
+
+type hydro = {
+  cycles_run : int;
+  final_dt : float;
+  total_internal_energy : float;
+  total_kinetic_energy : float;
+  max_pressure : float;
+  shock_cell : int;
+}
+
+(* Halo exchange with the 1-D neighbours, LULESH-style: post the
+   receives (CommRecv), send (CommSend), then complete everything — a
+   deadlock-free protocol as long as both sides participate, which is
+   exactly what the Skip_function fault violates. [payload] supplies
+   the boundary data for each side; returns the neighbours' data. *)
+let halo env ~tag ~payload =
+  let rank = Runtime.pid env and n = Runtime.np env in
+  let left = rank - 1 and right = rank + 1 in
+  let rl, rr =
+    Api.call env "CommRecv" (fun () ->
+        ( (if left >= 0 then Some (Api.irecv env ~src:left ~tag ()) else None),
+          if right < n then Some (Api.irecv env ~src:right ~tag ()) else None ))
+  in
+  Api.call env "CommSend" (fun () ->
+      if left >= 0 then Api.send env ~dst:left ~tag (payload `Left);
+      if right < n then Api.send env ~dst:right ~tag (payload `Right));
+  let wait = function Some r -> Some (Api.wait env r) | None -> None in
+  (wait rl, wait rr)
+
+(* A parallel element loop: the team splits [count] elements; each
+   member calls the leaf trace functions per element and then runs
+   [work lo hi] on its slice. *)
+let elem_loop env ~workers ~count ?(work = fun _ _ -> ()) name leaves =
+  Api.call env name (fun () ->
+      Api.parallel env ~num_threads:workers (fun tenv ->
+          let t = Runtime.tid tenv in
+          let per = (count + workers - 1) / workers in
+          let lo = t * per and hi = min count ((t + 1) * per) in
+          for _e = lo to hi - 1 do
+            List.iter (fun leaf -> Api.call tenv leaf (fun () -> ())) leaves
+          done;
+          work lo hi))
+
+let simulate ?(np = 8) ?(workers = 4) ?(seed = 1) ?level ?(edge = 4)
+    ?(cycles = 2) ?(regions = 4) ?max_steps ~fault () =
+  let num_elem = edge * edge * edge in
+  let out_hydro = ref None in
+  let outcome =
+    Runtime.run ~np ~seed ?level ?max_steps (fun env ->
+        Api.call env "main" (fun () ->
+            Api.mpi_init env;
+            let rank = Api.comm_rank env in
+            let np = Api.comm_size env in
+            let n = num_elem in
+            (* rank owns elements [0..n-1] and nodes [0..n]; node n is a
+               ghost copy of the right neighbour's node 0 *)
+            let x =
+              Array.init (n + 1) (fun i -> float_of_int ((rank * n) + i) *. dx0)
+            in
+            let xd = Array.make (n + 1) 0.0 in
+            let vol = Array.make n dx0 in
+            let vol_old = Array.make n dx0 in
+            let mass = Array.make n (rho0 *. dx0) in
+            let e =
+              Array.init n (fun i ->
+                  if rank = 0 && i = 0 then e_deposit else e_ambient)
+            in
+            let p = Array.make n 0.0 in
+            let q = Array.make n 0.0 in
+            let ss = Array.make n 0.0 in
+            let force = Array.make (n + 1) 0.0 in
+            let eos_elem i =
+              let rho = mass.(i) /. vol.(i) in
+              p.(i) <- Float.max 0.0 ((gamma -. 1.0) *. rho *. e.(i));
+              ss.(i) <- sqrt (gamma *. (p.(i) +. 1e-12) /. rho)
+            in
+            Api.call env "InitMeshDecomp" (fun () -> Api.libc env "malloc");
+            Api.call env "BuildMesh" (fun () ->
+                Api.libc env "malloc";
+                Api.libc env "memset";
+                for i = 0 to n - 1 do
+                  eos_elem i
+                done);
+            Api.barrier env;
+            let skip_llf =
+              match fault with
+              | Fault.Skip_function { rank = r; func } ->
+                r = rank && func = "LagrangeLeapFrog"
+              | Fault.No_fault | Fault.Swap_send_recv _ | Fault.Deadlock_recv _
+              | Fault.Wrong_collective_size _ | Fault.Wrong_collective_op _
+              | Fault.No_critical _ -> false
+            in
+            let dt = ref 1e-2 in
+            for _cycle = 1 to cycles do
+              (* global stable time step: Courant minimum over all ranks
+                 (reduced as a nanosecond-scaled integer, since Op_min
+                 over raw float bit-halves is meaningless) *)
+              Api.call env "TimeIncrement" (fun () ->
+                  let local = ref dt_max in
+                  for i = 0 to n - 1 do
+                    let du = abs_float (xd.(i + 1) -. xd.(i)) in
+                    let c = courant *. vol.(i) /. (ss.(i) +. du +. 1e-12) in
+                    if c < !local then local := c
+                  done;
+                  let scaled = int_of_float (!local *. 1e9) in
+                  let gmin = Api.allreduce env ~op:Op_min [| scaled |] in
+                  dt := float_of_int gmin.(0) /. 1e9);
+              if not skip_llf then
+                Api.call env "LagrangeLeapFrog" (fun () ->
+                    let dt = !dt in
+                    Api.call env "LagrangeNodal" (fun () ->
+                        Api.call env "CalcForceForNodes" (fun () ->
+                            elem_loop env ~workers ~count:n
+                              "InitStressTermsForElems" []
+                              ~work:(fun lo hi ->
+                                for i = lo to hi - 1 do
+                                  eos_elem i
+                                done);
+                            elem_loop env ~workers ~count:n
+                              "IntegrateStressForElems"
+                              [ "CollectDomainNodesToElemNodes";
+                                "CalcElemShapeFunctionDerivatives";
+                                "SumElemFaceNormal";
+                                "CalcElemNodeNormals";
+                                "SumElemStressesToNodeForces" ];
+                            Api.call env "CalcHourglassControlForElems"
+                              (fun () ->
+                                elem_loop env ~workers ~count:n
+                                  "CalcElemVolumeDerivative" [ "VoluDer" ];
+                                elem_loop env ~workers ~count:n
+                                  "CalcFBHourglassForceForElems"
+                                  [ "CalcElemFBHourglassForce" ]);
+                            (* neighbour boundary stress (p+q) *)
+                            let pq i = p.(i) +. q.(i) in
+                            let lpq, rpq =
+                              halo env ~tag:1 ~payload:(function
+                                | `Left -> floats_to_payload [| pq 0 |]
+                                | `Right -> floats_to_payload [| pq (n - 1) |])
+                            in
+                            let left_pq =
+                              match lpq with
+                              | Some m -> (payload_to_floats m).(0)
+                              | None -> pq 0 (* reflective wall *)
+                            in
+                            let right_pq =
+                              match rpq with
+                              | Some m -> (payload_to_floats m).(0)
+                              | None -> pq (n - 1)
+                            in
+                            (* staggered grid: F_i = (p+q)_left − (p+q)_right *)
+                            for i = 0 to n do
+                              let pl = if i = 0 then left_pq else pq (i - 1) in
+                              let pr = if i = n then right_pq else pq i in
+                              force.(i) <- pl -. pr
+                            done);
+                        elem_loop env ~workers ~count:n
+                          "CalcAccelerationForNodes" []
+                          ~work:(fun lo hi ->
+                            (* a = F / nodal mass (half of each adjacent
+                               element's mass) *)
+                            for i = lo to min hi (n - 1) do
+                              let ml = if i = 0 then mass.(0) else mass.(i - 1) in
+                              let mr = mass.(min i (n - 1)) in
+                              force.(i) <- force.(i) /. (0.5 *. (ml +. mr))
+                            done);
+                        Api.call env
+                          "ApplyAccelerationBoundaryConditionsForNodes"
+                          (fun () ->
+                            if rank = 0 then force.(0) <- 0.0;
+                            if rank = np - 1 then force.(n) <- 0.0);
+                        elem_loop env ~workers ~count:n "CalcVelocityForNodes" []
+                          ~work:(fun lo hi ->
+                            for i = lo to min hi (n - 1) do
+                              xd.(i) <- xd.(i) +. (force.(i) *. dt)
+                            done);
+                        elem_loop env ~workers ~count:n "CalcPositionForNodes" []
+                          ~work:(fun lo hi ->
+                            for i = lo to min hi (n - 1) do
+                              x.(i) <- x.(i) +. (xd.(i) *. dt)
+                            done);
+                        Api.call env "CommSyncPosVel" (fun () ->
+                            (* ghost node n := right neighbour's node 0 *)
+                            let _, rgt =
+                              halo env ~tag:2 ~payload:(function
+                                | `Left -> floats_to_payload [| x.(0); xd.(0) |]
+                                | `Right ->
+                                  floats_to_payload [| x.(n - 1); xd.(n - 1) |])
+                            in
+                            match rgt with
+                            | Some m ->
+                              let fs = payload_to_floats m in
+                              x.(n) <- fs.(0);
+                              xd.(n) <- fs.(1)
+                            | None -> xd.(n) <- 0.0 (* global right wall *)));
+                    Api.call env "LagrangeElements" (fun () ->
+                        Api.call env "CalcLagrangeElements" (fun () ->
+                            elem_loop env ~workers ~count:n
+                              "CalcKinematicsForElems"
+                              [ "CalcElemVolume"; "AreaFace";
+                                "CalcElemCharacteristicLength";
+                                "CalcElemVelocityGradient" ]
+                              ~work:(fun lo hi ->
+                                for i = lo to hi - 1 do
+                                  vol.(i) <-
+                                    Float.max (x.(i + 1) -. x.(i)) (0.05 *. dx0)
+                                done));
+                        Api.call env "CalcQForElems" (fun () ->
+                            elem_loop env ~workers ~count:n
+                              "CalcMonotonicQGradientsForElems" [];
+                            Api.call env "CommMonoQ" (fun () ->
+                                ignore
+                                  (halo env ~tag:3 ~payload:(function
+                                    | `Left -> floats_to_payload [| q.(0) |]
+                                    | `Right -> floats_to_payload [| q.(n - 1) |])));
+                            elem_loop env ~workers ~count:n
+                              "CalcMonotonicQRegionForElems" []
+                              ~work:(fun lo hi ->
+                                (* standard artificial viscosity on
+                                   compressing elements *)
+                                for i = lo to hi - 1 do
+                                  let du = xd.(i + 1) -. xd.(i) in
+                                  if du < 0.0 then begin
+                                    let rho = mass.(i) /. vol.(i) in
+                                    q.(i) <-
+                                      rho
+                                      *. ((q_quadratic *. du *. du)
+                                         +. (q_linear *. ss.(i) *. abs_float du))
+                                  end
+                                  else q.(i) <- 0.0
+                                done));
+                        Api.call env "ApplyMaterialPropertiesForElems" (fun () ->
+                            (* Per element the EOS evaluates a fixed
+                               chain of 12 distinct steps (as
+                               CalcEnergyForElems does in LULESH 2.0);
+                               the 12-call unit is longer than K=10's
+                               window but inside K=50's — the §V sweep.
+                               The chain performs the real ideal-gas
+                               update: compression work, clamping,
+                               pressure and sound speed. *)
+                            let eos_steps =
+                              [ "CalcEnergyForElems"; "CalcPressureForElems";
+                                "CalcVacuumResponse"; "CalcWorkForElems";
+                                "CalcQWorkForElems"; "CalcPbvcForElems";
+                                "CalcEnergyDeltaForElems";
+                                "CalcSoundSpeedForElems";
+                                "UpdateEnergyForElems"; "CheckEOSLowerBound";
+                                "CheckEOSUpperBound"; "StoreEOSResults" ]
+                            in
+                            for reg = 0 to regions - 1 do
+                              let reg_elems = n / regions in
+                              Api.call env "EvalEOSForElems" (fun () ->
+                                  for k = 0 to reg_elems - 1 do
+                                    let i = (reg * reg_elems) + k in
+                                    List.iter
+                                      (fun step -> Api.call env step (fun () -> ()))
+                                      eos_steps;
+                                    (* dE = −(p+q)·dV / m, then EOS *)
+                                    let dvol = vol.(i) -. vol_old.(i) in
+                                    e.(i) <-
+                                      Float.max e_ambient
+                                        (e.(i)
+                                        -. ((p.(i) +. q.(i)) *. dvol /. mass.(i)));
+                                    eos_elem i
+                                  done)
+                            done);
+                        elem_loop env ~workers ~count:n "UpdateVolumesForElems"
+                          []
+                          ~work:(fun lo hi ->
+                            for i = lo to hi - 1 do
+                              vol_old.(i) <- vol.(i)
+                            done));
+                    Api.call env "CalcTimeConstraintsForElems" (fun () ->
+                        elem_loop env ~workers ~count:n
+                          "CalcCourantConstraintForElems" [];
+                        elem_loop env ~workers ~count:n
+                          "CalcHydroConstraintForElems" []))
+            done;
+            (* global summary gathered at the root *)
+            let internal = ref 0.0 in
+            for i = 0 to n - 1 do
+              internal := !internal +. (e.(i) *. mass.(i))
+            done;
+            let kinetic = ref 0.0 in
+            for i = 0 to n - 1 do
+              let nm = 0.5 *. (mass.(max 0 (i - 1)) +. mass.(i)) in
+              kinetic := !kinetic +. (0.5 *. nm *. xd.(i) *. xd.(i))
+            done;
+            let pmax = ref 0.0 and pcell = ref 0 in
+            for i = 0 to n - 1 do
+              if p.(i) > !pmax then begin
+                pmax := p.(i);
+                pcell := (rank * n) + i
+              end
+            done;
+            let summary =
+              Api.gather env ~root:0
+                (floats_to_payload
+                   [| !internal; !kinetic; !pmax; float_of_int !pcell |])
+            in
+            if rank = 0 then begin
+              let fs = payload_to_floats summary in
+              let nranks = Array.length fs / 4 in
+              let ti = ref 0.0 and tk = ref 0.0 in
+              let pm = ref 0.0 and pc = ref 0 in
+              for r = 0 to nranks - 1 do
+                ti := !ti +. fs.(4 * r);
+                tk := !tk +. fs.((4 * r) + 1);
+                if fs.((4 * r) + 2) > !pm then begin
+                  pm := fs.((4 * r) + 2);
+                  pc := int_of_float fs.((4 * r) + 3)
+                end
+              done;
+              out_hydro :=
+                Some
+                  { cycles_run = cycles;
+                    final_dt = !dt;
+                    total_internal_energy = !ti;
+                    total_kinetic_energy = !tk;
+                    max_pressure = !pm;
+                    shock_cell = !pc }
+            end;
+            if rank = 0 then
+              Api.call env "VerifyAndWriteFinalOutput" (fun () ->
+                  Api.libc env "strlen");
+            Api.mpi_finalize env))
+  in
+  let hydro =
+    match !out_hydro with
+    | Some h -> h
+    | None ->
+      { cycles_run = 0;
+        final_dt = 0.0;
+        total_internal_energy = 0.0;
+        total_kinetic_energy = 0.0;
+        max_pressure = 0.0;
+        shock_cell = 0 }
+  in
+  (outcome, hydro)
+
+let run ?np ?workers ?seed ?level ?edge ?cycles ?regions ?max_steps ~fault () =
+  fst
+    (simulate ?np ?workers ?seed ?level ?edge ?cycles ?regions ?max_steps ~fault
+       ())

@@ -1,0 +1,60 @@
+(** LULESH 2.0 mini-app (paper §V) — 1-D Lagrangian shock
+    hydrodynamics under MPI + OpenMP.
+
+    Beyond reproducing the whole-program {e trace shape} of LULESH2
+    (the Lagrange-leapfrog phase hierarchy with its real function
+    names, per-element OpenMP loops, per-region EOS chains, halo
+    exchanges, and the per-cycle [TimeIncrement] Allreduce), the
+    workload now solves an actual Sedov-style problem: an energy
+    deposit in the first element drives a shock through a 1-D
+    Lagrangian mesh block-decomposed across ranks. Element pressure,
+    artificial viscosity, specific internal energy and sound speed are
+    updated with an ideal-gas EOS; nodal forces, accelerations,
+    velocities and positions follow the staggered-grid leapfrog; the
+    stable time step is the global Courant minimum (Allreduce over
+    bit-encoded floats). Everything is deterministic.
+
+    The §V fault — [Skip_function {rank; func = "LagrangeLeapFrog"}] —
+    makes that rank skip the whole phase, so its neighbours block in
+    halo receives and every process stops making progress (Table IX).
+
+    [edge] controls elements per rank ([edge]³); [cycles] the number of
+    time steps. *)
+
+(** Physics summary, valid for clean runs (zeros after a hang). *)
+type hydro = {
+  cycles_run : int;
+  final_dt : float;            (** last stable time step *)
+  total_internal_energy : float;  (** global, at the end *)
+  total_kinetic_energy : float;   (** global, at the end *)
+  max_pressure : float;        (** global peak element pressure *)
+  shock_cell : int;            (** global index of the peak-pressure element *)
+}
+
+(** [run …] — traces only (the common case for the analyses). *)
+val run :
+  ?np:int ->
+  ?workers:int ->
+  ?seed:int ->
+  ?level:Difftrace_parlot.Tracer.level ->
+  ?edge:int ->
+  ?cycles:int ->
+  ?regions:int ->
+  ?max_steps:int ->
+  fault:Difftrace_simulator.Fault.t ->
+  unit ->
+  Difftrace_simulator.Runtime.outcome
+
+(** [simulate …] — traces plus the physics summary. *)
+val simulate :
+  ?np:int ->
+  ?workers:int ->
+  ?seed:int ->
+  ?level:Difftrace_parlot.Tracer.level ->
+  ?edge:int ->
+  ?cycles:int ->
+  ?regions:int ->
+  ?max_steps:int ->
+  fault:Difftrace_simulator.Fault.t ->
+  unit ->
+  Difftrace_simulator.Runtime.outcome * hydro

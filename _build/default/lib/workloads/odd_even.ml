@@ -1,0 +1,83 @@
+open Difftrace_util
+open Difftrace_simulator
+
+let find_ptr ~np ~phase ~rank =
+  let partner =
+    if rank mod 2 = 0 then if phase mod 2 = 0 then rank + 1 else rank - 1
+    else if phase mod 2 = 0 then rank - 1
+    else rank + 1
+  in
+  if partner < 0 || partner >= np then None else Some partner
+
+(* Merge my block with the partner's; low half goes to the smaller
+   rank, high half to the larger. *)
+let keep_half mine theirs ~low =
+  let all = Array.append mine theirs in
+  Array.sort Int.compare all;
+  let n = Array.length mine in
+  if low then Array.sub all 0 n else Array.sub all n n
+
+let run ?(np = 4) ?(seed = 1) ?level ?(block = 1) ?(eager_limit = 4)
+    ?max_steps ?jitter ~fault () =
+  let results = Array.make np [||] in
+  let outcome =
+    Runtime.run ~np ~seed ~eager_limit ?max_steps ?level ?jitter (fun env ->
+        Api.call env "main" (fun () ->
+            Api.mpi_init env;
+            let rank = Api.comm_rank env in
+            let np = Api.comm_size env in
+            let rng = Prng.create (seed + (rank * 7919)) in
+            let data = ref (Array.init block (fun _ -> Prng.int rng 100000)) in
+            Api.call env "oddEvenSort" (fun () ->
+                for i = 0 to np - 1 do
+                  let ptr =
+                    Api.call env "findPtr" (fun () -> find_ptr ~np ~phase:i ~rank)
+                  in
+                  match ptr with
+                  | None -> ()
+                  | Some p ->
+                    let exchange_swapped =
+                      match fault with
+                      | Fault.Swap_send_recv { rank = r; after_iter } ->
+                        rank = r && i >= after_iter
+                      | Fault.No_fault | Fault.Deadlock_recv _
+                      | Fault.Wrong_collective_size _ | Fault.Wrong_collective_op _
+                      | Fault.No_critical _ | Fault.Skip_function _ -> false
+                    in
+                    let deadlock_here =
+                      match fault with
+                      | Fault.Deadlock_recv { rank = r; after_iter } ->
+                        rank = r && i >= after_iter
+                      | Fault.No_fault | Fault.Swap_send_recv _
+                      | Fault.Wrong_collective_size _ | Fault.Wrong_collective_op _
+                      | Fault.No_critical _ | Fault.Skip_function _ -> false
+                    in
+                    if deadlock_here then
+                      (* a receive nobody will ever match: actual deadlock *)
+                      ignore (Api.recv env ~src:p ~tag:999 ())
+                    else begin
+                      let send_first =
+                        if exchange_swapped then rank mod 2 <> 0 else rank mod 2 = 0
+                      in
+                      let theirs =
+                        if send_first then begin
+                          Api.send env ~dst:p !data;
+                          Api.recv env ~src:p ()
+                        end
+                        else begin
+                          let theirs = Api.recv env ~src:p () in
+                          Api.send env ~dst:p !data;
+                          theirs
+                        end
+                      in
+                      data := keep_half !data theirs ~low:(rank < p)
+                    end
+                done);
+            results.(rank) <- !data;
+            Api.mpi_finalize env))
+  in
+  (outcome, results)
+
+let sorted_concat blocks =
+  let all = Array.concat (Array.to_list blocks) in
+  all

@@ -1,0 +1,37 @@
+(** MPI odd/even transposition sort — the paper's walk-through example
+    (Fig. 2, Tables II–IV, §II-G).
+
+    Each rank holds a block of values; in phase [i] even-indexed pairs
+    (even [i]) or odd-indexed pairs (odd [i]) exchange blocks and keep
+    the lower/upper half. Even ranks Send;Recv, odd ranks Recv;Send —
+    the pattern whose swap is the [swapBug] waiting trap. The first and
+    last ranks sit out half the phases, which is why their loops run
+    half as often (Table III). *)
+
+(** [run ?np ?seed ?level ?block ?eager_limit ?max_steps ~fault ()]
+    executes the sort with [np] ranks (default 4) over [block] values
+    per rank (default 1 — paper setting, small enough for eager sends;
+    raise it past [eager_limit] to make [swapBug] a real deadlock).
+
+    Supported faults: [No_fault], [Swap_send_recv], [Deadlock_recv].
+    Returns the outcome and the final per-rank blocks (row [r] = rank
+    [r]'s values after sorting; meaningful only for clean runs). *)
+val run :
+  ?np:int ->
+  ?seed:int ->
+  ?level:Difftrace_parlot.Tracer.level ->
+  ?block:int ->
+  ?eager_limit:int ->
+  ?max_steps:int ->
+  ?jitter:float ->
+  fault:Difftrace_simulator.Fault.t ->
+  unit ->
+  Difftrace_simulator.Runtime.outcome * int array array
+
+(** [sorted_concat blocks] — the concatenation of all blocks, for
+    checking the sort's output. *)
+val sorted_concat : int array array -> int array
+
+(** [find_ptr ~np ~phase ~rank] — the partner of [rank] in [phase], if
+    any (the paper's [findPtr]). *)
+val find_ptr : np:int -> phase:int -> rank:int -> int option

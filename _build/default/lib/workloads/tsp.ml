@@ -1,0 +1,70 @@
+open Difftrace_util
+
+type t = { xs : int array; ys : int array }
+
+let make ~cities ~seed =
+  if cities < 3 then invalid_arg "Tsp.make: need at least 3 cities";
+  let rng = Prng.create seed in
+  { xs = Array.init cities (fun _ -> Prng.int rng 1000);
+    ys = Array.init cities (fun _ -> Prng.int rng 1000) }
+
+let n_cities t = Array.length t.xs
+
+(* Scaled integer Euclidean distance: floor(100 * sqrt(dx² + dy²)). *)
+let dist t i j =
+  let dx = float_of_int (t.xs.(i) - t.xs.(j))
+  and dy = float_of_int (t.ys.(i) - t.ys.(j)) in
+  int_of_float (100.0 *. sqrt ((dx *. dx) +. (dy *. dy)))
+
+let tour_length t tour =
+  let n = Array.length tour in
+  if n <> n_cities t then invalid_arg "Tsp.tour_length: wrong tour size";
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    total := !total + dist t tour.(i) tour.((i + 1) mod n)
+  done;
+  !total
+
+let random_tour t ~seed =
+  let tour = Array.init (n_cities t) (fun i -> i) in
+  Prng.shuffle (Prng.create seed) tour;
+  tour
+
+(* First-improvement 2-opt: reverse tour[i+1..j] whenever that shortens
+   the tour; repeat to a local minimum. *)
+let two_opt t tour =
+  let n = Array.length tour in
+  let improved = ref true in
+  let exchanges = ref 0 in
+  while !improved do
+    improved := false;
+    for i = 0 to n - 2 do
+      for j = i + 1 to n - 1 do
+        let a = tour.(i)
+        and b = tour.((i + 1) mod n)
+        and c = tour.(j)
+        and d = tour.((j + 1) mod n) in
+        if a <> c && b <> d then begin
+          let delta = dist t a c + dist t b d - dist t a b - dist t c d in
+          if delta < 0 then begin
+            (* reverse the segment i+1 .. j *)
+            let lo = ref (i + 1) and hi = ref j in
+            while !lo < !hi do
+              let tmp = tour.(!lo) in
+              tour.(!lo) <- tour.(!hi);
+              tour.(!hi) <- tmp;
+              incr lo;
+              decr hi
+            done;
+            incr exchanges;
+            improved := true
+          end
+        end
+      done
+    done
+  done;
+  (tour_length t tour, !exchanges)
+
+let solve t ~seed =
+  let tour = random_tour t ~seed in
+  fst (two_opt t tour)

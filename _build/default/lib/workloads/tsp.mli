@@ -1,0 +1,30 @@
+(** Traveling Salesman local search — the user code ILCS runs (§IV-A).
+
+    Random Euclidean instances; tours start from a seeded random
+    permutation and are improved with the 2-opt heuristic until a local
+    minimum, exactly the workflow the paper describes. Distances are
+    scaled integers so results are exact and platform-independent. *)
+
+type t
+
+(** [make ~cities ~seed] — a random instance with [cities] points on a
+    1000×1000 grid. *)
+val make : cities:int -> seed:int -> t
+
+val n_cities : t -> int
+
+(** [tour_length t tour] — total scaled-integer length of the closed
+    tour. [tour] must be a permutation of [0..n-1]. *)
+val tour_length : t -> int array -> int
+
+(** [random_tour t ~seed] — seeded random permutation. *)
+val random_tour : t -> seed:int -> int array
+
+(** [two_opt t tour] — improves [tour] in place to a 2-opt local
+    minimum; returns the final length and the number of improving
+    exchanges applied. *)
+val two_opt : t -> int array -> int * int
+
+(** [solve t ~seed] — random restart + 2-opt; returns the local-minimum
+    length ([CPU_Exec]'s result). *)
+val solve : t -> seed:int -> int

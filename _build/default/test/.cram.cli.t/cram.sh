@@ -1,0 +1,12 @@
+  $ difftrace filters | head -6
+  $ difftrace compare -w oddeven --np 16 -f 'swapBug(rank=5,after=7)'
+  $ difftrace run -w ilcs -f 'wrongSize(rank=2)' | grep -E 'DEADLOCK|mismatch'
+  $ difftrace record -w oddeven --np 8 -o normal.arch
+  $ difftrace record -w oddeven --np 8 -f 'dlBug(rank=5,after=3)' -o faulty.arch > /dev/null
+  $ difftrace analyze --normal normal.arch --faulty faulty.arch --attrs sing.log10 | head -4
+  $ difftrace run -f 'bogus(rank=1)' 2>&1 | head -2 | tail -1
+  $ difftrace report -w oddeven --np 8 -f 'dlBug(rank=5,after=3)' -o report.md
+  $ grep -c '^## ' report.md
+  $ difftrace triage -w oddeven --np 8 -f 'dlBug(rank=3,after=2)' --attrs sing.log10 | head -10
+  $ difftrace explore -w oddeven --np 6 -n 4
+  $ difftrace autotune -w oddeven --np 8 -f 'swapBug(rank=3,after=2)' | tail -1

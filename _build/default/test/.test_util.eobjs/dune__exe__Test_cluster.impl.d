@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Array Bscore Dendrogram Difftrace_cluster Difftrace_fca Float Int Jsm Linkage List Option QCheck2 QCheck_alcotest String

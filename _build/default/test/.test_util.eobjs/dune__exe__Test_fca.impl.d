@@ -1,0 +1,1 @@
+test/test_fca.ml: Alcotest Array Attributes Context Difftrace_fca Difftrace_nlr Difftrace_trace Difftrace_util Float Lattice List Printf QCheck2 QCheck_alcotest String

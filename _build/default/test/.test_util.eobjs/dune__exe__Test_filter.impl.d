@@ -1,0 +1,1 @@
+test/test_filter.ml: Alcotest Array Difftrace_filter Difftrace_trace Event Filter List String Symtab Trace Trace_set

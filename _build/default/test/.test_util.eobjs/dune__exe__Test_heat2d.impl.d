@@ -1,0 +1,1 @@
+test/test_heat2d.ml: Alcotest Array Difftrace_simulator Difftrace_trace Difftrace_workloads Fault List Printf QCheck2 QCheck_alcotest Runtime

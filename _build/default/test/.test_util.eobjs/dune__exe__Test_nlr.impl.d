@@ -1,0 +1,1 @@
+test/test_nlr.ml: Alcotest Array Difftrace_nlr Difftrace_trace List Nlr QCheck2 QCheck_alcotest String Symtab

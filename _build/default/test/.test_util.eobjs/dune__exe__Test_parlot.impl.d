@@ -1,0 +1,1 @@
+test/test_parlot.ml: Alcotest Capture Difftrace_parlot Difftrace_trace List Lzw Printf QCheck2 QCheck_alcotest String Symtab Trace Trace_set Tracer

@@ -1,0 +1,1 @@
+test/test_simulator.ml: Alcotest Api Array Difftrace_parlot Difftrace_simulator Difftrace_trace Difftrace_workloads Effect Explore Fault List Option Printf QCheck2 QCheck_alcotest Runtime Shm String

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Difftrace_trace Event List Option QCheck2 QCheck_alcotest Symtab Trace Trace_set

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitset Buffer Difftrace_util Int List Prng QCheck2 QCheck_alcotest Stats String Texttable Varint Vec

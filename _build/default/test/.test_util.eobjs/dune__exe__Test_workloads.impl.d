@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Difftrace_nlr Difftrace_simulator Difftrace_trace Difftrace_workloads Fault Float Ilcs Int List Lulesh Odd_even Printf QCheck2 QCheck_alcotest Runtime Tsp

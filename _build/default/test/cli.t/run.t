@@ -1,0 +1,99 @@
+The predefined filter catalog (paper Table I):
+
+  $ difftrace filters | head -6
+  +----------+----------------------+------------------------------------------------------------------------+
+  | Category | Sub-Category         | Description                                                            |
+  +----------+----------------------+------------------------------------------------------------------------+
+  | Primary  | Returns              | Filter out all returns                                                 |
+  | Primary  | PLT                  | Filter out the ".plt" stub calls for dynamically resolved externals    |
+  | MPI      | MPI All              | Only keep functions that start with "MPI_"                             |
+
+swapBug relative debugging on 16 ranks (paper Fig. 5): trace 5 leads.
+
+  $ difftrace compare -w oddeven --np 16 -f 'swapBug(rank=5,after=7)'
+  configuration: 11.mpiall.K10 / sing.noFreq / ward
+  B-score: 0.794
+  top processes: 5, 0, 2, 4, 6, 8
+  top threads:   
+  suspicious traces:
+    5      2.500
+    10     0.167
+    2      0.167
+    6      0.167
+    12     0.167
+    8      0.167
+    14     0.167
+    0      0.167
+  === diffNLR(5) ===
+      normal        | faulty       
+      --------------+--------------
+    = MPI_Init      | MPI_Init     
+    = MPI_Comm_rank | MPI_Comm_rank
+    = MPI_Comm_size | MPI_Comm_size
+      --------------+--------------
+    ~ L1^16         | L1^7         
+    >               | L0^9         
+      --------------+--------------
+    = MPI_Finalize  | MPI_Finalize 
+      --------------+--------------
+
+A hung ILCS job is diagnosed at the collective:
+
+  $ difftrace run -w ilcs -f 'wrongSize(rank=2)' | grep -E 'DEADLOCK|mismatch'
+  DEADLOCK: 0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0
+  collective mismatch: collective #3: mismatched MPI_Allreduce(count=1)@p0/MPI_Allreduce(count=1)@p1/MPI_Allreduce(count=2)@p2/MPI_Allreduce(count=1)@p3/MPI_Allreduce(count=1)@p4/MPI_Allreduce(count=1)@p5/MPI_Allreduce(count=1)@p6/MPI_Allreduce(count=1)@p7
+
+The offline loop: record both runs, analyze from disk.
+
+  $ difftrace record -w oddeven --np 8 -o normal.arch
+  archived 8 trace files to normal.arch
+  $ difftrace record -w oddeven --np 8 -f 'dlBug(rank=5,after=3)' -o faulty.arch > /dev/null
+  $ difftrace analyze --normal normal.arch --faulty faulty.arch --attrs sing.log10 | head -4
+  configuration: 11.mpiall.K10 / sing.log10 / ward
+  B-score: 0.516
+  suspicious traces:
+    0      1.552
+
+Fault specs are validated:
+
+  $ difftrace run -f 'bogus(rank=1)' 2>&1 | head -2 | tail -1
+  Usage: difftrace run [OPTION]…
+
+A full markdown report:
+
+  $ difftrace report -w oddeven --np 8 -f 'dlBug(rank=5,after=3)' -o report.md
+  wrote report.md (3312 bytes)
+  $ grep -c '^## ' report.md
+  7
+
+Single-run triage of a hung job (no reference run needed):
+
+  $ difftrace triage -w oddeven --np 8 -f 'dlBug(rank=3,after=2)' --attrs sing.log10 | head -10
+  run is HUNG: 8 threads never terminated
+  JSM outliers (most dissimilar traces of this run):
+  +-------+---------------+-----------+
+  | Trace | Outlier score | Truncated |
+  +-------+---------------+-----------+
+  | 2     | 0.286         | yes       |
+  | 3     | 0.286         | yes       |
+  | 5     | 0.286         | yes       |
+  | 6     | 0.286         | yes       |
+  | 7     | 0.286         | yes       |
+
+Schedule exploration:
+
+  $ difftrace explore -w oddeven --np 6 -n 4
+  +------+---------+-------+-------------------+
+  | Seed | Outcome | Races | Trace fingerprint |
+  +------+---------+-------+-------------------+
+  | 1    | ok      | 0     | fc5685e6          |
+  | 2    | ok      | 0     | fc5685e6          |
+  | 3    | ok      | 0     | fc5685e6          |
+  | 4    | ok      | 0     | fc5685e6          |
+  +------+---------+-------+-------------------+
+  distinct outcomes: 1; deadlocking seeds: none
+
+Autotune picks a configuration and a suspect:
+
+  $ difftrace autotune -w oddeven --np 8 -f 'swapBug(rank=3,after=2)' | tail -1
+  best: 11.mpiall.K10 / sing.actual / ward (B-score 0.560, top suspect 3)

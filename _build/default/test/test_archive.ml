@@ -1,0 +1,359 @@
+open Difftrace_parlot
+open Difftrace_trace
+module R = Difftrace_simulator.Runtime
+module Fault = Difftrace_simulator.Fault
+module Odd_even = Difftrace_workloads.Odd_even
+module Stacktree = Difftrace_stacktree.Stacktree
+
+let tmpdir name =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) ("difftrace_" ^ name) in
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  dir
+
+let set_equal ts1 ts2 =
+  let dump ts =
+    Array.to_list (Trace_set.traces ts)
+    |> List.map (fun tr ->
+           ( tr.Trace.pid,
+             tr.Trace.tid,
+             tr.Trace.truncated,
+             Trace.to_strings (Trace_set.symtab ts) tr ))
+  in
+  dump ts1 = dump ts2
+
+(* ------------------------------------------------------------------ *)
+(* Archive                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_archive_roundtrip () =
+  let outcome, _ = Odd_even.run ~np:4 ~fault:Fault.No_fault () in
+  let dir = tmpdir "roundtrip" in
+  let n = Archive.save ~dir outcome.R.traces in
+  Alcotest.(check int) "one file per thread" 4 n;
+  let loaded = Archive.load ~dir in
+  Alcotest.(check bool) "identical traces after reload" true
+    (set_equal outcome.R.traces loaded)
+
+let test_archive_preserves_truncation () =
+  let outcome, _ =
+    Odd_even.run ~np:8 ~fault:(Fault.Deadlock_recv { rank = 5; after_iter = 3 }) ()
+  in
+  let dir = tmpdir "truncated" in
+  ignore (Archive.save ~dir outcome.R.traces);
+  let loaded = Archive.load ~dir in
+  Alcotest.(check bool) "truncation flags survive" true
+    (set_equal outcome.R.traces loaded);
+  let tr = Trace_set.find_exn loaded ~pid:5 ~tid:0 in
+  Alcotest.(check bool) "rank 5 still truncated" true tr.Trace.truncated
+
+let test_archive_reanalysis_offline () =
+  (* the paper's workflow: record once, re-filter offline *)
+  let outcome, _ = Odd_even.run ~np:4 ~fault:Fault.No_fault () in
+  let dir = tmpdir "offline" in
+  ignore (Archive.save ~dir outcome.R.traces);
+  let loaded = Archive.load ~dir in
+  let a = Difftrace.Pipeline.analyze (Difftrace.Config.make ()) loaded in
+  Alcotest.(check string) "Table III reproducible from disk"
+    "MPI_Init;MPI_Comm_rank;MPI_Comm_size;L0^2;MPI_Finalize"
+    (String.concat ";"
+       (Difftrace_nlr.Nlr.to_strings a.Difftrace.Pipeline.symtab
+          (fst a.Difftrace.Pipeline.nlrs.(0))))
+
+let test_archive_corrupt_manifest () =
+  let dir = tmpdir "corrupt" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let oc = open_out (Archive.manifest_file dir) in
+  output_string oc "not an archive\n";
+  close_out oc;
+  Alcotest.check_raises "bad magic" (Invalid_argument "Archive.load: bad magic")
+    (fun () -> ignore (Archive.load ~dir))
+
+(* ------------------------------------------------------------------ *)
+(* Stack trees                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_final_stack_reconstruction () =
+  let symtab = Symtab.create () in
+  let id n = Symtab.intern symtab n in
+  let tr =
+    Trace.make ~pid:0 ~tid:0 ~truncated:true
+      [| Event.Call (id "main"); Event.Call (id "f"); Event.Return (id "f");
+         Event.Call (id "g"); Event.Call (id "MPI_Recv") |]
+  in
+  Alcotest.(check (list string)) "stuck inside main>g>MPI_Recv"
+    [ "main"; "g"; "MPI_Recv" ]
+    (Stacktree.final_stack symtab tr)
+
+let test_final_stack_balanced () =
+  let symtab = Symtab.create () in
+  let id n = Symtab.intern symtab n in
+  let tr =
+    Trace.make ~pid:0 ~tid:0 ~truncated:false
+      [| Event.Call (id "main"); Event.Call (id "f"); Event.Return (id "f");
+         Event.Return (id "main") |]
+  in
+  Alcotest.(check (list string)) "balanced trace -> empty stack" []
+    (Stacktree.final_stack symtab tr)
+
+let test_final_stack_unmatched_return () =
+  let symtab = Symtab.create () in
+  let id n = Symtab.intern symtab n in
+  let tr =
+    Trace.make ~pid:0 ~tid:0 ~truncated:false
+      [| Event.Call (id "main"); Event.Return (id "other") |]
+  in
+  Alcotest.(check (list string)) "unmatched return ignored" [ "main" ]
+    (Stacktree.final_stack symtab tr)
+
+let test_stacktree_hung_run () =
+  (* dlBug: STAT-style view of where every rank is stuck *)
+  let outcome, _ =
+    Odd_even.run ~np:8 ~fault:(Fault.Deadlock_recv { rank = 3; after_iter = 2 }) ()
+  in
+  let tree = Stacktree.build outcome.R.traces in
+  (* everyone still alive is under main > oddEvenSort > MPI_* *)
+  (match tree.Stacktree.roots with
+  | [ root ] ->
+    Alcotest.(check string) "root frame" "main" root.Stacktree.frame;
+    Alcotest.(check bool) "root holds the hung ranks" true
+      (List.length root.Stacktree.members >= 5)
+  | _ -> Alcotest.fail "expected a single main root");
+  let classes = Stacktree.equivalence_classes tree in
+  Alcotest.(check bool) "at least one stuck class" true (List.length classes >= 1);
+  let total =
+    List.fold_left (fun acc (_, members) -> acc + List.length members) 0 classes
+  in
+  Alcotest.(check int) "every rank is in exactly one class" 8 total;
+  (* the injected rank is stuck under main > oddEvenSort > MPI_Recv *)
+  let rank3_class =
+    List.find (fun (_, members) -> List.mem (3, 0) members) classes
+  in
+  Alcotest.(check (list string)) "rank 3's stack"
+    [ "main"; "oddEvenSort"; "MPI_Recv" ]
+    (fst rank3_class);
+  let rendered = Stacktree.render tree in
+  Alcotest.(check bool) "renders frames" true (String.length rendered > 50)
+
+let test_stacktree_clean_run_all_idle () =
+  let outcome, _ = Odd_even.run ~np:4 ~fault:Fault.No_fault () in
+  let tree = Stacktree.build outcome.R.traces in
+  Alcotest.(check int) "no live frames" 0 (List.length tree.Stacktree.roots);
+  Alcotest.(check int) "all idle" 4 (List.length tree.Stacktree.idle)
+
+(* ------------------------------------------------------------------ *)
+(* Extra collectives                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Api = Difftrace_simulator.Api
+
+let clean outcome =
+  Alcotest.(check (list (pair int int))) "no deadlock" [] outcome.R.deadlocked
+
+let test_allgather () =
+  let outcome =
+    R.run ~np:3 (fun env ->
+        let r = Api.allgather env [| R.pid env * 10 |] in
+        Alcotest.(check (array int)) "rank-ordered concat" [| 0; 10; 20 |] r)
+  in
+  clean outcome
+
+let test_gather () =
+  let outcome =
+    R.run ~np:3 (fun env ->
+        let r = Api.gather env ~root:1 [| R.pid env; R.pid env |] in
+        if R.pid env = 1 then
+          Alcotest.(check (array int)) "root" [| 0; 0; 1; 1; 2; 2 |] r
+        else Alcotest.(check (array int)) "non-root" [||] r)
+  in
+  clean outcome
+
+let test_scatter () =
+  let outcome =
+    R.run ~np:3 (fun env ->
+        let data = if R.pid env = 0 then [| 10; 11; 20; 21; 30; 31 |] else [||] in
+        let r = Api.scatter env ~root:0 ~count:2 data in
+        Alcotest.(check (array int)) "slice"
+          [| ((R.pid env + 1) * 10); ((R.pid env + 1) * 10) + 1 |]
+          r)
+  in
+  clean outcome
+
+let test_scatter_bad_buffer_hangs () =
+  let outcome =
+    R.run ~np:2 (fun env ->
+        let data = if R.pid env = 0 then [| 1 |] (* too short *) else [||] in
+        ignore (Api.scatter env ~root:0 ~count:2 data))
+  in
+  Alcotest.(check int) "hangs" 2 (List.length outcome.R.deadlocked);
+  Alcotest.(check bool) "diagnosed" true (outcome.R.collective_mismatch <> None)
+
+let test_alltoall () =
+  let outcome =
+    R.run ~np:2 (fun env ->
+        (* rank r sends [r*100 + d] to rank d *)
+        let data = [| (R.pid env * 100) + 0; (R.pid env * 100) + 1 |] in
+        let r = Api.alltoall env ~count:1 data in
+        Alcotest.(check (array int)) "transposed"
+          [| 0 + R.pid env; 100 + R.pid env |]
+          r)
+  in
+  clean outcome
+
+let test_scan () =
+  let outcome =
+    R.run ~np:4 (fun env ->
+        let r = Api.scan env ~op:R.Op_sum [| 1 |] in
+        Alcotest.(check (array int)) "inclusive prefix" [| R.pid env + 1 |] r)
+  in
+  clean outcome
+
+(* ------------------------------------------------------------------ *)
+(* Communicators                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_comm_split_groups () =
+  let outcome =
+    R.run ~np:6 (fun env ->
+        let rank = R.pid env in
+        (* evens and odds form separate communicators *)
+        let c = Api.comm_split env ~color:(rank mod 2) ~key:rank in
+        (* sum within the group *)
+        let s = Api.allreduce ~comm:c env ~op:R.Op_sum [| rank |] in
+        let expected = if rank mod 2 = 0 then 0 + 2 + 4 else 1 + 3 + 5 in
+        Alcotest.(check (array int)) "group sum" [| expected |] s;
+        (* world collectives still work alongside *)
+        let w = Api.allreduce env ~op:R.Op_sum [| 1 |] in
+        Alcotest.(check (array int)) "world size" [| 6 |] w)
+  in
+  clean outcome
+
+let test_comm_split_key_orders_members () =
+  let outcome =
+    R.run ~np:4 (fun env ->
+        let rank = R.pid env in
+        (* reverse ordering via descending keys *)
+        let c = Api.comm_split env ~color:0 ~key:(- rank) in
+        Alcotest.(check (array int)) "members sorted by key"
+          [| 3; 2; 1; 0 |]
+          c.R.members;
+        ignore (Api.barrier ~comm:c env))
+  in
+  clean outcome
+
+let test_comm_split_allgather_order () =
+  let outcome =
+    R.run ~np:4 (fun env ->
+        let rank = R.pid env in
+        let c = Api.comm_split env ~color:(rank / 2) ~key:rank in
+        let g = Api.allgather ~comm:c env [| rank * 10 |] in
+        let expected = if rank < 2 then [| 0; 10 |] else [| 20; 30 |] in
+        Alcotest.(check (array int)) "gathered in comm-rank order" expected g)
+  in
+  clean outcome
+
+let test_comm_mismatched_split_hangs () =
+  (* a classic split bug: one rank computes a different color and its
+     group can never complete a collective of the expected size...
+     here rank 3 joins color 0's group while they expect it in group 1,
+     so the collective *memberships* disagree -> derive_comm differs ->
+     the groups deadlock *)
+  let outcome =
+    R.run ~np:4 (fun env ->
+        let rank = R.pid env in
+        let color = if rank = 3 then 0 else rank mod 2 in
+        let c = Api.comm_split env ~color ~key:rank in
+        (* ranks disagree about who is in which group only if their
+           local view diverged; with allgather-based split all views
+           agree, so instead simulate the bug by using the wrong comm
+           size expectation: rank 3 then barriers on a comm whose other
+           members never barrier on it *)
+        if rank = 3 then ignore (Api.barrier ~comm:c env)
+        else if rank mod 2 = 1 then ignore (Api.barrier ~comm:c env))
+  in
+  (* rank 1's group is {1}, it completes alone; rank 3 joined {0,2,3}
+     but 0 and 2 never call barrier -> rank 3 hangs *)
+  Alcotest.(check bool) "the misrouted rank hangs" true
+    (List.mem (3, 0) outcome.R.deadlocked)
+
+
+(* ------------------------------------------------------------------ *)
+(* trace emission of the newer MPI wrappers                            *)
+(* ------------------------------------------------------------------ *)
+
+let trace_names outcome ~pid =
+  let ts = outcome.R.traces in
+  let tr = Trace_set.find_exn ts ~pid ~tid:0 in
+  Trace.to_strings (Trace_set.symtab ts) tr
+
+let test_sendrecv_trace_name () =
+  let outcome =
+    R.run ~np:2 (fun env ->
+        let peer = 1 - R.pid env in
+        ignore (Api.sendrecv env ~dst:peer ~src:peer [| 1 |]))
+  in
+  let names = trace_names outcome ~pid:0 in
+  Alcotest.(check bool) "MPI_Sendrecv recorded" true
+    (List.mem "MPI_Sendrecv" names);
+  Alcotest.(check bool) "and returned" true (List.mem "ret MPI_Sendrecv" names)
+
+let test_comm_split_trace_name () =
+  let outcome =
+    R.run ~np:2 (fun env ->
+        ignore (Api.comm_split env ~color:0 ~key:(R.pid env)))
+  in
+  let names = trace_names outcome ~pid:1 in
+  Alcotest.(check bool) "MPI_Comm_split recorded" true
+    (List.mem "MPI_Comm_split" names)
+
+let test_explore_reproducible () =
+  let program env =
+    Api.parallel env ~num_threads:3 (fun tenv ->
+        Api.critical tenv (fun () -> ());
+        Api.yield tenv)
+  in
+  let a = Difftrace_simulator.Explore.run ~np:2 ~seeds:[ 3; 1; 2 ] program in
+  let b = Difftrace_simulator.Explore.run ~np:2 ~seeds:[ 1; 2; 3 ] program in
+  Alcotest.(check bool) "seed order does not matter, results identical" true
+    (a = b)
+
+let test_archive_empty_set () =
+  let ts = Trace_set.create (Symtab.create ()) [] in
+  let dir = tmpdir "empty" in
+  Alcotest.(check int) "zero files" 0 (Archive.save ~dir ts);
+  Alcotest.(check int) "load empty" 0 (Trace_set.cardinal (Archive.load ~dir))
+
+let () =
+  Alcotest.run "archive+stacktree+collectives"
+    [ ( "archive",
+        [ Alcotest.test_case "roundtrip" `Quick test_archive_roundtrip;
+          Alcotest.test_case "truncation preserved" `Quick
+            test_archive_preserves_truncation;
+          Alcotest.test_case "offline re-analysis" `Quick
+            test_archive_reanalysis_offline;
+          Alcotest.test_case "corrupt manifest" `Quick test_archive_corrupt_manifest ] );
+      ( "stacktree",
+        [ Alcotest.test_case "final stack" `Quick test_final_stack_reconstruction;
+          Alcotest.test_case "balanced stack" `Quick test_final_stack_balanced;
+          Alcotest.test_case "unmatched return" `Quick test_final_stack_unmatched_return;
+          Alcotest.test_case "hung run classes" `Quick test_stacktree_hung_run;
+          Alcotest.test_case "clean run idle" `Quick test_stacktree_clean_run_all_idle ] );
+      ( "collectives",
+        [ Alcotest.test_case "allgather" `Quick test_allgather;
+          Alcotest.test_case "gather" `Quick test_gather;
+          Alcotest.test_case "scatter" `Quick test_scatter;
+          Alcotest.test_case "scatter bad buffer" `Quick test_scatter_bad_buffer_hangs;
+          Alcotest.test_case "alltoall" `Quick test_alltoall;
+          Alcotest.test_case "scan" `Quick test_scan ] );
+      ( "api-traces",
+        [ Alcotest.test_case "sendrecv name" `Quick test_sendrecv_trace_name;
+          Alcotest.test_case "comm_split name" `Quick test_comm_split_trace_name;
+          Alcotest.test_case "explore reproducible" `Quick test_explore_reproducible;
+          Alcotest.test_case "empty archive" `Quick test_archive_empty_set ] );
+      ( "communicators",
+        [ Alcotest.test_case "split groups" `Quick test_comm_split_groups;
+          Alcotest.test_case "key ordering" `Quick test_comm_split_key_orders_members;
+          Alcotest.test_case "allgather order" `Quick test_comm_split_allgather_order;
+          Alcotest.test_case "misrouted rank hangs" `Quick
+            test_comm_mismatched_split_hangs ] ) ]
+

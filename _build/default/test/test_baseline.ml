@@ -1,0 +1,102 @@
+open Difftrace_baseline
+module R = Difftrace_simulator.Runtime
+module Fault = Difftrace_simulator.Fault
+module Odd_even = Difftrace_workloads.Odd_even
+module Filter = Difftrace_filter.Filter
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let test_transition_probabilities () =
+  let m = Smm.of_calls [| "a"; "b"; "a"; "b"; "a"; "c" |] in
+  Alcotest.(check int) "two source states... a and b" 2 (Smm.n_states m);
+  Alcotest.(check (float 1e-9)) "P(b|a) = 2/3" (2.0 /. 3.0)
+    (Smm.transition_probability m ~src:"a" ~dst:"b");
+  Alcotest.(check (float 1e-9)) "P(c|a) = 1/3" (1.0 /. 3.0)
+    (Smm.transition_probability m ~src:"a" ~dst:"c");
+  Alcotest.(check (float 1e-9)) "P(a|b) = 1" 1.0
+    (Smm.transition_probability m ~src:"b" ~dst:"a");
+  Alcotest.(check (float 1e-9)) "unknown source" 0.0
+    (Smm.transition_probability m ~src:"z" ~dst:"a")
+
+let test_distance_identity_symmetry () =
+  let a = Smm.of_calls [| "x"; "y"; "x"; "y" |] in
+  let b = Smm.of_calls [| "x"; "z"; "x"; "z" |] in
+  Alcotest.(check (float 1e-9)) "d(a,a)=0" 0.0 (Smm.distance a a);
+  Alcotest.(check (float 1e-9)) "symmetric" (Smm.distance a b) (Smm.distance b a);
+  Alcotest.(check bool) "different models differ" true (Smm.distance a b > 0.3)
+
+let test_distance_missing_state () =
+  let a = Smm.of_calls [| "x"; "y" |] in
+  let empty = Smm.of_calls [||] in
+  Alcotest.(check (float 1e-9)) "missing state fully different" 1.0
+    (Smm.distance a empty);
+  Alcotest.(check (float 1e-9)) "two empties" 0.0 (Smm.distance empty empty)
+
+let gen_calls =
+  QCheck2.Gen.(
+    list_size (int_range 0 80) (int_range 0 4)
+    |> map (fun l -> Array.of_list (List.map (Printf.sprintf "f%d") l)))
+
+let prop_distance_metric_like =
+  qtest "distance in [0,1], zero on self, symmetric"
+    QCheck2.Gen.(pair gen_calls gen_calls)
+    (fun (a, b) ->
+      let ma = Smm.of_calls a and mb = Smm.of_calls b in
+      let d = Smm.distance ma mb in
+      d >= 0.0 && d <= 1.0
+      && Smm.distance ma ma = 0.0
+      && Float.abs (d -. Smm.distance mb ma) < 1e-12)
+
+let mpi_only ts = Filter.apply_set (Filter.make [ Filter.Mpi_all ]) ts
+
+let test_baseline_flags_swapbug () =
+  (* the baseline must also localize the paper's swapBug: rank 5's
+     transition structure flips Recv->Send into Send->Recv *)
+  let normal, _ = Odd_even.run ~np:16 ~fault:Fault.No_fault () in
+  let faulty, _ =
+    Odd_even.run ~np:16 ~fault:(Fault.Swap_send_recv { rank = 5; after_iter = 7 }) ()
+  in
+  let changes =
+    Smm.rank_changes ~normal:(mpi_only normal.R.traces)
+      ~faulty:(mpi_only faulty.R.traces)
+  in
+  Alcotest.(check string) "rank 5 changed most" "5" (fst changes.(0));
+  Alcotest.(check bool) "clearly positive" true (snd changes.(0) > 0.01)
+
+let test_baseline_outliers_on_hung_run () =
+  let faulty, _ =
+    Odd_even.run ~np:8 ~fault:(Fault.Deadlock_recv { rank = 3; after_iter = 2 }) ()
+  in
+  let scores = Smm.outliers (mpi_only faulty.R.traces) in
+  Alcotest.(check int) "one score per trace" 8 (Array.length scores);
+  Alcotest.(check bool) "scores sorted descending" true
+    (let ok = ref true in
+     for i = 1 to Array.length scores - 1 do
+       if snd scores.(i - 1) < snd scores.(i) then ok := false
+     done;
+     !ok)
+
+let test_baseline_identical_runs () =
+  let a, _ = Odd_even.run ~np:8 ~fault:Fault.No_fault () in
+  let b, _ = Odd_even.run ~np:8 ~fault:Fault.No_fault () in
+  let changes = Smm.rank_changes ~normal:a.R.traces ~faulty:b.R.traces in
+  Array.iter
+    (fun (l, d) ->
+      Alcotest.(check (float 1e-9)) ("no drift for " ^ l) 0.0 d)
+    changes
+
+let () =
+  Alcotest.run "baseline"
+    [ ( "smm",
+        [ Alcotest.test_case "transition probabilities" `Quick
+            test_transition_probabilities;
+          Alcotest.test_case "distance identity/symmetry" `Quick
+            test_distance_identity_symmetry;
+          Alcotest.test_case "missing state" `Quick test_distance_missing_state;
+          prop_distance_metric_like ] );
+      ( "debugging",
+        [ Alcotest.test_case "flags swapBug rank 5" `Quick test_baseline_flags_swapbug;
+          Alcotest.test_case "outliers on hung run" `Quick
+            test_baseline_outliers_on_hung_run;
+          Alcotest.test_case "identical runs" `Quick test_baseline_identical_runs ] ) ]

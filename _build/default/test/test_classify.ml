@@ -1,0 +1,141 @@
+open Difftrace_classify
+open Difftrace
+module R = Difftrace_simulator.Runtime
+module Fault = Difftrace_simulator.Fault
+module F = Difftrace_filter.Filter
+module Odd_even = Difftrace_workloads.Odd_even
+module Ilcs = Difftrace_workloads.Ilcs
+
+(* ------------------------------------------------------------------ *)
+(* Classifier unit tests                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_train_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Classifier.train: no examples")
+    (fun () -> ignore (Classifier.train []));
+  Alcotest.check_raises "ragged"
+    (Invalid_argument "Classifier.train: inconsistent dimensions") (fun () ->
+      ignore (Classifier.train [ ("a", [| 1.0 |]); ("b", [| 1.0; 2.0 |]) ]))
+
+let test_two_clusters () =
+  let m =
+    Classifier.train
+      [ ("low", [| 0.0; 0.1 |]); ("low", [| 0.1; 0.0 |]);
+        ("high", [| 1.0; 0.9 |]); ("high", [| 0.9; 1.0 |]) ]
+  in
+  Alcotest.(check (list string)) "classes" [ "high"; "low" ] (Classifier.classes m);
+  Alcotest.(check string) "near low" "low" (fst (Classifier.classify m [| 0.05; 0.05 |]));
+  Alcotest.(check string) "near high" "high" (fst (Classifier.classify m [| 0.95; 0.95 |]))
+
+let test_normalization_invariance () =
+  (* a feature with a huge scale must not drown the informative one *)
+  let m =
+    Classifier.train
+      [ ("a", [| 0.0; 1000.0 |]); ("a", [| 0.1; 1010.0 |]);
+        ("b", [| 1.0; 1005.0 |]); ("b", [| 0.9; 995.0 |]) ]
+  in
+  Alcotest.(check string) "scale-dominated feature ignored" "b"
+    (fst (Classifier.classify m [| 0.95; 1000.0 |]))
+
+let test_accuracy_and_confusion () =
+  let examples =
+    [ ("x", [| 0.0 |]); ("x", [| 0.2 |]); ("y", [| 1.0 |]); ("y", [| 0.8 |]) ]
+  in
+  let m = Classifier.train examples in
+  Alcotest.(check (float 1e-9)) "train accuracy" 1.0 (Classifier.accuracy m examples);
+  let conf = Classifier.confusion m examples in
+  Alcotest.(check int) "two diagonal rows" 2 (List.length conf);
+  List.iter
+    (fun (t, p, c) ->
+      Alcotest.(check string) "diagonal" t p;
+      Alcotest.(check int) "two each" 2 c)
+    conf;
+  Alcotest.(check bool) "renders" true
+    (String.length (Classifier.render_confusion conf) > 30)
+
+(* ------------------------------------------------------------------ *)
+(* Feature extraction                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let oe_pair fault =
+  let normal, _ = Odd_even.run ~np:8 ~fault:Fault.No_fault () in
+  let faulty, _ = Odd_even.run ~np:8 ~fault () in
+  let c =
+    Pipeline.compare_runs (Config.make ()) ~normal:normal.R.traces
+      ~faulty:faulty.R.traces
+  in
+  (Features.extract c ~faulty_outcome:faulty, faulty)
+
+let test_features_clean_pair () =
+  let f, _ = oe_pair Fault.No_fault in
+  Alcotest.(check (float 1e-9)) "bscore 1 for identical runs" 1.0 f.Features.bscore;
+  Alcotest.(check (float 1e-9)) "no truncation" 0.0 f.Features.truncated_fraction;
+  Alcotest.(check (float 1e-9)) "no deadlock" 0.0 f.Features.deadlocked;
+  Alcotest.(check (float 1e-9)) "no drift" 0.0 f.Features.loop_drift
+
+let test_features_deadlock_pair () =
+  let f, outcome = oe_pair (Fault.Deadlock_recv { rank = 5; after_iter = 3 }) in
+  Alcotest.(check (float 1e-9)) "deadlock flag" 1.0 f.Features.deadlocked;
+  Alcotest.(check bool) "truncation seen" true (f.Features.truncated_fraction > 0.0);
+  Alcotest.(check bool) "run really hung" true (outcome.R.deadlocked <> [])
+
+let test_feature_vector_shape () =
+  let f, _ = oe_pair Fault.No_fault in
+  Alcotest.(check int) "names match vector" (Array.length Features.names)
+    (Array.length (Features.to_vector f))
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: classify injected bug classes across seeds              *)
+(* ------------------------------------------------------------------ *)
+
+let ilcs_example ~seed fault =
+  let normal, _ = Ilcs.run ~np:4 ~workers:2 ~seed ~fault:Fault.No_fault () in
+  let faulty, _ = Ilcs.run ~np:4 ~workers:2 ~seed ~fault () in
+  let config =
+    Config.make
+      ~filter:(F.make [ F.Mpi_all; F.Omp_critical; F.Custom "CPU_Exec|memcpy" ])
+      ~attrs:
+        { Difftrace_fca.Attributes.granularity = Difftrace_fca.Attributes.Single;
+          freq_mode = Difftrace_fca.Attributes.Actual }
+      ()
+  in
+  let c =
+    Pipeline.compare_runs config ~normal:normal.R.traces ~faulty:faulty.R.traces
+  in
+  Features.to_vector (Features.extract c ~faulty_outcome:faulty)
+
+let bug_classes =
+  [ ("noCritical", fun _seed -> Fault.No_critical { rank = 2; thread = 1 });
+    ("wrongSize", fun _seed -> Fault.Wrong_collective_size { rank = 1 });
+    ("wrongOp", fun _seed -> Fault.Wrong_collective_op { rank = 0 }) ]
+
+let test_bug_classification_end_to_end () =
+  let dataset seeds =
+    List.concat_map
+      (fun seed ->
+        List.map (fun (label, mk) -> (label, ilcs_example ~seed (mk seed))) bug_classes)
+      seeds
+  in
+  let train = dataset [ 1; 2; 3 ] in
+  let test = dataset [ 4; 5 ] in
+  let m = Classifier.train train in
+  let acc = Classifier.accuracy m test in
+  (* three classes, chance = 1/3; the features must do much better *)
+  Alcotest.(check bool)
+    (Printf.sprintf "accuracy %.2f above 0.66" acc)
+    true (acc > 0.66)
+
+let () =
+  Alcotest.run "classify"
+    [ ( "classifier",
+        [ Alcotest.test_case "validation" `Quick test_train_validation;
+          Alcotest.test_case "two clusters" `Quick test_two_clusters;
+          Alcotest.test_case "normalization" `Quick test_normalization_invariance;
+          Alcotest.test_case "accuracy + confusion" `Quick test_accuracy_and_confusion ] );
+      ( "features",
+        [ Alcotest.test_case "clean pair" `Quick test_features_clean_pair;
+          Alcotest.test_case "deadlock pair" `Quick test_features_deadlock_pair;
+          Alcotest.test_case "vector shape" `Quick test_feature_vector_shape ] );
+      ( "end-to-end",
+        [ Alcotest.test_case "3-class bug classification" `Slow
+            test_bug_classification_end_to_end ] ) ]

@@ -1,0 +1,274 @@
+open Difftrace_diff
+
+let qtest ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let diff_str a b =
+  Myers.diff ~equal:Char.equal
+    (Array.init (String.length a) (String.get a))
+    (Array.init (String.length b) (String.get b))
+
+let script_to_string ops =
+  String.concat ""
+    (List.map
+       (function
+         | Myers.Keep c -> Printf.sprintf "=%c" c
+         | Myers.Delete c -> Printf.sprintf "-%c" c
+         | Myers.Insert c -> Printf.sprintf "+%c" c)
+       ops)
+
+(* ------------------------------------------------------------------ *)
+(* Myers                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_equal_sequences () =
+  Alcotest.(check string) "all keeps" "=a=b=c" (script_to_string (diff_str "abc" "abc"))
+
+let test_empty_cases () =
+  Alcotest.(check string) "both empty" "" (script_to_string (diff_str "" ""));
+  Alcotest.(check string) "insert all" "+a+b" (script_to_string (diff_str "" "ab"));
+  Alcotest.(check string) "delete all" "-a-b" (script_to_string (diff_str "ab" ""))
+
+let test_classic_example () =
+  (* Myers' paper example: ABCABBA -> CBABAC has edit distance 5 *)
+  Alcotest.(check int) "D = 5" 5
+    (Myers.edit_distance ~equal:Char.equal
+       [| 'A'; 'B'; 'C'; 'A'; 'B'; 'B'; 'A' |]
+       [| 'C'; 'B'; 'A'; 'B'; 'A'; 'C' |])
+
+let test_single_substitution () =
+  Alcotest.(check int) "one delete + one insert" 2
+    (Myers.edit_distance ~equal:Char.equal [| 'a'; 'x'; 'c' |] [| 'a'; 'y'; 'c' |])
+
+let test_apply_reconstructs () =
+  let script = diff_str "kitten" "sitting" in
+  let a, b = Myers.apply script in
+  Alcotest.(check (list char)) "left" [ 'k'; 'i'; 't'; 't'; 'e'; 'n' ] a;
+  Alcotest.(check (list char)) "right" [ 's'; 'i'; 't'; 't'; 'i'; 'n'; 'g' ] b
+
+let gen_seq = QCheck2.Gen.(string_size ~gen:(char_range 'a' 'd') (int_range 0 60))
+
+let prop_apply_roundtrip =
+  qtest "apply (diff a b) reconstructs (a, b)"
+    QCheck2.Gen.(pair gen_seq gen_seq)
+    (fun (a, b) ->
+      let script = diff_str a b in
+      let a', b' = Myers.apply script in
+      let to_s l = String.init (List.length l) (List.nth l) in
+      to_s a' = a && to_s b' = b)
+
+let prop_distance_zero_iff_equal =
+  qtest "edit distance 0 iff equal"
+    QCheck2.Gen.(pair gen_seq gen_seq)
+    (fun (a, b) ->
+      let d =
+        Myers.edit_distance ~equal:Char.equal
+          (Array.init (String.length a) (String.get a))
+          (Array.init (String.length b) (String.get b))
+      in
+      (d = 0) = (a = b))
+
+let prop_distance_bounds =
+  qtest "0 <= D <= |a| + |b| and D >= ||a| - |b||"
+    QCheck2.Gen.(pair gen_seq gen_seq)
+    (fun (a, b) ->
+      let la = String.length a and lb = String.length b in
+      let d =
+        Myers.edit_distance ~equal:Char.equal
+          (Array.init la (String.get a))
+          (Array.init lb (String.get b))
+      in
+      d >= abs (la - lb) && d <= la + lb && (la + lb - d) mod 2 = 0)
+
+let prop_symmetry =
+  qtest "D(a,b) = D(b,a)"
+    QCheck2.Gen.(pair gen_seq gen_seq)
+    (fun (a, b) ->
+      let dist x y =
+        Myers.edit_distance ~equal:Char.equal
+          (Array.init (String.length x) (String.get x))
+          (Array.init (String.length y) (String.get y))
+      in
+      dist a b = dist b a)
+
+(* ------------------------------------------------------------------ *)
+(* blocks                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_blocks_grouping () =
+  let script = diff_str "abXcd" "abYcd" in
+  match Myers.blocks script with
+  | [ Myers.Common [ 'a'; 'b' ]; Myers.Changed { del = [ 'X' ]; ins = [ 'Y' ] };
+      Myers.Common [ 'c'; 'd' ] ] ->
+    ()
+  | bs -> Alcotest.fail (Printf.sprintf "unexpected blocks (%d)" (List.length bs))
+
+let test_blocks_trailing_change () =
+  match Myers.blocks (diff_str "ab" "abXY") with
+  | [ Myers.Common [ 'a'; 'b' ]; Myers.Changed { del = []; ins = [ 'X'; 'Y' ] } ] -> ()
+  | _ -> Alcotest.fail "unexpected blocks"
+
+let prop_blocks_preserve_content =
+  qtest "blocks flatten back to the script content"
+    QCheck2.Gen.(pair gen_seq gen_seq)
+    (fun (a, b) ->
+      let script = diff_str a b in
+      let blocks = Myers.blocks script in
+      let left =
+        List.concat_map
+          (function
+            | Myers.Common l -> l
+            | Myers.Changed { del; _ } -> del)
+          blocks
+      in
+      let right =
+        List.concat_map
+          (function
+            | Myers.Common l -> l
+            | Myers.Changed { ins; _ } -> ins)
+          blocks
+      in
+      let to_s l = String.init (List.length l) (List.nth l) in
+      to_s left = a && to_s right = b)
+
+(* ------------------------------------------------------------------ *)
+(* diffNLR                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_diffnlr_of_strings () =
+  let d =
+    Diffnlr.of_strings
+      ~normal:[ "MPI_Init"; "L1^16"; "MPI_Finalize" ]
+      ~faulty:[ "MPI_Init"; "L1^7"; "L0^9"; "MPI_Finalize" ]
+  in
+  Alcotest.(check int) "common stem" 2 (Diffnlr.common_length d);
+  Alcotest.(check int) "changed" 3 (Diffnlr.changed_length d);
+  let r = Diffnlr.render ~title:"swapBug" d in
+  let contains sub s =
+    let n = String.length sub and h = String.length s in
+    let rec go i = i + n <= h && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "title shown" true (contains "swapBug" r);
+  Alcotest.(check bool) "stem marker" true (contains "= MPI_Init" r);
+  Alcotest.(check bool) "changed marker" true (contains "~ L1^16" r)
+
+let test_diffnlr_truncation_note () =
+  let symtab = Difftrace_trace.Symtab.create () in
+  let table = Difftrace_nlr.Nlr.Loop_table.create () in
+  let mk s =
+    Difftrace_nlr.Nlr.of_ids ~table
+      (Array.of_list
+         (List.map (fun c -> Difftrace_trace.Symtab.intern symtab (String.make 1 c))
+            (List.init (String.length s) (String.get s))))
+  in
+  let d = Diffnlr.make symtab ~normal:(mk "abc", false) ~faulty:(mk "ab", true) in
+  let r = Diffnlr.render d in
+  let contains sub s =
+    let n = String.length sub and h = String.length s in
+    let rec go i = i + n <= h && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "truncation reported" true (contains "TRUNCATED" r)
+
+(* ------------------------------------------------------------------ *)
+(* Phase-aware diffing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_phase_split () =
+  let phases =
+    Phasediff.split ~markers:Phasediff.default_markers
+      [ "a"; "b"; "MPI_Barrier"; "c"; "MPI_Allreduce"; "d" ]
+  in
+  Alcotest.(check (list (list string))) "three phases"
+    [ [ "a"; "b"; "MPI_Barrier" ]; [ "c"; "MPI_Allreduce" ]; [ "d" ] ]
+    phases;
+  Alcotest.(check (list (list string))) "empty input" []
+    (Phasediff.split ~markers:Phasediff.default_markers [])
+
+let test_phase_compare_localizes () =
+  let normal =
+    [ "init"; "MPI_Barrier"; "work"; "work"; "MPI_Allreduce"; "work";
+      "MPI_Allreduce"; "fini" ]
+  in
+  let faulty =
+    [ "init"; "MPI_Barrier"; "work"; "work"; "MPI_Allreduce"; "work"; "extra";
+      "MPI_Allreduce"; "fini" ]
+  in
+  let t = Phasediff.compare ~normal ~faulty () in
+  Alcotest.(check int) "four phases" 4 t.Phasediff.total_phases;
+  Alcotest.(check (option int)) "divergence in phase 2" (Some 2)
+    t.Phasediff.first_divergent;
+  let p0 = List.nth t.Phasediff.phases 0 in
+  Alcotest.(check int) "phase 0 identical" 0 p0.Phasediff.distance;
+  let p2 = List.nth t.Phasediff.phases 2 in
+  Alcotest.(check int) "phase 2 distance 1" 1 p2.Phasediff.distance
+
+let test_phase_extra_phases () =
+  let t =
+    Phasediff.compare ~normal:[ "a"; "MPI_Barrier" ]
+      ~faulty:[ "a"; "MPI_Barrier"; "b"; "MPI_Barrier" ]
+      ()
+  in
+  Alcotest.(check int) "faulty has an extra phase" 2 t.Phasediff.total_phases;
+  Alcotest.(check (option int)) "extra phase divergent" (Some 1)
+    t.Phasediff.first_divergent
+
+let test_phase_identical () =
+  let calls = [ "x"; "MPI_Barrier"; "y" ] in
+  let t = Phasediff.compare ~normal:calls ~faulty:calls () in
+  Alcotest.(check (option int)) "no divergence" None t.Phasediff.first_divergent;
+  Alcotest.(check bool) "render mentions identical" true
+    (String.length (Phasediff.render t) > 10)
+
+let test_phase_pipeline_integration () =
+  let module Heat = Difftrace_workloads.Heat in
+  let module R = Difftrace_simulator.Runtime in
+  let module Fault = Difftrace_simulator.Fault in
+  let normal, _ = Heat.run ~np:4 ~max_iters:8 ~fault:Fault.No_fault () in
+  let faulty, _ =
+    Heat.run ~np:4 ~max_iters:8
+      ~fault:(Fault.Swap_send_recv { rank = 1; after_iter = 4 })
+      ()
+  in
+  let c =
+    Difftrace.Pipeline.compare_runs
+      (Difftrace.Config.make ~filter:(Difftrace_filter.Filter.make []) ())
+      ~normal:normal.R.traces ~faulty:faulty.R.traces
+  in
+  let t = Difftrace.Pipeline.phasediff c "1.0" in
+  (match t.Phasediff.first_divergent with
+  | Some i ->
+    (* the fault fires after iteration 4: early phases must be clean *)
+    Alcotest.(check bool) "divergence not in the first phases" true (i >= 3)
+  | None -> Alcotest.fail "expected divergence");
+  (* the unaffected rank 3 never diverges *)
+  let t3 = Difftrace.Pipeline.phasediff c "3.0" in
+  Alcotest.(check (option int)) "rank 3 identical" None t3.Phasediff.first_divergent
+
+let () =
+  Alcotest.run "diff"
+    [ ( "myers",
+        [ Alcotest.test_case "equal sequences" `Quick test_equal_sequences;
+          Alcotest.test_case "empty cases" `Quick test_empty_cases;
+          Alcotest.test_case "Myers' ABCABBA example" `Quick test_classic_example;
+          Alcotest.test_case "substitution" `Quick test_single_substitution;
+          Alcotest.test_case "apply reconstructs" `Quick test_apply_reconstructs;
+          prop_apply_roundtrip;
+          prop_distance_zero_iff_equal;
+          prop_distance_bounds;
+          prop_symmetry ] );
+      ( "blocks",
+        [ Alcotest.test_case "grouping" `Quick test_blocks_grouping;
+          Alcotest.test_case "trailing change" `Quick test_blocks_trailing_change;
+          prop_blocks_preserve_content ] );
+      ( "phasediff",
+        [ Alcotest.test_case "split" `Quick test_phase_split;
+          Alcotest.test_case "localizes divergence" `Quick test_phase_compare_localizes;
+          Alcotest.test_case "extra phases" `Quick test_phase_extra_phases;
+          Alcotest.test_case "identical" `Quick test_phase_identical;
+          Alcotest.test_case "pipeline integration" `Quick
+            test_phase_pipeline_integration ] );
+      ( "diffnlr",
+        [ Alcotest.test_case "of_strings + render" `Quick test_diffnlr_of_strings;
+          Alcotest.test_case "truncation note" `Quick test_diffnlr_truncation_note ] ) ]

@@ -1,0 +1,112 @@
+open Difftrace_simulator
+module R = Runtime
+module H = Difftrace_workloads.Heat2d
+module Trace = Difftrace_trace.Trace
+module Trace_set = Difftrace_trace.Trace_set
+
+let qtest ?(count = 12) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let test_normal_run () =
+  let o, r = H.run ~fault:Fault.No_fault () in
+  Alcotest.(check (list (pair int int))) "clean" [] o.R.deadlocked;
+  Alcotest.(check int) "12 iterations" 12 r.H.iterations;
+  Alcotest.(check int) "full 24x12 field" (24 * 12) (Array.length r.H.field);
+  Alcotest.(check int) "one row max per grid row" 2 (Array.length r.H.row_max);
+  Alcotest.(check bool) "residual positive (still diffusing)" true
+    (r.H.final_residual > 0)
+
+let test_heat_spreads_from_centre () =
+  let _, r = H.run ~max_iters:20 ~fault:Fault.No_fault () in
+  let gw = 24 in
+  let at x y = r.H.field.((y * gw) + x) in
+  (* the hot spot was at (12, 6): the centre must dominate the corners *)
+  Alcotest.(check bool) "centre hotter than corner" true (at 12 6 > at 0 0);
+  (* rough radial symmetry in x across the centre *)
+  Alcotest.(check bool) "left/right neighbours warmed" true
+    (at 11 6 > 0 && at 13 6 > 0);
+  (* everything bounded by the deposit *)
+  Array.iter
+    (fun v -> if v < 0 || v > 1_000_000 then Alcotest.fail "out of bounds")
+    r.H.field
+
+let test_mass_approximately_conserved () =
+  let _, r = H.run ~max_iters:8 ~fault:Fault.No_fault () in
+  let total = Array.fold_left ( + ) 0 r.H.field in
+  (* integer division and wall absorption lose a little *)
+  Alcotest.(check bool) "within 2% of the deposit" true
+    (total > 980_000 && total <= 1_000_000)
+
+let test_row_max_matches_field () =
+  let _, r = H.run ~max_iters:10 ~fault:Fault.No_fault () in
+  let gw = 24 and h = 6 in
+  Array.iteri
+    (fun ry expected ->
+      let m = ref 0 in
+      for y = ry * h to ((ry + 1) * h) - 1 do
+        for x = 0 to gw - 1 do
+          if r.H.field.((y * gw) + x) > !m then m := r.H.field.((y * gw) + x)
+        done
+      done;
+      Alcotest.(check int) (Printf.sprintf "row %d max" ry) !m expected)
+    r.H.row_max
+
+let test_comm_split_in_traces () =
+  let o, _ = H.run ~max_iters:2 ~fault:Fault.No_fault () in
+  let ts = o.R.traces in
+  let tr = Trace_set.find_exn ts ~pid:3 ~tid:0 in
+  let names = Trace.to_strings (Trace_set.symtab ts) tr in
+  Alcotest.(check bool) "MPI_Comm_split traced" true
+    (List.mem "MPI_Comm_split" names);
+  Alcotest.(check bool) "halo exchange traced" true
+    (List.mem "ExchangeHalo2D" names)
+
+let test_skip_halo_hangs () =
+  let o, _ = H.run ~fault:(Fault.Skip_function { rank = 1; func = "ExchangeHalo2D" }) () in
+  Alcotest.(check bool) "neighbours hang" true (o.R.deadlocked <> [])
+
+let test_wrong_size_hangs () =
+  let o, _ = H.run ~fault:(Fault.Wrong_collective_size { rank = 4 }) () in
+  Alcotest.(check int) "all six masters hang" 6 (List.length o.R.deadlocked);
+  Alcotest.(check bool) "diagnosed" true (o.R.collective_mismatch <> None)
+
+let test_nocritical_flagged () =
+  let o, _ = H.run ~fault:(Fault.No_critical { rank = 5; thread = 1 }) () in
+  match o.R.races with
+  | [ race ] ->
+    Alcotest.(check int) "process" 5 race.R.race_pid;
+    Alcotest.(check (list int)) "thread" [ 1 ] race.R.tids
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 violation, got %d" (List.length l))
+
+let prop_deterministic =
+  qtest "heat2d is a pure function of its seed"
+    QCheck2.Gen.(int_range 0 50)
+    (fun seed ->
+      let _, a = H.run ~px:2 ~py:2 ~w:4 ~h:4 ~max_iters:4 ~seed ~fault:Fault.No_fault () in
+      let _, b = H.run ~px:2 ~py:2 ~w:4 ~h:4 ~max_iters:4 ~seed ~fault:Fault.No_fault () in
+      a = b)
+
+let prop_grid_shapes =
+  qtest "any grid shape runs cleanly"
+    QCheck2.Gen.(
+      triple (int_range 1 3) (int_range 1 3) (int_range 0 100))
+    (fun (px, py, seed) ->
+      let o, r =
+        H.run ~px ~py ~w:4 ~h:3 ~max_iters:3 ~seed ~fault:Fault.No_fault ()
+      in
+      o.R.deadlocked = [] && Array.length r.H.field = px * 4 * py * 3)
+
+let () =
+  Alcotest.run "heat2d"
+    [ ( "physics",
+        [ Alcotest.test_case "normal run" `Quick test_normal_run;
+          Alcotest.test_case "spreads from centre" `Quick test_heat_spreads_from_centre;
+          Alcotest.test_case "mass conserved" `Quick test_mass_approximately_conserved;
+          Alcotest.test_case "row max collective" `Quick test_row_max_matches_field ] );
+      ( "traces",
+        [ Alcotest.test_case "comm_split traced" `Quick test_comm_split_in_traces ] );
+      ( "faults",
+        [ Alcotest.test_case "skip halo hangs" `Quick test_skip_halo_hangs;
+          Alcotest.test_case "wrong size hangs" `Quick test_wrong_size_hangs;
+          Alcotest.test_case "noCritical flagged" `Quick test_nocritical_flagged ] );
+      ( "properties", [ prop_deterministic; prop_grid_shapes ] ) ]

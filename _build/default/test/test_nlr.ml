@@ -1,0 +1,194 @@
+open Difftrace_nlr
+open Difftrace_trace
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let symtab_of names =
+  let t = Symtab.create () in
+  List.iter (fun n -> ignore (Symtab.intern t n)) names;
+  t
+
+(* builds an ID sequence from single-letter names *)
+let seq symtab s =
+  Array.of_list
+    (List.map
+       (fun c -> Symtab.intern symtab (String.make 1 c))
+       (List.init (String.length s) (String.get s)))
+
+let summarize ?(k = 10) ?repeats ?table symtab s =
+  let table = match table with Some t -> t | None -> Nlr.Loop_table.create () in
+  (Nlr.of_ids ~table ~k ?repeats (seq symtab s), table)
+
+let strings symtab nlr = String.concat ";" (Nlr.to_strings symtab nlr)
+
+let test_no_loop () =
+  let st = symtab_of [] in
+  let nlr, _ = summarize st "abcdef" in
+  Alcotest.(check string) "unchanged" "a;b;c;d;e;f" (strings st nlr)
+
+let test_simple_loop () =
+  let st = symtab_of [] in
+  let nlr, table = summarize st "abababab" in
+  Alcotest.(check string) "folded" "L0^4" (strings st nlr);
+  Alcotest.(check string) "body" "[a-b]" (Nlr.body_to_string ~table st 0)
+
+let test_two_iteration_loop () =
+  (* Table III needs L0^2 from just two iterations (repeats = 2) *)
+  let st = symtab_of [] in
+  let nlr, _ = summarize st "xyxy" in
+  Alcotest.(check string) "two copies fold" "L0^2" (strings st nlr)
+
+let test_repeats_three_threshold () =
+  let st = symtab_of [] in
+  let nlr, _ = summarize ~repeats:3 st "xyxy" in
+  Alcotest.(check string) "two copies do NOT fold at repeats=3" "x;y;x;y"
+    (strings st nlr);
+  let nlr, _ = summarize ~repeats:3 st "xyxyxy" in
+  Alcotest.(check string) "three copies fold" "L0^3" (strings st nlr)
+
+let test_loop_with_prefix_suffix () =
+  let st = symtab_of [] in
+  let nlr, _ = summarize st "iababababf" in
+  Alcotest.(check string) "stem kept" "i;L0^4;f" (strings st nlr)
+
+let test_single_symbol_loop () =
+  let st = symtab_of [] in
+  let nlr, _ = summarize st "aaaaa" in
+  Alcotest.(check string) "unary body" "L0^5" (strings st nlr)
+
+let test_nested_loops () =
+  let st = symtab_of [] in
+  (* (a b b)(a b b) : inner bb folds first, then the outer pair *)
+  let nlr, table = summarize st "abbabb" in
+  Alcotest.(check string) "outer loop" "L1^2" (strings st nlr);
+  Alcotest.(check string) "outer body references inner loop" "[a-L0^2]"
+    (Nlr.body_to_string ~table st 1)
+
+let test_k_bounds_window () =
+  let st = symtab_of [] in
+  (* repeating unit of length 4 is not folded when k = 3 *)
+  let nlr, _ = summarize ~k:3 st "abcdabcd" in
+  Alcotest.(check string) "k too small" "a;b;c;d;a;b;c;d" (strings st nlr);
+  let nlr, _ = summarize ~k:4 st "abcdabcd" in
+  Alcotest.(check string) "k sufficient" "L0^2" (strings st nlr)
+
+let test_different_counts_not_isomorphic () =
+  let st = symtab_of [] in
+  (* aa b aaa b : L(a)^2 and L(a)^3 differ, so the outer pair must NOT fold *)
+  let nlr, _ = summarize st "aabaaab" in
+  Alcotest.(check string) "counts distinguish loops" "L0^2;b;L0^3;b" (strings st nlr)
+
+let test_table_shared_across_traces () =
+  let st = symtab_of [] in
+  let table = Nlr.Loop_table.create () in
+  let nlr1, _ = summarize ~table st "srsrsrsr" in
+  let nlr2, _ = summarize ~table st "rsrsrs" in
+  (* Loop IDs must be consistent across traces of one execution *)
+  Alcotest.(check string) "first trace uses L0" "L0^4" (strings st nlr1);
+  Alcotest.(check string) "second trace's distinct body gets L1" "L1^3"
+    (strings st nlr2);
+  Alcotest.(check int) "two shared bodies" 2 (Nlr.Loop_table.size table);
+  (* a later trace with the first body shape reuses L0 *)
+  let nlr3, _ = summarize ~table st "srsr" in
+  Alcotest.(check string) "L0 reused across traces" "L0^2" (strings st nlr3)
+
+let test_paper_odd_even () =
+  (* the §II example: traces reduce to Table III *)
+  let st = symtab_of [ "I"; "R"; "K"; "s"; "r"; "F" ] in
+  let table = Nlr.Loop_table.create () in
+  let t0, _ = summarize ~table st "IRKsrsrF" in
+  let t1, _ = summarize ~table st "IRKrsrsrsrsF" in
+  Alcotest.(check string) "T0 = prologue L^2 epilogue" "I;R;K;L0^2;F" (strings st t0);
+  Alcotest.(check string) "T1 = prologue L'^4 epilogue" "I;R;K;L1^4;F" (strings st t1)
+
+let test_length_and_factor () =
+  let st = symtab_of [] in
+  let nlr, _ = summarize st "abababab" in
+  Alcotest.(check int) "length" 1 (Nlr.length nlr);
+  Alcotest.(check (float 1e-9)) "factor" 8.0 (Nlr.reduction_factor nlr);
+  let empty, _ = summarize st "" in
+  Alcotest.(check (float 1e-9)) "empty factor" 1.0 (Nlr.reduction_factor empty)
+
+let test_token_multiplicity () =
+  let st = symtab_of [] in
+  let nlr, _ = summarize st "cabababd" in
+  match nlr.Nlr.elems with
+  | [| Nlr.Sym c; Nlr.Loop _ as l; Nlr.Sym d |] ->
+    Alcotest.(check string) "sym token" "c" (Nlr.token st (Nlr.Sym c));
+    Alcotest.(check string) "loop token" "L0" (Nlr.token st l);
+    Alcotest.(check int) "sym multiplicity" 1 (Nlr.multiplicity (Nlr.Sym d));
+    Alcotest.(check int) "loop multiplicity" 3 (Nlr.multiplicity l)
+  | _ -> Alcotest.fail "unexpected structure"
+
+let test_validation () =
+  let table = Nlr.Loop_table.create () in
+  Alcotest.check_raises "k >= 1" (Invalid_argument "Nlr.of_ids: k must be >= 1")
+    (fun () -> ignore (Nlr.of_ids ~table ~k:0 [| 1 |]));
+  Alcotest.check_raises "repeats >= 2"
+    (Invalid_argument "Nlr.of_ids: repeats must be >= 2") (fun () ->
+      ignore (Nlr.of_ids ~table ~repeats:1 [| 1 |]));
+  Alcotest.check_raises "unknown body" (Invalid_argument "Loop_table.body")
+    (fun () -> ignore (Nlr.Loop_table.body table 3))
+
+(* --- the key property: NLR is a lossless abstraction ---------------- *)
+
+let ids_gen =
+  QCheck2.Gen.(
+    let* alpha = int_range 1 5 in
+    let* n = int_range 0 300 in
+    let* l = list_repeat n (int_range 0 (alpha - 1)) in
+    return (Array.of_list l))
+
+let prop_lossless =
+  qtest "expand (of_ids ids) = ids" ~count:500 ids_gen (fun ids ->
+      let table = Nlr.Loop_table.create () in
+      let nlr = Nlr.of_ids ~table ~k:6 ids in
+      Nlr.expand ~table nlr = ids)
+
+let prop_lossless_various_k =
+  qtest "lossless for every k"
+    QCheck2.Gen.(pair ids_gen (int_range 1 20))
+    (fun (ids, k) ->
+      let table = Nlr.Loop_table.create () in
+      let nlr = Nlr.of_ids ~table ~k ids in
+      Nlr.expand ~table nlr = ids)
+
+let prop_never_longer =
+  qtest "summary never longer than input" ids_gen (fun ids ->
+      let table = Nlr.Loop_table.create () in
+      Nlr.length (Nlr.of_ids ~table ids) <= Array.length ids)
+
+let prop_shared_table_lossless =
+  qtest "sharing a loop table across traces stays lossless"
+    QCheck2.Gen.(pair ids_gen ids_gen)
+    (fun (a, b) ->
+      let table = Nlr.Loop_table.create () in
+      let na = Nlr.of_ids ~table ~k:6 a in
+      let nb = Nlr.of_ids ~table ~k:6 b in
+      Nlr.expand ~table na = a && Nlr.expand ~table nb = b)
+
+let () =
+  Alcotest.run "nlr"
+    [ ( "reduce",
+        [ Alcotest.test_case "no loop" `Quick test_no_loop;
+          Alcotest.test_case "simple loop" `Quick test_simple_loop;
+          Alcotest.test_case "two iterations fold" `Quick test_two_iteration_loop;
+          Alcotest.test_case "repeats=3 threshold" `Quick test_repeats_three_threshold;
+          Alcotest.test_case "prefix/suffix stem" `Quick test_loop_with_prefix_suffix;
+          Alcotest.test_case "unary body" `Quick test_single_symbol_loop;
+          Alcotest.test_case "nested" `Quick test_nested_loops;
+          Alcotest.test_case "k bounds window" `Quick test_k_bounds_window;
+          Alcotest.test_case "counts distinguish" `Quick
+            test_different_counts_not_isomorphic ] );
+      ( "table",
+        [ Alcotest.test_case "shared across traces" `Quick
+            test_table_shared_across_traces;
+          Alcotest.test_case "paper odd/even (Table III)" `Quick test_paper_odd_even ] );
+      ( "accessors",
+        [ Alcotest.test_case "length/factor" `Quick test_length_and_factor;
+          Alcotest.test_case "token/multiplicity" `Quick test_token_multiplicity;
+          Alcotest.test_case "validation" `Quick test_validation ] );
+      ( "properties",
+        [ prop_lossless; prop_lossless_various_k; prop_never_longer;
+          prop_shared_table_lossless ] ) ]

@@ -1,0 +1,183 @@
+open Difftrace_parlot
+open Difftrace_trace
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* LZW codec                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_lzw_empty () =
+  Alcotest.(check string) "empty roundtrip" "" (Lzw.decompress (Lzw.compress ""))
+
+let test_lzw_simple () =
+  let s = "abcabcabcabc" in
+  Alcotest.(check string) "roundtrip" s (Lzw.decompress (Lzw.compress s))
+
+let test_lzw_kwkwk () =
+  (* the classic pathological case: a phrase referenced while being
+     defined (runs of one character exercise it immediately) *)
+  let s = String.make 64 'a' in
+  Alcotest.(check string) "KwKwK" s (Lzw.decompress (Lzw.compress s))
+
+let test_lzw_compresses_repetition () =
+  let s = String.concat "" (List.init 500 (fun _ -> "MPI_Send;MPI_Recv;")) in
+  let c = Lzw.compress s in
+  Alcotest.(check bool) "repetitive input shrinks" true
+    (String.length c < String.length s / 4);
+  Alcotest.(check string) "and still roundtrips" s (Lzw.decompress c)
+
+let test_lzw_streaming_matches_oneshot () =
+  let s = "the quick brown fox jumps over the lazy dog the quick brown fox" in
+  let e = Lzw.encoder () in
+  String.iter (Lzw.feed e) s;
+  Alcotest.(check int) "input size counted" (String.length s) (Lzw.input_size e);
+  let streamed = Lzw.finish e in
+  Alcotest.(check string) "same output as one-shot" (Lzw.compress s) streamed
+
+let test_lzw_output_grows_incrementally () =
+  let e = Lzw.encoder () in
+  Lzw.feed_string e "abababababababababab";
+  let mid = Lzw.output_size e in
+  Alcotest.(check bool) "emitted codes before finish" true (mid > 0)
+
+let test_lzw_corrupt () =
+  Alcotest.check_raises "missing EOS"
+    (Invalid_argument "Lzw.decompress: missing end-of-stream") (fun () ->
+      ignore (Lzw.decompress "\x05"))
+
+let prop_lzw_roundtrip =
+  qtest "lzw roundtrip on small-alphabet strings" ~count:300
+    QCheck2.Gen.(string_size ~gen:(char_range 'a' 'f') (int_range 0 500))
+    (fun s -> Lzw.decompress (Lzw.compress s) = s)
+
+let prop_lzw_roundtrip_binary =
+  qtest "lzw roundtrip on binary strings"
+    QCheck2.Gen.(string_size (int_range 0 300))
+    (fun s -> Lzw.decompress (Lzw.compress s) = s)
+
+(* ------------------------------------------------------------------ *)
+(* Tracer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let mk_tracer ?(level = Tracer.Main_image) () =
+  let symtab = Symtab.create () in
+  (symtab, Tracer.create ~symtab ~level ~pid:1 ~tid:2)
+
+let test_tracer_records_and_decodes () =
+  let symtab, tr = mk_tracer () in
+  Tracer.on_call tr "main";
+  Tracer.on_call tr "MPI_Init";
+  Tracer.on_return tr "MPI_Init";
+  Tracer.on_return tr "main";
+  Alcotest.(check int) "events recorded" 4 (Tracer.events_recorded tr);
+  let data, truncated = Tracer.finish tr in
+  Alcotest.(check bool) "not truncated" false truncated;
+  let t = Tracer.decode ~symtab ~pid:1 ~tid:2 ~truncated data in
+  Alcotest.(check int) "pid" 1 t.Trace.pid;
+  Alcotest.(check int) "tid" 2 t.Trace.tid;
+  Alcotest.(check (list string)) "decoded events"
+    [ "main"; "MPI_Init"; "ret MPI_Init"; "ret main" ]
+    (Trace.to_strings symtab t)
+
+let test_tracer_image_filter () =
+  let _, tr = mk_tracer ~level:Tracer.Main_image () in
+  Tracer.on_call tr "user_fn";
+  Tracer.on_call ~image:Tracer.Library tr "memcpy";
+  Alcotest.(check int) "library call dropped in main-image" 1
+    (Tracer.events_recorded tr);
+  let _, tr2 = mk_tracer ~level:Tracer.All_images () in
+  Tracer.on_call tr2 "user_fn";
+  Tracer.on_call ~image:Tracer.Library tr2 "memcpy";
+  Alcotest.(check int) "library call kept in all-images" 2
+    (Tracer.events_recorded tr2)
+
+let test_tracer_scoped_exception () =
+  let symtab, tr = mk_tracer () in
+  (try Tracer.scoped tr "f" (fun () -> failwith "boom") with Failure _ -> ());
+  Tracer.set_truncated tr;
+  let data, truncated = Tracer.finish tr in
+  let t = Tracer.decode ~symtab ~pid:1 ~tid:2 ~truncated data in
+  Alcotest.(check bool) "marked truncated" true t.Trace.truncated;
+  Alcotest.(check (list string)) "no return after exception" [ "f" ]
+    (Trace.to_strings symtab t)
+
+let prop_tracer_roundtrip =
+  qtest "tracer records arbitrary call/return streams" ~count:100
+    QCheck2.Gen.(list_size (int_range 0 200) (pair (int_range 0 20) bool))
+    (fun evs ->
+      let symtab = Symtab.create () in
+      let tr = Tracer.create ~symtab ~level:Tracer.All_images ~pid:0 ~tid:0 in
+      let names = List.map (fun (i, c) -> (Printf.sprintf "fn%d" i, c)) evs in
+      List.iter
+        (fun (n, c) -> if c then Tracer.on_call tr n else Tracer.on_return tr n)
+        names;
+      let data, _ = Tracer.finish tr in
+      let t = Tracer.decode ~symtab ~pid:0 ~tid:0 ~truncated:false data in
+      Trace.to_strings symtab t
+      = List.map (fun (n, c) -> if c then n else "ret " ^ n) names)
+
+(* ------------------------------------------------------------------ *)
+(* Capture                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_capture_shared_symtab_and_stats () =
+  let cap = Capture.create () in
+  let t00 = Capture.tracer cap ~pid:0 ~tid:0 in
+  let t01 = Capture.tracer cap ~pid:0 ~tid:1 in
+  let again = Capture.tracer cap ~pid:0 ~tid:0 in
+  Alcotest.(check bool) "same tracer handed back" true (t00 == again);
+  Tracer.on_call t00 "f";
+  Tracer.on_call t01 "f";
+  Tracer.on_call t01 "g";
+  let ts = Capture.finish cap in
+  Alcotest.(check int) "two traces" 2 (Trace_set.cardinal ts);
+  Alcotest.(check int) "shared symbol ids" 2 (Symtab.size (Trace_set.symtab ts));
+  let stats = Capture.stats cap ts in
+  Alcotest.(check int) "threads" 2 stats.Capture.threads;
+  Alcotest.(check int) "events" 3 stats.Capture.total_events;
+  Alcotest.(check bool) "compressed bytes positive" true
+    (stats.Capture.total_compressed_bytes > 0)
+
+let test_capture_stats_compression () =
+  (* a long repetitive stream must compress well and the ratio must be
+     reflected in the stats *)
+  let cap = Capture.create () in
+  let tr = Capture.tracer cap ~pid:0 ~tid:0 in
+  for _ = 1 to 5000 do
+    Tracer.on_call tr "MPI_Send";
+    Tracer.on_return tr "MPI_Send";
+    Tracer.on_call tr "MPI_Recv";
+    Tracer.on_return tr "MPI_Recv"
+  done;
+  let ts = Capture.finish cap in
+  let stats = Capture.stats cap ts in
+  Alcotest.(check int) "20k events" 20000 stats.Capture.total_events;
+  Alcotest.(check bool) "ratio well above 10x" true
+    (stats.Capture.compression_ratio > 10.0);
+  Alcotest.(check bool) "compressed under 2KB" true
+    (stats.Capture.total_compressed_bytes < 2048)
+
+let () =
+  Alcotest.run "parlot"
+    [ ( "lzw",
+        [ Alcotest.test_case "empty" `Quick test_lzw_empty;
+          Alcotest.test_case "simple" `Quick test_lzw_simple;
+          Alcotest.test_case "KwKwK" `Quick test_lzw_kwkwk;
+          Alcotest.test_case "compresses repetition" `Quick test_lzw_compresses_repetition;
+          Alcotest.test_case "streaming = one-shot" `Quick test_lzw_streaming_matches_oneshot;
+          Alcotest.test_case "incremental output" `Quick test_lzw_output_grows_incrementally;
+          Alcotest.test_case "corrupt input" `Quick test_lzw_corrupt;
+          prop_lzw_roundtrip;
+          prop_lzw_roundtrip_binary ] );
+      ( "tracer",
+        [ Alcotest.test_case "records and decodes" `Quick test_tracer_records_and_decodes;
+          Alcotest.test_case "image filter" `Quick test_tracer_image_filter;
+          Alcotest.test_case "scoped exception truncates" `Quick test_tracer_scoped_exception;
+          prop_tracer_roundtrip ] );
+      ( "capture",
+        [ Alcotest.test_case "shared symtab + stats" `Quick
+            test_capture_shared_symtab_and_stats;
+          Alcotest.test_case "compression stats" `Quick
+            test_capture_stats_compression ] ) ]

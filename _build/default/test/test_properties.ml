@@ -1,0 +1,215 @@
+(* Cross-library properties: end-to-end invariants over randomized
+   simulator runs. These catch integration bugs that per-module suites
+   cannot (e.g. symbol-table remapping between runs, archive fidelity
+   for arbitrary event streams, clock consistency under scheduling). *)
+
+open Difftrace
+module R = Difftrace_simulator.Runtime
+module Api = Difftrace_simulator.Api
+module Vclock = Difftrace_simulator.Vclock
+module Fault = Difftrace_simulator.Fault
+module Trace = Difftrace_trace.Trace
+module Trace_set = Difftrace_trace.Trace_set
+module F = Difftrace_filter.Filter
+module Archive = Difftrace_parlot.Archive
+module Otf2 = Difftrace_temporal.Otf2
+module Cct = Difftrace_stacktree.Cct
+module Odd_even = Difftrace_workloads.Odd_even
+module Heat = Difftrace_workloads.Heat
+
+let qtest ?(count = 25) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* A randomized mixed-API program: parameterized by a seed-derived
+   recipe, always terminating, always collective-consistent. *)
+let random_program ~recipe env =
+  let rng = Difftrace_util.Prng.create (recipe + (R.pid env * 31)) in
+  let shared_rng = Difftrace_util.Prng.create recipe in
+  Api.call env "main" (fun () ->
+      Api.mpi_init env;
+      let rank = Api.comm_rank env in
+      let np = Api.comm_size env in
+      (* same round count everywhere: derived from the shared recipe *)
+      let rounds = 1 + Difftrace_util.Prng.int shared_rng 4 in
+      for round = 1 to rounds do
+        Api.call env "phase" (fun () ->
+            (* local compute noise *)
+            for _ = 1 to Difftrace_util.Prng.int rng 4 do
+              Api.call env "compute" (fun () -> ())
+            done;
+            (* ring shift with nonblocking receives *)
+            let next = (rank + 1) mod np and prev = (rank + np - 1) mod np in
+            let r = Api.irecv env ~src:prev ~tag:round () in
+            Api.send env ~dst:next ~tag:round [| rank; round |];
+            ignore (Api.wait env r);
+            (* a collective per round, same kind everywhere *)
+            ignore (Api.allreduce env ~op:R.Op_sum [| rank |]))
+      done;
+      Api.barrier env;
+      Api.mpi_finalize env)
+
+let run_random ~recipe ~np ~seed =
+  R.run ~np ~seed (random_program ~recipe)
+
+let recipe_gen =
+  QCheck2.Gen.(triple (int_range 0 500) (int_range 2 6) (int_range 0 500))
+
+let prop_random_runs_clean =
+  qtest "random mixed-API programs terminate cleanly" recipe_gen
+    (fun (recipe, np, seed) ->
+      let o = run_random ~recipe ~np ~seed in
+      o.R.deadlocked = [] && (not o.R.timed_out) && o.R.collective_mismatch = None)
+
+let prop_self_comparison_is_null =
+  qtest "comparing a run against itself finds nothing" recipe_gen
+    (fun (recipe, np, seed) ->
+      let ts = (run_random ~recipe ~np ~seed).R.traces in
+      let c = Pipeline.compare_runs (Config.make ~filter:(F.make []) ()) ~normal:ts ~faulty:ts in
+      c.Pipeline.bscore = 1.0
+      && Array.for_all (fun (_, s) -> s < 1e-9) c.Pipeline.suspects)
+
+let prop_archive_roundtrip_random =
+  qtest "archive save/load is lossless for arbitrary runs" ~count:15 recipe_gen
+    (fun (recipe, np, seed) ->
+      let ts = (run_random ~recipe ~np ~seed).R.traces in
+      let dir =
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "difftrace_prop_%d_%d_%d" recipe np seed)
+      in
+      ignore (Archive.save ~dir ts);
+      let loaded = Archive.load ~dir in
+      let dump t =
+        Array.to_list (Trace_set.traces t)
+        |> List.map (fun tr ->
+               ( tr.Trace.pid,
+                 tr.Trace.tid,
+                 tr.Trace.truncated,
+                 Trace.to_strings (Trace_set.symtab t) tr ))
+      in
+      dump ts = dump loaded)
+
+let prop_otf2_roundtrip_random =
+  qtest "OTF2 export parses back identically" ~count:15 recipe_gen
+    (fun (recipe, np, seed) ->
+      let o = run_random ~recipe ~np ~seed in
+      let archive = Otf2.of_outcome o in
+      Otf2.equal archive (Otf2.parse (Otf2.render archive)))
+
+let prop_lamport_consistency =
+  qtest "Lamport stamps strictly increase along every thread" recipe_gen
+    (fun (recipe, np, seed) ->
+      let o = run_random ~recipe ~np ~seed in
+      List.for_all
+        (fun (_, syncs) ->
+          let ok = ref true in
+          Array.iteri
+            (fun i sp ->
+              if i > 0 then
+                let prev = syncs.(i - 1).R.sp_stamp.Vclock.lamport in
+                if sp.R.sp_stamp.Vclock.lamport <= prev then ok := false)
+            syncs;
+          !ok)
+        o.R.sync_log)
+
+let prop_vector_clock_program_order =
+  qtest "vector stamps are nondecreasing in program order" recipe_gen
+    (fun (recipe, np, seed) ->
+      let o = run_random ~recipe ~np ~seed in
+      List.for_all
+        (fun (_, syncs) ->
+          let ok = ref true in
+          Array.iteri
+            (fun i sp ->
+              if i > 0 then
+                let prev = syncs.(i - 1).R.sp_stamp.Vclock.vec in
+                if not (Vclock.leq prev sp.R.sp_stamp.Vclock.vec) then ok := false)
+            syncs;
+          !ok)
+        o.R.sync_log)
+
+let prop_filter_idempotent =
+  qtest "filters are idempotent on trace sets" recipe_gen
+    (fun (recipe, np, seed) ->
+      let ts = (run_random ~recipe ~np ~seed).R.traces in
+      let f = F.make [ F.Mpi_all; F.Custom "phase|compute" ] in
+      let once = F.apply_set f ts in
+      let twice = F.apply_set f once in
+      let dump t =
+        Array.to_list (Trace_set.traces t)
+        |> List.map (fun tr -> Trace.to_strings (Trace_set.symtab t) tr)
+      in
+      dump once = dump twice)
+
+let prop_cct_preserves_call_counts =
+  qtest "CCT total equals the number of call events" recipe_gen
+    (fun (recipe, np, seed) ->
+      let ts = (run_random ~recipe ~np ~seed).R.traces in
+      let calls =
+        Array.fold_left
+          (fun acc tr -> acc + Array.length (Trace.call_ids tr))
+          0 (Trace_set.traces ts)
+      in
+      Cct.total_calls (Cct.coalesce ts) = calls)
+
+let prop_pipeline_jsm_properties =
+  qtest "pipeline JSM is symmetric with unit diagonal" recipe_gen
+    (fun (recipe, np, seed) ->
+      let ts = (run_random ~recipe ~np ~seed).R.traces in
+      let a = Pipeline.analyze (Config.make ~filter:(F.make []) ()) ts in
+      let j = a.Pipeline.jsm.Difftrace_cluster.Jsm.m in
+      let n = Array.length j in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        if Float.abs (j.(i).(i) -. 1.0) > 1e-9 then ok := false;
+        for k = 0 to n - 1 do
+          if Float.abs (j.(i).(k) -. j.(k).(i)) > 1e-9 then ok := false;
+          if j.(i).(k) < -1e-9 || j.(i).(k) > 1.0 +. 1e-9 then ok := false
+        done
+      done;
+      !ok)
+
+(* fault-injected odd/even across the parameter space: the pipeline
+   must never crash and always produce a consistent comparison *)
+let prop_fault_sweep_total =
+  qtest "every odd/even fault yields a well-formed comparison" ~count:20
+    QCheck2.Gen.(
+      triple (int_range 4 12) (int_range 0 3)
+        (oneofl
+           [ `Swap; `Dl ]))
+    (fun (np, after, kind) ->
+      let rank = np / 2 in
+      let fault =
+        match kind with
+        | `Swap -> Fault.Swap_send_recv { rank; after_iter = after }
+        | `Dl -> Fault.Deadlock_recv { rank; after_iter = after }
+      in
+      let normal = (fst (Odd_even.run ~np ~fault:Fault.No_fault ())).R.traces in
+      let faulty = (fst (Odd_even.run ~np ~fault ())).R.traces in
+      let c = Pipeline.compare_runs (Config.make ()) ~normal ~faulty in
+      c.Pipeline.bscore >= 0.0
+      && c.Pipeline.bscore <= 1.0 +. 1e-9
+      && Array.length c.Pipeline.suspects = np
+      && Array.for_all (fun (_, s) -> s >= 0.0) c.Pipeline.suspects)
+
+let prop_heat_conservation_shape =
+  qtest "heat field stays bounded for any seed" ~count:10
+    QCheck2.Gen.(int_range 0 100)
+    (fun seed ->
+      let o, r = Heat.run ~np:4 ~max_iters:10 ~seed ~fault:Fault.No_fault () in
+      o.R.deadlocked = []
+      && Array.for_all (fun v -> v >= 0 && v <= 1_000_000) r.Heat.field)
+
+let () =
+  Alcotest.run "properties"
+    [ ( "end-to-end",
+        [ prop_random_runs_clean;
+          prop_self_comparison_is_null;
+          prop_archive_roundtrip_random;
+          prop_otf2_roundtrip_random;
+          prop_lamport_consistency;
+          prop_vector_clock_program_order;
+          prop_filter_idempotent;
+          prop_cct_preserves_call_counts;
+          prop_pipeline_jsm_properties;
+          prop_fault_sweep_total;
+          prop_heat_conservation_shape ] ) ]

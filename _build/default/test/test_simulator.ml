@@ -1,0 +1,691 @@
+open Difftrace_simulator
+open Runtime
+module Trace = Difftrace_trace.Trace
+module Trace_set = Difftrace_trace.Trace_set
+
+let qtest ?(count = 50) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let clean outcome =
+  Alcotest.(check (list (pair int int))) "no deadlock" [] outcome.deadlocked;
+  Alcotest.(check bool) "no timeout" false outcome.timed_out
+
+let last_event ts ~pid ~tid =
+  let tr = Trace_set.find_exn ts ~pid ~tid in
+  Difftrace_trace.Event.to_string (Trace_set.symtab ts)
+    tr.Trace.events.(Array.length tr.Trace.events - 1)
+
+(* ------------------------------------------------------------------ *)
+(* point-to-point                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_ping_pong () =
+  let outcome =
+    run ~np:2 (fun env ->
+        Api.mpi_init env;
+        let rank = Api.comm_rank env in
+        if rank = 0 then begin
+          Api.send env ~dst:1 [| 42 |];
+          let r = Api.recv env ~src:1 () in
+          Alcotest.(check (array int)) "pong payload" [| 43 |] r
+        end
+        else begin
+          let r = Api.recv env ~src:0 () in
+          Alcotest.(check (array int)) "ping payload" [| 42 |] r;
+          Api.send env ~dst:0 [| 43 |]
+        end;
+        Api.mpi_finalize env)
+  in
+  clean outcome
+
+let test_eager_send_completes_without_receiver () =
+  (* below the eager limit a send buffers; the receive happens later *)
+  let outcome =
+    run ~np:2 ~eager_limit:8 (fun env ->
+        if pid env = 0 then begin
+          Api.send env ~dst:1 [| 1; 2; 3 |];
+          Api.send env ~dst:1 [| 4 |]
+        end
+        else begin
+          (* receive in order *)
+          let a = Api.recv env ~src:0 () in
+          let b = Api.recv env ~src:0 () in
+          Alcotest.(check (array int)) "first" [| 1; 2; 3 |] a;
+          Alcotest.(check (array int)) "second (non-overtaking)" [| 4 |] b
+        end)
+  in
+  clean outcome
+
+let test_rendezvous_blocks_until_recv () =
+  (* above the eager limit, head-to-head sends deadlock; under
+     all-images capture the trace ends inside the MPI library *)
+  let outcome =
+    run ~np:2 ~eager_limit:0 ~level:Difftrace_parlot.Tracer.All_images (fun env ->
+        let peer = 1 - pid env in
+        Api.send env ~dst:peer [| 9 |];
+        ignore (Api.recv env ~src:peer ()))
+  in
+  Alcotest.(check (list (pair int int))) "both blocked" [ (0, 0); (1, 0) ]
+    outcome.deadlocked;
+  Alcotest.(check string) "trace ends inside MPI library" "poll"
+    (last_event outcome.traces ~pid:0 ~tid:0)
+
+let test_rendezvous_trace_truncation_main_image () =
+  let outcome =
+    run ~np:2 ~eager_limit:0 ~level:Difftrace_parlot.Tracer.Main_image (fun env ->
+        let peer = 1 - pid env in
+        Api.send env ~dst:peer [| 9 |];
+        ignore (Api.recv env ~src:peer ()))
+  in
+  (* without library frames, the last main-image event is the MPI_Send
+     call with no return — the paper's truncated-trace signature *)
+  Alcotest.(check string) "last event is the hanging call" "MPI_Send"
+    (last_event outcome.traces ~pid:0 ~tid:0);
+  let tr = Trace_set.find_exn outcome.traces ~pid:0 ~tid:0 in
+  Alcotest.(check bool) "trace marked truncated" true tr.Trace.truncated
+
+let test_tag_matching () =
+  let outcome =
+    run ~np:2 (fun env ->
+        if pid env = 0 then begin
+          Api.send env ~dst:1 ~tag:7 [| 7 |];
+          Api.send env ~dst:1 ~tag:8 [| 8 |]
+        end
+        else begin
+          (* receive in reverse tag order: matching is by (src, tag) *)
+          let b = Api.recv env ~src:0 ~tag:8 () in
+          let a = Api.recv env ~src:0 ~tag:7 () in
+          Alcotest.(check (array int)) "tag 8" [| 8 |] b;
+          Alcotest.(check (array int)) "tag 7" [| 7 |] a
+        end)
+  in
+  clean outcome
+
+let test_recv_wrong_source_deadlocks () =
+  let outcome =
+    run ~np:2 (fun env ->
+        if pid env = 0 then Api.send env ~dst:1 [| 1 |]
+        else ignore (Api.recv env ~src:1 ~tag:0 ()) (* self, never sent *))
+  in
+  Alcotest.(check (list (pair int int))) "receiver hung" [ (1, 0) ]
+    outcome.deadlocked
+
+let test_irecv_before_send () =
+  let outcome =
+    run ~np:2 (fun env ->
+        if pid env = 0 then begin
+          let r = Api.irecv env ~src:1 () in
+          Api.send env ~dst:1 [| 5 |];
+          let v = Api.wait env r in
+          Alcotest.(check (array int)) "posted recv filled" [| 6 |] v
+        end
+        else begin
+          let v = Api.recv env ~src:0 () in
+          Api.send env ~dst:0 [| v.(0) + 1 |]
+        end)
+  in
+  clean outcome
+
+let test_isend_eager_completes_immediately () =
+  let outcome =
+    run ~np:2 ~eager_limit:8 (fun env ->
+        if pid env = 0 then begin
+          let r = Api.isend env ~dst:1 [| 1 |] in
+          (* completes without the receiver having posted anything *)
+          ignore (Api.wait env r)
+        end
+        else begin
+          Api.yield env;
+          ignore (Api.recv env ~src:0 ())
+        end)
+  in
+  clean outcome
+
+let test_isend_rendezvous_completes_on_consumption () =
+  let consumed_before_wait = ref false in
+  let outcome =
+    run ~np:2 ~eager_limit:0 ~seed:2 (fun env ->
+        if pid env = 0 then begin
+          let r = Api.isend env ~dst:1 [| 1; 2; 3 |] in
+          (* call returns immediately even above the eager limit *)
+          Api.yield env;
+          ignore (Api.wait env r);
+          Alcotest.(check bool) "receiver consumed before wait returned" true
+            !consumed_before_wait
+        end
+        else begin
+          let v = Api.recv env ~src:0 () in
+          consumed_before_wait := true;
+          Alcotest.(check (array int)) "payload" [| 1; 2; 3 |] v
+        end)
+  in
+  clean outcome
+
+let test_nonblocking_fixes_head_to_head () =
+  (* the swapBug cure: posting the receives first makes the symmetric
+     exchange deadlock-free even in rendezvous mode *)
+  let outcome =
+    run ~np:2 ~eager_limit:0 (fun env ->
+        let peer = 1 - pid env in
+        let r = Api.irecv env ~src:peer () in
+        Api.send env ~dst:peer [| pid env |];
+        let v = Api.wait env r in
+        Alcotest.(check (array int)) "exchanged" [| peer |] v)
+  in
+  clean outcome
+
+let test_irecv_posting_order () =
+  let outcome =
+    run ~np:2 (fun env ->
+        if pid env = 0 then begin
+          let r1 = Api.irecv env ~src:1 () in
+          let r2 = Api.irecv env ~src:1 () in
+          let v2 = Api.wait env r2 in
+          let v1 = Api.wait env r1 in
+          Alcotest.(check (array int)) "first posted gets first message" [| 10 |] v1;
+          Alcotest.(check (array int)) "second posted gets second" [| 20 |] v2
+        end
+        else begin
+          Api.send env ~dst:0 [| 10 |];
+          Api.send env ~dst:0 [| 20 |]
+        end)
+  in
+  clean outcome
+
+let test_waitall () =
+  let outcome =
+    run ~np:2 (fun env ->
+        if pid env = 0 then begin
+          let rs = List.init 3 (fun _ -> Api.irecv env ~src:1 ()) in
+          let vs = Api.waitall env rs in
+          Alcotest.(check (list (array int))) "all payloads in posting order"
+            [ [| 0 |]; [| 1 |]; [| 2 |] ] vs
+        end
+        else
+          for i = 0 to 2 do
+            Api.send env ~dst:0 [| i |]
+          done)
+  in
+  clean outcome
+
+let test_wait_unmatched_hangs () =
+  let outcome =
+    run ~np:2 (fun env ->
+        if pid env = 0 then begin
+          let r = Api.irecv env ~src:1 () in
+          ignore (Api.wait env r)
+        end)
+  in
+  Alcotest.(check (list (pair int int))) "waiter hung" [ (0, 0) ] outcome.deadlocked
+
+let test_wait_twice_rejected () =
+  Alcotest.check_raises "double wait"
+    (Invalid_argument "Runtime: MPI_Wait on an unknown or finished request")
+    (fun () ->
+      ignore
+        (run ~np:2 (fun env ->
+             if pid env = 0 then begin
+               let r = Api.isend env ~dst:1 [| 1 |] in
+               ignore (Api.wait env r);
+               ignore (Api.wait env r)
+             end
+             else ignore (Api.recv env ~src:0 ()))))
+
+let test_sendrecv_symmetric_exchange () =
+  (* the idiomatic cure for the swapBug: symmetric Sendrecv is
+     deadlock-free even in pure rendezvous mode *)
+  let outcome =
+    run ~np:2 ~eager_limit:0 (fun env ->
+        let peer = 1 - pid env in
+        let v = Api.sendrecv env ~dst:peer ~src:peer [| pid env; 7 |] in
+        Alcotest.(check (array int)) "swapped payloads" [| peer; 7 |] v)
+  in
+  clean outcome
+
+let test_sendrecv_ring_shift () =
+  let outcome =
+    run ~np:5 (fun env ->
+        let next = (pid env + 1) mod 5 and prev = (pid env + 4) mod 5 in
+        let v = Api.sendrecv env ~dst:next ~src:prev [| pid env |] in
+        Alcotest.(check (array int)) "ring shift" [| prev |] v)
+  in
+  clean outcome
+
+(* ------------------------------------------------------------------ *)
+(* collectives                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_allreduce_ops () =
+  let results = Array.make 4 [||] in
+  let outcome =
+    run ~np:4 (fun env ->
+        let r = pid env in
+        let sum = Api.allreduce env ~op:Op_sum [| r; 1 |] in
+        let mn = Api.allreduce env ~op:Op_min [| r |] in
+        let mx = Api.allreduce env ~op:Op_max [| r |] in
+        let pr = Api.allreduce env ~op:Op_prod [| r + 1 |] in
+        results.(r) <- Array.concat [ sum; mn; mx; pr ])
+  in
+  clean outcome;
+  Array.iteri
+    (fun r res ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "rank %d sees sum/min/max/prod" r)
+        [| 6; 4; 0; 3; 24 |] res)
+    results
+
+let test_reduce_root_only () =
+  let outcome =
+    run ~np:3 (fun env ->
+        let r = Api.reduce env ~root:1 ~op:Op_sum [| 10 |] in
+        if pid env = 1 then Alcotest.(check (array int)) "root gets sum" [| 30 |] r
+        else Alcotest.(check (array int)) "non-root gets nothing" [||] r)
+  in
+  clean outcome
+
+let test_bcast () =
+  let outcome =
+    run ~np:4 (fun env ->
+        let data = if pid env = 2 then [| 99; 77 |] else [| 0 |] in
+        let r = Api.bcast env ~root:2 data in
+        Alcotest.(check (array int)) "everyone gets root's data" [| 99; 77 |] r)
+  in
+  clean outcome
+
+let test_barrier_orders () =
+  let hits = ref [] in
+  let outcome =
+    run ~np:3 ~seed:5 (fun env ->
+        hits := `Before (pid env) :: !hits;
+        Api.barrier env;
+        hits := `After (pid env) :: !hits)
+  in
+  clean outcome;
+  let events = List.rev !hits in
+  (* every Before precedes every After *)
+  let rec check seen_after = function
+    | [] -> true
+    | `After _ :: rest -> check true rest
+    | `Before _ :: rest -> (not seen_after) && check seen_after rest
+  in
+  Alcotest.(check bool) "barrier separates phases" true (check false events)
+
+let test_collective_count_mismatch_deadlocks () =
+  let outcome =
+    run ~np:3 (fun env ->
+        let count = if pid env = 1 then 2 else 1 in
+        ignore (Api.allreduce env ~count ~op:Op_sum [| 1 |]))
+  in
+  Alcotest.(check int) "all three hung" 3 (List.length outcome.deadlocked);
+  Alcotest.(check bool) "mismatch diagnosed" true
+    (outcome.collective_mismatch <> None)
+
+let test_collective_kind_mismatch_deadlocks () =
+  let outcome =
+    run ~np:2 (fun env ->
+        if pid env = 0 then Api.barrier env
+        else ignore (Api.allreduce env ~op:Op_sum [| 1 |]))
+  in
+  Alcotest.(check int) "both hung" 2 (List.length outcome.deadlocked);
+  Alcotest.(check bool) "mismatch diagnosed" true
+    (outcome.collective_mismatch <> None)
+
+let test_wrong_op_applies_rank0s () =
+  (* rank 0 passes MAX while everyone else passes MIN: rank 0 wins *)
+  let seen = Array.make 3 (-1) in
+  let outcome =
+    run ~np:3 (fun env ->
+        let op = if pid env = 0 then Op_max else Op_min in
+        let r = Api.allreduce env ~op [| pid env + 10 |] in
+        seen.(pid env) <- r.(0))
+  in
+  clean outcome;
+  Array.iteri
+    (fun i v -> Alcotest.(check int) (Printf.sprintf "rank %d got MAX" i) 12 v)
+    seen
+
+(* ------------------------------------------------------------------ *)
+(* OpenMP                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_fork_join_runs_all_threads () =
+  let ran = Array.make 4 false in
+  let outcome =
+    run ~np:1 (fun env ->
+        Api.parallel env ~num_threads:4 (fun tenv -> ran.(tid tenv) <- true))
+  in
+  clean outcome;
+  Alcotest.(check (array bool)) "all team members ran" [| true; true; true; true |] ran
+
+let test_fork_produces_thread_traces () =
+  let outcome =
+    run ~np:2 (fun env ->
+        Api.parallel env ~num_threads:3 (fun tenv ->
+            Api.call tenv "work" (fun () -> ())))
+  in
+  clean outcome;
+  Alcotest.(check int) "2 ranks x 3 threads" 6 (Trace_set.cardinal outcome.traces)
+
+let test_join_waits_for_children () =
+  let order = ref [] in
+  let outcome =
+    run ~np:1 ~seed:13 (fun env ->
+        Api.parallel env ~num_threads:3 (fun tenv ->
+            if tid tenv > 0 then begin
+              Api.yield tenv;
+              Api.yield tenv;
+              order := `Child :: !order
+            end);
+        order := `Joined :: !order)
+  in
+  clean outcome;
+  Alcotest.(check bool) "join after all children" true
+    (List.rev !order = [ `Child; `Child; `Joined ])
+
+let test_critical_mutual_exclusion () =
+  let inside = ref 0 and max_inside = ref 0 and total = ref 0 in
+  let outcome =
+    run ~np:1 ~seed:3 (fun env ->
+        Api.parallel env ~num_threads:4 (fun tenv ->
+            for _ = 1 to 5 do
+              Api.critical tenv (fun () ->
+                  incr inside;
+                  if !inside > !max_inside then max_inside := !inside;
+                  incr total;
+                  decr inside);
+              Api.yield tenv
+            done))
+  in
+  clean outcome;
+  Alcotest.(check int) "all sections ran" 20 !total;
+  Alcotest.(check int) "never two inside" 1 !max_inside
+
+let test_unlock_not_held_rejected () =
+  Alcotest.check_raises "unlock unheld"
+    (Invalid_argument "Runtime: unlock of a lock not held") (fun () ->
+      ignore
+        (run ~np:1 (fun _env -> Effect.perform (E_unlock "nope"))))
+
+let test_discipline_checker () =
+  let outcome =
+    run ~np:1 (fun env ->
+        let c = Shm.cell ~protected_:true "shared" 0 in
+        Api.parallel env ~num_threads:3 (fun tenv ->
+            if tid tenv = 1 then Shm.write tenv c 1 (* unprotected! *)
+            else if tid tenv = 2 then Api.critical tenv (fun () -> Shm.write tenv c 2)))
+  in
+  match outcome.races with
+  | [ r ] ->
+    Alcotest.(check string) "cell named" "shared" r.cell_name;
+    Alcotest.(check (list int)) "offending thread" [ 1 ] r.tids
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 violation, got %d" (List.length l))
+
+let test_discipline_clean_when_locked () =
+  let outcome =
+    run ~np:1 (fun env ->
+        let c = Shm.cell ~protected_:true "shared" 0 in
+        Api.parallel env ~num_threads:3 (fun tenv ->
+            Api.critical tenv (fun () -> Shm.write tenv c (tid tenv));
+            ignore (Shm.read tenv c) (* unlocked reads are fine *)))
+  in
+  Alcotest.(check int) "no violations" 0 (List.length outcome.races)
+
+(* ------------------------------------------------------------------ *)
+(* scheduler properties                                                *)
+(* ------------------------------------------------------------------ *)
+
+let trace_fingerprint outcome =
+  Array.to_list
+    (Array.map
+       (fun tr ->
+         ( Trace.label tr,
+           Trace.to_strings (Trace_set.symtab outcome.traces) tr ))
+       (Trace_set.traces outcome.traces))
+
+let busy_program env =
+  Api.mpi_init env;
+  let rank = Api.comm_rank env in
+  Api.parallel env ~num_threads:3 (fun tenv ->
+      if tid tenv > 0 then
+        for _ = 1 to 3 do
+          Api.critical tenv (fun () -> ());
+          Api.yield tenv
+        done);
+  ignore (Api.allreduce env ~op:Op_sum [| rank |]);
+  if rank = 0 then Api.send env ~dst:1 [| 1 |]
+  else if rank = 1 then ignore (Api.recv env ~src:0 ());
+  Api.mpi_finalize env
+
+let test_determinism_same_seed () =
+  let a = run ~np:2 ~seed:99 busy_program in
+  let b = run ~np:2 ~seed:99 busy_program in
+  Alcotest.(check bool) "same seed, same traces" true
+    (trace_fingerprint a = trace_fingerprint b)
+
+let prop_determinism =
+  qtest "any seed: run is reproducible" ~count:20
+    QCheck2.Gen.(int_range 0 10000)
+    (fun seed ->
+      let a = run ~np:2 ~seed busy_program in
+      let b = run ~np:2 ~seed busy_program in
+      trace_fingerprint a = trace_fingerprint b && a.deadlocked = [])
+
+let test_livelock_hits_step_budget () =
+  let outcome =
+    run ~np:1 ~max_steps:500 (fun env ->
+        while true do
+          Api.yield env
+        done)
+  in
+  Alcotest.(check bool) "timed out" true outcome.timed_out;
+  Alcotest.(check (list (pair int int))) "spinner reported hung" [ (0, 0) ]
+    outcome.deadlocked
+
+let test_empty_program () =
+  let outcome = run ~np:3 (fun _ -> ()) in
+  clean outcome;
+  Alcotest.(check int) "one trace per rank" 3 (Trace_set.cardinal outcome.traces)
+
+let test_nested_parallel_rejected () =
+  Alcotest.check_raises "nested regions"
+    (Invalid_argument "Runtime: nested parallel regions are not supported")
+    (fun () ->
+      ignore
+        (run ~np:1 (fun env ->
+             Api.parallel env ~num_threads:2 (fun tenv ->
+                 if tid tenv = 0 then
+                   Api.parallel tenv ~num_threads:2 (fun _ -> ())))))
+
+let test_program_exception_propagates () =
+  Alcotest.check_raises "user exception surfaces" (Failure "boom") (fun () ->
+      ignore (run ~np:2 (fun env -> if pid env = 1 then failwith "boom")))
+
+let test_np_validation () =
+  Alcotest.check_raises "np 0" (Invalid_argument "Runtime.run: np must be positive")
+    (fun () -> ignore (run ~np:0 (fun _ -> ())))
+
+let test_mpi_test_polling () =
+  (* a polling progress loop: rank 0 overlaps "compute" with an
+     incoming message, counting poll attempts *)
+  let polls = ref 0 in
+  let outcome =
+    run ~np:2 ~seed:11 (fun env ->
+        if pid env = 0 then begin
+          let r = Api.irecv env ~src:1 () in
+          let got = ref None in
+          while !got = None do
+            (match Api.test env r with
+            | Some v -> got := Some v
+            | None ->
+              incr polls;
+              Api.call env "compute" (fun () -> ());
+              Api.yield env)
+          done;
+          Alcotest.(check (array int)) "payload" [| 9 |] (Option.get !got)
+        end
+        else begin
+          Api.yield env;
+          Api.yield env;
+          Api.send env ~dst:0 [| 9 |]
+        end)
+  in
+  clean outcome;
+  Alcotest.(check bool) "polled at least once" true (!polls >= 1)
+
+let test_mpi_test_consumed_request () =
+  Alcotest.check_raises "test after completion"
+    (Invalid_argument "Runtime: MPI_Test on an unknown or finished request")
+    (fun () ->
+      ignore
+        (run ~np:2 (fun env ->
+             if pid env = 0 then begin
+               let r = Api.irecv env ~src:1 () in
+               ignore (Api.wait env r);
+               ignore (Api.test env r)
+             end
+             else Api.send env ~dst:0 [| 1 |])))
+
+let test_jitter_validation () =
+  Alcotest.check_raises "jitter >= 1 rejected"
+    (Invalid_argument "Runtime.run: jitter must be in [0, 1)") (fun () ->
+      ignore (run ~np:1 ~jitter:1.0 (fun _ -> ())))
+
+let test_jitter_deterministic_and_effective () =
+  let module Ilcs = Difftrace_workloads.Ilcs in
+  let fp outcome = trace_fingerprint outcome in
+  let run_with jitter =
+    fst (Ilcs.run ~np:4 ~workers:2 ~seed:5 ~jitter ~fault:Fault.No_fault ())
+  in
+  (* deterministic for a fixed (seed, jitter) *)
+  Alcotest.(check bool) "reproducible" true (fp (run_with 0.5) = fp (run_with 0.5));
+  (* jitter = 0 is the unbiased scheduler (compat default) *)
+  let plain = fst (Ilcs.run ~np:4 ~workers:2 ~seed:5 ~fault:Fault.No_fault ()) in
+  Alcotest.(check bool) "zero jitter = default" true (fp (run_with 0.0) = fp plain);
+  (* a progress-dependent workload actually feels the skew *)
+  Alcotest.(check bool) "jitter changes the schedule" true
+    (fp (run_with 0.8) <> fp plain)
+
+(* ------------------------------------------------------------------ *)
+(* schedule exploration                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_explore_deterministic_program () =
+  (* a schedule-independent program: one outcome across all seeds *)
+  let s =
+    Explore.run ~np:2 ~seeds:[ 1; 2; 3; 4; 5 ] (fun env ->
+        if pid env = 0 then Api.send env ~dst:1 [| 1 |]
+        else ignore (Api.recv env ~src:0 ()))
+  in
+  Alcotest.(check int) "one outcome" 1 s.Explore.distinct_outcomes;
+  Alcotest.(check (list int)) "no deadlocks" [] s.Explore.deadlock_seeds
+
+let test_explore_schedule_dependent_traces () =
+  (* workers race to update an unprotected counter: trace contents
+     (loop counts) vary across schedules *)
+  let program env =
+    let c = Shm.cell "counter" 0 in
+    Api.parallel env ~num_threads:3 (fun tenv ->
+        for _ = 1 to 3 do
+          let v = Shm.read tenv c in
+          Api.yield tenv;
+          Shm.write tenv c (v + 1);
+          Api.call tenv (Printf.sprintf "saw_%d" (Shm.read tenv c)) (fun () -> ())
+        done)
+  in
+  let s = Explore.run ~np:1 ~seeds:(List.init 8 (fun i -> i)) program in
+  Alcotest.(check bool) "schedules produce multiple outcomes" true
+    (s.Explore.distinct_outcomes > 1)
+
+let test_explore_finds_rendezvous_deadlock () =
+  (* head-to-head rendezvous sends deadlock under EVERY schedule *)
+  let s =
+    Explore.run ~np:2 ~eager_limit:0 ~seeds:[ 1; 2; 3 ] (fun env ->
+        let peer = 1 - pid env in
+        Api.send env ~dst:peer [| 1 |];
+        ignore (Api.recv env ~src:peer ()))
+  in
+  Alcotest.(check (list int)) "all seeds deadlock" [ 1; 2; 3 ]
+    s.Explore.deadlock_seeds;
+  Alcotest.(check bool) "renders" true (String.length (Explore.render s) > 80)
+
+let test_explore_empty_seeds () =
+  Alcotest.check_raises "no seeds" (Invalid_argument "Explore.run: no seeds")
+    (fun () -> ignore (Explore.run ~seeds:[] (fun _ -> ())))
+
+let () =
+  Alcotest.run "simulator"
+    [ ( "point-to-point",
+        [ Alcotest.test_case "ping-pong" `Quick test_ping_pong;
+          Alcotest.test_case "eager buffering + FIFO" `Quick
+            test_eager_send_completes_without_receiver;
+          Alcotest.test_case "rendezvous head-to-head deadlock" `Quick
+            test_rendezvous_blocks_until_recv;
+          Alcotest.test_case "truncation signature" `Quick
+            test_rendezvous_trace_truncation_main_image;
+          Alcotest.test_case "tag matching" `Quick test_tag_matching;
+          Alcotest.test_case "wrong source hangs" `Quick
+            test_recv_wrong_source_deadlocks ] );
+      ( "nonblocking",
+        [ Alcotest.test_case "irecv before send" `Quick test_irecv_before_send;
+          Alcotest.test_case "isend eager immediate" `Quick
+            test_isend_eager_completes_immediately;
+          Alcotest.test_case "isend rendezvous completion" `Quick
+            test_isend_rendezvous_completes_on_consumption;
+          Alcotest.test_case "irecv cures head-to-head" `Quick
+            test_nonblocking_fixes_head_to_head;
+          Alcotest.test_case "posting order" `Quick test_irecv_posting_order;
+          Alcotest.test_case "waitall" `Quick test_waitall;
+          Alcotest.test_case "unmatched wait hangs" `Quick test_wait_unmatched_hangs;
+          Alcotest.test_case "double wait rejected" `Quick test_wait_twice_rejected;
+          Alcotest.test_case "sendrecv symmetric" `Quick
+            test_sendrecv_symmetric_exchange;
+          Alcotest.test_case "sendrecv ring" `Quick test_sendrecv_ring_shift ] );
+      ( "collectives",
+        [ Alcotest.test_case "allreduce ops" `Quick test_allreduce_ops;
+          Alcotest.test_case "reduce root-only" `Quick test_reduce_root_only;
+          Alcotest.test_case "bcast" `Quick test_bcast;
+          Alcotest.test_case "barrier separates" `Quick test_barrier_orders;
+          Alcotest.test_case "count mismatch deadlocks" `Quick
+            test_collective_count_mismatch_deadlocks;
+          Alcotest.test_case "kind mismatch deadlocks" `Quick
+            test_collective_kind_mismatch_deadlocks;
+          Alcotest.test_case "wrong op: rank 0 wins" `Quick
+            test_wrong_op_applies_rank0s ] );
+      ( "openmp",
+        [ Alcotest.test_case "fork/join coverage" `Quick test_fork_join_runs_all_threads;
+          Alcotest.test_case "per-thread traces" `Quick test_fork_produces_thread_traces;
+          Alcotest.test_case "join waits" `Quick test_join_waits_for_children;
+          Alcotest.test_case "critical mutual exclusion" `Quick
+            test_critical_mutual_exclusion;
+          Alcotest.test_case "unlock unheld rejected" `Quick
+            test_unlock_not_held_rejected;
+          Alcotest.test_case "discipline checker flags" `Quick test_discipline_checker;
+          Alcotest.test_case "discipline checker clean" `Quick
+            test_discipline_clean_when_locked ] );
+      ( "mpi_test",
+        [ Alcotest.test_case "polling loop" `Quick test_mpi_test_polling;
+          Alcotest.test_case "consumed request" `Quick
+            test_mpi_test_consumed_request ] );
+      ( "jitter",
+        [ Alcotest.test_case "validation" `Quick test_jitter_validation;
+          Alcotest.test_case "deterministic and effective" `Quick
+            test_jitter_deterministic_and_effective ] );
+      ( "explore",
+        [ Alcotest.test_case "deterministic program" `Quick
+            test_explore_deterministic_program;
+          Alcotest.test_case "schedule-dependent traces" `Quick
+            test_explore_schedule_dependent_traces;
+          Alcotest.test_case "finds rendezvous deadlock" `Quick
+            test_explore_finds_rendezvous_deadlock;
+          Alcotest.test_case "empty seeds" `Quick test_explore_empty_seeds ] );
+      ( "scheduler",
+        [ Alcotest.test_case "determinism (fixed seed)" `Quick test_determinism_same_seed;
+          prop_determinism;
+          Alcotest.test_case "livelock -> step budget" `Quick
+            test_livelock_hits_step_budget;
+          Alcotest.test_case "empty program" `Quick test_empty_program;
+          Alcotest.test_case "nested parallel rejected" `Quick
+            test_nested_parallel_rejected;
+          Alcotest.test_case "exceptions propagate" `Quick
+            test_program_exception_propagates;
+          Alcotest.test_case "np validation" `Quick test_np_validation ] ) ]

@@ -1,0 +1,308 @@
+open Difftrace_simulator
+open Difftrace_temporal
+module R = Runtime
+module Fault = Fault
+module Odd_even = Difftrace_workloads.Odd_even
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Vclock laws                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_vclock_basic () =
+  let c = Vclock.create 3 in
+  Alcotest.(check (list int)) "zero" [ 0; 0; 0 ] (Vclock.to_list c);
+  Vclock.tick c 1;
+  Vclock.tick c 1;
+  Vclock.tick c 2;
+  Alcotest.(check (list int)) "ticked" [ 0; 2; 1 ] (Vclock.to_list c);
+  Alcotest.(check int) "get" 2 (Vclock.get c 1);
+  let d = Vclock.of_list [ 1; 0; 5 ] in
+  Vclock.merge c d;
+  Alcotest.(check (list int)) "merged" [ 1; 2; 5 ] (Vclock.to_list c)
+
+let test_vclock_order () =
+  let a = Vclock.of_list [ 1; 0 ] and b = Vclock.of_list [ 1; 1 ] in
+  Alcotest.(check bool) "a -> b" true (Vclock.happens_before a b);
+  Alcotest.(check bool) "not b -> a" false (Vclock.happens_before b a);
+  let c = Vclock.of_list [ 0; 2 ] in
+  Alcotest.(check bool) "a || c" true (Vclock.concurrent a c);
+  Alcotest.(check bool) "self not before self" false (Vclock.happens_before a a);
+  (match Vclock.ord a a with
+  | Vclock.Equal -> ()
+  | _ -> Alcotest.fail "self should be Equal");
+  Alcotest.check_raises "size mismatch" (Invalid_argument "Vclock: size mismatch")
+    (fun () -> ignore (Vclock.leq a (Vclock.of_list [ 1; 2; 3 ])))
+
+let vec_gen n = QCheck2.Gen.(list_repeat n (int_range 0 5))
+
+let prop_vclock_partial_order =
+  qtest "vclock ord is antisymmetric and merge is an upper bound"
+    QCheck2.Gen.(pair (vec_gen 4) (vec_gen 4))
+    (fun (la, lb) ->
+      let a = Vclock.of_list la and b = Vclock.of_list lb in
+      let antisym =
+        match (Vclock.ord a b, Vclock.ord b a) with
+        | Vclock.Before, Vclock.After
+        | Vclock.After, Vclock.Before
+        | Vclock.Equal, Vclock.Equal
+        | Vclock.Concurrent, Vclock.Concurrent -> true
+        | _ -> false
+      in
+      let m = Vclock.copy a in
+      Vclock.merge m b;
+      antisym && Vclock.leq a m && Vclock.leq b m)
+
+let prop_vclock_merge_idempotent_commutative =
+  qtest "merge is idempotent and commutative"
+    QCheck2.Gen.(pair (vec_gen 5) (vec_gen 5))
+    (fun (la, lb) ->
+      let ab = Vclock.of_list la in
+      Vclock.merge ab (Vclock.of_list lb);
+      let ba = Vclock.of_list lb in
+      Vclock.merge ba (Vclock.of_list la);
+      let aa = Vclock.of_list la in
+      Vclock.merge aa (Vclock.of_list la);
+      Vclock.equal ab ba && Vclock.equal aa (Vclock.of_list la))
+
+(* ------------------------------------------------------------------ *)
+(* Runtime integration: stamps respect causality                       *)
+(* ------------------------------------------------------------------ *)
+
+let find_syncs outcome key =
+  match List.assoc_opt key outcome.R.sync_log with
+  | Some s -> Array.to_list s
+  | None -> []
+
+let test_send_happens_before_recv () =
+  let outcome =
+    R.run ~np:2 (fun env ->
+        if R.pid env = 0 then Api.send env ~dst:1 [| 1 |]
+        else ignore (Api.recv env ~src:0 ()))
+  in
+  match (find_syncs outcome (0, 0), find_syncs outcome (1, 0)) with
+  | [ send ], [ recv ] ->
+    Alcotest.(check string) "send op" "MPI_Send" send.R.sp_op;
+    Alcotest.(check string) "recv op" "MPI_Recv" recv.R.sp_op;
+    Alcotest.(check bool) "send -> recv (vector)" true
+      (Vclock.stamp_happens_before send.R.sp_stamp recv.R.sp_stamp);
+    Alcotest.(check bool) "Lamport consistent" true
+      (send.R.sp_stamp.Vclock.lamport < recv.R.sp_stamp.Vclock.lamport)
+  | a, b ->
+    Alcotest.fail
+      (Printf.sprintf "unexpected sync log shapes: %d / %d" (List.length a)
+         (List.length b))
+
+let test_disjoint_sends_concurrent () =
+  (* two independent pairs: their stamps must be concurrent *)
+  let outcome =
+    R.run ~np:4 (fun env ->
+        match R.pid env with
+        | 0 -> Api.send env ~dst:1 [| 1 |]
+        | 1 -> ignore (Api.recv env ~src:0 ())
+        | 2 -> Api.send env ~dst:3 [| 1 |]
+        | _ -> ignore (Api.recv env ~src:2 ()))
+  in
+  match (find_syncs outcome (1, 0), find_syncs outcome (3, 0)) with
+  | [ r01 ], [ r23 ] ->
+    Alcotest.(check bool) "independent receives are concurrent" true
+      (Vclock.concurrent r01.R.sp_stamp.Vclock.vec r23.R.sp_stamp.Vclock.vec)
+  | _ -> Alcotest.fail "unexpected sync logs"
+
+let test_barrier_synchronizes () =
+  let outcome =
+    R.run ~np:3 (fun env ->
+        if R.pid env = 0 then Api.send env ~dst:1 [| 7 |];
+        if R.pid env = 1 then ignore (Api.recv env ~src:0 ());
+        Api.barrier env)
+  in
+  (* rank 2's barrier stamp must be causally after rank 0's send *)
+  let send = List.hd (find_syncs outcome (0, 0)) in
+  let barrier2 =
+    List.find (fun sp -> sp.R.sp_op = "MPI_Barrier") (find_syncs outcome (2, 0))
+  in
+  Alcotest.(check bool) "send -> other rank's post-barrier" true
+    (Vclock.stamp_happens_before send.R.sp_stamp barrier2.R.sp_stamp)
+
+let test_transitive_chain () =
+  (* 0 -> 1 -> 2: first send happens-before the last receive *)
+  let outcome =
+    R.run ~np:3 (fun env ->
+        match R.pid env with
+        | 0 -> Api.send env ~dst:1 [| 0 |]
+        | 1 ->
+          let v = Api.recv env ~src:0 () in
+          Api.send env ~dst:2 v
+        | _ -> ignore (Api.recv env ~src:1 ()))
+  in
+  let s0 = List.hd (find_syncs outcome (0, 0)) in
+  let r2 = List.hd (find_syncs outcome (2, 0)) in
+  Alcotest.(check bool) "transitivity through rank 1" true
+    (Vclock.stamp_happens_before s0.R.sp_stamp r2.R.sp_stamp)
+
+let test_nonblocking_stamps () =
+  let outcome =
+    R.run ~np:2 (fun env ->
+        if R.pid env = 0 then begin
+          let r = Api.irecv env ~src:1 () in
+          ignore (Api.wait env r)
+        end
+        else ignore (Api.isend env ~dst:0 [| 3 |]))
+  in
+  let isend = List.hd (find_syncs outcome (1, 0)) in
+  let wait =
+    List.find (fun sp -> sp.R.sp_op = "MPI_Wait") (find_syncs outcome (0, 0))
+  in
+  Alcotest.(check string) "isend recorded" "MPI_Isend" isend.R.sp_op;
+  Alcotest.(check bool) "isend -> wait completion" true
+    (Vclock.stamp_happens_before isend.R.sp_stamp wait.R.sp_stamp)
+
+(* ------------------------------------------------------------------ *)
+(* Progress / least-progressed                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_least_progressed_dlbug () =
+  (* rank 5 deadlocks after iteration 7: it must be (one of) the least
+     progressed master threads, PRODOMETER-style *)
+  let outcome, _ =
+    Odd_even.run ~np:16 ~fault:(Fault.Deadlock_recv { rank = 5; after_iter = 7 }) ()
+  in
+  let entries = Progress.least_progressed outcome in
+  let first_masters =
+    List.filter (fun e -> e.Progress.sync_count > 0) entries
+    |> List.filteri (fun i _ -> i < 3)
+    |> List.map (fun e -> e.Progress.pid)
+  in
+  Alcotest.(check bool) "rank 5 among the least progressed" true
+    (List.mem 5 first_masters)
+
+let test_progress_hb_query () =
+  let outcome =
+    R.run ~np:2 (fun env ->
+        if R.pid env = 0 then Api.send env ~dst:1 [| 1 |]
+        else ignore (Api.recv env ~src:0 ()))
+  in
+  (match Progress.hb outcome ~a:(0, 0) ~b:(1, 0) with
+  | Some Vclock.Before -> ()
+  | _ -> Alcotest.fail "expected Before");
+  Alcotest.(check bool) "unknown thread" true
+    (Progress.hb outcome ~a:(9, 9) ~b:(0, 0) = None)
+
+let test_progress_render () =
+  let outcome =
+    R.run ~np:2 (fun env ->
+        if R.pid env = 0 then Api.send env ~dst:1 [| 1 |]
+        else ignore (Api.recv env ~src:0 ()))
+  in
+  let s = Progress.render (Progress.least_progressed outcome) in
+  Alcotest.(check bool) "renders" true (String.length s > 40)
+
+(* ------------------------------------------------------------------ *)
+(* OTF2 export                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let sample_outcome () =
+  R.run ~np:2 (fun env ->
+      Api.call env "main" (fun () ->
+          Api.mpi_init env;
+          (if R.pid env = 0 then begin
+             Api.send env ~dst:1 [| 1 |];
+             let r = Api.irecv env ~src:1 () in
+             ignore (Api.wait env r)
+           end
+           else begin
+             ignore (Api.recv env ~src:0 ());
+             ignore (Api.isend env ~dst:0 [| 2 |])
+           end);
+          Api.barrier env;
+          Api.mpi_finalize env))
+
+let test_otf2_roundtrip () =
+  let archive = Otf2.of_outcome (sample_outcome ()) in
+  let parsed = Otf2.parse (Otf2.render archive) in
+  Alcotest.(check bool) "render/parse roundtrip" true (Otf2.equal archive parsed)
+
+let test_otf2_sync_placement () =
+  let archive = Otf2.of_outcome (sample_outcome ()) in
+  let loc0 = List.find (fun l -> l.Otf2.pid = 0 && l.Otf2.tid = 0) archive.Otf2.locations in
+  (* the MPI_Send sync must directly follow the MPI_Send ENTER *)
+  let rec check = function
+    | Otf2.Enter "MPI_Send" :: Otf2.Sync s :: _ ->
+      Alcotest.(check string) "sync op" "MPI_Send" s.Otf2.op
+    | _ :: rest -> check rest
+    | [] -> Alcotest.fail "no MPI_Send ENTER followed by SYNC"
+  in
+  check loc0.Otf2.events;
+  (* every sync has a full vector *)
+  List.iter
+    (fun (_, s) ->
+      Alcotest.(check int) "vector arity" 2 (List.length s.Otf2.vector))
+    (Otf2.sync_points archive)
+
+let test_otf2_truncated_flag () =
+  let outcome =
+    R.run ~np:2 ~eager_limit:0 (fun env ->
+        let peer = 1 - R.pid env in
+        Api.send env ~dst:peer [| 1 |];
+        ignore (Api.recv env ~src:peer ()))
+  in
+  let archive = Otf2.of_outcome outcome in
+  List.iter
+    (fun l -> Alcotest.(check bool) "truncated exported" true l.Otf2.truncated)
+    archive.Otf2.locations;
+  let parsed = Otf2.parse (Otf2.render archive) in
+  Alcotest.(check bool) "flag survives roundtrip" true (Otf2.equal archive parsed)
+
+let test_otf2_to_trace_set_roundtrip () =
+  let outcome = sample_outcome () in
+  let reconstructed = Otf2.to_trace_set (Otf2.of_outcome outcome) in
+  let dump ts =
+    Array.to_list (Difftrace_trace.Trace_set.traces ts)
+    |> List.map (fun tr ->
+           ( tr.Difftrace_trace.Trace.pid,
+             tr.Difftrace_trace.Trace.tid,
+             tr.Difftrace_trace.Trace.truncated,
+             Difftrace_trace.Trace.to_strings
+               (Difftrace_trace.Trace_set.symtab ts)
+               tr ))
+  in
+  Alcotest.(check bool) "events reconstructed exactly" true
+    (dump outcome.R.traces = dump reconstructed);
+  (* and the pipeline runs on the import *)
+  let a = Difftrace.Pipeline.analyze (Difftrace.Config.make ()) reconstructed in
+  Alcotest.(check bool) "pipeline accepts imported traces" true
+    (Array.length a.Difftrace.Pipeline.labels = 2)
+
+let test_otf2_parse_errors () =
+  Alcotest.check_raises "missing header"
+    (Invalid_argument "Otf2.parse: missing header") (fun () ->
+      ignore (Otf2.parse "DEF STRING 0 \"x\"\n"))
+
+let () =
+  Alcotest.run "temporal"
+    [ ( "vclock",
+        [ Alcotest.test_case "basics" `Quick test_vclock_basic;
+          Alcotest.test_case "ordering" `Quick test_vclock_order;
+          prop_vclock_partial_order;
+          prop_vclock_merge_idempotent_commutative ] );
+      ( "stamps",
+        [ Alcotest.test_case "send -> recv" `Quick test_send_happens_before_recv;
+          Alcotest.test_case "disjoint pairs concurrent" `Quick
+            test_disjoint_sends_concurrent;
+          Alcotest.test_case "barrier synchronizes" `Quick test_barrier_synchronizes;
+          Alcotest.test_case "transitive chain" `Quick test_transitive_chain;
+          Alcotest.test_case "nonblocking stamps" `Quick test_nonblocking_stamps ] );
+      ( "progress",
+        [ Alcotest.test_case "least progressed (dlBug)" `Quick
+            test_least_progressed_dlbug;
+          Alcotest.test_case "hb query" `Quick test_progress_hb_query;
+          Alcotest.test_case "render" `Quick test_progress_render ] );
+      ( "otf2",
+        [ Alcotest.test_case "roundtrip" `Quick test_otf2_roundtrip;
+          Alcotest.test_case "sync placement" `Quick test_otf2_sync_placement;
+          Alcotest.test_case "truncated flag" `Quick test_otf2_truncated_flag;
+          Alcotest.test_case "import to trace set" `Quick
+            test_otf2_to_trace_set_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_otf2_parse_errors ] ) ]

@@ -1,0 +1,303 @@
+open Difftrace_util
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Bitset                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_bitset_basic () =
+  let s = Bitset.create 100 in
+  Alcotest.(check bool) "fresh set is empty" true (Bitset.is_empty s);
+  Bitset.add s 0;
+  Bitset.add s 63;
+  Bitset.add s 64;
+  Bitset.add s 99;
+  Alcotest.(check int) "cardinal" 4 (Bitset.cardinal s);
+  Alcotest.(check bool) "mem 63" true (Bitset.mem s 63);
+  Alcotest.(check bool) "mem 64" true (Bitset.mem s 64);
+  Alcotest.(check bool) "not mem 1" false (Bitset.mem s 1);
+  Bitset.remove s 63;
+  Alcotest.(check bool) "removed" false (Bitset.mem s 63);
+  Alcotest.(check int) "cardinal after remove" 3 (Bitset.cardinal s)
+
+let test_bitset_bounds () =
+  let s = Bitset.create 10 in
+  Alcotest.check_raises "add out of range" (Invalid_argument "Bitset: index out of range")
+    (fun () -> Bitset.add s 10);
+  Alcotest.check_raises "mem negative" (Invalid_argument "Bitset: index out of range")
+    (fun () -> ignore (Bitset.mem s (-1)))
+
+let test_bitset_ops () =
+  let a = Bitset.of_list 10 [ 1; 2; 3 ] and b = Bitset.of_list 10 [ 2; 3; 4 ] in
+  Alcotest.(check (list int)) "inter" [ 2; 3 ] (Bitset.to_list (Bitset.inter a b));
+  Alcotest.(check (list int)) "union" [ 1; 2; 3; 4 ] (Bitset.to_list (Bitset.union a b));
+  Alcotest.(check (list int)) "diff" [ 1 ] (Bitset.to_list (Bitset.diff a b));
+  Alcotest.(check int) "inter_cardinal" 2 (Bitset.inter_cardinal a b);
+  Alcotest.(check int) "union_cardinal" 4 (Bitset.union_cardinal a b);
+  Alcotest.(check (float 1e-9)) "jaccard" 0.5 (Bitset.jaccard a b);
+  Alcotest.(check bool) "subset no" false (Bitset.subset a b);
+  Alcotest.(check bool) "subset yes" true
+    (Bitset.subset (Bitset.of_list 10 [ 2; 3 ]) b)
+
+let test_bitset_jaccard_empty () =
+  let a = Bitset.create 8 and b = Bitset.create 8 in
+  Alcotest.(check (float 1e-9)) "both empty -> 1.0" 1.0 (Bitset.jaccard a b)
+
+let test_bitset_full_singleton () =
+  Alcotest.(check int) "full cardinal" 70 (Bitset.cardinal (Bitset.full 70));
+  Alcotest.(check (list int)) "singleton" [ 5 ] (Bitset.to_list (Bitset.singleton 9 5))
+
+let test_bitset_inplace () =
+  let a = Bitset.of_list 130 [ 0; 64; 128 ] in
+  let b = Bitset.of_list 130 [ 64; 100 ] in
+  Bitset.add_all a b;
+  Alcotest.(check (list int)) "add_all" [ 0; 64; 100; 128 ] (Bitset.to_list a);
+  Bitset.inter_into a b;
+  Alcotest.(check (list int)) "inter_into" [ 64; 100 ] (Bitset.to_list a)
+
+let test_bitset_capacity_mismatch () =
+  let a = Bitset.create 8 and b = Bitset.create 9 in
+  Alcotest.check_raises "inter mismatch" (Invalid_argument "Bitset: capacity mismatch")
+    (fun () -> ignore (Bitset.inter a b))
+
+let bitset_gen =
+  QCheck2.Gen.(
+    let* n = int_range 1 200 in
+    let* l = list_size (int_range 0 50) (int_range 0 (n - 1)) in
+    return (n, l))
+
+let prop_bitset_roundtrip =
+  qtest "bitset of_list/to_list is sorted-dedup" bitset_gen (fun (n, l) ->
+      let s = Bitset.of_list n l in
+      Bitset.to_list s = List.sort_uniq Int.compare l)
+
+let prop_bitset_demorgan =
+  qtest "bitset |a∪b| + |a∩b| = |a| + |b|"
+    QCheck2.Gen.(
+      let* n = int_range 1 150 in
+      let* l1 = list_size (int_range 0 60) (int_range 0 (n - 1)) in
+      let* l2 = list_size (int_range 0 60) (int_range 0 (n - 1)) in
+      return (n, l1, l2))
+    (fun (n, l1, l2) ->
+      let a = Bitset.of_list n l1 and b = Bitset.of_list n l2 in
+      Bitset.union_cardinal a b + Bitset.inter_cardinal a b
+      = Bitset.cardinal a + Bitset.cardinal b)
+
+let prop_bitset_hash_equal =
+  qtest "bitset equal implies equal hash" bitset_gen (fun (n, l) ->
+      let a = Bitset.of_list n l and b = Bitset.of_list n (List.rev l) in
+      Bitset.equal a b && Bitset.hash a = Bitset.hash b)
+
+(* ------------------------------------------------------------------ *)
+(* Vec                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_vec_push_pop () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get 42" 42 (Vec.get v 42);
+  Alcotest.(check int) "pop" 99 (Vec.pop v);
+  Alcotest.(check int) "length after pop" 99 (Vec.length v);
+  Alcotest.(check int) "peek 0" 98 (Vec.peek v 0);
+  Alcotest.(check int) "peek 3" 95 (Vec.peek v 3)
+
+let test_vec_truncate () =
+  let v = Vec.of_array [| 1; 2; 3; 4; 5 |] in
+  Vec.truncate v 2;
+  Alcotest.(check (list int)) "truncated" [ 1; 2 ] (Vec.to_list v);
+  Alcotest.check_raises "truncate grows" (Invalid_argument "Vec.truncate")
+    (fun () -> Vec.truncate v 10)
+
+let test_vec_float () =
+  (* exercises the flat float array representation *)
+  let v = Vec.create () in
+  for i = 0 to 999 do
+    Vec.push v (float_of_int i *. 0.5)
+  done;
+  Alcotest.(check (float 1e-9)) "float get" 250.0 (Vec.get v 500)
+
+let test_vec_sub_iter () =
+  let v = Vec.of_array [| 10; 20; 30; 40 |] in
+  Alcotest.(check (array int)) "sub" [| 20; 30 |] (Vec.sub v 1 2);
+  let acc = ref 0 in
+  Vec.iter (fun x -> acc := !acc + x) v;
+  Alcotest.(check int) "iter sum" 100 !acc;
+  Alcotest.(check int) "fold" 100 (Vec.fold_left ( + ) 0 v);
+  Vec.append_array v [| 50 |];
+  Alcotest.(check int) "append" 50 (Vec.get v 4)
+
+let test_vec_empty_errors () =
+  let v : int Vec.t = Vec.create () in
+  Alcotest.check_raises "pop empty" (Invalid_argument "Vec.pop: empty") (fun () ->
+      ignore (Vec.pop v))
+
+let prop_vec_roundtrip =
+  qtest "vec of_array/to_array roundtrip"
+    QCheck2.Gen.(list int)
+    (fun l ->
+      let v = Vec.of_array (Array.of_list l) in
+      Vec.to_list v = l)
+
+(* ------------------------------------------------------------------ *)
+(* Varint                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_varint_examples () =
+  let enc n =
+    let b = Buffer.create 8 in
+    Varint.write b n;
+    Buffer.contents b
+  in
+  Alcotest.(check int) "small is 1 byte" 1 (String.length (enc 0));
+  Alcotest.(check int) "127 is 1 byte" 1 (String.length (enc 127));
+  Alcotest.(check int) "128 is 2 bytes" 2 (String.length (enc 128));
+  Alcotest.(check int) "size agrees" (String.length (enc 300)) (Varint.size 300);
+  Alcotest.check_raises "negative" (Invalid_argument "Varint.write: negative")
+    (fun () -> ignore (enc (-1)))
+
+let test_varint_truncated () =
+  Alcotest.check_raises "truncated" (Invalid_argument "Varint.read: truncated input")
+    (fun () -> ignore (Varint.read "\x80" 0))
+
+let prop_varint_roundtrip =
+  qtest "varint roundtrip"
+    QCheck2.Gen.(int_range 0 max_int)
+    (fun n ->
+      let b = Buffer.create 8 in
+      Varint.write b n;
+      let v, pos = Varint.read (Buffer.contents b) 0 in
+      v = n && pos = Buffer.length b)
+
+let prop_varint_list =
+  qtest "varint list roundtrip"
+    QCheck2.Gen.(list (int_range 0 1_000_000))
+    (fun l ->
+      let b = Buffer.create 8 in
+      Varint.write_list b l;
+      let l', _ = Varint.read_list (Buffer.contents b) 0 in
+      l = l')
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next a) (Prng.next b)
+  done
+
+let test_prng_bounds () =
+  let g = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int g 13 in
+    if v < 0 || v >= 13 then Alcotest.fail "out of bounds"
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int g 0))
+
+let test_prng_float_range () =
+  let g = Prng.create 11 in
+  for _ = 1 to 1000 do
+    let f = Prng.float g in
+    if f < 0.0 || f >= 1.0 then Alcotest.fail "float out of [0,1)"
+  done
+
+let test_prng_shuffle_permutation () =
+  let g = Prng.create 3 in
+  let a = Array.init 50 (fun i -> i) in
+  Prng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_prng_split_independent () =
+  let g = Prng.create 5 in
+  let h = Prng.split g in
+  let a = Prng.next g and b = Prng.next h in
+  Alcotest.(check bool) "split streams differ" true (a <> b)
+
+(* ------------------------------------------------------------------ *)
+(* Texttable and Stats                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_texttable_render () =
+  let s = Texttable.render ~headers:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "333"; "4" ] ] in
+  Alcotest.(check bool) "contains header" true
+    (String.length s > 0 && String.split_on_char '\n' s <> []);
+  let lines = String.split_on_char '\n' s in
+  let widths = List.filter (fun l -> l <> "") lines |> List.map String.length in
+  match widths with
+  | w :: rest -> List.iter (fun w' -> Alcotest.(check int) "equal widths" w w') rest
+  | [] -> Alcotest.fail "no output"
+
+let test_texttable_ragged () =
+  Alcotest.check_raises "ragged row" (Invalid_argument "Texttable.render: ragged row")
+    (fun () -> ignore (Texttable.render ~headers:[ "a" ] [ [ "1"; "2" ] ]))
+
+let contains ~sub s =
+  let n = String.length sub and h = String.length s in
+  let rec go i = i + n <= h && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_texttable_heatmap () =
+  let s =
+    Texttable.heatmap ~labels:[| "x"; "y" |] [| [| 1.0; 0.5 |]; [| 0.5; 1.0 |] |]
+  in
+  Alcotest.(check bool) "has 0.50 cell" true (contains ~sub:"0.50" s);
+  Alcotest.(check bool) "has label" true (contains ~sub:" x " s)
+
+let test_stats () =
+  let a = [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean a);
+  Alcotest.(check (float 1e-9)) "variance" 1.25 (Stats.variance a);
+  Alcotest.(check (float 1e-9)) "median even" 2.5 (Stats.median a);
+  Alcotest.(check (float 1e-9)) "median odd" 2.0 (Stats.median [| 3.0; 1.0; 2.0 |]);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.minimum a);
+  Alcotest.(check (float 1e-9)) "max" 4.0 (Stats.maximum a);
+  Alcotest.(check (float 1e-9)) "sum" 10.0 (Stats.sum a);
+  Alcotest.(check (float 1e-9)) "geomean" 2.0 (Stats.geomean [| 1.0; 2.0; 4.0 |]);
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats: empty array")
+    (fun () -> ignore (Stats.mean [||]))
+
+let () =
+  Alcotest.run "util"
+    [ ( "bitset",
+        [ Alcotest.test_case "basic" `Quick test_bitset_basic;
+          Alcotest.test_case "bounds" `Quick test_bitset_bounds;
+          Alcotest.test_case "set ops" `Quick test_bitset_ops;
+          Alcotest.test_case "jaccard empty" `Quick test_bitset_jaccard_empty;
+          Alcotest.test_case "full/singleton" `Quick test_bitset_full_singleton;
+          Alcotest.test_case "in-place ops" `Quick test_bitset_inplace;
+          Alcotest.test_case "capacity mismatch" `Quick test_bitset_capacity_mismatch;
+          prop_bitset_roundtrip;
+          prop_bitset_demorgan;
+          prop_bitset_hash_equal ] );
+      ( "vec",
+        [ Alcotest.test_case "push/pop/peek" `Quick test_vec_push_pop;
+          Alcotest.test_case "truncate" `Quick test_vec_truncate;
+          Alcotest.test_case "floats" `Quick test_vec_float;
+          Alcotest.test_case "sub/iter/fold" `Quick test_vec_sub_iter;
+          Alcotest.test_case "empty errors" `Quick test_vec_empty_errors;
+          prop_vec_roundtrip ] );
+      ( "varint",
+        [ Alcotest.test_case "examples" `Quick test_varint_examples;
+          Alcotest.test_case "truncated input" `Quick test_varint_truncated;
+          prop_varint_roundtrip;
+          prop_varint_list ] );
+      ( "prng",
+        [ Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "int bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "float range" `Quick test_prng_float_range;
+          Alcotest.test_case "shuffle is permutation" `Quick test_prng_shuffle_permutation;
+          Alcotest.test_case "split independence" `Quick test_prng_split_independent ] );
+      ( "texttable+stats",
+        [ Alcotest.test_case "render alignment" `Quick test_texttable_render;
+          Alcotest.test_case "ragged rejected" `Quick test_texttable_ragged;
+          Alcotest.test_case "heatmap" `Quick test_texttable_heatmap;
+          Alcotest.test_case "stats" `Quick test_stats ] ) ]
