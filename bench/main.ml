@@ -35,12 +35,19 @@ module Tsp = Difftrace_workloads.Tsp
 
 let quick = Array.exists (( = ) "--quick") Sys.argv
 let perf_only = Array.exists (( = ) "--perf") Sys.argv
+let engine_only = Array.exists (( = ) "--engine") Sys.argv
 
 let section id title =
   Printf.printf "\n==== %s %s %s\n" id title
     (String.make (max 1 (66 - String.length id - String.length title)) '=')
 
 let spec g f = { A.granularity = g; freq_mode = f }
+
+(* the benches always diff labels they just ranked; fail loudly otherwise *)
+let diffnlr_exn c label =
+  match Pipeline.find_diffnlr c label with
+  | Ok d -> d
+  | Error e -> failwith (Pipeline.lookup_error_to_string e)
 
 (* ------------------------------------------------------------------ *)
 (* §II: odd/even walk-through — Tables I-IV, Figs. 3-6                 *)
@@ -161,7 +168,7 @@ let sec_iig () =
     let suspect = fst c.Pipeline.suspects.(0) in
     print_string
       (Diffnlr.render ~title:(Printf.sprintf "diffNLR(%s)" suspect)
-         (Pipeline.diffnlr c suspect))
+         (diffnlr_exn c suspect))
   in
   run_fault "Fig. 5 + §II-G: swapBug (rank 5 after iteration 7), 16 ranks" "F5"
     (Fault.Swap_send_recv { rank = 5; after_iter = 7 })
@@ -218,7 +225,7 @@ let ilcs_case_study () =
   print_string
     (Diffnlr.render
        ~title:(Printf.sprintf "diffNLR(%s)" nc_label)
-       (Pipeline.diffnlr c nc_label));
+       (diffnlr_exn c nc_label));
 
   section "T7" "Table VII: ranking — MPI deadlock (wrong Allreduce size, rank 2)";
   let faulty_ws =
@@ -241,7 +248,7 @@ let ilcs_case_study () =
   print_string
     (Diffnlr.render
        ~title:(Printf.sprintf "diffNLR(%s)" mid_rank_label)
-       (Pipeline.diffnlr c mid_rank_label));
+       (diffnlr_exn c mid_rank_label));
 
   section "T8" "Table VIII: ranking — wrong collective op (MAX for MIN, rank 0)";
   let faulty_wo =
@@ -261,7 +268,7 @@ let ilcs_case_study () =
   print_string
     (Diffnlr.render
        ~title:(Printf.sprintf "diffNLR(%s)" (if quick then "1.0" else "5.0"))
-       (Pipeline.diffnlr c (if quick then "1.0" else "5.0")))
+       (diffnlr_exn c (if quick then "1.0" else "5.0")))
 
 (* ------------------------------------------------------------------ *)
 (* §V: LULESH — statistics, K sweep, Table IX                          *)
@@ -327,7 +334,7 @@ let heat_study () =
   in
   let suspect = fst c.Pipeline.suspects.(0) in
   Printf.printf "top suspect: %s\n" suspect;
-  let d = Pipeline.diffnlr c suspect in
+  let d = diffnlr_exn c suspect in
   let lines = String.split_on_char '\n' (Diffnlr.render ~title:("diffNLR(" ^ suspect ^ ")") d) in
   List.iteri (fun i l -> if i < 18 then print_endline l) lines;
   (* CCT view: which calling contexts changed *)
@@ -575,6 +582,106 @@ let classification () =
     (Classifier.accuracy m test)
 
 (* ------------------------------------------------------------------ *)
+(* Engine and memo-cache benchmarks                                    *)
+(* ------------------------------------------------------------------ *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let engine_bench () =
+  section "E1" "Engine: sequential vs. parallel JSM + NLR (same bytes out)";
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "host parallelism: %d core(s) (Domain.recommended_domain_count)\n"
+    cores;
+  if cores < 2 then
+    print_endline
+      "NOTE: single-core host — the parallel engine cannot beat sequential \
+       wall-clock here; the byte-identity checks below still exercise it.";
+  (* a synthetic context large enough that the O(n^2) Jaccard stage
+     dominates: n objects with wide, dense, overlapping attribute sets *)
+  let n_objects = if quick then 300 else 800 in
+  let n_attrs = if quick then 300 else 800 in
+  let universe = 3 * n_attrs in
+  let big_ctx =
+    Context.of_attr_sets
+      (List.init n_objects (fun i ->
+           ( Printf.sprintf "o%d" i,
+             List.init n_attrs (fun j ->
+                 Printf.sprintf "a%d" (((i * 7) + (j * 3)) mod universe)) )))
+  in
+  let js, t_seq =
+    time (fun () -> Jsm.compute ~init:(Engine.init Engine.sequential) big_ctx)
+  in
+  let domains = 4 in
+  let par = Engine.parallel ~domains () in
+  let jp, t_par = time (fun () -> Jsm.compute ~init:(Engine.init par) big_ctx) in
+  Printf.printf
+    "JSM %dx%d: sequential %.3fs, parallel(%d) %.3fs — speedup %.2fx, \
+     identical %b\n"
+    n_objects n_objects t_seq domains t_par (t_seq /. t_par) (js = jp);
+  (* whole-pipeline parity on a real workload *)
+  let np = if quick then 8 else 16 in
+  let normal = (fst (Odd_even.run ~np ~fault:Fault.No_fault ())).R.traces in
+  let faulty =
+    (fst
+       (Odd_even.run ~np
+          ~fault:(Fault.Swap_send_recv { rank = 5; after_iter = 7 })
+          ()))
+      .R.traces
+  in
+  let compare_with engine =
+    Pipeline.compare_runs
+      (Config.default |> Config.with_engine engine)
+      ~normal ~faulty
+  in
+  let cs, t_cseq = time (fun () -> compare_with Engine.sequential) in
+  let cp, t_cpar = time (fun () -> compare_with par) in
+  let render c =
+    let suspect = fst c.Pipeline.suspects.(0) in
+    Diffnlr.render ~title:"d" (diffnlr_exn c suspect)
+  in
+  Printf.printf
+    "compare_runs oddeven%d: sequential %.3fs, parallel(%d) %.3fs; bscore, \
+     suspects and diffNLR identical: %b\n"
+    np t_cseq domains t_cpar
+    (cs.Pipeline.bscore = cp.Pipeline.bscore
+    && cs.Pipeline.suspects = cp.Pipeline.suspects
+    && render cs = render cp)
+
+let memo_bench () =
+  section "E2" "Memo: cold vs. warm NLR-summary cache on the autotune grid";
+  let np = if quick then 8 else 16 in
+  let normal = (fst (Odd_even.run ~np ~fault:Fault.No_fault ())).R.traces in
+  let faulty =
+    (fst
+       (Odd_even.run ~np
+          ~fault:(Fault.Swap_send_recv { rank = 5; after_iter = 7 })
+          ()))
+      .R.traces
+  in
+  let r_cold, t_cold = time (fun () -> Autotune.search ~normal ~faulty ()) in
+  let c = r_cold.Autotune.cache in
+  Printf.printf
+    "cold sweep: %d configs in %.3fs — cache %d hits / %d misses (hit rate \
+     %.0f%%)\n"
+    r_cold.Autotune.evaluated t_cold c.Memo.hits c.Memo.misses
+    (100.0 *. Memo.hit_rate c);
+  (* a second sweep against the same memo never re-summarizes anything *)
+  let memo = Memo.create () in
+  let _ = Autotune.search ~memo ~normal ~faulty () in
+  let r_warm, t_warm =
+    time (fun () -> Autotune.search ~memo ~normal ~faulty ())
+  in
+  let w = r_warm.Autotune.cache in
+  Printf.printf
+    "warm sweep: %d configs in %.3fs — cache %d hits / %d misses (speedup \
+     %.2fx)\n"
+    r_warm.Autotune.evaluated t_warm w.Memo.hits w.Memo.misses
+    (t_cold /. t_warm)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel perf benches                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -657,7 +764,11 @@ let perf () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  if not perf_only then begin
+  if engine_only then begin
+    engine_bench ();
+    memo_bench ()
+  end
+  else if not perf_only then begin
     table_i ();
     odd_even_walkthrough ();
     sec_iig ();
@@ -669,6 +780,8 @@ let () =
     stability ();
     baseline_comparison ();
     classification ();
+    engine_bench ();
+    memo_bench ();
     print_newline ();
     print_endline "All reproduction sections completed.";
     print_endline "Run with --perf for Bechamel micro-benchmarks."

@@ -121,6 +121,43 @@ let attrs_t =
 
 let k_t = Arg.(value & opt int 10 & info [ "k" ] ~docv:"K" ~doc:"NLR constant K.")
 
+let engine_conv =
+  let parse s =
+    match Engine.of_string s with
+    | e -> Ok e
+    | exception Invalid_argument _ ->
+      Error (`Msg ("unknown engine (expected sequential or parallel[:N]): " ^ s))
+  in
+  let print ppf e = Format.pp_print_string ppf (Engine.to_string e) in
+  Arg.conv (parse, print)
+
+(* --engine names an engine explicitly; --jobs N is shorthand for
+   parallel:N (0 = auto-detect) and wins when both are given. *)
+let engine_t =
+  let engine =
+    Arg.(
+      value
+      & opt engine_conv Engine.Sequential
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Execution engine for the analysis pipeline: 'sequential' \
+             (default) or 'parallel[:N]' (N domains, auto-detected when \
+             omitted). Results are byte-identical across engines.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Run the NLR and JSM stages on N domains (0 = auto-detect); \
+             shorthand for --engine=parallel:N.")
+  in
+  let combine engine jobs =
+    match jobs with Some n -> Engine.of_jobs n | None -> engine
+  in
+  Term.(const combine $ engine $ jobs)
+
 let linkage_t =
   Arg.(
     value
@@ -130,12 +167,21 @@ let linkage_t =
 
 let level_of all_images = if all_images then Tracer.All_images else Tracer.Main_image
 
-let config_of ~filter ~custom ~attrs ~k ~linkage =
-  Config.make
-    ~filter:(F.of_spec ~custom filter)
-    ~attrs:(A.of_name attrs) ~k
-    ~linkage:(Linkage.method_of_string linkage)
-    ()
+let config_of ~filter ~custom ~attrs ~k ~linkage ~engine =
+  Config.default
+  |> Config.with_filter (F.of_spec ~custom filter)
+  |> Config.with_attrs (A.of_name attrs)
+  |> Config.with_k k
+  |> Config.with_linkage (Linkage.method_of_string linkage)
+  |> Config.with_engine engine
+
+(* render a pipeline lookup, degrading to a clear message listing the
+   known labels when the requested one does not exist *)
+let print_lookup ~render = function
+  | Ok v -> print_string (render v)
+  | Error e ->
+    Printf.eprintf "difftrace: %s\n" (Pipeline.lookup_error_to_string e);
+    exit 1
 
 (* --- run ----------------------------------------------------------- *)
 
@@ -187,13 +233,14 @@ let compare_cmd =
       & info [ "diffnlr" ] ~docv:"LABEL"
           ~doc:"Trace to diff (e.g. '5' or '6.4'); default: top suspect.")
   in
-  let action w np seed fault all_images filter custom attrs k linkage diffnlr =
+  let action w np seed fault all_images filter custom attrs k linkage engine
+      diffnlr =
     if fault = Fault.No_fault then
       prerr_endline "warning: comparing a run against itself (--fault none)";
     let level = level_of all_images in
     let normal = run_workload w ~np ~seed ~level ~fault:Fault.No_fault in
     let faulty = run_workload w ~np ~seed ~level ~fault in
-    let config = config_of ~filter ~custom ~attrs ~k ~linkage in
+    let config = config_of ~filter ~custom ~attrs ~k ~linkage ~engine in
     let c =
       Pipeline.compare_runs config ~normal:normal.R.traces ~faulty:faulty.R.traces
     in
@@ -213,14 +260,16 @@ let compare_cmd =
       | Some l -> l
       | None -> fst c.Pipeline.suspects.(0)
     in
-    print_string
-      (Difftrace_diff.Diffnlr.render
-         ~title:(Printf.sprintf "diffNLR(%s)" target)
-         (Pipeline.diffnlr c target))
+    print_lookup
+      ~render:
+        (Difftrace_diff.Diffnlr.render
+           ~title:(Printf.sprintf "diffNLR(%s)" target))
+      (Pipeline.find_diffnlr c target)
   in
   Cmd.v (Cmd.info "compare" ~doc)
     Term.(const action $ workload_t $ np_t $ seed_t $ fault_t $ all_images_t
-          $ filter_t $ custom_t $ attrs_t $ k_t $ linkage_t $ diffnlr_t)
+          $ filter_t $ custom_t $ attrs_t $ k_t $ linkage_t $ engine_t
+          $ diffnlr_t)
 
 (* --- table --------------------------------------------------------- *)
 
@@ -233,23 +282,24 @@ let table_cmd =
       & info [ "F"; "filter-spec" ] ~docv:"SPEC"
           ~doc:"Filter spec; repeatable for a multi-filter grid.")
   in
-  let action w np seed fault all_images filters custom k linkage =
+  let action w np seed fault all_images filters custom k linkage engine =
     let level = level_of all_images in
     let normal = run_workload w ~np ~seed ~level ~fault:Fault.No_fault in
     let faulty = run_workload w ~np ~seed ~level ~fault in
     let filters = List.map (F.of_spec ~custom) filters in
+    let memo = Memo.create () in
     let rows =
-      Ranking.sweep
+      Ranking.sweep ~memo
         (Ranking.grid ~filters ~k
            ~linkage:(Linkage.method_of_string linkage)
-           ())
+           ~engine ())
         ~normal:normal.R.traces ~faulty:faulty.R.traces
     in
     print_string (Ranking.render rows)
   in
   Cmd.v (Cmd.info "table" ~doc)
     Term.(const action $ workload_t $ np_t $ seed_t $ fault_t $ all_images_t
-          $ filters_t $ custom_t $ k_t $ linkage_t)
+          $ filters_t $ custom_t $ k_t $ linkage_t $ engine_t)
 
 (* --- record / analyze: the offline archive workflow ----------------- *)
 
@@ -298,10 +348,10 @@ let analyze_cmd =
       & opt (some string) None
       & info [ "diffnlr" ] ~docv:"LABEL" ~doc:"Trace to diff; default: top suspect.")
   in
-  let action normal_dir faulty_dir filter custom attrs k linkage diffnlr =
+  let action normal_dir faulty_dir filter custom attrs k linkage engine diffnlr =
     let normal = Difftrace_parlot.Archive.load ~dir:normal_dir in
     let faulty = Difftrace_parlot.Archive.load ~dir:faulty_dir in
-    let config = config_of ~filter ~custom ~attrs ~k ~linkage in
+    let config = config_of ~filter ~custom ~attrs ~k ~linkage ~engine in
     let c = Pipeline.compare_runs config ~normal ~faulty in
     Printf.printf "configuration: %s\n" (Config.name config);
     Printf.printf "B-score: %.3f\n" c.Pipeline.bscore;
@@ -312,14 +362,15 @@ let analyze_cmd =
     let target =
       match diffnlr with Some l -> l | None -> fst c.Pipeline.suspects.(0)
     in
-    print_string
-      (Difftrace_diff.Diffnlr.render
-         ~title:(Printf.sprintf "diffNLR(%s)" target)
-         (Pipeline.diffnlr c target))
+    print_lookup
+      ~render:
+        (Difftrace_diff.Diffnlr.render
+           ~title:(Printf.sprintf "diffNLR(%s)" target))
+      (Pipeline.find_diffnlr c target)
   in
   Cmd.v (Cmd.info "analyze" ~doc)
     Term.(const action $ normal_t $ faulty_t $ filter_t $ custom_t $ attrs_t
-          $ k_t $ linkage_t $ diffnlr_t)
+          $ k_t $ linkage_t $ engine_t $ diffnlr_t)
 
 (* --- triage (single-run analysis, no reference needed) ------------- *)
 
@@ -328,12 +379,12 @@ let triage_cmd =
     "Analyze a single (possibly faulty) run: JSM outliers, dendrogram, and \
      the least-progressed threads — no reference execution needed."
   in
-  let action w np seed fault all_images filter custom attrs k linkage =
+  let action w np seed fault all_images filter custom attrs k linkage engine =
     let outcome = run_workload w ~np ~seed ~level:(level_of all_images) ~fault in
     if outcome.R.deadlocked <> [] then
       Printf.printf "run is HUNG: %d threads never terminated\n"
         (List.length outcome.R.deadlocked);
-    let config = config_of ~filter ~custom ~attrs ~k ~linkage in
+    let config = config_of ~filter ~custom ~attrs ~k ~linkage ~engine in
     let a = Pipeline.analyze config outcome.R.traces in
     print_endline "JSM outliers (most dissimilar traces of this run):";
     let entries = Pipeline.triage a in
@@ -354,7 +405,7 @@ let triage_cmd =
   in
   Cmd.v (Cmd.info "triage" ~doc)
     Term.(const action $ workload_t $ np_t $ seed_t $ fault_t $ all_images_t
-          $ filter_t $ custom_t $ attrs_t $ k_t $ linkage_t)
+          $ filter_t $ custom_t $ attrs_t $ k_t $ linkage_t $ engine_t)
 
 (* --- export (OTF2-style archive) ------------------------------------ *)
 
@@ -434,12 +485,13 @@ let report_cmd =
       & opt (some string) None
       & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write to FILE (default stdout).")
   in
-  let action w np seed fault all_images out =
+  let action w np seed fault all_images engine out =
     let level = level_of all_images in
     let normal = run_workload w ~np ~seed ~level ~fault:Fault.No_fault in
     let faulty = run_workload w ~np ~seed ~level ~fault in
     let report =
-      Report.generate ~fault_label:(Fault.to_string fault) ~normal ~faulty
+      Report.generate ~engine ~fault_label:(Fault.to_string fault) ~normal
+        ~faulty ()
     in
     match out with
     | None -> print_string report.Report.markdown
@@ -452,7 +504,7 @@ let report_cmd =
   in
   Cmd.v (Cmd.info "report" ~doc)
     Term.(const action $ workload_t $ np_t $ seed_t $ fault_t $ all_images_t
-          $ out_t)
+          $ engine_t $ out_t)
 
 (* --- autotune: search the configuration grid ------------------------ *)
 
@@ -468,13 +520,14 @@ let autotune_cmd =
       & opt_all int [ 10 ]
       & info [ "K" ] ~docv:"K" ~doc:"NLR constants to sweep (repeatable).")
   in
-  let action w np seed fault all_images custom ks =
+  let action w np seed fault all_images custom ks engine =
     let level = level_of all_images in
     let normal = run_workload w ~np ~seed ~level ~fault:Fault.No_fault in
     let faulty = run_workload w ~np ~seed ~level ~fault in
     ignore custom;
     let r =
-      Autotune.search ~ks ~normal:normal.R.traces ~faulty:faulty.R.traces ()
+      Autotune.search ~engine ~ks ~normal:normal.R.traces
+        ~faulty:faulty.R.traces ()
     in
     Printf.printf "evaluated %d configurations\n" r.Autotune.evaluated;
     print_string (Autotune.render r);
@@ -485,7 +538,7 @@ let autotune_cmd =
   in
   Cmd.v (Cmd.info "autotune" ~doc)
     Term.(const action $ workload_t $ np_t $ seed_t $ fault_t $ all_images_t
-          $ custom_t $ ks_t)
+          $ custom_t $ ks_t $ engine_t)
 
 (* --- filters ------------------------------------------------------- *)
 

@@ -9,10 +9,9 @@
    relative-debugging loop localizes it. *)
 
 open Difftrace
-module R = Difftrace_simulator.Runtime
-module Api = Difftrace_simulator.Api
-module F = Difftrace_filter.Filter
-module A = Difftrace_fca.Attributes
+module R = Runtime
+module F = Filter
+module A = Attributes
 
 let ring ~tokens ~drop_at env =
   Api.call env "main" (fun () ->
@@ -83,14 +82,17 @@ let () =
 
   let c =
     Pipeline.compare_runs
-      (Config.make ~filter:app_filter
-         ~attrs:{ A.granularity = A.Single; freq_mode = A.Actual }
-         ())
+      (Config.default
+      |> Config.with_filter app_filter
+      |> Config.with_attrs { A.granularity = A.Single; freq_mode = A.Actual })
       ~normal:normal.R.traces ~faulty:faulty.R.traces
   in
   let suspect, score = c.Pipeline.suspects.(0) in
   Printf.printf "top suspect: rank %s (row change %.2f)\n" suspect score;
-  print_string
-    (Difftrace_diff.Diffnlr.render
-       ~title:(Printf.sprintf "diffNLR(%s) — the dropped tokens" suspect)
-       (Pipeline.diffnlr c suspect))
+  match Pipeline.find_diffnlr c suspect with
+  | Ok d ->
+    print_string
+      (Diffnlr.render
+         ~title:(Printf.sprintf "diffNLR(%s) — the dropped tokens" suspect)
+         d)
+  | Error e -> prerr_endline (Pipeline.lookup_error_to_string e)

@@ -15,14 +15,9 @@
         archive for downstream tooling. *)
 
 open Difftrace
-module R = Difftrace_simulator.Runtime
-module Fault = Difftrace_simulator.Fault
-module F = Difftrace_filter.Filter
-module A = Difftrace_fca.Attributes
-module Stacktree = Difftrace_stacktree.Stacktree
-module Progress = Difftrace_temporal.Progress
-module Otf2 = Difftrace_temporal.Otf2
-module Archive = Difftrace_parlot.Archive
+module R = Runtime
+module F = Filter
+module A = Attributes
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -30,13 +25,13 @@ let section title =
 let () =
   section "A LULESH job hangs in production (rank 2 skips LagrangeLeapFrog)";
   let outcome =
-    Difftrace_workloads.Lulesh.run ~edge:4 ~cycles:2
+    Workloads.Lulesh.run ~edge:4 ~cycles:2
       ~fault:(Fault.Skip_function { rank = 2; func = "LagrangeLeapFrog" })
       ()
   in
   Printf.printf "job state: %d of %d threads never terminated\n"
     (List.length outcome.R.deadlocked)
-    (Difftrace_trace.Trace_set.cardinal outcome.R.traces);
+    (Trace_set.cardinal outcome.R.traces);
 
   section "1. Where is everyone? (STAT-style stack prefix tree)";
   let tree = Stacktree.build outcome.R.traces in
@@ -57,10 +52,9 @@ let () =
   section "3. Which traces look unlike the others? (single-run JSM triage)";
   let a =
     Pipeline.analyze
-      (Config.make
-         ~filter:(F.make [ F.Everything ])
-         ~attrs:{ A.granularity = A.Single; freq_mode = A.Actual }
-         ())
+      (Config.default
+      |> Config.with_filter (F.make [ F.Everything ])
+      |> Config.with_attrs { A.granularity = A.Single; freq_mode = A.Actual })
       outcome.R.traces
   in
   let entries = Pipeline.triage a in

@@ -3,14 +3,18 @@
    (Tables VI-VIII) and diffNLRs (Fig. 7). *)
 
 open Difftrace
-module R = Difftrace_simulator.Runtime
-module Fault = Difftrace_simulator.Fault
-module Ilcs = Difftrace_workloads.Ilcs
-module F = Difftrace_filter.Filter
-module A = Difftrace_fca.Attributes
+module R = Runtime
+module Ilcs = Workloads.Ilcs
+module F = Filter
+module A = Attributes
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let render_diffnlr ~title c label =
+  match Pipeline.find_diffnlr c label with
+  | Ok d -> print_string (Diffnlr.render ~title d)
+  | Error e -> prerr_endline (Pipeline.lookup_error_to_string e)
 
 let () =
   let normal_outcome, normal_result = Ilcs.run ~fault:Fault.No_fault () in
@@ -45,14 +49,12 @@ let () =
   print_string (Ranking.render ~max_rows:10 rows);
   let c =
     Pipeline.compare_runs
-      (Config.make ~filter:mem_filter
-         ~attrs:{ A.granularity = A.Double; freq_mode = A.No_freq }
-         ())
+      (Config.default
+      |> Config.with_filter mem_filter
+      |> Config.with_attrs { A.granularity = A.Double; freq_mode = A.No_freq })
       ~normal ~faulty
   in
-  print_string
-    (Difftrace_diff.Diffnlr.render ~title:"diffNLR(6.4) — Fig. 7a"
-       (Pipeline.diffnlr c "6.4"));
+  render_diffnlr ~title:"diffNLR(6.4) — Fig. 7a" c "6.4";
 
   (* --- Table VII: wrong collective size in process 2 ---------------- *)
   section "MPI bug: wrong Allreduce size in process 2 — deadlock (Table VII)";
@@ -76,12 +78,10 @@ let () =
   print_string (Ranking.render ~max_rows:10 rows);
   let c =
     Pipeline.compare_runs
-      (Config.make ~filter:(List.nth mpi_filters 1) ())
+      (Config.default |> Config.with_filter (List.nth mpi_filters 1))
       ~normal ~faulty
   in
-  print_string
-    (Difftrace_diff.Diffnlr.render ~title:"diffNLR(4.0) — Fig. 7b"
-       (Pipeline.diffnlr c "4.0"));
+  render_diffnlr ~title:"diffNLR(4.0) — Fig. 7b" c "4.0";
 
   (* --- Table VIII: wrong collective operation in process 0 ---------- *)
   section "MPI bug: MPI_MAX instead of MPI_MIN in process 0 (Table VIII)";
@@ -97,11 +97,9 @@ let () =
   print_string (Ranking.render ~max_rows:10 rows);
   let c =
     Pipeline.compare_runs
-      (Config.make ~filter:(List.nth mpi_filters 1)
-         ~attrs:{ A.granularity = A.Single; freq_mode = A.Actual }
-         ())
+      (Config.default
+      |> Config.with_filter (List.nth mpi_filters 1)
+      |> Config.with_attrs { A.granularity = A.Single; freq_mode = A.Actual })
       ~normal ~faulty
   in
-  print_string
-    (Difftrace_diff.Diffnlr.render ~title:"diffNLR(5.0) — Fig. 7c"
-       (Pipeline.diffnlr c "5.0"))
+  render_diffnlr ~title:"diffNLR(5.0) — Fig. 7c" c "5.0"

@@ -3,13 +3,9 @@
    skipped-LagrangeLeapFrog fault in rank 2. *)
 
 open Difftrace
-module R = Difftrace_simulator.Runtime
-module Fault = Difftrace_simulator.Fault
-module Lulesh = Difftrace_workloads.Lulesh
-module Trace = Difftrace_trace.Trace
-module Trace_set = Difftrace_trace.Trace_set
-module Nlr = Difftrace_nlr.Nlr
-module F = Difftrace_filter.Filter
+module R = Runtime
+module Lulesh = Workloads.Lulesh
+module F = Filter
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -17,7 +13,7 @@ let section title =
 let () =
   section "Fault-free LULESH2 (8 ranks x 4 OMP threads)";
   let normal, hydro = Lulesh.simulate ~edge:6 ~cycles:2 ~fault:Fault.No_fault () in
-  Format.printf "%a@." Difftrace_parlot.Capture.pp_stats normal.R.stats;
+  Format.printf "%a@." Capture.pp_stats normal.R.stats;
   Printf.printf
     "physics: E_int %.4f + E_kin %.4f = %.4f (deposit 3.0), peak pressure \
      %.3f at cell %d, dt %.3f\n"
@@ -55,14 +51,16 @@ let () =
   section "diffNLR of the skipped rank's master thread";
   let c =
     Pipeline.compare_runs
-      (Config.make ~filter:(F.make [ F.Everything ]) ())
+      (Config.default |> Config.with_filter (F.make [ F.Everything ]))
       ~normal:normal.R.traces ~faulty:faulty.R.traces
   in
-  let d = Pipeline.diffnlr c "2.0" in
-  Printf.printf "common elements: %d, differing elements: %d\n"
-    (Difftrace_diff.Diffnlr.common_length d)
-    (Difftrace_diff.Diffnlr.changed_length d);
-  (* the full figure is large; show the first lines *)
-  let rendered = Difftrace_diff.Diffnlr.render ~title:"diffNLR(2.0)" d in
-  let lines = String.split_on_char '\n' rendered in
-  List.iteri (fun i l -> if i < 28 then print_endline l) lines
+  match Pipeline.find_diffnlr c "2.0" with
+  | Error e -> prerr_endline (Pipeline.lookup_error_to_string e)
+  | Ok d ->
+    Printf.printf "common elements: %d, differing elements: %d\n"
+      (Diffnlr.common_length d)
+      (Diffnlr.changed_length d);
+    (* the full figure is large; show the first lines *)
+    let rendered = Diffnlr.render ~title:"diffNLR(2.0)" d in
+    let lines = String.split_on_char '\n' rendered in
+    List.iteri (fun i l -> if i < 28 then print_endline l) lines

@@ -7,12 +7,7 @@
    (§II-G), rendering both diffNLRs (Figs. 5 and 6). *)
 
 open Difftrace
-module Trace = Difftrace_trace.Trace
-module Trace_set = Difftrace_trace.Trace_set
-module Filter = Difftrace_filter.Filter
-module Nlr = Difftrace_nlr.Nlr
-module Fault = Difftrace_simulator.Fault
-module Odd_even = Difftrace_workloads.Odd_even
+module Odd_even = Workloads.Odd_even
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -20,7 +15,7 @@ let section title =
 let () =
   (* --- a clean 4-rank run (paper Tables II-IV) ---------------------- *)
   let outcome, _ = Odd_even.run ~np:4 ~fault:Fault.No_fault () in
-  let ts = outcome.Difftrace_simulator.Runtime.traces in
+  let ts = outcome.Runtime.traces in
 
   section "Raw traces (Table II), MPI + user-code filter";
   let filter =
@@ -35,7 +30,7 @@ let () =
     (Trace_set.traces shown);
 
   section "NLR of the MPI-only traces (Table III), K=10";
-  let config = Config.make () (* MPI-all filter, sing.noFreq, K=10, ward *) in
+  let config = Config.default (* MPI-all filter, sing.noFreq, K=10, ward *) in
   let analysis = Pipeline.analyze config ts in
   Array.iteri
     (fun i (nlr, _) ->
@@ -52,25 +47,25 @@ let () =
   done;
 
   section "Formal context (Table IV)";
-  print_string (Difftrace_fca.Context.to_table analysis.Pipeline.context);
+  print_string (Context.to_table analysis.Pipeline.context);
 
   section "Concept lattice (Fig. 3, Godin incremental)";
   print_string
-    (Difftrace_fca.Lattice.to_string analysis.Pipeline.context
+    (Lattice.to_string analysis.Pipeline.context
        (Lazy.force analysis.Pipeline.lattice));
 
   section "Jaccard similarity matrix (Fig. 4)";
-  print_string (Difftrace_cluster.Jsm.heatmap analysis.Pipeline.jsm);
+  print_string (Jsm.heatmap analysis.Pipeline.jsm);
 
   (* --- §II-G: swapBug and dlBug with 16 ranks ----------------------- *)
   let np = 16 in
   let normal, _ = Odd_even.run ~np ~fault:Fault.No_fault () in
-  let normal = normal.Difftrace_simulator.Runtime.traces in
+  let normal = normal.Runtime.traces in
 
   let report name fault =
     section (Printf.sprintf "%s with %d ranks" name np);
     let faulty_outcome, _ = Odd_even.run ~np ~fault () in
-    let faulty = faulty_outcome.Difftrace_simulator.Runtime.traces in
+    let faulty = faulty_outcome.Runtime.traces in
     let c = Pipeline.compare_runs config ~normal ~faulty in
     Printf.printf "B-score: %.3f\n" c.Pipeline.bscore;
     Printf.printf "suspicious traces: %s\n"
@@ -79,10 +74,13 @@ let () =
             (fun (l, s) -> Printf.sprintf "%s (%.2f)" l s)
             (Array.to_list c.Pipeline.suspects |> List.filteri (fun i _ -> i < 5))));
     let suspect, _ = c.Pipeline.suspects.(0) in
-    print_string
-      (Difftrace_diff.Diffnlr.render
-         ~title:(Printf.sprintf "diffNLR(%s) — %s" suspect name)
-         (Pipeline.diffnlr c suspect))
+    match Pipeline.find_diffnlr c suspect with
+    | Ok d ->
+      print_string
+        (Diffnlr.render
+           ~title:(Printf.sprintf "diffNLR(%s) — %s" suspect name)
+           d)
+    | Error e -> prerr_endline (Pipeline.lookup_error_to_string e)
   in
   report "swapBug (Fig. 5)" (Fault.Swap_send_recv { rank = 5; after_iter = 7 });
   report "dlBug (Fig. 6)" (Fault.Deadlock_recv { rank = 5; after_iter = 7 })

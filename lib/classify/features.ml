@@ -1,4 +1,4 @@
-module Pipeline = Difftrace.Pipeline
+module Pipeline = Difftrace_core.Pipeline
 module Lattice = Difftrace_fca.Lattice
 module Nlr = Difftrace_nlr.Nlr
 module R = Difftrace_simulator.Runtime
@@ -41,9 +41,9 @@ let extract (c : Pipeline.comparison) ~(faulty_outcome : R.outcome) =
     let acc = ref 0.0 and n = ref 0 in
     Array.iteri
       (fun i label ->
-        match Pipeline.nlr_of c.Pipeline.faulty label with
-        | exception Not_found -> ()
-        | f_nlr, _ ->
+        match Pipeline.find_nlr c.Pipeline.faulty label with
+        | Error _ -> ()
+        | Ok (f_nlr, _) ->
           let n_len = float_of_int (Nlr.length (fst c.Pipeline.normal.Pipeline.nlrs.(i))) in
           let f_len = float_of_int (Nlr.length f_nlr) in
           if n_len > 0.0 then begin

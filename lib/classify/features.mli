@@ -31,6 +31,6 @@ val to_vector : t -> float array
 (** [extract comparison ~faulty_outcome] — build the vector from a
     pipeline comparison plus the faulty run's runtime diagnostics. *)
 val extract :
-  Difftrace.Pipeline.comparison ->
+  Difftrace_core.Pipeline.comparison ->
   faulty_outcome:Difftrace_simulator.Runtime.outcome ->
   t

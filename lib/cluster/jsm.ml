@@ -2,13 +2,13 @@ open Difftrace_fca
 
 type t = { labels : string array; m : float array array }
 
-let of_context ctx =
+let compute ~init ctx =
   let n = Context.n_objects ctx in
   let labels = Array.init n (Context.object_label ctx) in
-  let m =
-    Array.init n (fun i -> Array.init n (fun j -> Context.jaccard ctx i j))
-  in
+  let m = init n (fun i -> Array.init n (fun j -> Context.jaccard ctx i j)) in
   { labels; m }
+
+let of_context ctx = compute ~init:Array.init ctx
 
 let size t = Array.length t.labels
 

@@ -7,7 +7,20 @@
 
 type t = { labels : string array; m : float array array }
 
-(** [of_context ctx] — pairwise Jaccard over the context's objects. *)
+(** [compute ~init ctx] — pairwise Jaccard over the context's objects,
+    with row construction delegated to [init] (same contract as
+    [Array.init]). Rows are independent, so passing a parallel
+    initializer — e.g. the core library's [Engine.init engine] —
+    computes the matrix on several domains; because each row lands in
+    its own slot the result is identical whatever the schedule.
+    [Context.jaccard] only reads the context, so rows may be built
+    concurrently. *)
+val compute :
+  init:(int -> (int -> float array) -> float array array) ->
+  Difftrace_fca.Context.t ->
+  t
+
+(** [of_context ctx] = [compute ~init:Array.init ctx]. *)
 val of_context : Difftrace_fca.Context.t -> t
 
 (** [size t] is the number of traces. *)

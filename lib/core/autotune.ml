@@ -9,10 +9,15 @@ type candidate = {
   top_suspect : string option;
 }
 
-type result = { best : candidate; ranked : candidate list; evaluated : int }
+type result = {
+  best : candidate;
+  ranked : candidate list;
+  evaluated : int;
+  cache : Memo.stats;
+}
 
-let evaluate config ~normal ~faulty =
-  let c = Pipeline.compare_runs config ~normal ~faulty in
+let evaluate ?memo config ~normal ~faulty =
+  let c = Pipeline.compare_runs ?memo config ~normal ~faulty in
   let suspects = c.Pipeline.suspects in
   let total = Array.fold_left (fun acc (_, s) -> acc +. s) 0.0 suspects in
   let concentration =
@@ -32,7 +37,8 @@ let better a b =
   | 0 -> Float.compare b.concentration a.concentration
   | c -> c
 
-let search ?filters ?attrs ?(ks = [ 10 ]) ?linkages ~normal ~faulty () =
+let search ?(engine = Engine.Sequential) ?memo ?filters ?attrs ?(ks = [ 10 ])
+    ?linkages ~normal ~faulty () =
   let filters =
     match filters with
     | Some f -> f
@@ -42,6 +48,10 @@ let search ?filters ?attrs ?(ks = [ 10 ]) ?linkages ~normal ~faulty () =
   let linkages = match linkages with Some l -> l | None -> [ Linkage.Ward ] in
   if filters = [] || attrs = [] || ks = [] || linkages = [] then
     invalid_arg "Autotune.search: empty axis";
+  (* one memo for the whole sweep: grid points that differ only in
+     attributes or linkage reuse every NLR summary *)
+  let memo = match memo with Some m -> m | None -> Memo.create () in
+  let before = Memo.stats memo in
   let candidates =
     List.concat_map
       (fun filter ->
@@ -51,18 +61,31 @@ let search ?filters ?attrs ?(ks = [ 10 ]) ?linkages ~normal ~faulty () =
               (fun k ->
                 List.map
                   (fun linkage ->
-                    evaluate
-                      (Config.make ~filter ~attrs:attr ~k ~linkage ())
-                      ~normal ~faulty)
+                    let config =
+                      Config.default
+                      |> Config.with_filter filter
+                      |> Config.with_attrs attr
+                      |> Config.with_k k
+                      |> Config.with_linkage linkage
+                      |> Config.with_engine engine
+                    in
+                    evaluate ~memo config ~normal ~faulty)
                   linkages)
               ks)
           attrs)
       filters
   in
   let ranked = List.stable_sort better candidates in
+  let after = Memo.stats memo in
   match ranked with
   | [] -> assert false
-  | best :: _ -> { best; ranked; evaluated = List.length candidates }
+  | best :: _ ->
+    { best;
+      ranked;
+      evaluated = List.length candidates;
+      cache =
+        { Memo.hits = after.Memo.hits - before.Memo.hits;
+          misses = after.Memo.misses - before.Memo.misses } }
 
 let render r =
   Difftrace_util.Texttable.render

@@ -9,7 +9,12 @@
     primarily by ascending B-score (most restructured clustering),
     breaking ties by descending {e suspect concentration} (the top
     suspect's share of the total JSM_D row change — a configuration
-    that points at one thread beats one that points everywhere). *)
+    that points at one thread beats one that points everywhere).
+
+    The whole sweep shares one {!Memo.t}, so every grid point that
+    re-filters to the same call sequences with the same NLR constants
+    reuses the cached summaries instead of recomputing them; [cache]
+    reports how much was saved. *)
 
 type candidate = {
   config : Config.t;
@@ -22,14 +27,28 @@ type result = {
   best : candidate;        (** also first in [ranked] *)
   ranked : candidate list;
   evaluated : int;
+  cache : Memo.stats;      (** summary-cache hits/misses of this sweep *)
 }
 
-(** [search ?filters ?attrs ?ks ?linkages ~normal ~faulty ()] —
-    exhaustive deterministic sweep of the cross product. Defaults:
-    MPI-all + everything filters; all six Table V attribute specs;
-    K ∈ {10}; ward linkage. Raises [Invalid_argument] if any axis is
-    empty. *)
+(** [evaluate ?memo config ~normal ~faulty] — score one configuration
+    (a single {!Pipeline.compare_runs}), probing and filling [memo]
+    when given. *)
+val evaluate :
+  ?memo:Memo.t ->
+  Config.t ->
+  normal:Difftrace_trace.Trace_set.t ->
+  faulty:Difftrace_trace.Trace_set.t ->
+  candidate
+
+(** [search ?engine ?memo ?filters ?attrs ?ks ?linkages ~normal ~faulty
+    ()] — exhaustive deterministic sweep of the cross product.
+    Defaults: sequential engine, a fresh memo, MPI-all + everything
+    filters; all six Table V attribute specs; K ∈ {10}; ward linkage.
+    Pass [memo] to keep the cache warm across multiple searches.
+    Raises [Invalid_argument] if any axis is empty. *)
 val search :
+  ?engine:Engine.t ->
+  ?memo:Memo.t ->
   ?filters:Difftrace_filter.Filter.t list ->
   ?attrs:Difftrace_fca.Attributes.spec list ->
   ?ks:int list ->

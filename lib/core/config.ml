@@ -4,9 +4,11 @@ type t = {
   k : int;
   repeats : int;
   linkage : Difftrace_cluster.Linkage.method_;
+  engine : Engine.t;
 }
 
-let make ?filter ?attrs ?(k = 10) ?(repeats = 2) ?linkage () =
+let make ?filter ?attrs ?(k = 10) ?(repeats = 2) ?linkage
+    ?(engine = Engine.Sequential) () =
   { filter =
       (match filter with
       | Some f -> f
@@ -20,7 +22,17 @@ let make ?filter ?attrs ?(k = 10) ?(repeats = 2) ?linkage () =
     k;
     repeats;
     linkage =
-      (match linkage with Some l -> l | None -> Difftrace_cluster.Linkage.Ward) }
+      (match linkage with Some l -> l | None -> Difftrace_cluster.Linkage.Ward);
+    engine }
+
+let default = make ()
+
+let with_filter filter t = { t with filter }
+let with_attrs attrs t = { t with attrs }
+let with_k k t = { t with k }
+let with_repeats repeats t = { t with repeats }
+let with_linkage linkage t = { t with linkage }
+let with_engine engine t = { t with engine }
 
 let filter_name t =
   Printf.sprintf "%s.K%d" (Difftrace_filter.Filter.name t.filter) t.k

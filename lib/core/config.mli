@@ -1,6 +1,10 @@
 (** One point in DiffTrace's parameter space (the dashed box of the
     paper's Fig. 1): front-end filter × FCA attributes × NLR constant ×
-    linkage method. Ranking tables sweep grids of these. *)
+    linkage method. Ranking tables sweep grids of these.
+
+    The [engine] field selects how the pipeline executes — it never
+    changes analysis results (see {!Engine}), so it is not part of the
+    configuration's {!name}. *)
 
 type t = {
   filter : Difftrace_filter.Filter.t;
@@ -8,18 +12,38 @@ type t = {
   k : int;            (** NLR constant K *)
   repeats : int;      (** NLR loop-creation threshold *)
   linkage : Difftrace_cluster.Linkage.method_;
+  engine : Engine.t;  (** execution engine for the hot stages *)
 }
 
-(** [make ?filter ?attrs ?k ?repeats ?linkage ()] — defaults: MPI-all
-    filter, single/noFreq attributes, K=10, repeats=2, ward. *)
+(** [make ?filter ?attrs ?k ?repeats ?linkage ?engine ()] — defaults:
+    MPI-all filter, single/noFreq attributes, K=10, repeats=2, ward,
+    sequential engine. *)
 val make :
   ?filter:Difftrace_filter.Filter.t ->
   ?attrs:Difftrace_fca.Attributes.spec ->
   ?k:int ->
   ?repeats:int ->
   ?linkage:Difftrace_cluster.Linkage.method_ ->
+  ?engine:Engine.t ->
   unit ->
   t
+
+(** [default] = [make ()]. *)
+val default : t
+
+(** {2 With-style builders}
+
+    Functional updates for deriving configurations, in pipeline order:
+    [Config.default |> Config.with_k 50 |> Config.with_linkage Average].
+    Grid construction ({!Autotune}, {!Ranking}) and the CLI build their
+    configurations this way instead of rebuilding records by hand. *)
+
+val with_filter : Difftrace_filter.Filter.t -> t -> t
+val with_attrs : Difftrace_fca.Attributes.spec -> t -> t
+val with_k : int -> t -> t
+val with_repeats : int -> t -> t
+val with_linkage : Difftrace_cluster.Linkage.method_ -> t -> t
+val with_engine : Engine.t -> t -> t
 
 (** [filter_name t] — e.g. ["11.mpiall.cust.K10"] (the paper's filter
     column, K folded in). *)

@@ -1,0 +1,54 @@
+module Nlr = Difftrace_nlr.Nlr
+
+type stats = { hits : int; misses : int }
+
+type key = string
+
+type t = {
+  symtab : Difftrace_trace.Symtab.t;
+  loop_table : Nlr.Loop_table.t;
+  cache : (key, Nlr.t) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () =
+  { symtab = Difftrace_trace.Symtab.create ();
+    loop_table = Nlr.Loop_table.create ();
+    cache = Hashtbl.create 64;
+    hits = 0;
+    misses = 0 }
+
+let symtab t = t.symtab
+let loop_table t = t.loop_table
+
+let key ~ids ~k ~repeats =
+  let buf = Buffer.create ((4 * Array.length ids) + 16) in
+  Buffer.add_string buf (string_of_int k);
+  Buffer.add_char buf ';';
+  Buffer.add_string buf (string_of_int repeats);
+  Array.iter
+    (fun id ->
+      Buffer.add_char buf ';';
+      Buffer.add_string buf (string_of_int id))
+    ids;
+  Digest.string (Buffer.contents buf)
+
+let find t key =
+  match Hashtbl.find_opt t.cache key with
+  | Some _ as hit ->
+    t.hits <- t.hits + 1;
+    hit
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let add t key nlr = Hashtbl.replace t.cache key nlr
+
+let length t = Hashtbl.length t.cache
+
+let stats t = { hits = t.hits; misses = t.misses }
+
+let hit_rate (s : stats) =
+  let total = s.hits + s.misses in
+  if total = 0 then 0.0 else float_of_int s.hits /. float_of_int total

@@ -1,0 +1,58 @@
+(** Content-addressed memoization of NLR trace summaries.
+
+    {!Autotune}'s grid sweep and repeated {!Pipeline.compare_runs}
+    calls re-summarize identical filtered traces for every grid point:
+    two configurations that differ only in FCA attributes or linkage
+    produce the exact same per-trace summaries. A memo carries the
+    execution-wide shared tables (symbol table + loop table) together
+    with a cache keyed by the digest of (filtered call-ID sequence, K,
+    repeats), so a summary is computed once per distinct input and
+    reused across the whole sweep.
+
+    Cached summaries are only meaningful against the memo's own shared
+    tables, which is why the memo {e owns} them: pass the same memo to
+    every [analyze]/[compare_runs] call that should share work, and the
+    pipeline will use [Memo.symtab]/[Memo.loop_table] as its shared
+    tables. Reusing a memo never changes analysis results (B-scores,
+    suspect rankings, JSMs); it can only renumber the cosmetic [L]-ids
+    of loop bodies interleaved by earlier cached runs, because the
+    shared loop table accumulates bodies across all analyses.
+
+    Hit/miss counters are exposed for the bench harness. The structure
+    is not thread-safe; the pipeline probes and fills it only from its
+    sequential stages. *)
+
+type t
+
+type stats = { hits : int; misses : int }
+
+type key
+
+val create : unit -> t
+
+(** The memo's shared symbol table, used by every analysis that passes
+    this memo. *)
+val symtab : t -> Difftrace_trace.Symtab.t
+
+(** The memo's shared loop table; cached summaries index into it. *)
+val loop_table : t -> Difftrace_nlr.Nlr.Loop_table.t
+
+(** [key ~ids ~k ~repeats] — digest of a filtered, symtab-remapped
+    call-ID sequence and the NLR constants. *)
+val key : ids:int array -> k:int -> repeats:int -> key
+
+(** [find t key] — the cached summary, counting a hit or a miss. *)
+val find : t -> key -> Difftrace_nlr.Nlr.t option
+
+(** [add t key nlr] — record a summary (expressed in the memo's shared
+    loop table). *)
+val add : t -> key -> Difftrace_nlr.Nlr.t -> unit
+
+(** [length t] — number of cached summaries. *)
+val length : t -> int
+
+(** Cumulative counters since [create]. *)
+val stats : t -> stats
+
+(** [hit_rate s] ∈ [0, 1]; 0 when no lookups happened. *)
+val hit_rate : stats -> float

@@ -20,6 +20,12 @@ type analysis = {
   jsm : Jsm.t;
 }
 
+type lookup_error = { unknown : string; known : string array }
+
+let lookup_error_to_string e =
+  Printf.sprintf "unknown trace label %S (known labels: %s)" e.unknown
+    (String.concat ", " (Array.to_list e.known))
+
 (* Re-intern a trace's call IDs into the shared symbol table so that
    the normal and faulty runs (separate captures) agree on IDs — a
    precondition for sharing the loop table across the two runs. *)
@@ -28,11 +34,59 @@ let remap_calls ~shared ~own (tr : Trace.t) =
     (fun id -> Symtab.intern shared (Symtab.name own id))
     (Trace.call_ids tr)
 
-let analyze ?symtab ?loop_table (config : Config.t) ts =
-  let shared = match symtab with Some s -> s | None -> Symtab.create () in
-  let table =
-    match loop_table with Some t -> t | None -> Nlr.Loop_table.create ()
+(* Summarize every trace, in three stages:
+   1. probe the memo cache (sequential);
+   2. summarize the misses, each into its own private loop table — the
+      engine may fan this out across domains;
+   3. re-intern the private tables into the shared one in trace order
+      (sequential), which assigns the exact IDs a sequential
+      shared-table run would, and fill the cache.
+   The output is byte-identical across engines and to the historical
+   direct-interning implementation (see {!Nlr.reintern}). *)
+let summarize ~engine ~memo ~table ~k ~repeats idss =
+  let n = Array.length idss in
+  let keys =
+    match memo with
+    | None -> [||]
+    | Some _ -> Array.map (fun ids -> Memo.key ~ids ~k ~repeats) idss
   in
+  let cached =
+    match memo with
+    | None -> Array.make n None
+    | Some m -> Array.map (fun key -> Memo.find m key) keys
+  in
+  let fresh =
+    Engine.init engine n (fun i ->
+        match cached.(i) with
+        | Some _ -> None
+        | None ->
+          let local = Nlr.Loop_table.create () in
+          Some (local, Nlr.of_ids ~table:local ~k ~repeats idss.(i)))
+  in
+  Array.mapi
+    (fun i -> function
+      | None -> (
+        match cached.(i) with Some nlr -> nlr | None -> assert false)
+      | Some (local, nlr) ->
+        let nlr = Nlr.reintern ~from:local ~into:table nlr in
+        (match memo with Some m -> Memo.add m keys.(i) nlr | None -> ());
+        nlr)
+    fresh
+
+let analyze ?symtab ?loop_table ?memo (config : Config.t) ts =
+  let shared, table =
+    match memo with
+    | Some m ->
+      if symtab <> None || loop_table <> None then
+        invalid_arg
+          "Pipeline.analyze: ?memo carries its own shared tables; do not also \
+           pass ?symtab/?loop_table";
+      (Memo.symtab m, Memo.loop_table m)
+    | None ->
+      ( (match symtab with Some s -> s | None -> Symtab.create ()),
+        match loop_table with Some t -> t | None -> Nlr.Loop_table.create () )
+  in
+  let engine = config.Config.engine in
   let filtered = Filter.apply_set config.Config.filter ts in
   let own = Trace_set.symtab filtered in
   let traces = Trace_set.traces filtered in
@@ -40,13 +94,13 @@ let analyze ?symtab ?loop_table (config : Config.t) ts =
      matching the paper's tables *)
   let short = Array.for_all (fun tr -> tr.Trace.tid = 0) traces in
   let labels = Array.map (fun tr -> Trace.label ~short tr) traces in
+  let idss = Array.map (fun tr -> remap_calls ~shared ~own tr) traces in
+  let summaries =
+    summarize ~engine ~memo ~table ~k:config.Config.k
+      ~repeats:config.Config.repeats idss
+  in
   let nlrs =
-    Array.map
-      (fun tr ->
-        let ids = remap_calls ~shared ~own tr in
-        ( Nlr.of_ids ~table ~k:config.Config.k ~repeats:config.Config.repeats ids,
-          tr.Trace.truncated ))
-      traces
+    Array.mapi (fun i nlr -> (nlr, traces.(i).Trace.truncated)) summaries
   in
   let rows =
     Array.to_list
@@ -63,16 +117,22 @@ let analyze ?symtab ?loop_table (config : Config.t) ts =
     nlrs;
     context;
     lattice = lazy (Lattice.of_context_incremental context);
-    jsm = Jsm.of_context context }
+    jsm = Jsm.compute ~init:(Engine.init engine) context }
 
-let nlr_of analysis label =
+let index_of labels label =
   let found = ref None in
   Array.iteri
     (fun i l -> if l = label && !found = None then found := Some i)
-    analysis.labels;
-  match !found with
-  | Some i -> analysis.nlrs.(i)
-  | None -> raise Not_found
+    labels;
+  !found
+
+let find_nlr analysis label =
+  match index_of analysis.labels label with
+  | Some i -> Ok analysis.nlrs.(i)
+  | None -> Error { unknown = label; known = analysis.labels }
+
+let nlr_of analysis label =
+  match find_nlr analysis label with Ok v -> v | Error _ -> raise Not_found
 
 type comparison = {
   cmp_config : Config.t;
@@ -85,11 +145,14 @@ type comparison = {
   only_faulty : string list;
 }
 
-let compare_runs (config : Config.t) ~normal ~faulty =
-  let symtab = Symtab.create () in
-  let loop_table = Nlr.Loop_table.create () in
-  let a_n = analyze ~symtab ~loop_table config normal in
-  let a_f = analyze ~symtab ~loop_table config faulty in
+let compare_runs ?memo (config : Config.t) ~normal ~faulty =
+  let symtab, loop_table =
+    match memo with
+    | Some _ -> (None, None)
+    | None -> (Some (Symtab.create ()), Some (Nlr.Loop_table.create ()))
+  in
+  let a_n = analyze ?symtab ?loop_table ?memo config normal in
+  let a_f = analyze ?symtab ?loop_table ?memo config faulty in
   let jn, jf = Jsm.align a_n.jsm a_f.jsm in
   let jsm_d = Jsm.diff a_n.jsm a_f.jsm in
   let bscore =
@@ -148,9 +211,13 @@ let top_threads ?(limit = 6) c =
   |> List.filteri (fun i _ -> i < limit)
   |> List.map fst
 
+let find_diffnlr c label =
+  match (find_nlr c.normal label, find_nlr c.faulty label) with
+  | Ok n, Ok f -> Ok (Diffnlr.make c.normal.symtab ~normal:n ~faulty:f)
+  | Error e, _ | _, Error e -> Error e
+
 let diffnlr c label =
-  let n = nlr_of c.normal label and f = nlr_of c.faulty label in
-  Diffnlr.make c.normal.symtab ~normal:n ~faulty:f
+  match find_diffnlr c label with Ok d -> d | Error _ -> raise Not_found
 
 type triage_entry = { tr_label : string; tr_score : float; tr_truncated : bool }
 
@@ -194,14 +261,20 @@ let dendrogram analysis =
     let t = Linkage.cluster analysis.config.Config.linkage dist in
     Difftrace_cluster.Dendrogram.render ~labels:analysis.jsm.Jsm.labels t
 
-let raw_calls analysis label =
-  let nlr, _ = nlr_of analysis label in
+let raw_calls analysis (nlr : Nlr.t) =
   Array.to_list
     (Array.map (Symtab.name analysis.symtab)
        (Nlr.expand ~table:analysis.loop_table nlr))
 
+let find_phasediff c label =
+  match (find_nlr c.normal label, find_nlr c.faulty label) with
+  | Ok (n, _), Ok (f, _) ->
+    Ok
+      (Difftrace_diff.Phasediff.compare
+         ~normal:(raw_calls c.normal n)
+         ~faulty:(raw_calls c.faulty f)
+         ())
+  | Error e, _ | _, Error e -> Error e
+
 let phasediff c label =
-  Difftrace_diff.Phasediff.compare
-    ~normal:(raw_calls c.normal label)
-    ~faulty:(raw_calls c.faulty label)
-    ()
+  match find_phasediff c label with Ok p -> p | Error _ -> raise Not_found

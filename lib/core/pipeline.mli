@@ -6,7 +6,13 @@
     faulty execution against a *shared* symbol table and loop table (so
     L-ids mean the same thing in both), then computes JSM_D, the
     B-score between the two hierarchical clusterings, and the
-    suspicious-trace ranking. *)
+    suspicious-trace ranking.
+
+    The two hot stages — per-trace NLR summarization and the O(n²)
+    JSM — execute under the configuration's {!Engine.t}; parallel
+    engines produce byte-identical results to the sequential one.
+    Passing a {!Memo.t} additionally caches NLR summaries across calls,
+    which is what {!Autotune}'s grid sweep relies on. *)
 
 type analysis = {
   config : Config.t;
@@ -21,18 +27,34 @@ type analysis = {
   jsm : Difftrace_cluster.Jsm.t;
 }
 
-(** [analyze ?symtab ?loop_table config ts] — fresh shared tables are
-    created when not supplied. *)
+(** A failed label lookup: the label that was asked for, plus every
+    label the analysis actually has. *)
+type lookup_error = { unknown : string; known : string array }
+
+val lookup_error_to_string : lookup_error -> string
+
+(** [analyze ?symtab ?loop_table ?memo config ts] — fresh shared tables
+    are created when not supplied. When [memo] is given it provides the
+    shared tables itself (passing [?symtab]/[?loop_table] too raises
+    [Invalid_argument]) and NLR summaries are looked up in / added to
+    its cache. *)
 val analyze :
   ?symtab:Difftrace_trace.Symtab.t ->
   ?loop_table:Difftrace_nlr.Nlr.Loop_table.t ->
+  ?memo:Memo.t ->
   Config.t ->
   Difftrace_trace.Trace_set.t ->
   analysis
 
-(** [nlr_of analysis label] — that trace's summary and truncation flag.
-    Raises [Not_found] for unknown labels. *)
+(** [find_nlr analysis label] — that trace's summary and truncation
+    flag, or a {!lookup_error} listing the known labels. *)
+val find_nlr :
+  analysis -> string -> (Difftrace_nlr.Nlr.t * bool, lookup_error) result
+
 val nlr_of : analysis -> string -> Difftrace_nlr.Nlr.t * bool
+[@@ocaml.deprecated "use Pipeline.find_nlr"]
+(** @deprecated Use {!find_nlr}. Raises [Not_found] for unknown
+    labels. *)
 
 type comparison = {
   cmp_config : Config.t;
@@ -48,7 +70,13 @@ type comparison = {
   only_faulty : string list;
 }
 
+(** [compare_runs ?memo config ~normal ~faulty] — when [memo] is given,
+    both analyses share its tables and summary cache (so a repeated
+    comparison, or one inside a grid sweep, reuses every summary whose
+    filtered input and NLR constants are unchanged). Results are
+    independent of [memo] and of the configuration's engine. *)
 val compare_runs :
+  ?memo:Memo.t ->
   Config.t ->
   normal:Difftrace_trace.Trace_set.t ->
   faulty:Difftrace_trace.Trace_set.t ->
@@ -62,9 +90,15 @@ val top_processes : ?limit:int -> comparison -> int list
     ranked by row change, zero-change threads dropped. *)
 val top_threads : ?limit:int -> comparison -> string list
 
-(** [diffnlr c label] — the diffNLR of that thread between the two
-    runs (paper Figs. 5–7). Raises [Not_found] for unknown labels. *)
+(** [find_diffnlr c label] — the diffNLR of that thread between the two
+    runs (paper Figs. 5–7). *)
+val find_diffnlr :
+  comparison -> string -> (Difftrace_diff.Diffnlr.t, lookup_error) result
+
 val diffnlr : comparison -> string -> Difftrace_diff.Diffnlr.t
+[@@ocaml.deprecated "use Pipeline.find_diffnlr"]
+(** @deprecated Use {!find_diffnlr}. Raises [Not_found] for unknown
+    labels. *)
 
 (** {2 Single-run triage}
 
@@ -91,8 +125,13 @@ val render_triage : triage_entry array -> string
     clustering (1 − JSM distances, the analysis's linkage method). *)
 val dendrogram : analysis -> string
 
-(** [phasediff c label] — phase-aware diff of that thread's filtered
-    call sequences (phases cut at MPI collectives; see
-    {!Difftrace_diff.Phasediff}). Raises [Not_found] for unknown
-    labels. *)
+(** [find_phasediff c label] — phase-aware diff of that thread's
+    filtered call sequences (phases cut at MPI collectives; see
+    {!Difftrace_diff.Phasediff}). *)
+val find_phasediff :
+  comparison -> string -> (Difftrace_diff.Phasediff.t, lookup_error) result
+
 val phasediff : comparison -> string -> Difftrace_diff.Phasediff.t
+[@@ocaml.deprecated "use Pipeline.find_phasediff"]
+(** @deprecated Use {!find_phasediff}. Raises [Not_found] for unknown
+    labels. *)

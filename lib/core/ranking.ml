@@ -8,18 +8,26 @@ type row = {
   top_threads : string list;
 }
 
-let grid ~filters ?attrs ?(k = 10) ?linkage () =
+let grid ~filters ?attrs ?(k = 10) ?linkage ?engine () =
   let attrs = match attrs with Some a -> a | None -> Attributes.all in
+  let base =
+    Config.default
+    |> Config.with_k k
+    |> (match linkage with None -> Fun.id | Some l -> Config.with_linkage l)
+    |> match engine with None -> Fun.id | Some e -> Config.with_engine e
+  in
   List.concat_map
     (fun f ->
-      List.map (fun a -> Config.make ~filter:f ~attrs:a ~k ?linkage ()) attrs)
+      List.map
+        (fun a -> base |> Config.with_filter f |> Config.with_attrs a)
+        attrs)
     filters
 
-let sweep configs ~normal ~faulty =
+let sweep ?memo configs ~normal ~faulty =
   let rows =
     List.map
       (fun config ->
-        let c = Pipeline.compare_runs config ~normal ~faulty in
+        let c = Pipeline.compare_runs ?memo config ~normal ~faulty in
         { config;
           bscore = c.Pipeline.bscore;
           top_processes = Pipeline.top_processes c;

@@ -14,19 +14,23 @@ type row = {
   top_threads : string list;
 }
 
-(** [grid ~filters ?attrs ?k ?linkage ()] — the cross product of
-    [filters] × [attrs] (default: all six Table V specs). *)
+(** [grid ~filters ?attrs ?k ?linkage ?engine ()] — the cross product
+    of [filters] × [attrs] (default: all six Table V specs), every
+    configuration carrying the given engine. *)
 val grid :
   filters:Difftrace_filter.Filter.t list ->
   ?attrs:Difftrace_fca.Attributes.spec list ->
   ?k:int ->
   ?linkage:Difftrace_cluster.Linkage.method_ ->
+  ?engine:Engine.t ->
   unit ->
   Config.t list
 
-(** [sweep configs ~normal ~faulty] — one row per configuration,
-    sorted by ascending B-score (ties keep grid order). *)
+(** [sweep ?memo configs ~normal ~faulty] — one row per configuration,
+    sorted by ascending B-score (ties keep grid order). Pass [memo] to
+    share NLR summaries across the sweep (results are unchanged). *)
 val sweep :
+  ?memo:Memo.t ->
   Config.t list ->
   normal:Difftrace_trace.Trace_set.t ->
   faulty:Difftrace_trace.Trace_set.t ->

@@ -10,7 +10,8 @@ type t = {
   top_suspect : string option;
 }
 
-let generate ~fault_label ~(normal : R.outcome) ~(faulty : R.outcome) =
+let generate ?(engine = Engine.Sequential) ~fault_label ~(normal : R.outcome)
+    ~(faulty : R.outcome) () =
   let buf = Buffer.create 8192 in
   let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   pf "# DiffTrace report\n\n";
@@ -28,10 +29,14 @@ let generate ~fault_label ~(normal : R.outcome) ~(faulty : R.outcome) =
         r.R.race_pid r.R.cell_name
         (String.concat "," (List.map string_of_int r.R.tids)))
     faulty.R.races;
-  let search = Autotune.search ~normal:normal.R.traces ~faulty:faulty.R.traces () in
+  let search =
+    Autotune.search ~engine ~normal:normal.R.traces ~faulty:faulty.R.traces ()
+  in
   let best = search.Autotune.best.Autotune.config in
   pf "\n## Configuration search (%d evaluated)\n\n```\n%s```\n"
     search.Autotune.evaluated (Autotune.render search);
+  (* the final comparison runs against fresh tables (no memo) so the
+     rendered diffNLR gets pristine L-ids *)
   let c = Pipeline.compare_runs best ~normal:normal.R.traces ~faulty:faulty.R.traces in
   pf "\n## Comparison under `%s`\n\n" (Config.name best);
   pf "B-score: %.3f\n\nSuspicious traces:\n\n```\n" c.Pipeline.bscore;
@@ -49,14 +54,15 @@ let generate ~fault_label ~(normal : R.outcome) ~(faulty : R.outcome) =
   in
   (match top_suspect with
   | Some suspect ->
-    pf "\n## diffNLR(%s)\n\n```\n%s```\n" suspect
-      (Diffnlr.render (Pipeline.diffnlr c suspect));
-    let pd = Pipeline.phasediff c suspect in
-    (match pd.Phasediff.first_divergent with
-    | Some i ->
-      pf "\n## Phase analysis\n\nfirst divergent phase: %d of %d\n" i
-        pd.Phasediff.total_phases
-    | None -> pf "\n## Phase analysis\n\nno phase-level divergence for %s\n" suspect)
+    (match Pipeline.find_diffnlr c suspect with
+    | Ok d -> pf "\n## diffNLR(%s)\n\n```\n%s```\n" suspect (Diffnlr.render d)
+    | Error e ->
+      pf "\n## diffNLR(%s)\n\n%s\n" suspect (Pipeline.lookup_error_to_string e));
+    (match Pipeline.find_phasediff c suspect with
+    | Ok { Phasediff.first_divergent = Some i; total_phases; _ } ->
+      pf "\n## Phase analysis\n\nfirst divergent phase: %d of %d\n" i total_phases
+    | Ok _ | Error _ ->
+      pf "\n## Phase analysis\n\nno phase-level divergence for %s\n" suspect)
   | None ->
     pf "\n## diffNLR\n\nno suspicious trace (the runs are indistinguishable)\n";
     pf "\n## Phase analysis\n\nnot applicable\n");

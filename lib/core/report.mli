@@ -13,10 +13,15 @@ type t = {
   top_suspect : string option;
 }
 
-(** [generate ~fault_label ~normal ~faulty] — [fault_label] is shown in
-    the header; the outcomes provide traces plus diagnostics. *)
+(** [generate ?engine ~fault_label ~normal ~faulty ()] — [fault_label]
+    is shown in the header; the outcomes provide traces plus
+    diagnostics. [engine] (default sequential) drives the configuration
+    search and every comparison; it does not change the report's
+    content. *)
 val generate :
+  ?engine:Engine.t ->
   fault_label:string ->
   normal:Difftrace_simulator.Runtime.outcome ->
   faulty:Difftrace_simulator.Runtime.outcome ->
+  unit ->
   t

@@ -97,6 +97,22 @@ let of_ids ~table ?(k = 10) ?(repeats = 2) ids =
 
 let length t = Array.length t.elems
 
+let reintern ~from ~into t =
+  let n = Loop_table.size from in
+  let map = Array.make n (-1) in
+  let remap_elem = function
+    | Sym _ as e -> e
+    | Loop { body; count } -> Loop { body = map.(body); count }
+  in
+  (* A body only references loops created before it, so ascending order
+     guarantees [map] is filled for every id a body mentions — and it
+     replays [from]'s intern calls in their original order, which is
+     what keeps shared-table ids identical to a fully sequential run. *)
+  for id = 0 to n - 1 do
+    map.(id) <- Loop_table.intern into (Array.map remap_elem (Loop_table.body from id))
+  done;
+  { t with elems = Array.map remap_elem t.elems }
+
 let expand ~table t =
   let out = Vec.with_capacity t.input_length in
   let rec emit = function

@@ -55,6 +55,22 @@ val of_ids : table:Loop_table.t -> ?k:int -> ?repeats:int -> int array -> t
 (** [length t] is the number of elements of the summary. *)
 val length : t -> int
 
+(** [reintern ~from ~into t] — re-express a summary built against the
+    private table [from] in terms of the table [into], interning
+    [from]'s bodies (all of them, in creation order) and rewriting the
+    loop IDs of [t] accordingly.
+
+    This is how the pipeline parallelizes summarization without giving
+    up determinism: each trace is summarized into its own fresh table
+    on any domain, then re-interned into the execution's shared table
+    sequentially in trace order. Because a summary never references
+    pre-existing shared bodies (its loops all come from its own
+    reduction), the local table is a consistent renaming of what direct
+    shared-table summarization would have produced, and replaying its
+    intern calls in creation order assigns the exact same shared IDs a
+    sequential run would. *)
+val reintern : from:Loop_table.t -> into:Loop_table.t -> t -> t
+
 (** [expand ~table t] is the original function-ID sequence (losslessness
     witness). *)
 val expand : table:Loop_table.t -> t -> int array

@@ -236,14 +236,22 @@ let test_phase_pipeline_integration () =
       (Difftrace.Config.make ~filter:(Difftrace_filter.Filter.make []) ())
       ~normal:normal.R.traces ~faulty:faulty.R.traces
   in
-  let t = Difftrace.Pipeline.phasediff c "1.0" in
+  let t =
+    match Difftrace.Pipeline.find_phasediff c "1.0" with
+    | Ok t -> t
+    | Error e -> Alcotest.fail (Difftrace.Pipeline.lookup_error_to_string e)
+  in
   (match t.Phasediff.first_divergent with
   | Some i ->
     (* the fault fires after iteration 4: early phases must be clean *)
     Alcotest.(check bool) "divergence not in the first phases" true (i >= 3)
   | None -> Alcotest.fail "expected divergence");
   (* the unaffected rank 3 never diverges *)
-  let t3 = Difftrace.Pipeline.phasediff c "3.0" in
+  let t3 =
+    match Difftrace.Pipeline.find_phasediff c "3.0" with
+    | Ok t -> t
+    | Error e -> Alcotest.fail (Difftrace.Pipeline.lookup_error_to_string e)
+  in
   Alcotest.(check (option int)) "rank 3 identical" None t3.Phasediff.first_divergent
 
 let () =

@@ -19,6 +19,11 @@ let oe16_swap =
 
 let spec g f = { A.granularity = g; freq_mode = f }
 
+let diffnlr_exn c label =
+  match Pipeline.find_diffnlr c label with
+  | Ok d -> d
+  | Error e -> Alcotest.fail (Pipeline.lookup_error_to_string e)
+
 (* ------------------------------------------------------------------ *)
 (* Config                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -80,8 +85,12 @@ let test_analyze_jsm_fig4 () =
 
 let test_nlr_of_unknown_label () =
   let a = Pipeline.analyze (Config.make ()) (Lazy.force oe4) in
-  Alcotest.check_raises "unknown label" Not_found (fun () ->
-      ignore (Pipeline.nlr_of a "99"))
+  match Pipeline.find_nlr a "99" with
+  | Ok _ -> Alcotest.fail "lookup of label 99 should fail"
+  | Error e ->
+    Alcotest.(check string) "reports the unknown label" "99" e.Pipeline.unknown;
+    Alcotest.(check (array string)) "error carries the known labels"
+      [| "0"; "1"; "2"; "3" |] e.Pipeline.known
 
 (* ------------------------------------------------------------------ *)
 (* compare_runs on §II-G                                               *)
@@ -103,7 +112,7 @@ let test_swapbug_diffnlr_fig5 () =
     Pipeline.compare_runs (Config.make ())
       ~normal:(Lazy.force oe16_normal) ~faulty:(Lazy.force oe16_swap)
   in
-  let d = Pipeline.diffnlr c "5" in
+  let d = diffnlr_exn c "5" in
   let r = Difftrace_diff.Diffnlr.render d in
   let contains sub s =
     let n = String.length sub and h = String.length s in
@@ -131,7 +140,7 @@ let test_dlbug_truncation_visible () =
   let c =
     Pipeline.compare_runs (Config.make ()) ~normal:(Lazy.force oe16_normal) ~faulty
   in
-  let d = Pipeline.diffnlr c "5" in
+  let d = diffnlr_exn c "5" in
   Alcotest.(check bool) "faulty truncated flag" true d.Difftrace_diff.Diffnlr.faulty_truncated;
   (* the deadlock neighbourhood {4,5,6} must surface under log10 *)
   let c' =
@@ -198,7 +207,9 @@ let test_report_generation () =
   let faulty =
     fst (Odd_even.run ~np:8 ~fault:(Fault.Swap_send_recv { rank = 3; after_iter = 2 }) ())
   in
-  let r = Report.generate ~fault_label:"swapBug(rank=3,after=2)" ~normal ~faulty in
+  let r =
+    Report.generate ~fault_label:"swapBug(rank=3,after=2)" ~normal ~faulty ()
+  in
   let contains sub =
     let s = r.Report.markdown in
     let n = String.length sub and h = String.length s in
@@ -219,7 +230,7 @@ let test_report_hung_run_has_progress () =
   let faulty =
     fst (Odd_even.run ~np:8 ~fault:(Fault.Deadlock_recv { rank = 3; after_iter = 2 }) ())
   in
-  let r = Report.generate ~fault_label:"dlBug" ~normal ~faulty in
+  let r = Report.generate ~fault_label:"dlBug" ~normal ~faulty () in
   let contains sub =
     let s = r.Report.markdown in
     let n = String.length sub and h = String.length s in
@@ -232,7 +243,7 @@ let test_report_hung_run_has_progress () =
 
 let test_report_identical_runs () =
   let normal = fst (Odd_even.run ~np:4 ~fault:Fault.No_fault ()) in
-  let r = Report.generate ~fault_label:"none" ~normal ~faulty:normal in
+  let r = Report.generate ~fault_label:"none" ~normal ~faulty:normal () in
   Alcotest.(check (option string)) "no suspect" None r.Report.top_suspect;
   Alcotest.(check bool) "still renders" true (String.length r.Report.markdown > 200)
 
