@@ -1,0 +1,27 @@
+# Convenience targets mirroring what CI runs (.github/workflows/ci.yml).
+
+.PHONY: all build test bench bench-smoke fmt clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# full paper reproduction + trajectory artifact
+bench:
+	dune exec bench/main.exe -- --json BENCH_OUT.json
+
+# the CI smoke pass: quick engine/memo benches + a parseable artifact
+bench-smoke:
+	dune build @bench-smoke
+
+# rewrite sources in place with ocamlformat (advisory in CI; see the
+# non-blocking fmt job)
+fmt:
+	dune fmt
+
+clean:
+	dune clean

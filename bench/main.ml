@@ -4,10 +4,14 @@
    evaluation (§II walk-through, §IV ILCS Tables VI-VIII / Fig. 7,
    §V LULESH statistics and Table IX), printing paper-style output.
 
-   `--perf` additionally runs the Bechamel micro-benchmarks: the codec,
+   `--perf` instead runs the Bechamel micro-benchmarks: the codec,
    NLR, lattice-construction (Godin vs. NextClosure), JSM, Myers and
-   linkage kernels plus the DESIGN.md ablations. `--quick` shrinks the
-   workloads for CI-speed runs. *)
+   linkage kernels plus the DESIGN.md ablations. `--engine` runs only
+   the engine/memo benches. `--quick` shrinks the workloads for
+   CI-speed runs. `--json FILE` additionally records every named
+   metric, the telemetry stage spans and the pipeline counters into a
+   machine-readable BENCH_*.json trajectory file (schema
+   difftrace-bench/1) that CI archives on every commit. *)
 
 open Difftrace
 module R = Difftrace_simulator.Runtime
@@ -33,9 +37,60 @@ module Ilcs = Difftrace_workloads.Ilcs
 module Lulesh = Difftrace_workloads.Lulesh
 module Tsp = Difftrace_workloads.Tsp
 
-let quick = Array.exists (( = ) "--quick") Sys.argv
-let perf_only = Array.exists (( = ) "--perf") Sys.argv
-let engine_only = Array.exists (( = ) "--engine") Sys.argv
+module Telemetry = Difftrace_obs.Telemetry
+module Json = Telemetry.Json
+
+type options = {
+  quick : bool;
+  perf : bool;
+  engine : bool;
+  json : string option;
+}
+
+let usage oc =
+  output_string oc
+    "usage: bench [--quick] [--perf | --engine] [--json FILE]\n\n\
+    \  (no mode)    regenerate every paper table and figure\n\
+    \  --perf       Bechamel micro-benchmarks only\n\
+    \  --engine     engine/memo-cache benchmarks only\n\
+    \  --quick      shrink workloads to CI scale\n\
+    \  --json FILE  write metrics + telemetry to FILE (difftrace-bench/1)\n"
+
+let opts =
+  let die msg =
+    Printf.eprintf "bench: %s\n" msg;
+    usage stderr;
+    exit 2
+  in
+  let rec parse acc = function
+    | [] -> acc
+    | "--help" :: _ | "-h" :: _ ->
+      usage stdout;
+      exit 0
+    | "--quick" :: rest -> parse { acc with quick = true } rest
+    | "--perf" :: rest -> parse { acc with perf = true } rest
+    | "--engine" :: rest -> parse { acc with engine = true } rest
+    | "--json" :: file :: rest when file = "" || file.[0] <> '-' ->
+      parse { acc with json = Some file } rest
+    | [ "--json" ] | "--json" :: _ -> die "--json requires FILE"
+    | arg :: _ -> die (Printf.sprintf "unrecognized argument %S" arg)
+  in
+  let o =
+    parse
+      { quick = false; perf = false; engine = false; json = None }
+      (List.tl (Array.to_list Sys.argv))
+  in
+  if o.perf && o.engine then die "--perf and --engine are exclusive";
+  o
+
+let quick = opts.quick
+let perf_only = opts.perf
+let engine_only = opts.engine
+
+(* named scalar metrics collected for --json; every section that
+   measures something worth tracking across commits pushes here *)
+let metrics : (string * float * string) list ref = ref []
+let metric ?(unit = "s") name value = metrics := (name, value, unit) :: !metrics
 
 let section id title =
   Printf.printf "\n==== %s %s %s\n" id title
@@ -621,6 +676,10 @@ let engine_bench () =
     "JSM %dx%d: sequential %.3fs, parallel(%d) %.3fs — speedup %.2fx, \
      identical %b\n"
     n_objects n_objects t_seq domains t_par (t_seq /. t_par) (js = jp);
+  metric "engine.jsm.sequential" t_seq;
+  metric "engine.jsm.parallel4" t_par;
+  metric ~unit:"x" "engine.jsm.speedup" (t_seq /. t_par);
+  metric ~unit:"bool" "engine.jsm.identical" (if js = jp then 1.0 else 0.0);
   (* whole-pipeline parity on a real workload *)
   let np = if quick then 8 else 16 in
   let normal = (fst (Odd_even.run ~np ~fault:Fault.No_fault ())).R.traces in
@@ -642,13 +701,18 @@ let engine_bench () =
     let suspect = fst c.Pipeline.suspects.(0) in
     Diffnlr.render ~title:"d" (diffnlr_exn c suspect)
   in
+  let parity =
+    cs.Pipeline.bscore = cp.Pipeline.bscore
+    && cs.Pipeline.suspects = cp.Pipeline.suspects
+    && render cs = render cp
+  in
   Printf.printf
     "compare_runs oddeven%d: sequential %.3fs, parallel(%d) %.3fs; bscore, \
      suspects and diffNLR identical: %b\n"
-    np t_cseq domains t_cpar
-    (cs.Pipeline.bscore = cp.Pipeline.bscore
-    && cs.Pipeline.suspects = cp.Pipeline.suspects
-    && render cs = render cp)
+    np t_cseq domains t_cpar parity;
+  metric "engine.compare.sequential" t_cseq;
+  metric "engine.compare.parallel4" t_cpar;
+  metric ~unit:"bool" "engine.compare.identical" (if parity then 1.0 else 0.0)
 
 let memo_bench () =
   section "E2" "Memo: cold vs. warm NLR-summary cache on the autotune grid";
@@ -668,6 +732,8 @@ let memo_bench () =
      %.0f%%)\n"
     r_cold.Autotune.evaluated t_cold c.Memo.hits c.Memo.misses
     (100.0 *. Memo.hit_rate c);
+  metric "memo.sweep.cold" t_cold;
+  metric ~unit:"ratio" "memo.sweep.cold_hit_rate" (Memo.hit_rate c);
   (* a second sweep against the same memo never re-summarizes anything *)
   let memo = Memo.create () in
   let _ = Autotune.search ~memo ~normal ~faulty () in
@@ -679,7 +745,9 @@ let memo_bench () =
     "warm sweep: %d configs in %.3fs — cache %d hits / %d misses (speedup \
      %.2fx)\n"
     r_warm.Autotune.evaluated t_warm w.Memo.hits w.Memo.misses
-    (t_cold /. t_warm)
+    (t_cold /. t_warm);
+  metric "memo.sweep.warm" t_warm;
+  metric ~unit:"x" "memo.sweep.speedup" (t_cold /. t_warm)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel perf benches                                               *)
@@ -756,14 +824,52 @@ let perf () =
       Hashtbl.iter
         (fun name result ->
           match Analyze.OLS.estimates result with
-          | Some [ est ] -> Printf.printf "%-32s %12.0f ns/run\n" name est
+          | Some [ est ] ->
+            Printf.printf "%-32s %12.0f ns/run\n" name est;
+            metric ~unit:"ns/run" ("perf." ^ name) est
           | _ -> Printf.printf "%-32s (no estimate)\n" name)
         ols)
     tests
 
 (* ------------------------------------------------------------------ *)
+(* --json trajectory artifact                                          *)
+(* ------------------------------------------------------------------ *)
+
+let bench_schema_version = "difftrace-bench/1"
+
+let write_json file =
+  let mode =
+    Json.Obj
+      [ ("quick", Json.Bool opts.quick);
+        ("perf", Json.Bool opts.perf);
+        ("engine", Json.Bool opts.engine) ]
+  in
+  let metric_objs =
+    List.rev_map
+      (fun (name, value, unit) ->
+        Json.Obj
+          [ ("name", Json.String name);
+            ("value", Json.Float value);
+            ("unit", Json.String unit) ])
+      !metrics
+  in
+  let doc =
+    Json.Obj
+      [ ("schema", Json.String bench_schema_version);
+        ("mode", mode);
+        ("metrics", Json.List metric_objs);
+        ("telemetry", Telemetry.report_to_json (Telemetry.report ())) ]
+  in
+  let oc = open_out file in
+  output_string oc (Json.to_string_pretty doc);
+  close_out oc;
+  Printf.printf "\nbench: wrote %d metric(s) to %s (%s)\n"
+    (List.length !metrics) file bench_schema_version
 
 let () =
+  (* with --json, also collect stage spans and pipeline counters so the
+     artifact captures where the time went, not just the headline numbers *)
+  if opts.json <> None then Telemetry.enable ();
   if engine_only then begin
     engine_bench ();
     memo_bench ()
@@ -786,4 +892,5 @@ let () =
     print_endline "All reproduction sections completed.";
     print_endline "Run with --perf for Bechamel micro-benchmarks."
   end
-  else perf ()
+  else perf ();
+  Option.iter write_json opts.json

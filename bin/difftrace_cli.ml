@@ -167,6 +167,60 @@ let linkage_t =
 
 let level_of all_images = if all_images then Tracer.All_images else Tracer.Main_image
 
+(* --- profiling ------------------------------------------------------ *)
+
+(* every analysis command takes --profile (print the per-stage table
+   after the normal output) and --profile-json FILE (write the
+   difftrace-telemetry/1 report, plus the configuration when the
+   command has a single one). Both record the whole command, workload
+   execution and capture included. *)
+let profile_t =
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Record pipeline telemetry (stage timings, allocation, \
+             counters) and print the per-stage tables after the normal \
+             output.")
+  in
+  let profile_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile-json" ] ~docv:"FILE"
+          ~doc:
+            "Record pipeline telemetry and write the machine-readable \
+             report (schema difftrace-telemetry/1, documented in \
+             MANUAL.md) to $(docv).")
+  in
+  Term.(const (fun p j -> (p, j)) $ profile $ profile_json)
+
+let run_profiled (profile, profile_json) ?config f =
+  if not (profile || profile_json <> None) then f ()
+  else begin
+    Telemetry.enable ();
+    let finish () =
+      let rep = Telemetry.report () in
+      Telemetry.disable ();
+      if profile then print_string (Telemetry.render rep);
+      Option.iter
+        (fun file ->
+          let doc =
+            match (Telemetry.report_to_json rep, config) with
+            | Telemetry.Json.Obj kvs, Some c ->
+              Telemetry.Json.Obj (kvs @ [ ("config", Config.to_json c) ])
+            | j, _ -> j
+          in
+          let oc = open_out file in
+          output_string oc (Telemetry.Json.to_string_pretty doc);
+          close_out oc;
+          Printf.eprintf "difftrace: wrote profile to %s\n%!" file)
+        profile_json
+    in
+    Fun.protect ~finally:finish f
+  end
+
 let config_of ~filter ~custom ~attrs ~k ~linkage ~engine =
   Config.default
   |> Config.with_filter (F.of_spec ~custom filter)
@@ -234,13 +288,14 @@ let compare_cmd =
           ~doc:"Trace to diff (e.g. '5' or '6.4'); default: top suspect.")
   in
   let action w np seed fault all_images filter custom attrs k linkage engine
-      diffnlr =
+      diffnlr prof =
     if fault = Fault.No_fault then
       prerr_endline "warning: comparing a run against itself (--fault none)";
     let level = level_of all_images in
+    let config = config_of ~filter ~custom ~attrs ~k ~linkage ~engine in
+    run_profiled prof ~config @@ fun () ->
     let normal = run_workload w ~np ~seed ~level ~fault:Fault.No_fault in
     let faulty = run_workload w ~np ~seed ~level ~fault in
-    let config = config_of ~filter ~custom ~attrs ~k ~linkage ~engine in
     let c =
       Pipeline.compare_runs config ~normal:normal.R.traces ~faulty:faulty.R.traces
     in
@@ -269,7 +324,7 @@ let compare_cmd =
   Cmd.v (Cmd.info "compare" ~doc)
     Term.(const action $ workload_t $ np_t $ seed_t $ fault_t $ all_images_t
           $ filter_t $ custom_t $ attrs_t $ k_t $ linkage_t $ engine_t
-          $ diffnlr_t)
+          $ diffnlr_t $ profile_t)
 
 (* --- table --------------------------------------------------------- *)
 
@@ -282,7 +337,8 @@ let table_cmd =
       & info [ "F"; "filter-spec" ] ~docv:"SPEC"
           ~doc:"Filter spec; repeatable for a multi-filter grid.")
   in
-  let action w np seed fault all_images filters custom k linkage engine =
+  let action w np seed fault all_images filters custom k linkage engine prof =
+    run_profiled prof @@ fun () ->
     let level = level_of all_images in
     let normal = run_workload w ~np ~seed ~level ~fault:Fault.No_fault in
     let faulty = run_workload w ~np ~seed ~level ~fault in
@@ -299,7 +355,7 @@ let table_cmd =
   in
   Cmd.v (Cmd.info "table" ~doc)
     Term.(const action $ workload_t $ np_t $ seed_t $ fault_t $ all_images_t
-          $ filters_t $ custom_t $ k_t $ linkage_t $ engine_t)
+          $ filters_t $ custom_t $ k_t $ linkage_t $ engine_t $ profile_t)
 
 (* --- record / analyze: the offline archive workflow ----------------- *)
 
@@ -348,10 +404,12 @@ let analyze_cmd =
       & opt (some string) None
       & info [ "diffnlr" ] ~docv:"LABEL" ~doc:"Trace to diff; default: top suspect.")
   in
-  let action normal_dir faulty_dir filter custom attrs k linkage engine diffnlr =
+  let action normal_dir faulty_dir filter custom attrs k linkage engine diffnlr
+      prof =
+    let config = config_of ~filter ~custom ~attrs ~k ~linkage ~engine in
+    run_profiled prof ~config @@ fun () ->
     let normal = Difftrace_parlot.Archive.load ~dir:normal_dir in
     let faulty = Difftrace_parlot.Archive.load ~dir:faulty_dir in
-    let config = config_of ~filter ~custom ~attrs ~k ~linkage ~engine in
     let c = Pipeline.compare_runs config ~normal ~faulty in
     Printf.printf "configuration: %s\n" (Config.name config);
     Printf.printf "B-score: %.3f\n" c.Pipeline.bscore;
@@ -370,7 +428,7 @@ let analyze_cmd =
   in
   Cmd.v (Cmd.info "analyze" ~doc)
     Term.(const action $ normal_t $ faulty_t $ filter_t $ custom_t $ attrs_t
-          $ k_t $ linkage_t $ engine_t $ diffnlr_t)
+          $ k_t $ linkage_t $ engine_t $ diffnlr_t $ profile_t)
 
 (* --- triage (single-run analysis, no reference needed) ------------- *)
 
@@ -379,12 +437,14 @@ let triage_cmd =
     "Analyze a single (possibly faulty) run: JSM outliers, dendrogram, and \
      the least-progressed threads — no reference execution needed."
   in
-  let action w np seed fault all_images filter custom attrs k linkage engine =
+  let action w np seed fault all_images filter custom attrs k linkage engine
+      prof =
+    let config = config_of ~filter ~custom ~attrs ~k ~linkage ~engine in
+    run_profiled prof ~config @@ fun () ->
     let outcome = run_workload w ~np ~seed ~level:(level_of all_images) ~fault in
     if outcome.R.deadlocked <> [] then
       Printf.printf "run is HUNG: %d threads never terminated\n"
         (List.length outcome.R.deadlocked);
-    let config = config_of ~filter ~custom ~attrs ~k ~linkage ~engine in
     let a = Pipeline.analyze config outcome.R.traces in
     print_endline "JSM outliers (most dissimilar traces of this run):";
     let entries = Pipeline.triage a in
@@ -405,7 +465,8 @@ let triage_cmd =
   in
   Cmd.v (Cmd.info "triage" ~doc)
     Term.(const action $ workload_t $ np_t $ seed_t $ fault_t $ all_images_t
-          $ filter_t $ custom_t $ attrs_t $ k_t $ linkage_t $ engine_t)
+          $ filter_t $ custom_t $ attrs_t $ k_t $ linkage_t $ engine_t
+          $ profile_t)
 
 (* --- export (OTF2-style archive) ------------------------------------ *)
 
@@ -485,7 +546,8 @@ let report_cmd =
       & opt (some string) None
       & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write to FILE (default stdout).")
   in
-  let action w np seed fault all_images engine out =
+  let action w np seed fault all_images engine out prof =
+    run_profiled prof @@ fun () ->
     let level = level_of all_images in
     let normal = run_workload w ~np ~seed ~level ~fault:Fault.No_fault in
     let faulty = run_workload w ~np ~seed ~level ~fault in
@@ -504,7 +566,7 @@ let report_cmd =
   in
   Cmd.v (Cmd.info "report" ~doc)
     Term.(const action $ workload_t $ np_t $ seed_t $ fault_t $ all_images_t
-          $ engine_t $ out_t)
+          $ engine_t $ out_t $ profile_t)
 
 (* --- autotune: search the configuration grid ------------------------ *)
 
@@ -520,7 +582,8 @@ let autotune_cmd =
       & opt_all int [ 10 ]
       & info [ "K" ] ~docv:"K" ~doc:"NLR constants to sweep (repeatable).")
   in
-  let action w np seed fault all_images custom ks engine =
+  let action w np seed fault all_images custom ks engine prof =
+    run_profiled prof @@ fun () ->
     let level = level_of all_images in
     let normal = run_workload w ~np ~seed ~level ~fault:Fault.No_fault in
     let faulty = run_workload w ~np ~seed ~level ~fault in
@@ -538,7 +601,7 @@ let autotune_cmd =
   in
   Cmd.v (Cmd.info "autotune" ~doc)
     Term.(const action $ workload_t $ np_t $ seed_t $ fault_t $ all_images_t
-          $ custom_t $ ks_t $ engine_t)
+          $ custom_t $ ks_t $ engine_t $ profile_t)
 
 (* --- filters ------------------------------------------------------- *)
 

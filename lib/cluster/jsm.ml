@@ -1,11 +1,22 @@
 open Difftrace_fca
+module Telemetry = Difftrace_obs.Telemetry
+
+(* one count per similarity cell; bumped once per row so the counter
+   stays off the innermost loop. The row function may run on any
+   engine domain — the atomic add keeps the total deterministic. *)
+let c_cells = Telemetry.Counter.make "jsm.cells"
 
 type t = { labels : string array; m : float array array }
 
 let compute ~init ctx =
   let n = Context.n_objects ctx in
   let labels = Array.init n (Context.object_label ctx) in
-  let m = init n (fun i -> Array.init n (fun j -> Context.jaccard ctx i j)) in
+  let m =
+    init n (fun i ->
+        let row = Array.init n (fun j -> Context.jaccard ctx i j) in
+        Telemetry.Counter.add c_cells n;
+        row)
+  in
   { labels; m }
 
 let of_context ctx = compute ~init:Array.init ctx

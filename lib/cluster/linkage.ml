@@ -1,3 +1,5 @@
+let c_merges = Difftrace_obs.Telemetry.Counter.make "linkage.merges"
+
 type method_ = Single | Complete | Average | Weighted | Centroid | Median | Ward
 
 let method_name = function
@@ -113,6 +115,7 @@ let cluster meth m =
     let height = if sq then sqrt (Float.max 0.0 dij) else dij in
     merges := { a; b; dist = height; size = ni + nj } :: !merges
   done;
+  Difftrace_obs.Telemetry.Counter.add c_merges (max 0 (n - 1));
   { n; merges = Array.of_list (List.rev !merges) }
 
 (* Flat cuts use a union-find over the merge prefix. *)

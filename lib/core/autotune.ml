@@ -1,6 +1,9 @@
 module Filter = Difftrace_filter.Filter
 module Attributes = Difftrace_fca.Attributes
 module Linkage = Difftrace_cluster.Linkage
+module Telemetry = Difftrace_obs.Telemetry
+
+let c_evaluated = Telemetry.Counter.make "autotune.configs.evaluated"
 
 type candidate = {
   config : Config.t;
@@ -17,6 +20,7 @@ type result = {
 }
 
 let evaluate ?memo config ~normal ~faulty =
+  Telemetry.Counter.incr c_evaluated;
   let c = Pipeline.compare_runs ?memo config ~normal ~faulty in
   let suspects = c.Pipeline.suspects in
   let total = Array.fold_left (fun acc (_, s) -> acc +. s) 0.0 suspects in
@@ -48,6 +52,7 @@ let search ?(engine = Engine.Sequential) ?memo ?filters ?attrs ?(ks = [ 10 ])
   let linkages = match linkages with Some l -> l | None -> [ Linkage.Ward ] in
   if filters = [] || attrs = [] || ks = [] || linkages = [] then
     invalid_arg "Autotune.search: empty axis";
+  Telemetry.Span.with_ "autotune" @@ fun () ->
   (* one memo for the whole sweep: grid points that differ only in
      attributes or linkage reuse every NLR summary *)
   let memo = match memo with Some m -> m | None -> Memo.create () in

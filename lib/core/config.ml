@@ -42,3 +42,14 @@ let attrs_name t = Difftrace_fca.Attributes.name t.attrs
 let name t =
   Printf.sprintf "%s / %s / %s" (filter_name t) (attrs_name t)
     (Difftrace_cluster.Linkage.method_name t.linkage)
+
+let to_json t =
+  let module Json = Difftrace_obs.Telemetry.Json in
+  Json.Obj
+    [ ("filter", Json.String (Difftrace_filter.Filter.name t.filter));
+      ("attrs", Json.String (attrs_name t));
+      ("k", Json.Int t.k);
+      ("repeats", Json.Int t.repeats);
+      ( "linkage",
+        Json.String (Difftrace_cluster.Linkage.method_name t.linkage) );
+      ("engine", Json.String (Engine.to_string t.engine)) ]

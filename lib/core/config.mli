@@ -54,3 +54,8 @@ val attrs_name : t -> string
 
 (** [name t] — full label including the linkage. *)
 val name : t -> string
+
+(** The configuration as a JSON object (filter/attrs/k/repeats/linkage
+    by name plus the engine) — embedded in [--profile-json] reports and
+    bench artifacts so a recorded run names its parameters. *)
+val to_json : t -> Difftrace_obs.Telemetry.Json.t

@@ -1,3 +1,5 @@
+module Telemetry = Difftrace_obs.Telemetry
+
 type t = Sequential | Parallel of { domains : int }
 
 let sequential = Sequential
@@ -57,20 +59,23 @@ let chunked_init ~domains n f =
     Mutex.unlock mu;
     start
   in
+  (* the span is anchored at the root so the caller's share and every
+     helper domain's share aggregate under one "engine.worker" path *)
   let worker () =
-    let running = ref true in
-    while !running do
-      let start = claim () in
-      if start >= n then running := false
-      else
-        for i = start to min n (start + chunk) - 1 do
-          results.(i) <-
-            Some
-              (match f i with
-              | v -> Ok v
-              | exception e -> Error (e, Printexc.get_raw_backtrace ()))
-        done
-    done
+    Telemetry.Span.with_root "engine.worker" (fun () ->
+        let running = ref true in
+        while !running do
+          let start = claim () in
+          if start >= n then running := false
+          else
+            for i = start to min n (start + chunk) - 1 do
+              results.(i) <-
+                Some
+                  (match f i with
+                  | v -> Ok v
+                  | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+            done
+        done)
   in
   let helpers =
     List.init (min domains n - 1) (fun _ -> Domain.spawn worker)

@@ -1,4 +1,9 @@
 module Nlr = Difftrace_nlr.Nlr
+module Telemetry = Difftrace_obs.Telemetry
+
+(* process-wide telemetry view of every memo instance's traffic *)
+let c_hits = Telemetry.Counter.make "memo.hits"
+let c_misses = Telemetry.Counter.make "memo.misses"
 
 type stats = { hits : int; misses : int }
 
@@ -38,9 +43,11 @@ let find t key =
   match Hashtbl.find_opt t.cache key with
   | Some _ as hit ->
     t.hits <- t.hits + 1;
+    Telemetry.Counter.incr c_hits;
     hit
   | None ->
     t.misses <- t.misses + 1;
+    Telemetry.Counter.incr c_misses;
     None
 
 let add t key nlr = Hashtbl.replace t.cache key nlr

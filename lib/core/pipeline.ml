@@ -8,6 +8,11 @@ module Jsm = Difftrace_cluster.Jsm
 module Linkage = Difftrace_cluster.Linkage
 module Bscore = Difftrace_cluster.Bscore
 module Diffnlr = Difftrace_diff.Diffnlr
+module Telemetry = Difftrace_obs.Telemetry
+module Span = Telemetry.Span
+
+let c_summaries = Telemetry.Counter.make "nlr.summaries"
+let c_traces = Telemetry.Counter.make "pipeline.traces.analyzed"
 
 type analysis = {
   config : Config.t;
@@ -44,6 +49,7 @@ let remap_calls ~shared ~own (tr : Trace.t) =
    The output is byte-identical across engines and to the historical
    direct-interning implementation (see {!Nlr.reintern}). *)
 let summarize ~engine ~memo ~table ~k ~repeats idss =
+  Span.with_ "summarize" @@ fun () ->
   let n = Array.length idss in
   let keys =
     match memo with
@@ -63,6 +69,10 @@ let summarize ~engine ~memo ~table ~k ~repeats idss =
           let local = Nlr.Loop_table.create () in
           Some (local, Nlr.of_ids ~table:local ~k ~repeats idss.(i)))
   in
+  Telemetry.Counter.add c_summaries
+    (Array.fold_left
+       (fun acc o -> match o with Some _ -> acc + 1 | None -> acc)
+       0 fresh);
   Array.mapi
     (fun i -> function
       | None -> (
@@ -86,10 +96,12 @@ let analyze ?symtab ?loop_table ?memo (config : Config.t) ts =
       ( (match symtab with Some s -> s | None -> Symtab.create ()),
         match loop_table with Some t -> t | None -> Nlr.Loop_table.create () )
   in
+  Span.with_ "analyze" @@ fun () ->
   let engine = config.Config.engine in
-  let filtered = Filter.apply_set config.Config.filter ts in
+  let filtered = Span.with_ "filter" (fun () -> Filter.apply_set config.Config.filter ts) in
   let own = Trace_set.symtab filtered in
   let traces = Trace_set.traces filtered in
+  Telemetry.Counter.add c_traces (Array.length traces);
   (* single-threaded runs are labeled "5", hybrid runs "5.0"/"5.4",
      matching the paper's tables *)
   let short = Array.for_all (fun tr -> tr.Trace.tid = 0) traces in
@@ -103,21 +115,22 @@ let analyze ?symtab ?loop_table ?memo (config : Config.t) ts =
     Array.mapi (fun i nlr -> (nlr, traces.(i).Trace.truncated)) summaries
   in
   let rows =
+    Span.with_ "attributes" @@ fun () ->
     Array.to_list
       (Array.mapi
          (fun i (nlr, _) ->
            (labels.(i), Attributes.of_nlr config.Config.attrs shared nlr))
          nlrs)
   in
-  let context = Context.of_attr_sets rows in
+  let context = Span.with_ "context" (fun () -> Context.of_attr_sets rows) in
   { config;
     symtab = shared;
     loop_table = table;
     labels;
     nlrs;
     context;
-    lattice = lazy (Lattice.of_context_incremental context);
-    jsm = Jsm.compute ~init:(Engine.init engine) context }
+    lattice = lazy (Span.with_ "lattice" (fun () -> Lattice.of_context_incremental context));
+    jsm = Span.with_ "jsm" (fun () -> Jsm.compute ~init:(Engine.init engine) context) }
 
 let index_of labels label =
   let found = ref None in
@@ -146,6 +159,7 @@ type comparison = {
 }
 
 let compare_runs ?memo (config : Config.t) ~normal ~faulty =
+  Span.with_ "compare_runs" @@ fun () ->
   let symtab, loop_table =
     match memo with
     | Some _ -> (None, None)
@@ -153,9 +167,10 @@ let compare_runs ?memo (config : Config.t) ~normal ~faulty =
   in
   let a_n = analyze ?symtab ?loop_table ?memo config normal in
   let a_f = analyze ?symtab ?loop_table ?memo config faulty in
-  let jn, jf = Jsm.align a_n.jsm a_f.jsm in
-  let jsm_d = Jsm.diff a_n.jsm a_f.jsm in
+  let jn, jf = Span.with_ "align" (fun () -> Jsm.align a_n.jsm a_f.jsm) in
+  let jsm_d = Span.with_ "jsm_d" (fun () -> Jsm.diff a_n.jsm a_f.jsm) in
   let bscore =
+    Span.with_ "cluster" @@ fun () ->
     if Jsm.size jsm_d < 2 then 1.0
     else
       let meth = config.Config.linkage in
@@ -213,7 +228,10 @@ let top_threads ?(limit = 6) c =
 
 let find_diffnlr c label =
   match (find_nlr c.normal label, find_nlr c.faulty label) with
-  | Ok n, Ok f -> Ok (Diffnlr.make c.normal.symtab ~normal:n ~faulty:f)
+  | Ok n, Ok f ->
+    Ok
+      (Span.with_ "diffnlr" (fun () ->
+           Diffnlr.make c.normal.symtab ~normal:n ~faulty:f))
   | Error e, _ | _, Error e -> Error e
 
 let diffnlr c label =
@@ -270,10 +288,11 @@ let find_phasediff c label =
   match (find_nlr c.normal label, find_nlr c.faulty label) with
   | Ok (n, _), Ok (f, _) ->
     Ok
-      (Difftrace_diff.Phasediff.compare
-         ~normal:(raw_calls c.normal n)
-         ~faulty:(raw_calls c.faulty f)
-         ())
+      (Span.with_ "phasediff" (fun () ->
+           Difftrace_diff.Phasediff.compare
+             ~normal:(raw_calls c.normal n)
+             ~faulty:(raw_calls c.faulty f)
+             ()))
   | Error e, _ | _, Error e -> Error e
 
 let phasediff c label =

@@ -24,6 +24,7 @@ let grid ~filters ?attrs ?(k = 10) ?linkage ?engine () =
     filters
 
 let sweep ?memo configs ~normal ~faulty =
+  Difftrace_obs.Telemetry.Span.with_ "ranking.sweep" @@ fun () ->
   let rows =
     List.map
       (fun config ->

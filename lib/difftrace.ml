@@ -6,6 +6,9 @@
     dotted paths. The aliases are plain module bindings, so all types
     are interchangeable with the underlying libraries'. *)
 
+(* Observability: spans, counters, profile reports. *)
+module Telemetry = Difftrace_obs.Telemetry
+
 (* Analysis toolkit (lib/core). *)
 module Config = Difftrace_core.Config
 module Engine = Difftrace_core.Engine

@@ -46,7 +46,11 @@ let common_objects t attrs =
   done;
   acc
 
-let closure t attrs = common_attrs t (common_objects t attrs)
+let c_closures = Difftrace_obs.Telemetry.Counter.make "fca.closures"
+
+let closure t attrs =
+  Difftrace_obs.Telemetry.Counter.incr c_closures;
+  common_attrs t (common_objects t attrs)
 
 let jaccard t i j = Bitset.jaccard t.incidence.(i) t.incidence.(j)
 

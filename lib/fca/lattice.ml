@@ -1,4 +1,10 @@
 open Difftrace_util
+module Telemetry = Difftrace_obs.Telemetry
+
+(* concepts materialized by either construction; Godin additionally
+   counts per-object incremental updates *)
+let c_concepts = Telemetry.Counter.make "lattice.concepts"
+let c_inserts = Telemetry.Counter.make "lattice.godin.inserts"
 
 type concept = { extent : Bitset.t; intent : Bitset.t }
 
@@ -71,6 +77,7 @@ let of_context_batch ctx =
       (fun intent -> { extent = Context.common_objects ctx intent; intent })
       uniq
   in
+  Telemetry.Counter.add c_concepts (List.length concepts);
   { concepts = canonical (Array.of_list concepts) }
 
 (* --- Godin's incremental algorithm --------------------------------- *)
@@ -91,6 +98,7 @@ let of_context_incremental ctx =
   (* virtual bottom: empty extent, full intent *)
   add_concept { extent = Bitset.create n; intent = Bitset.full m };
   for g = 0 to n - 1 do
+    Telemetry.Counter.incr c_inserts;
     let ag = Context.object_attrs ctx g in
     (* candidate new intents: intent(C) ∩ A(g) for every concept C,
        with extent = union of extents of concepts whose intent ⊇ J
@@ -142,6 +150,7 @@ let of_context_incremental ctx =
     |> List.filter (fun c ->
            Bitset.equal (Context.common_attrs ctx c.extent) c.intent)
   in
+  Telemetry.Counter.add c_concepts (List.length real);
   { concepts = canonical (Array.of_list real) }
 
 (* --- queries -------------------------------------------------------- *)

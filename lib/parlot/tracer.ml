@@ -1,5 +1,11 @@
 open Difftrace_util
 open Difftrace_trace
+module Telemetry = Difftrace_obs.Telemetry
+
+let c_captured = Telemetry.Counter.make "parlot.events.captured"
+let c_compressed = Telemetry.Counter.make "parlot.bytes.compressed"
+let c_decoded_traces = Telemetry.Counter.make "parlot.traces.decoded"
+let c_decoded_events = Telemetry.Counter.make "parlot.events.decoded"
 
 type image = Main | Library
 type level = Main_image | All_images
@@ -33,6 +39,7 @@ let record t event =
   Buffer.clear t.scratch;
   Varint.write t.scratch (Event.encode event);
   Lzw.feed_string t.encoder (Buffer.contents t.scratch);
+  Telemetry.Counter.incr c_captured;
   t.nevents <- t.nevents + 1
 
 let on_call ?(image = Main) t name =
@@ -50,7 +57,10 @@ let scoped ?image t name f =
 let set_truncated t = t.truncated <- true
 let events_recorded t = t.nevents
 let compressed_so_far t = Lzw.output_size t.encoder
-let finish t = (Lzw.finish t.encoder, t.truncated)
+let finish t =
+  let data = Lzw.finish t.encoder in
+  Telemetry.Counter.add c_compressed (String.length data);
+  (data, t.truncated)
 
 let decode ~symtab ~pid ~tid ~truncated data =
   let raw = Lzw.decompress data in
@@ -65,4 +75,6 @@ let decode ~symtab ~pid ~tid ~truncated data =
   in
   go 0;
   ignore symtab;
+  Telemetry.Counter.incr c_decoded_traces;
+  Telemetry.Counter.add c_decoded_events (Vec.length events);
   Trace.make ~pid ~tid ~truncated (Vec.to_array events)
