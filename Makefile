@@ -1,6 +1,6 @@
 # Convenience targets mirroring what CI runs (.github/workflows/ci.yml).
 
-.PHONY: all build test bench bench-smoke fmt clean
+.PHONY: all build test bench bench-smoke fuzz-smoke fmt clean
 
 all: build
 
@@ -17,6 +17,12 @@ bench:
 # the CI smoke pass: quick engine/memo benches + a parseable artifact
 bench-smoke:
 	dune build @bench-smoke
+
+# the archive fault-injection corpus on its own: deterministic bit
+# flips, truncations, chunk deletions and garbage appends against v1/v2
+# archives (see test/test_archive.ml, "resilience" suite)
+fuzz-smoke:
+	dune exec test/test_archive.exe -- test resilience
 
 # rewrite sources in place with ocamlformat (advisory in CI; see the
 # non-blocking fmt job)

@@ -370,16 +370,26 @@ let record_cmd =
       & opt (some string) None
       & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Archive directory to write.")
   in
-  let action w np seed fault all_images out =
+  let v1_t =
+    Arg.(
+      value & flag
+      & info [ "v1" ]
+          ~doc:
+            "Write the legacy v1 archive format (bare LZW streams, no \
+             checksums) instead of the framed, checksummed v2 format.")
+  in
+  let action w np seed fault all_images out v1 =
     let outcome = run_workload w ~np ~seed ~level:(level_of all_images) ~fault in
-    let n = Difftrace_parlot.Archive.save ~dir:out outcome.R.traces in
+    let format = if v1 then Archive.V1 else Archive.V2 in
+    let n = Archive.save ~format ~dir:out outcome.R.traces in
     Printf.printf "archived %d trace files to %s\n" n out;
     if outcome.R.deadlocked <> [] then
       Printf.printf "(the run was HUNG: %d threads truncated)\n"
         (List.length outcome.R.deadlocked)
   in
   Cmd.v (Cmd.info "record" ~doc)
-    Term.(const action $ workload_t $ np_t $ seed_t $ fault_t $ all_images_t $ out_t)
+    Term.(const action $ workload_t $ np_t $ seed_t $ fault_t $ all_images_t $ out_t
+          $ v1_t)
 
 let analyze_cmd =
   let doc =
@@ -404,12 +414,44 @@ let analyze_cmd =
       & opt (some string) None
       & info [ "diffnlr" ] ~docv:"LABEL" ~doc:"Trace to diff; default: top suspect.")
   in
-  let action normal_dir faulty_dir filter custom attrs k linkage engine diffnlr
-      prof =
+  let salvage_t =
+    Arg.(
+      value & flag
+      & info [ "salvage" ]
+          ~doc:
+            "Recover damaged archives: keep the longest checksum-valid, \
+             cleanly-decoding prefix of each corrupt trace (marked \
+             truncated) instead of refusing the whole run.")
+  in
+  let action normal_dir faulty_dir filter custom attrs k linkage engine salvage
+      diffnlr prof =
     let config = config_of ~filter ~custom ~attrs ~k ~linkage ~engine in
     run_profiled prof ~config @@ fun () ->
-    let normal = Difftrace_parlot.Archive.load ~dir:normal_dir in
-    let faulty = Difftrace_parlot.Archive.load ~dir:faulty_dir in
+    (* per-thread archive decodes run under the same engine as the
+       analysis stages *)
+    let runner = { Archive.run = (fun n f -> Engine.init engine n f) } in
+    let load_archive dir =
+      match Archive.load ~runner ~salvage ~dir () with
+      | Error e ->
+        Printf.eprintf "difftrace: %s\n" (Archive.error_to_string e);
+        if not salvage then
+          prerr_endline
+            "hint: --salvage recovers the checksum-valid prefix of damaged \
+             traces";
+        exit 1
+      | Ok l ->
+        List.iter
+          (fun s ->
+            Printf.printf
+              "salvaged trace %d.%d: %d events recovered, %d bytes dropped \
+               (%s)\n"
+              s.Archive.sv_pid s.Archive.sv_tid s.Archive.sv_events
+              s.Archive.sv_dropped_bytes s.Archive.sv_reason)
+          l.Archive.salvaged;
+        l.Archive.set
+    in
+    let normal = load_archive normal_dir in
+    let faulty = load_archive faulty_dir in
     let c = Pipeline.compare_runs config ~normal ~faulty in
     Printf.printf "configuration: %s\n" (Config.name config);
     Printf.printf "B-score: %.3f\n" c.Pipeline.bscore;
@@ -428,7 +470,67 @@ let analyze_cmd =
   in
   Cmd.v (Cmd.info "analyze" ~doc)
     Term.(const action $ normal_t $ faulty_t $ filter_t $ custom_t $ attrs_t
-          $ k_t $ linkage_t $ engine_t $ diffnlr_t $ profile_t)
+          $ k_t $ linkage_t $ engine_t $ salvage_t $ diffnlr_t $ profile_t)
+
+(* --- archive: integrity tooling ------------------------------------- *)
+
+let archive_cmd =
+  let dir_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "d"; "dir" ] ~docv:"DIR" ~doc:"Archive directory.")
+  in
+  let runner_of engine = { Archive.run = (fun n f -> Engine.init engine n f) } in
+  let verify_cmd =
+    let doc =
+      "Scan an archive's checksummed chunks and event streams; print one \
+       integrity row per trace. Exits 1 if any trace is damaged."
+    in
+    let action dir engine =
+      match Archive.verify ~runner:(runner_of engine) ~dir () with
+      | Error e ->
+        Printf.eprintf "difftrace: %s\n" (Archive.error_to_string e);
+        exit 1
+      | Ok r ->
+        print_string (Archive.render_report r);
+        if not r.Archive.rp_ok then exit 1
+    in
+    Cmd.v (Cmd.info "verify" ~doc) Term.(const action $ dir_t $ engine_t)
+  in
+  let repair_cmd =
+    let doc =
+      "Salvage a damaged archive: recover the longest checksum-valid prefix \
+       of every trace and rewrite a clean v2 archive."
+    in
+    let out_t =
+      Arg.(
+        required
+        & opt (some string) None
+        & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Directory for the repaired archive.")
+    in
+    let action dir out engine =
+      match Archive.repair ~runner:(runner_of engine) ~src:dir ~dst:out () with
+      | Error e ->
+        Printf.eprintf "difftrace: %s\n" (Archive.error_to_string e);
+        exit 1
+      | Ok (l, files) ->
+        List.iter
+          (fun s ->
+            Printf.printf
+              "salvaged trace %d.%d: %d events recovered, %d bytes dropped \
+               (%s)\n"
+              s.Archive.sv_pid s.Archive.sv_tid s.Archive.sv_events
+              s.Archive.sv_dropped_bytes s.Archive.sv_reason)
+          l.Archive.salvaged;
+        Printf.printf "wrote %d repaired trace files to %s (%d salvaged)\n"
+          files out
+          (List.length l.Archive.salvaged)
+    in
+    Cmd.v (Cmd.info "repair" ~doc) Term.(const action $ dir_t $ out_t $ engine_t)
+  in
+  let doc = "Archive integrity tooling: verify checksums, repair damage." in
+  Cmd.group (Cmd.info "archive" ~doc) [ verify_cmd; repair_cmd ]
 
 (* --- triage (single-run analysis, no reference needed) ------------- *)
 
@@ -620,5 +722,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; compare_cmd; table_cmd; record_cmd; analyze_cmd; triage_cmd;
-            autotune_cmd; report_cmd; explore_cmd; export_cmd; filters_cmd ]))
+          [ run_cmd; compare_cmd; table_cmd; record_cmd; analyze_cmd;
+            archive_cmd; triage_cmd; autotune_cmd; report_cmd; explore_cmd;
+            export_cmd; filters_cmd ]))

@@ -3,39 +3,58 @@ module Telemetry = Difftrace_obs.Telemetry
 
 (* one count per similarity cell; bumped once per row so the counter
    stays off the innermost loop. The row function may run on any
-   engine domain — the atomic add keeps the total deterministic. *)
+   engine domain — the atomic add keeps the total deterministic.
+   [jsm.cells] counts matrix cells filled (n², stable across commits);
+   [jsm.jaccard_evals] counts actual Jaccard evaluations, which the
+   symmetry optimization below halves to n(n+1)/2. *)
 let c_cells = Telemetry.Counter.make "jsm.cells"
+let c_evals = Telemetry.Counter.make "jsm.jaccard_evals"
 
 type t = { labels : string array; m : float array array }
 
 let compute ~init ctx =
   let n = Context.n_objects ctx in
   let labels = Array.init n (Context.object_label ctx) in
+  (* Jaccard is symmetric, so each row evaluates only its upper
+     triangle (j >= i); the strict lower triangle is mirrored from the
+     transposed cell afterwards. Rows stay independent, so any
+     [Array.init]-contract engine initializer schedules them freely. *)
   let m =
     init n (fun i ->
-        let row = Array.init n (fun j -> Context.jaccard ctx i j) in
+        let row =
+          Array.init n (fun j -> if j < i then 0.0 else Context.jaccard ctx i j)
+        in
         Telemetry.Counter.add c_cells n;
+        Telemetry.Counter.add c_evals (n - i);
         row)
   in
+  for i = 1 to n - 1 do
+    for j = 0 to i - 1 do
+      m.(i).(j) <- m.(j).(i)
+    done
+  done;
   { labels; m }
 
 let of_context ctx = compute ~init:Array.init ctx
 
 let size t = Array.length t.labels
 
-let index_of labels l =
-  let found = ref (-1) in
-  Array.iteri (fun i x -> if x = l && !found < 0 then found := i) labels;
-  !found
+(* label -> first index, replacing the former linear scan per lookup
+   that made [align] O(n³) in trace count *)
+let index_table labels =
+  let tbl = Hashtbl.create (2 * Array.length labels) in
+  Array.iteri (fun i l -> if not (Hashtbl.mem tbl l) then Hashtbl.add tbl l i) labels;
+  tbl
 
 let align a b =
+  let a_index = index_table a.labels and b_index = index_table b.labels in
   let common =
-    Array.to_list a.labels |> List.filter (fun l -> index_of b.labels l >= 0)
+    Array.to_list a.labels |> List.filter (fun l -> Hashtbl.mem b_index l)
   in
   let labels = Array.of_list common in
   let n = Array.length labels in
-  let ai = Array.map (fun l -> index_of a.labels l) labels in
-  let bi = Array.map (fun l -> index_of b.labels l) labels in
+  let ai = Array.map (fun l -> Hashtbl.find a_index l) labels in
+  let bi = Array.map (fun l -> Hashtbl.find b_index l) labels in
   let pick src idx =
     Array.init n (fun i -> Array.init n (fun j -> src.(idx.(i)).(idx.(j))))
   in

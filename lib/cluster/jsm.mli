@@ -14,7 +14,9 @@ type t = { labels : string array; m : float array array }
     computes the matrix on several domains; because each row lands in
     its own slot the result is identical whatever the schedule.
     [Context.jaccard] only reads the context, so rows may be built
-    concurrently. *)
+    concurrently. Jaccard similarity is symmetric, so each row only
+    evaluates its upper triangle and the rest is mirrored afterwards —
+    half the evaluation work, same matrix bit for bit. *)
 val compute :
   init:(int -> (int -> float array) -> float array array) ->
   Difftrace_fca.Context.t ->
@@ -27,7 +29,9 @@ val of_context : Difftrace_fca.Context.t -> t
 val size : t -> int
 
 (** [align a b] — both matrices restricted to their common labels, in
-    [a]'s label order. *)
+    [a]'s label order. Label resolution is hash-indexed, so alignment
+    is O(n²) in trace count (the former per-lookup linear scan made it
+    O(n³)). *)
 val align : t -> t -> t * t
 
 (** [diff a b] = |b − a| over the traces common to both (in [a]'s

@@ -1,26 +1,143 @@
-(** On-disk trace archives.
+(** On-disk trace archives with checksummed streaming ingestion.
 
     The paper's workflow records traces once and re-analyzes them
-    offline "with different filters" at every debug iteration. An
-    archive directory holds exactly what ParLOT leaves behind: one
-    compressed trace file per thread plus a manifest (symbol table,
-    thread list, truncation flags).
+    offline "with different filters" at every debug iteration — and the
+    runs most worth re-analyzing are the crashed or hung ones, exactly
+    the runs that leave truncated or corrupt trace files behind. The
+    archive layer therefore treats damage as an expected input, not an
+    exception: loads are result-returning, every v2 byte is covered by
+    a CRC-32, and a {e salvage} mode recovers the longest checksum-valid
+    prefix of each damaged trace instead of discarding the run.
 
-    Layout:
+    Layout (version 2, the default):
     {v
-    <dir>/manifest        version, symbols, one line per thread
-    <dir>/trace_P_T.lzw   compressed event stream of thread (P, T)
-    v} *)
+    <dir>/manifest        version, symbols, one line per thread,
+                          closed by a "crc %08x" footer line
+    <dir>/trace_P_T.lzw   "DTA2", then varint-length-prefixed chunks of
+                          the compressed event stream, each closed by a
+                          CRC-32 footer; a zero-length terminator chunk
+                          carries the whole-stream CRC-32
+    v}
 
-(** [save ~dir outcome_traces] writes the archive (creating [dir] if
-    needed) and returns the number of trace files written. Re-encodes
-    each decoded trace with the streaming LZW codec. *)
-val save : dir:string -> Difftrace_trace.Trace_set.t -> int
+    Version 1 archives (bare LZW streams, no checksums) remain
+    readable. Trace files are decoded incrementally — chunk by chunk
+    through {!Lzw}'s streaming decoder — so a multi-GB archive never
+    materializes a trace file as one string, and per-thread loads can
+    be fanned out over domains via a {!runner}. *)
 
-(** [load ~dir] reads an archive back into a trace set.
-    Raises [Sys_error] on IO failure and [Invalid_argument] on a
-    malformed manifest or corrupt trace file. *)
-val load : dir:string -> Difftrace_trace.Trace_set.t
+(** Archive wire format. [V2] (framed + checksummed) is the default for
+    {!save}; [V1] is the legacy format, still written for
+    interoperability tests and always readable. *)
+type format = V1 | V2
+
+(** How per-thread loads are scheduled: [run n f] must behave exactly
+    like [Array.init n f] (same contract as [Engine.init] in the core
+    library, which is the intended parallel instantiation — pass
+    [{ run = Engine.init engine }]). *)
+type runner = { run : 'a. int -> (int -> 'a) -> 'a array }
+
+(** [Array.init] — the default. *)
+val sequential_runner : runner
+
+(** A hard ingestion failure: which file, and why. *)
+type error = { err_path : string; err_reason : string }
+
+val error_to_string : error -> string
+
+(** One damaged trace recovered in salvage mode. *)
+type salvage = {
+  sv_pid : int;
+  sv_tid : int;
+  sv_events : int;  (** events recovered (the clean prefix) *)
+  sv_dropped_bytes : int;  (** compressed bytes discarded *)
+  sv_reason : string;  (** first problem encountered *)
+}
+
+(** A successful load: the trace set, the archive version it came from,
+    and the per-trace salvage outcomes (empty for a pristine archive;
+    salvaged traces are marked [truncated] in [set]). *)
+type loaded = {
+  set : Difftrace_trace.Trace_set.t;
+  version : int;
+  salvaged : salvage list;
+}
+
+(** [save ?format ?chunk_size ~dir ts] writes the archive (creating
+    [dir] and any missing parents) and returns the number of trace
+    files written. Re-encodes each decoded trace with the streaming LZW
+    codec; under [V2] the compressed stream is framed into
+    [chunk_size]-byte (default 4096) checksummed chunks.
+    Raises [Invalid_argument] if [dir] exists and is not a directory,
+    or if [chunk_size < 1]; [Sys_error] on IO failure. *)
+val save :
+  ?format:format ->
+  ?chunk_size:int ->
+  dir:string ->
+  Difftrace_trace.Trace_set.t ->
+  int
+
+(** [load ?runner ?salvage ~dir] reads a version 1 or 2 archive back
+    into a trace set.
+
+    Without [salvage] (the default), any corruption — a flipped bit, a
+    truncated or deleted chunk, appended garbage, a manifest that fails
+    its checksum — yields [Error] naming the offending file; no
+    exception escapes for malformed {e content} ([Sys_error] can still
+    be raised for IO failures outside the archive's control).
+
+    With [salvage:true], each damaged trace file is recovered up to its
+    last checksum-valid, cleanly-decoding point; the recovered trace is
+    marked [truncated] and reported in [salvaged]. Only manifest-level
+    damage still yields [Error]. *)
+val load :
+  ?runner:runner ->
+  ?salvage:bool ->
+  dir:string ->
+  unit ->
+  (loaded, error) result
+
+(** [load_exn ?runner ~dir] — strict compatibility wrapper: the [Ok]
+    trace set, or [Invalid_argument ("Archive.load: " ^ reason)]. *)
+val load_exn :
+  ?runner:runner -> dir:string -> unit -> Difftrace_trace.Trace_set.t
+
+(** {1 Verification} *)
+
+(** Integrity of one trace file: checksum-valid chunks, validated
+    payload bytes, cleanly decoded events, and the first problem found
+    ([None] = pristine). *)
+type trace_check = {
+  tc_pid : int;
+  tc_tid : int;
+  tc_chunks : int;
+  tc_events : int;
+  tc_bytes : int;
+  tc_issue : string option;
+}
+
+type report = {
+  rp_dir : string;
+  rp_version : int;
+  rp_traces : trace_check list;
+  rp_ok : bool;
+}
+
+(** [verify ?runner ~dir] scans every trace file without building a
+    trace set. [Error] only when the manifest itself is unreadable. *)
+val verify : ?runner:runner -> dir:string -> unit -> (report, error) result
+
+(** Human-readable rendering of a verify report (one row per trace). *)
+val render_report : report -> string
+
+(** [repair ?runner ~src ~dst] loads [src] with salvage and rewrites
+    the recovered set as a clean v2 archive at [dst]. Returns what was
+    loaded plus the number of files written. *)
+val repair :
+  ?runner:runner ->
+  src:string ->
+  dst:string ->
+  unit ->
+  (loaded * int, error) result
 
 (** [manifest_file dir] / [trace_file dir ~pid ~tid] — file paths. *)
 val manifest_file : string -> string

@@ -56,51 +56,106 @@ let compress s =
 (* Decoder: phrases are stored as (prefix_code, last_byte) pairs; a
    phrase is materialized by walking prefixes. Handles the KwKwK case
    (a code one past the dictionary end refers to the phrase currently
-   being defined). *)
-let decompress s =
-  let phrases = Vec.create () in
-  (* phrases.(i) corresponds to code first_code+i *)
-  let phrase_bytes code =
-    let buf = Buffer.create 16 in
-    let rec go code =
-      if code < 256 then Buffer.add_char buf (Char.chr code)
-      else begin
-        let prefix, last = Vec.get phrases (code - first_code) in
-        go prefix;
-        Buffer.add_char buf last
-      end
-    in
-    go code;
-    Buffer.contents buf
-  in
-  let first_byte code =
-    let rec go code =
-      if code < 256 then Char.chr code
-      else
-        let prefix, _ = Vec.get phrases (code - first_code) in
-        go prefix
-    in
-    go code
-  in
-  let out = Buffer.create (String.length s * 3) in
-  let len = String.length s in
-  let rec loop pos prev =
-    if pos >= len then invalid_arg "Lzw.decompress: missing end-of-stream";
-    let code, pos = Varint.read s pos in
-    if code = eos_code then ()
+   being defined). The decoder is incremental: compressed bytes arrive
+   in arbitrary slices (a varint code may straddle two feeds), so the
+   archive layer can stream a trace file chunk by chunk without ever
+   materializing it as one string. *)
+
+type decoder = {
+  phrases : (int * char) Vec.t; (* phrases.(i) is code first_code+i *)
+  dout : Buffer.t; (* decoded bytes not yet taken *)
+  mutable prev : int; (* previous code; -1 = none yet *)
+  mutable acc : int; (* partial varint accumulator *)
+  mutable shift : int; (* nonzero while a varint straddles feeds *)
+  mutable eos : bool; (* end-of-stream marker consumed *)
+}
+
+let decoder () =
+  { phrases = Vec.create ();
+    dout = Buffer.create 256;
+    prev = -1;
+    acc = 0;
+    shift = 0;
+    eos = false }
+
+let phrase_bytes d buf code =
+  let rec go code =
+    if code < 256 then Buffer.add_char buf (Char.chr code)
     else begin
-      let valid_max = first_code + Vec.length phrases in
-      if code > valid_max || code < 0 then invalid_arg "Lzw.decompress: bad code";
-      (match prev with
-      | None -> ()
-      | Some prev ->
-        (* Define the phrase prev ++ first_byte(code); for the KwKwK
-           case code = valid_max, whose first byte equals prev's. *)
-        let last = if code = valid_max then first_byte prev else first_byte code in
-        Vec.push phrases (prev, last));
-      Buffer.add_string out (phrase_bytes code);
-      loop pos (Some code)
+      let prefix, last = Vec.get d.phrases (code - first_code) in
+      go prefix;
+      Buffer.add_char buf last
     end
   in
-  if len > 0 then loop 0 None;
-  Buffer.contents out
+  go code
+
+let first_byte d code =
+  let rec go code =
+    if code < 256 then Char.chr code
+    else
+      let prefix, _ = Vec.get d.phrases (code - first_code) in
+      go prefix
+  in
+  go code
+
+let decode_code d code =
+  if code = eos_code then d.eos <- true
+  else begin
+    let valid_max = first_code + Vec.length d.phrases in
+    if code > valid_max || code < 0 then invalid_arg "Lzw.decompress: bad code";
+    (* the first code of a stream must be a literal: no phrase exists
+       yet, and the KwKwK rule needs a previous code to lean on *)
+    if d.prev < 0 && code >= first_code then
+      invalid_arg "Lzw.decompress: bad code";
+    if d.prev >= 0 then begin
+      (* Define the phrase prev ++ first_byte(code); for the KwKwK
+         case code = valid_max, whose first byte equals prev's. *)
+      let last =
+        if code = valid_max then first_byte d d.prev else first_byte d code
+      in
+      Vec.push d.phrases (d.prev, last)
+    end;
+    phrase_bytes d d.dout code;
+    d.prev <- code
+  end
+
+let decode_feed d s =
+  String.iter
+    (fun c ->
+      if d.eos then
+        invalid_arg "Lzw.decompress: trailing bytes after end-of-stream";
+      let b = Char.code c in
+      (* inline varint accumulation; codes are dictionary-bounded, so a
+         run shifting past 56 bits can only be corruption *)
+      if d.shift > 56 then invalid_arg "Lzw.decompress: bad code";
+      d.acc <- d.acc lor ((b land 0x7f) lsl d.shift);
+      if d.acc < 0 then invalid_arg "Lzw.decompress: bad code";
+      if b land 0x80 = 0 then begin
+        let code = d.acc in
+        d.acc <- 0;
+        d.shift <- 0;
+        decode_code d code
+      end
+      else d.shift <- d.shift + 7)
+    s
+
+(* [decode_take] drains the decoded bytes produced so far, so callers
+   can consume output incrementally and keep the buffer bounded. *)
+let decode_take d =
+  let s = Buffer.contents d.dout in
+  Buffer.clear d.dout;
+  s
+
+let decode_finished d = d.eos
+
+let decode_finish d =
+  if not d.eos then invalid_arg "Lzw.decompress: missing end-of-stream";
+  decode_take d
+
+let decompress s =
+  if String.length s = 0 then ""
+  else begin
+    let d = decoder () in
+    decode_feed d s;
+    decode_finish d
+  end

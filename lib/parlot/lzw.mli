@@ -34,6 +34,40 @@ val input_size : encoder -> int
 (** [compress s] is one-shot compression. *)
 val compress : string -> string
 
+(** {1 Incremental decoding}
+
+    The decoder mirrors the encoder's streaming property: compressed
+    bytes are accepted in arbitrary slices (a varint code may straddle
+    two feeds), so archive ingestion never materializes a whole trace
+    file. Corruption — an out-of-range code, a phrase code before any
+    literal, an over-long varint run, or bytes after the end-of-stream
+    marker — raises [Invalid_argument]; everything decoded before the
+    bad byte remains available via {!decode_take} for salvage. *)
+
+type decoder
+
+(** [decoder ()] is a fresh streaming decoder. *)
+val decoder : unit -> decoder
+
+(** [decode_feed d s] pushes compressed bytes.
+    Raises [Invalid_argument] on corrupt input or input past the
+    end-of-stream marker. *)
+val decode_feed : decoder -> string -> unit
+
+(** [decode_take d] drains and returns the decompressed bytes produced
+    since the last take. *)
+val decode_take : decoder -> string
+
+(** [decode_finished d] — has the end-of-stream marker been consumed? *)
+val decode_finished : decoder -> bool
+
+(** [decode_finish d] checks the end-of-stream marker was seen and
+    drains the remaining output. Raises [Invalid_argument] if the
+    stream is unterminated. *)
+val decode_finish : decoder -> string
+
 (** [decompress s] inverts [compress]/[feed]+[finish].
-    Raises [Invalid_argument] on corrupt input. *)
+    Raises [Invalid_argument] on corrupt input: bad codes, a truncated
+    or unterminated stream, or trailing bytes after the end-of-stream
+    marker. *)
 val decompress : string -> string

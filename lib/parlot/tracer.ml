@@ -62,19 +62,76 @@ let finish t =
   Telemetry.Counter.add c_compressed (String.length data);
   (data, t.truncated)
 
-let decode ~symtab ~pid ~tid ~truncated data =
-  let raw = Lzw.decompress data in
-  let events = Vec.create () in
-  let len = String.length raw in
-  let rec go pos =
-    if pos < len then begin
-      let v, pos = Varint.read raw pos in
-      Vec.push events (Event.decode v);
-      go pos
-    end
-  in
-  go 0;
-  ignore symtab;
+(* Streaming decode: compressed bytes go through the incremental LZW
+   decoder, and the decompressed varint-event stream is parsed as it
+   drains — a partial event varint is carried across feeds, so the
+   archive layer can push arbitrary chunk slices. *)
+
+type stream = {
+  lzw : Lzw.decoder;
+  s_events : Event.t Vec.t;
+  mutable s_acc : int; (* partial event varint *)
+  mutable s_shift : int;
+  mutable s_partial : bool; (* an event varint is in flight *)
+}
+
+let stream () =
+  { lzw = Lzw.decoder ();
+    s_events = Vec.create ();
+    s_acc = 0;
+    s_shift = 0;
+    s_partial = false }
+
+let drain st =
+  let raw = Lzw.decode_take st.lzw in
+  String.iter
+    (fun c ->
+      let b = Char.code c in
+      if st.s_shift > 56 then invalid_arg "Tracer.decode: event varint overflow";
+      st.s_acc <- st.s_acc lor ((b land 0x7f) lsl st.s_shift);
+      if st.s_acc < 0 then invalid_arg "Tracer.decode: event varint overflow";
+      if b land 0x80 = 0 then begin
+        Vec.push st.s_events (Event.decode st.s_acc);
+        st.s_acc <- 0;
+        st.s_shift <- 0;
+        st.s_partial <- false
+      end
+      else begin
+        st.s_shift <- st.s_shift + 7;
+        st.s_partial <- true
+      end)
+    raw
+
+let stream_feed st data =
+  Lzw.decode_feed st.lzw data;
+  drain st
+
+let stream_events st = Vec.length st.s_events
+
+let stream_complete st =
+  drain st;
+  Lzw.decode_finished st.lzw && not st.s_partial
+
+let stream_trace st ~pid ~tid ~truncated =
   Telemetry.Counter.incr c_decoded_traces;
-  Telemetry.Counter.add c_decoded_events (Vec.length events);
-  Trace.make ~pid ~tid ~truncated (Vec.to_array events)
+  Telemetry.Counter.add c_decoded_events (Vec.length st.s_events);
+  Trace.make ~pid ~tid ~truncated (Vec.to_array st.s_events)
+
+let stream_finish st ~pid ~tid ~truncated =
+  drain st;
+  ignore (Lzw.decode_finish st.lzw);
+  if st.s_partial then invalid_arg "Tracer.decode: truncated event stream";
+  stream_trace st ~pid ~tid ~truncated
+
+(* Salvage: keep every event that decoded cleanly, drop a trailing
+   partial varint, and force the truncation flag — the archive's
+   recovery path for damaged trace files. *)
+let stream_salvage st ~pid ~tid =
+  (try drain st with Invalid_argument _ -> ());
+  stream_trace st ~pid ~tid ~truncated:true
+
+let decode ~symtab ~pid ~tid ~truncated data =
+  ignore symtab;
+  let st = stream () in
+  stream_feed st data;
+  stream_finish st ~pid ~tid ~truncated

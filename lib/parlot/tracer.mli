@@ -50,7 +50,8 @@ val finish : t -> string * bool
 
 (** [decode ~symtab ~pid ~tid ~truncated data] decompresses a finished
     stream back into a {!Difftrace_trace.Trace.t} — the pipeline's
-    "ParLOT decoder" stage. *)
+    "ParLOT decoder" stage. Raises [Invalid_argument] on corrupt or
+    unterminated input (use the streaming API below to salvage). *)
 val decode :
   symtab:Difftrace_trace.Symtab.t ->
   pid:int ->
@@ -58,3 +59,39 @@ val decode :
   truncated:bool ->
   string ->
   Difftrace_trace.Trace.t
+
+(** {1 Streaming decode}
+
+    The inverse of the streaming capture side: compressed bytes are
+    accepted in arbitrary slices (the archive feeds checksummed chunks
+    as it reads them), events materialize incrementally, and a damaged
+    stream can be {e salvaged} — every event that decoded cleanly before
+    the first bad byte is kept. *)
+
+type stream
+
+(** [stream ()] is a fresh streaming decoder for one trace file. *)
+val stream : unit -> stream
+
+(** [stream_feed st bytes] pushes compressed bytes; completed events
+    accumulate inside. Raises [Invalid_argument] on corrupt input —
+    events decoded before the bad byte are retained for
+    {!stream_salvage}. *)
+val stream_feed : stream -> string -> unit
+
+(** [stream_events st] is the number of fully decoded events so far. *)
+val stream_events : stream -> int
+
+(** [stream_complete st] — has the stream seen its end-of-stream marker
+    with no event split across it? *)
+val stream_complete : stream -> bool
+
+(** [stream_finish st ~pid ~tid ~truncated] closes a well-formed stream.
+    Raises [Invalid_argument] if it is unterminated or ends mid-event. *)
+val stream_finish :
+  stream -> pid:int -> tid:int -> truncated:bool -> Difftrace_trace.Trace.t
+
+(** [stream_salvage st ~pid ~tid] recovers the longest cleanly decoded
+    event prefix of a damaged stream as a trace marked [truncated].
+    Never raises. *)
+val stream_salvage : stream -> pid:int -> tid:int -> Difftrace_trace.Trace.t

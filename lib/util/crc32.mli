@@ -1,0 +1,30 @@
+(** CRC-32 (IEEE 802.3, the zlib/PNG polynomial) over byte strings.
+
+    The archive v2 framing appends a CRC-32 footer to every chunk and a
+    whole-stream footer to the terminator, so a flipped bit anywhere in
+    a trace file is detected before the LZW decoder ever sees it.
+    Digests are plain non-negative [int]s in [0, 2^32); the module is
+    pure and allocation-free per update apart from the shared table. *)
+
+(** The initial running value (all ones pre-conditioning already
+    applied): [finish init] is the CRC of the empty string. *)
+val init : int
+
+(** [update crc s ~pos ~len] folds [s.[pos .. pos+len-1]] into the
+    running value. Raises [Invalid_argument] on an out-of-bounds
+    range. *)
+val update : int -> string -> pos:int -> len:int -> int
+
+(** [finish crc] finalizes a running value into the digest. *)
+val finish : int -> int
+
+(** [string s] = [finish (update init s ~pos:0 ~len:(String.length s))]. *)
+val string : string -> int
+
+(** [to_le_bytes d] is the digest as 4 little-endian bytes — the
+    on-disk footer encoding. *)
+val to_le_bytes : int -> string
+
+(** [of_le_bytes s pos] reads a footer written by {!to_le_bytes}.
+    Raises [Invalid_argument] if fewer than 4 bytes remain. *)
+val of_le_bytes : string -> int -> int

@@ -9,7 +9,10 @@
 val write : Buffer.t -> int -> unit
 
 (** [read s pos] decodes an unsigned varint starting at [pos] and returns
-    [(value, next_pos)]. Raises [Invalid_argument] on truncated input. *)
+    [(value, next_pos)]. Raises [Invalid_argument] on truncated input and
+    on overflow — a continuation run that would shift past the native
+    int's 62 value bits (malformed or adversarial input; [write] never
+    produces it). *)
 val read : string -> int -> int * int
 
 (** [size n] is the number of bytes [write] would emit for [n]. *)

@@ -97,3 +97,22 @@ Autotune picks a configuration and a suspect:
 
   $ difftrace autotune -w oddeven --np 8 -f 'swapBug(rank=3,after=2)' | tail -1
   best: 11.mpiall.K10 / sing.actual / ward (B-score 0.560, top suspect 3)
+
+Resilient archives: a damaged trace file is detected, salvaged, and
+repaired (here the v2 terminator chunk loses its last two bytes):
+
+  $ head -c -2 normal.arch/trace_3_0.lzw > t && mv t normal.arch/trace_3_0.lzw
+  $ difftrace archive verify -d normal.arch | head -1
+  archive normal.arch (v2): DAMAGED (1 of 8 traces)
+  $ difftrace analyze --normal normal.arch --faulty faulty.arch --attrs sing.log10 2>&1 | tail -2
+  difftrace: archive error in normal.arch/trace_3_0.lzw: truncated chunk
+  hint: --salvage recovers the checksum-valid prefix of damaged traces
+  $ difftrace analyze --normal normal.arch --faulty faulty.arch --salvage --attrs sing.log10 | head -3
+  salvaged trace 3.0: 60 events recovered, 3 bytes dropped (truncated chunk)
+  configuration: 11.mpiall.K10 / sing.log10 / ward
+  B-score: 0.516
+  $ difftrace archive repair -d normal.arch -o fixed.arch
+  salvaged trace 3.0: 60 events recovered, 3 bytes dropped (truncated chunk)
+  wrote 8 repaired trace files to fixed.arch (1 salvaged)
+  $ difftrace archive verify -d fixed.arch | head -1
+  archive fixed.arch (v2): OK

@@ -31,7 +31,7 @@ let test_archive_roundtrip () =
   let dir = tmpdir "roundtrip" in
   let n = Archive.save ~dir outcome.R.traces in
   Alcotest.(check int) "one file per thread" 4 n;
-  let loaded = Archive.load ~dir in
+  let loaded = Archive.load_exn ~dir () in
   Alcotest.(check bool) "identical traces after reload" true
     (set_equal outcome.R.traces loaded)
 
@@ -41,7 +41,7 @@ let test_archive_preserves_truncation () =
   in
   let dir = tmpdir "truncated" in
   ignore (Archive.save ~dir outcome.R.traces);
-  let loaded = Archive.load ~dir in
+  let loaded = Archive.load_exn ~dir () in
   Alcotest.(check bool) "truncation flags survive" true
     (set_equal outcome.R.traces loaded);
   let tr = Trace_set.find_exn loaded ~pid:5 ~tid:0 in
@@ -52,7 +52,7 @@ let test_archive_reanalysis_offline () =
   let outcome, _ = Odd_even.run ~np:4 ~fault:Fault.No_fault () in
   let dir = tmpdir "offline" in
   ignore (Archive.save ~dir outcome.R.traces);
-  let loaded = Archive.load ~dir in
+  let loaded = Archive.load_exn ~dir () in
   let a = Difftrace.Pipeline.analyze (Difftrace.Config.make ()) loaded in
   Alcotest.(check string) "Table III reproducible from disk"
     "MPI_Init;MPI_Comm_rank;MPI_Comm_size;L0^2;MPI_Finalize"
@@ -67,7 +67,315 @@ let test_archive_corrupt_manifest () =
   output_string oc "not an archive\n";
   close_out oc;
   Alcotest.check_raises "bad magic" (Invalid_argument "Archive.load: bad magic")
-    (fun () -> ignore (Archive.load ~dir))
+    (fun () -> ignore (Archive.load_exn ~dir ()));
+  (* the result API reports the same problem without raising *)
+  match Archive.load ~dir () with
+  | Ok _ -> Alcotest.fail "corrupt manifest loaded"
+  | Error e -> Alcotest.(check string) "reason" "bad magic" e.Archive.err_reason
+
+(* ------------------------------------------------------------------ *)
+(* Resilience: v2 framing, corruption corpus, salvage, verify/repair   *)
+(* ------------------------------------------------------------------ *)
+
+module Prng = Difftrace_util.Prng
+module Varint = Difftrace_util.Varint
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let trace_paths dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> f <> "manifest")
+  |> List.sort compare
+  |> List.map (Filename.concat dir)
+
+let flip_bit path ~byte ~bit =
+  let s = Bytes.of_string (read_file path) in
+  Bytes.set s byte (Char.chr (Char.code (Bytes.get s byte) lxor (1 lsl bit)));
+  write_file path (Bytes.to_string s)
+
+let truncate_file path ~keep =
+  write_file path (String.sub (read_file path) 0 keep)
+
+(* remove the first data chunk of a v2 trace file (varint length,
+   payload, CRC-32 footer), keeping the magic and everything after *)
+let delete_first_chunk path =
+  let s = read_file path in
+  let len, p = Varint.read s 4 in
+  assert (len > 0);
+  let after = p + len + 4 in
+  write_file path (String.sub s 0 4 ^ String.sub s after (String.length s - after))
+
+let sample_traces () =
+  let outcome, _ = Odd_even.run ~np:4 ~fault:Fault.No_fault () in
+  outcome.R.traces
+
+let make_archive ?format ?chunk_size name ts =
+  let dir = tmpdir name in
+  ignore (Archive.save ?format ?chunk_size ~dir ts);
+  dir
+
+let par_runner =
+  { Archive.run =
+      (fun n f -> Difftrace.Engine.init (Difftrace.Engine.parallel ~domains:4 ()) n f) }
+
+let test_v1_still_loads () =
+  let ts = sample_traces () in
+  let dir = make_archive ~format:Archive.V1 "v1_compat" ts in
+  match Archive.load ~dir () with
+  | Error e -> Alcotest.fail (Archive.error_to_string e)
+  | Ok l ->
+    Alcotest.(check int) "reports version 1" 1 l.Archive.version;
+    Alcotest.(check int) "nothing salvaged" 0 (List.length l.Archive.salvaged);
+    Alcotest.(check bool) "identical traces" true (set_equal ts l.Archive.set)
+
+let test_v1_v2_identical () =
+  let ts = sample_traces () in
+  let v1 = Archive.load_exn ~dir:(make_archive ~format:Archive.V1 "x_v1" ts) () in
+  let v2 = Archive.load_exn ~dir:(make_archive ~format:Archive.V2 "x_v2" ts) () in
+  Alcotest.(check bool) "v1 load = original" true (set_equal ts v1);
+  Alcotest.(check bool) "v2 load = v1 load" true (set_equal v1 v2)
+
+let test_runner_parity () =
+  let ts = sample_traces () in
+  let dir = make_archive ~chunk_size:64 "parity" ts in
+  let seq = Archive.load_exn ~dir () in
+  let par = Archive.load_exn ~runner:par_runner ~dir () in
+  Alcotest.(check bool) "sequential = parallel" true (set_equal seq par);
+  Alcotest.(check bool) "both = original" true (set_equal ts seq)
+
+(* random event streams through Varint/Lzw/Archive, both formats and
+   several chunk sizes (1 forces every LZW code to straddle frames) *)
+let random_set seed =
+  let prng = Prng.create seed in
+  let symtab = Symtab.create () in
+  let nfuncs = 1 + Prng.int prng 40 in
+  let ids =
+    Array.init nfuncs (fun i -> Symtab.intern symtab (Printf.sprintf "fn_%d" i))
+  in
+  let traces =
+    List.init (1 + Prng.int prng 5) (fun pid ->
+        let n = Prng.int prng 500 in
+        let events =
+          Array.init n (fun _ ->
+              let id = ids.(Prng.int prng nfuncs) in
+              if Prng.bool prng then Event.Call id else Event.Return id)
+        in
+        Trace.make ~pid ~tid:0 ~truncated:(Prng.bool prng) events)
+  in
+  Trace_set.create symtab traces
+
+let test_random_roundtrips () =
+  for seed = 1 to 6 do
+    let ts = random_set seed in
+    List.iter
+      (fun (format, chunk_size, tag) ->
+        let name = Printf.sprintf "rand_%d_%s" seed tag in
+        let dir = make_archive ~format ?chunk_size name ts in
+        let loaded = Archive.load_exn ~dir () in
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d %s roundtrips" seed tag)
+          true (set_equal ts loaded))
+      [ (Archive.V1, None, "v1");
+        (Archive.V2, Some 1, "v2c1");
+        (Archive.V2, Some 3, "v2c3");
+        (Archive.V2, None, "v2") ]
+  done
+
+(* Deterministic fault injector: every mutation of a valid v2 archive
+   must land in Error (strict) or a truncated salvage — never an
+   uncaught exception. *)
+let test_corruption_corpus () =
+  let ts = sample_traces () in
+  let prng = Prng.create 42 in
+  for case = 0 to 39 do
+    let dir = make_archive ~chunk_size:32 (Printf.sprintf "corpus_%d" case) ts in
+    let paths = trace_paths dir in
+    let victim = List.nth paths (Prng.int prng (List.length paths)) in
+    let size = String.length (read_file victim) in
+    let what =
+      match case mod 4 with
+      | 0 ->
+        let byte = Prng.int prng size in
+        flip_bit victim ~byte ~bit:(Prng.int prng 8);
+        Printf.sprintf "bit flip @%d" byte
+      | 1 ->
+        let keep = Prng.int prng size in
+        truncate_file victim ~keep;
+        Printf.sprintf "truncate to %d" keep
+      | 2 -> delete_first_chunk victim; "chunk deletion"
+      | _ ->
+        let n = 1 + Prng.int prng 16 in
+        write_file victim
+          (read_file victim ^ String.init n (fun _ -> Char.chr (Prng.int prng 256)));
+        Printf.sprintf "append %d garbage bytes" n
+    in
+    let ctx = Printf.sprintf "case %d (%s on %s)" case what victim in
+    (match Archive.load ~dir () with
+    | Ok _ -> Alcotest.fail (ctx ^ ": corruption went undetected")
+    | Error _ -> ()
+    | exception e ->
+      Alcotest.fail (ctx ^ ": strict load raised " ^ Printexc.to_string e));
+    (match Archive.load ~salvage:true ~dir () with
+    | Error e ->
+      Alcotest.fail (ctx ^ ": salvage refused: " ^ Archive.error_to_string e)
+    | exception e ->
+      Alcotest.fail (ctx ^ ": salvage raised " ^ Printexc.to_string e)
+    | Ok l ->
+      Alcotest.(check bool) (ctx ^ ": salvage recorded") true
+        (l.Archive.salvaged <> []);
+      List.iter
+        (fun s ->
+          let tr =
+            Trace_set.find_exn l.Archive.set ~pid:s.Archive.sv_pid
+              ~tid:s.Archive.sv_tid
+          in
+          Alcotest.(check bool) (ctx ^ ": salvaged trace marked truncated") true
+            tr.Trace.truncated;
+          Alcotest.(check bool) (ctx ^ ": dropped bytes accounted") true
+            (s.Archive.sv_dropped_bytes >= 0))
+        l.Archive.salvaged);
+    match Archive.verify ~dir () with
+    | Error e -> Alcotest.fail (ctx ^ ": verify refused: " ^ Archive.error_to_string e)
+    | Ok r -> Alcotest.(check bool) (ctx ^ ": verify flags damage") false r.Archive.rp_ok
+  done
+
+let test_v1_corruption () =
+  let ts = sample_traces () in
+  List.iter
+    (fun (name, mutate) ->
+      let dir = make_archive ~format:Archive.V1 ("v1_" ^ name) ts in
+      let victim = List.hd (trace_paths dir) in
+      mutate victim;
+      (match Archive.load ~dir () with
+      | Ok _ -> Alcotest.fail (name ^ ": v1 corruption went undetected")
+      | Error _ -> ());
+      match Archive.load ~salvage:true ~dir () with
+      | Error e -> Alcotest.fail (name ^ ": " ^ Archive.error_to_string e)
+      | Ok l ->
+        Alcotest.(check bool) (name ^ ": salvaged") true (l.Archive.salvaged <> []))
+    [ ("truncate", fun p -> truncate_file p ~keep:(String.length (read_file p) / 2));
+      ("garbage", fun p -> write_file p (read_file p ^ "\xff\x00\x17")) ]
+
+let test_manifest_bitflip () =
+  let ts = sample_traces () in
+  let prng = Prng.create 7 in
+  for case = 0 to 7 do
+    let dir = make_archive (Printf.sprintf "mflip_%d" case) ts in
+    let path = Archive.manifest_file dir in
+    let size = String.length (read_file path) in
+    flip_bit path ~byte:(Prng.int prng size) ~bit:(Prng.int prng 8);
+    List.iter
+      (fun salvage ->
+        match Archive.load ~salvage ~dir () with
+        | Ok _ -> Alcotest.fail "manifest corruption went undetected"
+        | Error _ -> ()
+        | exception e ->
+          Alcotest.fail ("manifest load raised " ^ Printexc.to_string e))
+      [ false; true ]
+  done
+
+let test_verify_clean () =
+  let ts = sample_traces () in
+  let dir = make_archive ~chunk_size:64 "verify_ok" ts in
+  match Archive.verify ~runner:par_runner ~dir () with
+  | Error e -> Alcotest.fail (Archive.error_to_string e)
+  | Ok r ->
+    Alcotest.(check bool) "clean archive verifies" true r.Archive.rp_ok;
+    Alcotest.(check int) "one check per trace" 4 (List.length r.Archive.rp_traces);
+    List.iter
+      (fun t ->
+        Alcotest.(check bool) "no issue" true (t.Archive.tc_issue = None);
+        Alcotest.(check bool) "chunks counted" true (t.Archive.tc_chunks > 0))
+      r.Archive.rp_traces;
+    let rendered = Archive.render_report r in
+    Alcotest.(check bool) "report says OK" true
+      (String.length rendered > 0
+      && (let ok = ref false in
+          String.iteri
+            (fun i _ ->
+              if i + 2 <= String.length rendered && String.sub rendered i 2 = "OK"
+              then ok := true)
+            rendered;
+          !ok))
+
+let test_repair () =
+  let ts = sample_traces () in
+  let src = make_archive ~chunk_size:32 "repair_src" ts in
+  let victim = List.hd (trace_paths src) in
+  truncate_file victim ~keep:(String.length (read_file victim) / 2);
+  let dst = tmpdir "repair_dst" in
+  match Archive.repair ~src ~dst () with
+  | Error e -> Alcotest.fail (Archive.error_to_string e)
+  | Ok (l, files) ->
+    Alcotest.(check int) "all traces rewritten" 4 files;
+    Alcotest.(check int) "one trace salvaged" 1 (List.length l.Archive.salvaged);
+    (match Archive.verify ~dir:dst () with
+    | Error e -> Alcotest.fail (Archive.error_to_string e)
+    | Ok r -> Alcotest.(check bool) "repaired archive verifies" true r.Archive.rp_ok);
+    match Archive.load ~dir:dst () with
+    | Error e -> Alcotest.fail (Archive.error_to_string e)
+    | Ok l2 ->
+      Alcotest.(check bool) "repaired archive loads clean" true
+        (l2.Archive.salvaged = []);
+      Alcotest.(check bool) "repaired set = salvaged set" true
+        (set_equal l.Archive.set l2.Archive.set)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let test_save_creates_parents () =
+  let base = Filename.concat (Filename.get_temp_dir_name ()) "difftrace_nested" in
+  rm_rf base;
+  let dir = Filename.concat (Filename.concat base "a") "b" in
+  let ts = sample_traces () in
+  Alcotest.(check int) "saved through missing parents" 4 (Archive.save ~dir ts);
+  Alcotest.(check bool) "and loads back" true
+    (set_equal ts (Archive.load_exn ~dir ()))
+
+let test_save_dir_is_file () =
+  let path = Filename.concat (Filename.get_temp_dir_name ()) "difftrace_blocker" in
+  write_file path "in the way";
+  let ts = sample_traces () in
+  (match Archive.save ~dir:path ts with
+  | _ -> Alcotest.fail "saved into a regular file"
+  | exception Invalid_argument m ->
+    Alcotest.(check bool) "clear error" true
+      (String.length m > 0 && String.sub m 0 12 = "Archive.save"));
+  Sys.remove path
+
+let test_v1_length_mismatch () =
+  (* v1 manifests carry no checksum, so a tampered length must be
+     caught by the decoded-event count instead *)
+  let ts = sample_traces () in
+  let dir = make_archive ~format:Archive.V1 "v1_len" ts in
+  let path = Archive.manifest_file dir in
+  let text = read_file path in
+  (* bump the first thread's event count by prepending a digit *)
+  let tampered =
+    String.split_on_char '\n' text
+    |> List.map (fun line ->
+           let prefix = "thread 0 0 complete " in
+           let plen = String.length prefix in
+           if String.length line > plen && String.sub line 0 plen = prefix then
+             prefix ^ "9" ^ String.sub line plen (String.length line - plen)
+           else line)
+    |> String.concat "\n"
+  in
+  write_file path tampered;
+  match Archive.load ~dir () with
+  | Ok _ -> Alcotest.fail "length mismatch went undetected"
+  | Error e ->
+    Alcotest.(check bool) "reason names the mismatch" true
+      (String.length e.Archive.err_reason >= 21
+      && String.sub e.Archive.err_reason 0 21 = "trace length mismatch")
 
 (* ------------------------------------------------------------------ *)
 (* Stack trees                                                         *)
@@ -321,7 +629,8 @@ let test_archive_empty_set () =
   let ts = Trace_set.create (Symtab.create ()) [] in
   let dir = tmpdir "empty" in
   Alcotest.(check int) "zero files" 0 (Archive.save ~dir ts);
-  Alcotest.(check int) "load empty" 0 (Trace_set.cardinal (Archive.load ~dir))
+  Alcotest.(check int) "load empty" 0
+    (Trace_set.cardinal (Archive.load_exn ~dir ()))
 
 let () =
   Alcotest.run "archive+stacktree+collectives"
@@ -332,6 +641,19 @@ let () =
           Alcotest.test_case "offline re-analysis" `Quick
             test_archive_reanalysis_offline;
           Alcotest.test_case "corrupt manifest" `Quick test_archive_corrupt_manifest ] );
+      ( "resilience",
+        [ Alcotest.test_case "v1 still loads" `Quick test_v1_still_loads;
+          Alcotest.test_case "v1 and v2 identical" `Quick test_v1_v2_identical;
+          Alcotest.test_case "runner parity" `Quick test_runner_parity;
+          Alcotest.test_case "random roundtrips" `Quick test_random_roundtrips;
+          Alcotest.test_case "corruption corpus" `Quick test_corruption_corpus;
+          Alcotest.test_case "v1 corruption" `Quick test_v1_corruption;
+          Alcotest.test_case "manifest bit flips" `Quick test_manifest_bitflip;
+          Alcotest.test_case "verify clean" `Quick test_verify_clean;
+          Alcotest.test_case "repair" `Quick test_repair;
+          Alcotest.test_case "save creates parents" `Quick test_save_creates_parents;
+          Alcotest.test_case "save onto a file" `Quick test_save_dir_is_file;
+          Alcotest.test_case "v1 length mismatch" `Quick test_v1_length_mismatch ] );
       ( "stacktree",
         [ Alcotest.test_case "final stack" `Quick test_final_stack_reconstruction;
           Alcotest.test_case "balanced stack" `Quick test_final_stack_balanced;

@@ -47,6 +47,46 @@ let test_lzw_corrupt () =
     (Invalid_argument "Lzw.decompress: missing end-of-stream") (fun () ->
       ignore (Lzw.decompress "\x05"))
 
+let varints codes =
+  let b = Buffer.create 8 in
+  List.iter (Difftrace_util.Varint.write b) codes;
+  Buffer.contents b
+
+let test_lzw_first_code_phrase () =
+  (* a stream whose very first code references the phrase table, which
+     is necessarily empty at that point: must be rejected cleanly *)
+  Alcotest.check_raises "phrase code first"
+    (Invalid_argument "Lzw.decompress: bad code") (fun () ->
+      ignore (Lzw.decompress (varints [ 257; 256 ])))
+
+let test_lzw_trailing_bytes () =
+  Alcotest.check_raises "bytes after EOS"
+    (Invalid_argument "Lzw.decompress: trailing bytes after end-of-stream")
+    (fun () -> ignore (Lzw.decompress (Lzw.compress "abc" ^ "\x00")))
+
+let test_lzw_code_out_of_range () =
+  (* first literal is fine, but the next code skips far past the one
+     phrase the decoder could know about *)
+  Alcotest.check_raises "undefined phrase code"
+    (Invalid_argument "Lzw.decompress: bad code") (fun () ->
+      ignore (Lzw.decompress (varints [ Char.code 'a'; 300; 256 ])))
+
+let test_lzw_decoder_streaming_parity () =
+  (* byte-at-a-time incremental decode = one-shot, across chunk cuts
+     that split varint codes *)
+  let s = String.concat "" (List.init 50 (fun i -> Printf.sprintf "fn_%d;" (i mod 7))) in
+  let c = Lzw.compress s in
+  let d = Lzw.decoder () in
+  let out = Buffer.create (String.length s) in
+  String.iter
+    (fun ch ->
+      Lzw.decode_feed d (String.make 1 ch);
+      Buffer.add_string out (Lzw.decode_take d))
+    c;
+  Buffer.add_string out (Lzw.decode_finish d);
+  Alcotest.(check bool) "decoder reports completion" true (Lzw.decode_finished d);
+  Alcotest.(check string) "streaming = one-shot" s (Buffer.contents out)
+
 let prop_lzw_roundtrip =
   qtest "lzw roundtrip on small-alphabet strings" ~count:300
     QCheck2.Gen.(string_size ~gen:(char_range 'a' 'f') (int_range 0 500))
@@ -169,6 +209,11 @@ let () =
           Alcotest.test_case "streaming = one-shot" `Quick test_lzw_streaming_matches_oneshot;
           Alcotest.test_case "incremental output" `Quick test_lzw_output_grows_incrementally;
           Alcotest.test_case "corrupt input" `Quick test_lzw_corrupt;
+          Alcotest.test_case "first code is phrase" `Quick test_lzw_first_code_phrase;
+          Alcotest.test_case "trailing bytes" `Quick test_lzw_trailing_bytes;
+          Alcotest.test_case "code out of range" `Quick test_lzw_code_out_of_range;
+          Alcotest.test_case "streaming decoder parity" `Quick
+            test_lzw_decoder_streaming_parity;
           prop_lzw_roundtrip;
           prop_lzw_roundtrip_binary ] );
       ( "tracer",

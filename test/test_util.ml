@@ -164,6 +164,58 @@ let test_varint_truncated () =
   Alcotest.check_raises "truncated" (Invalid_argument "Varint.read: truncated input")
     (fun () -> ignore (Varint.read "\x80" 0))
 
+let test_varint_overflow () =
+  (* more continuation bytes than a 63-bit int can hold must be
+     rejected, not silently wrapped to a negative or truncated value *)
+  let overlong = String.make 9 '\x80' ^ "\x01" in
+  Alcotest.check_raises "shift overflow"
+    (Invalid_argument "Varint.read: overflow") (fun () ->
+      ignore (Varint.read overlong 0));
+  (* 9 bytes whose 63rd bit would be set: fits the shift cap but not
+     the sign bit *)
+  let negative = String.make 8 '\xff' ^ "\x7f" in
+  Alcotest.check_raises "sign overflow"
+    (Invalid_argument "Varint.read: overflow") (fun () ->
+      ignore (Varint.read negative 0));
+  (* max_int itself still roundtrips *)
+  let b = Buffer.create 10 in
+  Varint.write b max_int;
+  let v, _ = Varint.read (Buffer.contents b) 0 in
+  Alcotest.(check int) "max_int roundtrips" max_int v
+
+(* ------------------------------------------------------------------ *)
+(* Crc32                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_crc32_vectors () =
+  (* the standard IEEE 802.3 check value *)
+  Alcotest.(check int) "check vector" 0xCBF43926 (Crc32.string "123456789");
+  Alcotest.(check int) "empty" 0 (Crc32.string "")
+
+let test_crc32_incremental () =
+  let s = "a trace archive chunk of modest length, fed in pieces" in
+  let crc = ref Crc32.init in
+  String.iteri
+    (fun i _ -> crc := Crc32.update !crc s ~pos:i ~len:1)
+    s;
+  Alcotest.(check int) "byte-at-a-time = one-shot" (Crc32.string s)
+    (Crc32.finish !crc)
+
+let test_crc32_le_bytes () =
+  List.iter
+    (fun s ->
+      let d = Crc32.string s in
+      Alcotest.(check int) "LE footer roundtrips" d
+        (Crc32.of_le_bytes (Crc32.to_le_bytes d) 0))
+    [ ""; "x"; "123456789"; String.make 1000 '\xff' ]
+
+let test_crc32_detects_flip () =
+  let s = Bytes.of_string "archive payload bytes" in
+  let before = Crc32.string (Bytes.to_string s) in
+  Bytes.set s 3 (Char.chr (Char.code (Bytes.get s 3) lxor 0x10));
+  Alcotest.(check bool) "single bit flip changes digest" true
+    (before <> Crc32.string (Bytes.to_string s))
+
 let prop_varint_roundtrip =
   qtest "varint roundtrip"
     QCheck2.Gen.(int_range 0 max_int)
@@ -288,8 +340,14 @@ let () =
       ( "varint",
         [ Alcotest.test_case "examples" `Quick test_varint_examples;
           Alcotest.test_case "truncated input" `Quick test_varint_truncated;
+          Alcotest.test_case "overflow rejected" `Quick test_varint_overflow;
           prop_varint_roundtrip;
           prop_varint_list ] );
+      ( "crc32",
+        [ Alcotest.test_case "check vectors" `Quick test_crc32_vectors;
+          Alcotest.test_case "incremental" `Quick test_crc32_incremental;
+          Alcotest.test_case "LE footer" `Quick test_crc32_le_bytes;
+          Alcotest.test_case "detects bit flip" `Quick test_crc32_detects_flip ] );
       ( "prng",
         [ Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
           Alcotest.test_case "int bounds" `Quick test_prng_bounds;
