@@ -1,6 +1,6 @@
 # Convenience targets mirroring what CI runs (.github/workflows/ci.yml).
 
-.PHONY: all build test bench bench-smoke fuzz-smoke fmt clean
+.PHONY: all build test bench bench-smoke campaign-smoke fuzz-smoke fmt clean
 
 all: build
 
@@ -17,6 +17,12 @@ bench:
 # the CI smoke pass: quick engine/memo benches + a parseable artifact
 bench-smoke:
 	dune build @bench-smoke
+
+# the campaign smoke pass: a 2-fault x 3-seed selftest matrix (one
+# deadlocking fault, one crashing fault) must complete every cell,
+# resume without re-executing, and render its triage report
+campaign-smoke:
+	dune build @campaign-smoke
 
 # the archive fault-injection corpus on its own: deterministic bit
 # flips, truncations, chunk deletions and garbage appends against v1/v2

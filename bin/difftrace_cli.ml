@@ -229,6 +229,12 @@ let config_of ~filter ~custom ~attrs ~k ~linkage ~engine =
   |> Config.with_linkage (Linkage.method_of_string linkage)
   |> Config.with_engine engine
 
+(* per-thread archive IO scheduled by the same engine as the analysis
+   stages *)
+let archive_runner engine =
+  let r = Engine.runner engine in
+  { Archive.run = (fun n f -> r.Engine.run n f) }
+
 (* render a pipeline lookup, degrading to a clear message listing the
    known labels when the requested one does not exist *)
 let print_lookup ~render = function
@@ -310,16 +316,21 @@ let compare_cmd =
       (fun i (l, s) ->
         if i < 8 && s > 1e-9 then Printf.printf "  %-6s %.3f\n" l s)
       c.Pipeline.suspects;
-    let target =
-      match diffnlr with
-      | Some l -> l
-      | None -> fst c.Pipeline.suspects.(0)
-    in
-    print_lookup
-      ~render:
-        (Difftrace_diff.Diffnlr.render
-           ~title:(Printf.sprintf "diffNLR(%s)" target))
-      (Pipeline.find_diffnlr c target)
+    match (diffnlr, c.Pipeline.suspects) with
+    | None, [||] ->
+      (* the runs share no trace labels: there is no suspect to diff *)
+      Printf.printf "  (none: the runs have no trace in common)\n"
+    | _ ->
+      let target =
+        match diffnlr with
+        | Some l -> l
+        | None -> fst c.Pipeline.suspects.(0)
+      in
+      print_lookup
+        ~render:
+          (Difftrace_diff.Diffnlr.render
+             ~title:(Printf.sprintf "diffNLR(%s)" target))
+        (Pipeline.find_diffnlr c target)
   in
   Cmd.v (Cmd.info "compare" ~doc)
     Term.(const action $ workload_t $ np_t $ seed_t $ fault_t $ all_images_t
@@ -427,9 +438,7 @@ let analyze_cmd =
       diffnlr prof =
     let config = config_of ~filter ~custom ~attrs ~k ~linkage ~engine in
     run_profiled prof ~config @@ fun () ->
-    (* per-thread archive decodes run under the same engine as the
-       analysis stages *)
-    let runner = { Archive.run = (fun n f -> Engine.init engine n f) } in
+    let runner = archive_runner engine in
     let load_archive dir =
       match Archive.load ~runner ~salvage ~dir () with
       | Error e ->
@@ -459,14 +468,18 @@ let analyze_cmd =
     Array.iteri
       (fun i (l, s) -> if i < 8 && s > 1e-9 then Printf.printf "  %-6s %.3f\n" l s)
       c.Pipeline.suspects;
-    let target =
-      match diffnlr with Some l -> l | None -> fst c.Pipeline.suspects.(0)
-    in
-    print_lookup
-      ~render:
-        (Difftrace_diff.Diffnlr.render
-           ~title:(Printf.sprintf "diffNLR(%s)" target))
-      (Pipeline.find_diffnlr c target)
+    match (diffnlr, c.Pipeline.suspects) with
+    | None, [||] ->
+      Printf.printf "  (none: the runs have no trace in common)\n"
+    | _ ->
+      let target =
+        match diffnlr with Some l -> l | None -> fst c.Pipeline.suspects.(0)
+      in
+      print_lookup
+        ~render:
+          (Difftrace_diff.Diffnlr.render
+             ~title:(Printf.sprintf "diffNLR(%s)" target))
+        (Pipeline.find_diffnlr c target)
   in
   Cmd.v (Cmd.info "analyze" ~doc)
     Term.(const action $ normal_t $ faulty_t $ filter_t $ custom_t $ attrs_t
@@ -481,7 +494,7 @@ let archive_cmd =
       & opt (some string) None
       & info [ "d"; "dir" ] ~docv:"DIR" ~doc:"Archive directory.")
   in
-  let runner_of engine = { Archive.run = (fun n f -> Engine.init engine n f) } in
+  let runner_of = archive_runner in
   let verify_cmd =
     let doc =
       "Scan an archive's checksummed chunks and event streams; print one \
@@ -614,22 +627,9 @@ let explore_cmd =
               Difftrace_simulator.Explore.fingerprint_of o.R.traces })
         seeds
     in
-    let fps =
-      List.sort_uniq Int.compare
-        (List.map (fun v -> v.Difftrace_simulator.Explore.fingerprint) verdicts)
-    in
-    let summary =
-      { Difftrace_simulator.Explore.verdicts;
-        deadlock_seeds =
-          List.filter_map
-            (fun v ->
-              if v.Difftrace_simulator.Explore.deadlocked then
-                Some v.Difftrace_simulator.Explore.seed
-              else None)
-            verdicts;
-        distinct_outcomes = List.length fps }
-    in
-    print_string (Difftrace_simulator.Explore.render summary)
+    print_string
+      (Difftrace_simulator.Explore.render
+         (Difftrace_simulator.Explore.summarize verdicts))
   in
   Cmd.v (Cmd.info "explore" ~doc)
     Term.(const action $ workload_t $ np_t $ fault_t $ all_images_t $ seeds_t)
@@ -705,6 +705,154 @@ let autotune_cmd =
     Term.(const action $ workload_t $ np_t $ seed_t $ fault_t $ all_images_t
           $ custom_t $ ks_t $ engine_t $ profile_t)
 
+(* --- campaign: crash-isolated fault x seed sweeps -------------------- *)
+
+let campaign_cmd =
+  let module C = Campaign in
+  let dir_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "d"; "dir" ] ~docv:"DIR"
+          ~doc:
+            "Campaign state directory: the CRC-checked manifest plus one \
+             trace archive per executed cell. Re-running over the same \
+             directory resumes the campaign.")
+  in
+  let kind_t =
+    Arg.(
+      value
+      & opt string "oddeven"
+      & info [ "w"; "workload" ] ~docv:"KIND"
+          ~doc:
+            "Cell kind: oddeven, ilcs, lulesh, heat, heat2d, or selftest \
+             (odd/even plus injected crash/timeout faults for exercising \
+             crash isolation).")
+  in
+  let faults_t =
+    Arg.(
+      value
+      & opt_all fault_conv []
+      & info [ "f"; "fault" ] ~docv:"FAULT"
+          ~doc:"Fault to sweep; repeatable — the matrix is faults x seeds.")
+  in
+  let nseeds_t =
+    Arg.(
+      value
+      & opt int 3
+      & info [ "seeds" ] ~docv:"N" ~doc:"Scheduler seeds 1..N per fault.")
+  in
+  let max_steps_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-steps" ] ~docv:"N"
+          ~doc:
+            "Per-cell step budget: a cell still running after N scheduler \
+             steps is recorded as hung (with its truncated traces) instead \
+             of blocking the campaign.")
+  in
+  let print_outcome o = print_string (C.render o) in
+  let run_cmd =
+    let doc =
+      "Execute the fault x seed matrix, one archived cell at a time; crashes \
+       and hangs become per-cell verdicts, never campaign aborts. Re-running \
+       resumes from the manifest."
+    in
+    let action dir kind np faults nseeds max_steps filter custom attrs k
+        linkage engine prof =
+      if faults = [] then begin
+        prerr_endline
+          "difftrace: campaign run needs at least one --fault (repeatable)";
+        exit 2
+      end;
+      let config = config_of ~filter ~custom ~attrs ~k ~linkage ~engine in
+      run_profiled prof ~config @@ fun () ->
+      match
+        C.matrix ?max_steps ~kind ~np ~faults
+          ~seeds:(List.init nseeds (fun i -> i + 1))
+          ()
+      with
+      | exception Invalid_argument m ->
+        Printf.eprintf "difftrace: %s\n" m;
+        exit 2
+      | m -> (
+        let on_cell (r : C.cell_result) =
+          Printf.printf "cell %d [%s]: %s%s\n%!" r.C.cell.C.index
+            (C.cell_label r.C.cell)
+            (C.verdict_to_string r.C.verdict)
+            (match r.C.bscore with
+            | Some b -> Printf.sprintf " (B-score %.3f)" b
+            | None -> "")
+        in
+        match C.run ~config ~on_cell ~dir m with
+        | Error e ->
+          Printf.eprintf "difftrace: %s\n" e;
+          exit 1
+        | Ok o ->
+          Printf.printf "campaign: %d cells executed, %d resumed\n" o.C.executed
+            o.C.resumed_cells;
+          print_outcome o)
+    in
+    Cmd.v (Cmd.info "run" ~doc)
+      Term.(const action $ dir_t $ kind_t $ np_t $ faults_t $ nseeds_t
+            $ max_steps_t $ filter_t $ custom_t $ attrs_t $ k_t $ linkage_t
+            $ engine_t $ profile_t)
+  in
+  let status_cmd =
+    let doc =
+      "Print the recorded state of a campaign directory without executing \
+       anything."
+    in
+    let action dir =
+      match C.status ~dir with
+      | Error e ->
+        Printf.eprintf "difftrace: %s\n" e;
+        exit 1
+      | Ok o -> print_outcome o
+    in
+    Cmd.v (Cmd.info "status" ~doc) Term.(const action $ dir_t)
+  in
+  let report_cmd =
+    let doc =
+      "Render the ranked cross-fault triage report from a campaign \
+       directory; --diffnlr drills into the best-ranked cell's top suspect."
+    in
+    let diffnlr_t =
+      Arg.(
+        value & flag
+        & info [ "diffnlr" ]
+            ~doc:
+              "Also re-load the best-ranked cell's archives and print the \
+               diffNLR of its top suspect against the reference run.")
+    in
+    let action dir diffnlr filter custom attrs k linkage engine prof =
+      let config = config_of ~filter ~custom ~attrs ~k ~linkage ~engine in
+      run_profiled prof ~config @@ fun () ->
+      match C.status ~dir with
+      | Error e ->
+        Printf.eprintf "difftrace: %s\n" e;
+        exit 1
+      | Ok o -> (
+        print_outcome o;
+        if diffnlr then
+          match C.top_cell_diffnlr ~config ~dir o with
+          | Ok s -> print_string s
+          | Error e ->
+            Printf.eprintf "difftrace: %s\n" e;
+            exit 1)
+    in
+    Cmd.v (Cmd.info "report" ~doc)
+      Term.(const action $ dir_t $ diffnlr_t $ filter_t $ custom_t $ attrs_t
+            $ k_t $ linkage_t $ engine_t $ profile_t)
+  in
+  let doc =
+    "Fault campaigns: run a declarative fault x scheduler-seed matrix with \
+     per-cell crash isolation, checkpointed resume, and a ranked cross-fault \
+     triage report."
+  in
+  Cmd.group (Cmd.info "campaign" ~doc) [ run_cmd; status_cmd; report_cmd ]
+
 (* --- filters ------------------------------------------------------- *)
 
 let filters_cmd =
@@ -723,5 +871,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; compare_cmd; table_cmd; record_cmd; analyze_cmd;
-            archive_cmd; triage_cmd; autotune_cmd; report_cmd; explore_cmd;
-            export_cmd; filters_cmd ]))
+            archive_cmd; campaign_cmd; triage_cmd; autotune_cmd; report_cmd;
+            explore_cmd; export_cmd; filters_cmd ]))

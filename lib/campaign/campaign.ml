@@ -1,0 +1,808 @@
+module Config = Difftrace_core.Config
+module Engine = Difftrace_core.Engine
+module Memo = Difftrace_core.Memo
+module Pipeline = Difftrace_core.Pipeline
+module Fault = Difftrace_simulator.Fault
+module Runtime = Difftrace_simulator.Runtime
+module Archive = Difftrace_parlot.Archive
+module Trace = Difftrace_trace.Trace
+module Trace_set = Difftrace_trace.Trace_set
+module Crc32 = Difftrace_util.Crc32
+module Telemetry = Difftrace_obs.Telemetry
+module Span = Telemetry.Span
+module Odd_even = Difftrace_workloads.Odd_even
+module Ilcs = Difftrace_workloads.Ilcs
+module Lulesh = Difftrace_workloads.Lulesh
+module Heat = Difftrace_workloads.Heat
+module Heat2d = Difftrace_workloads.Heat2d
+
+let c_cells = Telemetry.Counter.make "campaign.cells"
+let c_failed = Telemetry.Counter.make "campaign.failed"
+let c_resumed = Telemetry.Counter.make "campaign.resumed"
+
+(* ------------------------------------------------------------------ *)
+(* Cell kinds                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type kind_fn =
+  np:int ->
+  seed:int ->
+  max_steps:int option ->
+  fault:Fault.t ->
+  Runtime.outcome
+
+(* the registry is written only at module init and by [register_kind];
+   campaign fan-out only reads it *)
+let kind_tbl : (string, kind_fn) Hashtbl.t = Hashtbl.create 16
+
+let register_kind name fn =
+  if name = "" then invalid_arg "Campaign.register_kind: empty kind name";
+  Hashtbl.replace kind_tbl name fn
+
+let kinds () =
+  Hashtbl.fold (fun k _ acc -> k :: acc) kind_tbl [] |> List.sort String.compare
+
+let oddeven ~np ~seed ~max_steps ~fault =
+  fst (Odd_even.run ~np ~seed ?max_steps ~fault ())
+
+let () =
+  register_kind "oddeven" oddeven;
+  register_kind "ilcs" (fun ~np ~seed ~max_steps ~fault ->
+      fst (Ilcs.run ~np ~seed ?max_steps ~fault ()));
+  register_kind "lulesh" (fun ~np ~seed ~max_steps ~fault ->
+      Lulesh.run ~np ~seed ?max_steps ~fault ());
+  register_kind "heat" (fun ~np ~seed ~max_steps ~fault ->
+      fst (Heat.run ~np ~seed ?max_steps ~fault ()));
+  register_kind "heat2d" (fun ~np ~seed ~max_steps ~fault ->
+      let px = max 1 (np / 2) and py = if np >= 2 then 2 else 1 in
+      fst (Heat2d.run ~px ~py ~seed ?max_steps ~fault ()));
+  (* the diagnostics kind: odd/even plus two synthetic failure modes,
+     so crash isolation is exercisable from the CLI and CI *)
+  register_kind "selftest" (fun ~np ~seed ~max_steps ~fault ->
+      match fault with
+      | Fault.Skip_function { func = "raise"; _ } ->
+        failwith "selftest: injected crash"
+      | Fault.Skip_function { func = "spin"; _ } ->
+        (* a budget small enough that the sort cannot finish: the
+           deterministic stand-in for a livelocked cell *)
+        oddeven ~np ~seed ~max_steps:(Some 10) ~fault:Fault.No_fault
+      | fault -> oddeven ~np ~seed ~max_steps ~fault)
+
+(* ------------------------------------------------------------------ *)
+(* Matrix                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type matrix = {
+  kind : string;
+  np : int;
+  faults : Fault.t list;
+  seeds : int list;
+  max_steps : int option;
+}
+
+let matrix ?max_steps ~kind ~np ~faults ~seeds () =
+  if not (Hashtbl.mem kind_tbl kind) then
+    invalid_arg
+      (Printf.sprintf "Campaign.matrix: unknown cell kind %S (known: %s)" kind
+         (String.concat ", " (kinds ())));
+  if np < 1 then invalid_arg "Campaign.matrix: np must be >= 1";
+  if faults = [] then invalid_arg "Campaign.matrix: no faults";
+  if seeds = [] then invalid_arg "Campaign.matrix: no seeds";
+  (match max_steps with
+  | Some s when s < 1 -> invalid_arg "Campaign.matrix: max_steps must be >= 1"
+  | _ -> ());
+  { kind; np; faults; seeds = List.sort_uniq Int.compare seeds; max_steps }
+
+type cell = { index : int; fault : Fault.t; seed : int }
+
+let cells m =
+  List.concat_map
+    (fun (fi, fault) ->
+      List.mapi
+        (fun si seed -> { index = (fi * List.length m.seeds) + si; fault; seed })
+        m.seeds)
+    (List.mapi (fun i f -> (i, f)) m.faults)
+
+let cell_label c = Printf.sprintf "%s@s%d" (Fault.to_string c.fault) c.seed
+
+(* ------------------------------------------------------------------ *)
+(* Results                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type verdict =
+  | Completed
+  | Hung of { deadlocked : int; timed_out : bool }
+  | Failed of { error : string; backtrace : string }
+
+let verdict_to_string = function
+  | Completed -> "ok"
+  | Hung { deadlocked; timed_out } ->
+    Printf.sprintf "HUNG(%d blocked%s)" deadlocked
+      (if timed_out then ", timed out" else "")
+  | Failed { error; _ } -> Printf.sprintf "FAILED: %s" error
+
+let verdict_short = function
+  | Completed -> "ok"
+  | Hung _ -> "HUNG"
+  | Failed _ -> "FAILED"
+
+type cell_result = {
+  cell : cell;
+  verdict : verdict;
+  bscore : float option;
+  suspects : (string * float) list;
+  salvaged : int;
+  resumed : bool;
+}
+
+type outcome = {
+  matrix : matrix;
+  results : cell_result list;
+  executed : int;
+  resumed_cells : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* State directory layout                                              *)
+(* ------------------------------------------------------------------ *)
+
+let manifest_file dir = Filename.concat dir "campaign.manifest"
+let cell_dir dir index = Filename.concat dir (Printf.sprintf "cell_%d" index)
+let normal_dir dir seed = Filename.concat dir (Printf.sprintf "normal_s%d" seed)
+let meta_file adir = Filename.concat adir "cell.meta"
+
+let rec mkdir_p dir =
+  if Sys.file_exists dir then begin
+    if not (Sys.is_directory dir) then
+      failwith (Printf.sprintf "%s exists and is not a directory" dir)
+  end
+  else begin
+    let parent = Filename.dirname dir in
+    if parent <> dir && parent <> "" then mkdir_p parent;
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.is_directory dir -> () (* lost a race; fine *)
+  end
+
+(* atomic-enough replacement: write a sibling temp file, then rename
+   over the target, so an interrupted campaign never leaves a
+   half-written manifest (the CRC footer catches anything else) *)
+let write_file_atomic path contents =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents);
+  Sys.rename tmp path
+
+(* ------------------------------------------------------------------ *)
+(* Per-cell run metadata (beside the cell's archive)                   *)
+(* ------------------------------------------------------------------ *)
+
+(* diagnostics the trace archive itself cannot carry: how the run
+   ended. Written when a cell is first simulated; consulted when an
+   interrupted campaign re-adopts the archive. *)
+let write_meta adir ~deadlocked ~timed_out =
+  let body =
+    Printf.sprintf "deadlocked %d\ntimed_out %b\n" deadlocked timed_out
+  in
+  write_file_atomic (meta_file adir)
+    (body ^ Printf.sprintf "crc %08x\n" (Crc32.string body))
+
+let read_meta adir =
+  let path = meta_file adir in
+  if not (Sys.file_exists path) then None
+  else
+    try
+      let ic = open_in_bin path in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let crc_len = String.length "crc 00000000\n" in
+      if String.length text <= crc_len then None
+      else
+        let body = String.sub text 0 (String.length text - crc_len) in
+        let footer = String.sub text (String.length text - crc_len) crc_len in
+        let crc = Scanf.sscanf footer "crc %x" (fun c -> c) in
+        if Crc32.string body <> crc then None
+        else
+          Scanf.sscanf body "deadlocked %d timed_out %b" (fun d t -> Some (d, t))
+    with _ -> None (* damaged metadata: fall back to trace truncation flags *)
+
+(* ------------------------------------------------------------------ *)
+(* Manifest                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let manifest_magic = "difftrace-campaign 1"
+
+(* absent field *)
+let none_tok = "-"
+
+let esc s = "!" ^ String.escaped s
+let unesc s = if s = none_tok then "" else Scanf.unescaped (String.sub s 1 (String.length s - 1))
+
+let encode_verdict = function
+  | Completed -> "completed"
+  | Hung { deadlocked; timed_out } ->
+    Printf.sprintf "hung/%d/%d" deadlocked (if timed_out then 1 else 0)
+  | Failed _ -> "failed"
+
+let encode_cell_line r =
+  let suspects =
+    if r.suspects = [] then none_tok
+    else
+      String.concat ","
+        (List.map (fun (l, s) -> Printf.sprintf "%s=%.6f" l s) r.suspects)
+  in
+  let error, backtrace =
+    match r.verdict with
+    | Failed { error; backtrace } -> (esc error, esc backtrace)
+    | _ -> (none_tok, none_tok)
+  in
+  String.concat "\t"
+    [ "cell";
+      string_of_int r.cell.index;
+      encode_verdict r.verdict;
+      (match r.bscore with Some b -> Printf.sprintf "%.6f" b | None -> none_tok);
+      string_of_int r.salvaged;
+      suspects;
+      error;
+      backtrace ]
+
+let manifest_body m ~config_name results =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (manifest_magic ^ "\n");
+  Buffer.add_string buf (Printf.sprintf "kind %s\n" m.kind);
+  Buffer.add_string buf (Printf.sprintf "np %d\n" m.np);
+  Buffer.add_string buf
+    (Printf.sprintf "seeds %s\n"
+       (String.concat " " (List.map string_of_int m.seeds)));
+  Buffer.add_string buf
+    (Printf.sprintf "budget %s\n"
+       (match m.max_steps with Some s -> string_of_int s | None -> none_tok));
+  Buffer.add_string buf (Printf.sprintf "config %s\n" config_name);
+  List.iter
+    (fun f -> Buffer.add_string buf (Printf.sprintf "fault %s\n" (Fault.to_string f)))
+    m.faults;
+  List.iter
+    (fun r -> Buffer.add_string buf (encode_cell_line r ^ "\n"))
+    results;
+  Buffer.contents buf
+
+let write_manifest ~dir m ~config_name results =
+  let body = manifest_body m ~config_name results in
+  write_file_atomic (manifest_file dir)
+    (body ^ Printf.sprintf "crc %08x\n" (Crc32.string body))
+
+(* what [status] and resume read back *)
+type stored_cell = {
+  st_index : int;
+  st_verdict : verdict;
+  st_bscore : float option;
+  st_suspects : (string * float) list;
+  st_salvaged : int;
+}
+
+type loaded_manifest = {
+  lm_kind : string;
+  lm_np : int;
+  lm_seeds : int list;
+  lm_faults : string list;
+  lm_budget : int option;
+  lm_config : string;
+  lm_cells : stored_cell list;
+}
+
+let parse_cell_line line =
+  match String.split_on_char '\t' line with
+  | [ "cell"; idx; verdict; bscore; salvaged; suspects; error; backtrace ] ->
+    let idx = int_of_string idx in
+    let bscore =
+      if bscore = none_tok then None else Some (float_of_string bscore)
+    in
+    let suspects =
+      if suspects = none_tok then []
+      else
+        List.map
+          (fun kv ->
+            match String.rindex_opt kv '=' with
+            | Some i ->
+              ( String.sub kv 0 i,
+                float_of_string (String.sub kv (i + 1) (String.length kv - i - 1))
+              )
+            | None -> failwith "bad suspect entry")
+          (String.split_on_char ',' suspects)
+    in
+    let verdict =
+      match String.split_on_char '/' verdict with
+      | [ "completed" ] -> Completed
+      | [ "hung"; d; t ] ->
+        Hung { deadlocked = int_of_string d; timed_out = t = "1" }
+      | [ "failed" ] -> Failed { error = unesc error; backtrace = unesc backtrace }
+      | _ -> failwith "bad verdict"
+    in
+    { st_index = idx;
+      st_verdict = verdict;
+      st_bscore = bscore;
+      st_suspects = suspects;
+      st_salvaged = int_of_string salvaged }
+  | _ -> failwith "bad cell record"
+
+(* [Ok None] = no manifest; [Error reason] = present but damaged *)
+let load_manifest ~dir =
+  let path = manifest_file dir in
+  if not (Sys.file_exists path) then Ok None
+  else
+    try
+      let ic = open_in_bin path in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let crc_len = String.length "crc 00000000\n" in
+      if String.length text <= crc_len then Error "truncated manifest"
+      else begin
+        let body = String.sub text 0 (String.length text - crc_len) in
+        let footer = String.sub text (String.length text - crc_len) crc_len in
+        let crc =
+          try Scanf.sscanf footer "crc %x" (fun c -> c)
+          with _ -> failwith "missing checksum footer"
+        in
+        if Crc32.string body <> crc then Error "checksum mismatch"
+        else begin
+          let lines =
+            String.split_on_char '\n' body
+            |> List.filter (fun l -> l <> "")
+          in
+          match lines with
+          | magic :: rest when magic = manifest_magic ->
+            let lm =
+              ref
+                { lm_kind = "";
+                  lm_np = 0;
+                  lm_seeds = [];
+                  lm_faults = [];
+                  lm_budget = None;
+                  lm_config = "";
+                  lm_cells = [] }
+            in
+            List.iter
+              (fun line ->
+                let field k =
+                  let p = k ^ " " in
+                  if
+                    String.length line > String.length p
+                    && String.sub line 0 (String.length p) = p
+                  then
+                    Some
+                      (String.sub line (String.length p)
+                         (String.length line - String.length p))
+                  else None
+                in
+                match field "kind" with
+                | Some v -> lm := { !lm with lm_kind = v }
+                | None ->
+                match field "np" with
+                | Some v -> lm := { !lm with lm_np = int_of_string v }
+                | None ->
+                match field "seeds" with
+                | Some v ->
+                  lm :=
+                    { !lm with
+                      lm_seeds =
+                        String.split_on_char ' ' v
+                        |> List.filter (( <> ) "")
+                        |> List.map int_of_string }
+                | None ->
+                match field "budget" with
+                | Some v ->
+                  lm :=
+                    { !lm with
+                      lm_budget =
+                        (if v = none_tok then None else Some (int_of_string v)) }
+                | None ->
+                match field "config" with
+                | Some v -> lm := { !lm with lm_config = v }
+                | None ->
+                match field "fault" with
+                | Some v -> lm := { !lm with lm_faults = !lm.lm_faults @ [ v ] }
+                | None ->
+                  if String.length line >= 5 && String.sub line 0 5 = "cell\t" then
+                    lm := { !lm with lm_cells = !lm.lm_cells @ [ parse_cell_line line ] }
+                  else failwith ("unrecognized manifest line: " ^ line))
+              rest;
+            Ok (Some !lm)
+          | _ -> Error "bad magic line"
+        end
+      end
+    with
+    | Failure reason -> Error reason
+    | Scanf.Scan_failure _ | End_of_file -> Error "malformed manifest"
+    | Sys_error reason -> Error reason
+
+(* the loaded manifest describes this very campaign? *)
+let manifest_matches m ~config_name lm =
+  let mismatch what = Some what in
+  if lm.lm_kind <> m.kind then mismatch "kind"
+  else if lm.lm_np <> m.np then mismatch "np"
+  else if lm.lm_seeds <> m.seeds then mismatch "seeds"
+  else if lm.lm_faults <> List.map Fault.to_string m.faults then mismatch "faults"
+  else if lm.lm_budget <> m.max_steps then mismatch "step budget"
+  else if lm.lm_config <> config_name then mismatch "configuration"
+  else None
+
+(* ------------------------------------------------------------------ *)
+(* Cell execution                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* one obtained run: the traces plus how the run ended *)
+type sim = {
+  sm_set : Trace_set.t;
+  sm_deadlocked : int;
+  sm_timed_out : bool;
+  sm_salvaged : int;
+}
+
+let count_truncated set =
+  Array.fold_left
+    (fun acc (tr : Trace.t) -> if tr.Trace.truncated then acc + 1 else acc)
+    0 (Trace_set.traces set)
+
+(* Obtain one run's traces: adopt a surviving archive from an earlier
+   (interrupted) campaign when possible — salvage-loading it, so even
+   a damaged archive contributes its checksum-valid prefix — otherwise
+   execute the cell program and persist a fresh archive. All failure
+   modes are captured as data; nothing escapes into the engine
+   fan-out. *)
+let obtain ~kind_fn ~np ~max_steps ~fault ~seed ~adir : (sim, string * string) result =
+  let simulate () =
+    match kind_fn ~np ~seed ~max_steps ~fault with
+    | (o : Runtime.outcome) ->
+      let deadlocked = List.length o.Runtime.deadlocked in
+      (try
+         ignore (Archive.save ~dir:adir o.Runtime.traces : int);
+         write_meta adir ~deadlocked ~timed_out:o.Runtime.timed_out
+       with e ->
+         (* archive persistence is best-effort: the in-memory traces
+            still feed the analysis, only resumability suffers *)
+         Printf.eprintf "difftrace: could not archive %s: %s\n%!" adir
+           (Printexc.to_string e));
+      Ok
+        { sm_set = o.Runtime.traces;
+          sm_deadlocked = deadlocked;
+          sm_timed_out = o.Runtime.timed_out;
+          sm_salvaged = 0 }
+    | exception e ->
+      Error (Printexc.to_string e, Printexc.get_backtrace ())
+  in
+  if Archive.is_archive adir then
+    match Archive.load ~salvage:true ~dir:adir () with
+    | Ok l ->
+      let deadlocked, timed_out =
+        match read_meta adir with
+        | Some (d, t) -> (d, t)
+        | None -> (count_truncated l.Archive.set, false)
+      in
+      Ok
+        { sm_set = l.Archive.set;
+          sm_deadlocked = deadlocked;
+          sm_timed_out = timed_out;
+          sm_salvaged = List.length l.Archive.salvaged }
+    | Error _ -> simulate () (* even salvage refused it: re-execute *)
+  else simulate ()
+
+let max_suspects = 8
+
+let analyze_cell ~memo ~config c ~normal ~faulty =
+  match (faulty, normal) with
+  | Error (error, backtrace), _ ->
+    { cell = c;
+      verdict = Failed { error = "cell run: " ^ error; backtrace };
+      bscore = None;
+      suspects = [];
+      salvaged = 0;
+      resumed = false }
+  | Ok (sim : sim), Error (error, backtrace) ->
+    { cell = c;
+      verdict = Failed { error = "reference run: " ^ error; backtrace };
+      bscore = None;
+      suspects = [];
+      salvaged = sim.sm_salvaged;
+      resumed = false }
+  | Ok sim, Ok (nsim : sim) -> (
+    let run_verdict =
+      if sim.sm_deadlocked > 0 || sim.sm_timed_out then
+        Hung { deadlocked = sim.sm_deadlocked; timed_out = sim.sm_timed_out }
+      else Completed
+    in
+    match
+      Pipeline.compare_runs ~memo config ~normal:nsim.sm_set ~faulty:sim.sm_set
+    with
+    | cmp ->
+      let suspects =
+        Array.to_list cmp.Pipeline.suspects
+        |> List.filter (fun (_, s) -> s > 1e-9)
+        |> List.filteri (fun i _ -> i < max_suspects)
+      in
+      { cell = c;
+        verdict = run_verdict;
+        bscore = Some cmp.Pipeline.bscore;
+        suspects;
+        salvaged = sim.sm_salvaged + nsim.sm_salvaged;
+        resumed = false }
+    | exception e ->
+      (* the pipeline choked on this cell's (possibly ragged) traces:
+         that is a verdict about the cell, not about the campaign *)
+      { cell = c;
+        verdict =
+          Failed
+            { error = "analysis: " ^ Printexc.to_string e;
+              backtrace = Printexc.get_backtrace () };
+        bscore = None;
+        suspects = [];
+        salvaged = sim.sm_salvaged + nsim.sm_salvaged;
+        resumed = false })
+
+(* ------------------------------------------------------------------ *)
+(* Running                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let result_of_stored all_cells st =
+  match List.find_opt (fun c -> c.index = st.st_index) all_cells with
+  | None -> None (* stale record outside the matrix: drop *)
+  | Some cell ->
+    Some
+      { cell;
+        verdict = st.st_verdict;
+        bscore = st.st_bscore;
+        suspects = st.st_suspects;
+        salvaged = st.st_salvaged;
+        resumed = true }
+
+let run ?(config = Config.default) ?on_cell ~dir m =
+  Span.with_ "campaign.run" @@ fun () ->
+  Printexc.record_backtrace true;
+  let config_name = Config.name config in
+  match mkdir_p dir with
+  | exception Failure reason -> Error ("campaign state dir: " ^ reason)
+  | exception Sys_error reason -> Error ("campaign state dir: " ^ reason)
+  | () -> (
+    let stored =
+      match load_manifest ~dir with
+      | Ok None -> Ok []
+      | Ok (Some lm) -> (
+        match manifest_matches m ~config_name lm with
+        | None -> Ok lm.lm_cells
+        | Some what ->
+          Error
+            (Printf.sprintf
+               "%s holds a different campaign (mismatched %s); use a fresh \
+                state directory or delete it"
+               dir what))
+      | Error reason ->
+        (* a damaged manifest must not strand the campaign: restart,
+           re-adopting whatever cell archives survived *)
+        Printf.eprintf
+          "difftrace: campaign manifest in %s is damaged (%s); restarting \
+           from the surviving cell archives\n%!"
+          dir reason;
+        Ok []
+    in
+    match stored with
+    | Error _ as e -> e
+    | Ok stored ->
+      let all = cells m in
+      let prior = List.filter_map (result_of_stored all) stored in
+      let done_idx = List.map (fun r -> r.cell.index) prior in
+      let pending =
+        List.filter (fun c -> not (List.mem c.index done_idx)) all
+      in
+      Telemetry.Counter.add c_resumed (List.length prior);
+      (* record the campaign's identity (and any resumed results)
+         before the first cell runs *)
+      write_manifest ~dir m ~config_name prior;
+      let kind_fn = Hashtbl.find kind_tbl m.kind in
+      let runner = Engine.runner config.Config.engine in
+      (* fault-free reference runs, one per seed a pending cell needs *)
+      let seeds_needed =
+        Array.of_list
+          (List.sort_uniq Int.compare (List.map (fun c -> c.seed) pending))
+      in
+      let normals =
+        Span.with_ "campaign.reference" @@ fun () ->
+        runner.Engine.run (Array.length seeds_needed) (fun i ->
+            let seed = seeds_needed.(i) in
+            ( seed,
+              obtain ~kind_fn ~np:m.np ~max_steps:m.max_steps
+                ~fault:Fault.No_fault ~seed ~adir:(normal_dir dir seed) ))
+      in
+      let normal_for seed =
+        match Array.find_opt (fun (s, _) -> s = seed) normals with
+        | Some (_, r) -> r
+        | None -> Error ("no reference run for seed " ^ string_of_int seed, "")
+      in
+      (* faulty cell runs, fanned over the engine; every failure mode
+         is data, so one bad cell never aborts the fan-out *)
+      let pending_arr = Array.of_list pending in
+      let sims =
+        Span.with_ "campaign.cells" @@ fun () ->
+        runner.Engine.run (Array.length pending_arr) (fun i ->
+            let c = pending_arr.(i) in
+            obtain ~kind_fn ~np:m.np ~max_steps:m.max_steps ~fault:c.fault
+              ~seed:c.seed ~adir:(cell_dir dir c.index))
+      in
+      (* analysis: sequential, one shared memo — every cell of a seed
+         reuses the reference run's NLR summaries — with the manifest
+         rewritten after each cell so an interruption loses at most
+         the cell in flight *)
+      let memo = Memo.create () in
+      let completed = ref (List.rev prior) in
+      Array.iteri
+        (fun i c ->
+          let res =
+            Span.with_ "campaign.analyze" @@ fun () ->
+            analyze_cell ~memo ~config c ~normal:(normal_for c.seed)
+              ~faulty:sims.(i)
+          in
+          Telemetry.Counter.incr c_cells;
+          (match res.verdict with
+          | Completed -> ()
+          | Hung _ | Failed _ -> Telemetry.Counter.incr c_failed);
+          completed := res :: !completed;
+          let snapshot =
+            List.sort
+              (fun a b -> Int.compare a.cell.index b.cell.index)
+              !completed
+          in
+          write_manifest ~dir m ~config_name snapshot;
+          match on_cell with Some f -> f res | None -> ())
+        pending_arr;
+      let results =
+        List.sort (fun a b -> Int.compare a.cell.index b.cell.index) !completed
+      in
+      Ok
+        { matrix = m;
+          results;
+          executed = Array.length pending_arr;
+          resumed_cells = List.length prior })
+
+(* ------------------------------------------------------------------ *)
+(* Status                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let status ~dir =
+  match load_manifest ~dir with
+  | Error reason -> Error (Printf.sprintf "campaign manifest in %s: %s" dir reason)
+  | Ok None -> Error ("no campaign manifest in " ^ dir)
+  | Ok (Some lm) -> (
+    match
+      List.map Fault.of_string lm.lm_faults
+    with
+    | exception Invalid_argument reason ->
+      Error (Printf.sprintf "campaign manifest in %s: %s" dir reason)
+    | faults ->
+      (* reconstructed directly: [status] must work even when the
+         manifest's kind is not registered in this process *)
+      let m =
+        { kind = lm.lm_kind;
+          np = lm.lm_np;
+          faults;
+          seeds = lm.lm_seeds;
+          max_steps = lm.lm_budget }
+      in
+      let all = cells m in
+      let results = List.filter_map (result_of_stored all) lm.lm_cells in
+      Ok
+        { matrix = m;
+          results;
+          executed = 0;
+          resumed_cells = List.length results })
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* failed cells first (they crashed — maximally suspicious), then by
+   ascending B-score (the paper's ordering), index breaking ties *)
+let rank results =
+  List.stable_sort
+    (fun a b ->
+      match (a.bscore, b.bscore) with
+      | None, None -> Int.compare a.cell.index b.cell.index
+      | None, Some _ -> -1
+      | Some _, None -> 1
+      | Some x, Some y -> (
+        match Float.compare x y with
+        | 0 -> Int.compare a.cell.index b.cell.index
+        | c -> c))
+    results
+
+let render o =
+  let m = o.matrix in
+  let total = List.length m.faults * List.length m.seeds in
+  let count p = List.length (List.filter p o.results) in
+  let completed = count (fun r -> r.verdict = Completed) in
+  let hung = count (fun r -> match r.verdict with Hung _ -> true | _ -> false) in
+  let failed =
+    count (fun r -> match r.verdict with Failed _ -> true | _ -> false)
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "campaign %s: np=%d, %d faults x %d seeds = %d cells\n"
+       m.kind m.np (List.length m.faults) (List.length m.seeds) total);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "recorded %d/%d cells: %d completed, %d hung, %d failed (%d resumed)\n"
+       (List.length o.results) total completed hung failed o.resumed_cells);
+  let rows =
+    List.map
+      (fun r ->
+        [ string_of_int r.cell.index;
+          Fault.to_string r.cell.fault;
+          string_of_int r.cell.seed;
+          verdict_short r.verdict;
+          (match r.bscore with Some b -> Printf.sprintf "%.3f" b | None -> "-");
+          (match r.suspects with (l, s) :: _ -> Printf.sprintf "%s (%.3f)" l s | [] -> "-");
+          (if r.salvaged > 0 then string_of_int r.salvaged else "") ])
+      (rank o.results)
+  in
+  Buffer.add_string buf
+    (Difftrace_util.Texttable.render
+       ~headers:
+         [ "Cell"; "Fault"; "Seed"; "Verdict"; "B-score"; "Top suspect"; "Salvaged" ]
+       rows);
+  let failures =
+    List.filter
+      (fun r -> match r.verdict with Failed _ -> true | _ -> false)
+      o.results
+  in
+  if failures <> [] then begin
+    Buffer.add_string buf "failures:\n";
+    List.iter
+      (fun r ->
+        match r.verdict with
+        | Failed { error; _ } ->
+          Buffer.add_string buf
+            (Printf.sprintf "  cell %d [%s]: %s\n" r.cell.index
+               (cell_label r.cell) error)
+        | _ -> ())
+      failures
+  end;
+  let pending = total - List.length o.results in
+  if pending > 0 then
+    Buffer.add_string buf (Printf.sprintf "pending: %d cells not yet executed\n" pending);
+  Buffer.contents buf
+
+let top_cell_diffnlr ?(config = Config.default) ~dir o =
+  let candidates =
+    rank o.results
+    |> List.filter (fun r -> r.bscore <> None && r.suspects <> [])
+  in
+  match candidates with
+  | [] -> Error "no analyzable cell with a suspicious trace"
+  | top :: _ -> (
+    let load adir =
+      match Archive.load ~salvage:true ~dir:adir () with
+      | Ok l -> Ok l.Archive.set
+      | Error e -> Error (Archive.error_to_string e)
+    in
+    match
+      (load (normal_dir dir top.cell.seed), load (cell_dir dir top.cell.index))
+    with
+    | Error e, _ | _, Error e -> Error e
+    | Ok normal, Ok faulty -> (
+      match Pipeline.compare_runs config ~normal ~faulty with
+      | exception e -> Error ("analysis: " ^ Printexc.to_string e)
+      | cmp -> (
+        let label = fst (List.hd top.suspects) in
+        match Pipeline.find_diffnlr cmp label with
+        | Error e -> Error (Pipeline.lookup_error_to_string e)
+        | Ok d ->
+          Ok
+            (Printf.sprintf "cell %d [%s]:\n%s" top.cell.index
+               (cell_label top.cell)
+               (Difftrace_diff.Diffnlr.render
+                  ~title:(Printf.sprintf "diffNLR(%s)" label)
+                  d)))))

@@ -1,0 +1,179 @@
+(** Crash-isolated fault campaigns.
+
+    The paper validates DiffTrace one planted fault at a time (§II-G,
+    §IV, §V): a single normal/faulty pair per experiment. A campaign
+    sweeps the whole fault × scheduler-seed matrix of a workload in one
+    invocation, feeds every completed cell through the existing
+    pipeline (JSM diff → B-score → suspect ranking), and produces a
+    ranked cross-fault triage report — the "compare many executions at
+    once" workflow of Variational Traces and CiDiff, on DiffTrace's
+    substrate.
+
+    Two properties make campaigns production-grade rather than a shell
+    loop:
+
+    {b Crash isolation.} A cell that deadlocks or exhausts its step
+    budget is recorded as [Hung]; a cell whose workload or analysis
+    raises is recorded as [Failed] with the exception and backtrace.
+    Neither aborts the campaign — the remaining cells always run.
+
+    {b Resumability.} Campaign state persists incrementally under one
+    state directory: a CRC-checked manifest (rewritten atomically after
+    every cell) plus one checksummed v2 trace archive per executed
+    cell and per fault-free reference run. Re-running over the same
+    directory skips every cell already in the manifest ([resumed] in
+    its result, counted by the [campaign.resumed] telemetry counter);
+    cells whose archive survived an interrupted run but never reached
+    the manifest are re-analyzed from disk — salvage-loaded, so even a
+    damaged archive contributes its checksum-valid prefix instead of
+    forcing a re-execution.
+
+    Cell simulations and archive loads are fanned over the configured
+    {!Difftrace_core.Engine.t}; the analysis stage runs sequentially
+    against one shared {!Difftrace_core.Memo.t}, so the per-seed
+    reference run is summarized once however many faults share it.
+
+    Telemetry counters: [campaign.cells] (cells executed this run),
+    [campaign.failed] ([Hung] + [Failed] verdicts among them),
+    [campaign.resumed] (cells skipped via the manifest). *)
+
+(** {1 Cell kinds}
+
+    A {e kind} names the program a cell executes. The bundled
+    workloads are pre-registered ("oddeven", "ilcs", "lulesh", "heat",
+    "heat2d"), plus "selftest" — a diagnostics kind that delegates to
+    the odd/even sort but interprets [Skip_function {func = "raise"}]
+    as an injected exception and [Skip_function {func = "spin"}] as a
+    forced step-budget timeout, so campaign crash isolation can be
+    exercised end to end from the CLI. See EXTENDING.md for adding
+    kinds. *)
+
+(** [run ~np ~seed ~max_steps ~fault] — execute one cell program.
+    [max_steps] is the campaign's per-cell step budget (None = the
+    runtime default); implementations should thread it through to
+    {!Difftrace_simulator.Runtime.run} so hung cells time out instead
+    of burning the whole budget. May raise: the campaign runner
+    records the exception as a [Failed] verdict. *)
+type kind_fn =
+  np:int ->
+  seed:int ->
+  max_steps:int option ->
+  fault:Difftrace_simulator.Fault.t ->
+  Difftrace_simulator.Runtime.outcome
+
+(** [register_kind name fn] — add (or replace) a cell kind. *)
+val register_kind : string -> kind_fn -> unit
+
+(** Registered kind names, sorted. *)
+val kinds : unit -> string list
+
+(** {1 The matrix} *)
+
+type matrix = private {
+  kind : string;
+  np : int;
+  faults : Difftrace_simulator.Fault.t list;  (** in declaration order *)
+  seeds : int list;                           (** sorted, deduplicated *)
+  max_steps : int option;                     (** per-cell step budget *)
+}
+
+(** [matrix ?max_steps ~kind ~np ~faults ~seeds ()] — validate and
+    build. Raises [Invalid_argument] on an unknown kind, an empty
+    fault or seed list, or [np < 1]. Cells are the cross product
+    faults × seeds, numbered fault-major from 0. *)
+val matrix :
+  ?max_steps:int ->
+  kind:string ->
+  np:int ->
+  faults:Difftrace_simulator.Fault.t list ->
+  seeds:int list ->
+  unit ->
+  matrix
+
+type cell = { index : int; fault : Difftrace_simulator.Fault.t; seed : int }
+
+(** The matrix's cells, in index order. *)
+val cells : matrix -> cell list
+
+(** ["dlBug(rank=1,after=0)@s2"] — the cell's stable human label. *)
+val cell_label : cell -> string
+
+(** {1 Results} *)
+
+type verdict =
+  | Completed  (** clean termination, analysis done *)
+  | Hung of { deadlocked : int; timed_out : bool }
+      (** the run ended abnormally — [deadlocked] threads blocked
+          and/or the step budget ran out; the truncated traces were
+          still analyzed (that is DiffTrace's specialty) *)
+  | Failed of { error : string; backtrace : string }
+      (** the workload or its analysis raised; [backtrace] may be
+          empty *)
+
+val verdict_to_string : verdict -> string
+
+type cell_result = {
+  cell : cell;
+  verdict : verdict;
+  bscore : float option;
+      (** B-score of the cell vs. its fault-free reference run; [None]
+          when the cell failed before analysis *)
+  suspects : (string * float) list;
+      (** top suspicious traces (label, JSM_D row change), descending *)
+  salvaged : int;  (** traces recovered by archive salvage on reuse *)
+  resumed : bool;  (** skipped via the manifest, not executed *)
+}
+
+type outcome = {
+  matrix : matrix;
+  results : cell_result list;  (** in cell-index order *)
+  executed : int;              (** cells run (or re-analyzed) this call *)
+  resumed_cells : int;         (** cells skipped via the manifest *)
+}
+
+(** {1 Running} *)
+
+(** [run ?config ?on_cell ~dir m] — execute every cell of [m] not
+    already recorded in [dir]'s manifest, persisting state as it goes.
+    [config] (default {!Difftrace_core.Config.default}) selects the
+    analysis parameters and the engine; [on_cell] streams each
+    non-resumed cell's result as its analysis finishes.
+
+    Errors (as [Error msg], never an exception): the state directory
+    holds a {e different} campaign (kind, np, faults, seeds, config or
+    step budget changed), or it is unusable on disk. A manifest that
+    fails its CRC is treated as absent — a warning is printed to
+    stderr and the campaign re-runs, reusing any surviving cell
+    archives. *)
+val run :
+  ?config:Difftrace_core.Config.t ->
+  ?on_cell:(cell_result -> unit) ->
+  dir:string ->
+  matrix ->
+  (outcome, string) result
+
+(** [status ~dir] — the campaign recorded in [dir]'s manifest, without
+    executing anything: every recorded cell appears as a [resumed]
+    result, unrecorded cells are absent. [Error] when there is no
+    manifest or it fails its CRC. *)
+val status : dir:string -> (outcome, string) result
+
+(** {1 Reporting} *)
+
+(** [render o] — the ranked cross-fault triage table: failed cells
+    first (they crashed — maximally suspicious), then analyzable cells
+    by ascending B-score (the paper's ordering: low B-score = the
+    fault restructured the execution most), with a failure-detail
+    section beneath. *)
+val render : outcome -> string
+
+(** [top_cell_diffnlr ?config ~dir o] — re-load the archives of the
+    best-ranked analyzable cell and render the diffNLR of its top
+    suspect against the reference run (the drill-down step of the
+    triage loop). [Error] when no cell is analyzable or the archives
+    are gone. *)
+val top_cell_diffnlr :
+  ?config:Difftrace_core.Config.t ->
+  dir:string ->
+  outcome ->
+  (string, string) result

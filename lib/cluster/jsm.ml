@@ -46,15 +46,45 @@ let index_table labels =
   Array.iteri (fun i l -> if not (Hashtbl.mem tbl l) then Hashtbl.add tbl l i) labels;
   tbl
 
+(* A partially-failed campaign cell hands [align] matrices whose label
+   sets differ and whose rows may be ragged (a row dropped mid-write).
+   Both used to escape as an uncaught [Not_found] (from a raw
+   [Hashtbl.find]) or a bare out-of-bounds — diagnose them instead:
+   shape problems raise a descriptive [Invalid_argument] up front, and
+   any label that fails to resolve is named in the error. *)
+let check_shape side t =
+  let n = Array.length t.labels in
+  if Array.length t.m <> n then
+    invalid_arg
+      (Printf.sprintf "Jsm.align: %s matrix has %d labels but %d rows" side n
+         (Array.length t.m));
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> n then
+        invalid_arg
+          (Printf.sprintf
+             "Jsm.align: %s matrix row %d (label %S) has %d columns, expected %d"
+             side i t.labels.(i) (Array.length row) n))
+    t.m
+
 let align a b =
+  check_shape "first" a;
+  check_shape "second" b;
   let a_index = index_table a.labels and b_index = index_table b.labels in
+  let resolve side tbl l =
+    match Hashtbl.find_opt tbl l with
+    | Some i -> i
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Jsm.align: label %S missing from the %s matrix" l side)
+  in
   let common =
     Array.to_list a.labels |> List.filter (fun l -> Hashtbl.mem b_index l)
   in
   let labels = Array.of_list common in
   let n = Array.length labels in
-  let ai = Array.map (fun l -> Hashtbl.find a_index l) labels in
-  let bi = Array.map (fun l -> Hashtbl.find b_index l) labels in
+  let ai = Array.map (fun l -> resolve "first" a_index l) labels in
+  let bi = Array.map (fun l -> resolve "second" b_index l) labels in
   let pick src idx =
     Array.init n (fun i -> Array.init n (fun j -> src.(idx.(i)).(idx.(j))))
   in

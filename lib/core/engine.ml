@@ -98,3 +98,7 @@ let init t n f =
     else chunked_init ~domains n f
 
 let map t f arr = init t (Array.length arr) (fun i -> f arr.(i))
+
+type runner = { run : 'a. int -> (int -> 'a) -> 'a array }
+
+let runner t = { run = (fun n f -> init t n f) }

@@ -49,3 +49,12 @@ val init : t -> int -> (int -> 'a) -> 'a array
 
 (** [map t f arr] = [Array.map f arr], scheduled by the engine. *)
 val map : t -> ('a -> 'b) -> 'a array -> 'b array
+
+(** The engine as a first-class polymorphic record — the shape
+    libraries below the core (archive loads, campaign cells) accept so
+    they can fan independent work over an engine without depending on
+    this module's type. Same contract as {!init}. *)
+type runner = { run : 'a. int -> (int -> 'a) -> 'a array }
+
+(** [runner t] — [{ run = init t }]. *)
+val runner : t -> runner

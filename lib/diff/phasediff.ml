@@ -65,9 +65,17 @@ let render t =
   | None -> Buffer.add_string buf "phases are identical\n"
   | Some i ->
     Buffer.add_string buf (Printf.sprintf "first divergent phase: %d\n" i);
-    let p = List.nth t.phases i in
-    Buffer.add_string buf
-      (Diffnlr.render
-         ~title:(Printf.sprintf "phase %d" i)
-         (Diffnlr.of_strings ~normal:p.normal_phase ~faulty:p.faulty_phase)));
+    (* look the phase up by its [index] field rather than positionally:
+       a [t] assembled from ragged runs (or by hand) may hold fewer
+       phase reports than [first_divergent] implies, and a raw
+       [List.nth] here died with [Failure "nth"] *)
+    (match List.find_opt (fun p -> p.index = i) t.phases with
+    | None ->
+      Buffer.add_string buf
+        (Printf.sprintf "(no report recorded for phase %d)\n" i)
+    | Some p ->
+      Buffer.add_string buf
+        (Diffnlr.render
+           ~title:(Printf.sprintf "phase %d" i)
+           (Diffnlr.of_strings ~normal:p.normal_phase ~faulty:p.faulty_phase))));
   Buffer.contents buf

@@ -52,6 +52,9 @@ module Linkage = Difftrace_cluster.Linkage
 module Bscore = Difftrace_cluster.Bscore
 module Dendrogram = Difftrace_cluster.Dendrogram
 
+(* Fault campaigns (crash-isolated, resumable fault x seed sweeps). *)
+module Campaign = Difftrace_campaign.Campaign
+
 (* Diffing. *)
 module Diffnlr = Difftrace_diff.Diffnlr
 module Phasediff = Difftrace_diff.Phasediff

@@ -46,6 +46,11 @@ type report = {
 
 let manifest_file dir = Filename.concat dir "manifest"
 
+(* presence check only — the manifest may still be damaged; [load]
+   decides that *)
+let is_archive dir =
+  Sys.file_exists (manifest_file dir) && not (Sys.is_directory (manifest_file dir))
+
 let trace_file dir ~pid ~tid =
   Filename.concat dir (Printf.sprintf "trace_%d_%d.lzw" pid tid)
 

@@ -139,6 +139,12 @@ val repair :
   unit ->
   (loaded * int, error) result
 
+(** [is_archive dir] — [dir] holds an archive manifest file. A cheap
+    presence probe for layouts (e.g. campaign state directories) that
+    mix archives with other state; it does not validate the manifest —
+    {!load} does. *)
+val is_archive : string -> bool
+
 (** [manifest_file dir] / [trace_file dir ~pid ~tid] — file paths. *)
 val manifest_file : string -> string
 

@@ -12,6 +12,7 @@ type verdict = {
 type summary = {
   verdicts : verdict list;
   deadlock_seeds : int list;
+  timeout_seeds : int list;
   distinct_outcomes : int;
 }
 
@@ -36,24 +37,43 @@ let fingerprint_of ts =
   String.iter (fun c -> acc := (!acc * 257) lxor Char.code c) d;
   !acc land max_int
 
-let run ?np ?eager_limit ?max_steps ~seeds program =
+let summarize verdicts =
+  (* a timed-out run's trace shape is an artifact of where the step
+     budget happened to cut it, so its fingerprint says nothing about
+     schedule diversity: such seeds are surfaced in [timeout_seeds]
+     and excluded from [distinct_outcomes] *)
+  let fps =
+    List.sort_uniq Int.compare
+      (List.filter_map
+         (fun v -> if v.timed_out then None else Some v.fingerprint)
+         verdicts)
+  in
+  { verdicts;
+    deadlock_seeds =
+      List.filter_map (fun v -> if v.deadlocked then Some v.seed else None) verdicts;
+    timeout_seeds =
+      List.filter_map (fun v -> if v.timed_out then Some v.seed else None) verdicts;
+    distinct_outcomes = List.length fps }
+
+let verdict_of ?np ?eager_limit ?max_steps ~seed program =
+  let o = Runtime.run ?np ?eager_limit ?max_steps ~seed program in
+  { seed;
+    deadlocked = o.Runtime.deadlocked <> [];
+    timed_out = o.Runtime.timed_out;
+    races = List.length o.Runtime.races;
+    fingerprint = fingerprint_of o.Runtime.traces }
+
+let run ?np ?eager_limit ?max_steps ?on_verdict ~seeds program =
   if seeds = [] then invalid_arg "Explore.run: no seeds";
   let verdicts =
     List.map
       (fun seed ->
-        let o = Runtime.run ?np ?eager_limit ?max_steps ~seed program in
-        { seed;
-          deadlocked = o.Runtime.deadlocked <> [];
-          timed_out = o.Runtime.timed_out;
-          races = List.length o.Runtime.races;
-          fingerprint = fingerprint_of o.Runtime.traces })
+        let v = verdict_of ?np ?eager_limit ?max_steps ~seed program in
+        (match on_verdict with Some f -> f v | None -> ());
+        v)
       (List.sort_uniq Int.compare seeds)
   in
-  let fps = List.sort_uniq Int.compare (List.map (fun v -> v.fingerprint) verdicts) in
-  { verdicts;
-    deadlock_seeds =
-      List.filter_map (fun v -> if v.deadlocked then Some v.seed else None) verdicts;
-    distinct_outcomes = List.length fps }
+  summarize verdicts
 
 let render s =
   let rows =
@@ -65,10 +85,17 @@ let render s =
           Printf.sprintf "%08x" (v.fingerprint land 0xFFFFFFFF) ])
       s.verdicts
   in
+  let seed_list = function
+    | [] -> "none"
+    | seeds -> String.concat "," (List.map string_of_int seeds)
+  in
   Difftrace_util.Texttable.render
     ~headers:[ "Seed"; "Outcome"; "Races"; "Trace fingerprint" ]
     rows
   ^ Printf.sprintf "distinct outcomes: %d; deadlocking seeds: %s\n"
       s.distinct_outcomes
-      (if s.deadlock_seeds = [] then "none"
-       else String.concat "," (List.map string_of_int s.deadlock_seeds))
+      (seed_list s.deadlock_seeds)
+  ^
+  if s.timeout_seeds = [] then ""
+  else Printf.sprintf "timed-out seeds (excluded from outcome count): %s\n"
+         (seed_list s.timeout_seeds)

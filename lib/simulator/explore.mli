@@ -21,15 +21,41 @@ type verdict = {
 type summary = {
   verdicts : verdict list;       (** one per seed, in seed order *)
   deadlock_seeds : int list;     (** seeds whose run hung *)
-  distinct_outcomes : int;       (** number of distinct fingerprints *)
+  timeout_seeds : int list;
+      (** seeds whose run exhausted the step budget; their trace shape
+          is an artifact of where the budget cut them, so they are
+          excluded from [distinct_outcomes] *)
+  distinct_outcomes : int;
+      (** number of distinct fingerprints among runs that did not time
+          out *)
 }
 
-(** [run ?np ?eager_limit ?max_steps ~seeds program] — execute
-    [program] once per seed. *)
+(** [summarize verdicts] — aggregate a verdict list (however produced:
+    {!run}, a campaign driver, the CLI's per-workload loop) into a
+    summary. Timed-out verdicts land in [timeout_seeds] and do not
+    count toward [distinct_outcomes]. *)
+val summarize : verdict list -> summary
+
+(** [verdict_of ?np ?eager_limit ?max_steps ~seed program] — execute
+    one seed and classify it ([max_steps] is the step budget standing
+    in for the cluster job time limit). *)
+val verdict_of :
+  ?np:int ->
+  ?eager_limit:int ->
+  ?max_steps:int ->
+  seed:int ->
+  (Runtime.env -> unit) ->
+  verdict
+
+(** [run ?np ?eager_limit ?max_steps ?on_verdict ~seeds program] —
+    execute [program] once per seed. [on_verdict] is invoked with each
+    verdict as soon as its run finishes — the streaming hook campaign
+    drivers use for progress and early abort decisions. *)
 val run :
   ?np:int ->
   ?eager_limit:int ->
   ?max_steps:int ->
+  ?on_verdict:(verdict -> unit) ->
   seeds:int list ->
   (Runtime.env -> unit) ->
   summary

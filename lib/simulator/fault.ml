@@ -44,7 +44,13 @@ let of_string s =
       in
       (name, args)
   in
-  let geti k = match List.assoc_opt k args with Some v -> int_of_string v | None -> fail () in
+  let geti k =
+    (* int_of_string_opt, not int_of_string: a malformed number must
+       surface as the documented Invalid_argument, not Failure *)
+    match List.assoc_opt k args with
+    | Some v -> ( match int_of_string_opt v with Some n -> n | None -> fail ())
+    | None -> fail ()
+  in
   let gets k = match List.assoc_opt k args with Some v -> v | None -> fail () in
   match name with
   | "none" -> No_fault

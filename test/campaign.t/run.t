@@ -1,0 +1,70 @@
+A campaign over a deadlocking fault, a crashing fault and a clean fault:
+the failures become per-cell verdicts, the rest of the matrix still runs.
+
+  $ difftrace campaign run -d camp -w selftest --np 4 --seeds 2 \
+  >   -f 'dlBug(rank=1,after=0)' \
+  >   -f 'skipFunction(rank=0,func=raise)' \
+  >   -f 'swapBug(rank=1,after=0)'
+  cell 0 [dlBug(rank=1,after=0)@s1]: HUNG(4 blocked) (B-score 0.204)
+  cell 1 [dlBug(rank=1,after=0)@s2]: HUNG(4 blocked) (B-score 0.204)
+  cell 2 [skipFunction(rank=0,func=raise)@s1]: FAILED: cell run: Failure("selftest: injected crash")
+  cell 3 [skipFunction(rank=0,func=raise)@s2]: FAILED: cell run: Failure("selftest: injected crash")
+  cell 4 [swapBug(rank=1,after=0)@s1]: ok (B-score 0.204)
+  cell 5 [swapBug(rank=1,after=0)@s2]: ok (B-score 0.204)
+  campaign: 6 cells executed, 0 resumed
+  campaign selftest: np=4, 3 faults x 2 seeds = 6 cells
+  recorded 6/6 cells: 2 completed, 2 hung, 2 failed (0 resumed)
+  +------+---------------------------------+------+---------+---------+-------------+----------+
+  | Cell | Fault                           | Seed | Verdict | B-score | Top suspect | Salvaged |
+  +------+---------------------------------+------+---------+---------+-------------+----------+
+  | 2    | skipFunction(rank=0,func=raise) | 1    | FAILED  | -       | -           |          |
+  | 3    | skipFunction(rank=0,func=raise) | 2    | FAILED  | -       | -           |          |
+  | 0    | dlBug(rank=1,after=0)           | 1    | HUNG    | 0.204   | 0 (0.967)   |          |
+  | 1    | dlBug(rank=1,after=0)           | 2    | HUNG    | 0.204   | 0 (0.967)   |          |
+  | 4    | swapBug(rank=1,after=0)         | 1    | ok      | 0.204   | 1 (1.000)   |          |
+  | 5    | swapBug(rank=1,after=0)         | 2    | ok      | 0.204   | 1 (1.000)   |          |
+  +------+---------------------------------+------+---------+---------+-------------+----------+
+  failures:
+    cell 2 [skipFunction(rank=0,func=raise)@s1]: cell run: Failure("selftest: injected crash")
+    cell 3 [skipFunction(rank=0,func=raise)@s2]: cell run: Failure("selftest: injected crash")
+
+Re-running over the same state directory resumes from the manifest: no
+cell re-executes (the crashing cells do not even re-crash), and the
+campaign.resumed counter records the skips.
+
+  $ difftrace campaign run -d camp -w selftest --np 4 --seeds 2 \
+  >   -f 'dlBug(rank=1,after=0)' \
+  >   -f 'skipFunction(rank=0,func=raise)' \
+  >   -f 'swapBug(rank=1,after=0)' \
+  >   --profile | grep -E 'executed|campaign\.resumed'
+  campaign: 0 cells executed, 6 resumed
+  | campaign.resumed |     6 |
+
+The state directory survives inspection without execution:
+
+  $ difftrace campaign status -d camp | head -2
+  campaign selftest: np=4, 3 faults x 2 seeds = 6 cells
+  recorded 6/6 cells: 2 completed, 2 hung, 2 failed (6 resumed)
+
+The triage report drills into the best-ranked analyzable cell:
+
+  $ difftrace campaign report -d camp --diffnlr | tail -12
+  cell 0 [dlBug(rank=1,after=0)@s1]:
+  === diffNLR(0) ===
+      normal        | faulty       
+      --------------+--------------
+    = MPI_Init      | MPI_Init     
+    = MPI_Comm_rank | MPI_Comm_rank
+    = MPI_Comm_size | MPI_Comm_size
+      --------------+--------------
+    ~ L0^2          | MPI_Send     
+    ~ MPI_Finalize  | MPI_Recv     
+      --------------+--------------
+      faulty trace is TRUNCATED: the thread hung inside its last call
+
+A different matrix over the same directory is refused, not silently mixed:
+
+  $ difftrace campaign run -d camp -w selftest --np 8 --seeds 2 \
+  >   -f 'dlBug(rank=1,after=0)'
+  difftrace: camp holds a different campaign (mismatched np); use a fresh state directory or delete it
+  [1]

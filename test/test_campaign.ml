@@ -1,0 +1,272 @@
+(* Campaign runner: matrix construction, crash isolation, resume. *)
+
+module C = Difftrace_campaign.Campaign
+module Fault = Difftrace_simulator.Fault
+module Telemetry = Difftrace_obs.Telemetry
+
+let contains sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let tmpdir name =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) ("difftrace_camp_" ^ name)
+  in
+  rm_rf dir;
+  dir
+
+let dl_fault = Fault.Deadlock_recv { rank = 1; after_iter = 0 }
+let crash_fault = Fault.Skip_function { rank = 0; func = "raise" }
+let swap_fault = Fault.Swap_send_recv { rank = 1; after_iter = 0 }
+
+(* the acceptance matrix: one deadlocking cell, one raising cell, one
+   clean cell *)
+let mixed_matrix () =
+  C.matrix ~kind:"selftest" ~np:4 ~faults:[ dl_fault; crash_fault; swap_fault ]
+    ~seeds:[ 1 ] ()
+
+(* ------------------------------------------------------------------ *)
+(* matrix construction                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let expect_invalid name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: accepted" name
+  | exception Invalid_argument _ -> ()
+
+let test_matrix_validation () =
+  expect_invalid "unknown kind" (fun () ->
+      C.matrix ~kind:"nope" ~np:2 ~faults:[ swap_fault ] ~seeds:[ 1 ] ());
+  expect_invalid "no faults" (fun () ->
+      C.matrix ~kind:"oddeven" ~np:2 ~faults:[] ~seeds:[ 1 ] ());
+  expect_invalid "no seeds" (fun () ->
+      C.matrix ~kind:"oddeven" ~np:2 ~faults:[ swap_fault ] ~seeds:[] ());
+  expect_invalid "np < 1" (fun () ->
+      C.matrix ~kind:"oddeven" ~np:0 ~faults:[ swap_fault ] ~seeds:[ 1 ] ())
+
+let test_matrix_cells () =
+  let m =
+    C.matrix ~kind:"oddeven" ~np:2 ~faults:[ dl_fault; swap_fault ]
+      ~seeds:[ 3; 1; 3 ] ()
+  in
+  Alcotest.(check (list int)) "seeds sorted + deduped" [ 1; 3 ] m.C.seeds;
+  let cs = C.cells m in
+  Alcotest.(check int) "faults x seeds cells" 4 (List.length cs);
+  Alcotest.(check (list int)) "fault-major numbering from 0" [ 0; 1; 2; 3 ]
+    (List.map (fun c -> c.C.index) cs);
+  let c1 = List.nth cs 1 in
+  Alcotest.(check bool) "cell 1 = first fault, second seed" true
+    (Fault.equal c1.C.fault dl_fault && c1.C.seed = 3);
+  Alcotest.(check string) "label" "dlBug(rank=1,after=0)@s3" (C.cell_label c1)
+
+let test_registered_kinds () =
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (k ^ " registered") true (List.mem k (C.kinds ())))
+    [ "oddeven"; "ilcs"; "lulesh"; "heat"; "heat2d"; "selftest" ]
+
+(* ------------------------------------------------------------------ *)
+(* crash isolation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let verdict_of o i =
+  (List.find (fun r -> r.C.cell.C.index = i) o.C.results).C.verdict
+
+let result_of o i = List.find (fun r -> r.C.cell.C.index = i) o.C.results
+
+let test_run_isolates_failures () =
+  let dir = tmpdir "isolate" in
+  let streamed = ref [] in
+  let on_cell r = streamed := r.C.cell.C.index :: !streamed in
+  match C.run ~on_cell ~dir (mixed_matrix ()) with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    Alcotest.(check int) "all cells executed" 3 o.C.executed;
+    Alcotest.(check int) "nothing resumed" 0 o.C.resumed_cells;
+    Alcotest.(check (list int)) "streamed in index order" [ 0; 1; 2 ]
+      (List.rev !streamed);
+    (match verdict_of o 0 with
+    | C.Hung { deadlocked; timed_out } ->
+      Alcotest.(check bool) "deadlocked threads recorded" true (deadlocked > 0);
+      Alcotest.(check bool) "not a timeout" false timed_out
+    | v -> Alcotest.failf "deadlock cell: %s" (C.verdict_to_string v));
+    (* the hung cell's truncated traces were still analyzed *)
+    Alcotest.(check bool) "hung cell has a B-score" true
+      ((result_of o 0).C.bscore <> None);
+    (match verdict_of o 1 with
+    | C.Failed { error; backtrace = _ } ->
+      Alcotest.(check bool) "exception captured" true
+        (contains "injected crash" error)
+    | v -> Alcotest.failf "raising cell: %s" (C.verdict_to_string v));
+    (match verdict_of o 2 with
+    | C.Completed -> ()
+    | v -> Alcotest.failf "clean cell: %s" (C.verdict_to_string v));
+    (match (result_of o 2).C.suspects with
+    | (top, score) :: _ ->
+      Alcotest.(check string) "swap fault blames rank 1" "1" top;
+      Alcotest.(check bool) "positive score" true (score > 0.0)
+    | [] -> Alcotest.fail "clean cell has no suspects")
+
+let test_run_timeout_verdict () =
+  let dir = tmpdir "timeout" in
+  let m =
+    C.matrix ~max_steps:40 ~kind:"selftest" ~np:4
+      ~faults:[ Fault.Skip_function { rank = 0; func = "spin" } ]
+      ~seeds:[ 1 ] ()
+  in
+  match C.run ~dir m with
+  | Error e -> Alcotest.fail e
+  | Ok o -> (
+    match verdict_of o 0 with
+    | C.Hung { timed_out; _ } ->
+      Alcotest.(check bool) "budget exhaustion recorded" true timed_out
+    | v -> Alcotest.failf "spin cell: %s" (C.verdict_to_string v))
+
+(* ------------------------------------------------------------------ *)
+(* resume                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let counter rep name =
+  match List.assoc_opt name rep.Telemetry.counters with Some v -> v | None -> 0
+
+let test_run_resumes () =
+  let dir = tmpdir "resume" in
+  (match C.run ~dir (mixed_matrix ()) with
+  | Error e -> Alcotest.fail e
+  | Ok o -> Alcotest.(check int) "first pass executes" 3 o.C.executed);
+  Telemetry.enable ();
+  let second = C.run ~dir (mixed_matrix ()) in
+  let rep = Telemetry.report () in
+  Telemetry.disable ();
+  match second with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    Alcotest.(check int) "nothing re-executed" 0 o.C.executed;
+    Alcotest.(check int) "all cells resumed" 3 o.C.resumed_cells;
+    Alcotest.(check bool) "results marked resumed" true
+      (List.for_all (fun r -> r.C.resumed) o.C.results);
+    Alcotest.(check int) "campaign.resumed counter" 3
+      (counter rep "campaign.resumed");
+    Alcotest.(check int) "campaign.cells counter untouched" 0
+      (counter rep "campaign.cells");
+    (* the failed verdict (error text included) survived the round trip *)
+    (match verdict_of o 1 with
+    | C.Failed { error; _ } ->
+      Alcotest.(check bool) "error persisted" true
+        (contains "injected crash" error)
+    | v -> Alcotest.failf "persisted verdict: %s" (C.verdict_to_string v))
+
+let test_status_reads_back () =
+  let dir = tmpdir "status" in
+  (match C.run ~dir (mixed_matrix ()) with
+  | Error e -> Alcotest.fail e
+  | Ok _ -> ());
+  match C.status ~dir with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    Alcotest.(check int) "status executes nothing" 0 o.C.executed;
+    Alcotest.(check int) "three recorded cells" 3 (List.length o.C.results);
+    Alcotest.(check bool) "faults round-tripped" true
+      (List.map (fun f -> Fault.to_string f) o.C.matrix.C.faults
+      = List.map Fault.to_string [ dl_fault; crash_fault; swap_fault ])
+
+let test_corrupt_manifest_recovery () =
+  let dir = tmpdir "corrupt" in
+  (match C.run ~dir (mixed_matrix ()) with
+  | Error e -> Alcotest.fail e
+  | Ok _ -> ());
+  let manifest = Filename.concat dir "campaign.manifest" in
+  let oc = open_out_gen [ Open_append ] 0o644 manifest in
+  output_string oc "garbage";
+  close_out oc;
+  (match C.status ~dir with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "status accepted a damaged manifest");
+  (* run recovers: warns, restarts, re-adopts the surviving archives *)
+  match C.run ~dir (mixed_matrix ()) with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    Alcotest.(check int) "recovered every cell" 3 (List.length o.C.results);
+    (match verdict_of o 0 with
+    | C.Hung _ -> ()
+    | v -> Alcotest.failf "re-adopted verdict: %s" (C.verdict_to_string v))
+
+let test_mismatched_matrix_rejected () =
+  let dir = tmpdir "mismatch" in
+  (match C.run ~dir (mixed_matrix ()) with
+  | Error e -> Alcotest.fail e
+  | Ok _ -> ());
+  let other =
+    C.matrix ~kind:"selftest" ~np:8 ~faults:[ dl_fault; crash_fault; swap_fault ]
+      ~seeds:[ 1 ] ()
+  in
+  match C.run ~dir other with
+  | Error e ->
+    Alcotest.(check bool) "names the mismatch" true (contains "np" e)
+  | Ok _ -> Alcotest.fail "accepted a different campaign in the same dir"
+
+(* ------------------------------------------------------------------ *)
+(* reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_render_ranks_failures_first () =
+  let dir = tmpdir "render" in
+  match C.run ~dir (mixed_matrix ()) with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    let s = C.render o in
+    Alcotest.(check bool) "header" true (contains "campaign selftest" s);
+    Alcotest.(check bool) "failure detail" true (contains "injected crash" s);
+    (* the FAILED row precedes every analyzable row *)
+    let idx sub =
+      let n = String.length sub in
+      let rec go i =
+        if i + n > String.length s then Alcotest.failf "missing %S" sub
+        else if String.sub s i n = sub then i
+        else go (i + 1)
+      in
+      go 0
+    in
+    Alcotest.(check bool) "failed row ranked first" true
+      (idx "FAILED" < idx "HUNG" && idx "HUNG" < idx "ok")
+
+let test_top_cell_diffnlr () =
+  let dir = tmpdir "diffnlr" in
+  match C.run ~dir (mixed_matrix ()) with
+  | Error e -> Alcotest.fail e
+  | Ok o -> (
+    match C.top_cell_diffnlr ~dir o with
+    | Error e -> Alcotest.fail e
+    | Ok s ->
+      Alcotest.(check bool) "renders a diffNLR" true (contains "diffNLR" s))
+
+let () =
+  Alcotest.run "campaign"
+    [ ( "matrix",
+        [ Alcotest.test_case "validation" `Quick test_matrix_validation;
+          Alcotest.test_case "cells" `Quick test_matrix_cells;
+          Alcotest.test_case "registered kinds" `Quick test_registered_kinds ] );
+      ( "isolation",
+        [ Alcotest.test_case "deadlock/crash/clean" `Quick
+            test_run_isolates_failures;
+          Alcotest.test_case "step-budget timeout" `Quick
+            test_run_timeout_verdict ] );
+      ( "resume",
+        [ Alcotest.test_case "second run skips" `Quick test_run_resumes;
+          Alcotest.test_case "status" `Quick test_status_reads_back;
+          Alcotest.test_case "corrupt manifest" `Quick
+            test_corrupt_manifest_recovery;
+          Alcotest.test_case "mismatch rejected" `Quick
+            test_mismatched_matrix_rejected ] );
+      ( "report",
+        [ Alcotest.test_case "ranking" `Quick test_render_ranks_failures_first;
+          Alcotest.test_case "top-cell diffNLR" `Quick test_top_cell_diffnlr ] ) ]

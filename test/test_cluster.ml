@@ -276,6 +276,49 @@ let test_jsm_heatmap () =
   let s = Jsm.heatmap a in
   Alcotest.(check bool) "renders" true (String.length s > 20)
 
+let test_jsm_align_partial_overlap () =
+  (* alignment restricted to the label intersection, in first-matrix
+     order — the hand-assembled records exercise [align] away from the
+     [of_context] invariants *)
+  let a =
+    { Jsm.labels = [| "a"; "b"; "c" |];
+      m = [| [| 1.0; 0.5; 0.2 |]; [| 0.5; 1.0; 0.4 |]; [| 0.2; 0.4; 1.0 |] |] }
+  in
+  let b =
+    { Jsm.labels = [| "c"; "b"; "d" |];
+      m = [| [| 1.0; 0.1; 0.0 |]; [| 0.1; 1.0; 0.3 |]; [| 0.0; 0.3; 1.0 |] |] }
+  in
+  let a', b' = Jsm.align a b in
+  Alcotest.(check (array string)) "intersection, a-order" [| "b"; "c" |]
+    a'.Jsm.labels;
+  Alcotest.(check (float 1e-9)) "a cell picked" 0.4 a'.Jsm.m.(0).(1);
+  Alcotest.(check (float 1e-9)) "b cell picked (b-indices)" 0.1 b'.Jsm.m.(0).(1)
+
+let test_jsm_align_ragged_rejected () =
+  let ok =
+    { Jsm.labels = [| "a"; "b" |]; m = [| [| 1.0; 0.0 |]; [| 0.0; 1.0 |] |] }
+  in
+  (* a matrix that lost a row mid-write (the partially-failed campaign
+     cell case): diagnosed by name, not a bare out-of-bounds *)
+  let missing_row = { Jsm.labels = [| "a"; "b" |]; m = [| [| 1.0; 0.0 |] |] } in
+  Alcotest.check_raises "missing row named"
+    (Invalid_argument "Jsm.align: second matrix has 2 labels but 1 rows")
+    (fun () -> ignore (Jsm.align ok missing_row));
+  let ragged_row =
+    { Jsm.labels = [| "a"; "b" |]; m = [| [| 1.0; 0.0 |]; [| 0.0 |] |] }
+  in
+  Alcotest.check_raises "short row named"
+    (Invalid_argument
+       "Jsm.align: first matrix row 1 (label \"b\") has 1 columns, expected 2")
+    (fun () -> ignore (Jsm.align ragged_row ok))
+
+let test_jsm_diff_disjoint_labels () =
+  (* no common labels: an empty (but well-formed) diff, not a crash *)
+  let a = Jsm.of_context (ctx [ ("t0", [ "x" ]) ]) in
+  let b = Jsm.of_context (ctx [ ("t9", [ "x" ]) ]) in
+  let d = Jsm.diff a b in
+  Alcotest.(check int) "empty alignment" 0 (Array.length d.Jsm.labels)
+
 let () =
   Alcotest.run "cluster"
     [ ( "linkage",
@@ -312,4 +355,10 @@ let () =
           Alcotest.test_case "diff aligns labels" `Quick test_jsm_diff_aligns_labels;
           Alcotest.test_case "self diff zero" `Quick test_jsm_diff_self_zero;
           Alcotest.test_case "to_distance" `Quick test_jsm_to_distance;
-          Alcotest.test_case "heatmap" `Quick test_jsm_heatmap ] ) ]
+          Alcotest.test_case "heatmap" `Quick test_jsm_heatmap;
+          Alcotest.test_case "align partial overlap" `Quick
+            test_jsm_align_partial_overlap;
+          Alcotest.test_case "align ragged rejected" `Quick
+            test_jsm_align_ragged_rejected;
+          Alcotest.test_case "diff disjoint labels" `Quick
+            test_jsm_diff_disjoint_labels ] ) ]

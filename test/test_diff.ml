@@ -221,6 +221,36 @@ let test_phase_identical () =
   Alcotest.(check bool) "render mentions identical" true
     (String.length (Phasediff.render t) > 10)
 
+let test_phase_render_ragged () =
+  (* a hand-assembled (or damaged) report whose [first_divergent]
+     points past the recorded phase list: render must degrade to a
+     note, where a raw [List.nth] used to die with [Failure "nth"] *)
+  let p =
+    { Phasediff.index = 2;
+      normal_phase = [ "a" ];
+      faulty_phase = [ "b" ];
+      distance = 2 }
+  in
+  let ragged =
+    { Phasediff.phases = [ p ]; first_divergent = Some 0; total_phases = 3 }
+  in
+  let r = Phasediff.render ragged in
+  let contains sub s =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "missing phase noted" true
+    (contains "no report recorded for phase 0" r);
+  (* a divergent index that IS recorded still renders its diff *)
+  let found =
+    Phasediff.render
+      { Phasediff.phases = [ p ]; first_divergent = Some 2; total_phases = 3 }
+  in
+  Alcotest.(check bool) "recorded phase diffed" true (contains "phase 2" found)
+
 let test_phase_pipeline_integration () =
   let module Heat = Difftrace_workloads.Heat in
   let module R = Difftrace_simulator.Runtime in
@@ -275,6 +305,7 @@ let () =
           Alcotest.test_case "localizes divergence" `Quick test_phase_compare_localizes;
           Alcotest.test_case "extra phases" `Quick test_phase_extra_phases;
           Alcotest.test_case "identical" `Quick test_phase_identical;
+          Alcotest.test_case "ragged render" `Quick test_phase_render_ragged;
           Alcotest.test_case "pipeline integration" `Quick
             test_phase_pipeline_integration ] );
       ( "diffnlr",

@@ -199,6 +199,62 @@ let prop_heat_conservation_shape =
       o.R.deadlocked = []
       && Array.for_all (fun v -> v >= 0 && v <= 1_000_000) r.Heat.field)
 
+(* every fault constructor round-trips through its string form —
+   including hostile rank/iteration values the CLI never produces.
+   [func] stays on an identifier alphabet: the string form is
+   positional ("key=value,..."), so separators inside a function name
+   are out of the format's domain by design. *)
+let fault_gen =
+  let open QCheck2.Gen in
+  let rank = int_range (-3) 10_000 in
+  let iter = int_range (-3) 10_000 in
+  let func =
+    map2
+      (fun c s -> Printf.sprintf "%c%s" c s)
+      (char_range 'a' 'z')
+      (string_size ~gen:(oneofl [ 'a'; 'z'; 'A'; 'Z'; '0'; '9'; '_'; '.' ])
+         (int_range 0 12))
+  in
+  oneof
+    [ return Fault.No_fault;
+      map2
+        (fun rank after_iter -> Fault.Swap_send_recv { rank; after_iter })
+        rank iter;
+      map2
+        (fun rank after_iter -> Fault.Deadlock_recv { rank; after_iter })
+        rank iter;
+      map (fun rank -> Fault.Wrong_collective_size { rank }) rank;
+      map (fun rank -> Fault.Wrong_collective_op { rank }) rank;
+      map2 (fun rank thread -> Fault.No_critical { rank; thread }) rank iter;
+      map2 (fun rank func -> Fault.Skip_function { rank; func }) rank func ]
+
+let prop_fault_string_roundtrip =
+  qtest "Fault.of_string inverts Fault.to_string" ~count:200 fault_gen
+    (fun f -> Fault.equal (Fault.of_string (Fault.to_string f)) f)
+
+let test_fault_of_string_malformed () =
+  let expect_invalid s =
+    match Fault.of_string s with
+    | f -> Alcotest.failf "%S accepted as %s" s (Fault.to_string f)
+    | exception Invalid_argument _ -> ()
+    | exception e ->
+      Alcotest.failf "%S raised %s, not Invalid_argument" s
+        (Printexc.to_string e)
+  in
+  List.iter expect_invalid
+    [ "";
+      "bogus";
+      "swapBug";
+      "swapBug(";
+      "swapBug(rank=5)";
+      (* a malformed number once leaked [Failure "int_of_string"] *)
+      "swapBug(rank=abc,after=1)";
+      "swapBug(rank=,after=1)";
+      "dlBug(after=1)";
+      "wrongSize()";
+      "noCritical(rank=1)";
+      "skipFunction(rank=1)" ]
+
 let () =
   Alcotest.run "properties"
     [ ( "end-to-end",
@@ -212,4 +268,8 @@ let () =
           prop_cct_preserves_call_counts;
           prop_pipeline_jsm_properties;
           prop_fault_sweep_total;
-          prop_heat_conservation_shape ] ) ]
+          prop_heat_conservation_shape ] );
+      ( "fault-strings",
+        [ prop_fault_string_roundtrip;
+          Alcotest.test_case "malformed strings rejected" `Quick
+            test_fault_of_string_malformed ] ) ]

@@ -612,6 +612,61 @@ let test_explore_empty_seeds () =
   Alcotest.check_raises "no seeds" (Invalid_argument "Explore.run: no seeds")
     (fun () -> ignore (Explore.run ~seeds:[] (fun _ -> ())))
 
+let contains sub s =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let test_explore_summarize_excludes_timeouts () =
+  let v ~seed ~fp ~t =
+    { Explore.seed; deadlocked = false; timed_out = t; races = 0;
+      fingerprint = fp }
+  in
+  let s =
+    Explore.summarize
+      [ v ~seed:1 ~fp:10 ~t:false;
+        v ~seed:2 ~fp:20 ~t:true;
+        v ~seed:3 ~fp:30 ~t:true;
+        v ~seed:4 ~fp:10 ~t:false ]
+  in
+  (* the timed-out fingerprints are budget artifacts: seeds 2 and 3
+     must not inflate the outcome count *)
+  Alcotest.(check int) "timeouts excluded from outcomes" 1 s.Explore.distinct_outcomes;
+  Alcotest.(check (list int)) "timeout seeds" [ 2; 3 ] s.Explore.timeout_seeds;
+  Alcotest.(check bool) "render reports the exclusion" true
+    (contains "timed-out seeds" (Explore.render s));
+  let clean = Explore.summarize [ v ~seed:1 ~fp:10 ~t:false ] in
+  Alcotest.(check (list int)) "no timeouts" [] clean.Explore.timeout_seeds;
+  Alcotest.(check bool) "no timeout line when none" false
+    (contains "timed-out" (Explore.render clean))
+
+let test_explore_timeout_run () =
+  (* every seed exhausts the budget inside the barrier loop *)
+  let s =
+    Explore.run ~np:2 ~max_steps:30 ~seeds:[ 1; 2 ] (fun env ->
+        while true do
+          Api.barrier env
+        done)
+  in
+  Alcotest.(check (list int)) "all seeds time out" [ 1; 2 ]
+    s.Explore.timeout_seeds;
+  Alcotest.(check int) "no countable outcomes" 0 s.Explore.distinct_outcomes
+
+let test_explore_on_verdict_stream () =
+  let seen = ref [] in
+  let s =
+    Explore.run ~np:2 ~seeds:[ 1; 2; 3 ]
+      ~on_verdict:(fun v -> seen := v.Explore.seed :: !seen)
+      (fun env ->
+        if pid env = 0 then Api.send env ~dst:1 [| 1 |]
+        else ignore (Api.recv env ~src:0 ()))
+  in
+  Alcotest.(check (list int)) "streamed in seed order" [ 1; 2; 3 ]
+    (List.rev !seen);
+  Alcotest.(check int) "one verdict per seed" 3 (List.length s.Explore.verdicts)
+
 let () =
   Alcotest.run "simulator"
     [ ( "point-to-point",
@@ -677,7 +732,12 @@ let () =
             test_explore_schedule_dependent_traces;
           Alcotest.test_case "finds rendezvous deadlock" `Quick
             test_explore_finds_rendezvous_deadlock;
-          Alcotest.test_case "empty seeds" `Quick test_explore_empty_seeds ] );
+          Alcotest.test_case "empty seeds" `Quick test_explore_empty_seeds;
+          Alcotest.test_case "summarize excludes timeouts" `Quick
+            test_explore_summarize_excludes_timeouts;
+          Alcotest.test_case "timed-out run" `Quick test_explore_timeout_run;
+          Alcotest.test_case "on_verdict streaming" `Quick
+            test_explore_on_verdict_stream ] );
       ( "scheduler",
         [ Alcotest.test_case "determinism (fixed seed)" `Quick test_determinism_same_seed;
           prop_determinism;
