@@ -1,6 +1,6 @@
 # Convenience targets mirroring what CI runs (.github/workflows/ci.yml).
 
-.PHONY: all build test bench bench-smoke campaign-smoke fuzz-smoke fmt clean
+.PHONY: all build test bench bench-smoke campaign-smoke fuzz-smoke store-smoke fmt clean
 
 all: build
 
@@ -23,6 +23,11 @@ bench-smoke:
 # resume without re-executing, and render its triage report
 campaign-smoke:
 	dune build @campaign-smoke
+
+# the persistent-store smoke pass: cold vs. warm disk-backed analysis
+# (CI pairs this with an actions/cache of the store directory)
+store-smoke:
+	dune exec bench/main.exe -- --store --quick
 
 # the archive fault-injection corpus on its own: deterministic bit
 # flips, truncations, chunk deletions and garbage appends against v1/v2

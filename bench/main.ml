@@ -44,15 +44,17 @@ type options = {
   quick : bool;
   perf : bool;
   engine : bool;
+  store : bool;
   json : string option;
 }
 
 let usage oc =
   output_string oc
-    "usage: bench [--quick] [--perf | --engine] [--json FILE]\n\n\
+    "usage: bench [--quick] [--perf | --engine | --store] [--json FILE]\n\n\
     \  (no mode)    regenerate every paper table and figure\n\
     \  --perf       Bechamel micro-benchmarks only\n\
     \  --engine     engine/memo-cache benchmarks only\n\
+    \  --store      cold vs. warm persistent-store benchmarks only\n\
     \  --quick      shrink workloads to CI scale\n\
     \  --json FILE  write metrics + telemetry to FILE (difftrace-bench/1)\n"
 
@@ -70,6 +72,7 @@ let opts =
     | "--quick" :: rest -> parse { acc with quick = true } rest
     | "--perf" :: rest -> parse { acc with perf = true } rest
     | "--engine" :: rest -> parse { acc with engine = true } rest
+    | "--store" :: rest -> parse { acc with store = true } rest
     | "--json" :: file :: rest when file = "" || file.[0] <> '-' ->
       parse { acc with json = Some file } rest
     | [ "--json" ] | "--json" :: _ -> die "--json requires FILE"
@@ -77,15 +80,19 @@ let opts =
   in
   let o =
     parse
-      { quick = false; perf = false; engine = false; json = None }
+      { quick = false; perf = false; engine = false; store = false; json = None }
       (List.tl (Array.to_list Sys.argv))
   in
-  if o.perf && o.engine then die "--perf and --engine are exclusive";
+  if (if o.perf then 1 else 0) + (if o.engine then 1 else 0)
+     + (if o.store then 1 else 0)
+     > 1
+  then die "--perf, --engine and --store are exclusive";
   o
 
 let quick = opts.quick
 let perf_only = opts.perf
 let engine_only = opts.engine
+let store_only = opts.store
 
 (* named scalar metrics collected for --json; every section that
    measures something worth tracking across commits pushes here *)
@@ -749,6 +756,61 @@ let memo_bench () =
   metric "memo.sweep.warm" t_warm;
   metric ~unit:"x" "memo.sweep.speedup" (t_cold /. t_warm)
 
+let store_bench () =
+  section "E3" "Store: cold vs. warm disk-backed analysis (same bytes out)";
+  let np, workers = ilcs_args in
+  let normal = (fst (Ilcs.run ~np ~workers ~fault:Fault.No_fault ())).R.traces in
+  let faulty =
+    (fst (Ilcs.run ~np ~workers ~fault:(Fault.Wrong_collective_size { rank = 2 }) ()))
+      .R.traces
+  in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "difftrace_bench_store"
+  in
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  let with_store f =
+    match Store.load ~dir with
+    | Error e -> failwith ("store: " ^ Store.error_to_string e)
+    | Ok st ->
+      let v = f st in
+      (match Store.flush st with
+      | Ok () -> ()
+      | Error e -> failwith ("store flush: " ^ Store.error_to_string e));
+      (v, st)
+  in
+  let config = Config.make () in
+  let c_none, t_none =
+    time (fun () -> Pipeline.compare_runs config ~normal ~faulty)
+  in
+  let (c_cold, _), t_cold =
+    time (fun () ->
+        with_store (fun st -> Pipeline.compare_runs ~store:st config ~normal ~faulty))
+  in
+  let (c_warm, st), t_warm =
+    time (fun () ->
+        with_store (fun st -> Pipeline.compare_runs ~store:st config ~normal ~faulty))
+  in
+  let same a b =
+    a.Pipeline.bscore = b.Pipeline.bscore
+    && a.Pipeline.suspects = b.Pipeline.suspects
+    && a.Pipeline.jsm_d = b.Pipeline.jsm_d
+  in
+  let identical = same c_none c_cold && same c_none c_warm in
+  let s = Store.stats st in
+  Printf.printf
+    "compare ilcs np=%d: storeless %.3fs, cold+flush %.3fs, warm %.3fs \
+     (speedup %.2fx vs. storeless); results identical: %b\n"
+    np t_none t_cold t_warm (t_none /. t_warm) identical;
+  Printf.printf "store after warm run: %d summaries, %d matrices, %d bytes\n"
+    s.Store.summaries s.Store.matrices s.Store.file_bytes;
+  metric "store.compare.nostore" t_none;
+  metric "store.compare.cold" t_cold;
+  metric "store.compare.warm" t_warm;
+  metric ~unit:"x" "store.compare.warm_speedup" (t_none /. t_warm);
+  metric ~unit:"bool" "store.compare.identical" (if identical then 1.0 else 0.0);
+  metric ~unit:"B" "store.file_bytes" (float_of_int s.Store.file_bytes)
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel perf benches                                               *)
 (* ------------------------------------------------------------------ *)
@@ -874,6 +936,7 @@ let () =
     engine_bench ();
     memo_bench ()
   end
+  else if store_only then store_bench ()
   else if not perf_only then begin
     table_i ();
     odd_even_walkthrough ();
@@ -888,6 +951,7 @@ let () =
     classification ();
     engine_bench ();
     memo_bench ();
+    store_bench ();
     print_newline ();
     print_endline "All reproduction sections completed.";
     print_endline "Run with --perf for Bechamel micro-benchmarks."

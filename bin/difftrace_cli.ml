@@ -167,6 +167,63 @@ let linkage_t =
 
 let level_of all_images = if all_images then Tracer.All_images else Tracer.Main_image
 
+(* --- the persistent analysis store ---------------------------------- *)
+
+(* every analysis command takes --store DIR (reuse NLR summaries and
+   JSM matrices across invocations) and --no-store (wins over --store;
+   for campaigns it disables the default per-campaign store). The raw
+   pair is interpreted per command: [store_of] for commands where the
+   store is opt-in, [campaign_store_of] for campaign run, which
+   defaults to <campaign-dir>/store. *)
+let store_flags_t =
+  let store =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Persistent analysis store: reload cached NLR summaries and JSM \
+             matrices from $(docv) and save new ones back, so repeated \
+             analyses skip recomputation. Results are byte-identical with \
+             or without a store.")
+  in
+  let no_store =
+    Arg.(
+      value & flag
+      & info [ "no-store" ]
+          ~doc:
+            "Disable the persistent analysis store (overrides --store and \
+             the campaign default).")
+  in
+  Term.(const (fun s n -> (s, n)) $ store $ no_store)
+
+let store_of (dir, no_store) = if no_store then None else dir
+
+let campaign_store_of ~dir (sdir, no_store) =
+  if no_store then None
+  else Some (Option.value sdir ~default:(Filename.concat dir "store"))
+
+(* a store that fails to open degrades to a cold run, it never blocks
+   the analysis *)
+let open_store = function
+  | None -> None
+  | Some dir -> (
+    match Store.load ~dir with
+    | Ok st -> Some st
+    | Error e ->
+      Printf.eprintf "difftrace: store disabled: %s\n%!"
+        (Store.error_to_string e);
+      None)
+
+let flush_store = function
+  | None -> ()
+  | Some st -> (
+    match Store.flush st with
+    | Ok () -> ()
+    | Error e ->
+      Printf.eprintf "difftrace: could not flush store: %s\n%!"
+        (Store.error_to_string e))
+
 (* --- profiling ------------------------------------------------------ *)
 
 (* every analysis command takes --profile (print the per-stage table
@@ -294,7 +351,7 @@ let compare_cmd =
           ~doc:"Trace to diff (e.g. '5' or '6.4'); default: top suspect.")
   in
   let action w np seed fault all_images filter custom attrs k linkage engine
-      diffnlr prof =
+      store diffnlr prof =
     if fault = Fault.No_fault then
       prerr_endline "warning: comparing a run against itself (--fault none)";
     let level = level_of all_images in
@@ -302,9 +359,12 @@ let compare_cmd =
     run_profiled prof ~config @@ fun () ->
     let normal = run_workload w ~np ~seed ~level ~fault:Fault.No_fault in
     let faulty = run_workload w ~np ~seed ~level ~fault in
+    let store = open_store (store_of store) in
     let c =
-      Pipeline.compare_runs config ~normal:normal.R.traces ~faulty:faulty.R.traces
+      Pipeline.compare_runs ?store config ~normal:normal.R.traces
+        ~faulty:faulty.R.traces
     in
+    flush_store store;
     Printf.printf "configuration: %s\n" (Config.name config);
     Printf.printf "B-score: %.3f\n" c.Pipeline.bscore;
     Printf.printf "top processes: %s\n"
@@ -335,7 +395,7 @@ let compare_cmd =
   Cmd.v (Cmd.info "compare" ~doc)
     Term.(const action $ workload_t $ np_t $ seed_t $ fault_t $ all_images_t
           $ filter_t $ custom_t $ attrs_t $ k_t $ linkage_t $ engine_t
-          $ diffnlr_t $ profile_t)
+          $ store_flags_t $ diffnlr_t $ profile_t)
 
 (* --- table --------------------------------------------------------- *)
 
@@ -348,25 +408,35 @@ let table_cmd =
       & info [ "F"; "filter-spec" ] ~docv:"SPEC"
           ~doc:"Filter spec; repeatable for a multi-filter grid.")
   in
-  let action w np seed fault all_images filters custom k linkage engine prof =
+  let action w np seed fault all_images filters custom k linkage engine store
+      prof =
     run_profiled prof @@ fun () ->
     let level = level_of all_images in
     let normal = run_workload w ~np ~seed ~level ~fault:Fault.No_fault in
     let faulty = run_workload w ~np ~seed ~level ~fault in
     let filters = List.map (F.of_spec ~custom) filters in
-    let memo = Memo.create () in
-    let rows =
-      Ranking.sweep ~memo
-        (Ranking.grid ~filters ~k
-           ~linkage:(Linkage.method_of_string linkage)
-           ~engine ())
-        ~normal:normal.R.traces ~faulty:faulty.R.traces
+    let store = open_store (store_of store) in
+    let grid =
+      Ranking.grid ~filters ~k
+        ~linkage:(Linkage.method_of_string linkage)
+        ~engine ()
     in
+    let rows =
+      match store with
+      | Some _ ->
+        Ranking.sweep ?store grid ~normal:normal.R.traces
+          ~faulty:faulty.R.traces
+      | None ->
+        Ranking.sweep ~memo:(Memo.create ()) grid ~normal:normal.R.traces
+          ~faulty:faulty.R.traces
+    in
+    flush_store store;
     print_string (Ranking.render rows)
   in
   Cmd.v (Cmd.info "table" ~doc)
     Term.(const action $ workload_t $ np_t $ seed_t $ fault_t $ all_images_t
-          $ filters_t $ custom_t $ k_t $ linkage_t $ engine_t $ profile_t)
+          $ filters_t $ custom_t $ k_t $ linkage_t $ engine_t $ store_flags_t
+          $ profile_t)
 
 (* --- record / analyze: the offline archive workflow ----------------- *)
 
@@ -434,8 +504,8 @@ let analyze_cmd =
              cleanly-decoding prefix of each corrupt trace (marked \
              truncated) instead of refusing the whole run.")
   in
-  let action normal_dir faulty_dir filter custom attrs k linkage engine salvage
-      diffnlr prof =
+  let action normal_dir faulty_dir filter custom attrs k linkage engine store
+      salvage diffnlr prof =
     let config = config_of ~filter ~custom ~attrs ~k ~linkage ~engine in
     run_profiled prof ~config @@ fun () ->
     let runner = archive_runner engine in
@@ -461,7 +531,9 @@ let analyze_cmd =
     in
     let normal = load_archive normal_dir in
     let faulty = load_archive faulty_dir in
-    let c = Pipeline.compare_runs config ~normal ~faulty in
+    let store = open_store (store_of store) in
+    let c = Pipeline.compare_runs ?store config ~normal ~faulty in
+    flush_store store;
     Printf.printf "configuration: %s\n" (Config.name config);
     Printf.printf "B-score: %.3f\n" c.Pipeline.bscore;
     Printf.printf "suspicious traces:\n";
@@ -483,7 +555,8 @@ let analyze_cmd =
   in
   Cmd.v (Cmd.info "analyze" ~doc)
     Term.(const action $ normal_t $ faulty_t $ filter_t $ custom_t $ attrs_t
-          $ k_t $ linkage_t $ engine_t $ salvage_t $ diffnlr_t $ profile_t)
+          $ k_t $ linkage_t $ engine_t $ store_flags_t $ salvage_t $ diffnlr_t
+          $ profile_t)
 
 (* --- archive: integrity tooling ------------------------------------- *)
 
@@ -553,14 +626,16 @@ let triage_cmd =
      the least-progressed threads — no reference execution needed."
   in
   let action w np seed fault all_images filter custom attrs k linkage engine
-      prof =
+      store prof =
     let config = config_of ~filter ~custom ~attrs ~k ~linkage ~engine in
     run_profiled prof ~config @@ fun () ->
     let outcome = run_workload w ~np ~seed ~level:(level_of all_images) ~fault in
     if outcome.R.deadlocked <> [] then
       Printf.printf "run is HUNG: %d threads never terminated\n"
         (List.length outcome.R.deadlocked);
-    let a = Pipeline.analyze config outcome.R.traces in
+    let store = open_store (store_of store) in
+    let a = Pipeline.analyze ?store config outcome.R.traces in
+    flush_store store;
     print_endline "JSM outliers (most dissimilar traces of this run):";
     let entries = Pipeline.triage a in
     print_string
@@ -581,7 +656,7 @@ let triage_cmd =
   Cmd.v (Cmd.info "triage" ~doc)
     Term.(const action $ workload_t $ np_t $ seed_t $ fault_t $ all_images_t
           $ filter_t $ custom_t $ attrs_t $ k_t $ linkage_t $ engine_t
-          $ profile_t)
+          $ store_flags_t $ profile_t)
 
 (* --- export (OTF2-style archive) ------------------------------------ *)
 
@@ -684,16 +759,18 @@ let autotune_cmd =
       & opt_all int [ 10 ]
       & info [ "K" ] ~docv:"K" ~doc:"NLR constants to sweep (repeatable).")
   in
-  let action w np seed fault all_images custom ks engine prof =
+  let action w np seed fault all_images custom ks engine store prof =
     run_profiled prof @@ fun () ->
     let level = level_of all_images in
     let normal = run_workload w ~np ~seed ~level ~fault:Fault.No_fault in
     let faulty = run_workload w ~np ~seed ~level ~fault in
     ignore custom;
+    let store = open_store (store_of store) in
     let r =
-      Autotune.search ~engine ~ks ~normal:normal.R.traces
+      Autotune.search ~engine ?store ~ks ~normal:normal.R.traces
         ~faulty:faulty.R.traces ()
     in
+    flush_store store;
     Printf.printf "evaluated %d configurations\n" r.Autotune.evaluated;
     print_string (Autotune.render r);
     Printf.printf "best: %s (B-score %.3f, top suspect %s)\n"
@@ -703,7 +780,7 @@ let autotune_cmd =
   in
   Cmd.v (Cmd.info "autotune" ~doc)
     Term.(const action $ workload_t $ np_t $ seed_t $ fault_t $ all_images_t
-          $ custom_t $ ks_t $ engine_t $ profile_t)
+          $ custom_t $ ks_t $ engine_t $ store_flags_t $ profile_t)
 
 (* --- campaign: crash-isolated fault x seed sweeps -------------------- *)
 
@@ -760,7 +837,7 @@ let campaign_cmd =
        resumes from the manifest."
     in
     let action dir kind np faults nseeds max_steps filter custom attrs k
-        linkage engine prof =
+        linkage engine store prof =
       if faults = [] then begin
         prerr_endline
           "difftrace: campaign run needs at least one --fault (repeatable)";
@@ -768,6 +845,9 @@ let campaign_cmd =
       end;
       let config = config_of ~filter ~custom ~attrs ~k ~linkage ~engine in
       run_profiled prof ~config @@ fun () ->
+      (* campaigns persist analysis by default, beside their archives;
+         a resumed campaign re-adopts the store like everything else *)
+      let store = open_store (campaign_store_of ~dir store) in
       match
         C.matrix ?max_steps ~kind ~np ~faults
           ~seeds:(List.init nseeds (fun i -> i + 1))
@@ -785,11 +865,12 @@ let campaign_cmd =
             | Some b -> Printf.sprintf " (B-score %.3f)" b
             | None -> "")
         in
-        match C.run ~config ~on_cell ~dir m with
+        match C.run ~config ~on_cell ?store ~dir m with
         | Error e ->
           Printf.eprintf "difftrace: %s\n" e;
           exit 1
         | Ok o ->
+          flush_store store;
           Printf.printf "campaign: %d cells executed, %d resumed\n" o.C.executed
             o.C.resumed_cells;
           print_outcome o)
@@ -797,7 +878,7 @@ let campaign_cmd =
     Cmd.v (Cmd.info "run" ~doc)
       Term.(const action $ dir_t $ kind_t $ np_t $ faults_t $ nseeds_t
             $ max_steps_t $ filter_t $ custom_t $ attrs_t $ k_t $ linkage_t
-            $ engine_t $ profile_t)
+            $ engine_t $ store_flags_t $ profile_t)
   in
   let status_cmd =
     let doc =
@@ -826,7 +907,7 @@ let campaign_cmd =
               "Also re-load the best-ranked cell's archives and print the \
                diffNLR of its top suspect against the reference run.")
     in
-    let action dir diffnlr filter custom attrs k linkage engine prof =
+    let action dir diffnlr filter custom attrs k linkage engine store prof =
       let config = config_of ~filter ~custom ~attrs ~k ~linkage ~engine in
       run_profiled prof ~config @@ fun () ->
       match C.status ~dir with
@@ -835,16 +916,20 @@ let campaign_cmd =
         exit 1
       | Ok o -> (
         print_outcome o;
-        if diffnlr then
-          match C.top_cell_diffnlr ~config ~dir o with
-          | Ok s -> print_string s
+        if diffnlr then begin
+          let store = open_store (campaign_store_of ~dir store) in
+          match C.top_cell_diffnlr ~config ?store ~dir o with
+          | Ok s ->
+            flush_store store;
+            print_string s
           | Error e ->
             Printf.eprintf "difftrace: %s\n" e;
-            exit 1)
+            exit 1
+        end)
     in
     Cmd.v (Cmd.info "report" ~doc)
       Term.(const action $ dir_t $ diffnlr_t $ filter_t $ custom_t $ attrs_t
-            $ k_t $ linkage_t $ engine_t $ profile_t)
+            $ k_t $ linkage_t $ engine_t $ store_flags_t $ profile_t)
   in
   let doc =
     "Fault campaigns: run a declarative fault x scheduler-seed matrix with \
@@ -852,6 +937,84 @@ let campaign_cmd =
      triage report."
   in
   Cmd.group (Cmd.info "campaign" ~doc) [ run_cmd; status_cmd; report_cmd ]
+
+(* --- store: persistent analysis store tooling ------------------------ *)
+
+let store_cmd =
+  let dir_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "d"; "dir" ] ~docv:"DIR" ~doc:"Analysis store directory.")
+  in
+  let load_or_exit dir =
+    match Store.load ~dir with
+    | Ok st -> st
+    | Error e ->
+      Printf.eprintf "difftrace: %s\n" (Store.error_to_string e);
+      exit 1
+  in
+  let stats_cmd =
+    let doc =
+      "Print what the store holds: summaries, matrices, shared-table sizes \
+       and the file size on disk."
+    in
+    let action dir = print_string (Store.render_stats (Store.stats (load_or_exit dir))) in
+    Cmd.v (Cmd.info "stats" ~doc) Term.(const action $ dir_t)
+  in
+  let gc_cmd =
+    let doc =
+      "Evict the oldest cached entries beyond the retention caps and rewrite \
+       the store file."
+    in
+    let keep_summaries_t =
+      Arg.(
+        value
+        & opt int 4096
+        & info [ "keep-summaries" ] ~docv:"N"
+            ~doc:"Keep at most $(docv) newest NLR summaries.")
+    in
+    let keep_matrices_t =
+      Arg.(
+        value
+        & opt int 64
+        & info [ "keep-matrices" ] ~docv:"N"
+            ~doc:"Keep at most $(docv) newest JSM matrices.")
+    in
+    let action dir keep_summaries keep_matrices =
+      let st = load_or_exit dir in
+      let s, m = Store.gc ~keep_summaries ~keep_matrices st in
+      (match Store.flush st with
+      | Ok () -> ()
+      | Error e ->
+        Printf.eprintf "difftrace: %s\n" (Store.error_to_string e);
+        exit 1);
+      Printf.printf "evicted %d summaries, %d matrices\n" s m
+    in
+    Cmd.v (Cmd.info "gc" ~doc)
+      Term.(const action $ dir_t $ keep_summaries_t $ keep_matrices_t)
+  in
+  let verify_cmd =
+    let doc =
+      "Scan the store file's checksummed records without adopting anything; \
+       exits 1 when damage is found (the damaged suffix is discarded on the \
+       next load)."
+    in
+    let action dir =
+      match Store.verify ~dir with
+      | Error e ->
+        Printf.eprintf "difftrace: %s\n" (Store.error_to_string e);
+        exit 1
+      | Ok c ->
+        print_string (Store.render_check c);
+        if c.Store.c_damage <> None then exit 1
+    in
+    Cmd.v (Cmd.info "verify" ~doc) Term.(const action $ dir_t)
+  in
+  let doc =
+    "Persistent analysis store tooling: stats, gc, integrity verification."
+  in
+  Cmd.group (Cmd.info "store" ~doc) [ stats_cmd; gc_cmd; verify_cmd ]
 
 (* --- filters ------------------------------------------------------- *)
 
@@ -871,5 +1034,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; compare_cmd; table_cmd; record_cmd; analyze_cmd;
-            archive_cmd; campaign_cmd; triage_cmd; autotune_cmd; report_cmd;
-            explore_cmd; export_cmd; filters_cmd ]))
+            archive_cmd; campaign_cmd; store_cmd; triage_cmd; autotune_cmd;
+            report_cmd; explore_cmd; export_cmd; filters_cmd ]))

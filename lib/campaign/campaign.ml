@@ -1,6 +1,7 @@
 module Config = Difftrace_core.Config
 module Engine = Difftrace_core.Engine
 module Memo = Difftrace_core.Memo
+module Store = Difftrace_core.Store
 module Pipeline = Difftrace_core.Pipeline
 module Fault = Difftrace_simulator.Fault
 module Runtime = Difftrace_simulator.Runtime
@@ -495,7 +496,7 @@ let obtain ~kind_fn ~np ~max_steps ~fault ~seed ~adir : (sim, string * string) r
 
 let max_suspects = 8
 
-let analyze_cell ~memo ~config c ~normal ~faulty =
+let analyze_cell ?memo ?store ~config c ~normal ~faulty =
   match (faulty, normal) with
   | Error (error, backtrace), _ ->
     { cell = c;
@@ -518,7 +519,8 @@ let analyze_cell ~memo ~config c ~normal ~faulty =
       else Completed
     in
     match
-      Pipeline.compare_runs ~memo config ~normal:nsim.sm_set ~faulty:sim.sm_set
+      Pipeline.compare_runs ?memo ?store config ~normal:nsim.sm_set
+        ~faulty:sim.sm_set
     with
     | cmp ->
       let suspects =
@@ -561,7 +563,7 @@ let result_of_stored all_cells st =
         salvaged = st.st_salvaged;
         resumed = true }
 
-let run ?(config = Config.default) ?on_cell ~dir m =
+let run ?(config = Config.default) ?on_cell ?store ~dir m =
   Span.with_ "campaign.run" @@ fun () ->
   Printexc.record_backtrace true;
   let config_name = Config.name config in
@@ -636,14 +638,19 @@ let run ?(config = Config.default) ?on_cell ~dir m =
       (* analysis: sequential, one shared memo — every cell of a seed
          reuses the reference run's NLR summaries — with the manifest
          rewritten after each cell so an interruption loses at most
-         the cell in flight *)
-      let memo = Memo.create () in
+         the cell in flight. A store replaces the throwaway memo, so a
+         resumed campaign re-adopts its summaries and JSMs from disk;
+         flushing after every cell keeps the store as current as the
+         manifest. *)
+      let memo =
+        match store with Some _ -> None | None -> Some (Memo.create ())
+      in
       let completed = ref (List.rev prior) in
       Array.iteri
         (fun i c ->
           let res =
             Span.with_ "campaign.analyze" @@ fun () ->
-            analyze_cell ~memo ~config c ~normal:(normal_for c.seed)
+            analyze_cell ?memo ?store ~config c ~normal:(normal_for c.seed)
               ~faulty:sims.(i)
           in
           Telemetry.Counter.incr c_cells;
@@ -657,6 +664,15 @@ let run ?(config = Config.default) ?on_cell ~dir m =
               !completed
           in
           write_manifest ~dir m ~config_name snapshot;
+          (match store with
+          | Some st -> (
+            match Store.flush st with
+            | Ok () -> ()
+            | Error e ->
+              (* persistence is best-effort, like cell archives *)
+              Printf.eprintf "difftrace: could not flush store: %s\n%!"
+                (Store.error_to_string e))
+          | None -> ());
           match on_cell with Some f -> f res | None -> ())
         pending_arr;
       let results =
@@ -775,7 +791,7 @@ let render o =
     Buffer.add_string buf (Printf.sprintf "pending: %d cells not yet executed\n" pending);
   Buffer.contents buf
 
-let top_cell_diffnlr ?(config = Config.default) ~dir o =
+let top_cell_diffnlr ?(config = Config.default) ?store ~dir o =
   let candidates =
     rank o.results
     |> List.filter (fun r -> r.bscore <> None && r.suspects <> [])
@@ -793,7 +809,7 @@ let top_cell_diffnlr ?(config = Config.default) ~dir o =
     with
     | Error e, _ | _, Error e -> Error e
     | Ok normal, Ok faulty -> (
-      match Pipeline.compare_runs config ~normal ~faulty with
+      match Pipeline.compare_runs ?store config ~normal ~faulty with
       | exception e -> Error ("analysis: " ^ Printexc.to_string e)
       | cmp -> (
         let label = fst (List.hd top.suspects) in

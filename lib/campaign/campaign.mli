@@ -133,11 +133,15 @@ type outcome = {
 
 (** {1 Running} *)
 
-(** [run ?config ?on_cell ~dir m] — execute every cell of [m] not
-    already recorded in [dir]'s manifest, persisting state as it goes.
-    [config] (default {!Difftrace_core.Config.default}) selects the
-    analysis parameters and the engine; [on_cell] streams each
-    non-resumed cell's result as its analysis finishes.
+(** [run ?config ?on_cell ?store ~dir m] — execute every cell of [m]
+    not already recorded in [dir]'s manifest, persisting state as it
+    goes. [config] (default {!Difftrace_core.Config.default}) selects
+    the analysis parameters and the engine; [on_cell] streams each
+    non-resumed cell's result as its analysis finishes. [store]
+    replaces the campaign's per-run memo with a persistent
+    {!Difftrace_core.Store}: a resumed campaign re-adopts its cached
+    summaries and JSMs, and the store is flushed after every analyzed
+    cell (best-effort, like cell archives).
 
     Errors (as [Error msg], never an exception): the state directory
     holds a {e different} campaign (kind, np, faults, seeds, config or
@@ -148,6 +152,7 @@ type outcome = {
 val run :
   ?config:Difftrace_core.Config.t ->
   ?on_cell:(cell_result -> unit) ->
+  ?store:Difftrace_core.Store.t ->
   dir:string ->
   matrix ->
   (outcome, string) result
@@ -167,13 +172,14 @@ val status : dir:string -> (outcome, string) result
     section beneath. *)
 val render : outcome -> string
 
-(** [top_cell_diffnlr ?config ~dir o] — re-load the archives of the
+(** [top_cell_diffnlr ?config ?store ~dir o] — re-load the archives of the
     best-ranked analyzable cell and render the diffNLR of its top
     suspect against the reference run (the drill-down step of the
     triage loop). [Error] when no cell is analyzable or the archives
     are gone. *)
 val top_cell_diffnlr :
   ?config:Difftrace_core.Config.t ->
+  ?store:Difftrace_core.Store.t ->
   dir:string ->
   outcome ->
   (string, string) result

@@ -10,6 +10,10 @@ module Telemetry = Difftrace_obs.Telemetry
 let c_cells = Telemetry.Counter.make "jsm.cells"
 let c_evals = Telemetry.Counter.make "jsm.jaccard_evals"
 
+(* rows of [extend] whose every upper-triangle cell was mirrored from
+   the cached base matrix — zero Jaccard evaluations *)
+let c_rows_reused = Telemetry.Counter.make "jsm.rows_reused"
+
 type t = { labels : string array; m : float array array }
 
 let compute ~init ctx =
@@ -67,6 +71,68 @@ let check_shape side t =
              side i t.labels.(i) (Array.length row) n))
     t.m
 
+(* Incrementally extend a cached matrix to a grown corpus. The
+   contract with [compute] is bit-for-bit equality: every cell whose
+   two objects are vouched for by the caller ([fresh.(i) = false]) is
+   mirrored from [base], every other upper-triangle cell is evaluated,
+   and the strict lower triangle is mirrored from the transposed cell
+   exactly as [compute] does. Mirroring is sound because a Jaccard
+   value depends only on the two objects' attribute sets: when those
+   are unchanged (the caller's burden, discharged by the analysis
+   store's per-object attribute digests), the cached float is the very
+   value [Context.jaccard] would recompute. *)
+let extend ~init ~base ~fresh ctx =
+  let n = Context.n_objects ctx in
+  if Array.length fresh <> n then
+    invalid_arg
+      (Printf.sprintf "Jsm.extend: %d fresh flags for %d objects"
+         (Array.length fresh) n);
+  check_shape "base" base;
+  let labels = Array.init n (Context.object_label ctx) in
+  let base_index = index_table base.labels in
+  (* ctx index -> base index, -1 for objects that must be evaluated *)
+  let bmap =
+    Array.mapi
+      (fun i l ->
+        if fresh.(i) then -1
+        else
+          match Hashtbl.find_opt base_index l with
+          | Some bi -> bi
+          | None ->
+            invalid_arg
+              (Printf.sprintf
+                 "Jsm.extend: label %S is not fresh but missing from the base \
+                  matrix"
+                 l))
+      labels
+  in
+  let m =
+    init n (fun i ->
+        let evals = ref 0 in
+        let bi = bmap.(i) in
+        let row =
+          Array.init n (fun j ->
+              if j < i then 0.0
+              else
+                let bj = bmap.(j) in
+                if bi >= 0 && bj >= 0 then base.m.(bi).(bj)
+                else begin
+                  incr evals;
+                  Context.jaccard ctx i j
+                end)
+        in
+        Telemetry.Counter.add c_cells n;
+        Telemetry.Counter.add c_evals !evals;
+        if !evals = 0 then Telemetry.Counter.incr c_rows_reused;
+        row)
+  in
+  for i = 1 to n - 1 do
+    for j = 0 to i - 1 do
+      m.(i).(j) <- m.(j).(i)
+    done
+  done;
+  { labels; m }
+
 let align a b =
   check_shape "first" a;
   check_shape "second" b;
@@ -99,9 +165,14 @@ let diff a b =
   in
   { labels = a'.labels; m }
 
-let row_change t i = Array.fold_left ( +. ) 0.0 t.m.(i)
+(* an aligned diff of two runs sharing no labels is a legal 0-trace
+   matrix; scoring and rendering it must degrade, not raise *)
+let row_change t i =
+  if Array.length t.m = 0 then 0.0 else Array.fold_left ( +. ) 0.0 t.m.(i)
 
 let to_distance t =
   { t with m = Array.map (Array.map (fun s -> 1.0 -. s)) t.m }
 
-let heatmap t = Difftrace_util.Texttable.heatmap ~labels:t.labels t.m
+let heatmap t =
+  if Array.length t.labels = 0 then "(no traces)\n"
+  else Difftrace_util.Texttable.heatmap ~labels:t.labels t.m

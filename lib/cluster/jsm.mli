@@ -25,6 +25,29 @@ val compute :
 (** [of_context ctx] = [compute ~init:Array.init ctx]. *)
 val of_context : Difftrace_fca.Context.t -> t
 
+(** [extend ~init ~base ~fresh ctx] — incremental {!compute}: grow a
+    previously computed matrix to a larger corpus, evaluating only the
+    cells that involve at least one {e fresh} object. [fresh.(i)]
+    declares whether ctx object [i] must be (re)evaluated; a non-fresh
+    object's label must appear in [base], and the caller asserts its
+    attribute set is unchanged since [base] was computed (the analysis
+    store discharges this with per-object attribute digests). Cells
+    between two non-fresh objects are mirrored from [base]; everything
+    else is evaluated upper-triangle-first exactly like [compute], so
+    the result is bit-for-bit identical to
+    [compute ~init ctx] — adding k traces to an n-trace corpus costs
+    k·(n+k) Jaccard evaluations instead of (n+k)². Rows are fanned
+    over [init] just like [compute]; rows needing zero evaluations are
+    counted by the [jsm.rows_reused] telemetry counter.
+    Raises [Invalid_argument] when [fresh] has the wrong length, when a
+    non-fresh label is missing from [base], or when [base] is ragged. *)
+val extend :
+  init:(int -> (int -> float array) -> float array array) ->
+  base:t ->
+  fresh:bool array ->
+  Difftrace_fca.Context.t ->
+  t
+
 (** [size t] is the number of traces. *)
 val size : t -> int
 
@@ -40,12 +63,14 @@ val align : t -> t -> t * t
 val diff : t -> t -> t
 
 (** [row_change t i] = Σ_j t.m[i][j] — how much trace [i]'s similarity
-    relation changed; the per-trace suspicion score. *)
+    relation changed; the per-trace suspicion score. 0 on a 0-trace
+    matrix (two runs sharing no labels diff to one). *)
 val row_change : t -> int -> float
 
 (** [to_distance t] — 1 − similarity, for clustering a plain JSM.
     A JSM_D is already a dissimilarity and is clustered as is. *)
 val to_distance : t -> t
 
-(** [heatmap t] — text rendering (Fig. 4). *)
+(** [heatmap t] — text rendering (Fig. 4); ["(no traces)\n"] for a
+    0-trace matrix. *)
 val heatmap : t -> string

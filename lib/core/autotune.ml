@@ -19,9 +19,9 @@ type result = {
   cache : Memo.stats;
 }
 
-let evaluate ?memo config ~normal ~faulty =
+let evaluate ?memo ?store config ~normal ~faulty =
   Telemetry.Counter.incr c_evaluated;
-  let c = Pipeline.compare_runs ?memo config ~normal ~faulty in
+  let c = Pipeline.compare_runs ?memo ?store config ~normal ~faulty in
   let suspects = c.Pipeline.suspects in
   let total = Array.fold_left (fun acc (_, s) -> acc +. s) 0.0 suspects in
   let concentration =
@@ -41,8 +41,8 @@ let better a b =
   | 0 -> Float.compare b.concentration a.concentration
   | c -> c
 
-let search ?(engine = Engine.Sequential) ?memo ?filters ?attrs ?(ks = [ 10 ])
-    ?linkages ~normal ~faulty () =
+let search ?(engine = Engine.Sequential) ?memo ?store ?filters ?attrs
+    ?(ks = [ 10 ]) ?linkages ~normal ~faulty () =
   let filters =
     match filters with
     | Some f -> f
@@ -54,8 +54,16 @@ let search ?(engine = Engine.Sequential) ?memo ?filters ?attrs ?(ks = [ 10 ])
     invalid_arg "Autotune.search: empty axis";
   Telemetry.Span.with_ "autotune" @@ fun () ->
   (* one memo for the whole sweep: grid points that differ only in
-     attributes or linkage reuse every NLR summary *)
-  let memo = match memo with Some m -> m | None -> Memo.create () in
+     attributes or linkage reuse every NLR summary. A store brings its
+     own memo (pre-warmed from disk) and persists the sweep's work. *)
+  let memo =
+    match store with
+    | Some st ->
+      if memo <> None then
+        invalid_arg "Autotune.search: pass ?memo or ?store, not both";
+      Store.memo st
+    | None -> ( match memo with Some m -> m | None -> Memo.create ())
+  in
   let before = Memo.stats memo in
   let candidates =
     List.concat_map
@@ -74,7 +82,9 @@ let search ?(engine = Engine.Sequential) ?memo ?filters ?attrs ?(ks = [ 10 ])
                       |> Config.with_linkage linkage
                       |> Config.with_engine engine
                     in
-                    evaluate ~memo config ~normal ~faulty)
+                    match store with
+                    | Some st -> evaluate ~store:st config ~normal ~faulty
+                    | None -> evaluate ~memo config ~normal ~faulty)
                   linkages)
               ks)
           attrs)

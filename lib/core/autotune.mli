@@ -30,11 +30,12 @@ type result = {
   cache : Memo.stats;      (** summary-cache hits/misses of this sweep *)
 }
 
-(** [evaluate ?memo config ~normal ~faulty] — score one configuration
-    (a single {!Pipeline.compare_runs}), probing and filling [memo]
-    when given. *)
+(** [evaluate ?memo ?store config ~normal ~faulty] — score one
+    configuration (a single {!Pipeline.compare_runs}), probing and
+    filling [memo] or [store] when given. *)
 val evaluate :
   ?memo:Memo.t ->
+  ?store:Store.t ->
   Config.t ->
   normal:Difftrace_trace.Trace_set.t ->
   faulty:Difftrace_trace.Trace_set.t ->
@@ -44,11 +45,15 @@ val evaluate :
     ()] — exhaustive deterministic sweep of the cross product.
     Defaults: sequential engine, a fresh memo, MPI-all + everything
     filters; all six Table V attribute specs; K ∈ {10}; ward linkage.
-    Pass [memo] to keep the cache warm across multiple searches.
-    Raises [Invalid_argument] if any axis is empty. *)
+    Pass [memo] to keep the cache warm across multiple searches, or
+    [store] (not both — [Invalid_argument]) to warm the sweep from disk
+    and persist its summaries/matrices; [cache] then reports the
+    disk-backed reuse too. Raises [Invalid_argument] if any axis is
+    empty. *)
 val search :
   ?engine:Engine.t ->
   ?memo:Memo.t ->
+  ?store:Store.t ->
   ?filters:Difftrace_filter.Filter.t list ->
   ?attrs:Difftrace_fca.Attributes.spec list ->
   ?ks:int list ->

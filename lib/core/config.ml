@@ -43,6 +43,17 @@ let name t =
   Printf.sprintf "%s / %s / %s" (filter_name t) (attrs_name t)
     (Difftrace_cluster.Linkage.method_name t.linkage)
 
+(* The store's JSM namespace key: everything that shapes attribute
+   sets — filter, attrs, K, repeats — and nothing cosmetic (linkage
+   reclusters a finished matrix; the engine never changes results).
+   Safety does not ride on this digest: reuse is gated per object by
+   attribute-set digests, so a collision here merely files two
+   configurations' matrices in one namespace. *)
+let digest t =
+  Digest.string
+    (Printf.sprintf "%s\x00%s\x00%d\x00%d" (filter_name t) (attrs_name t) t.k
+       t.repeats)
+
 let to_json t =
   let module Json = Difftrace_obs.Telemetry.Json in
   Json.Obj

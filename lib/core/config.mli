@@ -55,6 +55,14 @@ val attrs_name : t -> string
 (** [name t] — full label including the linkage. *)
 val name : t -> string
 
+(** [digest t] — 16 raw bytes identifying the analysis-shaping part of
+    the configuration (filter, attrs, K, repeats; {e not} linkage or
+    engine, which never change attribute sets). The analysis store
+    namespaces cached JSM matrices by this digest. Correctness of JSM
+    reuse rests on per-object attribute digests, not on this partition
+    key — a collision costs lookup efficiency, never wrong results. *)
+val digest : t -> string
+
 (** The configuration as a JSON object (filter/attrs/k/repeats/linkage
     by name plus the engine) — embedded in [--profile-json] reports and
     bench artifacts so a recorded run names its parameters. *)

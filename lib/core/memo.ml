@@ -52,6 +52,15 @@ let find t key =
 
 let add t key nlr = Hashtbl.replace t.cache key nlr
 
+(* persistence hooks for the analysis store: adopt a disk entry
+   without disturbing the hit/miss counters, and enumerate the cache
+   for rewriting. Keys are exposed as their raw digest bytes. *)
+let restore t ~key nlr = Hashtbl.replace t.cache key nlr
+
+let mem t ~key = Hashtbl.mem t.cache key
+
+let fold t ~init ~f = Hashtbl.fold (fun key nlr acc -> f key nlr acc) t.cache init
+
 let length t = Hashtbl.length t.cache
 
 let stats t = { hits = t.hits; misses = t.misses }

@@ -48,6 +48,25 @@ val find : t -> key -> Difftrace_nlr.Nlr.t option
     loop table). *)
 val add : t -> key -> Difftrace_nlr.Nlr.t -> unit
 
+(** {2 Persistence hooks}
+
+    {!Store} persists a memo across processes. Entries cross that
+    boundary by their raw key bytes (the 16-byte digest); a restored
+    entry must be expressed against the memo's shared tables, which the
+    store guarantees by persisting and replaying the tables' intern
+    sequences in creation order. *)
+
+(** [restore t ~key nlr] — adopt a persisted entry ([key] is the raw
+    digest bytes) without touching the hit/miss counters. *)
+val restore : t -> key:string -> Difftrace_nlr.Nlr.t -> unit
+
+(** [mem t ~key] — is the raw key cached? (No hit/miss accounting.) *)
+val mem : t -> key:string -> bool
+
+(** [fold t ~init ~f] — fold over every cached entry; [f] receives the
+    raw key bytes. Iteration order is unspecified. *)
+val fold : t -> init:'a -> f:(string -> Difftrace_nlr.Nlr.t -> 'a -> 'a) -> 'a
+
 (** [length t] — number of cached summaries. *)
 val length : t -> int
 

@@ -83,7 +83,17 @@ let summarize ~engine ~memo ~table ~k ~repeats idss =
         nlr)
     fresh
 
-let analyze ?symtab ?loop_table ?memo (config : Config.t) ts =
+let analyze ?symtab ?loop_table ?memo ?store (config : Config.t) ts =
+  let memo =
+    match store with
+    | None -> memo
+    | Some st ->
+      if memo <> None then
+        invalid_arg
+          "Pipeline.analyze: ?store carries its own memo; do not also pass \
+           ?memo";
+      Some (Store.memo st)
+  in
   let shared, table =
     match memo with
     | Some m ->
@@ -130,7 +140,11 @@ let analyze ?symtab ?loop_table ?memo (config : Config.t) ts =
     nlrs;
     context;
     lattice = lazy (Span.with_ "lattice" (fun () -> Lattice.of_context_incremental context));
-    jsm = Span.with_ "jsm" (fun () -> Jsm.compute ~init:(Engine.init engine) context) }
+    jsm =
+      (Span.with_ "jsm" @@ fun () ->
+       match store with
+       | Some st -> Store.jsm st ~config ~init:(Engine.init engine) context
+       | None -> Jsm.compute ~init:(Engine.init engine) context) }
 
 let index_of labels label =
   let found = ref None in
@@ -158,15 +172,15 @@ type comparison = {
   only_faulty : string list;
 }
 
-let compare_runs ?memo (config : Config.t) ~normal ~faulty =
+let compare_runs ?memo ?store (config : Config.t) ~normal ~faulty =
   Span.with_ "compare_runs" @@ fun () ->
   let symtab, loop_table =
-    match memo with
-    | Some _ -> (None, None)
-    | None -> (Some (Symtab.create ()), Some (Nlr.Loop_table.create ()))
+    match (memo, store) with
+    | Some _, _ | _, Some _ -> (None, None)
+    | None, None -> (Some (Symtab.create ()), Some (Nlr.Loop_table.create ()))
   in
-  let a_n = analyze ?symtab ?loop_table ?memo config normal in
-  let a_f = analyze ?symtab ?loop_table ?memo config faulty in
+  let a_n = analyze ?symtab ?loop_table ?memo ?store config normal in
+  let a_f = analyze ?symtab ?loop_table ?memo ?store config faulty in
   let jn, jf = Span.with_ "align" (fun () -> Jsm.align a_n.jsm a_f.jsm) in
   let jsm_d = Span.with_ "jsm_d" (fun () -> Jsm.diff a_n.jsm a_f.jsm) in
   let bscore =

@@ -33,15 +33,19 @@ type lookup_error = { unknown : string; known : string array }
 
 val lookup_error_to_string : lookup_error -> string
 
-(** [analyze ?symtab ?loop_table ?memo config ts] — fresh shared tables
-    are created when not supplied. When [memo] is given it provides the
-    shared tables itself (passing [?symtab]/[?loop_table] too raises
-    [Invalid_argument]) and NLR summaries are looked up in / added to
-    its cache. *)
+(** [analyze ?symtab ?loop_table ?memo ?store config ts] — fresh shared
+    tables are created when not supplied. When [memo] is given it
+    provides the shared tables itself (passing [?symtab]/[?loop_table]
+    too raises [Invalid_argument]) and NLR summaries are looked up in /
+    added to its cache. When [store] is given it provides the memo
+    (passing [?memo] too raises [Invalid_argument]) {e and} the JSM
+    stage reuses/extends cached matrices via {!Store.jsm}; results are
+    bit-identical either way. The caller owns {!Store.flush}. *)
 val analyze :
   ?symtab:Difftrace_trace.Symtab.t ->
   ?loop_table:Difftrace_nlr.Nlr.Loop_table.t ->
   ?memo:Memo.t ->
+  ?store:Store.t ->
   Config.t ->
   Difftrace_trace.Trace_set.t ->
   analysis
@@ -70,13 +74,16 @@ type comparison = {
   only_faulty : string list;
 }
 
-(** [compare_runs ?memo config ~normal ~faulty] — when [memo] is given,
-    both analyses share its tables and summary cache (so a repeated
-    comparison, or one inside a grid sweep, reuses every summary whose
-    filtered input and NLR constants are unchanged). Results are
-    independent of [memo] and of the configuration's engine. *)
+(** [compare_runs ?memo ?store config ~normal ~faulty] — when [memo] is
+    given, both analyses share its tables and summary cache (so a
+    repeated comparison, or one inside a grid sweep, reuses every
+    summary whose filtered input and NLR constants are unchanged).
+    [store] does the same with a {!Store}'s memo and additionally
+    reuses cached JSM matrices across processes. Results are
+    independent of [memo], [store], and the configuration's engine. *)
 val compare_runs :
   ?memo:Memo.t ->
+  ?store:Store.t ->
   Config.t ->
   normal:Difftrace_trace.Trace_set.t ->
   faulty:Difftrace_trace.Trace_set.t ->

@@ -23,12 +23,12 @@ let grid ~filters ?attrs ?(k = 10) ?linkage ?engine () =
         attrs)
     filters
 
-let sweep ?memo configs ~normal ~faulty =
+let sweep ?memo ?store configs ~normal ~faulty =
   Difftrace_obs.Telemetry.Span.with_ "ranking.sweep" @@ fun () ->
   let rows =
     List.map
       (fun config ->
-        let c = Pipeline.compare_runs ?memo config ~normal ~faulty in
+        let c = Pipeline.compare_runs ?memo ?store config ~normal ~faulty in
         { config;
           bscore = c.Pipeline.bscore;
           top_processes = Pipeline.top_processes c;

@@ -26,11 +26,14 @@ val grid :
   unit ->
   Config.t list
 
-(** [sweep ?memo configs ~normal ~faulty] — one row per configuration,
-    sorted by ascending B-score (ties keep grid order). Pass [memo] to
-    share NLR summaries across the sweep (results are unchanged). *)
+(** [sweep ?memo ?store configs ~normal ~faulty] — one row per
+    configuration, sorted by ascending B-score (ties keep grid order).
+    Pass [memo] to share NLR summaries across the sweep, or [store] to
+    additionally reuse disk-cached summaries and JSMs (results are
+    unchanged either way; not both — [Invalid_argument]). *)
 val sweep :
   ?memo:Memo.t ->
+  ?store:Store.t ->
   Config.t list ->
   normal:Difftrace_trace.Trace_set.t ->
   faulty:Difftrace_trace.Trace_set.t ->

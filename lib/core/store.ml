@@ -1,0 +1,646 @@
+module Nlr = Difftrace_nlr.Nlr
+module Context = Difftrace_fca.Context
+module Jsm = Difftrace_cluster.Jsm
+module Telemetry = Difftrace_obs.Telemetry
+module Crc32 = Difftrace_util.Crc32
+module Varint = Difftrace_util.Varint
+
+let c_hits = Telemetry.Counter.make "store.hits"
+let c_misses = Telemetry.Counter.make "store.misses"
+let c_evictions = Telemetry.Counter.make "store.evictions"
+let c_crc_fail = Telemetry.Counter.make "store.crc_fail"
+
+(* retention caps applied by [flush]; [gc] takes explicit ones *)
+let default_keep_summaries = 4096
+let default_keep_matrices = 64
+
+let magic = "difftrace-store 1\n"
+let store_file = "analysis.store"
+
+type error = { path : string; reason : string }
+
+let error_to_string e = Printf.sprintf "%s: %s" e.path e.reason
+
+(* a persisted JSM: labels with one attribute-set digest per object,
+   plus the full (symmetric) matrix. [ns] partitions by Config.digest;
+   [stamp] orders entries for eviction; [identity] content-addresses
+   the (ns, label/digest multiset) so re-recording replaces. *)
+type matrix_entry = {
+  ns : string;
+  stamp : int;
+  labels : string array;
+  digests : string array;
+  matrix : float array array;
+}
+
+type t = {
+  dir : string;
+  file : string;
+  memo : Memo.t;
+  stamps : (string, int) Hashtbl.t;  (* summary key -> stamp *)
+  evicted : (string, unit) Hashtbl.t;  (* summary keys gc'd, skip at flush *)
+  matrices : (string, matrix_entry) Hashtbl.t;  (* identity -> entry *)
+  mutable next_stamp : int;
+  mutable dirty : bool;
+  mutable salvaged : bool;
+}
+
+let dir t = t.dir
+let memo t = t.memo
+
+let matrix_identity (e : matrix_entry) =
+  let pairs =
+    Array.to_list (Array.map2 (fun l d -> l ^ "\x00" ^ d) e.labels e.digests)
+    |> List.sort String.compare
+  in
+  Digest.string (String.concat "\x01" (e.ns :: pairs))
+
+(* digest of one object's attribute-name set. Names are sorted —
+   bitset iteration order follows the context's first-seen attribute
+   interning, which varies with corpus composition, while the set
+   itself (what Jaccard depends on) does not. *)
+let object_digest ctx i =
+  let names = ref [] in
+  Difftrace_util.Bitset.iter
+    (fun j -> names := Context.attr_name ctx j :: !names)
+    (Context.object_attrs ctx i);
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun n ->
+      Buffer.add_string buf n;
+      Buffer.add_char buf '\x00')
+    (List.sort String.compare !names);
+  Digest.string (Buffer.contents buf)
+
+(* {2 Record encoding}
+
+   File = magic line, then records: varint payload length, payload,
+   CRC-32 of the payload (4 LE bytes). Payload byte 0 is the type.
+   Write order is symbols, loop bodies, summaries, matrices, so every
+   reference points backwards and a salvaged prefix is self-
+   consistent. *)
+
+let tag_symbol = 1
+let tag_body = 2
+let tag_summary = 3
+let tag_matrix = 4
+
+let write_elem buf = function
+  | Nlr.Sym id ->
+    Varint.write buf 0;
+    Varint.write buf id
+  | Nlr.Loop { body; count } ->
+    Varint.write buf 1;
+    Varint.write buf body;
+    Varint.write buf count
+
+let write_elems buf elems =
+  Varint.write buf (Array.length elems);
+  Array.iter (write_elem buf) elems
+
+let add_record buf payload =
+  Varint.write buf (String.length payload);
+  Buffer.add_string buf payload;
+  Buffer.add_string buf (Crc32.to_le_bytes (Crc32.string payload))
+
+let payload_symbol name =
+  let b = Buffer.create (1 + String.length name) in
+  Buffer.add_char b (Char.chr tag_symbol);
+  Buffer.add_string b name;
+  Buffer.contents b
+
+let payload_body elems =
+  let b = Buffer.create 64 in
+  Buffer.add_char b (Char.chr tag_body);
+  write_elems b elems;
+  Buffer.contents b
+
+let payload_summary ~key ~stamp (nlr : Nlr.t) =
+  let b = Buffer.create 128 in
+  Buffer.add_char b (Char.chr tag_summary);
+  Buffer.add_string b key;
+  Varint.write b stamp;
+  Varint.write b nlr.input_length;
+  write_elems b nlr.elems;
+  Buffer.contents b
+
+let payload_matrix (e : matrix_entry) =
+  let n = Array.length e.labels in
+  let b = Buffer.create (64 + (4 * n * n)) in
+  Buffer.add_char b (Char.chr tag_matrix);
+  Buffer.add_string b e.ns;
+  Varint.write b e.stamp;
+  Varint.write b n;
+  for i = 0 to n - 1 do
+    Varint.write b (String.length e.labels.(i));
+    Buffer.add_string b e.labels.(i);
+    Buffer.add_string b e.digests.(i)
+  done;
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      Buffer.add_int64_le b (Int64.bits_of_float e.matrix.(i).(j))
+    done
+  done;
+  Buffer.contents b
+
+(* {2 Record decoding}
+
+   Decoding validates structure against the running table sizes; any
+   violation is damage, diagnosed by a [Bad_record] that the caller
+   turns into a salvage point. *)
+
+exception Bad_record of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad_record s)) fmt
+
+let read_digest s pos =
+  if pos + 16 > String.length s then bad "truncated digest";
+  (String.sub s pos 16, pos + 16)
+
+let read_elem ~n_syms ~n_bodies s pos =
+  let tag, pos = Varint.read s pos in
+  match tag with
+  | 0 ->
+    let id, pos = Varint.read s pos in
+    if id >= n_syms then bad "symbol id %d out of range (%d known)" id n_syms;
+    (Nlr.Sym id, pos)
+  | 1 ->
+    let body, pos = Varint.read s pos in
+    let count, pos = Varint.read s pos in
+    if body >= n_bodies then
+      bad "loop body %d out of range (%d known)" body n_bodies;
+    (Nlr.Loop { body; count }, pos)
+  | _ -> bad "unknown element tag %d" tag
+
+let read_elems ~n_syms ~n_bodies s pos =
+  let n, pos = Varint.read s pos in
+  (* an element is at least two varint bytes — a count the remaining
+     payload cannot hold is corruption, not a huge allocation *)
+  if n * 2 > String.length s - pos then bad "element count %d overruns record" n;
+  let pos = ref pos in
+  let elems =
+    Array.init n (fun _ ->
+        let e, p = read_elem ~n_syms ~n_bodies s !pos in
+        pos := p;
+        e)
+  in
+  (elems, !pos)
+
+type raw =
+  | Rsymbol of string
+  | Rbody of Nlr.elem array
+  | Rsummary of { key : string; stamp : int; nlr : Nlr.t }
+  | Rmatrix of matrix_entry
+
+(* [n_syms]/[n_bodies] are the table sizes accumulated from preceding
+   records of this load — the only IDs a well-formed record may cite *)
+let decode_payload ~n_syms ~n_bodies s =
+  if String.length s = 0 then bad "empty payload";
+  let len = String.length s in
+  let tag = Char.code s.[0] in
+  let record =
+    if tag = tag_symbol then (Rsymbol (String.sub s 1 (len - 1)), len)
+    else if tag = tag_body then begin
+      (* a body's loops reference strictly earlier bodies (NLR creates
+         inner loops first), so the running count is the right bound *)
+      let elems, pos = read_elems ~n_syms ~n_bodies s 1 in
+      (Rbody elems, pos)
+    end
+    else if tag = tag_summary then begin
+      let key, pos = read_digest s 1 in
+      let stamp, pos = Varint.read s pos in
+      let input_length, pos = Varint.read s pos in
+      let elems, pos = read_elems ~n_syms ~n_bodies s pos in
+      (Rsummary { key; stamp; nlr = { Nlr.elems; input_length } }, pos)
+    end
+    else if tag = tag_matrix then begin
+      let ns, pos = read_digest s 1 in
+      let stamp, pos = Varint.read s pos in
+      let n, pos = Varint.read s pos in
+      (* each object costs ≥ 17 bytes (label length + digest) *)
+      if n * 17 > len - pos then bad "object count %d overruns record" n;
+      let labels = Array.make n "" and digests = Array.make n "" in
+      let pos = ref pos in
+      for i = 0 to n - 1 do
+        let ll, p = Varint.read s !pos in
+        if p + ll > len then bad "truncated matrix label";
+        labels.(i) <- String.sub s p ll;
+        let d, p = read_digest s (p + ll) in
+        digests.(i) <- d;
+        pos := p
+      done;
+      let cells = n * (n + 1) / 2 in
+      if !pos + (8 * cells) > len then bad "truncated matrix cells";
+      let matrix = Array.make_matrix n n 0.0 in
+      for i = 0 to n - 1 do
+        for j = i to n - 1 do
+          let v = Int64.float_of_bits (String.get_int64_le s !pos) in
+          pos := !pos + 8;
+          matrix.(i).(j) <- v;
+          matrix.(j).(i) <- v
+        done
+      done;
+      (Rmatrix { ns; stamp; labels; digests; matrix }, !pos)
+    end
+    else bad "unknown record type %d" tag
+  in
+  let record, consumed = record in
+  if consumed <> len then bad "trailing bytes in record";
+  record
+
+(* {2 File scan}
+
+   [scan] splits a file image into CRC-checked, structurally decoded
+   records, stopping at the first damage and reporting it. It never
+   raises: truncation, bit flips, and malformed varints all fold into
+   the [damage] component. *)
+
+let scan s =
+  let mlen = String.length magic in
+  if String.length s < mlen || String.sub s 0 mlen <> magic then
+    ([], Some "unrecognized magic/version", 0)
+  else begin
+    let total = String.length s in
+    let records = ref [] in
+    let damage = ref None in
+    let n_syms = ref 0 and n_bodies = ref 0 in
+    let pos = ref mlen in
+    (try
+       while !pos < total && !damage = None do
+         let len, p = Varint.read s !pos in
+         if p + len + 4 > total then begin
+           damage :=
+             Some (Printf.sprintf "truncated record at byte %d" !pos)
+         end
+         else begin
+           let payload = String.sub s p len in
+           let crc = Crc32.of_le_bytes s (p + len) in
+           if Crc32.string payload <> crc then
+             damage :=
+               Some (Printf.sprintf "CRC mismatch at byte %d" !pos)
+           else begin
+             match
+               decode_payload ~n_syms:!n_syms ~n_bodies:!n_bodies payload
+             with
+             | Rsymbol _ as r ->
+               incr n_syms;
+               records := r :: !records;
+               pos := p + len + 4
+             | Rbody _ as r ->
+               incr n_bodies;
+               records := r :: !records;
+               pos := p + len + 4
+             | r ->
+               records := r :: !records;
+               pos := p + len + 4
+             | exception Bad_record reason ->
+               damage :=
+                 Some (Printf.sprintf "%s at byte %d" reason !pos)
+           end
+         end
+       done
+     with Invalid_argument _ ->
+       damage := Some (Printf.sprintf "malformed framing at byte %d" !pos));
+    (List.rev !records, !damage, total)
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* {2 Load} *)
+
+let adopt t records =
+  (* replay the tables' intern sequences in record order; an index
+     drift (duplicate symbol/body record) would silently renumber every
+     later reference, so it is damage, not a tolerable oddity *)
+  let symtab = Memo.symtab t.memo and table = Memo.loop_table t.memo in
+  let damage = ref None in
+  (try
+     List.iter
+       (fun r ->
+         match r with
+         | Rsymbol name ->
+           let expect = Difftrace_trace.Symtab.size symtab in
+           if Difftrace_trace.Symtab.intern symtab name <> expect then
+             bad "duplicate symbol %S" name
+         | Rbody elems ->
+           let expect = Nlr.Loop_table.size table in
+           if Nlr.Loop_table.intern table elems <> expect then
+             bad "duplicate loop body %d" expect
+         | Rsummary { key; stamp; nlr } ->
+           Memo.restore t.memo ~key nlr;
+           Hashtbl.replace t.stamps key stamp;
+           if stamp >= t.next_stamp then t.next_stamp <- stamp + 1
+         | Rmatrix e ->
+           Hashtbl.replace t.matrices (matrix_identity e) e;
+           if e.stamp >= t.next_stamp then t.next_stamp <- e.stamp + 1)
+       records
+   with Bad_record reason -> damage := Some reason);
+  !damage
+
+let load ~dir =
+  if Sys.file_exists dir && not (Sys.is_directory dir) then
+    Error { path = dir; reason = "not a directory" }
+  else begin
+    let file = Filename.concat dir store_file in
+    let t =
+      { dir;
+        file;
+        memo = Memo.create ();
+        stamps = Hashtbl.create 64;
+        evicted = Hashtbl.create 16;
+        matrices = Hashtbl.create 16;
+        next_stamp = 0;
+        dirty = false;
+        salvaged = false }
+    in
+    if not (Sys.file_exists file) then Ok t
+    else
+      match read_file file with
+      | exception Sys_error reason -> Error { path = file; reason }
+      | image ->
+        let records, damage, _bytes = scan image in
+        let damage =
+          match damage with
+          | Some _ as d ->
+            (* adopt the valid prefix anyway — it is self-consistent *)
+            ignore (adopt t records : string option);
+            d
+          | None -> adopt t records
+        in
+        (match damage with
+        | Some _ ->
+          Telemetry.Counter.incr c_crc_fail;
+          t.salvaged <- true;
+          (* rewrite a clean file on the next flush *)
+          t.dirty <- true
+        | None -> ());
+        Ok t
+  end
+
+(* {2 JSM reuse} *)
+
+let jsm t ~config ~init ctx =
+  let ns = Config.digest config in
+  let n = Context.n_objects ctx in
+  let labels = Array.init n (Context.object_label ctx) in
+  let digests = Array.init n (object_digest ctx) in
+  (* per-candidate (label -> digest, base row) view, first occurrence
+     winning exactly as [Jsm.extend]'s own label resolution does *)
+  let entry_map (e : matrix_entry) =
+    let tbl = Hashtbl.create (2 * Array.length e.labels) in
+    Array.iteri
+      (fun i l -> if not (Hashtbl.mem tbl l) then Hashtbl.add tbl l e.digests.(i))
+      e.labels;
+    tbl
+  in
+  let matches map =
+    let c = ref 0 in
+    for i = 0 to n - 1 do
+      match Hashtbl.find_opt map labels.(i) with
+      | Some d when String.equal d digests.(i) -> incr c
+      | _ -> ()
+    done;
+    !c
+  in
+  (* best base: most matched objects; stamp then identity break ties so
+     the choice is independent of hashtable iteration order *)
+  let best = ref None in
+  Hashtbl.iter
+    (fun id (e : matrix_entry) ->
+      if String.equal e.ns ns then begin
+        let map = entry_map e in
+        let m = matches map in
+        if m > 0 then
+          match !best with
+          | Some (_, _, bm, bstamp, bid)
+            when bm > m
+                 || (bm = m && (e.stamp < bstamp
+                               || (e.stamp = bstamp && String.compare id bid >= 0)))
+            -> ()
+          | _ -> best := Some (e, map, m, e.stamp, id)
+      end)
+    t.matrices;
+  let result, covered =
+    match !best with
+    | Some (e, map, m, _, _) ->
+      Telemetry.Counter.incr c_hits;
+      let fresh =
+        Array.init n (fun i ->
+            match Hashtbl.find_opt map labels.(i) with
+            | Some d when String.equal d digests.(i) -> false
+            | _ -> true)
+      in
+      let base = { Jsm.labels = e.labels; m = e.matrix } in
+      (Jsm.extend ~init ~base ~fresh ctx, m = n)
+    | None ->
+      Telemetry.Counter.incr c_misses;
+      (Jsm.compute ~init ctx, false)
+  in
+  if not covered then begin
+    let stamp = t.next_stamp in
+    t.next_stamp <- stamp + 1;
+    let e = { ns; stamp; labels; digests; matrix = result.Jsm.m } in
+    Hashtbl.replace t.matrices (matrix_identity e) e;
+    t.dirty <- true
+  end;
+  result
+
+(* {2 Eviction, flush, stats} *)
+
+(* summaries not yet persisted (no stamp) sort newest; among them key
+   order decides — everything deterministic for a given workload *)
+let summary_entries t =
+  Memo.fold t.memo ~init:[] ~f:(fun key nlr acc ->
+      if Hashtbl.mem t.evicted key then acc
+      else
+        let stamp =
+          match Hashtbl.find_opt t.stamps key with
+          | Some s -> s
+          | None -> max_int
+        in
+        (key, stamp, nlr) :: acc)
+  |> List.sort (fun (k1, s1, _) (k2, s2, _) ->
+         match compare s1 s2 with 0 -> String.compare k1 k2 | c -> c)
+
+let matrix_entries t =
+  Hashtbl.fold (fun id e acc -> (id, e) :: acc) t.matrices []
+  |> List.sort (fun (i1, e1) (i2, e2) ->
+         match compare e1.stamp e2.stamp with
+         | 0 -> String.compare i1 i2
+         | c -> c)
+
+let drop_oldest entries ~keep =
+  let total = List.length entries in
+  if total <= keep then ([], entries)
+  else
+    let excess = total - keep in
+    let rec split n = function
+      | dropped when n = 0 -> ([], dropped)
+      | [] -> ([], [])
+      | e :: rest ->
+        let d, k = split (n - 1) rest in
+        (e :: d, k)
+    in
+    split excess entries
+
+let evict ?(keep_summaries = default_keep_summaries)
+    ?(keep_matrices = default_keep_matrices) t =
+  let drop_s, _ = drop_oldest (summary_entries t) ~keep:keep_summaries in
+  List.iter (fun (key, _, _) -> Hashtbl.replace t.evicted key ()) drop_s;
+  let drop_m, _ = drop_oldest (matrix_entries t) ~keep:keep_matrices in
+  List.iter (fun (id, _) -> Hashtbl.remove t.matrices id) drop_m;
+  let ns = List.length drop_s and nm = List.length drop_m in
+  if ns + nm > 0 then begin
+    Telemetry.Counter.add c_evictions (ns + nm);
+    t.dirty <- true
+  end;
+  (ns, nm)
+
+let gc ?keep_summaries ?keep_matrices t =
+  evict ?keep_summaries ?keep_matrices t
+
+let rec mkdir_p d =
+  if not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let has_new_summaries t =
+  Memo.fold t.memo ~init:false ~f:(fun key _ acc ->
+      acc || not (Hashtbl.mem t.stamps key))
+
+let render t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  let symtab = Memo.symtab t.memo and table = Memo.loop_table t.memo in
+  Array.iter
+    (fun name -> add_record buf (payload_symbol name))
+    (Difftrace_trace.Symtab.names symtab);
+  for id = 0 to Nlr.Loop_table.size table - 1 do
+    add_record buf (payload_body (Nlr.Loop_table.body table id))
+  done;
+  List.iter
+    (fun (key, stamp, nlr) ->
+      let stamp =
+        if stamp = max_int then begin
+          let s = t.next_stamp in
+          t.next_stamp <- s + 1;
+          Hashtbl.replace t.stamps key s;
+          s
+        end
+        else stamp
+      in
+      add_record buf (payload_summary ~key ~stamp nlr))
+    (summary_entries t);
+  List.iter (fun (_, e) -> add_record buf (payload_matrix e)) (matrix_entries t);
+  Buffer.contents buf
+
+let flush t =
+  if not (t.dirty || has_new_summaries t) then Ok ()
+  else begin
+    ignore (evict t : int * int);
+    match
+      mkdir_p t.dir;
+      let tmp = t.file ^ ".tmp" in
+      let oc = open_out_bin tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (render t));
+      Sys.rename tmp t.file
+    with
+    | () ->
+      t.dirty <- false;
+      t.salvaged <- false;
+      Ok ()
+    | exception Sys_error reason -> Error { path = t.file; reason }
+    | exception Unix.Unix_error (e, _, arg) ->
+      Error { path = arg; reason = Unix.error_message e }
+  end
+
+type stats = {
+  summaries : int;
+  matrices : int;
+  symbols : int;
+  loop_bodies : int;
+  file_bytes : int;
+  salvaged : bool;
+}
+
+let stats t =
+  { summaries = List.length (summary_entries t);
+    matrices = Hashtbl.length t.matrices;
+    symbols = Difftrace_trace.Symtab.size (Memo.symtab t.memo);
+    loop_bodies = Nlr.Loop_table.size (Memo.loop_table t.memo);
+    file_bytes =
+      (try (Unix.stat t.file).Unix.st_size with Unix.Unix_error _ -> 0);
+    salvaged = t.salvaged }
+
+let render_stats s =
+  let buf = Buffer.create 128 in
+  Printf.bprintf buf "summaries   %d\n" s.summaries;
+  Printf.bprintf buf "matrices    %d\n" s.matrices;
+  Printf.bprintf buf "symbols     %d\n" s.symbols;
+  Printf.bprintf buf "loop bodies %d\n" s.loop_bodies;
+  Printf.bprintf buf "file bytes  %d\n" s.file_bytes;
+  if s.salvaged then Buffer.add_string buf "salvaged    yes\n";
+  Buffer.contents buf
+
+type check = {
+  c_records : int;
+  c_summaries : int;
+  c_matrices : int;
+  c_symbols : int;
+  c_loop_bodies : int;
+  c_bytes : int;
+  c_damage : string option;
+}
+
+let verify ~dir =
+  let file = Filename.concat dir store_file in
+  if not (Sys.file_exists file) then
+    Ok
+      { c_records = 0;
+        c_summaries = 0;
+        c_matrices = 0;
+        c_symbols = 0;
+        c_loop_bodies = 0;
+        c_bytes = 0;
+        c_damage = None }
+  else
+    match read_file file with
+    | exception Sys_error reason -> Error { path = file; reason }
+    | image ->
+      let records, damage, bytes = scan image in
+      let sy = ref 0 and bo = ref 0 and su = ref 0 and ma = ref 0 in
+      List.iter
+        (function
+          | Rsymbol _ -> incr sy
+          | Rbody _ -> incr bo
+          | Rsummary _ -> incr su
+          | Rmatrix _ -> incr ma)
+        records;
+      Ok
+        { c_records = List.length records;
+          c_summaries = !su;
+          c_matrices = !ma;
+          c_symbols = !sy;
+          c_loop_bodies = !bo;
+          c_bytes = bytes;
+          c_damage = damage }
+
+let render_check c =
+  let buf = Buffer.create 128 in
+  (match c.c_damage with
+  | None -> Printf.bprintf buf "store: ok (%d records)\n" c.c_records
+  | Some reason ->
+    Printf.bprintf buf "store: damaged — %s (%d records salvageable)\n" reason
+      c.c_records);
+  Printf.bprintf buf "summaries   %d\n" c.c_summaries;
+  Printf.bprintf buf "matrices    %d\n" c.c_matrices;
+  Printf.bprintf buf "symbols     %d\n" c.c_symbols;
+  Printf.bprintf buf "loop bodies %d\n" c.c_loop_bodies;
+  Buffer.contents buf

@@ -1,0 +1,120 @@
+(** Persistent, content-addressed analysis store.
+
+    {!Memo} (PR 1) amortizes NLR summarization {e within} one process;
+    every CLI invocation still starts cold. The store extends that
+    across processes: a single on-disk file persists the memo's shared
+    symbol/loop tables, its cached summaries, and completed JSM
+    matrices, so the second [difftrace compare] over the same corpus
+    performs zero summarizations and mirrors (almost) every Jaccard
+    cell from disk — near-pure I/O instead of O(n²) recompute.
+
+    {2 Correctness model}
+
+    Nothing read from the store is trusted positionally; everything is
+    content-addressed:
+
+    - Summaries are keyed by {!Memo.key} — a digest of the filtered,
+      symtab-remapped call-ID sequence plus the NLR constants. Keys are
+      IDs {e with respect to the store's own persisted symbol table},
+      which the loader replays in creation order, so equal keys mean
+      equal name sequences; there are no cross-workload collisions.
+    - Cached JSM matrices carry one digest per object over its {e
+      sorted} attribute-name set. A cached cell is mirrored only when
+      both endpoints' digests match the current context, and
+      [Context.jaccard] is a pure function of those two attribute sets
+      — so mirrored values are bit-identical to recomputation
+      ({!Jsm.extend}'s contract). Matrices are namespaced by
+      {!Config.digest} purely for lookup efficiency.
+
+    Robustness follows {!Archive}/{!Campaign} discipline: CRC-32/varint
+    record framing, atomic rewrite (tmp + rename), and a
+    result-returning loader that salvages the valid prefix of a damaged
+    file — or falls back to a cold store — instead of raising.
+
+    Telemetry: [store.hits]/[store.misses] (JSM base lookups),
+    [store.evictions] (gc and flush caps), [store.crc_fail] (damaged
+    files/records encountered). *)
+
+type t
+
+type error
+
+val error_to_string : error -> string
+
+(** [load ~dir] — open (or cold-start) the store rooted at [dir]. A
+    missing directory or store file is a normal cold start; a damaged
+    file is salvaged up to its first bad record (counting
+    [store.crc_fail]); only a genuinely unusable path (e.g. [dir] is a
+    regular file, or the store file is unreadable) is an [Error]. Never
+    raises on file content. *)
+val load : dir:string -> (t, error) result
+
+(** The directory the store was loaded from. *)
+val dir : t -> string
+
+(** The store's memo, seeded with every persisted summary. Pass it to
+    the pipeline as the shared memo; new summaries accumulate in it and
+    are persisted by the next {!flush}. *)
+val memo : t -> Memo.t
+
+(** [jsm t ~config ~init ctx] — the context's JSM, reusing cached work:
+    picks the cached matrix (in [config]'s namespace) sharing the most
+    (label, attribute-digest) pairs with [ctx], mirrors those cells via
+    {!Jsm.extend}, and evaluates the rest. Falls back to {!Jsm.compute}
+    when nothing is reusable. Bit-identical to [Jsm.compute ~init ctx]
+    either way. Counts [store.hits] / [store.misses] once per call, and
+    records the finished matrix for future runs (unless a cached matrix
+    already covered every object). *)
+val jsm :
+  t ->
+  config:Config.t ->
+  init:(int -> (int -> float array) -> float array array) ->
+  Difftrace_fca.Context.t ->
+  Difftrace_cluster.Jsm.t
+
+(** [flush t] — persist new state (atomic rewrite). A no-op when
+    nothing changed since {!load}/the last flush, so warm runs do not
+    touch the disk. Applies the default retention caps, counting
+    [store.evictions]. Creates [dir] if needed. *)
+val flush : t -> (unit, error) result
+
+type stats = {
+  summaries : int;
+  matrices : int;
+  symbols : int;
+  loop_bodies : int;
+  file_bytes : int;  (** store file size on disk; 0 before first flush *)
+  salvaged : bool;  (** the last {!load} discarded damaged records *)
+}
+
+val stats : t -> stats
+
+(** Text rendering of {!stats} for [difftrace store stats]. *)
+val render_stats : stats -> string
+
+(** [gc ?keep_summaries ?keep_matrices t] — drop all but the newest
+    [keep_summaries] summaries (default 4096) and [keep_matrices]
+    matrices (default 64); ties resolve by key so the outcome is
+    deterministic. Returns [(summaries_dropped, matrices_dropped)],
+    also counted into [store.evictions]. Takes effect on disk at the
+    next {!flush}. Shared symbol/loop tables are never shrunk — live
+    summaries index into them. *)
+val gc : ?keep_summaries:int -> ?keep_matrices:int -> t -> int * int
+
+type check = {
+  c_records : int;
+  c_summaries : int;
+  c_matrices : int;
+  c_symbols : int;
+  c_loop_bodies : int;
+  c_bytes : int;
+  c_damage : string option;  (** [None] when the whole file verifies *)
+}
+
+(** [verify ~dir] — read-only integrity scan (CRCs, framing, structural
+    references) without adopting anything; [Ok] with [c_damage = Some _]
+    means a salvageable file. [Error] only for an unreadable path. *)
+val verify : dir:string -> (check, error) result
+
+(** Text rendering of {!check} for [difftrace store verify]. *)
+val render_check : check -> string

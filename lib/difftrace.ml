@@ -13,6 +13,7 @@ module Telemetry = Difftrace_obs.Telemetry
 module Config = Difftrace_core.Config
 module Engine = Difftrace_core.Engine
 module Memo = Difftrace_core.Memo
+module Store = Difftrace_core.Store
 module Pipeline = Difftrace_core.Pipeline
 module Ranking = Difftrace_core.Ranking
 module Autotune = Difftrace_core.Autotune

@@ -68,3 +68,17 @@ A different matrix over the same directory is refused, not silently mixed:
   >   -f 'dlBug(rank=1,after=0)'
   difftrace: camp holds a different campaign (mismatched np); use a fresh state directory or delete it
   [1]
+
+The campaign keeps one analysis store under its state directory, so
+resumed or repeated sweeps reuse NLR summaries and JSMs across
+processes:
+
+  $ difftrace store stats -d camp/store | grep -v 'file bytes'
+  summaries   8
+  matrices    3
+  symbols     6
+  loop bodies 2
+  $ difftrace campaign run -d camp2 -w selftest --np 4 --seeds 2 \
+  >   -f 'swapBug(rank=1,after=0)' --store camp/store --profile \
+  >   | grep -E 'store\.hits|nlr\.summaries'
+  | store.hits               |     4 |

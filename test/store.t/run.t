@@ -1,0 +1,78 @@
+A persistent analysis store: the first (cold) compare populates it,
+the second (warm) compare answers from it — zero fresh NLR
+summarizations, every previously seen JSM row mirrored from disk —
+and the report is byte-identical either way.
+
+  $ difftrace compare -w ilcs --np 6 -f 'swapBug(rank=3,after=5)' --store st > cold.txt
+  $ cat cold.txt
+  configuration: 11.mpiall.K10 / sing.noFreq / ward
+  B-score: 1.000
+  top processes: 
+  top threads:   
+  suspicious traces:
+  === diffNLR(0.2) ===
+      normal       | faulty      
+      -------------+-------------
+
+  $ difftrace compare -w ilcs --np 6 -f 'swapBug(rank=3,after=5)' --store st --profile > warm.txt
+
+The warm run's counters: both matrices served from the store, all 60
+rows mirrored, and no nlr.summaries / jsm.jaccard_evals / store.misses
+rows at all — nothing was recomputed.
+
+  $ grep -E 'nlr\.|store\.|jsm\.' warm.txt
+  | jsm.cells                |  1800 |
+  | jsm.rows_reused          |    60 |
+  | store.hits               |     2 |
+
+Stripped of the profile tables, the warm report matches the cold one
+bit for bit — and a storeless run too:
+
+  $ grep -v '^[+|]' warm.txt > warm_report.txt
+  $ cmp cold.txt warm_report.txt
+  $ difftrace compare -w ilcs --np 6 -f 'swapBug(rank=3,after=5)' > nostore.txt
+  $ cmp cold.txt nostore.txt
+
+The store subcommands inspect and maintain the directory:
+
+  $ difftrace store stats -d st | grep -v 'file bytes'
+  summaries   2
+  matrices    1
+  symbols     8
+  loop bodies 3
+  $ difftrace store verify -d st
+  store: ok (14 records)
+  summaries   2
+  matrices    1
+  symbols     8
+  loop bodies 3
+  $ difftrace store gc -d st --keep-summaries 1
+  evicted 1 summaries, 0 matrices
+  $ difftrace store stats -d st | grep summaries
+  summaries   1
+
+Damage is salvaged, never fatal: verify flags the truncation (exit 1),
+a compare over the damaged store still produces the same report and
+rewrites a clean file.
+
+  $ head -c -2 st/analysis.store > st/t && mv st/t st/analysis.store
+  $ difftrace store verify -d st
+  store: damaged — truncated record at byte 210 (12 records salvageable)
+  summaries   1
+  matrices    0
+  symbols     8
+  loop bodies 3
+  [1]
+  $ difftrace compare -w ilcs --np 6 -f 'swapBug(rank=3,after=5)' --store st > salvaged.txt
+  $ cmp cold.txt salvaged.txt
+  $ difftrace store verify -d st
+  store: ok (14 records)
+  summaries   2
+  matrices    1
+  symbols     8
+  loop bodies 3
+
+--no-store forces a cold, storeless run even when --store is given:
+
+  $ difftrace compare -w ilcs --np 6 -f 'swapBug(rank=3,after=5)' --store st --no-store --profile | grep 'store\.'
+  [1]

@@ -319,6 +319,15 @@ let test_jsm_diff_disjoint_labels () =
   let d = Jsm.diff a b in
   Alcotest.(check int) "empty alignment" 0 (Array.length d.Jsm.labels)
 
+let test_jsm_empty_matrix_views () =
+  (* regression: heatmap and row_change once indexed into the 0-trace
+     matrix that diffing label-disjoint runs produces *)
+  let a = Jsm.of_context (ctx [ ("t0", [ "x" ]) ]) in
+  let b = Jsm.of_context (ctx [ ("t9", [ "x" ]) ]) in
+  let d = Jsm.diff a b in
+  Alcotest.(check string) "heatmap placeholder" "(no traces)\n" (Jsm.heatmap d);
+  Alcotest.(check (float 1e-9)) "row change on empty" 0.0 (Jsm.row_change d 0)
+
 let () =
   Alcotest.run "cluster"
     [ ( "linkage",
@@ -361,4 +370,6 @@ let () =
           Alcotest.test_case "align ragged rejected" `Quick
             test_jsm_align_ragged_rejected;
           Alcotest.test_case "diff disjoint labels" `Quick
-            test_jsm_diff_disjoint_labels ] ) ]
+            test_jsm_diff_disjoint_labels;
+          Alcotest.test_case "empty matrix views" `Quick
+            test_jsm_empty_matrix_views ] ) ]

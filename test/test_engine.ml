@@ -252,6 +252,15 @@ let test_memo_rejects_conflicting_tables () =
   | _ -> Alcotest.fail "analyze should reject memo + explicit symtab"
   | exception Invalid_argument _ -> ()
 
+let test_hit_rate_degenerate () =
+  (* regression: an all-miss (or untouched) cache once divided by zero *)
+  Alcotest.(check (float 1e-9)) "empty stats" 0.0
+    (Memo.hit_rate { Memo.hits = 0; misses = 0 });
+  Alcotest.(check (float 1e-9)) "all misses" 0.0
+    (Memo.hit_rate { Memo.hits = 0; misses = 7 });
+  Alcotest.(check (float 1e-9)) "all hits" 1.0
+    (Memo.hit_rate { Memo.hits = 5; misses = 0 })
+
 let () =
   Alcotest.run "engine"
     [ ( "engine",
@@ -277,4 +286,6 @@ let () =
           Alcotest.test_case "cold cache == no cache" `Quick
             test_memo_cold_equals_plain;
           Alcotest.test_case "memo + explicit tables rejected" `Quick
-            test_memo_rejects_conflicting_tables ] ) ]
+            test_memo_rejects_conflicting_tables;
+          Alcotest.test_case "hit rate degenerate cases" `Quick
+            test_hit_rate_degenerate ] ) ]

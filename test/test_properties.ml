@@ -255,6 +255,90 @@ let test_fault_of_string_malformed () =
       "noCritical(rank=1)";
       "skipFunction(rank=1)" ]
 
+(* ------------------------------------------------------------------ *)
+(* Incremental JSM extension and the persistent analysis store         *)
+(* ------------------------------------------------------------------ *)
+
+module Jsm = Difftrace_cluster.Jsm
+module Context = Difftrace_fca.Context
+
+(* Exact bit-level equality — "same up to epsilon" is not good enough
+   for the store, whose whole contract is byte-identical reports. *)
+let bits_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun ra rb ->
+         Array.length ra = Array.length rb
+         && Array.for_all2
+              (fun x y -> Int64.bits_of_float x = Int64.bits_of_float y)
+              ra rb)
+       a b
+
+(* A random formal context plus a random cold/warm split, all derived
+   from one seed. *)
+let random_split seed =
+  let rng = Difftrace_util.Prng.create seed in
+  let n = 1 + Difftrace_util.Prng.int rng 12 in
+  let pool = [| "a"; "b"; "c"; "d"; "e"; "f"; "g"; "h" |] in
+  let rows =
+    List.init n (fun i ->
+        let attrs =
+          Array.to_list pool
+          |> List.filter (fun _ -> Difftrace_util.Prng.bool rng)
+        in
+        (Printf.sprintf "t%d" i, attrs))
+  in
+  let fresh = Array.init n (fun _ -> Difftrace_util.Prng.bool rng) in
+  (rows, fresh)
+
+let prop_jsm_extend_equals_compute =
+  qtest "Jsm.extend == Jsm.compute bit-for-bit, seq and parallel" ~count:100
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rows, fresh = random_split seed in
+      let ctx = Context.of_attr_sets rows in
+      let warm_rows = List.filteri (fun i _ -> not fresh.(i)) rows in
+      let base = Jsm.of_context (Context.of_attr_sets warm_rows) in
+      let expected = Jsm.of_context ctx in
+      List.for_all
+        (fun init ->
+          let got = Jsm.extend ~init ~base ~fresh ctx in
+          got.Jsm.labels = expected.Jsm.labels
+          && bits_equal got.Jsm.m expected.Jsm.m)
+        [ Array.init; Engine.init (Engine.parallel ~domains:3 ()) ])
+
+(* The store's warm path must be invisible: a second run over the same
+   traces sees only memo hits, zero fresh summarizations, and lands on
+   the same matrix bit for bit. *)
+let prop_store_roundtrip_warm =
+  qtest "store round-trip: warm rerun is all-hit and bit-identical"
+    ~count:10 recipe_gen
+    (fun (recipe, np, seed) ->
+      let ts = (run_random ~recipe ~np ~seed).R.traces in
+      let dir =
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "difftrace_prop_store_%d_%d_%d" recipe np seed)
+      in
+      if Sys.file_exists dir then
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir);
+      let get = function
+        | Ok v -> v
+        | Error e -> failwith (Store.error_to_string e)
+      in
+      let config = Config.make ~filter:(F.make []) () in
+      let st1 = get (Store.load ~dir) in
+      let a1 = Pipeline.analyze ~store:st1 config ts in
+      get (Store.flush st1);
+      let st2 = get (Store.load ~dir) in
+      let a2 = Pipeline.analyze ~store:st2 config ts in
+      let s = Memo.stats (Store.memo st2) in
+      s.Memo.misses = 0
+      && s.Memo.hits > 0
+      && a1.Pipeline.jsm.Jsm.labels = a2.Pipeline.jsm.Jsm.labels
+      && bits_equal a1.Pipeline.jsm.Jsm.m a2.Pipeline.jsm.Jsm.m)
+
 let () =
   Alcotest.run "properties"
     [ ( "end-to-end",
@@ -269,6 +353,8 @@ let () =
           prop_pipeline_jsm_properties;
           prop_fault_sweep_total;
           prop_heat_conservation_shape ] );
+      ( "incremental-store",
+        [ prop_jsm_extend_equals_compute; prop_store_roundtrip_warm ] );
       ( "fault-strings",
         [ prop_fault_string_roundtrip;
           Alcotest.test_case "malformed strings rejected" `Quick

@@ -1,0 +1,334 @@
+(* Persistent analysis store: round-trip fidelity, flush determinism,
+   the corruption corpus (salvage-never-crash discipline, mirroring
+   test_archive.ml), gc/eviction accounting, and the read-only verify
+   scan. The invariant behind every case: whatever the store's state —
+   cold, warm, damaged, garbage — analysis results are bit-identical
+   to a storeless run. *)
+
+open Difftrace
+module Fault = Difftrace_simulator.Fault
+module R = Difftrace_simulator.Runtime
+module F = Difftrace_filter.Filter
+module Odd_even = Difftrace_workloads.Odd_even
+module Prng = Difftrace_util.Prng
+
+let tmpdir name =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) ("difftrace_store_" ^ name) in
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  dir
+
+let store_path dir = Filename.concat dir "analysis.store"
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let flip_bit path ~byte ~bit =
+  let s = Bytes.of_string (read_file path) in
+  Bytes.set s byte (Char.chr (Char.code (Bytes.get s byte) lxor (1 lsl bit)));
+  write_file path (Bytes.to_string s)
+
+let truncate_file path ~keep =
+  write_file path (String.sub (read_file path) 0 keep)
+
+let get = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail (Store.error_to_string e)
+
+let sample_traces () =
+  let outcome, _ = Odd_even.run ~np:4 ~fault:Fault.No_fault () in
+  outcome.R.traces
+
+let config () = Config.make ~filter:(F.make []) ()
+
+(* one analyzed-and-flushed store on disk; returns its directory *)
+let make_store name ts =
+  let dir = tmpdir name in
+  let st = get (Store.load ~dir) in
+  ignore (Pipeline.analyze ~store:st (config ()) ts);
+  get (Store.flush st);
+  dir
+
+let bits_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun ra rb ->
+         Array.length ra = Array.length rb
+         && Array.for_all2
+              (fun x y -> Int64.bits_of_float x = Int64.bits_of_float y)
+              ra rb)
+       a b
+
+let jsm_equal (a : Jsm.t) (b : Jsm.t) =
+  a.Jsm.labels = b.Jsm.labels && bits_equal a.Jsm.m b.Jsm.m
+
+(* counters only move while telemetry is enabled; always restore *)
+let with_telemetry f =
+  Telemetry.reset ();
+  Telemetry.enable ();
+  Fun.protect f ~finally:(fun () ->
+      Telemetry.disable ();
+      Telemetry.reset ())
+
+let c_crc_fail = Telemetry.Counter.make "store.crc_fail"
+let c_evictions = Telemetry.Counter.make "store.evictions"
+
+(* ------------------------------------------------------------------ *)
+(* Round trip                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_roundtrip_warm_all_hit () =
+  let ts = sample_traces () in
+  let cold = Pipeline.analyze (config ()) ts in
+  let dir = make_store "roundtrip" ts in
+  let st = get (Store.load ~dir) in
+  let s = Store.stats st in
+  Alcotest.(check bool) "has summaries" true (s.Store.summaries > 0);
+  Alcotest.(check int) "one matrix" 1 s.Store.matrices;
+  Alcotest.(check bool) "clean load" false s.Store.salvaged;
+  Alcotest.(check bool) "file on disk" true (s.Store.file_bytes > 0);
+  let warm = Pipeline.analyze ~store:st (config ()) ts in
+  let ms = Memo.stats (Store.memo st) in
+  Alcotest.(check int) "zero summarizations on the warm run" 0 ms.Memo.misses;
+  Alcotest.(check bool) "summaries served from disk" true (ms.Memo.hits > 0);
+  Alcotest.(check bool) "warm JSM bit-identical" true
+    (jsm_equal cold.Pipeline.jsm warm.Pipeline.jsm)
+
+let test_warm_flush_is_noop () =
+  let ts = sample_traces () in
+  let dir = make_store "warmnoop" ts in
+  let image = read_file (store_path dir) in
+  let st = get (Store.load ~dir) in
+  ignore (Pipeline.analyze ~store:st (config ()) ts);
+  get (Store.flush st);
+  Alcotest.(check bool) "fully warm run leaves the file untouched" true
+    (read_file (store_path dir) = image)
+
+let test_flush_deterministic () =
+  let ts = sample_traces () in
+  let a = make_store "det_a" ts in
+  let b = make_store "det_b" ts in
+  Alcotest.(check bool) "same work renders the same bytes" true
+    (read_file (store_path a) = read_file (store_path b))
+
+let test_cold_start_missing () =
+  let dir = tmpdir "coldmiss" in
+  let st = get (Store.load ~dir) in
+  let s = Store.stats st in
+  Alcotest.(check int) "no summaries" 0 s.Store.summaries;
+  Alcotest.(check int) "no matrices" 0 s.Store.matrices;
+  Alcotest.(check int) "no file yet" 0 s.Store.file_bytes
+
+(* ------------------------------------------------------------------ *)
+(* Corruption corpus                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* every mutation of a valid store must load Ok — salvaged or cold,
+   never an exception — and keep analysis bit-identical to storeless *)
+let test_corruption_corpus () =
+  let ts = sample_traces () in
+  let reference = Pipeline.analyze (config ()) ts in
+  let prng = Prng.create 42 in
+  for case = 0 to 29 do
+    let dir = make_store (Printf.sprintf "corpus_%d" case) ts in
+    let victim = store_path dir in
+    let size = String.length (read_file victim) in
+    let what =
+      match case mod 3 with
+      | 0 ->
+        let byte = Prng.int prng size in
+        flip_bit victim ~byte ~bit:(Prng.int prng 8);
+        Printf.sprintf "bit flip @%d" byte
+      | 1 ->
+        let keep = Prng.int prng size in
+        truncate_file victim ~keep;
+        Printf.sprintf "truncate to %d" keep
+      | _ ->
+        let n = 1 + Prng.int prng 16 in
+        write_file victim
+          (read_file victim
+          ^ String.init n (fun _ -> Char.chr (Prng.int prng 256)));
+        Printf.sprintf "append %d garbage bytes" n
+    in
+    let ctx = Printf.sprintf "case %d (%s)" case what in
+    match Store.load ~dir with
+    | Error e -> Alcotest.fail (ctx ^ ": " ^ Store.error_to_string e)
+    | exception e -> Alcotest.fail (ctx ^ ": raised " ^ Printexc.to_string e)
+    | Ok st ->
+      let a = Pipeline.analyze ~store:st (config ()) ts in
+      Alcotest.(check bool)
+        (ctx ^ ": analysis unaffected by damage")
+        true
+        (jsm_equal reference.Pipeline.jsm a.Pipeline.jsm)
+  done
+
+let test_crc_fail_accounting () =
+  let ts = sample_traces () in
+  let dir = make_store "crcfail" ts in
+  let victim = store_path dir in
+  (* flip a bit well past the magic so framing, not magic, catches it *)
+  flip_bit victim ~byte:(String.length (read_file victim) - 3) ~bit:0;
+  with_telemetry (fun () ->
+      let before = Telemetry.Counter.value c_crc_fail in
+      let st = get (Store.load ~dir) in
+      Alcotest.(check int) "store.crc_fail counted" (before + 1)
+        (Telemetry.Counter.value c_crc_fail);
+      Alcotest.(check bool) "load reports salvage" true
+        (Store.stats st).Store.salvaged)
+
+let test_salvage_rewrites_clean () =
+  let ts = sample_traces () in
+  let dir = make_store "salvage_rw" ts in
+  let victim = store_path dir in
+  truncate_file victim ~keep:(String.length (read_file victim) - 2);
+  let st = get (Store.load ~dir) in
+  Alcotest.(check bool) "salvaged" true (Store.stats st).Store.salvaged;
+  (* a salvaged store is dirty: the next flush rewrites a clean file *)
+  get (Store.flush st);
+  let st2 = get (Store.load ~dir) in
+  Alcotest.(check bool) "clean after rewrite" false
+    (Store.stats st2).Store.salvaged;
+  let c = get (Store.verify ~dir) in
+  Alcotest.(check bool) "verify agrees" true (c.Store.c_damage = None)
+
+let test_stale_version_is_cold () =
+  let ts = sample_traces () in
+  let dir = make_store "stale" ts in
+  let victim = store_path dir in
+  let image = read_file victim in
+  write_file victim
+    ("difftrace-store 0\n"
+    ^ String.sub image 18 (String.length image - 18));
+  let st = get (Store.load ~dir) in
+  let s = Store.stats st in
+  Alcotest.(check int) "unknown version adopts nothing" 0 s.Store.summaries;
+  Alcotest.(check int) "no matrices either" 0 s.Store.matrices;
+  Alcotest.(check bool) "flagged as salvaged" true s.Store.salvaged
+
+let test_empty_file_is_cold () =
+  let ts = sample_traces () in
+  let dir = make_store "emptyfile" ts in
+  write_file (store_path dir) "";
+  let st = get (Store.load ~dir) in
+  Alcotest.(check int) "cold" 0 (Store.stats st).Store.summaries;
+  Alcotest.(check bool) "salvaged flag set" true (Store.stats st).Store.salvaged
+
+let test_foreign_file_ignored () =
+  let ts = sample_traces () in
+  let dir = make_store "foreign" ts in
+  write_file (Filename.concat dir "foreign.bin") "not a store record\n";
+  let st = get (Store.load ~dir) in
+  let s = Store.stats st in
+  Alcotest.(check bool) "store still loads" true (s.Store.summaries > 0);
+  Alcotest.(check bool) "clean — foreign files are not store damage" false
+    s.Store.salvaged;
+  get (Store.flush st);
+  Alcotest.(check bool) "foreign file left alone" true
+    (Sys.file_exists (Filename.concat dir "foreign.bin"))
+
+let test_dir_is_a_file () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ()) "difftrace_store_plainfile"
+  in
+  write_file path "just a file\n";
+  match Store.load ~dir:path with
+  | Ok _ -> Alcotest.fail "loaded a store rooted at a regular file"
+  | Error e ->
+    Alcotest.(check bool) "diagnostic names the path" true
+      (let s = Store.error_to_string e in
+       String.length s > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Gc / eviction                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_gc_and_eviction_accounting () =
+  let ts = sample_traces () in
+  let dir = make_store "gc" ts in
+  let st = get (Store.load ~dir) in
+  let s0 = Store.stats st in
+  with_telemetry (fun () ->
+      let before = Telemetry.Counter.value c_evictions in
+      let ds, dm = Store.gc ~keep_summaries:1 ~keep_matrices:0 st in
+      Alcotest.(check int) "summaries dropped" (s0.Store.summaries - 1) ds;
+      Alcotest.(check int) "matrices dropped" s0.Store.matrices dm;
+      Alcotest.(check int) "store.evictions counted" (before + ds + dm)
+        (Telemetry.Counter.value c_evictions));
+  get (Store.flush st);
+  let st2 = get (Store.load ~dir) in
+  let s1 = Store.stats st2 in
+  Alcotest.(check int) "one summary survives on disk" 1 s1.Store.summaries;
+  Alcotest.(check int) "no matrices survive" 0 s1.Store.matrices;
+  (* a gc'd store is still just a cache: analysis repopulates it *)
+  let a = Pipeline.analyze ~store:st2 (config ()) ts in
+  Alcotest.(check bool) "analysis unaffected" true
+    (jsm_equal (Pipeline.analyze (config ()) ts).Pipeline.jsm a.Pipeline.jsm);
+  get (Store.flush st2);
+  let s2 = Store.stats (get (Store.load ~dir)) in
+  Alcotest.(check int) "matrix re-recorded" 1 s2.Store.matrices;
+  Alcotest.(check int) "summaries repopulated" s0.Store.summaries
+    s2.Store.summaries
+
+(* ------------------------------------------------------------------ *)
+(* Verify                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_verify_clean_and_damaged () =
+  let ts = sample_traces () in
+  let dir = make_store "verify" ts in
+  let st = get (Store.load ~dir) in
+  let s = Store.stats st in
+  let c = get (Store.verify ~dir) in
+  Alcotest.(check bool) "no damage" true (c.Store.c_damage = None);
+  Alcotest.(check int) "summary count agrees" s.Store.summaries
+    c.Store.c_summaries;
+  Alcotest.(check int) "matrix count agrees" s.Store.matrices
+    c.Store.c_matrices;
+  Alcotest.(check int) "symbol count agrees" s.Store.symbols c.Store.c_symbols;
+  Alcotest.(check int) "byte count agrees" s.Store.file_bytes c.Store.c_bytes;
+  (* damage the tail: verify must report it without adopting anything *)
+  truncate_file (store_path dir) ~keep:(s.Store.file_bytes - 1);
+  let d = get (Store.verify ~dir) in
+  (match d.Store.c_damage with
+  | None -> Alcotest.fail "verify missed the damage"
+  | Some _ -> ());
+  Alcotest.(check bool) "salvageable prefix counted" true
+    (d.Store.c_records < c.Store.c_records);
+  (* a missing store verifies as empty, not as an error *)
+  let e = get (Store.verify ~dir:(tmpdir "verify_missing")) in
+  Alcotest.(check int) "missing store: zero records" 0 e.Store.c_records;
+  Alcotest.(check bool) "missing store: no damage" true (e.Store.c_damage = None)
+
+let () =
+  Alcotest.run "store"
+    [ ( "round-trip",
+        [ Alcotest.test_case "warm reload is all-hit and bit-identical" `Quick
+            test_roundtrip_warm_all_hit;
+          Alcotest.test_case "fully warm flush is a no-op" `Quick
+            test_warm_flush_is_noop;
+          Alcotest.test_case "flush renders deterministically" `Quick
+            test_flush_deterministic;
+          Alcotest.test_case "missing dir/file is a cold start" `Quick
+            test_cold_start_missing ] );
+      ( "corruption",
+        [ Alcotest.test_case "corpus: flip/truncate/append never crash" `Quick
+            test_corruption_corpus;
+          Alcotest.test_case "store.crc_fail accounting" `Quick
+            test_crc_fail_accounting;
+          Alcotest.test_case "salvage rewrites a clean file" `Quick
+            test_salvage_rewrites_clean;
+          Alcotest.test_case "stale format version falls back cold" `Quick
+            test_stale_version_is_cold;
+          Alcotest.test_case "empty store file falls back cold" `Quick
+            test_empty_file_is_cold;
+          Alcotest.test_case "foreign files in the dir are ignored" `Quick
+            test_foreign_file_ignored;
+          Alcotest.test_case "dir being a regular file is an error" `Quick
+            test_dir_is_a_file ] );
+      ( "gc",
+        [ Alcotest.test_case "gc drops oldest and counts evictions" `Quick
+            test_gc_and_eviction_accounting ] );
+      ( "verify",
+        [ Alcotest.test_case "verify: clean, damaged, missing" `Quick
+            test_verify_clean_and_damaged ] ) ]
