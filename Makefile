@@ -1,6 +1,6 @@
 # Convenience targets mirroring what CI runs (.github/workflows/ci.yml).
 
-.PHONY: all build test bench bench-smoke campaign-smoke fuzz-smoke store-smoke fmt clean
+.PHONY: all build test bench bench-smoke campaign-smoke fuzz-smoke store-smoke serve-smoke fmt clean
 
 all: build
 
@@ -28,6 +28,12 @@ campaign-smoke:
 # (CI pairs this with an actions/cache of the store directory)
 store-smoke:
 	dune exec bench/main.exe -- --store --quick
+
+# the serve smoke pass: boot a socket daemon, run one scripted client
+# transcript (record -> analyze -> compare -> shutdown), and check the
+# per-request rpc.* telemetry profile it writes on exit
+serve-smoke: build
+	sh scripts/serve_smoke.sh
 
 # the archive fault-injection corpus on its own: deterministic bit
 # flips, truncations, chunk deletions and garbage appends against v1/v2

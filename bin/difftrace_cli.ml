@@ -7,7 +7,13 @@
                suspicious traces and a diffNLR
      table     sweep a filter/attribute grid and print the paper-style
                ranking table
-     filters   print the Table I filter catalog *)
+     filters   print the Table I filter catalog
+     serve     resident analysis daemon speaking difftrace-rpc/1
+     client    send protocol request lines to a running daemon
+
+   compare/analyze/record/triage are thin frontends over the Session
+   API (lib/core/session.ml) — the daemon serves the same functions, so
+   its responses are byte-identical to these subcommands' reports. *)
 
 open Cmdliner
 open Difftrace
@@ -20,31 +26,13 @@ module Trace_set = Difftrace_trace.Trace_set
 module F = Difftrace_filter.Filter
 module A = Difftrace_fca.Attributes
 module Linkage = Difftrace_cluster.Linkage
-module Odd_even = Difftrace_workloads.Odd_even
-module Ilcs = Difftrace_workloads.Ilcs
-module Lulesh = Difftrace_workloads.Lulesh
-
-type workload = Oddeven | Ilcs_w | Lulesh_w | Heat_w | Heat2d_w
 
 let workload_conv =
-  let parse = function
-    | "oddeven" -> Ok Oddeven
-    | "ilcs" -> Ok Ilcs_w
-    | "lulesh" -> Ok Lulesh_w
-    | "heat" -> Ok Heat_w
-    | "heat2d" -> Ok Heat2d_w
-    | s -> Error (`Msg ("unknown workload: " ^ s))
+  let parse s =
+    if List.mem s Serve.Workload.known then Ok s
+    else Error (`Msg ("unknown workload: " ^ s))
   in
-  let print ppf w =
-    Format.pp_print_string ppf
-      (match w with
-      | Oddeven -> "oddeven"
-      | Ilcs_w -> "ilcs"
-      | Lulesh_w -> "lulesh"
-      | Heat_w -> "heat"
-      | Heat2d_w -> "heat2d")
-  in
-  Arg.conv (parse, print)
+  Arg.conv (parse, Format.pp_print_string)
 
 let fault_conv =
   let parse s =
@@ -54,22 +42,19 @@ let fault_conv =
   in
   Arg.conv (parse, Fault.pp)
 
+(* the one name -> program mapping, shared with the daemon *)
 let run_workload w ~np ~seed ~level ~fault =
-  match w with
-  | Oddeven -> fst (Odd_even.run ~np ~seed ~level ~fault ())
-  | Ilcs_w -> fst (Ilcs.run ~np ~seed ~level ~fault ())
-  | Lulesh_w -> Lulesh.run ~np ~seed ~level ~fault ()
-  | Heat_w -> fst (Difftrace_workloads.Heat.run ~np ~seed ~level ~fault ())
-  | Heat2d_w ->
-    (* np selects the grid: np ranks arranged np/2 x 2 when even *)
-    let px = max 1 (np / 2) and py = if np >= 2 then 2 else 1 in
-    fst (Difftrace_workloads.Heat2d.run ~px ~py ~seed ~level ~fault ())
+  match Serve.Workload.run w ~np ~seed ~level ~fault with
+  | Ok outcome -> outcome
+  | Error e ->
+    Printf.eprintf "difftrace: %s\n" (Session.error_to_string e);
+    exit 1
 
 (* common options *)
 let workload_t =
   Arg.(
     value
-    & opt workload_conv Oddeven
+    & opt workload_conv "oddeven"
     & info [ "w"; "workload" ] ~docv:"WORKLOAD"
         ~doc:"Workload to execute: oddeven, ilcs, lulesh, heat or heat2d.")
 
@@ -292,14 +277,6 @@ let archive_runner engine =
   let r = Engine.runner engine in
   { Archive.run = (fun n f -> r.Engine.run n f) }
 
-(* render a pipeline lookup, degrading to a clear message listing the
-   known labels when the requested one does not exist *)
-let print_lookup ~render = function
-  | Ok v -> print_string (render v)
-  | Error e ->
-    Printf.eprintf "difftrace: %s\n" (Pipeline.lookup_error_to_string e);
-    exit 1
-
 (* --- run ----------------------------------------------------------- *)
 
 let run_cmd =
@@ -360,37 +337,19 @@ let compare_cmd =
     let normal = run_workload w ~np ~seed ~level ~fault:Fault.No_fault in
     let faulty = run_workload w ~np ~seed ~level ~fault in
     let store = open_store (store_of store) in
-    let c =
-      Pipeline.compare_runs ?store config ~normal:normal.R.traces
-        ~faulty:faulty.R.traces
+    let ses = Session.create ?store () in
+    let r =
+      Session.compare ses config
+        { Session.cp_normal = Session.Traces normal.R.traces;
+          cp_faulty = Session.Traces faulty.R.traces;
+          cp_diffnlr = diffnlr }
     in
     flush_store store;
-    Printf.printf "configuration: %s\n" (Config.name config);
-    Printf.printf "B-score: %.3f\n" c.Pipeline.bscore;
-    Printf.printf "top processes: %s\n"
-      (String.concat ", " (List.map string_of_int (Pipeline.top_processes c)));
-    Printf.printf "top threads:   %s\n"
-      (String.concat ", " (Pipeline.top_threads c));
-    Printf.printf "suspicious traces:\n";
-    Array.iteri
-      (fun i (l, s) ->
-        if i < 8 && s > 1e-9 then Printf.printf "  %-6s %.3f\n" l s)
-      c.Pipeline.suspects;
-    match (diffnlr, c.Pipeline.suspects) with
-    | None, [||] ->
-      (* the runs share no trace labels: there is no suspect to diff *)
-      Printf.printf "  (none: the runs have no trace in common)\n"
-    | _ ->
-      let target =
-        match diffnlr with
-        | Some l -> l
-        | None -> fst c.Pipeline.suspects.(0)
-      in
-      print_lookup
-        ~render:
-          (Difftrace_diff.Diffnlr.render
-             ~title:(Printf.sprintf "diffNLR(%s)" target))
-        (Pipeline.find_diffnlr c target)
+    match r with
+    | Ok r -> print_string r.Session.cp_output
+    | Error e ->
+      Printf.eprintf "difftrace: %s\n" (Session.error_to_string e);
+      exit 1
   in
   Cmd.v (Cmd.info "compare" ~doc)
     Term.(const action $ workload_t $ np_t $ seed_t $ fault_t $ all_images_t
@@ -462,11 +421,14 @@ let record_cmd =
   let action w np seed fault all_images out v1 =
     let outcome = run_workload w ~np ~seed ~level:(level_of all_images) ~fault in
     let format = if v1 then Archive.V1 else Archive.V2 in
-    let n = Archive.save ~format ~dir:out outcome.R.traces in
-    Printf.printf "archived %d trace files to %s\n" n out;
-    if outcome.R.deadlocked <> [] then
-      Printf.printf "(the run was HUNG: %d threads truncated)\n"
-        (List.length outcome.R.deadlocked)
+    match
+      Session.record (Session.create ()) ~outcome
+        { Session.rc_name = None; rc_dir = Some out; rc_format = format }
+    with
+    | Ok r -> print_string r.Session.rc_output
+    | Error e ->
+      Printf.eprintf "difftrace: %s\n" (Session.error_to_string e);
+      exit 1
   in
   Cmd.v (Cmd.info "record" ~doc)
     Term.(const action $ workload_t $ np_t $ seed_t $ fault_t $ all_images_t $ out_t
@@ -508,50 +470,26 @@ let analyze_cmd =
       salvage diffnlr prof =
     let config = config_of ~filter ~custom ~attrs ~k ~linkage ~engine in
     run_profiled prof ~config @@ fun () ->
-    let runner = archive_runner engine in
-    let load_archive dir =
-      match Archive.load ~runner ~salvage ~dir () with
-      | Error e ->
-        Printf.eprintf "difftrace: %s\n" (Archive.error_to_string e);
-        if not salvage then
-          prerr_endline
-            "hint: --salvage recovers the checksum-valid prefix of damaged \
-             traces";
-        exit 1
-      | Ok l ->
-        List.iter
-          (fun s ->
-            Printf.printf
-              "salvaged trace %d.%d: %d events recovered, %d bytes dropped \
-               (%s)\n"
-              s.Archive.sv_pid s.Archive.sv_tid s.Archive.sv_events
-              s.Archive.sv_dropped_bytes s.Archive.sv_reason)
-          l.Archive.salvaged;
-        l.Archive.set
-    in
-    let normal = load_archive normal_dir in
-    let faulty = load_archive faulty_dir in
     let store = open_store (store_of store) in
-    let c = Pipeline.compare_runs ?store config ~normal ~faulty in
+    let ses = Session.create ?store () in
+    let r =
+      Session.analyze ses config
+        { Session.cp_normal = Session.Archive { dir = normal_dir; salvage };
+          cp_faulty = Session.Archive { dir = faulty_dir; salvage };
+          cp_diffnlr = diffnlr }
+    in
     flush_store store;
-    Printf.printf "configuration: %s\n" (Config.name config);
-    Printf.printf "B-score: %.3f\n" c.Pipeline.bscore;
-    Printf.printf "suspicious traces:\n";
-    Array.iteri
-      (fun i (l, s) -> if i < 8 && s > 1e-9 then Printf.printf "  %-6s %.3f\n" l s)
-      c.Pipeline.suspects;
-    match (diffnlr, c.Pipeline.suspects) with
-    | None, [||] ->
-      Printf.printf "  (none: the runs have no trace in common)\n"
-    | _ ->
-      let target =
-        match diffnlr with Some l -> l | None -> fst c.Pipeline.suspects.(0)
-      in
-      print_lookup
-        ~render:
-          (Difftrace_diff.Diffnlr.render
-             ~title:(Printf.sprintf "diffNLR(%s)" target))
-        (Pipeline.find_diffnlr c target)
+    match r with
+    | Ok r -> print_string r.Session.cp_output
+    | Error e ->
+      Printf.eprintf "difftrace: %s\n" (Session.error_to_string e);
+      (match e with
+      | Session.Archive_failed _ when not salvage ->
+        prerr_endline
+          "hint: --salvage recovers the checksum-valid prefix of damaged \
+           traces"
+      | _ -> ());
+      exit 1
   in
   Cmd.v (Cmd.info "analyze" ~doc)
     Term.(const action $ normal_t $ faulty_t $ filter_t $ custom_t $ attrs_t
@@ -630,28 +568,18 @@ let triage_cmd =
     let config = config_of ~filter ~custom ~attrs ~k ~linkage ~engine in
     run_profiled prof ~config @@ fun () ->
     let outcome = run_workload w ~np ~seed ~level:(level_of all_images) ~fault in
-    if outcome.R.deadlocked <> [] then
-      Printf.printf "run is HUNG: %d threads never terminated\n"
-        (List.length outcome.R.deadlocked);
     let store = open_store (store_of store) in
-    let a = Pipeline.analyze ?store config outcome.R.traces in
+    let ses = Session.create ?store () in
+    let r =
+      Session.triage ~outcome ses config
+        { Session.tg_subject = Session.Traces outcome.R.traces; tg_limit = 8 }
+    in
     flush_store store;
-    print_endline "JSM outliers (most dissimilar traces of this run):";
-    let entries = Pipeline.triage a in
-    print_string
-      (Pipeline.render_triage
-         (Array.sub entries 0 (min 8 (Array.length entries))));
-    print_endline "least-progressed threads (logical clocks):";
-    let prog = Difftrace_temporal.Progress.least_progressed outcome in
-    print_string
-      (Difftrace_temporal.Progress.render
-         (List.filteri (fun i _ -> i < 8) prog));
-    print_endline "dendrogram:";
-    print_string (Pipeline.dendrogram a);
-    print_endline "STAT-style stack tree (where is everyone now):";
-    print_string
-      (Difftrace_stacktree.Stacktree.render
-         (Difftrace_stacktree.Stacktree.build outcome.R.traces))
+    match r with
+    | Ok r -> print_string r.Session.tg_output
+    | Error e ->
+      Printf.eprintf "difftrace: %s\n" (Session.error_to_string e);
+      exit 1
   in
   Cmd.v (Cmd.info "triage" ~doc)
     Term.(const action $ workload_t $ np_t $ seed_t $ fault_t $ all_images_t
@@ -1027,6 +955,130 @@ let filters_cmd =
   in
   Cmd.v (Cmd.info "filters" ~doc) Term.(const action $ const ())
 
+(* --- serve / client: the resident daemon ----------------------------- *)
+
+let serve_cmd =
+  let doc =
+    "Run the resident analysis daemon: one warm session (store, memo, \
+     completed JSMs) multiplexed over many clients, speaking the \
+     line-delimited difftrace-rpc/1 protocol (see the MANUAL) over a Unix \
+     socket or stdio."
+  in
+  let socket_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on the Unix-domain socket $(docv) (created; a stale \
+                socket file is replaced).")
+  in
+  let stdio_t =
+    Arg.(
+      value & flag
+      & info [ "stdio" ]
+          ~doc:
+            "Serve one session over stdin/stdout: one request line in, one \
+             response line out. The transport of the protocol transcript \
+             tests.")
+  in
+  let state_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "state" ] ~docv:"DIR"
+          ~doc:
+            "State directory: 'record' requests that name no output \
+             directory archive their run under $(docv)/runs/<name>.")
+  in
+  let action socket stdio store state engine prof =
+    let store = open_store (store_of store) in
+    run_profiled prof @@ fun () ->
+    let d =
+      Serve.Daemon.create ?store ?state_dir:state ~default_engine:engine ()
+    in
+    match (stdio, socket) with
+    | true, _ -> Serve.Daemon.serve_stdio d
+    | false, Some path ->
+      Printf.eprintf "difftrace serve: listening on %s (difftrace-rpc/1)\n%!"
+        path;
+      Serve.Daemon.serve_socket d ~path
+    | false, None ->
+      prerr_endline "difftrace: serve needs --socket PATH or --stdio";
+      exit 2
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const action $ socket_t $ stdio_t $ store_flags_t $ state_t
+          $ engine_t $ profile_t)
+
+let client_cmd =
+  let doc =
+    "Send difftrace-rpc/1 request lines to a running daemon and print its \
+     replies."
+  in
+  let socket_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Daemon socket path.")
+  in
+  let exec_t =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "e"; "execute" ] ~docv:"JSON"
+          ~doc:
+            "Request line to send (repeatable, sent in order). Without \
+             $(opt), request lines are read from stdin.")
+  in
+  let decode_t =
+    Arg.(
+      value & flag
+      & info [ "decode" ]
+          ~doc:
+            "Print each ok response's output field verbatim (events as \
+             'event: NAME' lines) instead of the raw JSON reply; error \
+             responses go to stderr and make the client exit 1.")
+  in
+  let action socket lines decode =
+    match Serve.Client.connect ~path:socket () with
+    | Error m ->
+      Printf.eprintf "difftrace: %s\n" m;
+      exit 1
+    | Ok conn ->
+      let failed = ref false in
+      let on_event ev =
+        if decode then Printf.printf "event: %s\n" ev.Serve.Protocol.ev_name
+        else print_endline (Serve.Protocol.encode_event ev)
+      in
+      let send line =
+        match Serve.Client.rpc conn line ~on_event with
+        | Error m ->
+          Printf.eprintf "difftrace: %s\n" m;
+          failed := true
+        | Ok r ->
+          if decode then (
+            match r.Serve.Protocol.rsp_body with
+            | Ok p -> print_string (Serve.Protocol.payload_output p)
+            | Error e ->
+              Printf.eprintf "difftrace: error (%s): %s\n"
+                e.Serve.Protocol.err_kind e.Serve.Protocol.err_message;
+              failed := true)
+          else print_endline (Serve.Protocol.encode_response r)
+      in
+      (match lines with
+      | [] -> (
+        try
+          while true do
+            send (input_line stdin)
+          done
+        with End_of_file -> ())
+      | ls -> List.iter send ls);
+      Serve.Client.close conn;
+      if !failed then exit 1
+  in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(const action $ socket_t $ exec_t $ decode_t)
+
 let () =
   let doc = "whole-program trace analysis and diffing for HPC debugging" in
   let info = Cmd.info "difftrace" ~version:"1.0.0" ~doc in
@@ -1035,4 +1087,5 @@ let () =
        (Cmd.group info
           [ run_cmd; compare_cmd; table_cmd; record_cmd; analyze_cmd;
             archive_cmd; campaign_cmd; store_cmd; triage_cmd; autotune_cmd;
-            report_cmd; explore_cmd; export_cmd; filters_cmd ]))
+            report_cmd; explore_cmd; export_cmd; filters_cmd; serve_cmd;
+            client_cmd ]))

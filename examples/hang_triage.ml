@@ -50,21 +50,35 @@ let () =
   | [] -> ());
 
   section "3. Which traces look unlike the others? (single-run JSM triage)";
-  let a =
-    Pipeline.analyze
-      (Config.default
-      |> Config.with_filter (F.make [ F.Everything ])
-      |> Config.with_attrs { A.granularity = A.Single; freq_mode = A.Actual })
-      outcome.R.traces
+  (* the same session API the CLI and the daemon serve; the structured
+     entries let the example keep its own compact rendering *)
+  let ses = Session.create () in
+  let config =
+    Config.default
+    |> Config.with_filter (F.make [ F.Everything ])
+    |> Config.with_attrs { A.granularity = A.Single; freq_mode = A.Actual }
   in
-  let entries = Pipeline.triage a in
-  print_string
-    (Pipeline.render_triage (Array.sub entries 0 (min 8 (Array.length entries))));
+  (match
+     Session.triage ses config
+       { Session.tg_subject = Session.Traces outcome.R.traces; tg_limit = 8 }
+   with
+  | Error e -> prerr_endline (Session.error_to_string e)
+  | Ok r ->
+    print_string
+      (Pipeline.render_triage
+         (Array.sub r.Session.tg_entries 0
+            (min 8 (Array.length r.Session.tg_entries)))));
 
   section "4. Preserve the evidence";
   let dir = Filename.concat (Filename.get_temp_dir_name ()) "lulesh_hang" in
-  let files = Archive.save ~dir outcome.R.traces in
-  Printf.printf "archived %d compressed trace files to %s\n" files dir;
+  (match
+     Session.record ses ~outcome
+       { Session.rc_name = None; rc_dir = Some dir; rc_format = Archive.V2 }
+   with
+  | Error e -> prerr_endline (Session.error_to_string e)
+  | Ok r ->
+    Printf.printf "archived %d compressed trace files to %s\n" r.Session.rc_files
+      dir);
   let otf2 = Otf2.render (Otf2.of_outcome outcome) in
   Printf.printf "OTF2-style archive: %d bytes (%d sync records)\n"
     (String.length otf2)

@@ -62,25 +62,35 @@ let () =
   let normal, _ = Odd_even.run ~np ~fault:Fault.No_fault () in
   let normal = normal.Runtime.traces in
 
+  (* the result-returning session API (what the CLI and the daemon are
+     built on); a fresh session per comparison = independent analyses *)
   let report name fault =
     section (Printf.sprintf "%s with %d ranks" name np);
     let faulty_outcome, _ = Odd_even.run ~np ~fault () in
     let faulty = faulty_outcome.Runtime.traces in
-    let c = Pipeline.compare_runs config ~normal ~faulty in
-    Printf.printf "B-score: %.3f\n" c.Pipeline.bscore;
-    Printf.printf "suspicious traces: %s\n"
-      (String.concat ", "
-         (List.map
-            (fun (l, s) -> Printf.sprintf "%s (%.2f)" l s)
-            (Array.to_list c.Pipeline.suspects |> List.filteri (fun i _ -> i < 5))));
-    let suspect, _ = c.Pipeline.suspects.(0) in
-    match Pipeline.find_diffnlr c suspect with
-    | Ok d ->
-      print_string
-        (Diffnlr.render
-           ~title:(Printf.sprintf "diffNLR(%s) — %s" suspect name)
-           d)
-    | Error e -> prerr_endline (Pipeline.lookup_error_to_string e)
+    match
+      Session.compare (Session.create ()) config
+        { Session.cp_normal = Session.Traces normal;
+          cp_faulty = Session.Traces faulty;
+          cp_diffnlr = None }
+    with
+    | Error e -> prerr_endline (Session.error_to_string e)
+    | Ok r -> (
+      Printf.printf "B-score: %.3f\n" r.Session.cp_bscore;
+      Printf.printf "suspicious traces: %s\n"
+        (String.concat ", "
+           (List.map
+              (fun (l, s) -> Printf.sprintf "%s (%.2f)" l s)
+              (Array.to_list r.Session.cp_suspects
+              |> List.filteri (fun i _ -> i < 5))));
+      let suspect, _ = r.Session.cp_suspects.(0) in
+      match Pipeline.find_diffnlr r.Session.cp_comparison suspect with
+      | Ok d ->
+        print_string
+          (Diffnlr.render
+             ~title:(Printf.sprintf "diffNLR(%s) — %s" suspect name)
+             d)
+      | Error e -> prerr_endline (Pipeline.lookup_error_to_string e))
   in
   report "swapBug (Fig. 5)" (Fault.Swap_send_recv { rank = 5; after_iter = 7 });
   report "dlBug (Fig. 6)" (Fault.Deadlock_recv { rank = 5; after_iter = 7 })

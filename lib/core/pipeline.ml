@@ -158,9 +158,6 @@ let find_nlr analysis label =
   | Some i -> Ok analysis.nlrs.(i)
   | None -> Error { unknown = label; known = analysis.labels }
 
-let nlr_of analysis label =
-  match find_nlr analysis label with Ok v -> v | Error _ -> raise Not_found
-
 type comparison = {
   cmp_config : Config.t;
   normal : analysis;
@@ -248,9 +245,6 @@ let find_diffnlr c label =
            Diffnlr.make c.normal.symtab ~normal:n ~faulty:f))
   | Error e, _ | _, Error e -> Error e
 
-let diffnlr c label =
-  match find_diffnlr c label with Ok d -> d | Error _ -> raise Not_found
-
 type triage_entry = { tr_label : string; tr_score : float; tr_truncated : bool }
 
 let triage analysis =
@@ -309,5 +303,13 @@ let find_phasediff c label =
              ()))
   | Error e, _ | _, Error e -> Error e
 
-let phasediff c label =
-  match find_phasediff c label with Ok p -> p | Error _ -> raise Not_found
+module Legacy = struct
+  let nlr_of analysis label =
+    match find_nlr analysis label with Ok v -> v | Error _ -> raise Not_found
+
+  let diffnlr c label =
+    match find_diffnlr c label with Ok d -> d | Error _ -> raise Not_found
+
+  let phasediff c label =
+    match find_phasediff c label with Ok p -> p | Error _ -> raise Not_found
+end

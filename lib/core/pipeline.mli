@@ -55,10 +55,6 @@ val analyze :
 val find_nlr :
   analysis -> string -> (Difftrace_nlr.Nlr.t * bool, lookup_error) result
 
-val nlr_of : analysis -> string -> Difftrace_nlr.Nlr.t * bool
-[@@ocaml.deprecated "use Pipeline.find_nlr"]
-(** @deprecated Use {!find_nlr}. Raises [Not_found] for unknown
-    labels. *)
 
 type comparison = {
   cmp_config : Config.t;
@@ -102,10 +98,6 @@ val top_threads : ?limit:int -> comparison -> string list
 val find_diffnlr :
   comparison -> string -> (Difftrace_diff.Diffnlr.t, lookup_error) result
 
-val diffnlr : comparison -> string -> Difftrace_diff.Diffnlr.t
-[@@ocaml.deprecated "use Pipeline.find_diffnlr"]
-(** @deprecated Use {!find_diffnlr}. Raises [Not_found] for unknown
-    labels. *)
 
 (** {2 Single-run triage}
 
@@ -138,7 +130,21 @@ val dendrogram : analysis -> string
 val find_phasediff :
   comparison -> string -> (Difftrace_diff.Phasediff.t, lookup_error) result
 
-val phasediff : comparison -> string -> Difftrace_diff.Phasediff.t
-[@@ocaml.deprecated "use Pipeline.find_phasediff"]
-(** @deprecated Use {!find_phasediff}. Raises [Not_found] for unknown
-    labels. *)
+
+(** {2 Legacy raising lookups}
+
+    The pre-session raising forms, kept for out-of-tree callers only —
+    everything in-tree (CLI, daemon, examples) goes through the
+    result-returning {!find_nlr}/{!find_diffnlr}/{!find_phasediff} and
+    the {!Session} API. Each raises [Not_found] for unknown labels
+    instead of reporting what {e is} known. *)
+module Legacy : sig
+  val nlr_of : analysis -> string -> Difftrace_nlr.Nlr.t * bool
+  [@@ocaml.deprecated "use Pipeline.find_nlr"]
+
+  val diffnlr : comparison -> string -> Difftrace_diff.Diffnlr.t
+  [@@ocaml.deprecated "use Pipeline.find_diffnlr"]
+
+  val phasediff : comparison -> string -> Difftrace_diff.Phasediff.t
+  [@@ocaml.deprecated "use Pipeline.find_phasediff"]
+end

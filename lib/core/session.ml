@@ -1,0 +1,340 @@
+(* The session API — the shared substance of every frontend command.
+   See session.mli for the contract; the renderers here are the single
+   source of the report formats pinned in test/cli.t and test/serve.t,
+   so the one-shot CLI and the daemon cannot drift apart. *)
+
+module Archive = Difftrace_parlot.Archive
+module Trace_set = Difftrace_trace.Trace_set
+module Runtime = Difftrace_simulator.Runtime
+module Progress = Difftrace_temporal.Progress
+module Stacktree = Difftrace_stacktree.Stacktree
+module Diffnlr = Difftrace_diff.Diffnlr
+
+type error =
+  | Invalid of string
+  | Unknown_workload of { name : string; known : string list }
+  | Unknown_run of { name : string; known : string list }
+  | Unknown_label of Pipeline.lookup_error
+  | Archive_failed of Archive.error
+  | Store_failed of string
+  | Run_failed of string
+  | Protocol of string
+
+let error_kind = function
+  | Invalid _ -> "invalid-params"
+  | Unknown_workload _ -> "unknown-workload"
+  | Unknown_run _ -> "unknown-run"
+  | Unknown_label _ -> "unknown-label"
+  | Archive_failed _ -> "archive-error"
+  | Store_failed _ -> "store-error"
+  | Run_failed _ -> "run-failed"
+  | Protocol _ -> "invalid-request"
+
+let error_to_string = function
+  | Invalid m -> m
+  | Unknown_workload { name; known } ->
+    Printf.sprintf "unknown workload %S (known: %s)" name
+      (String.concat ", " known)
+  | Unknown_run { name; known } ->
+    Printf.sprintf "unknown run %S (registered: %s)" name
+      (match known with [] -> "none" | l -> String.concat ", " l)
+  | Unknown_label e -> Pipeline.lookup_error_to_string e
+  | Archive_failed e -> Archive.error_to_string e
+  | Store_failed m -> m
+  | Run_failed m -> Printf.sprintf "workload failed: %s" m
+  | Protocol m -> m
+
+type t = {
+  ses_store : Store.t option;
+  ses_memo : Memo.t;
+  runs : (string, Trace_set.t) Hashtbl.t;
+}
+
+let create ?store () =
+  let memo = match store with Some st -> Store.memo st | None -> Memo.create () in
+  { ses_store = store; ses_memo = memo; runs = Hashtbl.create 8 }
+
+let store t = t.ses_store
+let memo t = t.ses_memo
+
+let flush t =
+  match t.ses_store with
+  | None -> Ok ()
+  | Some st -> (
+    match Store.flush st with
+    | Ok () -> Ok ()
+    | Error e -> Error (Store_failed (Store.error_to_string e)))
+
+type source =
+  | Traces of Trace_set.t
+  | Archive of { dir : string; salvage : bool }
+  | Run of string
+
+let run_names t =
+  Hashtbl.fold (fun k ts acc -> (k, Trace_set.cardinal ts) :: acc) t.runs []
+  |> List.sort compare
+
+let archive_runner engine =
+  let r = Engine.runner engine in
+  { Archive.run = (fun n f -> r.Engine.run n f) }
+
+let resolve t ~engine = function
+  | Traces ts -> Ok (ts, [])
+  | Run name -> (
+    match Hashtbl.find_opt t.runs name with
+    | Some ts -> Ok (ts, [])
+    | None ->
+      Error (Unknown_run { name; known = List.map fst (run_names t) }))
+  | Archive { dir; salvage } -> (
+    match Archive.load ~runner:(archive_runner engine) ~salvage ~dir () with
+    | Ok l -> Ok (l.Archive.set, l.Archive.salvaged)
+    | Error e -> Error (Archive_failed e))
+
+(* --- record --------------------------------------------------------- *)
+
+type record_request = {
+  rc_name : string option;
+  rc_dir : string option;
+  rc_format : Archive.format;
+}
+
+type record_response = {
+  rc_files : int;
+  rc_traces : int;
+  rc_events : int;
+  rc_hung : int;
+  rc_output : string;
+}
+
+let record t ~outcome req =
+  if req.rc_name = None && req.rc_dir = None then
+    Error (Invalid "record: need a run name and/or an output directory")
+  else
+    let ts = outcome.Runtime.traces in
+    let hung = List.length outcome.Runtime.deadlocked in
+    let buf = Buffer.create 128 in
+    let archived =
+      match req.rc_dir with
+      | None -> Ok 0
+      | Some dir -> (
+        match Archive.save ~format:req.rc_format ~dir ts with
+        | n ->
+          Buffer.add_string buf
+            (Printf.sprintf "archived %d trace files to %s\n" n dir);
+          Ok n
+        | exception (Invalid_argument m | Sys_error m) ->
+          Error (Archive_failed { Archive.err_path = dir; err_reason = m }))
+    in
+    match archived with
+    | Error e -> Error e
+    | Ok files -> (
+      (* what later requests see is what a separate process would
+         load: when the run was archived, re-ingest it through the
+         checksummed chunk-at-a-time streaming decoder *)
+      let registered =
+        match (req.rc_name, req.rc_dir) with
+        | None, _ -> Ok ts
+        | Some _, None -> Ok ts
+        | Some _, Some dir -> (
+          match Archive.load ~salvage:false ~dir () with
+          | Ok l -> Ok l.Archive.set
+          | Error e -> Error (Archive_failed e))
+      in
+      match registered with
+      | Error e -> Error e
+      | Ok reg ->
+        Option.iter (fun name -> Hashtbl.replace t.runs name reg) req.rc_name;
+        if hung > 0 then
+          Buffer.add_string buf
+            (Printf.sprintf "(the run was HUNG: %d threads truncated)\n" hung);
+        Ok
+          { rc_files = files;
+            rc_traces = Trace_set.cardinal ts;
+            rc_events = Trace_set.total_events ts;
+            rc_hung = hung;
+            rc_output = Buffer.contents buf })
+
+(* --- compare / analyze ---------------------------------------------- *)
+
+type compare_request = {
+  cp_normal : source;
+  cp_faulty : source;
+  cp_diffnlr : string option;
+}
+
+type compare_response = {
+  cp_bscore : float;
+  cp_top_processes : int list;
+  cp_top_threads : string list;
+  cp_suspects : (string * float) array;
+  cp_salvaged : Archive.salvage list;
+  cp_comparison : Pipeline.comparison;
+  cp_output : string;
+}
+
+let render_salvage buf salvaged =
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "salvaged trace %d.%d: %d events recovered, %d bytes dropped (%s)\n"
+           s.Archive.sv_pid s.Archive.sv_tid s.Archive.sv_events
+           s.Archive.sv_dropped_bytes s.Archive.sv_reason))
+    salvaged
+
+let render_suspects buf (c : Pipeline.comparison) =
+  Buffer.add_string buf "suspicious traces:\n";
+  Array.iteri
+    (fun i (l, s) ->
+      if i < 8 && s > 1e-9 then
+        Buffer.add_string buf (Printf.sprintf "  %-6s %.3f\n" l s))
+    c.Pipeline.suspects
+
+(* the diffNLR section shared by the compare and analyze renderings;
+   [Ok None] = the runs have no trace in common *)
+let diffnlr_section (c : Pipeline.comparison) diffnlr =
+  match (diffnlr, c.Pipeline.suspects) with
+  | None, [||] -> Ok None
+  | _ -> (
+    let target =
+      match diffnlr with Some l -> l | None -> fst c.Pipeline.suspects.(0)
+    in
+    match Pipeline.find_diffnlr c target with
+    | Ok d ->
+      Ok
+        (Some
+           (Diffnlr.render ~title:(Printf.sprintf "diffNLR(%s)" target) d))
+    | Error e -> Error (Unknown_label e))
+
+let compare_common ~style t config req =
+  let engine = config.Config.engine in
+  match resolve t ~engine req.cp_normal with
+  | Error e -> Error e
+  | Ok (normal, sv_n) -> (
+    match resolve t ~engine req.cp_faulty with
+    | Error e -> Error e
+    | Ok (faulty, sv_f) -> (
+      let c =
+        match t.ses_store with
+        | Some st -> Pipeline.compare_runs ~store:st config ~normal ~faulty
+        | None -> Pipeline.compare_runs ~memo:t.ses_memo config ~normal ~faulty
+      in
+      match diffnlr_section c req.cp_diffnlr with
+      | Error e -> Error e
+      | Ok diff -> (
+        let salvaged = sv_n @ sv_f in
+        let buf = Buffer.create 512 in
+        (match style with
+        | `Analyze -> render_salvage buf salvaged
+        | `Compare -> ());
+        Buffer.add_string buf
+          (Printf.sprintf "configuration: %s\n" (Config.name config));
+        Buffer.add_string buf
+          (Printf.sprintf "B-score: %.3f\n" c.Pipeline.bscore);
+        (match style with
+        | `Compare ->
+          Buffer.add_string buf
+            (Printf.sprintf "top processes: %s\n"
+               (String.concat ", "
+                  (List.map string_of_int (Pipeline.top_processes c))));
+          Buffer.add_string buf
+            (Printf.sprintf "top threads:   %s\n"
+               (String.concat ", " (Pipeline.top_threads c)))
+        | `Analyze -> ());
+        render_suspects buf c;
+        (match diff with
+        | None ->
+          Buffer.add_string buf "  (none: the runs have no trace in common)\n"
+        | Some d -> Buffer.add_string buf d);
+        Ok
+          { cp_bscore = c.Pipeline.bscore;
+            cp_top_processes = Pipeline.top_processes c;
+            cp_top_threads = Pipeline.top_threads c;
+            cp_suspects = c.Pipeline.suspects;
+            cp_salvaged = salvaged;
+            cp_comparison = c;
+            cp_output = Buffer.contents buf })))
+
+let compare t config req = compare_common ~style:`Compare t config req
+let analyze t config req = compare_common ~style:`Analyze t config req
+
+(* --- triage ---------------------------------------------------------- *)
+
+type triage_request = { tg_subject : source; tg_limit : int }
+
+type triage_response = {
+  tg_entries : Pipeline.triage_entry array;
+  tg_output : string;
+}
+
+let triage ?outcome t config req =
+  match resolve t ~engine:config.Config.engine req.tg_subject with
+  | Error e -> Error e
+  | Ok (ts, _salvaged) ->
+    let a =
+      match t.ses_store with
+      | Some st -> Pipeline.analyze ~store:st config ts
+      | None -> Pipeline.analyze ~memo:t.ses_memo config ts
+    in
+    let entries = Pipeline.triage a in
+    let limit = max 0 req.tg_limit in
+    let buf = Buffer.create 512 in
+    (match outcome with
+    | Some o when o.Runtime.deadlocked <> [] ->
+      Buffer.add_string buf
+        (Printf.sprintf "run is HUNG: %d threads never terminated\n"
+           (List.length o.Runtime.deadlocked))
+    | _ -> ());
+    Buffer.add_string buf "JSM outliers (most dissimilar traces of this run):\n";
+    Buffer.add_string buf
+      (Pipeline.render_triage
+         (Array.sub entries 0 (min limit (Array.length entries))));
+    (match outcome with
+    | Some o ->
+      Buffer.add_string buf "least-progressed threads (logical clocks):\n";
+      Buffer.add_string buf
+        (Progress.render
+           (List.filteri (fun i _ -> i < limit) (Progress.least_progressed o)))
+    | None -> ());
+    Buffer.add_string buf "dendrogram:\n";
+    Buffer.add_string buf (Pipeline.dendrogram a);
+    Buffer.add_string buf "STAT-style stack tree (where is everyone now):\n";
+    Buffer.add_string buf (Stacktree.render (Stacktree.build ts));
+    Ok { tg_entries = entries; tg_output = Buffer.contents buf }
+
+(* --- status ---------------------------------------------------------- *)
+
+type status = {
+  st_runs : (string * int) list;
+  st_summaries : int;
+  st_memo : Memo.stats;
+  st_store : Store.stats option;
+  st_output : string;
+}
+
+let status t =
+  let runs = run_names t in
+  let stats = Memo.stats t.ses_memo in
+  let store_stats = Option.map Store.stats t.ses_store in
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "runs: %s\n"
+       (match runs with
+       | [] -> "(none)"
+       | l ->
+         String.concat ", "
+           (List.map (fun (n, c) -> Printf.sprintf "%s (%d traces)" n c) l)));
+  Buffer.add_string buf
+    (Printf.sprintf "memo: %d summaries, %d hits, %d misses\n"
+       (Memo.length t.ses_memo) stats.Memo.hits stats.Memo.misses);
+  (match (t.ses_store, store_stats) with
+  | Some st, Some s ->
+    Buffer.add_string buf
+      (Printf.sprintf "store: %s — %d summaries, %d matrices\n" (Store.dir st)
+         s.Store.summaries s.Store.matrices)
+  | _ -> Buffer.add_string buf "store: (none)\n");
+  { st_runs = runs;
+    st_summaries = Memo.length t.ses_memo;
+    st_memo = stats;
+    st_store = store_stats;
+    st_output = Buffer.contents buf }

@@ -1,0 +1,179 @@
+(** The session API: every operation a DiffTrace frontend serves —
+    one-shot CLI subcommand or resident daemon request — as a plain
+    [Config.t -> request -> (response, error) result] function over a
+    warm {!t}.
+
+    A session owns the state that makes repeated analysis cheap: an
+    optional persistent {!Store} (whose memo it adopts), otherwise a
+    fresh {!Memo}, plus a table of named in-memory runs registered by
+    {!record}. Two frontends driving the same session API over the same
+    inputs produce byte-identical [output] strings — that is the
+    contract the daemon's protocol responses and the one-shot CLI are
+    both built on (see test/serve.t).
+
+    Every response carries its CLI rendering in an [output] field next
+    to the structured data, so frontends never re-implement (and never
+    drift from) the report formats pinned in test/cli.t. *)
+
+(** {2 One coherent error type}
+
+    Everything that can go wrong across the pipeline, the archives, the
+    store and the serve protocol, under one sum — frontends match on
+    the constructor, the wire encodes {!error_kind}. *)
+
+type error =
+  | Invalid of string  (** malformed request parameters *)
+  | Unknown_workload of { name : string; known : string list }
+  | Unknown_run of { name : string; known : string list }
+  | Unknown_label of Pipeline.lookup_error
+      (** a trace label that exists in neither run *)
+  | Archive_failed of Difftrace_parlot.Archive.error
+  | Store_failed of string
+  | Run_failed of string  (** the workload itself raised *)
+  | Protocol of string
+      (** malformed, oversized or version-incompatible protocol input *)
+
+(** Stable kebab-case tag for the wire ("invalid-params",
+    "unknown-run", "archive-error", ...). *)
+val error_kind : error -> string
+
+val error_to_string : error -> string
+
+(** {2 Sessions} *)
+
+type t
+
+(** [create ?store ()] — a fresh session. With [store], the session
+    analyzes through it (adopting its memo, so a warm store means zero
+    summarizations from the first request); without, it uses a fresh
+    in-process memo. *)
+val create : ?store:Store.t -> unit -> t
+
+val store : t -> Store.t option
+val memo : t -> Memo.t
+
+(** [flush t] persists the store, if any (no-op when storeless or
+    fully warm). *)
+val flush : t -> (unit, error) result
+
+(** {2 Sources}
+
+    Where an operation's traces come from. Frontends that execute
+    workloads themselves (the CLI, the daemon's workload-backed
+    requests) inject the outcome as [Traces]. *)
+
+type source =
+  | Traces of Difftrace_trace.Trace_set.t
+  | Archive of { dir : string; salvage : bool }
+      (** load (streaming, chunk-at-a-time) from an on-disk archive;
+          [salvage] recovers the checksum-valid prefix of damaged
+          traces — including the partially-written archive of a run
+          that is {e still executing} *)
+  | Run of string  (** a run registered in this session by {!record} *)
+
+(** [resolve t ~engine source] — the trace set plus any salvage
+    outcomes (always [[]] for [Traces]/[Run]). Archive loads fan
+    per-thread ingestion over [engine]. *)
+val resolve :
+  t ->
+  engine:Engine.t ->
+  source ->
+  (Difftrace_trace.Trace_set.t * Difftrace_parlot.Archive.salvage list, error)
+  result
+
+(** {2 Record} *)
+
+type record_request = {
+  rc_name : string option;  (** register the run in-memory under this name *)
+  rc_dir : string option;  (** archive it to this directory *)
+  rc_format : Difftrace_parlot.Archive.format;
+}
+
+type record_response = {
+  rc_files : int;  (** trace files archived (0 without [rc_dir]) *)
+  rc_traces : int;
+  rc_events : int;
+  rc_hung : int;  (** threads that never terminated *)
+  rc_output : string;
+}
+
+(** [record t ~outcome req] archives and/or registers one executed
+    run. When both [rc_name] and [rc_dir] are given, the registered
+    set is re-ingested from the archive through the checksummed
+    streaming decoder ({!Difftrace_parlot.Tracer.stream}) — the
+    daemon's chunk-at-a-time ingestion path — rather than adopted from
+    memory, so what later requests analyze is exactly what a separate
+    process would load. *)
+val record :
+  t ->
+  outcome:Difftrace_simulator.Runtime.outcome ->
+  record_request ->
+  (record_response, error) result
+
+(** [run_names t] — registered runs, sorted. *)
+val run_names : t -> (string * int) list
+
+(** {2 Compare / analyze} *)
+
+type compare_request = {
+  cp_normal : source;
+  cp_faulty : source;
+  cp_diffnlr : string option;  (** trace to diff; default: top suspect *)
+}
+
+type compare_response = {
+  cp_bscore : float;
+  cp_top_processes : int list;
+  cp_top_threads : string list;
+  cp_suspects : (string * float) array;
+  cp_salvaged : Difftrace_parlot.Archive.salvage list;
+  cp_comparison : Pipeline.comparison;  (** for programmatic drill-down *)
+  cp_output : string;
+}
+
+(** [compare t config req] — the relative-debugging loop; [cp_output]
+    is byte-identical to [difftrace compare]'s report. *)
+val compare :
+  t -> Config.t -> compare_request -> (compare_response, error) result
+
+(** [analyze t config req] — same computation, rendered like
+    [difftrace analyze] (salvage lines first, no process/thread
+    ranking). *)
+val analyze :
+  t -> Config.t -> compare_request -> (compare_response, error) result
+
+(** {2 Triage} *)
+
+type triage_request = {
+  tg_subject : source;
+  tg_limit : int;  (** rows shown in the outlier/progress tables *)
+}
+
+type triage_response = {
+  tg_entries : Pipeline.triage_entry array;
+  tg_output : string;
+}
+
+(** [triage ?outcome t config req] — single-run outlier analysis.
+    With [outcome] (a frontend that just executed the run), the output
+    additionally carries the HUNG banner and the logical-clock
+    progress section, matching [difftrace triage] exactly; archive- or
+    run-sourced triage omits those two outcome-only sections. *)
+val triage :
+  ?outcome:Difftrace_simulator.Runtime.outcome ->
+  t ->
+  Config.t ->
+  triage_request ->
+  (triage_response, error) result
+
+(** {2 Status} *)
+
+type status = {
+  st_runs : (string * int) list;  (** registered runs: name, traces *)
+  st_summaries : int;  (** cached NLR summaries (memo) *)
+  st_memo : Memo.stats;
+  st_store : Store.stats option;
+  st_output : string;
+}
+
+val status : t -> status

@@ -15,6 +15,7 @@ module Engine = Difftrace_core.Engine
 module Memo = Difftrace_core.Memo
 module Store = Difftrace_core.Store
 module Pipeline = Difftrace_core.Pipeline
+module Session = Difftrace_core.Session
 module Ranking = Difftrace_core.Ranking
 module Autotune = Difftrace_core.Autotune
 module Report = Difftrace_core.Report
@@ -55,6 +56,11 @@ module Dendrogram = Difftrace_cluster.Dendrogram
 
 (* Fault campaigns (crash-isolated, resumable fault x seed sweeps). *)
 module Campaign = Difftrace_campaign.Campaign
+
+(* The resident analysis daemon and its difftrace-rpc/1 protocol
+   (lib/serve), grouped under the library name: [Serve.Protocol],
+   [Serve.Daemon], [Serve.Client], [Serve.Workload]. *)
+module Serve = Difftrace_serve
 
 (* Diffing. *)
 module Diffnlr = Difftrace_diff.Diffnlr

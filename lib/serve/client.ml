@@ -1,0 +1,42 @@
+type conn = { ic : in_channel; oc : out_channel }
+
+let connect ~path ?(attempts = 100) () =
+  let rec go n =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> Ok { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when n > 1 ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Unix.sleepf 0.05;
+      go (n - 1)
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot connect to %s: %s" path (Unix.error_message e))
+  in
+  go (max 1 attempts)
+
+let close c = try close_out c.oc with Sys_error _ -> ()
+
+let send_line c line =
+  output_string c.oc line;
+  output_char c.oc '\n';
+  flush c.oc
+
+let read_message c =
+  match input_line c.ic with
+  | exception End_of_file -> Error "connection closed by daemon"
+  | line -> Protocol.decode_message line
+
+let rpc c line ~on_event =
+  send_line c line;
+  let rec await () =
+    match read_message c with
+    | Error _ as e -> e
+    | Ok (Protocol.Event ev) ->
+      on_event ev;
+      await ()
+    | Ok (Protocol.Response r) -> Ok r
+  in
+  await ()

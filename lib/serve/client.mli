@@ -1,0 +1,27 @@
+(** Minimal [difftrace-rpc/1] client: connect to a daemon's Unix
+    socket, send request lines, read typed messages back. The
+    [difftrace client] subcommand is a thin frontend over this. *)
+
+type conn
+
+(** [connect ~path ()] — connect to the daemon socket, retrying (with
+    a short sleep) while the daemon is still booting. [attempts]
+    defaults to 100 at 50 ms apart (~5 s). *)
+val connect : path:string -> ?attempts:int -> unit -> (conn, string) result
+
+val close : conn -> unit
+
+(** Send one raw request line (the newline is appended). *)
+val send_line : conn -> string -> unit
+
+(** Read one daemon message; [Error] on a closed connection or a line
+    that does not decode. *)
+val read_message : conn -> (Protocol.message, string) result
+
+(** [rpc conn line ~on_event] sends [line] and reads until the next
+    response arrives, feeding any interleaved events to [on_event]. *)
+val rpc :
+  conn ->
+  string ->
+  on_event:(Protocol.event -> unit) ->
+  (Protocol.response, string) result

@@ -1,0 +1,72 @@
+(** The resident analysis daemon.
+
+    One daemon holds one {!Difftrace_core.Session.t} — one optional
+    {!Difftrace_core.Store}, one {!Difftrace_core.Memo}, the registered
+    runs — warm across requests, and speaks [difftrace-rpc/1]
+    ({!Protocol}) over stdio or a Unix-domain socket.
+
+    The protocol core is deliberately transport-free: {!on_line} maps
+    one request line to emitted response/event lines, so tests drive a
+    daemon (multiple interleaved clients included) without sockets or
+    processes. {!serve_stdio} and {!serve_socket} are thin transports
+    over it.
+
+    Requests are handled one at a time, in arrival order — the session
+    state is single-threaded by design — so concurrency means many
+    clients multiplexed over one warm engine, never data races. Each
+    request runs under a telemetry span [rpc.<method>] and bumps the
+    [rpc.requests] / [rpc.errors] counters, so [--profile-json] yields
+    a per-method profile of the daemon's lifetime. *)
+
+module Session = Difftrace_core.Session
+
+type t
+
+(** [create ?store ?state_dir ~default_engine ()]. [state_dir] is where
+    [record] archives runs when the request names no directory
+    ([<state_dir>/runs/<name>]); without it, unarchived records are
+    registered in memory only. [default_engine] serves requests whose
+    config names no engine. *)
+val create :
+  ?store:Difftrace_core.Store.t ->
+  ?state_dir:string ->
+  default_engine:Difftrace_core.Engine.t ->
+  unit ->
+  t
+
+val session : t -> Session.t
+
+(** Requests decoded and dispatched so far (the in-flight request
+    included, so [status] counts itself). *)
+val requests_served : t -> int
+
+(** One line to deliver to one client. Broadcasts to subscribers are
+    pre-expanded into one [Send] per subscribed client. *)
+type directive = Send of { client : int; line : string }
+
+(** [on_line t ~client ~emit line] handles one request line from
+    [client]: decodes it, dispatches, and emits the response (and any
+    events due to subscribers) via [emit]. Total — a malformed,
+    oversized or unknown-method line emits a structured error response
+    carrying the best-effort request id and the daemon keeps serving.
+    [`Shutdown] is returned only for a [shutdown] request, after its
+    response was emitted and the store flushed. *)
+val on_line :
+  t -> client:int -> emit:(directive -> unit) -> string -> [ `Continue | `Shutdown ]
+
+(** Forget a disconnected client (drops its event subscription). *)
+val on_disconnect : t -> client:int -> unit
+
+(** {2 Transports} *)
+
+(** Serve requests from stdin (one client, id 0), responses to stdout.
+    Returns on [shutdown] or EOF (both flush the store). The transport
+    of the cram transcripts. *)
+val serve_stdio : t -> unit
+
+(** Bind [path] (removing a stale socket file), then accept and
+    multiplex clients with a single-threaded select loop until a
+    [shutdown] request arrives. A client whose unterminated line
+    exceeds {!Protocol.max_line_bytes} gets an error response and the
+    oversized line is discarded, not buffered. *)
+val serve_socket : t -> path:string -> unit

@@ -1,0 +1,696 @@
+(* difftrace-rpc/1 — total encode/decode over the obs JSON machinery.
+   See protocol.mli for the wire contract; test/serve.t is the
+   executable transcript of it. *)
+
+module Json = Difftrace_obs.Telemetry.Json
+module Session = Difftrace_core.Session
+module Config = Difftrace_core.Config
+module Engine = Difftrace_core.Engine
+module Filter = Difftrace_filter.Filter
+module Attributes = Difftrace_fca.Attributes
+module Linkage = Difftrace_cluster.Linkage
+
+let version = 1
+let version_string = Printf.sprintf "difftrace-rpc/%d" version
+let max_line_bytes = 1 lsl 20
+
+let ( let* ) = Result.bind
+
+(* --- typed surface --------------------------------------------------- *)
+
+type config_params = {
+  pc_filter : string;
+  pc_custom : string list;
+  pc_attrs : string;
+  pc_k : int;
+  pc_linkage : string;
+  pc_engine : string option;
+}
+
+let default_config =
+  { pc_filter = "11.mpiall";
+    pc_custom = [];
+    pc_attrs = "sing.noFreq";
+    pc_k = 10;
+    pc_linkage = "ward";
+    pc_engine = None }
+
+let config_of_params ~default_engine p =
+  try
+    let engine =
+      match p.pc_engine with
+      | None -> default_engine
+      | Some s -> Engine.of_string s
+    in
+    Ok
+      (Config.default
+      |> Config.with_filter (Filter.of_spec ~custom:p.pc_custom p.pc_filter)
+      |> Config.with_attrs (Attributes.of_name p.pc_attrs)
+      |> Config.with_k p.pc_k
+      |> Config.with_linkage (Linkage.method_of_string p.pc_linkage)
+      |> Config.with_engine engine)
+  with Invalid_argument m -> Error (Session.Invalid m)
+
+type workload_spec = {
+  ws_workload : string;
+  ws_np : int;
+  ws_seed : int;
+  ws_fault : string;
+  ws_all_images : bool;
+}
+
+type source_spec =
+  | Src_run of string
+  | Src_archive of { dir : string; salvage : bool }
+  | Src_workload of workload_spec
+
+type call =
+  | Record of {
+      rq_workload : workload_spec;
+      rq_name : string option;
+      rq_out : string option;
+      rq_v1 : bool;
+    }
+  | Compare of {
+      rq_normal : source_spec;
+      rq_faulty : source_spec;
+      rq_config : config_params;
+      rq_diffnlr : string option;
+    }
+  | Analyze of {
+      rq_normal : source_spec;
+      rq_faulty : source_spec;
+      rq_config : config_params;
+      rq_diffnlr : string option;
+    }
+  | Triage of {
+      rq_subject : source_spec;
+      rq_config : config_params;
+      rq_limit : int;
+    }
+  | Status
+  | Subscribe of { rq_events : bool }
+  | Shutdown
+
+type request = { req_id : string; req_call : call }
+
+let method_name = function
+  | Record _ -> "record"
+  | Compare _ -> "compare"
+  | Analyze _ -> "analyze"
+  | Triage _ -> "triage"
+  | Status -> "status"
+  | Subscribe _ -> "subscribe"
+  | Shutdown -> "shutdown"
+
+type payload =
+  | P_record of {
+      pr_files : int;
+      pr_traces : int;
+      pr_events : int;
+      pr_hung : int;
+      pr_run : string option;
+      pr_output : string;
+    }
+  | P_report of {
+      pr_style : [ `Compare | `Analyze ];
+      pr_bscore : float;
+      pr_top_processes : int list;
+      pr_top_threads : string list;
+      pr_suspects : (string * float) list;
+      pr_output : string;
+    }
+  | P_triage of {
+      pr_outliers : (string * float * bool) list;
+      pr_output : string;
+    }
+  | P_status of {
+      pr_requests : int;
+      pr_runs : (string * int) list;
+      pr_summaries : int;
+      pr_hits : int;
+      pr_misses : int;
+      pr_store : (int * int) option;
+      pr_output : string;
+    }
+  | P_subscribe of { pr_events : bool; pr_output : string }
+  | P_shutdown of { pr_output : string }
+
+let payload_output = function
+  | P_record { pr_output; _ }
+  | P_report { pr_output; _ }
+  | P_triage { pr_output; _ }
+  | P_status { pr_output; _ }
+  | P_subscribe { pr_output; _ }
+  | P_shutdown { pr_output } -> pr_output
+
+type error_body = { err_kind : string; err_message : string }
+
+let error_body_of e =
+  { err_kind = Session.error_kind e; err_message = Session.error_to_string e }
+
+type response = {
+  rsp_id : string option;
+  rsp_body : (payload, error_body) result;
+}
+
+let error_response ~id e = { rsp_id = id; rsp_body = Error (error_body_of e) }
+
+type event = { ev_name : string; ev_fields : (string * Json.t) list }
+
+(* --- JSON field access (total) --------------------------------------- *)
+
+let str = function Json.String s -> Some s | _ -> None
+
+let int_ = function
+  | Json.Int i -> Some i
+  | Json.Float f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let float_ = function
+  | Json.Float f -> Some f
+  | Json.Int i -> Some (float_of_int i)
+  | _ -> None
+
+let bool_ = function Json.Bool b -> Some b | _ -> None
+
+let str_list = function
+  | Json.List l ->
+    let rec go acc = function
+      | [] -> Some (List.rev acc)
+      | Json.String s :: tl -> go (s :: acc) tl
+      | _ -> None
+    in
+    go [] l
+  | _ -> None
+
+let bad ctx name =
+  Error (Session.Invalid (Printf.sprintf "%s: field %S has the wrong type" ctx name))
+
+let field ctx obj name conv =
+  match Json.member name obj with
+  | None | Some Json.Null ->
+    Error (Session.Invalid (Printf.sprintf "%s: missing field %S" ctx name))
+  | Some v -> ( match conv v with Some x -> Ok x | None -> bad ctx name)
+
+let field_opt ctx obj name conv ~default =
+  match Json.member name obj with
+  | None | Some Json.Null -> Ok default
+  | Some v -> ( match conv v with Some x -> Ok x | None -> bad ctx name)
+
+(* --- request decode --------------------------------------------------- *)
+
+let workload_of_obj ctx obj =
+  let* ws_workload = field ctx obj "workload" str in
+  let* ws_np = field_opt ctx obj "np" int_ ~default:8 in
+  let* ws_seed = field_opt ctx obj "seed" int_ ~default:1 in
+  let* ws_fault = field_opt ctx obj "fault" str ~default:"none" in
+  let* ws_all_images = field_opt ctx obj "all_images" bool_ ~default:false in
+  Ok { ws_workload; ws_np; ws_seed; ws_fault; ws_all_images }
+
+let source_of_json ctx name j =
+  match j with
+  (* shorthand: a bare string names a registered run *)
+  | Json.String s -> Ok (Src_run s)
+  | Json.Obj _ as obj -> (
+    match
+      ( Json.member "run" obj,
+        Json.member "archive" obj,
+        Json.member "workload" obj )
+    with
+    | Some (Json.String r), None, None -> Ok (Src_run r)
+    | None, Some (Json.String dir), None ->
+      let* salvage = field_opt ctx obj "salvage" bool_ ~default:false in
+      Ok (Src_archive { dir; salvage })
+    | None, None, Some _ ->
+      let* ws = workload_of_obj ctx obj in
+      Ok (Src_workload ws)
+    | _ ->
+      Error
+        (Session.Invalid
+           (Printf.sprintf
+              "%s: source %S needs exactly one of \"run\", \"archive\" or \
+               \"workload\""
+              ctx name)))
+  | _ ->
+    Error
+      (Session.Invalid
+         (Printf.sprintf "%s: source %S must be a string or an object" ctx name))
+
+let source_field ctx obj name =
+  match Json.member name obj with
+  | None | Some Json.Null ->
+    Error (Session.Invalid (Printf.sprintf "%s: missing source %S" ctx name))
+  | Some j -> source_of_json ctx name j
+
+let config_params_of_json ctx obj =
+  match Json.member "config" obj with
+  | None | Some Json.Null -> Ok default_config
+  | Some (Json.Obj _ as c) ->
+    let d = default_config in
+    let ctx = ctx ^ ".config" in
+    let* pc_filter = field_opt ctx c "filter" str ~default:d.pc_filter in
+    let* pc_custom = field_opt ctx c "custom" str_list ~default:d.pc_custom in
+    let* pc_attrs = field_opt ctx c "attrs" str ~default:d.pc_attrs in
+    let* pc_k = field_opt ctx c "k" int_ ~default:d.pc_k in
+    let* pc_linkage = field_opt ctx c "linkage" str ~default:d.pc_linkage in
+    let* pc_engine =
+      field_opt ctx c "engine" (fun j -> Option.map Option.some (str j))
+        ~default:None
+    in
+    Ok { pc_filter; pc_custom; pc_attrs; pc_k; pc_linkage; pc_engine }
+  | Some _ -> bad ctx "config"
+
+let call_of_json ~meth obj =
+  let ctx = meth in
+  match meth with
+  | "record" ->
+    let* rq_workload = workload_of_obj ctx obj in
+    let* rq_name =
+      field_opt ctx obj "name" (fun j -> Option.map Option.some (str j))
+        ~default:None
+    in
+    let* rq_out =
+      field_opt ctx obj "out" (fun j -> Option.map Option.some (str j))
+        ~default:None
+    in
+    let* rq_v1 = field_opt ctx obj "v1" bool_ ~default:false in
+    Ok (Record { rq_workload; rq_name; rq_out; rq_v1 })
+  | "compare" | "analyze" ->
+    let* rq_normal = source_field ctx obj "normal" in
+    let* rq_faulty = source_field ctx obj "faulty" in
+    let* rq_config = config_params_of_json ctx obj in
+    let* rq_diffnlr =
+      field_opt ctx obj "diffnlr" (fun j -> Option.map Option.some (str j))
+        ~default:None
+    in
+    if meth = "compare" then
+      Ok (Compare { rq_normal; rq_faulty; rq_config; rq_diffnlr })
+    else Ok (Analyze { rq_normal; rq_faulty; rq_config; rq_diffnlr })
+  | "triage" ->
+    let* rq_subject = source_field ctx obj "subject" in
+    let* rq_config = config_params_of_json ctx obj in
+    let* rq_limit = field_opt ctx obj "limit" int_ ~default:8 in
+    Ok (Triage { rq_subject; rq_config; rq_limit })
+  | "status" -> Ok Status
+  | "subscribe" ->
+    let* rq_events = field_opt ctx obj "events" bool_ ~default:true in
+    Ok (Subscribe { rq_events })
+  | "shutdown" -> Ok Shutdown
+  | _ ->
+    Error
+      (Session.Protocol
+         (Printf.sprintf
+            "unknown method %S (methods: record, analyze, compare, triage, \
+             status, subscribe, shutdown)"
+            meth))
+
+(* Best-effort lexical extraction of the "id" field from a line that
+   failed to parse, so even a malformed request is answered under its
+   own id. *)
+let scan_id line =
+  let n = String.length line in
+  let rec find i =
+    if i + 4 > n then None
+    else if String.sub line i 4 = {|"id"|} then Some (i + 4)
+    else find (i + 1)
+  in
+  let rec skip_ws i = if i < n && (line.[i] = ' ' || line.[i] = '\t') then skip_ws (i + 1) else i in
+  match find 0 with
+  | None -> None
+  | Some i -> (
+    let i = skip_ws i in
+    if i >= n || line.[i] <> ':' then None
+    else
+      let i = skip_ws (i + 1) in
+      if i >= n || line.[i] <> '"' then None
+      else
+        let buf = Buffer.create 16 in
+        let rec go i =
+          if i >= n then None
+          else
+            match line.[i] with
+            | '"' -> Some (Buffer.contents buf)
+            | '\\' when i + 1 < n -> (
+              let add c = Buffer.add_char buf c; go (i + 2) in
+              match line.[i + 1] with
+              | '"' -> add '"'
+              | '\\' -> add '\\'
+              | '/' -> add '/'
+              | 'n' -> add '\n'
+              | 't' -> add '\t'
+              | 'r' -> add '\r'
+              | 'b' -> add '\b'
+              | 'f' -> add '\012'
+              | _ -> None)
+            | c -> Buffer.add_char buf c; go (i + 1)
+        in
+        go (i + 1))
+
+let check_version ctx obj =
+  match Json.member "difftrace-rpc" obj with
+  | Some (Json.Int v) when v = version -> Ok ()
+  | Some (Json.Int v) ->
+    Error
+      (Session.Protocol
+         (Printf.sprintf "%s: unsupported protocol version %d (this daemon \
+                          speaks %s)" ctx v version_string))
+  | _ ->
+    Error
+      (Session.Protocol
+         (Printf.sprintf "%s: missing \"difftrace-rpc\" version field" ctx))
+
+let decode_request line =
+  if String.length line > max_line_bytes then
+    Error
+      ( scan_id (String.sub line 0 (min (String.length line) 4096)),
+        Session.Protocol
+          (Printf.sprintf "request line exceeds %d bytes (%d)" max_line_bytes
+             (String.length line)) )
+  else
+    match Json.of_string line with
+    | exception Json.Parse_error m ->
+      Error (scan_id line, Session.Protocol ("malformed JSON: " ^ m))
+    | Json.Obj _ as obj -> (
+      let id =
+        match Json.member "id" obj with Some (Json.String s) -> Some s | _ -> None
+      in
+      let fail e = Error (id, e) in
+      match check_version "request" obj with
+      | Error e -> fail e
+      | Ok () -> (
+        match id with
+        | None ->
+          fail (Session.Protocol "request: missing string \"id\" field")
+        | Some req_id -> (
+          match Json.member "method" obj with
+          | Some (Json.String meth) -> (
+            let params =
+              match Json.member "params" obj with
+              | Some (Json.Obj _ as p) -> Ok p
+              | None | Some Json.Null -> Ok (Json.Obj [])
+              | Some _ ->
+                Error (Session.Invalid "request: \"params\" must be an object")
+            in
+            match params with
+            | Error e -> fail e
+            | Ok params -> (
+              match call_of_json ~meth params with
+              | Ok req_call -> Ok { req_id; req_call }
+              | Error e -> fail e))
+          | _ ->
+            fail (Session.Protocol "request: missing string \"method\" field"))))
+    | _ ->
+      Error (None, Session.Protocol "malformed JSON: expected an object")
+
+(* --- encode ----------------------------------------------------------- *)
+
+let json_opt f = function None -> Json.Null | Some v -> f v
+
+let workload_fields ws =
+  [ ("workload", Json.String ws.ws_workload);
+    ("np", Json.Int ws.ws_np);
+    ("seed", Json.Int ws.ws_seed);
+    ("fault", Json.String ws.ws_fault);
+    ("all_images", Json.Bool ws.ws_all_images) ]
+
+let source_to_json = function
+  | Src_run r -> Json.Obj [ ("run", Json.String r) ]
+  | Src_archive { dir; salvage } ->
+    Json.Obj [ ("archive", Json.String dir); ("salvage", Json.Bool salvage) ]
+  | Src_workload ws -> Json.Obj (workload_fields ws)
+
+let config_to_json p =
+  Json.Obj
+    [ ("filter", Json.String p.pc_filter);
+      ("custom", Json.List (List.map (fun s -> Json.String s) p.pc_custom));
+      ("attrs", Json.String p.pc_attrs);
+      ("k", Json.Int p.pc_k);
+      ("linkage", Json.String p.pc_linkage);
+      ("engine", json_opt (fun s -> Json.String s) p.pc_engine) ]
+
+let params_of_call = function
+  | Record { rq_workload; rq_name; rq_out; rq_v1 } ->
+    Json.Obj
+      (workload_fields rq_workload
+      @ [ ("name", json_opt (fun s -> Json.String s) rq_name);
+          ("out", json_opt (fun s -> Json.String s) rq_out);
+          ("v1", Json.Bool rq_v1) ])
+  | Compare { rq_normal; rq_faulty; rq_config; rq_diffnlr }
+  | Analyze { rq_normal; rq_faulty; rq_config; rq_diffnlr } ->
+    Json.Obj
+      [ ("normal", source_to_json rq_normal);
+        ("faulty", source_to_json rq_faulty);
+        ("config", config_to_json rq_config);
+        ("diffnlr", json_opt (fun s -> Json.String s) rq_diffnlr) ]
+  | Triage { rq_subject; rq_config; rq_limit } ->
+    Json.Obj
+      [ ("subject", source_to_json rq_subject);
+        ("config", config_to_json rq_config);
+        ("limit", Json.Int rq_limit) ]
+  | Status | Shutdown -> Json.Obj []
+  | Subscribe { rq_events } -> Json.Obj [ ("events", Json.Bool rq_events) ]
+
+let encode_request r =
+  Json.to_string
+    (Json.Obj
+       [ ("difftrace-rpc", Json.Int version);
+         ("id", Json.String r.req_id);
+         ("method", Json.String (method_name r.req_call));
+         ("params", params_of_call r.req_call) ])
+
+let payload_to_json = function
+  | P_record { pr_files; pr_traces; pr_events; pr_hung; pr_run; pr_output } ->
+    Json.Obj
+      [ ("method", Json.String "record");
+        ("files", Json.Int pr_files);
+        ("traces", Json.Int pr_traces);
+        ("events", Json.Int pr_events);
+        ("hung", Json.Int pr_hung);
+        ("run", json_opt (fun s -> Json.String s) pr_run);
+        ("output", Json.String pr_output) ]
+  | P_report
+      { pr_style; pr_bscore; pr_top_processes; pr_top_threads; pr_suspects;
+        pr_output } ->
+    Json.Obj
+      [ ( "method",
+          Json.String
+            (match pr_style with `Compare -> "compare" | `Analyze -> "analyze")
+        );
+        ("bscore", Json.Float pr_bscore);
+        ( "top_processes",
+          Json.List (List.map (fun p -> Json.Int p) pr_top_processes) );
+        ( "top_threads",
+          Json.List (List.map (fun t -> Json.String t) pr_top_threads) );
+        ( "suspects",
+          Json.List
+            (List.map
+               (fun (l, s) ->
+                 Json.Obj
+                   [ ("trace", Json.String l); ("score", Json.Float s) ])
+               pr_suspects) );
+        ("output", Json.String pr_output) ]
+  | P_triage { pr_outliers; pr_output } ->
+    Json.Obj
+      [ ("method", Json.String "triage");
+        ( "outliers",
+          Json.List
+            (List.map
+               (fun (l, s, tr) ->
+                 Json.Obj
+                   [ ("trace", Json.String l);
+                     ("score", Json.Float s);
+                     ("truncated", Json.Bool tr) ])
+               pr_outliers) );
+        ("output", Json.String pr_output) ]
+  | P_status
+      { pr_requests; pr_runs; pr_summaries; pr_hits; pr_misses; pr_store;
+        pr_output } ->
+    Json.Obj
+      [ ("method", Json.String "status");
+        ("requests", Json.Int pr_requests);
+        ( "runs",
+          Json.List
+            (List.map
+               (fun (n, c) ->
+                 Json.Obj [ ("name", Json.String n); ("traces", Json.Int c) ])
+               pr_runs) );
+        ("summaries", Json.Int pr_summaries);
+        ("hits", Json.Int pr_hits);
+        ("misses", Json.Int pr_misses);
+        ( "store",
+          json_opt
+            (fun (s, m) ->
+              Json.Obj [ ("summaries", Json.Int s); ("matrices", Json.Int m) ])
+            pr_store );
+        ("output", Json.String pr_output) ]
+  | P_subscribe { pr_events; pr_output } ->
+    Json.Obj
+      [ ("method", Json.String "subscribe");
+        ("events", Json.Bool pr_events);
+        ("output", Json.String pr_output) ]
+  | P_shutdown { pr_output } ->
+    Json.Obj
+      [ ("method", Json.String "shutdown"); ("output", Json.String pr_output) ]
+
+let encode_response r =
+  let id = json_opt (fun s -> Json.String s) r.rsp_id in
+  let body =
+    match r.rsp_body with
+    | Ok p -> ("ok", payload_to_json p)
+    | Error e ->
+      ( "error",
+        Json.Obj
+          [ ("kind", Json.String e.err_kind);
+            ("message", Json.String e.err_message) ] )
+  in
+  Json.to_string
+    (Json.Obj [ ("difftrace-rpc", Json.Int version); ("id", id); body ])
+
+let encode_event ev =
+  Json.to_string
+    (Json.Obj
+       (("difftrace-rpc", Json.Int version)
+       :: ("event", Json.String ev.ev_name)
+       :: ev.ev_fields))
+
+(* --- response / message decode (client side) -------------------------- *)
+
+let ofail fmt = Printf.ksprintf (fun m -> Error m) fmt
+
+let req ctx obj name conv =
+  match Json.member name obj with
+  | None | Some Json.Null -> ofail "%s: missing field %S" ctx name
+  | Some v -> (
+    match conv v with
+    | Some x -> Ok x
+    | None -> ofail "%s: field %S has the wrong type" ctx name)
+
+let opt ctx obj name conv ~default =
+  match Json.member name obj with
+  | None | Some Json.Null -> Ok default
+  | Some v -> (
+    match conv v with
+    | Some x -> Ok x
+    | None -> ofail "%s: field %S has the wrong type" ctx name)
+
+let list_of conv = function
+  | Json.List l ->
+    let rec go acc = function
+      | [] -> Some (List.rev acc)
+      | hd :: tl -> ( match conv hd with Some x -> go (x :: acc) tl | None -> None)
+    in
+    go [] l
+  | _ -> None
+
+let payload_of_json obj =
+  let* meth = req "ok" obj "method" str in
+  let ctx = "ok." ^ meth in
+  let* output = req ctx obj "output" str in
+  match meth with
+  | "record" ->
+    let* pr_files = req ctx obj "files" int_ in
+    let* pr_traces = req ctx obj "traces" int_ in
+    let* pr_events = req ctx obj "events" int_ in
+    let* pr_hung = req ctx obj "hung" int_ in
+    let* pr_run =
+      opt ctx obj "run" (fun j -> Option.map Option.some (str j)) ~default:None
+    in
+    Ok (P_record { pr_files; pr_traces; pr_events; pr_hung; pr_run;
+                   pr_output = output })
+  | "compare" | "analyze" ->
+    let suspect j =
+      match (Json.member "trace" j, Json.member "score" j) with
+      | Some (Json.String l), Some s -> Option.map (fun f -> (l, f)) (float_ s)
+      | _ -> None
+    in
+    let* pr_bscore = req ctx obj "bscore" float_ in
+    let* pr_top_processes = req ctx obj "top_processes" (list_of int_) in
+    let* pr_top_threads = req ctx obj "top_threads" (list_of str) in
+    let* pr_suspects = req ctx obj "suspects" (list_of suspect) in
+    Ok
+      (P_report
+         { pr_style = (if meth = "compare" then `Compare else `Analyze);
+           pr_bscore; pr_top_processes; pr_top_threads; pr_suspects;
+           pr_output = output })
+  | "triage" ->
+    let outlier j =
+      match
+        (Json.member "trace" j, Json.member "score" j, Json.member "truncated" j)
+      with
+      | Some (Json.String l), Some s, Some (Json.Bool tr) ->
+        Option.map (fun f -> (l, f, tr)) (float_ s)
+      | _ -> None
+    in
+    let* pr_outliers = req ctx obj "outliers" (list_of outlier) in
+    Ok (P_triage { pr_outliers; pr_output = output })
+  | "status" ->
+    let run j =
+      match (Json.member "name" j, Json.member "traces" j) with
+      | Some (Json.String n), Some c -> Option.map (fun i -> (n, i)) (int_ c)
+      | _ -> None
+    in
+    let store j =
+      match (Json.member "summaries" j, Json.member "matrices" j) with
+      | Some s, Some m -> (
+        match (int_ s, int_ m) with
+        | Some s, Some m -> Some (s, m)
+        | _ -> None)
+      | _ -> None
+    in
+    let* pr_requests = req ctx obj "requests" int_ in
+    let* pr_runs = req ctx obj "runs" (list_of run) in
+    let* pr_summaries = req ctx obj "summaries" int_ in
+    let* pr_hits = req ctx obj "hits" int_ in
+    let* pr_misses = req ctx obj "misses" int_ in
+    let* pr_store =
+      opt ctx obj "store" (fun j -> Option.map Option.some (store j))
+        ~default:None
+    in
+    Ok (P_status { pr_requests; pr_runs; pr_summaries; pr_hits; pr_misses;
+                   pr_store; pr_output = output })
+  | "subscribe" ->
+    let* pr_events = req ctx obj "events" bool_ in
+    Ok (P_subscribe { pr_events; pr_output = output })
+  | "shutdown" -> Ok (P_shutdown { pr_output = output })
+  | _ -> ofail "ok: unknown method %S in response" meth
+
+type message = Response of response | Event of event
+
+let decode_message line =
+  match Json.of_string line with
+  | exception Json.Parse_error m -> ofail "malformed JSON: %s" m
+  | Json.Obj fields as obj -> (
+    match check_version "message" obj with
+    | Error e -> Error (Session.error_to_string e)
+    | Ok () -> (
+      match Json.member "event" obj with
+      | Some (Json.String ev_name) ->
+        let ev_fields =
+          List.filter
+            (fun (k, _) -> k <> "difftrace-rpc" && k <> "event")
+            fields
+        in
+        Ok (Event { ev_name; ev_fields })
+      | _ -> (
+        let rsp_id =
+          match Json.member "id" obj with
+          | Some (Json.String s) -> Some s
+          | _ -> None
+        in
+        match (Json.member "ok" obj, Json.member "error" obj) with
+        | Some (Json.Obj _ as ok), None ->
+          let* p = payload_of_json ok in
+          Ok (Response { rsp_id; rsp_body = Ok p })
+        | None, Some (Json.Obj _ as err) ->
+          let* err_kind = req "error" err "kind" str in
+          let* err_message = req "error" err "message" str in
+          Ok (Response { rsp_id; rsp_body = Error { err_kind; err_message } })
+        | _ -> Error "message: expected exactly one of \"ok\" or \"error\"")))
+  | _ -> Error "malformed JSON: expected an object"
+
+let decode_response line =
+  match decode_message line with
+  | Ok (Response r) -> Ok r
+  | Ok (Event _) -> Error "expected a response, got an event"
+  | Error m -> Error m

@@ -1,0 +1,22 @@
+module Session = Difftrace_core.Session
+module W = Difftrace_workloads
+
+let known = [ "heat"; "heat2d"; "ilcs"; "lulesh"; "oddeven" ]
+
+let run name ~np ~seed ~level ~fault =
+  let exec () =
+    match name with
+    | "oddeven" -> Some (fst (W.Odd_even.run ~np ~seed ~level ~fault ()))
+    | "ilcs" -> Some (fst (W.Ilcs.run ~np ~seed ~level ~fault ()))
+    | "lulesh" -> Some (W.Lulesh.run ~np ~seed ~level ~fault ())
+    | "heat" -> Some (fst (W.Heat.run ~np ~seed ~level ~fault ()))
+    | "heat2d" ->
+      (* np selects the grid: np ranks arranged np/2 x 2 when even *)
+      let px = max 1 (np / 2) and py = if np >= 2 then 2 else 1 in
+      Some (fst (W.Heat2d.run ~px ~py ~seed ~level ~fault ()))
+    | _ -> None
+  in
+  match exec () with
+  | Some outcome -> Ok outcome
+  | None -> Error (Session.Unknown_workload { name; known })
+  | exception exn -> Error (Session.Run_failed (Printexc.to_string exn))

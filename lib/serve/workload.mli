@@ -1,0 +1,20 @@
+(** Name-based workload execution — the one place that maps the wire's
+    (and the CLI's) workload names onto the bundled simulator programs,
+    so the daemon and the one-shot subcommands cannot disagree about
+    what "ilcs" means. *)
+
+(** The registered names, sorted: ["heat"; "heat2d"; "ilcs"; "lulesh";
+    "oddeven"]. *)
+val known : string list
+
+(** [run name ~np ~seed ~level ~fault] executes the workload once on
+    the simulator. Unknown names are [Error Unknown_workload]; an
+    exception escaping the workload (a crash bug, not a simulated
+    fault) is captured as [Error Run_failed]. *)
+val run :
+  string ->
+  np:int ->
+  seed:int ->
+  level:Difftrace_parlot.Tracer.level ->
+  fault:Difftrace_simulator.Fault.t ->
+  (Difftrace_simulator.Runtime.outcome, Difftrace_core.Session.error) result

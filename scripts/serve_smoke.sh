@@ -1,0 +1,48 @@
+#!/bin/sh
+# serve-smoke: boot a socket daemon, drive one scripted client session
+# (record -> record -> analyze -> compare -> status -> shutdown), and
+# check the per-request telemetry profile the daemon writes on exit.
+#
+#   make serve-smoke                  # local, against the dune build
+#   DIFFTRACE="difftrace" sh scripts/serve_smoke.sh   # installed binary
+#
+# The daemon and the client run concurrently, so DIFFTRACE must be the
+# built binary itself, not `dune exec` (whose project lock would make
+# the client wait for the daemon to exit).
+set -eu
+
+DIFFTRACE=${DIFFTRACE:-"_build/default/bin/difftrace_cli.exe"}
+DIR=${SMOKE_DIR:-_build/serve-smoke}
+PROFILE=${PROFILE_JSON:-serve-profile.json}
+
+rm -rf "$DIR"
+mkdir -p "$DIR"
+SOCK="$DIR/daemon.sock"
+
+$DIFFTRACE serve --socket "$SOCK" --state "$DIR/state" \
+  --profile-json "$PROFILE" 2> "$DIR/serve.log" &
+DAEMON=$!
+
+# one scripted session: archive two runs, re-analyze them from their
+# archives (the streaming ingestion path), compare the registered warm
+# sets, then shut the daemon down
+$DIFFTRACE client --socket "$SOCK" --decode \
+  -e '{"difftrace-rpc":1,"id":"s1","method":"record","params":{"workload":"oddeven","np":8,"name":"normal","out":"'"$DIR"'/normal"}}' \
+  -e '{"difftrace-rpc":1,"id":"s2","method":"record","params":{"workload":"oddeven","np":8,"fault":"swapBug(rank=3,after=4)","name":"faulty","out":"'"$DIR"'/faulty"}}' \
+  -e '{"difftrace-rpc":1,"id":"s3","method":"analyze","params":{"normal":{"archive":"'"$DIR"'/normal"},"faulty":{"archive":"'"$DIR"'/faulty"}}}' \
+  -e '{"difftrace-rpc":1,"id":"s4","method":"compare","params":{"normal":"normal","faulty":"faulty"}}' \
+  -e '{"difftrace-rpc":1,"id":"s5","method":"status"}' \
+  -e '{"difftrace-rpc":1,"id":"s6","method":"shutdown"}'
+
+wait "$DAEMON"
+
+# the daemon's lifetime profile must show every per-request span and
+# the request counters
+for needle in rpc.record rpc.analyze rpc.compare rpc.status rpc.shutdown \
+    rpc.requests; do
+  grep -q "$needle" "$PROFILE" || {
+    echo "serve-smoke: $needle missing from $PROFILE" >&2
+    exit 1
+  }
+done
+echo "serve-smoke: OK ($PROFILE)"

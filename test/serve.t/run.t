@@ -1,0 +1,69 @@
+The difftrace-rpc/1 protocol, as an executable transcript. One JSON
+object per line: requests carry a client-chosen id echoed on the
+response; `ok` payloads carry the report in `output` exactly as the
+one-shot CLI prints it; broken lines get structured `error` responses
+(with the offending id whenever it can still be recovered) and the
+daemon keeps serving.
+
+The scripted session: status on an empty daemon, record two runs,
+compare them twice with a status before and after (the counters prove
+the repeat re-used every summary), then a malformed line, an unknown
+method, an unknown run, an event subscription, and shutdown.
+
+  $ cat > transcript <<'EOF'
+  > {"difftrace-rpc":1,"id":"r1","method":"status"}
+  > {"difftrace-rpc":1,"id":"r2","method":"record","params":{"workload":"oddeven","np":4,"name":"normal"}}
+  > {"difftrace-rpc":1,"id":"r3","method":"record","params":{"workload":"oddeven","np":4,"fault":"swapBug(rank=1,after=2)","name":"faulty"}}
+  > {"difftrace-rpc":1,"id":"r4","method":"compare","params":{"normal":"normal","faulty":"faulty"}}
+  > {"difftrace-rpc":1,"id":"r5","method":"status"}
+  > {"difftrace-rpc":1,"id":"r6","method":"compare","params":{"normal":"normal","faulty":"faulty"}}
+  > {"difftrace-rpc":1,"id":"r7","method":"status"}
+  > this line is not JSON
+  > {"difftrace-rpc":1,"id":"r8","method":"frobnicate"}
+  > {"difftrace-rpc":1,"id":"r9","method":"triage","params":{"subject":"nope"}}
+  > {"difftrace-rpc":1,"id":"r10","method":"subscribe"}
+  > {"difftrace-rpc":1,"id":"r11","method":"triage","params":{"subject":"faulty","limit":3}}
+  > {"difftrace-rpc":1,"id":"r12","method":"shutdown"}
+  > EOF
+
+  $ difftrace serve --stdio --state state < transcript | tee out-seq.jsonl
+  {"difftrace-rpc":1,"id":"r1","ok":{"method":"status","requests":1,"runs":[],"summaries":0,"hits":0,"misses":0,"store":null,"output":"requests: 1\nruns: (none)\nmemo: 0 summaries, 0 hits, 0 misses\nstore: (none)\n"}}
+  {"difftrace-rpc":1,"id":"r2","ok":{"method":"record","files":4,"traces":4,"events":128,"hung":0,"run":"normal","output":"archived 4 trace files to state/runs/normal\n"}}
+  {"difftrace-rpc":1,"id":"r3","ok":{"method":"record","files":4,"traces":4,"events":128,"hung":0,"run":"faulty","output":"archived 4 trace files to state/runs/faulty\n"}}
+  {"difftrace-rpc":1,"id":"r4","ok":{"method":"compare","bscore":1.0,"top_processes":[1,0,2,3],"top_threads":[],"suspects":[{"trace":"1","score":0.50000000000000011},{"trace":"0","score":0.16666666666666674},{"trace":"2","score":0.16666666666666674},{"trace":"3","score":0.16666666666666663}],"output":"configuration: 11.mpiall.K10 / sing.noFreq / ward\nB-score: 1.000\ntop processes: 1, 0, 2, 3\ntop threads:   \nsuspicious traces:\n  1      0.500\n  0      0.167\n  2      0.167\n  3      0.167\n=== diffNLR(1) ===\n    normal        | faulty       \n    --------------+--------------\n  = MPI_Init      | MPI_Init     \n  = MPI_Comm_rank | MPI_Comm_rank\n  = MPI_Comm_size | MPI_Comm_size\n    --------------+--------------\n  ~ L1^4          | L1^2         \n  >               | L0^2         \n    --------------+--------------\n  = MPI_Finalize  | MPI_Finalize \n    --------------+--------------\n"}}
+  {"difftrace-rpc":1,"id":"r5","ok":{"method":"status","requests":5,"runs":[{"name":"faulty","traces":4},{"name":"normal","traces":4}],"summaries":5,"hits":3,"misses":5,"store":null,"output":"requests: 5\nruns: faulty (4 traces), normal (4 traces)\nmemo: 5 summaries, 3 hits, 5 misses\nstore: (none)\n"}}
+  {"difftrace-rpc":1,"id":"r6","ok":{"method":"compare","bscore":1.0,"top_processes":[1,0,2,3],"top_threads":[],"suspects":[{"trace":"1","score":0.50000000000000011},{"trace":"0","score":0.16666666666666674},{"trace":"2","score":0.16666666666666674},{"trace":"3","score":0.16666666666666663}],"output":"configuration: 11.mpiall.K10 / sing.noFreq / ward\nB-score: 1.000\ntop processes: 1, 0, 2, 3\ntop threads:   \nsuspicious traces:\n  1      0.500\n  0      0.167\n  2      0.167\n  3      0.167\n=== diffNLR(1) ===\n    normal        | faulty       \n    --------------+--------------\n  = MPI_Init      | MPI_Init     \n  = MPI_Comm_rank | MPI_Comm_rank\n  = MPI_Comm_size | MPI_Comm_size\n    --------------+--------------\n  ~ L1^4          | L1^2         \n  >               | L0^2         \n    --------------+--------------\n  = MPI_Finalize  | MPI_Finalize \n    --------------+--------------\n"}}
+  {"difftrace-rpc":1,"id":"r7","ok":{"method":"status","requests":7,"runs":[{"name":"faulty","traces":4},{"name":"normal","traces":4}],"summaries":5,"hits":11,"misses":5,"store":null,"output":"requests: 7\nruns: faulty (4 traces), normal (4 traces)\nmemo: 5 summaries, 11 hits, 5 misses\nstore: (none)\n"}}
+  {"difftrace-rpc":1,"id":null,"error":{"kind":"invalid-request","message":"malformed JSON: bad literal true at 0"}}
+  {"difftrace-rpc":1,"id":"r8","error":{"kind":"invalid-request","message":"unknown method \"frobnicate\" (methods: record, analyze, compare, triage, status, subscribe, shutdown)"}}
+  {"difftrace-rpc":1,"id":"r9","error":{"kind":"unknown-run","message":"unknown run \"nope\" (registered: faulty, normal)"}}
+  {"difftrace-rpc":1,"id":"r10","ok":{"method":"subscribe","events":true,"output":"subscribed to events\n"}}
+  {"difftrace-rpc":1,"event":"request","id":"r11","method":"triage"}
+  {"difftrace-rpc":1,"id":"r11","ok":{"method":"triage","outliers":[{"trace":"3","score":0.27777777777777779,"truncated":false},{"trace":"2","score":0.16666666666666663,"truncated":false},{"trace":"1","score":0.16666666666666663,"truncated":false},{"trace":"0","score":0.16666666666666663,"truncated":false}],"output":"JSM outliers (most dissimilar traces of this run):\n+-------+---------------+-----------+\n| Trace | Outlier score | Truncated |\n+-------+---------------+-----------+\n| 3     | 0.278         |           |\n| 2     | 0.167         |           |\n| 1     | 0.167         |           |\n+-------+---------------+-----------+\ndendrogram:\n     [0.35]        \n   +----------+    \n[0.00]     [0.17]  \n+------+   +------+\n0      2   1      3\nSTAT-style stack tree (where is everyone now):\n(completed cleanly) [4: 0.0,1.0,2.0,3.0]\n"}}
+  {"difftrace-rpc":1,"event":"request","id":"r12","method":"shutdown"}
+  {"difftrace-rpc":1,"id":"r12","ok":{"method":"shutdown","output":"daemon stopping\n"}}
+  {"difftrace-rpc":1,"event":"shutdown"}
+
+Notes on the transcript above: r4 and r6 differ only in their id — the
+warm repeat is byte-identical — and the r5/r7 status pair shows misses
+frozen at 5 while hits climbed, i.e. the repeated compare performed
+zero fresh summarizations. The unparseable line is answered with
+"id":null; r8's id survives even though its method does not exist.
+
+The same transcript under the parallel engine is byte-identical:
+
+  $ rm -rf state
+  $ difftrace serve --stdio --state state --engine par < transcript > out-par.jsonl
+  $ cmp out-seq.jsonl out-par.jsonl
+
+A socket daemon answers `difftrace client --decode` with exactly the
+bytes the one-shot CLI prints for the same analysis:
+
+  $ difftrace serve --socket d.sock 2> serve.log &
+  $ difftrace client --socket d.sock --decode -e '{"difftrace-rpc":1,"id":"c1","method":"compare","params":{"normal":{"workload":"oddeven","np":16},"faulty":{"workload":"oddeven","np":16,"fault":"swapBug(rank=5,after=7)"}}}' > daemon.out
+  $ difftrace compare -w oddeven --np 16 -f 'swapBug(rank=5,after=7)' > oneshot.out
+  $ cmp daemon.out oneshot.out
+  $ difftrace client --socket d.sock -e '{"difftrace-rpc":1,"id":"c2","method":"shutdown"}' > /dev/null
+  $ wait
+  $ cat serve.log
+  difftrace serve: listening on d.sock (difftrace-rpc/1)
