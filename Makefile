@@ -1,6 +1,6 @@
 # Convenience targets mirroring what CI runs (.github/workflows/ci.yml).
 
-.PHONY: all build test bench bench-smoke campaign-smoke fuzz-smoke store-smoke serve-smoke fmt clean
+.PHONY: all build test bench bench-smoke campaign-smoke fuzz-smoke store-smoke sketch-smoke serve-smoke fmt clean
 
 all: build
 
@@ -28,6 +28,13 @@ campaign-smoke:
 # (CI pairs this with an actions/cache of the store directory)
 store-smoke:
 	dune exec bench/main.exe -- --store --quick
+
+# the sketch-tier smoke pass: MinHash/LSH vs. exact JSM sweep; dies
+# unless the sketch tier does <25% of exact's Jaccard evaluations at
+# the largest corpus (CI additionally asserts strictly-fewer evals at
+# every size off the JSON artifact)
+sketch-smoke:
+	dune exec bench/main.exe -- --sketch --quick --json sketch-bench-ci.json
 
 # the serve smoke pass: boot a socket daemon, run one scripted client
 # transcript (record -> analyze -> compare -> shutdown), and check the

@@ -45,16 +45,19 @@ type options = {
   perf : bool;
   engine : bool;
   store : bool;
+  sketch : bool;
   json : string option;
 }
 
 let usage oc =
   output_string oc
-    "usage: bench [--quick] [--perf | --engine | --store] [--json FILE]\n\n\
+    "usage: bench [--quick] [--perf | --engine | --store | --sketch] [--json \
+     FILE]\n\n\
     \  (no mode)    regenerate every paper table and figure\n\
     \  --perf       Bechamel micro-benchmarks only\n\
     \  --engine     engine/memo-cache benchmarks only\n\
     \  --store      cold vs. warm persistent-store benchmarks only\n\
+    \  --sketch     MinHash/LSH sketch tier vs. exact JSM sweep only\n\
     \  --quick      shrink workloads to CI scale\n\
     \  --json FILE  write metrics + telemetry to FILE (difftrace-bench/1)\n"
 
@@ -73,6 +76,7 @@ let opts =
     | "--perf" :: rest -> parse { acc with perf = true } rest
     | "--engine" :: rest -> parse { acc with engine = true } rest
     | "--store" :: rest -> parse { acc with store = true } rest
+    | "--sketch" :: rest -> parse { acc with sketch = true } rest
     | "--json" :: file :: rest when file = "" || file.[0] <> '-' ->
       parse { acc with json = Some file } rest
     | [ "--json" ] | "--json" :: _ -> die "--json requires FILE"
@@ -80,19 +84,21 @@ let opts =
   in
   let o =
     parse
-      { quick = false; perf = false; engine = false; store = false; json = None }
+      { quick = false; perf = false; engine = false; store = false;
+        sketch = false; json = None }
       (List.tl (Array.to_list Sys.argv))
   in
   if (if o.perf then 1 else 0) + (if o.engine then 1 else 0)
-     + (if o.store then 1 else 0)
+     + (if o.store then 1 else 0) + (if o.sketch then 1 else 0)
      > 1
-  then die "--perf, --engine and --store are exclusive";
+  then die "--perf, --engine, --store and --sketch are exclusive";
   o
 
 let quick = opts.quick
 let perf_only = opts.perf
 let engine_only = opts.engine
 let store_only = opts.store
+let sketch_only = opts.sketch
 
 (* named scalar metrics collected for --json; every section that
    measures something worth tracking across commits pushes here *)
@@ -438,8 +444,8 @@ let ablations () =
   let cswap = Pipeline.compare_runs (Config.make ()) ~normal ~faulty in
   let jn, jf = Jsm.align cswap.Pipeline.normal.Pipeline.jsm
                  cswap.Pipeline.faulty.Pipeline.jsm in
-  let dn = Linkage.cluster Linkage.Ward (Jsm.to_distance jn).Jsm.m in
-  let df = Linkage.cluster Linkage.Ward (Jsm.to_distance jf).Jsm.m in
+  let dn = Linkage.cluster Linkage.Ward (Jsm.rows (Jsm.to_distance jn)) in
+  let df = Linkage.cluster Linkage.Ward (Jsm.rows (Jsm.to_distance jf)) in
   List.iter
     (fun (k, bk) -> Printf.printf "  k=%-3d B_k=%.3f\n" k bk)
     (Bscore.series dn df);
@@ -835,7 +841,7 @@ let perf () =
   in
   let dist =
     let j = Jsm.of_context big_ctx in
-    (Jsm.to_distance j).Jsm.m
+    Jsm.rows (Jsm.to_distance j)
   in
   let seq_a = Array.init 600 (fun i -> (i * 37) mod 11) in
   let seq_b = Array.init 600 (fun i -> (i * 53) mod 11) in
@@ -870,7 +876,7 @@ let perf () =
         (Staged.stage (fun () -> Pipeline.analyze (Config.make ()) ts));
       Test.make ~name:"bscore.16"
         (Staged.stage (fun () ->
-             let d = Linkage.cluster Linkage.Ward (Jsm.to_distance analysis.Pipeline.jsm).Jsm.m in
+             let d = Linkage.cluster Linkage.Ward (Jsm.rows (Jsm.to_distance analysis.Pipeline.jsm)) in
              Bscore.score d d)) ]
   in
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:None () in
@@ -894,6 +900,115 @@ let perf () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* --sketch: MinHash/LSH sketch tier vs. exact JSM                     *)
+(* ------------------------------------------------------------------ *)
+
+module Sketch = Difftrace_cluster.Sketch
+
+let c_jaccard_evals = Telemetry.Counter.make "jsm.jaccard_evals"
+
+(* clustered synthetic corpus: groups of ~12 traces sharing a core
+   attribute block plus per-trace noise — the sparse-similarity shape
+   (most pairs near 0) the sketch tier is built for, and the shape real
+   fleet corpora take (a few behavior classes, many members). *)
+let sketch_context n =
+  let group_size = 12 in
+  Context.of_attr_sets
+    (List.init n (fun i ->
+         let g = i / group_size in
+         let core = List.init 20 (fun j -> Printf.sprintf "g%d.c%d" g j) in
+         let noise = List.init 6 (fun j -> Printf.sprintf "o%d.n%d" i j) in
+         (Printf.sprintf "t%d" i, core @ noise)))
+
+let sketch_bench () =
+  (* counters only move while telemetry is on; --sketch needs
+     jsm.jaccard_evals regardless of --json *)
+  if not (Telemetry.enabled ()) then Telemetry.enable ();
+  section "SK1" "MinHash/LSH sketch tier vs. exact JSM";
+  Printf.printf "k=%d hashes, %d rows/band (%d bands), LSH threshold ~%.3f\n"
+    Sketch.default_k Sketch.rows_per_band
+    (Sketch.bands_for Sketch.default_k)
+    (Sketch.threshold Sketch.default_k);
+  let sizes =
+    if quick then [ 60; 120; 240; 480 ] else [ 60; 120; 240; 480; 960; 1920 ]
+  in
+  let timed_evals f =
+    let v0 = Telemetry.Counter.value c_jaccard_evals in
+    let r, dt = time f in
+    (r, dt, Telemetry.Counter.value c_jaccard_evals - v0)
+  in
+  let crossover = ref None in
+  let last_ratio = ref 1.0 in
+  let rows =
+    List.map
+      (fun n ->
+        let ctx = sketch_context n in
+        let exact, exact_s, exact_evals =
+          timed_evals (fun () -> Jsm.compute ~init:Array.init ctx)
+        in
+        let sketch, sketch_s, sketch_evals =
+          timed_evals (fun () ->
+              let sigs = Sketch.of_context ctx in
+              let candidates = Sketch.candidates sigs in
+              Jsm.compute_sketch ~init:Array.init ~candidates ctx)
+        in
+        (* candidate pairs carry exact Jaccard values, so the sketch
+           tier's whole approximation error is the true similarity of
+           the pairs LSH pruned *)
+        let max_err = ref 0.0 in
+        for i = 0 to n - 1 do
+          for j = i + 1 to n - 1 do
+            let d = Float.abs (Jsm.get exact i j -. Jsm.get sketch i j) in
+            if d > !max_err then max_err := d
+          done
+        done;
+        if !crossover = None && sketch_s < exact_s then crossover := Some n;
+        last_ratio :=
+          float_of_int sketch_evals /. float_of_int (max 1 exact_evals);
+        metric (Printf.sprintf "sketch.n%d.exact_s" n) exact_s;
+        metric (Printf.sprintf "sketch.n%d.sketch_s" n) sketch_s;
+        metric ~unit:"evals"
+          (Printf.sprintf "sketch.n%d.exact_evals" n)
+          (float_of_int exact_evals);
+        metric ~unit:"evals"
+          (Printf.sprintf "sketch.n%d.sketch_evals" n)
+          (float_of_int sketch_evals);
+        metric ~unit:"jaccard" (Printf.sprintf "sketch.n%d.max_error" n) !max_err;
+        [ string_of_int n;
+          Printf.sprintf "%.4f" exact_s;
+          Printf.sprintf "%.4f" sketch_s;
+          string_of_int exact_evals;
+          string_of_int sketch_evals;
+          Printf.sprintf "%.1f%%" (100.0 *. !last_ratio);
+          Printf.sprintf "%.3f" !max_err ])
+      sizes
+  in
+  Difftrace_util.Texttable.print
+    ~headers:
+      [ "n"; "exact s"; "sketch s"; "exact evals"; "sketch evals"; "evals %";
+        "max |err|" ]
+    rows;
+  (match !crossover with
+  | Some n ->
+    Printf.printf "sketch faster than exact from n=%d in this sweep\n" n;
+    metric ~unit:"n" "sketch.crossover_n" (float_of_int n)
+  | None ->
+    print_endline "sketch never beat exact wall-clock in this sweep");
+  metric ~unit:"ratio" "sketch.largest.evals_ratio" !last_ratio;
+  (* acceptance bar: at the largest corpus the sketch tier must do
+     < 25% of exact's Jaccard evaluations *)
+  if !last_ratio >= 0.25 then begin
+    Printf.eprintf
+      "bench: FAIL — sketch did %.1f%% of exact's Jaccard evaluations at the \
+       largest corpus (bar: < 25%%)\n"
+      (100.0 *. !last_ratio);
+    exit 1
+  end;
+  Printf.printf
+    "largest corpus: sketch evaluated %.1f%% of exact's pairs (bar: < 25%%)\n"
+    (100.0 *. !last_ratio)
+
+(* ------------------------------------------------------------------ *)
 (* --json trajectory artifact                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -904,7 +1019,9 @@ let write_json file =
     Json.Obj
       [ ("quick", Json.Bool opts.quick);
         ("perf", Json.Bool opts.perf);
-        ("engine", Json.Bool opts.engine) ]
+        ("engine", Json.Bool opts.engine);
+        ("store", Json.Bool opts.store);
+        ("sketch", Json.Bool opts.sketch) ]
   in
   let metric_objs =
     List.rev_map
@@ -937,6 +1054,7 @@ let () =
     memo_bench ()
   end
   else if store_only then store_bench ()
+  else if sketch_only then sketch_bench ()
   else if not perf_only then begin
     table_i ();
     odd_even_walkthrough ();

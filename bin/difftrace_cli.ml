@@ -150,6 +150,33 @@ let linkage_t =
     & info [ "linkage" ] ~docv:"METHOD"
         ~doc:"Linkage: single, complete, average, weighted, centroid, median, ward.")
 
+(* --sketch routes the JSM through the MinHash/LSH tier; --exact (the
+   default) pins today's byte-identical output and wins when both are
+   given, so scripts can append --exact to force the pinned path. *)
+let mode_t =
+  let sketch =
+    Arg.(
+      value & flag
+      & info [ "sketch" ]
+          ~doc:
+            "Build the JSM through the MinHash/LSH sketch tier: only LSH \
+             candidate pairs get exact Jaccard evaluations, pruned pairs \
+             read 0.0 — near-linear instead of quadratic on corpora whose \
+             similar pairs are sparse.")
+  in
+  let exact =
+    Arg.(
+      value & flag
+      & info [ "exact" ]
+          ~doc:
+            "Evaluate every trace pair exactly (the default). Wins over \
+             $(b,--sketch), pinning byte-identical output.")
+  in
+  let combine sketch exact =
+    if sketch && not exact then Config.Sketch else Config.Exact
+  in
+  Term.(const combine $ sketch $ exact)
+
 let level_of all_images = if all_images then Tracer.All_images else Tracer.Main_image
 
 (* --- the persistent analysis store ---------------------------------- *)
@@ -263,13 +290,14 @@ let run_profiled (profile, profile_json) ?config f =
     Fun.protect ~finally:finish f
   end
 
-let config_of ~filter ~custom ~attrs ~k ~linkage ~engine =
+let config_of ~filter ~custom ~attrs ~k ~linkage ~engine ~mode =
   Config.default
   |> Config.with_filter (F.of_spec ~custom filter)
   |> Config.with_attrs (A.of_name attrs)
   |> Config.with_k k
   |> Config.with_linkage (Linkage.method_of_string linkage)
   |> Config.with_engine engine
+  |> Config.with_mode mode
 
 (* per-thread archive IO scheduled by the same engine as the analysis
    stages *)
@@ -328,11 +356,11 @@ let compare_cmd =
           ~doc:"Trace to diff (e.g. '5' or '6.4'); default: top suspect.")
   in
   let action w np seed fault all_images filter custom attrs k linkage engine
-      store diffnlr prof =
+      mode store diffnlr prof =
     if fault = Fault.No_fault then
       prerr_endline "warning: comparing a run against itself (--fault none)";
     let level = level_of all_images in
-    let config = config_of ~filter ~custom ~attrs ~k ~linkage ~engine in
+    let config = config_of ~filter ~custom ~attrs ~k ~linkage ~engine ~mode in
     run_profiled prof ~config @@ fun () ->
     let normal = run_workload w ~np ~seed ~level ~fault:Fault.No_fault in
     let faulty = run_workload w ~np ~seed ~level ~fault in
@@ -354,7 +382,7 @@ let compare_cmd =
   Cmd.v (Cmd.info "compare" ~doc)
     Term.(const action $ workload_t $ np_t $ seed_t $ fault_t $ all_images_t
           $ filter_t $ custom_t $ attrs_t $ k_t $ linkage_t $ engine_t
-          $ store_flags_t $ diffnlr_t $ profile_t)
+          $ mode_t $ store_flags_t $ diffnlr_t $ profile_t)
 
 (* --- table --------------------------------------------------------- *)
 
@@ -466,9 +494,9 @@ let analyze_cmd =
              cleanly-decoding prefix of each corrupt trace (marked \
              truncated) instead of refusing the whole run.")
   in
-  let action normal_dir faulty_dir filter custom attrs k linkage engine store
-      salvage diffnlr prof =
-    let config = config_of ~filter ~custom ~attrs ~k ~linkage ~engine in
+  let action normal_dir faulty_dir filter custom attrs k linkage engine mode
+      store salvage diffnlr prof =
+    let config = config_of ~filter ~custom ~attrs ~k ~linkage ~engine ~mode in
     run_profiled prof ~config @@ fun () ->
     let store = open_store (store_of store) in
     let ses = Session.create ?store () in
@@ -493,8 +521,8 @@ let analyze_cmd =
   in
   Cmd.v (Cmd.info "analyze" ~doc)
     Term.(const action $ normal_t $ faulty_t $ filter_t $ custom_t $ attrs_t
-          $ k_t $ linkage_t $ engine_t $ store_flags_t $ salvage_t $ diffnlr_t
-          $ profile_t)
+          $ k_t $ linkage_t $ engine_t $ mode_t $ store_flags_t $ salvage_t
+          $ diffnlr_t $ profile_t)
 
 (* --- archive: integrity tooling ------------------------------------- *)
 
@@ -564,8 +592,8 @@ let triage_cmd =
      the least-progressed threads — no reference execution needed."
   in
   let action w np seed fault all_images filter custom attrs k linkage engine
-      store prof =
-    let config = config_of ~filter ~custom ~attrs ~k ~linkage ~engine in
+      mode store prof =
+    let config = config_of ~filter ~custom ~attrs ~k ~linkage ~engine ~mode in
     run_profiled prof ~config @@ fun () ->
     let outcome = run_workload w ~np ~seed ~level:(level_of all_images) ~fault in
     let store = open_store (store_of store) in
@@ -584,7 +612,7 @@ let triage_cmd =
   Cmd.v (Cmd.info "triage" ~doc)
     Term.(const action $ workload_t $ np_t $ seed_t $ fault_t $ all_images_t
           $ filter_t $ custom_t $ attrs_t $ k_t $ linkage_t $ engine_t
-          $ store_flags_t $ profile_t)
+          $ mode_t $ store_flags_t $ profile_t)
 
 (* --- export (OTF2-style archive) ------------------------------------ *)
 
@@ -765,13 +793,13 @@ let campaign_cmd =
        resumes from the manifest."
     in
     let action dir kind np faults nseeds max_steps filter custom attrs k
-        linkage engine store prof =
+        linkage engine mode store prof =
       if faults = [] then begin
         prerr_endline
           "difftrace: campaign run needs at least one --fault (repeatable)";
         exit 2
       end;
-      let config = config_of ~filter ~custom ~attrs ~k ~linkage ~engine in
+      let config = config_of ~filter ~custom ~attrs ~k ~linkage ~engine ~mode in
       run_profiled prof ~config @@ fun () ->
       (* campaigns persist analysis by default, beside their archives;
          a resumed campaign re-adopts the store like everything else *)
@@ -806,7 +834,7 @@ let campaign_cmd =
     Cmd.v (Cmd.info "run" ~doc)
       Term.(const action $ dir_t $ kind_t $ np_t $ faults_t $ nseeds_t
             $ max_steps_t $ filter_t $ custom_t $ attrs_t $ k_t $ linkage_t
-            $ engine_t $ store_flags_t $ profile_t)
+            $ engine_t $ mode_t $ store_flags_t $ profile_t)
   in
   let status_cmd =
     let doc =
@@ -835,8 +863,9 @@ let campaign_cmd =
               "Also re-load the best-ranked cell's archives and print the \
                diffNLR of its top suspect against the reference run.")
     in
-    let action dir diffnlr filter custom attrs k linkage engine store prof =
-      let config = config_of ~filter ~custom ~attrs ~k ~linkage ~engine in
+    let action dir diffnlr filter custom attrs k linkage engine mode store
+        prof =
+      let config = config_of ~filter ~custom ~attrs ~k ~linkage ~engine ~mode in
       run_profiled prof ~config @@ fun () ->
       match C.status ~dir with
       | Error e ->
@@ -857,7 +886,8 @@ let campaign_cmd =
     in
     Cmd.v (Cmd.info "report" ~doc)
       Term.(const action $ dir_t $ diffnlr_t $ filter_t $ custom_t $ attrs_t
-            $ k_t $ linkage_t $ engine_t $ store_flags_t $ profile_t)
+            $ k_t $ linkage_t $ engine_t $ mode_t $ store_flags_t
+            $ profile_t)
   in
   let doc =
     "Fault campaigns: run a declarative fault x scheduler-seed matrix with \
@@ -909,18 +939,26 @@ let store_cmd =
         & info [ "keep-matrices" ] ~docv:"N"
             ~doc:"Keep at most $(docv) newest JSM matrices.")
     in
-    let action dir keep_summaries keep_matrices =
+    let keep_signatures_t =
+      Arg.(
+        value
+        & opt int 4096
+        & info [ "keep-signatures" ] ~docv:"N"
+            ~doc:"Keep at most $(docv) newest MinHash signatures.")
+    in
+    let action dir keep_summaries keep_matrices keep_signatures =
       let st = load_or_exit dir in
-      let s, m = Store.gc ~keep_summaries ~keep_matrices st in
+      let s, m, g = Store.gc ~keep_summaries ~keep_matrices ~keep_signatures st in
       (match Store.flush st with
       | Ok () -> ()
       | Error e ->
         Printf.eprintf "difftrace: %s\n" (Store.error_to_string e);
         exit 1);
-      Printf.printf "evicted %d summaries, %d matrices\n" s m
+      Printf.printf "evicted %d summaries, %d matrices, %d signatures\n" s m g
     in
     Cmd.v (Cmd.info "gc" ~doc)
-      Term.(const action $ dir_t $ keep_summaries_t $ keep_matrices_t)
+      Term.(const action $ dir_t $ keep_summaries_t $ keep_matrices_t
+            $ keep_signatures_t)
   in
   let verify_cmd =
     let doc =

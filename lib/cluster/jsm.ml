@@ -1,12 +1,15 @@
 open Difftrace_fca
 module Telemetry = Difftrace_obs.Telemetry
+module Symmat = Difftrace_util.Symmat
+module Bitset = Difftrace_util.Bitset
 
 (* one count per similarity cell; bumped once per row so the counter
    stays off the innermost loop. The row function may run on any
    engine domain — the atomic add keeps the total deterministic.
    [jsm.cells] counts matrix cells filled (n², stable across commits);
-   [jsm.jaccard_evals] counts actual Jaccard evaluations, which the
-   symmetry optimization below halves to n(n+1)/2. *)
+   [jsm.jaccard_evals] counts actual Jaccard evaluations: n(n+1)/2 for
+   an exact matrix (symmetry halves the work), and only the LSH
+   candidate pairs for a sketch matrix. *)
 let c_cells = Telemetry.Counter.make "jsm.cells"
 let c_evals = Telemetry.Counter.make "jsm.jaccard_evals"
 
@@ -14,30 +17,47 @@ let c_evals = Telemetry.Counter.make "jsm.jaccard_evals"
    the cached base matrix — zero Jaccard evaluations *)
 let c_rows_reused = Telemetry.Counter.make "jsm.rows_reused"
 
-type t = { labels : string array; m : float array array }
+(* The matrix is symmetric, so only the packed upper triangle is
+   stored — n(n+1)/2 cells instead of the former dense n² mirror —
+   and structural equality on [t] is matrix equality. *)
+type t = { labels : string array; m : Symmat.t }
+
+let get t i j = Symmat.get t.m i j
+let rows t = Symmat.to_rows t.m
+
+let of_dense ~labels rows =
+  let n = Array.length labels in
+  if Array.length rows <> n then
+    invalid_arg
+      (Printf.sprintf "Jsm.of_dense: %d labels but %d rows" n
+         (Array.length rows));
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> n then
+        invalid_arg
+          (Printf.sprintf
+             "Jsm.of_dense: row %d (label %S) has %d columns, expected %d" i
+             labels.(i) (Array.length row) n))
+    rows;
+  { labels; m = Symmat.init n (fun i j -> rows.(i).(j)) }
 
 let compute ~init ctx =
   let n = Context.n_objects ctx in
   let labels = Array.init n (Context.object_label ctx) in
   (* Jaccard is symmetric, so each row evaluates only its upper
-     triangle (j >= i); the strict lower triangle is mirrored from the
-     transposed cell afterwards. Rows stay independent, so any
+     triangle (j >= i) — a ragged row of n-i cells that packs straight
+     into the Symmat. Rows stay independent, so any
      [Array.init]-contract engine initializer schedules them freely. *)
   let m =
     init n (fun i ->
         let row =
-          Array.init n (fun j -> if j < i then 0.0 else Context.jaccard ctx i j)
+          Array.init (n - i) (fun d -> Context.jaccard ctx i (i + d))
         in
         Telemetry.Counter.add c_cells n;
         Telemetry.Counter.add c_evals (n - i);
         row)
   in
-  for i = 1 to n - 1 do
-    for j = 0 to i - 1 do
-      m.(i).(j) <- m.(j).(i)
-    done
-  done;
-  { labels; m }
+  { labels; m = Symmat.of_upper_rows ~n m }
 
 let of_context ctx = compute ~init:Array.init ctx
 
@@ -50,47 +70,29 @@ let index_table labels =
   Array.iteri (fun i l -> if not (Hashtbl.mem tbl l) then Hashtbl.add tbl l i) labels;
   tbl
 
-(* A partially-failed campaign cell hands [align] matrices whose label
-   sets differ and whose rows may be ragged (a row dropped mid-write).
-   Both used to escape as an uncaught [Not_found] (from a raw
-   [Hashtbl.find]) or a bare out-of-bounds — diagnose them instead:
-   shape problems raise a descriptive [Invalid_argument] up front, and
-   any label that fails to resolve is named in the error. *)
+(* The packed representation makes ragged rows unrepresentable (they
+   used to reach [align] from partially-failed campaign cells via
+   hand-assembled dense matrices — that hole is now closed at
+   construction time by [of_dense]); what can still go wrong is a
+   label array whose length disagrees with the matrix dimension. *)
 let check_shape side t =
   let n = Array.length t.labels in
-  if Array.length t.m <> n then
+  if Symmat.dim t.m <> n then
     invalid_arg
       (Printf.sprintf "Jsm.align: %s matrix has %d labels but %d rows" side n
-         (Array.length t.m));
-  Array.iteri
-    (fun i row ->
-      if Array.length row <> n then
-        invalid_arg
-          (Printf.sprintf
-             "Jsm.align: %s matrix row %d (label %S) has %d columns, expected %d"
-             side i t.labels.(i) (Array.length row) n))
-    t.m
+         (Symmat.dim t.m))
 
-(* Incrementally extend a cached matrix to a grown corpus. The
-   contract with [compute] is bit-for-bit equality: every cell whose
-   two objects are vouched for by the caller ([fresh.(i) = false]) is
-   mirrored from [base], every other upper-triangle cell is evaluated,
-   and the strict lower triangle is mirrored from the transposed cell
-   exactly as [compute] does. Mirroring is sound because a Jaccard
-   value depends only on the two objects' attribute sets: when those
-   are unchanged (the caller's burden, discharged by the analysis
-   store's per-object attribute digests), the cached float is the very
-   value [Context.jaccard] would recompute. *)
-let extend ~init ~base ~fresh ctx =
+(* ctx index -> base index for [extend]: -1 marks objects that must be
+   evaluated, everything else must resolve into [base]. *)
+let base_map ~op ~base ~fresh ctx =
   let n = Context.n_objects ctx in
   if Array.length fresh <> n then
     invalid_arg
-      (Printf.sprintf "Jsm.extend: %d fresh flags for %d objects"
+      (Printf.sprintf "Jsm.%s: %d fresh flags for %d objects" op
          (Array.length fresh) n);
   check_shape "base" base;
   let labels = Array.init n (Context.object_label ctx) in
   let base_index = index_table base.labels in
-  (* ctx index -> base index, -1 for objects that must be evaluated *)
   let bmap =
     Array.mapi
       (fun i l ->
@@ -101,37 +103,117 @@ let extend ~init ~base ~fresh ctx =
           | None ->
             invalid_arg
               (Printf.sprintf
-                 "Jsm.extend: label %S is not fresh but missing from the base \
+                 "Jsm.%s: label %S is not fresh but missing from the base \
                   matrix"
-                 l))
+                 op l))
       labels
   in
+  (labels, bmap)
+
+(* Incrementally extend a cached matrix to a grown corpus. The
+   contract with [compute] is bit-for-bit equality: every cell whose
+   two objects are vouched for by the caller ([fresh.(i) = false]) is
+   mirrored from [base], every other upper-triangle cell is evaluated.
+   Mirroring is sound because a Jaccard value depends only on the two
+   objects' attribute sets: when those are unchanged (the caller's
+   burden, discharged by the analysis store's per-object attribute
+   digests), the cached float is the very value [Context.jaccard]
+   would recompute. *)
+let extend ~init ~base ~fresh ctx =
+  let n = Context.n_objects ctx in
+  let labels, bmap = base_map ~op:"extend" ~base ~fresh ctx in
   let m =
     init n (fun i ->
         let evals = ref 0 in
         let bi = bmap.(i) in
         let row =
-          Array.init n (fun j ->
-              if j < i then 0.0
-              else
-                let bj = bmap.(j) in
-                if bi >= 0 && bj >= 0 then base.m.(bi).(bj)
-                else begin
-                  incr evals;
-                  Context.jaccard ctx i j
-                end)
+          Array.init (n - i) (fun d ->
+              let j = i + d in
+              let bj = bmap.(j) in
+              if bi >= 0 && bj >= 0 then Symmat.get base.m bi bj
+              else begin
+                incr evals;
+                Context.jaccard ctx i j
+              end)
         in
         Telemetry.Counter.add c_cells n;
         Telemetry.Counter.add c_evals !evals;
         if !evals = 0 then Telemetry.Counter.incr c_rows_reused;
         row)
   in
-  for i = 1 to n - 1 do
-    for j = 0 to i - 1 do
-      m.(i).(j) <- m.(j).(i)
-    done
-  done;
-  { labels; m }
+  { labels; m = Symmat.of_upper_rows ~n m }
+
+let check_candidates op candidates n =
+  if Array.length candidates <> n then
+    invalid_arg
+      (Printf.sprintf "Jsm.%s: %d candidate rows for %d objects" op
+         (Array.length candidates) n)
+
+(* Sketch-mode [compute]: exact Jaccard inside LSH candidate pairs,
+   0.0 everywhere else, 1.0 on the diagonal without an evaluation.
+   The matrix is a pure function of the context and the adjacency, so
+   it is deterministic across engines, and [jsm.jaccard_evals] counts
+   only the candidate evaluations — the number the sketch bench and
+   the CI sketch-smoke assert on. *)
+let compute_sketch ~init ~candidates ctx =
+  let n = Context.n_objects ctx in
+  check_candidates "compute_sketch" candidates n;
+  let labels = Array.init n (Context.object_label ctx) in
+  let m =
+    init n (fun i ->
+        let evals = ref 0 in
+        let cand = candidates.(i) in
+        let row =
+          Array.init (n - i) (fun d ->
+              if d = 0 then 1.0
+              else
+                let j = i + d in
+                if Bitset.mem cand j then begin
+                  incr evals;
+                  Context.jaccard ctx i j
+                end
+                else 0.0)
+        in
+        Telemetry.Counter.add c_cells n;
+        Telemetry.Counter.add c_evals !evals;
+        row)
+  in
+  { labels; m = Symmat.of_upper_rows ~n m }
+
+(* Sketch-mode [extend]. Bit-identical to [compute_sketch] over the
+   same signatures because candidacy is pairwise: whether (i, j) is a
+   candidate depends only on the two signatures, and a non-fresh
+   object's signature is unchanged (same attribute set, vouched by its
+   digest), so a mirrored base cell — candidate or pruned — is exactly
+   what recomputation would produce. *)
+let extend_sketch ~init ~base ~fresh ~candidates ctx =
+  let n = Context.n_objects ctx in
+  check_candidates "extend_sketch" candidates n;
+  let labels, bmap = base_map ~op:"extend_sketch" ~base ~fresh ctx in
+  let m =
+    init n (fun i ->
+        let evals = ref 0 in
+        let bi = bmap.(i) in
+        let cand = candidates.(i) in
+        let row =
+          Array.init (n - i) (fun d ->
+              if d = 0 then 1.0
+              else
+                let j = i + d in
+                let bj = bmap.(j) in
+                if bi >= 0 && bj >= 0 then Symmat.get base.m bi bj
+                else if Bitset.mem cand j then begin
+                  incr evals;
+                  Context.jaccard ctx i j
+                end
+                else 0.0)
+        in
+        Telemetry.Counter.add c_cells n;
+        Telemetry.Counter.add c_evals !evals;
+        if !evals = 0 then Telemetry.Counter.incr c_rows_reused;
+        row)
+  in
+  { labels; m = Symmat.of_upper_rows ~n m }
 
 let align a b =
   check_shape "first" a;
@@ -152,27 +234,21 @@ let align a b =
   let ai = Array.map (fun l -> resolve "first" a_index l) labels in
   let bi = Array.map (fun l -> resolve "second" b_index l) labels in
   let pick src idx =
-    Array.init n (fun i -> Array.init n (fun j -> src.(idx.(i)).(idx.(j))))
+    Symmat.init n (fun i j -> Symmat.get src idx.(i) idx.(j))
   in
   ({ labels; m = pick a.m ai }, { labels; m = pick b.m bi })
 
 let diff a b =
   let a', b' = align a b in
-  let n = Array.length a'.labels in
-  let m =
-    Array.init n (fun i ->
-        Array.init n (fun j -> Float.abs (b'.m.(i).(j) -. a'.m.(i).(j))))
-  in
-  { labels = a'.labels; m }
+  { labels = a'.labels;
+    m = Symmat.map2 (fun x y -> Float.abs (y -. x)) a'.m b'.m }
 
 (* an aligned diff of two runs sharing no labels is a legal 0-trace
    matrix; scoring and rendering it must degrade, not raise *)
-let row_change t i =
-  if Array.length t.m = 0 then 0.0 else Array.fold_left ( +. ) 0.0 t.m.(i)
+let row_change t i = if Symmat.dim t.m = 0 then 0.0 else Symmat.row_sum t.m i
 
-let to_distance t =
-  { t with m = Array.map (Array.map (fun s -> 1.0 -. s)) t.m }
+let to_distance t = { t with m = Symmat.map (fun s -> 1.0 -. s) t.m }
 
 let heatmap t =
   if Array.length t.labels = 0 then "(no traces)\n"
-  else Difftrace_util.Texttable.heatmap ~labels:t.labels t.m
+  else Difftrace_util.Texttable.heatmap ~labels:t.labels (rows t)

@@ -3,20 +3,39 @@
     JSM[i][j] is the Jaccard similarity of traces i and j's attribute
     sets; JSM_D = |JSM_faulty − JSM_normal| is the paper's "diff of
     diffs" that isolates what the fault changed. Matrices carry their
-    trace labels so that two runs are aligned by label, not position. *)
+    trace labels so that two runs are aligned by label, not position.
 
-type t = { labels : string array; m : float array array }
+    Matrices are symmetric and stored packed — the upper triangle
+    only, n(n+1)/2 cells ({!Difftrace_util.Symmat}) — so structural
+    equality on [t] is matrix equality and memory halves at fleet
+    scale. Use {!get} for cells and {!rows} for a dense mirror. *)
+
+type t = { labels : string array; m : Difftrace_util.Symmat.t }
+
+(** [get t i j] — cell (i, j) (= (j, i)). *)
+val get : t -> int -> int -> float
+
+(** [rows t] — a fresh dense mirror of the matrix, for consumers that
+    want plain [float array array] (clustering, heatmaps). *)
+val rows : t -> float array array
+
+(** [of_dense ~labels rows] packs a dense square matrix (the upper
+    triangle is kept; a symmetric input round-trips through {!rows}
+    exactly). Raises [Invalid_argument] when [rows] is ragged or its
+    dimension disagrees with [labels] — the validation that used to
+    live in [align] now happens at construction. *)
+val of_dense : labels:string array -> float array array -> t
 
 (** [compute ~init ctx] — pairwise Jaccard over the context's objects,
     with row construction delegated to [init] (same contract as
-    [Array.init]). Rows are independent, so passing a parallel
-    initializer — e.g. the core library's [Engine.init engine] —
-    computes the matrix on several domains; because each row lands in
-    its own slot the result is identical whatever the schedule.
-    [Context.jaccard] only reads the context, so rows may be built
-    concurrently. Jaccard similarity is symmetric, so each row only
-    evaluates its upper triangle and the rest is mirrored afterwards —
-    half the evaluation work, same matrix bit for bit. *)
+    [Array.init]; each row [i] is its n-i upper-triangle cells).
+    Rows are independent, so passing a parallel initializer — e.g. the
+    core library's [Engine.init engine] — computes the matrix on
+    several domains; because each row lands in its own slot the result
+    is identical whatever the schedule. [Context.jaccard] only reads
+    the context, so rows may be built concurrently. Jaccard similarity
+    is symmetric, so only the upper triangle is ever evaluated — half
+    the work, and the packed storage keeps exactly those cells. *)
 val compute :
   init:(int -> (int -> float array) -> float array array) ->
   Difftrace_fca.Context.t ->
@@ -40,11 +59,41 @@ val of_context : Difftrace_fca.Context.t -> t
     over [init] just like [compute]; rows needing zero evaluations are
     counted by the [jsm.rows_reused] telemetry counter.
     Raises [Invalid_argument] when [fresh] has the wrong length, when a
-    non-fresh label is missing from [base], or when [base] is ragged. *)
+    non-fresh label is missing from [base], or when [base]'s labels
+    disagree with its dimension. *)
 val extend :
   init:(int -> (int -> float array) -> float array array) ->
   base:t ->
   fresh:bool array ->
+  Difftrace_fca.Context.t ->
+  t
+
+(** [compute_sketch ~init ~candidates ctx] — the sketch tier's
+    {!compute}: exact Jaccard for every LSH candidate pair
+    ([candidates] as produced by {!Sketch.candidates}), 0.0 for pruned
+    pairs, 1.0 on the diagonal with no evaluation. On a corpus whose
+    similar pairs are sparse this is near-linear: [jsm.jaccard_evals]
+    counts only the candidate evaluations. The result is a pure
+    function of [ctx] and [candidates] — deterministic across engines.
+    Raises [Invalid_argument] when [candidates] has the wrong length. *)
+val compute_sketch :
+  init:(int -> (int -> float array) -> float array array) ->
+  candidates:Difftrace_util.Bitset.t array ->
+  Difftrace_fca.Context.t ->
+  t
+
+(** [extend_sketch ~init ~base ~fresh ~candidates ctx] — incremental
+    {!compute_sketch}, bit-for-bit identical to it over the same
+    signatures: candidacy is a pairwise predicate of two signatures,
+    and a non-fresh object's signature is unchanged (same attribute
+    set, vouched by its digest), so cells between two non-fresh
+    objects — computed or pruned alike — mirror from [base] exactly.
+    Raises like {!extend} plus {!compute_sketch}. *)
+val extend_sketch :
+  init:(int -> (int -> float array) -> float array array) ->
+  base:t ->
+  fresh:bool array ->
+  candidates:Difftrace_util.Bitset.t array ->
   Difftrace_fca.Context.t ->
   t
 
@@ -62,7 +111,7 @@ val align : t -> t -> t * t
     reported separately by the pipeline. *)
 val diff : t -> t -> t
 
-(** [row_change t i] = Σ_j t.m[i][j] — how much trace [i]'s similarity
+(** [row_change t i] = Σ_j t[i][j] — how much trace [i]'s similarity
     relation changed; the per-trace suspicion score. 0 on a 0-trace
     matrix (two runs sharing no labels diff to one). *)
 val row_change : t -> int -> float

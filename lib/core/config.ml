@@ -1,3 +1,17 @@
+(* Exact mode is the pinned default: every byte of today's reports.
+   Sketch mode swaps the JSM construction for the MinHash/LSH tier —
+   same pipeline, candidate-pruned matrix. *)
+type mode = Exact | Sketch
+
+let mode_name = function Exact -> "exact" | Sketch -> "sketch"
+
+let mode_of_string = function
+  | "exact" -> Exact
+  | "sketch" -> Sketch
+  | s ->
+    invalid_arg
+      (Printf.sprintf "unknown similarity mode %S (expected exact or sketch)" s)
+
 type t = {
   filter : Difftrace_filter.Filter.t;
   attrs : Difftrace_fca.Attributes.spec;
@@ -5,10 +19,11 @@ type t = {
   repeats : int;
   linkage : Difftrace_cluster.Linkage.method_;
   engine : Engine.t;
+  mode : mode;
 }
 
 let make ?filter ?attrs ?(k = 10) ?(repeats = 2) ?linkage
-    ?(engine = Engine.Sequential) () =
+    ?(engine = Engine.Sequential) ?(mode = Exact) () =
   { filter =
       (match filter with
       | Some f -> f
@@ -23,7 +38,8 @@ let make ?filter ?attrs ?(k = 10) ?(repeats = 2) ?linkage
     repeats;
     linkage =
       (match linkage with Some l -> l | None -> Difftrace_cluster.Linkage.Ward);
-    engine }
+    engine;
+    mode }
 
 let default = make ()
 
@@ -33,34 +49,48 @@ let with_k k t = { t with k }
 let with_repeats repeats t = { t with repeats }
 let with_linkage linkage t = { t with linkage }
 let with_engine engine t = { t with engine }
+let with_mode mode t = { t with mode }
 
 let filter_name t =
   Printf.sprintf "%s.K%d" (Difftrace_filter.Filter.name t.filter) t.k
 
 let attrs_name t = Difftrace_fca.Attributes.name t.attrs
 
+(* Exact mode renders exactly as before — its name is pinned all over
+   the cram transcripts; only sketch mode announces itself. *)
 let name t =
-  Printf.sprintf "%s / %s / %s" (filter_name t) (attrs_name t)
+  Printf.sprintf "%s / %s / %s%s" (filter_name t) (attrs_name t)
     (Difftrace_cluster.Linkage.method_name t.linkage)
+    (match t.mode with Exact -> "" | Sketch -> " [sketch]")
 
 (* The store's JSM namespace key: everything that shapes attribute
    sets — filter, attrs, K, repeats — and nothing cosmetic (linkage
    reclusters a finished matrix; the engine never changes results).
-   Safety does not ride on this digest: reuse is gated per object by
-   attribute-set digests, so a collision here merely files two
-   configurations' matrices in one namespace. *)
+   Sketch mode appends a marker because a sketch matrix holds 0.0 for
+   pruned pairs — a different object from the exact matrix — while
+   exact mode keeps the historical digest so existing warm stores stay
+   valid. Safety does not ride on this digest: reuse is gated per
+   object by attribute-set digests, so a collision here merely files
+   two configurations' matrices in one namespace. *)
 let digest t =
   Digest.string
-    (Printf.sprintf "%s\x00%s\x00%d\x00%d" (filter_name t) (attrs_name t) t.k
-       t.repeats)
+    (Printf.sprintf "%s\x00%s\x00%d\x00%d%s" (filter_name t) (attrs_name t)
+       t.k t.repeats
+       (match t.mode with Exact -> "" | Sketch -> "\x00sketch"))
 
 let to_json t =
   let module Json = Difftrace_obs.Telemetry.Json in
   Json.Obj
-    [ ("filter", Json.String (Difftrace_filter.Filter.name t.filter));
-      ("attrs", Json.String (attrs_name t));
-      ("k", Json.Int t.k);
-      ("repeats", Json.Int t.repeats);
-      ( "linkage",
-        Json.String (Difftrace_cluster.Linkage.method_name t.linkage) );
-      ("engine", Json.String (Engine.to_string t.engine)) ]
+    ([ ("filter", Json.String (Difftrace_filter.Filter.name t.filter));
+       ("attrs", Json.String (attrs_name t));
+       ("k", Json.Int t.k);
+       ("repeats", Json.Int t.repeats);
+       ( "linkage",
+         Json.String (Difftrace_cluster.Linkage.method_name t.linkage) );
+       ("engine", Json.String (Engine.to_string t.engine)) ]
+    @
+    (* emitted only in sketch mode so exact-mode profile JSON keeps its
+       historical fields *)
+    match t.mode with
+    | Exact -> []
+    | Sketch -> [ ("mode", Json.String (mode_name t.mode)) ])

@@ -6,6 +6,20 @@
     changes analysis results (see {!Engine}), so it is not part of the
     configuration's {!name}. *)
 
+(** How the JSM is built. [Exact] (the default) evaluates every pair
+    and pins today's byte-identical output; [Sketch] routes through
+    the MinHash/LSH tier ({!Difftrace_cluster.Sketch}): only LSH
+    candidate pairs are evaluated exactly, pruned pairs read 0.0 —
+    near-linear instead of quadratic on sparse-similarity corpora. *)
+type mode = Exact | Sketch
+
+(** ["exact"] / ["sketch"]. *)
+val mode_name : mode -> string
+
+(** Inverse of {!mode_name}; raises [Invalid_argument] (with the
+    offending string named) on anything else. *)
+val mode_of_string : string -> mode
+
 type t = {
   filter : Difftrace_filter.Filter.t;
   attrs : Difftrace_fca.Attributes.spec;
@@ -13,11 +27,12 @@ type t = {
   repeats : int;      (** NLR loop-creation threshold *)
   linkage : Difftrace_cluster.Linkage.method_;
   engine : Engine.t;  (** execution engine for the hot stages *)
+  mode : mode;        (** exact or sketch JSM construction *)
 }
 
-(** [make ?filter ?attrs ?k ?repeats ?linkage ?engine ()] — defaults:
-    MPI-all filter, single/noFreq attributes, K=10, repeats=2, ward,
-    sequential engine. *)
+(** [make ?filter ?attrs ?k ?repeats ?linkage ?engine ?mode ()] —
+    defaults: MPI-all filter, single/noFreq attributes, K=10,
+    repeats=2, ward, sequential engine, exact mode. *)
 val make :
   ?filter:Difftrace_filter.Filter.t ->
   ?attrs:Difftrace_fca.Attributes.spec ->
@@ -25,6 +40,7 @@ val make :
   ?repeats:int ->
   ?linkage:Difftrace_cluster.Linkage.method_ ->
   ?engine:Engine.t ->
+  ?mode:mode ->
   unit ->
   t
 
@@ -44,6 +60,7 @@ val with_k : int -> t -> t
 val with_repeats : int -> t -> t
 val with_linkage : Difftrace_cluster.Linkage.method_ -> t -> t
 val with_engine : Engine.t -> t -> t
+val with_mode : mode -> t -> t
 
 (** [filter_name t] — e.g. ["11.mpiall.cust.K10"] (the paper's filter
     column, K folded in). *)
@@ -52,18 +69,23 @@ val filter_name : t -> string
 (** [attrs_name t] — e.g. ["sing.noFreq"]. *)
 val attrs_name : t -> string
 
-(** [name t] — full label including the linkage. *)
+(** [name t] — full label including the linkage; sketch mode appends
+    [" [sketch]"], exact mode renders exactly as it always has. *)
 val name : t -> string
 
 (** [digest t] — 16 raw bytes identifying the analysis-shaping part of
-    the configuration (filter, attrs, K, repeats; {e not} linkage or
-    engine, which never change attribute sets). The analysis store
-    namespaces cached JSM matrices by this digest. Correctness of JSM
-    reuse rests on per-object attribute digests, not on this partition
-    key — a collision costs lookup efficiency, never wrong results. *)
+    the configuration (filter, attrs, K, repeats, and the sketch/exact
+    mode; {e not} linkage or engine, which never change attribute
+    sets). The analysis store namespaces cached JSM matrices by this
+    digest; sketch matrices get their own namespace because pruned
+    cells hold 0.0, while exact mode keeps the historical digest so
+    existing stores stay warm. Correctness of JSM reuse rests on
+    per-object attribute digests, not on this partition key — a
+    collision costs lookup efficiency, never wrong results. *)
 val digest : t -> string
 
 (** The configuration as a JSON object (filter/attrs/k/repeats/linkage
-    by name plus the engine) — embedded in [--profile-json] reports and
-    bench artifacts so a recorded run names its parameters. *)
+    by name plus the engine, plus ["mode"] when it is not the exact
+    default) — embedded in [--profile-json] reports and bench
+    artifacts so a recorded run names its parameters. *)
 val to_json : t -> Difftrace_obs.Telemetry.Json.t

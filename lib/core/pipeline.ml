@@ -144,7 +144,17 @@ let analyze ?symtab ?loop_table ?memo ?store (config : Config.t) ts =
       (Span.with_ "jsm" @@ fun () ->
        match store with
        | Some st -> Store.jsm st ~config ~init:(Engine.init engine) context
-       | None -> Jsm.compute ~init:(Engine.init engine) context) }
+       | None -> (
+         match config.Config.mode with
+         | Config.Exact -> Jsm.compute ~init:(Engine.init engine) context
+         | Config.Sketch ->
+           (* storeless sketch: signatures are rebuilt each run; the
+              candidate adjacency is a pure function of them, so the
+              matrix is still deterministic across engines *)
+           let sigs = Difftrace_cluster.Sketch.of_context context in
+           Jsm.compute_sketch ~init:(Engine.init engine)
+             ~candidates:(Difftrace_cluster.Sketch.candidates sigs)
+             context)) }
 
 let index_of labels label =
   let found = ref None in
@@ -185,8 +195,8 @@ let compare_runs ?memo ?store (config : Config.t) ~normal ~faulty =
     if Jsm.size jsm_d < 2 then 1.0
     else
       let meth = config.Config.linkage in
-      let dn = Linkage.cluster meth (Jsm.to_distance jn).Jsm.m in
-      let df = Linkage.cluster meth (Jsm.to_distance jf).Jsm.m in
+      let dn = Linkage.cluster meth (Jsm.rows (Jsm.to_distance jn)) in
+      let df = Linkage.cluster meth (Jsm.rows (Jsm.to_distance jf)) in
       Bscore.score dn df
   in
   let suspects =
@@ -255,7 +265,7 @@ let triage analysis =
       (fun i label ->
         let sum = ref 0.0 in
         for k = 0 to n - 1 do
-          if k <> i then sum := !sum +. j.Jsm.m.(i).(k)
+          if k <> i then sum := !sum +. Jsm.get j i k
         done;
         let mean = if n <= 1 then 1.0 else !sum /. float_of_int (n - 1) in
         { tr_label = label;
@@ -281,7 +291,7 @@ let render_triage entries =
              (if e.tr_truncated then "yes" else "") ]))
 
 let dendrogram analysis =
-  let dist = (Jsm.to_distance analysis.jsm).Jsm.m in
+  let dist = Jsm.rows (Jsm.to_distance analysis.jsm) in
   if Array.length dist < 2 then "(fewer than two traces)\n"
   else
     let t = Linkage.cluster analysis.config.Config.linkage dist in

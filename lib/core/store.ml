@@ -1,8 +1,10 @@
 module Nlr = Difftrace_nlr.Nlr
 module Context = Difftrace_fca.Context
 module Jsm = Difftrace_cluster.Jsm
+module Sketch = Difftrace_cluster.Sketch
 module Telemetry = Difftrace_obs.Telemetry
 module Crc32 = Difftrace_util.Crc32
+module Symmat = Difftrace_util.Symmat
 module Varint = Difftrace_util.Varint
 
 let c_hits = Telemetry.Counter.make "store.hits"
@@ -10,9 +12,15 @@ let c_misses = Telemetry.Counter.make "store.misses"
 let c_evictions = Telemetry.Counter.make "store.evictions"
 let c_crc_fail = Telemetry.Counter.make "store.crc_fail"
 
+(* per-object MinHash signature lookups; these move only in sketch
+   mode, so a warm exact run's counter table is unchanged *)
+let c_sig_hits = Telemetry.Counter.make "store.sig_hits"
+let c_sig_misses = Telemetry.Counter.make "store.sig_misses"
+
 (* retention caps applied by [flush]; [gc] takes explicit ones *)
 let default_keep_summaries = 4096
 let default_keep_matrices = 64
+let default_keep_signatures = 4096
 
 let magic = "difftrace-store 1\n"
 let store_file = "analysis.store"
@@ -30,8 +38,14 @@ type matrix_entry = {
   stamp : int;
   labels : string array;
   digests : string array;
-  matrix : float array array;
+  matrix : Symmat.t;
 }
+
+(* a persisted MinHash signature, keyed by the attribute-set digest of
+   the object it sketches — the same digest that gates matrix-row
+   reuse, so a signature hit carries the same vouching: same digest,
+   same attribute-name set, same signature bit for bit. *)
+type sig_entry = { sg_stamp : int; sg_mins : int array }
 
 type t = {
   dir : string;
@@ -40,6 +54,7 @@ type t = {
   stamps : (string, int) Hashtbl.t;  (* summary key -> stamp *)
   evicted : (string, unit) Hashtbl.t;  (* summary keys gc'd, skip at flush *)
   matrices : (string, matrix_entry) Hashtbl.t;  (* identity -> entry *)
+  signatures : (string, sig_entry) Hashtbl.t;  (* object digest -> entry *)
   mutable next_stamp : int;
   mutable dirty : bool;
   mutable salvaged : bool;
@@ -76,14 +91,17 @@ let object_digest ctx i =
 
    File = magic line, then records: varint payload length, payload,
    CRC-32 of the payload (4 LE bytes). Payload byte 0 is the type.
-   Write order is symbols, loop bodies, summaries, matrices, so every
-   reference points backwards and a salvaged prefix is self-
-   consistent. *)
+   Write order is symbols, loop bodies, summaries, signatures,
+   matrices, so every reference points backwards and a salvaged prefix
+   is self-consistent. Signature records are standalone (they
+   reference nothing), and an exact-mode store holds none, so the
+   historical exact-mode byte layout is unchanged. *)
 
 let tag_symbol = 1
 let tag_body = 2
 let tag_summary = 3
 let tag_matrix = 4
+let tag_signature = 5
 
 let write_elem buf = function
   | Nlr.Sym id ->
@@ -136,11 +154,22 @@ let payload_matrix (e : matrix_entry) =
     Buffer.add_string b e.labels.(i);
     Buffer.add_string b e.digests.(i)
   done;
-  for i = 0 to n - 1 do
-    for j = i to n - 1 do
-      Buffer.add_int64_le b (Int64.bits_of_float e.matrix.(i).(j))
-    done
-  done;
+  (* the packed storage is exactly the row-major upper triangle the
+     format has always written, so this is byte-identical to the old
+     dense-matrix loop *)
+  Array.iter
+    (fun v -> Buffer.add_int64_le b (Int64.bits_of_float v))
+    (Symmat.cells e.matrix);
+  Buffer.contents b
+
+let payload_signature ~digest (e : sig_entry) =
+  let k = Array.length e.sg_mins in
+  let b = Buffer.create (32 + (8 * k)) in
+  Buffer.add_char b (Char.chr tag_signature);
+  Buffer.add_string b digest;
+  Varint.write b e.sg_stamp;
+  Varint.write b k;
+  Array.iter (fun m -> Buffer.add_int64_le b (Int64.of_int m)) e.sg_mins;
   Buffer.contents b
 
 (* {2 Record decoding}
@@ -191,6 +220,7 @@ type raw =
   | Rbody of Nlr.elem array
   | Rsummary of { key : string; stamp : int; nlr : Nlr.t }
   | Rmatrix of matrix_entry
+  | Rsignature of { digest : string; entry : sig_entry }
 
 (* [n_syms]/[n_bodies] are the table sizes accumulated from preceding
    records of this load — the only IDs a well-formed record may cite *)
@@ -231,16 +261,29 @@ let decode_payload ~n_syms ~n_bodies s =
       done;
       let cells = n * (n + 1) / 2 in
       if !pos + (8 * cells) > len then bad "truncated matrix cells";
-      let matrix = Array.make_matrix n n 0.0 in
-      for i = 0 to n - 1 do
-        for j = i to n - 1 do
-          let v = Int64.float_of_bits (String.get_int64_le s !pos) in
-          pos := !pos + 8;
-          matrix.(i).(j) <- v;
-          matrix.(j).(i) <- v
-        done
-      done;
-      (Rmatrix { ns; stamp; labels; digests; matrix }, !pos)
+      let flat =
+        Array.init cells (fun _ ->
+            let v = Int64.float_of_bits (String.get_int64_le s !pos) in
+            pos := !pos + 8;
+            v)
+      in
+      (Rmatrix { ns; stamp; labels; digests; matrix = Symmat.of_cells ~n flat },
+       !pos)
+    end
+    else if tag = tag_signature then begin
+      let digest, pos = read_digest s 1 in
+      let stamp, pos = Varint.read s pos in
+      let k, pos = Varint.read s pos in
+      if pos + (8 * k) > len then bad "truncated signature rows";
+      let pos = ref pos in
+      let mins =
+        Array.init k (fun _ ->
+            let v = Int64.to_int (String.get_int64_le s !pos) in
+            pos := !pos + 8;
+            v)
+      in
+      (Rsignature { digest; entry = { sg_stamp = stamp; sg_mins = mins } },
+       !pos)
     end
     else bad "unknown record type %d" tag
   in
@@ -336,7 +379,11 @@ let adopt t records =
            if stamp >= t.next_stamp then t.next_stamp <- stamp + 1
          | Rmatrix e ->
            Hashtbl.replace t.matrices (matrix_identity e) e;
-           if e.stamp >= t.next_stamp then t.next_stamp <- e.stamp + 1)
+           if e.stamp >= t.next_stamp then t.next_stamp <- e.stamp + 1
+         | Rsignature { digest; entry } ->
+           Hashtbl.replace t.signatures digest entry;
+           if entry.sg_stamp >= t.next_stamp then
+             t.next_stamp <- entry.sg_stamp + 1)
        records
    with Bad_record reason -> damage := Some reason);
   !damage
@@ -353,6 +400,7 @@ let load ~dir =
         stamps = Hashtbl.create 64;
         evicted = Hashtbl.create 16;
         matrices = Hashtbl.create 16;
+        signatures = Hashtbl.create 64;
         next_stamp = 0;
         dirty = false;
         salvaged = false }
@@ -382,6 +430,29 @@ let load ~dir =
   end
 
 (* {2 JSM reuse} *)
+
+(* Look up — or compute, persist and stamp — each object's MinHash
+   signature, keyed by its attribute-set digest. The hasher's
+   per-attribute row-hash table is only built if at least one object
+   misses. Signatures depend solely on the attribute-name set the
+   digest certifies, so a hit is bit-identical to recomputation. *)
+let signatures_of t ctx digests =
+  let hash = lazy (Sketch.hasher ctx) in
+  Array.mapi
+    (fun i digest ->
+      match Hashtbl.find_opt t.signatures digest with
+      | Some e ->
+        Telemetry.Counter.incr c_sig_hits;
+        e.sg_mins
+      | None ->
+        Telemetry.Counter.incr c_sig_misses;
+        let mins = (Lazy.force hash) i in
+        let stamp = t.next_stamp in
+        t.next_stamp <- stamp + 1;
+        Hashtbl.replace t.signatures digest { sg_stamp = stamp; sg_mins = mins };
+        t.dirty <- true;
+        mins)
+    digests
 
 let jsm t ~config ~init ctx =
   let ns = Config.digest config in
@@ -424,6 +495,16 @@ let jsm t ~config ~init ctx =
           | _ -> best := Some (e, map, m, e.stamp, id)
       end)
     t.matrices;
+  (* in sketch mode the candidate adjacency is rebuilt from (mostly
+     cached) signatures either way; because candidacy is a pairwise
+     function of two signatures, extending a cached sketch matrix is
+     bit-identical to sketching from scratch — the exact reuse
+     guarantee the store gives exact matrices *)
+  let candidates =
+    match config.Config.mode with
+    | Config.Exact -> None
+    | Config.Sketch -> Some (Sketch.candidates (signatures_of t ctx digests))
+  in
   let result, covered =
     match !best with
     | Some (e, map, m, _, _) ->
@@ -435,10 +516,17 @@ let jsm t ~config ~init ctx =
             | _ -> true)
       in
       let base = { Jsm.labels = e.labels; m = e.matrix } in
-      (Jsm.extend ~init ~base ~fresh ctx, m = n)
+      ( (match candidates with
+        | None -> Jsm.extend ~init ~base ~fresh ctx
+        | Some candidates ->
+          Jsm.extend_sketch ~init ~base ~fresh ~candidates ctx),
+        m = n )
     | None ->
       Telemetry.Counter.incr c_misses;
-      (Jsm.compute ~init ctx, false)
+      ( (match candidates with
+        | None -> Jsm.compute ~init ctx
+        | Some candidates -> Jsm.compute_sketch ~init ~candidates ctx),
+        false )
   in
   if not covered then begin
     let stamp = t.next_stamp in
@@ -473,6 +561,13 @@ let matrix_entries t =
          | 0 -> String.compare i1 i2
          | c -> c)
 
+let signature_entries t =
+  Hashtbl.fold (fun d e acc -> (d, e) :: acc) t.signatures []
+  |> List.sort (fun (d1, e1) (d2, e2) ->
+         match compare e1.sg_stamp e2.sg_stamp with
+         | 0 -> String.compare d1 d2
+         | c -> c)
+
 let drop_oldest entries ~keep =
   let total = List.length entries in
   if total <= keep then ([], entries)
@@ -488,20 +583,28 @@ let drop_oldest entries ~keep =
     split excess entries
 
 let evict ?(keep_summaries = default_keep_summaries)
-    ?(keep_matrices = default_keep_matrices) t =
+    ?(keep_matrices = default_keep_matrices)
+    ?(keep_signatures = default_keep_signatures) t =
   let drop_s, _ = drop_oldest (summary_entries t) ~keep:keep_summaries in
   List.iter (fun (key, _, _) -> Hashtbl.replace t.evicted key ()) drop_s;
   let drop_m, _ = drop_oldest (matrix_entries t) ~keep:keep_matrices in
   List.iter (fun (id, _) -> Hashtbl.remove t.matrices id) drop_m;
-  let ns = List.length drop_s and nm = List.length drop_m in
-  if ns + nm > 0 then begin
-    Telemetry.Counter.add c_evictions (ns + nm);
+  (* signatures ride the same stamp order as everything else, so a
+     sketch-heavy store ages out its oldest sketches first instead of
+     growing without bound (they used to escape eviction entirely) *)
+  let drop_g, _ = drop_oldest (signature_entries t) ~keep:keep_signatures in
+  List.iter (fun (d, _) -> Hashtbl.remove t.signatures d) drop_g;
+  let ns = List.length drop_s
+  and nm = List.length drop_m
+  and ng = List.length drop_g in
+  if ns + nm + ng > 0 then begin
+    Telemetry.Counter.add c_evictions (ns + nm + ng);
     t.dirty <- true
   end;
-  (ns, nm)
+  (ns, nm, ng)
 
-let gc ?keep_summaries ?keep_matrices t =
-  evict ?keep_summaries ?keep_matrices t
+let gc ?keep_summaries ?keep_matrices ?keep_signatures t =
+  evict ?keep_summaries ?keep_matrices ?keep_signatures t
 
 let rec mkdir_p d =
   if not (Sys.file_exists d) then begin
@@ -536,13 +639,16 @@ let render t =
       in
       add_record buf (payload_summary ~key ~stamp nlr))
     (summary_entries t);
+  List.iter
+    (fun (digest, e) -> add_record buf (payload_signature ~digest e))
+    (signature_entries t);
   List.iter (fun (_, e) -> add_record buf (payload_matrix e)) (matrix_entries t);
   Buffer.contents buf
 
 let flush t =
   if not (t.dirty || has_new_summaries t) then Ok ()
   else begin
-    ignore (evict t : int * int);
+    ignore (evict t : int * int * int);
     match
       mkdir_p t.dir;
       let tmp = t.file ^ ".tmp" in
@@ -564,6 +670,7 @@ let flush t =
 type stats = {
   summaries : int;
   matrices : int;
+  signatures : int;
   symbols : int;
   loop_bodies : int;
   file_bytes : int;
@@ -573,6 +680,7 @@ type stats = {
 let stats t =
   { summaries = List.length (summary_entries t);
     matrices = Hashtbl.length t.matrices;
+    signatures = Hashtbl.length t.signatures;
     symbols = Difftrace_trace.Symtab.size (Memo.symtab t.memo);
     loop_bodies = Nlr.Loop_table.size (Memo.loop_table t.memo);
     file_bytes =
@@ -583,6 +691,7 @@ let render_stats s =
   let buf = Buffer.create 128 in
   Printf.bprintf buf "summaries   %d\n" s.summaries;
   Printf.bprintf buf "matrices    %d\n" s.matrices;
+  Printf.bprintf buf "signatures  %d\n" s.signatures;
   Printf.bprintf buf "symbols     %d\n" s.symbols;
   Printf.bprintf buf "loop bodies %d\n" s.loop_bodies;
   Printf.bprintf buf "file bytes  %d\n" s.file_bytes;
@@ -593,6 +702,7 @@ type check = {
   c_records : int;
   c_summaries : int;
   c_matrices : int;
+  c_signatures : int;
   c_symbols : int;
   c_loop_bodies : int;
   c_bytes : int;
@@ -606,6 +716,7 @@ let verify ~dir =
       { c_records = 0;
         c_summaries = 0;
         c_matrices = 0;
+        c_signatures = 0;
         c_symbols = 0;
         c_loop_bodies = 0;
         c_bytes = 0;
@@ -616,17 +727,20 @@ let verify ~dir =
     | image ->
       let records, damage, bytes = scan image in
       let sy = ref 0 and bo = ref 0 and su = ref 0 and ma = ref 0 in
+      let sg = ref 0 in
       List.iter
         (function
           | Rsymbol _ -> incr sy
           | Rbody _ -> incr bo
           | Rsummary _ -> incr su
-          | Rmatrix _ -> incr ma)
+          | Rmatrix _ -> incr ma
+          | Rsignature _ -> incr sg)
         records;
       Ok
         { c_records = List.length records;
           c_summaries = !su;
           c_matrices = !ma;
+          c_signatures = !sg;
           c_symbols = !sy;
           c_loop_bodies = !bo;
           c_bytes = bytes;
@@ -641,6 +755,7 @@ let render_check c =
       c.c_records);
   Printf.bprintf buf "summaries   %d\n" c.c_summaries;
   Printf.bprintf buf "matrices    %d\n" c.c_matrices;
+  Printf.bprintf buf "signatures  %d\n" c.c_signatures;
   Printf.bprintf buf "symbols     %d\n" c.c_symbols;
   Printf.bprintf buf "loop bodies %d\n" c.c_loop_bodies;
   Buffer.contents buf

@@ -25,6 +25,14 @@
       — so mirrored values are bit-identical to recomputation
       ({!Jsm.extend}'s contract). Matrices are namespaced by
       {!Config.digest} purely for lookup efficiency.
+    - MinHash signatures ({!Difftrace_cluster.Sketch}) are keyed by the
+      same per-object attribute digests; a signature is a pure function
+      of the attribute-name set the digest certifies, so a hit is
+      bit-identical to recomputation, and sketch-mode matrix extension
+      inherits the exact tier's reuse guarantee (candidacy is pairwise
+      in the two signatures). Exact-mode runs never write or read
+      signature records, so existing store files keep their historical
+      byte layout.
 
     Robustness follows {!Archive}/{!Campaign} discipline: CRC-32/varint
     record framing, atomic rewrite (tmp + rename), and a
@@ -32,8 +40,9 @@
     file — or falls back to a cold store — instead of raising.
 
     Telemetry: [store.hits]/[store.misses] (JSM base lookups),
-    [store.evictions] (gc and flush caps), [store.crc_fail] (damaged
-    files/records encountered). *)
+    [store.sig_hits]/[store.sig_misses] (signature lookups, sketch mode
+    only), [store.evictions] (gc and flush caps), [store.crc_fail]
+    (damaged files/records encountered). *)
 
 type t
 
@@ -62,9 +71,14 @@ val memo : t -> Memo.t
     (label, attribute-digest) pairs with [ctx], mirrors those cells via
     {!Jsm.extend}, and evaluates the rest. Falls back to {!Jsm.compute}
     when nothing is reusable. Bit-identical to [Jsm.compute ~init ctx]
-    either way. Counts [store.hits] / [store.misses] once per call, and
-    records the finished matrix for future runs (unless a cached matrix
-    already covered every object). *)
+    either way. In sketch mode ([config.mode = Sketch]) the same
+    machinery runs over {!Jsm.compute_sketch}/{!Jsm.extend_sketch} with
+    per-object signatures looked up from — or computed into — the
+    store ([store.sig_hits]/[store.sig_misses]); sketch matrices live
+    in their own {!Config.digest} namespace. Counts [store.hits] /
+    [store.misses] once per call, and records the finished matrix for
+    future runs (unless a cached matrix already covered every
+    object). *)
 val jsm :
   t ->
   config:Config.t ->
@@ -81,6 +95,7 @@ val flush : t -> (unit, error) result
 type stats = {
   summaries : int;
   matrices : int;
+  signatures : int;
   symbols : int;
   loop_bodies : int;
   file_bytes : int;  (** store file size on disk; 0 before first flush *)
@@ -92,19 +107,29 @@ val stats : t -> stats
 (** Text rendering of {!stats} for [difftrace store stats]. *)
 val render_stats : stats -> string
 
-(** [gc ?keep_summaries ?keep_matrices t] — drop all but the newest
-    [keep_summaries] summaries (default 4096) and [keep_matrices]
-    matrices (default 64); ties resolve by key so the outcome is
-    deterministic. Returns [(summaries_dropped, matrices_dropped)],
-    also counted into [store.evictions]. Takes effect on disk at the
-    next {!flush}. Shared symbol/loop tables are never shrunk — live
+(** [gc ?keep_summaries ?keep_matrices ?keep_signatures t] — drop all
+    but the newest [keep_summaries] summaries (default 4096),
+    [keep_matrices] matrices (default 64) and [keep_signatures]
+    MinHash signatures (default 4096); ties resolve by key so the
+    outcome is deterministic. Signatures participate in the same
+    stamp-ordered aging as everything else, so a sketch-heavy store
+    cannot grow unbounded. Returns
+    [(summaries_dropped, matrices_dropped, signatures_dropped)], also
+    counted into [store.evictions]. Takes effect on disk at the next
+    {!flush}. Shared symbol/loop tables are never shrunk — live
     summaries index into them. *)
-val gc : ?keep_summaries:int -> ?keep_matrices:int -> t -> int * int
+val gc :
+  ?keep_summaries:int ->
+  ?keep_matrices:int ->
+  ?keep_signatures:int ->
+  t ->
+  int * int * int
 
 type check = {
   c_records : int;
   c_summaries : int;
   c_matrices : int;
+  c_signatures : int;
   c_symbols : int;
   c_loop_bodies : int;
   c_bytes : int;

@@ -50,6 +50,7 @@ module Lattice = Difftrace_fca.Lattice
 
 (* Clustering. *)
 module Jsm = Difftrace_cluster.Jsm
+module Sketch = Difftrace_cluster.Sketch
 module Linkage = Difftrace_cluster.Linkage
 module Bscore = Difftrace_cluster.Bscore
 module Dendrogram = Difftrace_cluster.Dendrogram

@@ -25,6 +25,7 @@ type config_params = {
   pc_k : int;
   pc_linkage : string;
   pc_engine : string option;
+  pc_mode : string;
 }
 
 let default_config =
@@ -33,7 +34,8 @@ let default_config =
     pc_attrs = "sing.noFreq";
     pc_k = 10;
     pc_linkage = "ward";
-    pc_engine = None }
+    pc_engine = None;
+    pc_mode = "exact" }
 
 let config_of_params ~default_engine p =
   try
@@ -48,7 +50,8 @@ let config_of_params ~default_engine p =
       |> Config.with_attrs (Attributes.of_name p.pc_attrs)
       |> Config.with_k p.pc_k
       |> Config.with_linkage (Linkage.method_of_string p.pc_linkage)
-      |> Config.with_engine engine)
+      |> Config.with_engine engine
+      |> Config.with_mode (Config.mode_of_string p.pc_mode))
   with Invalid_argument m -> Error (Session.Invalid m)
 
 type workload_spec = {
@@ -258,7 +261,8 @@ let config_params_of_json ctx obj =
       field_opt ctx c "engine" (fun j -> Option.map Option.some (str j))
         ~default:None
     in
-    Ok { pc_filter; pc_custom; pc_attrs; pc_k; pc_linkage; pc_engine }
+    let* pc_mode = field_opt ctx c "mode" str ~default:d.pc_mode in
+    Ok { pc_filter; pc_custom; pc_attrs; pc_k; pc_linkage; pc_engine; pc_mode }
   | Some _ -> bad ctx "config"
 
 let call_of_json ~meth obj =
@@ -427,7 +431,8 @@ let config_to_json p =
       ("attrs", Json.String p.pc_attrs);
       ("k", Json.Int p.pc_k);
       ("linkage", Json.String p.pc_linkage);
-      ("engine", json_opt (fun s -> Json.String s) p.pc_engine) ]
+      ("engine", json_opt (fun s -> Json.String s) p.pc_engine);
+      ("mode", Json.String p.pc_mode) ]
 
 let params_of_call = function
   | Record { rq_workload; rq_name; rq_out; rq_v1 } ->

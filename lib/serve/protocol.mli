@@ -40,7 +40,8 @@ val max_line_bytes : int
 
 (** Analysis-configuration parameters; every field optional on the
     wire, defaulting to the CLI's defaults. [pc_engine = None] uses the
-    daemon's default engine ([difftrace serve --engine]). *)
+    daemon's default engine ([difftrace serve --engine]). [pc_mode]
+    is ["exact"] or ["sketch"] (the MinHash/LSH JSM tier). *)
 type config_params = {
   pc_filter : string;
   pc_custom : string list;
@@ -48,6 +49,7 @@ type config_params = {
   pc_k : int;
   pc_linkage : string;
   pc_engine : string option;
+  pc_mode : string;
 }
 
 val default_config : config_params

@@ -50,10 +50,29 @@ let of_list n l =
 
 let is_empty s = Array.for_all (fun w -> w = 0) s.words
 
-(* Kernighan popcount: adequate for our word counts. *)
+(* Branch-free SWAR popcount (~12 ops per word vs. one loop iteration
+   per set bit for the former Kernighan loop — the words here are
+   dense attribute incidences, so bits are the common case, not the
+   exception). The repeated-byte masks are built by shifting because a
+   full-width hex literal overflows OCaml's boxed-free int range; the
+   final multiply gathers the per-byte counts into the top byte, which
+   can hold them because a word has at most [Sys.int_size] < 128 bits. *)
+let rep8 byte =
+  let bytes = (Sys.int_size + 7) / 8 in
+  let rec go acc n = if n = 0 then acc else go ((acc lsl 8) lor byte) (n - 1) in
+  go 0 bytes
+
+let m1 = rep8 0x55
+let m2 = rep8 0x33
+let m4 = rep8 0x0F
+let h01 = rep8 0x01
+let top_shift = 8 * ((Sys.int_size + 7) / 8) - 8
+
 let popcount x =
-  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
-  go x 0
+  let x = x - ((x lsr 1) land m1) in
+  let x = (x land m2) + ((x lsr 2) land m2) in
+  let x = (x + (x lsr 4)) land m4 in
+  (x * h01) lsr top_shift
 
 let cardinal s = Array.fold_left (fun acc w -> acc + popcount w) 0 s.words
 
@@ -118,10 +137,18 @@ let inter_into a b =
     a.words.(i) <- a.words.(i) land b.words.(i)
   done
 
+(* Walk set bits word at a time, isolating the lowest set bit with
+   [w land (-w)]; empty words cost one test instead of
+   [bits_per_word]. The visit order is still increasing. *)
 let iter f s =
-  for i = 0 to s.cap - 1 do
-    let w = i / bits_per_word and b = i mod bits_per_word in
-    if s.words.(w) land (1 lsl b) <> 0 then f i
+  for w = 0 to Array.length s.words - 1 do
+    let word = ref s.words.(w) in
+    let base = w * bits_per_word in
+    while !word <> 0 do
+      let low = !word land - !word in
+      f (base + popcount (low - 1));
+      word := !word land (!word - 1)
+    done
   done
 
 let fold f s init =

@@ -1,0 +1,51 @@
+(** Packed symmetric float matrices.
+
+    An n x n symmetric matrix stored as its upper triangle only —
+    n*(n+1)/2 cells instead of n², and structural equality on the packed
+    representation coincides with matrix equality (a dense symmetric
+    matrix has two copies of every off-diagonal cell that could
+    disagree). Accessors transparently reflect (i, j) to (j, i). *)
+
+type t
+
+(** [make n] is the n x n all-zero matrix. *)
+val make : int -> t
+
+(** [dim t] is n. *)
+val dim : t -> int
+
+(** [get t i j] = [get t j i]. Raises [Invalid_argument] out of range. *)
+val get : t -> int -> int -> float
+
+(** [set t i j v] sets both (i, j) and (j, i) (one cell is stored). *)
+val set : t -> int -> int -> float -> unit
+
+(** [init n f] fills from [f i j], calling [f] only on the upper
+    triangle (i <= j), row by row. *)
+val init : int -> (int -> int -> float) -> t
+
+(** [of_upper_rows ~n rows] packs ragged upper-triangle rows: [rows.(i)]
+    must hold the n-i cells (i,i)..(i,n-1). Raises [Invalid_argument]
+    on a row-count or row-length mismatch. *)
+val of_upper_rows : n:int -> float array array -> t
+
+(** [of_cells ~n cells] wraps a copy of a flat packed-triangle array of
+    exactly n*(n+1)/2 cells (the {!cells} layout). *)
+val of_cells : n:int -> float array -> t
+
+(** [cells t] is the flat packed storage, row-major upper rows: row i's
+    cells (i,i)..(i,n-1) start at offset i*n - i*(i-1)/2. Shared, do
+    not mutate. *)
+val cells : t -> float array
+
+(** [to_rows t] is a fresh dense mirror (both triangles filled). *)
+val to_rows : t -> float array array
+
+(** [map f t] applies [f] to every stored cell. *)
+val map : (float -> float) -> t -> t
+
+(** [map2 f a b] combines two matrices cell-wise; dimensions must match. *)
+val map2 : (float -> float -> float) -> t -> t -> t
+
+(** [row_sum t i] = Σ_j [get t i j]. *)
+val row_sum : t -> int -> float

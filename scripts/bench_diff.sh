@@ -1,0 +1,89 @@
+#!/bin/sh
+# bench_diff.sh BASELINE.json CURRENT.json [MAX_REGRESSION_PCT]
+#
+# Diff two difftrace-bench/1 trajectory files metric by metric and fail
+# (exit 1) when any wall-time metric (unit "s") regressed by more than
+# MAX_REGRESSION_PCT (default 25). Prints a per-metric table either
+# way, and a GitHub ::error:: annotation per regressed metric so the
+# failure is readable from the workflow summary.
+#
+# A missing baseline is a clean pass: the first run of a freshly-keyed
+# cache has nothing to compare against and merely primes the baseline.
+#
+# Only wall-time metrics gate. Counter-like metrics (evals, ratios,
+# bytes) are deterministic and asserted exactly by the benches
+# themselves; timings are the one thing only a cross-run diff can
+# watch.
+
+set -eu
+
+baseline=${1:?usage: bench_diff.sh BASELINE.json CURRENT.json [PCT]}
+current=${2:?usage: bench_diff.sh BASELINE.json CURRENT.json [PCT]}
+threshold=${3:-25}
+
+if [ ! -f "$baseline" ]; then
+    echo "bench_diff: no baseline at $baseline (first run?) — nothing to gate"
+    exit 0
+fi
+if [ ! -f "$current" ]; then
+    echo "bench_diff: current file $current missing" >&2
+    exit 2
+fi
+
+for f in "$baseline" "$current"; do
+    if ! grep -q '"schema": *"difftrace-bench/1"' "$f"; then
+        echo "bench_diff: $f is not a difftrace-bench/1 file" >&2
+        exit 2
+    fi
+done
+
+# difftrace-bench/1 pretty-prints one metric object per line:
+#   {"name":"...","value":...,"unit":"..."}
+extract_seconds() {
+    sed -n 's/.*"name":"\([^"]*\)","value":\([0-9.eE+-]*\),"unit":"s".*/\1 \2/p' "$1"
+}
+
+base_tmp=$(mktemp) || exit 2
+cur_tmp=$(mktemp) || exit 2
+trap 'rm -f "$base_tmp" "$cur_tmp"' EXIT
+
+extract_seconds "$baseline" > "$base_tmp"
+extract_seconds "$current" > "$cur_tmp"
+
+awk -v threshold="$threshold" '
+BEGIN {
+    printf "| %-40s | %12s | %12s | %8s | %-9s |\n", \
+        "metric", "baseline (s)", "current (s)", "delta", "verdict"
+}
+NR == FNR { base[$1] = $2; next }
+{
+    name = $1; cur = $2 + 0
+    if (!(name in base)) { skipped++; next }
+    old = base[name] + 0
+    compared++
+    if (old > 0) pct = (cur - old) / old * 100; else pct = 0
+    regressed = (old > 0 && pct > threshold)
+    if (regressed) {
+        verdict = "REGRESSED"
+        failures++
+        annotations = annotations sprintf( \
+            "::error::bench regression: %s went %.6fs -> %.6fs (%+.1f%%, gate +%d%%)\n", \
+            name, old, cur, pct, threshold)
+    } else verdict = "ok"
+    printf "| %-40s | %12.6f | %12.6f | %+7.1f%% | %-9s |\n", \
+        name, old, cur, pct, verdict
+}
+END {
+    if (compared == 0) {
+        print "bench_diff: no common wall-time metrics between baseline and current"
+        exit 0
+    }
+    printf "bench_diff: %d metric(s) compared, %d new/unmatched skipped, gate +%d%%\n", \
+        compared, skipped, threshold
+    if (failures > 0) {
+        printf "%s", annotations
+        printf "bench_diff: %d metric(s) regressed beyond the gate\n", failures
+        exit 1
+    }
+    print "bench_diff: no wall-time regression beyond the gate"
+}' "$base_tmp" "$cur_tmp"

@@ -76,6 +76,7 @@ processes:
   $ difftrace store stats -d camp/store | grep -v 'file bytes'
   summaries   8
   matrices    3
+  signatures  0
   symbols     6
   loop bodies 2
   $ difftrace campaign run -d camp2 -w selftest --np 4 --seeds 2 \

@@ -38,16 +38,18 @@ The store subcommands inspect and maintain the directory:
   $ difftrace store stats -d st | grep -v 'file bytes'
   summaries   2
   matrices    1
+  signatures  0
   symbols     8
   loop bodies 3
   $ difftrace store verify -d st
   store: ok (14 records)
   summaries   2
   matrices    1
+  signatures  0
   symbols     8
   loop bodies 3
   $ difftrace store gc -d st --keep-summaries 1
-  evicted 1 summaries, 0 matrices
+  evicted 1 summaries, 0 matrices, 0 signatures
   $ difftrace store stats -d st | grep summaries
   summaries   1
 
@@ -60,6 +62,7 @@ rewrites a clean file.
   store: damaged — truncated record at byte 210 (12 records salvageable)
   summaries   1
   matrices    0
+  signatures  0
   symbols     8
   loop bodies 3
   [1]
@@ -69,6 +72,7 @@ rewrites a clean file.
   store: ok (14 records)
   summaries   2
   matrices    1
+  signatures  0
   symbols     8
   loop bodies 3
 

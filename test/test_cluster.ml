@@ -247,9 +247,9 @@ let test_jsm_of_context () =
       (ctx [ ("a", [ "x"; "y" ]); ("b", [ "x"; "y" ]); ("c", [ "z" ]) ])
   in
   Alcotest.(check int) "size" 3 (Jsm.size j);
-  Alcotest.(check (float 1e-9)) "identical objects" 1.0 j.Jsm.m.(0).(1);
-  Alcotest.(check (float 1e-9)) "disjoint objects" 0.0 j.Jsm.m.(0).(2);
-  Alcotest.(check (float 1e-9)) "diagonal" 1.0 j.Jsm.m.(2).(2)
+  Alcotest.(check (float 1e-9)) "identical objects" 1.0 (Jsm.get j 0 1);
+  Alcotest.(check (float 1e-9)) "disjoint objects" 0.0 (Jsm.get j 0 2);
+  Alcotest.(check (float 1e-9)) "diagonal" 1.0 (Jsm.get j 2 2)
 
 let test_jsm_diff_aligns_labels () =
   let a = Jsm.of_context (ctx [ ("t0", [ "x" ]); ("t1", [ "x" ]); ("t2", [ "y" ]) ]) in
@@ -257,7 +257,7 @@ let test_jsm_diff_aligns_labels () =
   let d = Jsm.diff a b in
   Alcotest.(check (array string)) "common labels only" [| "t0"; "t2" |] d.Jsm.labels;
   (* a: J(t0,t2)=0; b: J(t0,t2)=1 -> |diff| = 1 *)
-  Alcotest.(check (float 1e-9)) "restructured pair" 1.0 d.Jsm.m.(0).(1);
+  Alcotest.(check (float 1e-9)) "restructured pair" 1.0 (Jsm.get d 0 1);
   Alcotest.(check (float 1e-9)) "row change" 1.0 (Jsm.row_change d 0)
 
 let test_jsm_diff_self_zero () =
@@ -268,8 +268,8 @@ let test_jsm_diff_self_zero () =
 let test_jsm_to_distance () =
   let a = Jsm.of_context (ctx [ ("t0", [ "x" ]); ("t1", [ "x" ]) ]) in
   let d = Jsm.to_distance a in
-  Alcotest.(check (float 1e-9)) "distance = 1 - sim" 0.0 d.Jsm.m.(0).(1);
-  Alcotest.(check (float 1e-9)) "self distance" 0.0 d.Jsm.m.(0).(0)
+  Alcotest.(check (float 1e-9)) "distance = 1 - sim" 0.0 (Jsm.get d 0 1);
+  Alcotest.(check (float 1e-9)) "self distance" 0.0 (Jsm.get d 0 0)
 
 let test_jsm_heatmap () =
   let a = Jsm.of_context (ctx [ ("t0", [ "x" ]); ("t1", [ "y" ]) ]) in
@@ -281,36 +281,38 @@ let test_jsm_align_partial_overlap () =
      order — the hand-assembled records exercise [align] away from the
      [of_context] invariants *)
   let a =
-    { Jsm.labels = [| "a"; "b"; "c" |];
-      m = [| [| 1.0; 0.5; 0.2 |]; [| 0.5; 1.0; 0.4 |]; [| 0.2; 0.4; 1.0 |] |] }
+    Jsm.of_dense ~labels:[| "a"; "b"; "c" |]
+      [| [| 1.0; 0.5; 0.2 |]; [| 0.5; 1.0; 0.4 |]; [| 0.2; 0.4; 1.0 |] |]
   in
   let b =
-    { Jsm.labels = [| "c"; "b"; "d" |];
-      m = [| [| 1.0; 0.1; 0.0 |]; [| 0.1; 1.0; 0.3 |]; [| 0.0; 0.3; 1.0 |] |] }
+    Jsm.of_dense ~labels:[| "c"; "b"; "d" |]
+      [| [| 1.0; 0.1; 0.0 |]; [| 0.1; 1.0; 0.3 |]; [| 0.0; 0.3; 1.0 |] |]
   in
   let a', b' = Jsm.align a b in
   Alcotest.(check (array string)) "intersection, a-order" [| "b"; "c" |]
     a'.Jsm.labels;
-  Alcotest.(check (float 1e-9)) "a cell picked" 0.4 a'.Jsm.m.(0).(1);
-  Alcotest.(check (float 1e-9)) "b cell picked (b-indices)" 0.1 b'.Jsm.m.(0).(1)
+  Alcotest.(check (float 1e-9)) "a cell picked" 0.4 (Jsm.get a' 0 1);
+  Alcotest.(check (float 1e-9)) "b cell picked (b-indices)" 0.1 (Jsm.get b' 0 1)
 
 let test_jsm_align_ragged_rejected () =
-  let ok =
-    { Jsm.labels = [| "a"; "b" |]; m = [| [| 1.0; 0.0 |]; [| 0.0; 1.0 |] |] }
-  in
-  (* a matrix that lost a row mid-write (the partially-failed campaign
-     cell case): diagnosed by name, not a bare out-of-bounds *)
-  let missing_row = { Jsm.labels = [| "a"; "b" |]; m = [| [| 1.0; 0.0 |] |] } in
+  (* malformed matrices (the partially-failed campaign cell case) are
+     diagnosed by name at construction, not as a bare out-of-bounds;
+     label/dimension drift is still caught at align time *)
   Alcotest.check_raises "missing row named"
-    (Invalid_argument "Jsm.align: second matrix has 2 labels but 1 rows")
-    (fun () -> ignore (Jsm.align ok missing_row));
-  let ragged_row =
-    { Jsm.labels = [| "a"; "b" |]; m = [| [| 1.0; 0.0 |]; [| 0.0 |] |] }
-  in
+    (Invalid_argument "Jsm.of_dense: 2 labels but 1 rows")
+    (fun () ->
+      ignore (Jsm.of_dense ~labels:[| "a"; "b" |] [| [| 1.0; 0.0 |] |]));
   Alcotest.check_raises "short row named"
     (Invalid_argument
-       "Jsm.align: first matrix row 1 (label \"b\") has 1 columns, expected 2")
-    (fun () -> ignore (Jsm.align ragged_row ok))
+       "Jsm.of_dense: row 1 (label \"b\") has 1 columns, expected 2")
+    (fun () ->
+      ignore
+        (Jsm.of_dense ~labels:[| "a"; "b" |] [| [| 1.0; 0.0 |]; [| 0.0 |] |]));
+  let ok = Jsm.of_dense ~labels:[| "a"; "b" |] [| [| 1.0; 0.0 |]; [| 0.0; 1.0 |] |] in
+  let drifted = { ok with Jsm.labels = [| "a" |] } in
+  Alcotest.check_raises "label/dimension drift named"
+    (Invalid_argument "Jsm.align: second matrix has 1 labels but 2 rows")
+    (fun () -> ignore (Jsm.align ok drifted))
 
 let test_jsm_diff_disjoint_labels () =
   (* no common labels: an empty (but well-formed) diff, not a crash *)

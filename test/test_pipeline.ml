@@ -79,9 +79,9 @@ let test_analyze_lattice_fig3 () =
 let test_analyze_jsm_fig4 () =
   let a = Pipeline.analyze (Config.make ()) (Lazy.force oe4) in
   let j = a.Pipeline.jsm in
-  Alcotest.(check (float 1e-9)) "even-even" 1.0 j.Difftrace_cluster.Jsm.m.(0).(2);
-  Alcotest.(check (float 1e-9)) "odd-odd" 1.0 j.Difftrace_cluster.Jsm.m.(1).(3);
-  Alcotest.(check (float 1e-3)) "even-odd 4/6" 0.667 j.Difftrace_cluster.Jsm.m.(0).(1)
+  Alcotest.(check (float 1e-9)) "even-even" 1.0 (Difftrace_cluster.Jsm.get j 0 2);
+  Alcotest.(check (float 1e-9)) "odd-odd" 1.0 (Difftrace_cluster.Jsm.get j 1 3);
+  Alcotest.(check (float 1e-3)) "even-odd 4/6" 0.667 (Difftrace_cluster.Jsm.get j 0 1)
 
 let test_nlr_of_unknown_label () =
   let a = Pipeline.analyze (Config.make ()) (Lazy.force oe4) in

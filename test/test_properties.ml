@@ -156,7 +156,7 @@ let prop_pipeline_jsm_properties =
     (fun (recipe, np, seed) ->
       let ts = (run_random ~recipe ~np ~seed).R.traces in
       let a = Pipeline.analyze (Config.make ~filter:(F.make []) ()) ts in
-      let j = a.Pipeline.jsm.Difftrace_cluster.Jsm.m in
+      let j = Difftrace_cluster.Jsm.rows a.Pipeline.jsm in
       let n = Array.length j in
       let ok = ref true in
       for i = 0 to n - 1 do
@@ -304,7 +304,7 @@ let prop_jsm_extend_equals_compute =
         (fun init ->
           let got = Jsm.extend ~init ~base ~fresh ctx in
           got.Jsm.labels = expected.Jsm.labels
-          && bits_equal got.Jsm.m expected.Jsm.m)
+          && bits_equal (Jsm.rows got) (Jsm.rows expected))
         [ Array.init; Engine.init (Engine.parallel ~domains:3 ()) ])
 
 (* The store's warm path must be invisible: a second run over the same
@@ -337,7 +337,7 @@ let prop_store_roundtrip_warm =
       s.Memo.misses = 0
       && s.Memo.hits > 0
       && a1.Pipeline.jsm.Jsm.labels = a2.Pipeline.jsm.Jsm.labels
-      && bits_equal a1.Pipeline.jsm.Jsm.m a2.Pipeline.jsm.Jsm.m)
+      && bits_equal (Jsm.rows a1.Pipeline.jsm) (Jsm.rows a2.Pipeline.jsm))
 
 let () =
   Alcotest.run "properties"

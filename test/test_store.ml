@@ -61,7 +61,7 @@ let bits_equal a b =
        a b
 
 let jsm_equal (a : Jsm.t) (b : Jsm.t) =
-  a.Jsm.labels = b.Jsm.labels && bits_equal a.Jsm.m b.Jsm.m
+  a.Jsm.labels = b.Jsm.labels && bits_equal (Jsm.rows a) (Jsm.rows b)
 
 (* counters only move while telemetry is enabled; always restore *)
 let with_telemetry f =
@@ -250,10 +250,11 @@ let test_gc_and_eviction_accounting () =
   let s0 = Store.stats st in
   with_telemetry (fun () ->
       let before = Telemetry.Counter.value c_evictions in
-      let ds, dm = Store.gc ~keep_summaries:1 ~keep_matrices:0 st in
+      let ds, dm, dg = Store.gc ~keep_summaries:1 ~keep_matrices:0 st in
       Alcotest.(check int) "summaries dropped" (s0.Store.summaries - 1) ds;
       Alcotest.(check int) "matrices dropped" s0.Store.matrices dm;
-      Alcotest.(check int) "store.evictions counted" (before + ds + dm)
+      Alcotest.(check int) "no signatures in an exact-mode store" 0 dg;
+      Alcotest.(check int) "store.evictions counted" (before + ds + dm + dg)
         (Telemetry.Counter.value c_evictions));
   get (Store.flush st);
   let st2 = get (Store.load ~dir) in
@@ -269,6 +270,53 @@ let test_gc_and_eviction_accounting () =
   Alcotest.(check int) "matrix re-recorded" 1 s2.Store.matrices;
   Alcotest.(check int) "summaries repopulated" s0.Store.summaries
     s2.Store.summaries
+
+(* Regression: MinHash signatures are store objects like any other —
+   persisted across flush/load, served back on warm sketch runs, and
+   subject to the same stamp-ordered gc caps. The eviction cap once
+   ignored them, so a sketch-heavy store grew without bound. *)
+let c_sig_hits = Telemetry.Counter.make "store.sig_hits"
+let c_sig_misses = Telemetry.Counter.make "store.sig_misses"
+
+let test_signatures_persist_and_gc_caps () =
+  let ts = sample_traces () in
+  let sketch_config = Config.with_mode Config.Sketch (config ()) in
+  let dir = tmpdir "signatures" in
+  let st = get (Store.load ~dir) in
+  let cold = Pipeline.analyze ~store:st sketch_config ts in
+  get (Store.flush st);
+  let st2 = get (Store.load ~dir) in
+  let s0 = Store.stats st2 in
+  Alcotest.(check bool) "signatures persisted" true (s0.Store.signatures > 0);
+  with_telemetry (fun () ->
+      let warm = Pipeline.analyze ~store:st2 sketch_config ts in
+      Alcotest.(check bool) "warm sketch JSM bit-identical" true
+        (jsm_equal cold.Pipeline.jsm warm.Pipeline.jsm);
+      Alcotest.(check int) "warm run recomputes no signature" 0
+        (Telemetry.Counter.value c_sig_misses);
+      (* one lookup per object, all hits; objects sharing an attribute
+         digest share one persisted signature, so hits ≥ records *)
+      Alcotest.(check bool) "every lookup served from disk" true
+        (Telemetry.Counter.value c_sig_hits >= s0.Store.signatures));
+  (* verify counts the signature records too *)
+  let c = get (Store.verify ~dir) in
+  Alcotest.(check int) "verify counts signatures" s0.Store.signatures
+    c.Store.c_signatures;
+  (* the gc cap: signatures age out stamp-ordered like summaries and
+     matrices, and the cap survives the next flush *)
+  let _, _, dg = Store.gc ~keep_signatures:1 st2 in
+  Alcotest.(check int) "all but the newest dropped" (s0.Store.signatures - 1) dg;
+  get (Store.flush st2);
+  let s1 = Store.stats (get (Store.load ~dir)) in
+  Alcotest.(check int) "cap holds on disk" 1 s1.Store.signatures;
+  (* exact mode never touches signature records: same store, exact
+     config, counters stay flat *)
+  with_telemetry (fun () ->
+      let st3 = get (Store.load ~dir) in
+      ignore (Pipeline.analyze ~store:st3 (config ()) ts);
+      Alcotest.(check int) "exact mode: no signature lookups" 0
+        (Telemetry.Counter.value c_sig_hits
+        + Telemetry.Counter.value c_sig_misses))
 
 (* ------------------------------------------------------------------ *)
 (* Verify                                                              *)
@@ -328,7 +376,9 @@ let () =
             test_dir_is_a_file ] );
       ( "gc",
         [ Alcotest.test_case "gc drops oldest and counts evictions" `Quick
-            test_gc_and_eviction_accounting ] );
+            test_gc_and_eviction_accounting;
+          Alcotest.test_case "signatures persist and obey the gc cap" `Quick
+            test_signatures_persist_and_gc_caps ] );
       ( "verify",
         [ Alcotest.test_case "verify: clean, damaged, missing" `Quick
             test_verify_clean_and_damaged ] ) ]
