@@ -1,6 +1,6 @@
 # Convenience targets mirroring what CI runs (.github/workflows/ci.yml).
 
-.PHONY: all build test bench bench-smoke campaign-smoke fuzz-smoke store-smoke sketch-smoke serve-smoke fmt clean
+.PHONY: all build test bench bench-smoke campaign-smoke fuzz-smoke store-smoke sketch-smoke serve-smoke query-smoke fmt clean
 
 all: build
 
@@ -41,6 +41,12 @@ sketch-smoke:
 # per-request rpc.* telemetry profile it writes on exit
 serve-smoke: build
 	sh scripts/serve_smoke.sh
+
+# the query smoke pass: record two archives, drill into them with the
+# event-DB query language, prove the warm rerun rebuilds no index, and
+# emit the difftrace-bench/1 artifact with the build/load/query timings
+query-smoke: build
+	sh scripts/query_smoke.sh
 
 # the archive fault-injection corpus on its own: deterministic bit
 # flips, truncations, chunk deletions and garbage appends against v1/v2

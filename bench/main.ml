@@ -40,24 +40,31 @@ module Tsp = Difftrace_workloads.Tsp
 module Telemetry = Difftrace_obs.Telemetry
 module Json = Telemetry.Json
 
+(* the bench grids are hard-coded and non-empty, so a sweep error is a bug *)
+let autotune_exn = function
+  | Ok r -> r
+  | Error e -> failwith (Session.error_to_string e)
+
 type options = {
   quick : bool;
   perf : bool;
   engine : bool;
   store : bool;
   sketch : bool;
+  query : bool;
   json : string option;
 }
 
 let usage oc =
   output_string oc
-    "usage: bench [--quick] [--perf | --engine | --store | --sketch] [--json \
-     FILE]\n\n\
+    "usage: bench [--quick] [--perf | --engine | --store | --sketch | \
+     --query] [--json FILE]\n\n\
     \  (no mode)    regenerate every paper table and figure\n\
     \  --perf       Bechamel micro-benchmarks only\n\
     \  --engine     engine/memo-cache benchmarks only\n\
     \  --store      cold vs. warm persistent-store benchmarks only\n\
     \  --sketch     MinHash/LSH sketch tier vs. exact JSM sweep only\n\
+    \  --query      event-DB index build/load and query-latency benches only\n\
     \  --quick      shrink workloads to CI scale\n\
     \  --json FILE  write metrics + telemetry to FILE (difftrace-bench/1)\n"
 
@@ -77,6 +84,7 @@ let opts =
     | "--engine" :: rest -> parse { acc with engine = true } rest
     | "--store" :: rest -> parse { acc with store = true } rest
     | "--sketch" :: rest -> parse { acc with sketch = true } rest
+    | "--query" :: rest -> parse { acc with query = true } rest
     | "--json" :: file :: rest when file = "" || file.[0] <> '-' ->
       parse { acc with json = Some file } rest
     | [ "--json" ] | "--json" :: _ -> die "--json requires FILE"
@@ -85,13 +93,14 @@ let opts =
   let o =
     parse
       { quick = false; perf = false; engine = false; store = false;
-        sketch = false; json = None }
+        sketch = false; query = false; json = None }
       (List.tl (Array.to_list Sys.argv))
   in
   if (if o.perf then 1 else 0) + (if o.engine then 1 else 0)
      + (if o.store then 1 else 0) + (if o.sketch then 1 else 0)
+     + (if o.query then 1 else 0)
      > 1
-  then die "--perf, --engine, --store and --sketch are exclusive";
+  then die "--perf, --engine, --store, --sketch and --query are exclusive";
   o
 
 let quick = opts.quick
@@ -99,6 +108,7 @@ let perf_only = opts.perf
 let engine_only = opts.engine
 let store_only = opts.store
 let sketch_only = opts.sketch
+let query_only = opts.query
 
 (* named scalar metrics collected for --json; every section that
    measures something worth tracking across commits pushes here *)
@@ -392,7 +402,8 @@ let heat_study () =
     nres.Heat.iterations nres.Heat.final_residual fres.Heat.iterations
     fres.Heat.final_residual;
   let r =
-    Autotune.search ~normal:normal.R.traces ~faulty:faulty.R.traces ()
+    autotune_exn
+      (Autotune.search ~normal:normal.R.traces ~faulty:faulty.R.traces ())
   in
   Printf.printf "autotune over %d configurations -> %s\n" r.Autotune.evaluated
     (Config.name r.Autotune.best.Autotune.config);
@@ -738,7 +749,9 @@ let memo_bench () =
           ()))
       .R.traces
   in
-  let r_cold, t_cold = time (fun () -> Autotune.search ~normal ~faulty ()) in
+  let r_cold, t_cold =
+    time (fun () -> autotune_exn (Autotune.search ~normal ~faulty ()))
+  in
   let c = r_cold.Autotune.cache in
   Printf.printf
     "cold sweep: %d configs in %.3fs — cache %d hits / %d misses (hit rate \
@@ -751,7 +764,7 @@ let memo_bench () =
   let memo = Memo.create () in
   let _ = Autotune.search ~memo ~normal ~faulty () in
   let r_warm, t_warm =
-    time (fun () -> Autotune.search ~memo ~normal ~faulty ())
+    time (fun () -> autotune_exn (Autotune.search ~memo ~normal ~faulty ()))
   in
   let w = r_warm.Autotune.cache in
   Printf.printf
@@ -900,6 +913,69 @@ let perf () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* --query: event-DB index build/load and query latency                *)
+(* ------------------------------------------------------------------ *)
+
+let query_bench () =
+  section "Q1" "Event DB: cold index build vs. warm load, query latency";
+  let np, workers = ilcs_args in
+  let normal = (fst (Ilcs.run ~np ~workers ~fault:Fault.No_fault ())).R.traces in
+  let faulty =
+    (fst (Ilcs.run ~np ~workers ~fault:(Fault.Wrong_collective_size { rank = 2 }) ()))
+      .R.traces
+  in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "difftrace_bench_edb"
+  in
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  let db, t_build = time (fun () -> Eventdb.build normal) in
+  let db_faulty = Eventdb.build faulty in
+  (match Eventdb.save ~dir db with
+  | Ok () -> ()
+  | Error m -> failwith ("eventdb save: " ^ m));
+  let _, t_load =
+    time (fun () ->
+        match Eventdb.load ~dir ~digest:db.Eventdb.db_digest with
+        | Ok db -> db
+        | Error m -> failwith ("eventdb load: " ^ m))
+  in
+  Printf.printf
+    "%d threads, %d events: cold build %.4fs, warm load %.4fs (%.1fx)\n"
+    (Array.length db.Eventdb.db_threads)
+    (Trace_set.total_events normal) t_build t_load (t_build /. t_load);
+  metric "eventdb.build.cold" t_build;
+  metric "eventdb.load.warm" t_load;
+  metric ~unit:"x" "eventdb.load.speedup" (t_build /. t_load);
+  let top_fn =
+    let funcs =
+      match Query.parse "funcs limit 1" with
+      | Ok q -> Query.eval db q
+      | Error m -> failwith m
+    in
+    match funcs with
+    | Ok (Query.R_funcs { rows = (name, _, _) :: _; _ }) -> name
+    | _ -> failwith "eventdb: no functions in the corpus"
+  in
+  let reps = if quick then 50 else 200 in
+  let bench_q name ?against q =
+    let ast = match Query.parse q with Ok a -> a | Error m -> failwith m in
+    let _, t =
+      time (fun () ->
+          for _ = 1 to reps do
+            ignore (Query.eval db ?against ast)
+          done)
+    in
+    let per = t /. float_of_int reps in
+    Printf.printf "  %-10s %.6f s/query   (%s)\n" name per q;
+    metric (Printf.sprintf "eventdb.query.%s" name) per
+  in
+  bench_q "count" (Printf.sprintf "count %s" top_fn);
+  bench_q "list" (Printf.sprintf "list %s limit 10" top_fn);
+  bench_q "sites" (Printf.sprintf "sites %s" top_fn);
+  bench_q "diverge" ~against:db_faulty "diverge"
+
+(* ------------------------------------------------------------------ *)
 (* --sketch: MinHash/LSH sketch tier vs. exact JSM                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1021,7 +1097,8 @@ let write_json file =
         ("perf", Json.Bool opts.perf);
         ("engine", Json.Bool opts.engine);
         ("store", Json.Bool opts.store);
-        ("sketch", Json.Bool opts.sketch) ]
+        ("sketch", Json.Bool opts.sketch);
+        ("query", Json.Bool opts.query) ]
   in
   let metric_objs =
     List.rev_map
@@ -1055,6 +1132,7 @@ let () =
   end
   else if store_only then store_bench ()
   else if sketch_only then sketch_bench ()
+  else if query_only then query_bench ()
   else if not perf_only then begin
     table_i ();
     odd_even_walkthrough ();

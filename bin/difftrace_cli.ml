@@ -727,16 +727,84 @@ let autotune_cmd =
         ~faulty:faulty.R.traces ()
     in
     flush_store store;
-    Printf.printf "evaluated %d configurations\n" r.Autotune.evaluated;
-    print_string (Autotune.render r);
-    Printf.printf "best: %s (B-score %.3f, top suspect %s)\n"
-      (Config.name r.Autotune.best.Autotune.config)
-      r.Autotune.best.Autotune.bscore
-      (Option.value ~default:"-" r.Autotune.best.Autotune.top_suspect)
+    match r with
+    | Error e ->
+      Printf.eprintf "difftrace: %s\n" (Session.error_to_string e);
+      exit 1
+    | Ok r ->
+      Printf.printf "evaluated %d configurations\n" r.Autotune.evaluated;
+      print_string (Autotune.render r);
+      Printf.printf "best: %s (B-score %.3f, top suspect %s)\n"
+        (Config.name r.Autotune.best.Autotune.config)
+        r.Autotune.best.Autotune.bscore
+        (Option.value ~default:"-" r.Autotune.best.Autotune.top_suspect)
   in
   Cmd.v (Cmd.info "autotune" ~doc)
     Term.(const action $ workload_t $ np_t $ seed_t $ fault_t $ all_images_t
           $ custom_t $ ks_t $ engine_t $ store_flags_t $ profile_t)
+
+(* --- query: the event-DB drill-down language ------------------------- *)
+
+let query_cmd =
+  let doc =
+    "Query the indexed event database of a recorded archive: count/list \
+     calls, call sites under a loop or function, recognized loops, thread \
+     and function inventories, and (with --against) the first raw-event \
+     divergence of two runs."
+  in
+  let query_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"QUERY"
+          ~doc:
+            "One query, e.g. 'count MPI_Send on 3', 'list MPI_Recv on 6.4 in \
+             0..200 limit 5', 'sites MPI_Send under L0', 'loops', 'threads', \
+             'funcs', 'diverge' (grammar in MANUAL.md).")
+  in
+  let archive_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "archive" ] ~docv:"DIR" ~doc:"Archive of the run to query.")
+  in
+  let against_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "against" ] ~docv:"DIR"
+          ~doc:
+            "Second archive (the faulty run) for two-run queries like \
+             'diverge'.")
+  in
+  let salvage_t =
+    Arg.(
+      value & flag
+      & info [ "salvage" ]
+          ~doc:"Recover the checksum-valid prefix of damaged archives.")
+  in
+  let action query archive against salvage engine store prof =
+    let config = Config.default |> Config.with_engine engine in
+    run_profiled prof ~config @@ fun () ->
+    let store = open_store (store_of store) in
+    let ses = Session.create ?store () in
+    let r =
+      Session.query ses config
+        { Session.qy_text = query;
+          qy_source = Session.Archive { dir = archive; salvage };
+          qy_against =
+            Option.map (fun dir -> Session.Archive { dir; salvage }) against }
+    in
+    flush_store store;
+    match r with
+    | Ok r -> print_string r.Session.qy_output
+    | Error e ->
+      Printf.eprintf "difftrace: %s\n" (Session.error_to_string e);
+      exit 1
+  in
+  Cmd.v (Cmd.info "query" ~doc)
+    Term.(const action $ query_t $ archive_t $ against_t $ salvage_t
+          $ engine_t $ store_flags_t $ profile_t)
 
 (* --- campaign: crash-isolated fault x seed sweeps -------------------- *)
 
@@ -823,7 +891,7 @@ let campaign_cmd =
         in
         match C.run ~config ~on_cell ?store ~dir m with
         | Error e ->
-          Printf.eprintf "difftrace: %s\n" e;
+          Printf.eprintf "difftrace: %s\n" (C.error_to_string e);
           exit 1
         | Ok o ->
           flush_store store;
@@ -844,7 +912,7 @@ let campaign_cmd =
     let action dir =
       match C.status ~dir with
       | Error e ->
-        Printf.eprintf "difftrace: %s\n" e;
+        Printf.eprintf "difftrace: %s\n" (C.error_to_string e);
         exit 1
       | Ok o -> print_outcome o
     in
@@ -869,7 +937,7 @@ let campaign_cmd =
       run_profiled prof ~config @@ fun () ->
       match C.status ~dir with
       | Error e ->
-        Printf.eprintf "difftrace: %s\n" e;
+        Printf.eprintf "difftrace: %s\n" (C.error_to_string e);
         exit 1
       | Ok o -> (
         print_outcome o;
@@ -1125,5 +1193,5 @@ let () =
        (Cmd.group info
           [ run_cmd; compare_cmd; table_cmd; record_cmd; analyze_cmd;
             archive_cmd; campaign_cmd; store_cmd; triage_cmd; autotune_cmd;
-            report_cmd; explore_cmd; export_cmd; filters_cmd; serve_cmd;
-            client_cmd ]))
+            query_cmd; report_cmd; explore_cmd; export_cmd; filters_cmd;
+            serve_cmd; client_cmd ]))

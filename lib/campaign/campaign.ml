@@ -9,6 +9,7 @@ module Archive = Difftrace_parlot.Archive
 module Trace = Difftrace_trace.Trace
 module Trace_set = Difftrace_trace.Trace_set
 module Crc32 = Difftrace_util.Crc32
+module Eventdb = Difftrace_eventdb.Eventdb
 module Telemetry = Difftrace_obs.Telemetry
 module Span = Telemetry.Span
 module Odd_even = Difftrace_workloads.Odd_even
@@ -20,6 +21,30 @@ module Heat2d = Difftrace_workloads.Heat2d
 let c_cells = Telemetry.Counter.make "campaign.cells"
 let c_failed = Telemetry.Counter.make "campaign.failed"
 let c_resumed = Telemetry.Counter.make "campaign.resumed"
+let c_manifest_salvaged = Telemetry.Counter.make "campaign.manifest_salvaged"
+
+(* ------------------------------------------------------------------ *)
+(* Errors                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type error =
+  | State_dir of string
+  | Wrong_campaign of { dir : string; what : string }
+  | Manifest_damaged of { dir : string; reason : string }
+  | No_manifest of string
+  | Io of string
+
+let error_to_string = function
+  | State_dir reason -> "campaign state dir: " ^ reason
+  | Wrong_campaign { dir; what } ->
+    Printf.sprintf
+      "%s holds a different campaign (mismatched %s); use a fresh state \
+       directory or delete it"
+      dir what
+  | Manifest_damaged { dir; reason } ->
+    Printf.sprintf "campaign manifest in %s: %s" dir reason
+  | No_manifest dir -> "no campaign manifest in " ^ dir
+  | Io reason -> reason
 
 (* ------------------------------------------------------------------ *)
 (* Cell kinds                                                          *)
@@ -152,16 +177,21 @@ let cell_dir dir index = Filename.concat dir (Printf.sprintf "cell_%d" index)
 let normal_dir dir seed = Filename.concat dir (Printf.sprintf "normal_s%d" seed)
 let meta_file adir = Filename.concat adir "cell.meta"
 
+(* never raises: a bad [dir] parameter must surface as an [Error] a
+   resident daemon can report, not as an exception that kills it *)
 let rec mkdir_p dir =
-  if Sys.file_exists dir then begin
-    if not (Sys.is_directory dir) then
-      failwith (Printf.sprintf "%s exists and is not a directory" dir)
-  end
+  if Sys.file_exists dir then
+    if Sys.is_directory dir then Ok ()
+    else Error (Printf.sprintf "%s exists and is not a directory" dir)
   else begin
     let parent = Filename.dirname dir in
-    if parent <> dir && parent <> "" then mkdir_p parent;
-    try Sys.mkdir dir 0o755
-    with Sys_error _ when Sys.is_directory dir -> () (* lost a race; fine *)
+    match if parent <> dir && parent <> "" then mkdir_p parent else Ok () with
+    | Error _ as e -> e
+    | Ok () -> (
+      match Sys.mkdir dir 0o755 with
+      | () -> Ok ()
+      | exception Sys_error _ when Sys.is_directory dir -> Ok () (* lost a race; fine *)
+      | exception Sys_error reason -> Error reason)
   end
 
 (* atomic-enough replacement: write a sibling temp file, then rename
@@ -285,17 +315,22 @@ type stored_cell = {
   st_salvaged : int;
 }
 
+(* header fields are options: a salvaged manifest may have lost any of
+   them, and a lost field must read as "unknown", never as a default
+   that could fake (or mask) a campaign mismatch *)
 type loaded_manifest = {
-  lm_kind : string;
-  lm_np : int;
-  lm_seeds : int list;
+  lm_kind : string option;
+  lm_np : int option;
+  lm_seeds : int list option;
   lm_faults : string list;
-  lm_budget : int option;
-  lm_config : string;
+  lm_budget : int option option;  (** [None] = budget line lost *)
+  lm_config : string option;
   lm_cells : stored_cell list;
+  lm_salvaged : int;  (** unreadable lines dropped *)
+  lm_intact : bool;  (** checksum valid and nothing dropped *)
 }
 
-let parse_cell_line line =
+let parse_cell_line_exn line =
   match String.split_on_char '\t' line with
   | [ "cell"; idx; verdict; bscore; salvaged; suspects; error; backtrace ] ->
     let idx = int_of_string idx in
@@ -330,108 +365,143 @@ let parse_cell_line line =
       st_salvaged = int_of_string salvaged }
   | _ -> failwith "bad cell record"
 
-(* [Ok None] = no manifest; [Error reason] = present but damaged *)
+(* Load whatever of the manifest is still readable; [None] = no
+   manifest file. One flipped byte must cost at most the record it
+   sits in — the damaged lines are dropped (their cells simply rerun)
+   and counted into [lm_salvaged] and the [campaign.manifest_salvaged]
+   counter, never raised: a corrupt manifest may not strand hours of
+   completed cells behind a [failwith]. *)
 let load_manifest ~dir =
   let path = manifest_file dir in
-  if not (Sys.file_exists path) then Ok None
-  else
-    try
-      let ic = open_in_bin path in
-      let text =
+  if not (Sys.file_exists path) then None
+  else begin
+    let text =
+      try
+        let ic = open_in_bin path in
         Fun.protect
           ~finally:(fun () -> close_in ic)
           (fun () -> really_input_string ic (in_channel_length ic))
-      in
-      let crc_len = String.length "crc 00000000\n" in
-      if String.length text <= crc_len then Error "truncated manifest"
+      with Sys_error _ | End_of_file -> ""
+    in
+    let crc_len = String.length "crc 00000000\n" in
+    (* with a valid footer, parse just the body; without one, parse
+       everything we have (the stray footer line is then dropped and
+       counted like any other unreadable line) *)
+    let body, crc_ok =
+      if String.length text <= crc_len then (text, false)
       else begin
         let body = String.sub text 0 (String.length text - crc_len) in
         let footer = String.sub text (String.length text - crc_len) crc_len in
-        let crc =
-          try Scanf.sscanf footer "crc %x" (fun c -> c)
-          with _ -> failwith "missing checksum footer"
-        in
-        if Crc32.string body <> crc then Error "checksum mismatch"
-        else begin
-          let lines =
-            String.split_on_char '\n' body
-            |> List.filter (fun l -> l <> "")
-          in
-          match lines with
-          | magic :: rest when magic = manifest_magic ->
-            let lm =
-              ref
-                { lm_kind = "";
-                  lm_np = 0;
-                  lm_seeds = [];
-                  lm_faults = [];
-                  lm_budget = None;
-                  lm_config = "";
-                  lm_cells = [] }
-            in
-            List.iter
-              (fun line ->
-                let field k =
-                  let p = k ^ " " in
-                  if
-                    String.length line > String.length p
-                    && String.sub line 0 (String.length p) = p
-                  then
-                    Some
-                      (String.sub line (String.length p)
-                         (String.length line - String.length p))
-                  else None
-                in
-                match field "kind" with
-                | Some v -> lm := { !lm with lm_kind = v }
-                | None ->
-                match field "np" with
-                | Some v -> lm := { !lm with lm_np = int_of_string v }
-                | None ->
-                match field "seeds" with
-                | Some v ->
-                  lm :=
-                    { !lm with
-                      lm_seeds =
-                        String.split_on_char ' ' v
-                        |> List.filter (( <> ) "")
-                        |> List.map int_of_string }
-                | None ->
-                match field "budget" with
-                | Some v ->
-                  lm :=
-                    { !lm with
-                      lm_budget =
-                        (if v = none_tok then None else Some (int_of_string v)) }
-                | None ->
-                match field "config" with
-                | Some v -> lm := { !lm with lm_config = v }
-                | None ->
-                match field "fault" with
-                | Some v -> lm := { !lm with lm_faults = !lm.lm_faults @ [ v ] }
-                | None ->
-                  if String.length line >= 5 && String.sub line 0 5 = "cell\t" then
-                    lm := { !lm with lm_cells = !lm.lm_cells @ [ parse_cell_line line ] }
-                  else failwith ("unrecognized manifest line: " ^ line))
-              rest;
-            Ok (Some !lm)
-          | _ -> Error "bad magic line"
-        end
+        match Scanf.sscanf footer "crc %x" (fun c -> c) with
+        | crc when Crc32.string body = crc -> (body, true)
+        | _ -> (text, false)
+        | exception _ -> (text, false)
       end
-    with
-    | Failure reason -> Error reason
-    | Scanf.Scan_failure _ | End_of_file -> Error "malformed manifest"
-    | Sys_error reason -> Error reason
+    in
+    let salvaged = ref 0 in
+    let drop () = incr salvaged in
+    let lm =
+      ref
+        { lm_kind = None;
+          lm_np = None;
+          lm_seeds = None;
+          lm_faults = [];
+          lm_budget = None;
+          lm_config = None;
+          lm_cells = [];
+          lm_salvaged = 0;
+          lm_intact = false }
+    in
+    let lines =
+      String.split_on_char '\n' body |> List.filter (fun l -> l <> "")
+    in
+    List.iteri
+      (fun i line ->
+        if i = 0 && line = manifest_magic then ()
+        else
+          let field k =
+            let p = k ^ " " in
+            if
+              String.length line > String.length p
+              && String.sub line 0 (String.length p) = p
+            then
+              Some
+                (String.sub line (String.length p)
+                   (String.length line - String.length p))
+            else None
+          in
+          try
+            match field "kind" with
+            | Some v -> lm := { !lm with lm_kind = Some v }
+            | None ->
+            match field "np" with
+            | Some v -> lm := { !lm with lm_np = Some (int_of_string v) }
+            | None ->
+            match field "seeds" with
+            | Some v ->
+              lm :=
+                { !lm with
+                  lm_seeds =
+                    Some
+                      (String.split_on_char ' ' v
+                      |> List.filter (( <> ) "")
+                      |> List.map int_of_string) }
+            | None ->
+            match field "budget" with
+            | Some v ->
+              lm :=
+                { !lm with
+                  lm_budget =
+                    Some
+                      (if v = none_tok then None else Some (int_of_string v)) }
+            | None ->
+            match field "config" with
+            | Some v -> lm := { !lm with lm_config = Some v }
+            | None ->
+            match field "fault" with
+            | Some v ->
+              (* validate now: a damaged fault line must be dropped
+                 here, not explode later in [Fault.of_string] *)
+              ignore (Fault.of_string v : Fault.t);
+              lm := { !lm with lm_faults = !lm.lm_faults @ [ v ] }
+            | None ->
+              if String.length line >= 5 && String.sub line 0 5 = "cell\t" then
+                lm :=
+                  { !lm with
+                    lm_cells = !lm.lm_cells @ [ parse_cell_line_exn line ] }
+              else failwith "unrecognized manifest line"
+          with _ -> drop ())
+      lines;
+    Telemetry.Counter.add c_manifest_salvaged !salvaged;
+    Some
+      { !lm with
+        lm_salvaged = !salvaged;
+        lm_intact = crc_ok && !salvaged = 0 }
+  end
 
-(* the loaded manifest describes this very campaign? *)
+let rec is_subseq xs ys =
+  match (xs, ys) with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: xt, y :: yt -> if x = y then is_subseq xt yt else is_subseq xs yt
+
+(* the loaded manifest describes this very campaign? Lost fields
+   cannot testify either way, so only surviving ones are compared; a
+   salvaged manifest's fault lines need only be an in-order subset
+   (some may have been dropped). *)
 let manifest_matches m ~config_name lm =
   let mismatch what = Some what in
-  if lm.lm_kind <> m.kind then mismatch "kind"
-  else if lm.lm_np <> m.np then mismatch "np"
-  else if lm.lm_seeds <> m.seeds then mismatch "seeds"
-  else if lm.lm_faults <> List.map Fault.to_string m.faults then mismatch "faults"
-  else if lm.lm_budget <> m.max_steps then mismatch "step budget"
-  else if lm.lm_config <> config_name then mismatch "configuration"
+  let differs field v = match field with Some w -> w <> v | None -> false in
+  if differs lm.lm_kind m.kind then mismatch "kind"
+  else if differs lm.lm_np m.np then mismatch "np"
+  else if differs lm.lm_seeds m.seeds then mismatch "seeds"
+  else if
+    (let fs = List.map Fault.to_string m.faults in
+     if lm.lm_intact then lm.lm_faults <> fs
+     else not (is_subseq lm.lm_faults fs))
+  then mismatch "faults"
+  else if differs lm.lm_budget m.max_steps then mismatch "step budget"
+  else if differs lm.lm_config config_name then mismatch "configuration"
   else None
 
 (* ------------------------------------------------------------------ *)
@@ -568,33 +638,27 @@ let run ?(config = Config.default) ?on_cell ?store ~dir m =
   Printexc.record_backtrace true;
   let config_name = Config.name config in
   match mkdir_p dir with
-  | exception Failure reason -> Error ("campaign state dir: " ^ reason)
-  | exception Sys_error reason -> Error ("campaign state dir: " ^ reason)
-  | () -> (
+  | Error reason -> Error (State_dir reason)
+  | Ok () -> (
     let stored =
       match load_manifest ~dir with
-      | Ok None -> Ok []
-      | Ok (Some lm) -> (
+      | None -> Ok []
+      | Some lm -> (
         match manifest_matches m ~config_name lm with
-        | None -> Ok lm.lm_cells
-        | Some what ->
-          Error
-            (Printf.sprintf
-               "%s holds a different campaign (mismatched %s); use a fresh \
-                state directory or delete it"
-               dir what))
-      | Error reason ->
-        (* a damaged manifest must not strand the campaign: restart,
-           re-adopting whatever cell archives survived *)
-        Printf.eprintf
-          "difftrace: campaign manifest in %s is damaged (%s); restarting \
-           from the surviving cell archives\n%!"
-          dir reason;
-        Ok []
+        | Some what -> Error (Wrong_campaign { dir; what })
+        | None ->
+          (* a damaged manifest must not strand the campaign: resume
+             from every record that survived, rerun the rest *)
+          if not lm.lm_intact then
+            Printf.eprintf
+              "difftrace: campaign manifest in %s is damaged (%d unreadable \
+               line(s) dropped); cells they recorded will rerun\n%!"
+              dir lm.lm_salvaged;
+          Ok lm.lm_cells)
     in
     match stored with
     | Error _ as e -> e
-    | Ok stored ->
+    | Ok stored -> (
       let all = cells m in
       let prior = List.filter_map (result_of_stored all) stored in
       let done_idx = List.map (fun r -> r.cell.index) prior in
@@ -603,8 +667,11 @@ let run ?(config = Config.default) ?on_cell ?store ~dir m =
       in
       Telemetry.Counter.add c_resumed (List.length prior);
       (* record the campaign's identity (and any resumed results)
-         before the first cell runs *)
-      write_manifest ~dir m ~config_name prior;
+         before the first cell runs — also what rewrites a clean,
+         checksummed manifest over a salvaged one *)
+      match write_manifest ~dir m ~config_name prior with
+      | exception Sys_error reason -> Error (Io ("campaign manifest: " ^ reason))
+      | () ->
       let kind_fn = Hashtbl.find kind_tbl m.kind in
       let runner = Engine.runner config.Config.engine in
       (* fault-free reference runs, one per seed a pending cell needs *)
@@ -663,7 +730,12 @@ let run ?(config = Config.default) ?on_cell ?store ~dir m =
               (fun a b -> Int.compare a.cell.index b.cell.index)
               !completed
           in
-          write_manifest ~dir m ~config_name snapshot;
+          (* per-cell persistence is best-effort, like cell archives:
+             a full disk costs resumability, not the running sweep *)
+          (try write_manifest ~dir m ~config_name snapshot
+           with Sys_error reason ->
+             Printf.eprintf "difftrace: could not write campaign manifest: %s\n%!"
+               reason);
           (match store with
           | Some st -> (
             match Store.flush st with
@@ -682,7 +754,7 @@ let run ?(config = Config.default) ?on_cell ?store ~dir m =
         { matrix = m;
           results;
           executed = Array.length pending_arr;
-          resumed_cells = List.length prior })
+          resumed_cells = List.length prior }))
 
 (* ------------------------------------------------------------------ *)
 (* Status                                                              *)
@@ -690,31 +762,38 @@ let run ?(config = Config.default) ?on_cell ?store ~dir m =
 
 let status ~dir =
   match load_manifest ~dir with
-  | Error reason -> Error (Printf.sprintf "campaign manifest in %s: %s" dir reason)
-  | Ok None -> Error ("no campaign manifest in " ^ dir)
-  | Ok (Some lm) -> (
-    match
-      List.map Fault.of_string lm.lm_faults
-    with
-    | exception Invalid_argument reason ->
-      Error (Printf.sprintf "campaign manifest in %s: %s" dir reason)
-    | faults ->
-      (* reconstructed directly: [status] must work even when the
-         manifest's kind is not registered in this process *)
-      let m =
-        { kind = lm.lm_kind;
-          np = lm.lm_np;
-          faults;
-          seeds = lm.lm_seeds;
-          max_steps = lm.lm_budget }
-      in
-      let all = cells m in
-      let results = List.filter_map (result_of_stored all) lm.lm_cells in
-      Ok
-        { matrix = m;
-          results;
-          executed = 0;
-          resumed_cells = List.length results })
+  | None -> Error (No_manifest dir)
+  | Some lm -> (
+    match (lm.lm_kind, lm.lm_np, lm.lm_seeds, lm.lm_faults) with
+    | Some kind, Some np, Some seeds, (_ :: _ as fault_names) -> (
+      match List.map Fault.of_string fault_names with
+      | exception Invalid_argument reason ->
+        Error (Manifest_damaged { dir; reason })
+      | faults ->
+        (* reconstructed directly: [status] must work even when the
+           manifest's kind is not registered in this process *)
+        let m =
+          { kind;
+            np;
+            faults;
+            seeds;
+            max_steps = Option.value lm.lm_budget ~default:None }
+        in
+        let all = cells m in
+        let results = List.filter_map (result_of_stored all) lm.lm_cells in
+        Ok
+          { matrix = m;
+            results;
+            executed = 0;
+            resumed_cells = List.length results })
+    | _ ->
+      Error
+        (Manifest_damaged
+           { dir;
+             reason =
+               Printf.sprintf
+                 "header lost beyond salvage (%d unreadable line(s))"
+                 lm.lm_salvaged }))
 
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                           *)
@@ -816,9 +895,14 @@ let top_cell_diffnlr ?(config = Config.default) ?store ~dir o =
         match Pipeline.find_diffnlr cmp label with
         | Error e -> Error (Pipeline.lookup_error_to_string e)
         | Ok d ->
+          let note =
+            Option.value ~default:""
+              (Eventdb.divergence_note ~normal ~faulty ~label)
+          in
           Ok
             (Printf.sprintf "cell %d [%s]:\n%s" top.cell.index
                (cell_label top.cell)
                (Difftrace_diff.Diffnlr.render
                   ~title:(Printf.sprintf "diffNLR(%s)" label)
-                  d)))))
+                  d
+               ^ note)))))

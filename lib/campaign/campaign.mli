@@ -35,7 +35,29 @@
 
     Telemetry counters: [campaign.cells] (cells executed this run),
     [campaign.failed] ([Hung] + [Failed] verdicts among them),
-    [campaign.resumed] (cells skipped via the manifest). *)
+    [campaign.resumed] (cells skipped via the manifest),
+    [campaign.manifest_salvaged] (unreadable manifest lines dropped on
+    load — each costs at most the cell it recorded, which reruns). *)
+
+(** {1 Errors}
+
+    Everything {!run} and {!status} can refuse with, as data: a
+    resident daemon passes campaign parameters straight from the wire,
+    so no parameter — however bad — may surface as an exception. *)
+
+type error =
+  | State_dir of string  (** the state directory is unusable on disk *)
+  | Wrong_campaign of { dir : string; what : string }
+      (** the directory holds a {e different} campaign; [what] names
+          the first mismatched field ("kind", "np", "seeds", "faults",
+          "step budget", "configuration") *)
+  | Manifest_damaged of { dir : string; reason : string }
+      (** the manifest survives but salvage could not recover what the
+          operation needs *)
+  | No_manifest of string  (** [status] on a directory with no manifest *)
+  | Io of string  (** the initial manifest write failed *)
+
+val error_to_string : error -> string
 
 (** {1 Cell kinds}
 
@@ -143,25 +165,29 @@ type outcome = {
     summaries and JSMs, and the store is flushed after every analyzed
     cell (best-effort, like cell archives).
 
-    Errors (as [Error msg], never an exception): the state directory
+    Errors (as [Error _], never an exception): the state directory
     holds a {e different} campaign (kind, np, faults, seeds, config or
-    step budget changed), or it is unusable on disk. A manifest that
-    fails its CRC is treated as absent — a warning is printed to
-    stderr and the campaign re-runs, reusing any surviving cell
-    archives. *)
+    step budget changed), or it is unusable on disk. A {e damaged}
+    manifest is salvaged line by line: readable cell records still
+    resume, unreadable ones are dropped with a stderr warning (their
+    cells rerun, re-adopting any surviving archives) and counted by
+    [campaign.manifest_salvaged], and the campaign's first manifest
+    rewrite replaces the damaged file with a clean checksummed one. *)
 val run :
   ?config:Difftrace_core.Config.t ->
   ?on_cell:(cell_result -> unit) ->
   ?store:Difftrace_core.Store.t ->
   dir:string ->
   matrix ->
-  (outcome, string) result
+  (outcome, error) result
 
 (** [status ~dir] — the campaign recorded in [dir]'s manifest, without
     executing anything: every recorded cell appears as a [resumed]
-    result, unrecorded cells are absent. [Error] when there is no
-    manifest or it fails its CRC. *)
-val status : dir:string -> (outcome, string) result
+    result, unrecorded cells are absent. Damage is salvaged as in
+    {!run} (best-effort: status is only as complete as the readable
+    records); [Error] when there is no manifest at all, or salvage
+    lost the header fields the matrix needs. *)
+val status : dir:string -> (outcome, error) result
 
 (** {1 Reporting} *)
 
@@ -175,8 +201,9 @@ val render : outcome -> string
 (** [top_cell_diffnlr ?config ?store ~dir o] — re-load the archives of the
     best-ranked analyzable cell and render the diffNLR of its top
     suspect against the reference run (the drill-down step of the
-    triage loop). [Error] when no cell is analyzable or the archives
-    are gone. *)
+    triage loop), with the event-DB divergence footer pinning the
+    suspect to a raw-event position. [Error] when no cell is
+    analyzable or the archives are gone. *)
 val top_cell_diffnlr :
   ?config:Difftrace_core.Config.t ->
   ?store:Difftrace_core.Store.t ->

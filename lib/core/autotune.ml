@@ -50,8 +50,21 @@ let search ?(engine = Engine.Sequential) ?memo ?store ?filters ?attrs
   in
   let attrs = match attrs with Some a -> a | None -> Attributes.all in
   let linkages = match linkages with Some l -> l | None -> [ Linkage.Ward ] in
-  if filters = [] || attrs = [] || ks = [] || linkages = [] then
-    invalid_arg "Autotune.search: empty axis";
+  let empty_axes =
+    List.filter_map
+      (fun (name, empty) -> if empty then Some name else None)
+      [ ("filters", filters = []);
+        ("attrs", attrs = []);
+        ("K", ks = []);
+        ("linkages", linkages = []) ]
+  in
+  if empty_axes <> [] then
+    Error
+      (Session.Invalid
+         (Printf.sprintf
+            "autotune: empty parameter axis (%s): nothing to sweep"
+            (String.concat ", " empty_axes)))
+  else
   Telemetry.Span.with_ "autotune" @@ fun () ->
   (* one memo for the whole sweep: grid points that differ only in
      attributes or linkage reuse every NLR summary. A store brings its
@@ -93,14 +106,19 @@ let search ?(engine = Engine.Sequential) ?memo ?store ?filters ?attrs
   let ranked = List.stable_sort better candidates in
   let after = Memo.stats memo in
   match ranked with
-  | [] -> assert false
+  | [] ->
+    (* unreachable (every axis was checked non-empty above), but a
+       degenerate grid must stay an [Error], never an assertion a
+       resident daemon dies on *)
+    Error (Session.Invalid "autotune: empty parameter grid: nothing to sweep")
   | best :: _ ->
-    { best;
-      ranked;
-      evaluated = List.length candidates;
-      cache =
-        { Memo.hits = after.Memo.hits - before.Memo.hits;
-          misses = after.Memo.misses - before.Memo.misses } }
+    Ok
+      { best;
+        ranked;
+        evaluated = List.length candidates;
+        cache =
+          { Memo.hits = after.Memo.hits - before.Memo.hits;
+            misses = after.Memo.misses - before.Memo.misses } }
 
 let render r =
   Difftrace_util.Texttable.render

@@ -46,10 +46,14 @@ val evaluate :
     Defaults: sequential engine, a fresh memo, MPI-all + everything
     filters; all six Table V attribute specs; K ∈ {10}; ward linkage.
     Pass [memo] to keep the cache warm across multiple searches, or
-    [store] (not both — [Invalid_argument]) to warm the sweep from disk
-    and persist its summaries/matrices; [cache] then reports the
-    disk-backed reuse too. Raises [Invalid_argument] if any axis is
-    empty. *)
+    [store] (not both — [Invalid_argument], an API-misuse bug) to warm
+    the sweep from disk and persist its summaries/matrices; [cache]
+    then reports the disk-backed reuse too. An {e empty axis} — an
+    empty [filters], [attrs], [ks] or [linkages] list, however it
+    reached us — is request data, not a bug, so it returns
+    [Error (Session.Invalid _)] naming the empty axes instead of
+    raising: a daemon sweeping a caller-supplied grid must be able to
+    report it and live. *)
 val search :
   ?engine:Engine.t ->
   ?memo:Memo.t ->
@@ -61,7 +65,7 @@ val search :
   normal:Difftrace_trace.Trace_set.t ->
   faulty:Difftrace_trace.Trace_set.t ->
   unit ->
-  result
+  (result, Session.error) Stdlib.result
 
 (** [render result] — a report table of the ranked candidates. *)
 val render : result -> string

@@ -30,7 +30,13 @@ let generate ?(engine = Engine.Sequential) ~fault_label ~(normal : R.outcome)
         (String.concat "," (List.map string_of_int r.R.tids)))
     faulty.R.races;
   let search =
-    Autotune.search ~engine ~normal:normal.R.traces ~faulty:faulty.R.traces ()
+    match
+      Autotune.search ~engine ~normal:normal.R.traces ~faulty:faulty.R.traces ()
+    with
+    | Ok r -> r
+    | Error e ->
+      (* unreachable: the default axes are non-empty *)
+      invalid_arg (Session.error_to_string e)
   in
   let best = search.Autotune.best.Autotune.config in
   pf "\n## Configuration search (%d evaluated)\n\n```\n%s```\n"

@@ -9,6 +9,8 @@ module Runtime = Difftrace_simulator.Runtime
 module Progress = Difftrace_temporal.Progress
 module Stacktree = Difftrace_stacktree.Stacktree
 module Diffnlr = Difftrace_diff.Diffnlr
+module Eventdb = Difftrace_eventdb.Eventdb
+module Equery = Difftrace_eventdb.Query
 
 type error =
   | Invalid of string
@@ -191,8 +193,10 @@ let render_suspects buf (c : Pipeline.comparison) =
     c.Pipeline.suspects
 
 (* the diffNLR section shared by the compare and analyze renderings;
-   [Ok None] = the runs have no trace in common *)
-let diffnlr_section (c : Pipeline.comparison) diffnlr =
+   [Ok None] = the runs have no trace in common. The event-DB footer
+   pins the suspect to a raw-event position so a ranked suspect is one
+   [difftrace query] away from its events. *)
+let diffnlr_section ~normal ~faulty (c : Pipeline.comparison) diffnlr =
   match (diffnlr, c.Pipeline.suspects) with
   | None, [||] -> Ok None
   | _ -> (
@@ -201,9 +205,14 @@ let diffnlr_section (c : Pipeline.comparison) diffnlr =
     in
     match Pipeline.find_diffnlr c target with
     | Ok d ->
+      let note =
+        Option.value ~default:""
+          (Eventdb.divergence_note ~normal ~faulty ~label:target)
+      in
       Ok
         (Some
-           (Diffnlr.render ~title:(Printf.sprintf "diffNLR(%s)" target) d))
+           (Diffnlr.render ~title:(Printf.sprintf "diffNLR(%s)" target) d
+           ^ note))
     | Error e -> Error (Unknown_label e))
 
 let compare_common ~style t config req =
@@ -219,7 +228,7 @@ let compare_common ~style t config req =
         | Some st -> Pipeline.compare_runs ~store:st config ~normal ~faulty
         | None -> Pipeline.compare_runs ~memo:t.ses_memo config ~normal ~faulty
       in
-      match diffnlr_section c req.cp_diffnlr with
+      match diffnlr_section ~normal ~faulty c req.cp_diffnlr with
       | Error e -> Error e
       | Ok diff -> (
         let salvaged = sv_n @ sv_f in
@@ -301,6 +310,94 @@ let triage ?outcome t config req =
     Buffer.add_string buf "STAT-style stack tree (where is everyone now):\n";
     Buffer.add_string buf (Stacktree.render (Stacktree.build ts));
     Ok { tg_entries = entries; tg_output = Buffer.contents buf }
+
+(* --- query ----------------------------------------------------------- *)
+
+type query_request = {
+  qy_text : string;
+  qy_source : source;
+  qy_against : source option;
+}
+
+type query_response = {
+  qy_kind : string;
+  qy_size : int;
+  qy_warm : bool;
+  qy_output : string;
+}
+
+let eventdb_runner engine =
+  let r = Engine.runner engine in
+  { Eventdb.run = (fun n f -> r.Engine.run n f) }
+
+(* indexes persist under the session store so warm reruns skip the
+   build; storeless sessions just build in memory *)
+let eventdb_dir t =
+  Option.map (fun st -> Filename.concat (Store.dir st) "eventdb") t.ses_store
+
+let db_labels (db : Eventdb.t) =
+  Array.map Eventdb.label db.Eventdb.db_threads
+
+let query t config req =
+  match Equery.parse req.qy_text with
+  | Error m -> Error (Invalid (Printf.sprintf "query: %s" m))
+  | Ok q -> (
+    if Equery.needs_against q && req.qy_against = None then
+      Error
+        (Invalid
+           "query: this query compares two runs; provide a second source \
+            (--against)")
+    else
+      let engine = config.Config.engine in
+      let open_db source =
+        match resolve t ~engine source with
+        | Error e -> Error e
+        | Ok (ts, _salvaged) ->
+          Ok (Eventdb.open_ ~runner:(eventdb_runner engine) ?dir:(eventdb_dir t) ts)
+      in
+      match open_db req.qy_source with
+      | Error e -> Error e
+      | Ok (db, how) -> (
+        let against =
+          match req.qy_against with
+          | None -> Ok None
+          | Some s -> (
+            match open_db s with
+            | Error e -> Error e
+            | Ok (adb, ahow) -> Ok (Some (adb, ahow)))
+        in
+        match against with
+        | Error e -> Error e
+        | Ok against -> (
+          let adb = Option.map fst against in
+          let warm =
+            how = `Loaded
+            && (match against with None -> true | Some (_, h) -> h = `Loaded)
+          in
+          match Equery.eval db ?against:adb q with
+          | Error (Equery.Unknown_thread l) ->
+            let known =
+              match adb with
+              | None -> db_labels db
+              | Some a -> Array.append (db_labels db) (db_labels a)
+            in
+            Error (Unknown_label { Pipeline.unknown = l; known })
+          | Error (Equery.Unknown_loop l) ->
+            Error
+              (Invalid
+                 (Printf.sprintf
+                    "query: unknown loop %s (the database has %d loop \
+                     bodies; see 'loops')"
+                    l
+                    (Difftrace_nlr.Nlr.Loop_table.size db.Eventdb.db_table)))
+          | Error Equery.Needs_against ->
+            Error (Invalid ("query: " ^ Equery.error_to_string Equery.Needs_against))
+          | Ok r ->
+            Ok
+              { qy_kind = Equery.kind r;
+                qy_size = Equery.size r;
+                qy_warm = warm;
+                qy_output = Equery.render r })))
 
 (* --- status ---------------------------------------------------------- *)
 

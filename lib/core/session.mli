@@ -166,6 +166,33 @@ val triage :
   triage_request ->
   (triage_response, error) result
 
+(** {2 Query}
+
+    The drill-down query language over the indexed event database
+    (see {!Difftrace_eventdb.Query} for the grammar). *)
+
+type query_request = {
+  qy_text : string;  (** one query line, e.g. ["count MPI_Send on 3"] *)
+  qy_source : source;
+  qy_against : source option;
+      (** the second (faulty) run, required by [diverge] *)
+}
+
+type query_response = {
+  qy_kind : string;  (** stable result-shape tag ("count", "list", ...) *)
+  qy_size : int;  (** headline match/row count *)
+  qy_warm : bool;  (** every index came off disk; no rebuild *)
+  qy_output : string;
+}
+
+(** [query t config req] parses and evaluates one query. With a store,
+    indexes persist under [<store>/eventdb/<digest>.edb] and warm
+    reruns load instead of rebuilding ([qy_warm]); index builds fan
+    per-thread work over [config]'s engine. Malformed queries are
+    [Invalid]; an unknown thread label is [Unknown_label] listing the
+    labels the database actually has. *)
+val query : t -> Config.t -> query_request -> (query_response, error) result
+
 (** {2 Status} *)
 
 type status = {

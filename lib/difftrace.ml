@@ -63,6 +63,10 @@ module Campaign = Difftrace_campaign.Campaign
    [Serve.Daemon], [Serve.Client], [Serve.Workload]. *)
 module Serve = Difftrace_serve
 
+(* The indexed event database and its drill-down query language. *)
+module Eventdb = Difftrace_eventdb.Eventdb
+module Query = Difftrace_eventdb.Query
+
 (* Diffing. *)
 module Diffnlr = Difftrace_diff.Diffnlr
 module Phasediff = Difftrace_diff.Phasediff

@@ -1,0 +1,587 @@
+module Event = Difftrace_trace.Event
+module Symtab = Difftrace_trace.Symtab
+module Trace = Difftrace_trace.Trace
+module Trace_set = Difftrace_trace.Trace_set
+module Nlr = Difftrace_nlr.Nlr
+module Varint = Difftrace_util.Varint
+module Telemetry = Difftrace_obs.Telemetry
+
+let c_builds = Telemetry.Counter.make "eventdb.builds"
+let c_loads = Telemetry.Counter.make "eventdb.loads"
+let c_saved = Telemetry.Counter.make "eventdb.saved"
+
+type runner = { run : 'a. int -> (int -> 'a) -> 'a array }
+
+let sequential = { run = (fun n f -> Array.init n f) }
+
+type loop_span = { lp_body : int; lp_count : int; lp_start : int; lp_stop : int }
+
+type thread = {
+  th_pid : int;
+  th_tid : int;
+  th_truncated : bool;
+  th_events : Event.t array;
+  th_postings : int array array;
+  th_intervals : Intervals.t array;
+  th_loops : loop_span array;
+}
+
+type t = {
+  db_digest : string;
+  db_symtab : Symtab.t;
+  db_table : Nlr.Loop_table.t;
+  db_threads : thread array;
+}
+
+let label th =
+  if th.th_tid = 0 then string_of_int th.th_pid
+  else Printf.sprintf "%d.%d" th.th_pid th.th_tid
+
+let long_label th = Printf.sprintf "%d.%d" th.th_pid th.th_tid
+
+let find_thread db l =
+  Array.find_opt (fun th -> label th = l || long_label th = l) db.db_threads
+
+(* {2 Content digest} *)
+
+let digest ts =
+  let buf = Buffer.create 4096 in
+  Array.iter
+    (fun name ->
+      Buffer.add_string buf name;
+      Buffer.add_char buf '\x00')
+    (Symtab.names (Trace_set.symtab ts));
+  Array.iter
+    (fun tr ->
+      Varint.write buf tr.Trace.pid;
+      Varint.write buf tr.Trace.tid;
+      Buffer.add_char buf (if tr.Trace.truncated then '\x01' else '\x00');
+      Varint.write buf (Array.length tr.Trace.events);
+      Array.iter (fun e -> Varint.write buf (Event.encode e)) tr.Trace.events)
+    (Trace_set.traces ts);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* {2 Loop spans}
+
+   Loops are recognized over the call-ID sequence, so spans live in
+   call-ordinal space first and are mapped to event positions through
+   the positions of the thread's [Call] events: a span runs from the
+   position of its first call to the position of the first call after
+   it (or the end of the stream). *)
+
+let body_expanded table memo id =
+  let rec body id =
+    match Hashtbl.find_opt memo id with
+    | Some v -> v
+    | None ->
+      let v = Array.fold_left (fun acc e -> acc + elem e) 0 (Nlr.Loop_table.body table id) in
+      Hashtbl.add memo id v;
+      v
+  and elem = function
+    | Nlr.Sym _ -> 1
+    | Nlr.Loop { body = b; count } -> count * body b
+  in
+  body id
+
+let loop_spans ~table ~call_pos ~n_events (nlr : Nlr.t) =
+  let memo = Hashtbl.create 16 in
+  let ncalls = Array.length call_pos in
+  let pos c = if c < ncalls then call_pos.(c) else n_events in
+  let spans = ref [] in
+  (* every loop instance at every nesting level gets a span, so [under
+     Lk] is a plain span-membership test; the instance count is bounded
+     by the call count, keeping this linear *)
+  let rec walk elems cursor =
+    Array.fold_left
+      (fun c e ->
+        match e with
+        | Nlr.Sym _ -> c + 1
+        | Nlr.Loop { body; count } ->
+          let blen = body_expanded table memo body in
+          let len = count * blen in
+          spans :=
+            { lp_body = body; lp_count = count; lp_start = pos c;
+              lp_stop = pos (c + len) }
+            :: !spans;
+          for i = 0 to count - 1 do
+            ignore (walk (Nlr.Loop_table.body table body) (c + (i * blen)))
+          done;
+          c + len)
+      cursor elems
+  in
+  ignore (walk nlr.Nlr.elems 0);
+  Array.of_list (List.rev !spans)
+
+let body_contains table ~outer ~inner =
+  let rec go outer =
+    outer = inner
+    || Array.exists
+         (function
+           | Nlr.Loop { body; _ } -> go body
+           | Nlr.Sym _ -> false)
+         (Nlr.Loop_table.body table outer)
+  in
+  go outer
+
+(* {2 Build}
+
+   Per-thread indexing is independent work fanned over the runner; each
+   thread summarizes into a private loop table, and the private tables
+   are re-interned into the shared one sequentially in thread order —
+   the same determinism recipe the pipeline uses, so sequential and
+   parallel builds are structurally identical. *)
+
+type built = {
+  b_postings : int array array;
+  b_intervals : Intervals.t array;
+  b_table : Nlr.Loop_table.t;
+  b_spans : loop_span array;
+}
+
+let index_events ~n_funcs events =
+  let postings = Array.make n_funcs [] in
+  let calls = ref [] in
+  let ncalls = ref 0 in
+  Array.iteri
+    (fun pos e ->
+      match e with
+      | Event.Call id ->
+        postings.(id) <- pos :: postings.(id);
+        calls := pos :: !calls;
+        incr ncalls
+      | Event.Return _ -> ())
+    events;
+  let call_pos = Array.make !ncalls 0 in
+  List.iteri (fun i p -> call_pos.(!ncalls - 1 - i) <- p) !calls;
+  let postings =
+    Array.map (fun ps -> Array.of_list (List.rev ps)) postings
+  in
+  (postings, call_pos)
+
+(* re-intern a private table into the shared one, returning the body-ID
+   map; body references inside a body always point backwards (bodies
+   are created innermost-first), so a single forward pass suffices *)
+let remap_table ~from ~into =
+  let n = Nlr.Loop_table.size from in
+  let map = Array.make n (-1) in
+  for id = 0 to n - 1 do
+    let rewritten =
+      Array.map
+        (function
+          | Nlr.Sym s -> Nlr.Sym s
+          | Nlr.Loop { body; count } -> Nlr.Loop { body = map.(body); count })
+        (Nlr.Loop_table.body from id)
+    in
+    map.(id) <- Nlr.Loop_table.intern into rewritten
+  done;
+  map
+
+let build ?(runner = sequential) ts =
+  Telemetry.Counter.incr c_builds;
+  let symtab = Trace_set.symtab ts in
+  let n_funcs = Symtab.size symtab in
+  let traces = Trace_set.traces ts in
+  let built =
+    runner.run (Array.length traces) (fun i ->
+        let tr = traces.(i) in
+        let postings, call_pos = index_events ~n_funcs tr.Trace.events in
+        let table = Nlr.Loop_table.create () in
+        let nlr = Nlr.of_ids ~table (Trace.call_ids tr) in
+        let spans =
+          loop_spans ~table ~call_pos
+            ~n_events:(Array.length tr.Trace.events)
+            nlr
+        in
+        { b_postings = postings;
+          b_intervals = Intervals.of_events tr.Trace.events;
+          b_table = table;
+          b_spans = spans })
+  in
+  let shared = Nlr.Loop_table.create () in
+  let threads =
+    Array.mapi
+      (fun i b ->
+        let tr = traces.(i) in
+        let map = remap_table ~from:b.b_table ~into:shared in
+        { th_pid = tr.Trace.pid;
+          th_tid = tr.Trace.tid;
+          th_truncated = tr.Trace.truncated;
+          th_events = tr.Trace.events;
+          th_postings = b.b_postings;
+          th_intervals = b.b_intervals;
+          th_loops =
+            Array.map (fun sp -> { sp with lp_body = map.(sp.lp_body) }) b.b_spans
+        })
+      built
+  in
+  { db_digest = digest ts; db_symtab = symtab; db_table = shared;
+    db_threads = threads }
+
+(* {2 On-disk encoding}
+
+   Records in backwards-reference order: symbols, loop bodies, then per
+   thread the event log (tag 3) followed by its postings (tag 4, one
+   record per called function, varint-delta positions), intervals
+   (tag 5) and loop spans (tag 6). *)
+
+let tag_symbol = 1
+let tag_body = 2
+let tag_thread = 3
+let tag_postings = 4
+let tag_intervals = 5
+let tag_loops = 6
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let write_elems buf elems =
+  Varint.write buf (Array.length elems);
+  Array.iter
+    (function
+      | Nlr.Sym id ->
+        Varint.write buf 0;
+        Varint.write buf id
+      | Nlr.Loop { body; count } ->
+        Varint.write buf 1;
+        Varint.write buf body;
+        Varint.write buf count)
+    elems
+
+let read_elems s pos =
+  let n, pos = Varint.read s pos in
+  let pos = ref pos in
+  let elems =
+    Array.init n (fun _ ->
+        let kind, p = Varint.read s !pos in
+        match kind with
+        | 0 ->
+          let id, p = Varint.read s p in
+          pos := p;
+          Nlr.Sym id
+        | 1 ->
+          let body, p = Varint.read s p in
+          let count, p = Varint.read s p in
+          pos := p;
+          Nlr.Loop { body; count }
+        | k -> bad "unknown element kind %d" k)
+  in
+  (elems, !pos)
+
+let payload tag f =
+  let b = Buffer.create 128 in
+  Buffer.add_char b (Char.chr tag);
+  f b;
+  Buffer.contents b
+
+let encode db =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf Framing.magic;
+  Array.iter
+    (fun name ->
+      Framing.add_record buf (payload tag_symbol (fun b -> Buffer.add_string b name)))
+    (Symtab.names db.db_symtab);
+  for id = 0 to Nlr.Loop_table.size db.db_table - 1 do
+    Framing.add_record buf
+      (payload tag_body (fun b -> write_elems b (Nlr.Loop_table.body db.db_table id)))
+  done;
+  Array.iteri
+    (fun ti th ->
+      Framing.add_record buf
+        (payload tag_thread (fun b ->
+             Varint.write b th.th_pid;
+             Varint.write b th.th_tid;
+             Varint.write b (if th.th_truncated then 1 else 0);
+             Varint.write b (Array.length th.th_events);
+             Array.iter (fun e -> Varint.write b (Event.encode e)) th.th_events));
+      Array.iteri
+        (fun func positions ->
+          if Array.length positions > 0 then
+            Framing.add_record buf
+              (payload tag_postings (fun b ->
+                   Varint.write b ti;
+                   Varint.write b func;
+                   Varint.write b (Array.length positions);
+                   let prev = ref 0 in
+                   Array.iter
+                     (fun p ->
+                       Varint.write b (p - !prev);
+                       prev := p)
+                     positions)))
+        th.th_postings;
+      Framing.add_record buf
+        (payload tag_intervals (fun b ->
+             Varint.write b ti;
+             Varint.write b (Array.length th.th_intervals);
+             let prev = ref 0 in
+             Array.iter
+               (fun (iv : Intervals.t) ->
+                 Varint.write b iv.Intervals.iv_func;
+                 Varint.write b (iv.Intervals.iv_start - !prev);
+                 prev := iv.Intervals.iv_start;
+                 Varint.write b (iv.Intervals.iv_stop - iv.Intervals.iv_start);
+                 Varint.write b iv.Intervals.iv_depth;
+                 Varint.write b (iv.Intervals.iv_caller + 1))
+               th.th_intervals));
+      Framing.add_record buf
+        (payload tag_loops (fun b ->
+             Varint.write b ti;
+             Varint.write b (Array.length th.th_loops);
+             Array.iter
+               (fun sp ->
+                 Varint.write b sp.lp_body;
+                 Varint.write b sp.lp_count;
+                 Varint.write b sp.lp_start;
+                 Varint.write b (sp.lp_stop - sp.lp_start))
+               th.th_loops)))
+    db.db_threads;
+  Buffer.contents buf
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+  end
+  else if not (Sys.is_directory dir) then
+    raise (Sys_error (dir ^ ": exists and is not a directory"))
+
+let index_file ~dir ~digest = Filename.concat dir (digest ^ ".edb")
+
+let save ~dir db =
+  match
+    mkdir_p dir;
+    Framing.write_atomic ~path:(index_file ~dir ~digest:db.db_digest) (encode db)
+  with
+  | () ->
+    Telemetry.Counter.incr c_saved;
+    Ok ()
+  | exception Sys_error reason -> Error reason
+  | exception Unix.Unix_error (e, _, arg) ->
+    Error (Printf.sprintf "%s: %s" arg (Unix.error_message e))
+
+(* decoding: strict — structural surprises are damage, and damage means
+   rebuild, so there is no salvage path to keep consistent *)
+
+type partial = {
+  mutable p_truncated : bool;
+  mutable p_events : Event.t array;
+  mutable p_postings : (int * int array) list;
+  mutable p_intervals : Intervals.t array;
+  mutable p_loops : loop_span array;
+}
+
+let decode ~digest payloads =
+  let symtab = Symtab.create () in
+  let table = Nlr.Loop_table.create () in
+  let threads = ref [] in
+  (* (pid, tid) in record order *)
+  let partials = Hashtbl.create 8 in
+  let nth ti =
+    match Hashtbl.find_opt partials ti with
+    | Some p -> p
+    | None -> bad "postings/intervals for unknown thread %d" ti
+  in
+  List.iter
+    (fun s ->
+      if String.length s = 0 then bad "empty record";
+      let tag = Char.code s.[0] in
+      let pos = 1 in
+      if tag = tag_symbol then
+        ignore (Symtab.intern symtab (String.sub s 1 (String.length s - 1)))
+      else if tag = tag_body then begin
+        let elems, pos = read_elems s pos in
+        if pos <> String.length s then bad "trailing bytes in body record";
+        ignore (Nlr.Loop_table.intern table elems)
+      end
+      else if tag = tag_thread then begin
+        let pid, pos = Varint.read s pos in
+        let tid, pos = Varint.read s pos in
+        let trunc, pos = Varint.read s pos in
+        let n, pos = Varint.read s pos in
+        let pos = ref pos in
+        let events =
+          Array.init n (fun _ ->
+              let e, p = Varint.read s !pos in
+              pos := p;
+              Event.decode e)
+        in
+        if !pos <> String.length s then bad "trailing bytes in thread record";
+        let p =
+          { p_truncated = trunc <> 0;
+            p_events = events;
+            p_postings = [];
+            p_intervals = [||];
+            p_loops = [||] }
+        in
+        Hashtbl.replace partials (List.length !threads) p;
+        threads := (pid, tid) :: !threads
+      end
+      else if tag = tag_postings then begin
+        let ti, pos = Varint.read s pos in
+        let func, pos = Varint.read s pos in
+        let n, pos = Varint.read s pos in
+        let pos = ref pos in
+        let prev = ref 0 in
+        let positions =
+          Array.init n (fun _ ->
+              let d, p = Varint.read s !pos in
+              pos := p;
+              prev := !prev + d;
+              !prev)
+        in
+        if !pos <> String.length s then bad "trailing bytes in postings record";
+        if func >= Symtab.size symtab then bad "postings for unknown function";
+        let p = nth ti in
+        p.p_postings <- (func, positions) :: p.p_postings
+      end
+      else if tag = tag_intervals then begin
+        let ti, pos = Varint.read s pos in
+        let n, pos = Varint.read s pos in
+        let pos = ref pos in
+        let prev = ref 0 in
+        let ivs =
+          Array.init n (fun _ ->
+              let func, p = Varint.read s !pos in
+              let dstart, p = Varint.read s p in
+              let len, p = Varint.read s p in
+              let depth, p = Varint.read s p in
+              let caller1, p = Varint.read s p in
+              pos := p;
+              prev := !prev + dstart;
+              { Intervals.iv_func = func;
+                iv_start = !prev;
+                iv_stop = !prev + len;
+                iv_depth = depth;
+                iv_caller = caller1 - 1 })
+        in
+        if !pos <> String.length s then bad "trailing bytes in interval record";
+        (nth ti).p_intervals <- ivs
+      end
+      else if tag = tag_loops then begin
+        let ti, pos = Varint.read s pos in
+        let n, pos = Varint.read s pos in
+        let pos = ref pos in
+        let spans =
+          Array.init n (fun _ ->
+              let body, p = Varint.read s !pos in
+              let count, p = Varint.read s p in
+              let start, p = Varint.read s p in
+              let len, p = Varint.read s p in
+              pos := p;
+              if body >= Nlr.Loop_table.size table then
+                bad "span for unknown loop body";
+              { lp_body = body; lp_count = count; lp_start = start;
+                lp_stop = start + len })
+        in
+        if !pos <> String.length s then bad "trailing bytes in loop record";
+        (nth ti).p_loops <- spans
+      end
+      else bad "unknown record tag %d" tag)
+    payloads;
+  let n_funcs = Symtab.size symtab in
+  let ids = Array.of_list (List.rev !threads) in
+  let threads =
+    Array.mapi
+      (fun ti (pid, tid) ->
+        let p = Hashtbl.find partials ti in
+        let postings = Array.make n_funcs [||] in
+        List.iter (fun (func, ps) -> postings.(func) <- ps) p.p_postings;
+        { th_pid = pid;
+          th_tid = tid;
+          th_truncated = p.p_truncated;
+          th_events = p.p_events;
+          th_postings = postings;
+          th_intervals = p.p_intervals;
+          th_loops = p.p_loops })
+      ids
+  in
+  { db_digest = digest; db_symtab = symtab; db_table = table;
+    db_threads = threads }
+
+let load ~dir ~digest =
+  let path = index_file ~dir ~digest in
+  if not (Sys.file_exists path) then Error "no index"
+  else
+    match Framing.read_file path with
+    | exception Sys_error reason -> Error reason
+    | image -> (
+      match Framing.scan image with
+      | Error reason -> Error reason
+      | Ok payloads -> (
+        match decode ~digest payloads with
+        | db ->
+          Telemetry.Counter.incr c_loads;
+          Ok db
+        | exception Bad reason -> Error reason
+        | exception Invalid_argument reason -> Error reason))
+
+let open_ ?(runner = sequential) ?dir ts =
+  let dg = digest ts in
+  match dir with
+  | None -> (build ~runner ts, `Built)
+  | Some d -> (
+    match load ~dir:d ~digest:dg with
+    | Ok db -> (db, `Loaded)
+    | Error _ ->
+      let db = build ~runner ts in
+      (* best-effort persist: an unwritable store directory costs the
+         warm path, never the query *)
+      (match save ~dir:d db with Ok () | Error _ -> ());
+      (db, `Built))
+
+(* {2 Divergence} *)
+
+let events_equal syma ea symb eb =
+  match (ea, eb) with
+  | Event.Call a, Event.Call b | Event.Return a, Event.Return b ->
+    String.equal (Symtab.name syma a) (Symtab.name symb b)
+  | _ -> false
+
+let stream_divergence syma a symb b =
+  let na = Array.length a and nb = Array.length b in
+  let n = min na nb in
+  let rec go i =
+    if i < n then
+      if events_equal syma a.(i) symb b.(i) then go (i + 1) else Some i
+    else if na <> nb then Some n
+    else None
+  in
+  go 0
+
+let find_by_label ts l =
+  Array.find_opt
+    (fun tr -> Trace.label ~short:true tr = l || Trace.label tr = l)
+    (Trace_set.traces ts)
+
+let divergence_note ~normal ~faulty ~label =
+  match (find_by_label normal label, find_by_label faulty label) with
+  | Some n, Some f -> (
+    let nsym = Trace_set.symtab normal and fsym = Trace_set.symtab faulty in
+    match stream_divergence nsym n.Trace.events fsym f.Trace.events with
+    | None ->
+      Some
+        (Printf.sprintf "  event db: trace %s: streams identical (%d events)\n"
+           label (Array.length n.Trace.events))
+    | Some pos ->
+      let side sym (tr : Trace.t) =
+        if pos < Array.length tr.Trace.events then
+          Event.to_string sym tr.Trace.events.(pos)
+        else "end of trace"
+      in
+      let hint =
+        match
+          if pos < Array.length f.Trace.events then Some (fsym, f.Trace.events.(pos))
+          else if pos < Array.length n.Trace.events then Some (nsym, n.Trace.events.(pos))
+          else None
+        with
+        | Some (sym, Event.Call id) ->
+          Printf.sprintf "list %s on %s in %d..%d" (Symtab.name sym id) label pos
+            (pos + 10)
+        | _ -> Printf.sprintf "diverge on %s" label
+      in
+      Some
+        (Printf.sprintf
+           "  event db: trace %s: first divergence at event %d (normal: %s, \
+            faulty: %s); drill down: difftrace query '%s'\n"
+           label pos (side nsym n) (side fsym f) hint))
+  | _ -> None

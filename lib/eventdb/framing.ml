@@ -1,0 +1,57 @@
+module Crc32 = Difftrace_util.Crc32
+module Varint = Difftrace_util.Varint
+
+let magic = "difftrace-eventdb 1\n"
+
+let add_record buf payload =
+  Varint.write buf (String.length payload);
+  Buffer.add_string buf payload;
+  Buffer.add_string buf (Crc32.to_le_bytes (Crc32.string payload))
+
+let scan image =
+  let mlen = String.length magic in
+  if String.length image < mlen || String.sub image 0 mlen <> magic then
+    Error "unrecognized magic/version"
+  else begin
+    let total = String.length image in
+    let payloads = ref [] in
+    let damage = ref None in
+    let pos = ref mlen in
+    (try
+       while !pos < total && !damage = None do
+         let len, p = Varint.read image !pos in
+         if p + len + 4 > total then
+           damage := Some (Printf.sprintf "truncated record at byte %d" !pos)
+         else begin
+           let payload = String.sub image p len in
+           let crc = Crc32.of_le_bytes image (p + len) in
+           if Crc32.string payload <> crc then
+             damage := Some (Printf.sprintf "CRC mismatch at byte %d" !pos)
+           else begin
+             payloads := payload :: !payloads;
+             pos := p + len + 4
+           end
+         end
+       done
+     with Invalid_argument _ ->
+       damage := Some (Printf.sprintf "malformed framing at byte %d" !pos));
+    match !damage with
+    | Some reason -> Error reason
+    | None -> Ok (List.rev !payloads)
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_atomic ~path contents =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try output_string oc contents
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc;
+  Sys.rename tmp path

@@ -1,0 +1,25 @@
+(** CRC-framed record files for the event database.
+
+    Same shape as the analysis store's file: a magic line, then records
+    of (varint payload length, payload, CRC-32 of the payload as 4 LE
+    bytes). Payload byte 0 is the record tag. A flipped bit anywhere in
+    a record is detected before any structural decoding happens. *)
+
+val magic : string
+
+(** [add_record buf payload] appends one framed record. *)
+val add_record : Buffer.t -> string -> unit
+
+(** [scan image] splits a file image into CRC-checked payloads. Returns
+    [Ok payloads] only when the magic matches, every record checks out
+    and no trailing bytes remain — an index is rebuilt wholesale on any
+    damage, so there is no salvage mode here. Never raises. *)
+val scan : string -> (string list, string) result
+
+(** [read_file path] is the whole file as a string.
+    Raises [Sys_error] on IO failure. *)
+val read_file : string -> string
+
+(** [write_atomic ~path contents] writes via a [.tmp] sibling and
+    renames into place. Raises [Sys_error] on IO failure. *)
+val write_atomic : path:string -> string -> unit

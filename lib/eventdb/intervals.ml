@@ -1,0 +1,72 @@
+module Event = Difftrace_trace.Event
+
+type t = {
+  iv_func : int;
+  iv_start : int;
+  iv_stop : int;
+  iv_depth : int;
+  iv_caller : int;
+}
+
+(* mutable while the stream is being walked; frozen into [t] at the end *)
+type frame = {
+  f_func : int;
+  f_start : int;
+  f_depth : int;
+  f_caller : int;
+  mutable f_stop : int;
+}
+
+let of_events events =
+  let n = Array.length events in
+  let order = ref [] in
+  (* every frame, in call order *)
+  let stack = ref [] in
+  let depth = ref 0 in
+  let push func pos =
+    let caller = match !stack with [] -> -1 | top :: _ -> top.f_func in
+    let f =
+      { f_func = func;
+        f_start = pos;
+        f_depth = !depth;
+        f_caller = caller;
+        f_stop = -1 }
+    in
+    stack := f :: !stack;
+    incr depth;
+    order := f :: !order
+  in
+  let close pos func =
+    (* close up to and including the deepest frame of [func]; a return
+       with no open matching call is dropped *)
+    if List.exists (fun f -> f.f_func = func) !stack then begin
+      let continue = ref true in
+      while !continue do
+        match !stack with
+        | [] -> continue := false
+        | top :: rest ->
+          top.f_stop <- pos;
+          stack := rest;
+          decr depth;
+          if top.f_func = func then continue := false
+      done
+    end
+  in
+  Array.iteri
+    (fun pos e ->
+      match e with
+      | Event.Call id -> push id pos
+      | Event.Return id -> close pos id)
+    events;
+  List.iter (fun f -> if f.f_stop < 0 then f.f_stop <- n) !stack;
+  let frames = Array.of_list (List.rev !order) in
+  Array.map
+    (fun f ->
+      { iv_func = f.f_func;
+        iv_start = f.f_start;
+        iv_stop = f.f_stop;
+        iv_depth = f.f_depth;
+        iv_caller = f.f_caller })
+    frames
+
+let contains iv pos = pos > iv.iv_start && pos <= iv.iv_stop

@@ -1,0 +1,28 @@
+(** Call intervals: the [call .. return] span of every invocation.
+
+    One interval per [Call] event of a thread's trace, in call order.
+    Positions are event indices into the thread's event array, so an
+    interval pins an invocation to the exact byte-stable places the
+    event database reports. Calls whose return never arrives (hung or
+    truncated threads) stay open: their [iv_stop] is the event count. *)
+
+type t = {
+  iv_func : int;  (** callee function ID *)
+  iv_start : int;  (** event position of the [Call] *)
+  iv_stop : int;
+      (** event position of the matching [Return], or the event count
+          when the call never returned *)
+  iv_depth : int;  (** nesting depth; 0 = top level *)
+  iv_caller : int;  (** function ID of the enclosing call, -1 at depth 0 *)
+}
+
+(** [of_events events] matches calls to returns with a stack walk and
+    returns every interval in [iv_start] order. Tolerant of malformed
+    streams: an unmatched [Return] closes every frame above its match
+    (or is dropped when nothing matches), and frames still open at the
+    end of the stream stay open. Never raises. *)
+val of_events : Difftrace_trace.Event.t array -> t array
+
+(** [contains iv pos] — is event position [pos] inside [iv], excluding
+    the [Call] event itself? *)
+val contains : t -> int -> bool

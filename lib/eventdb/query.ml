@@ -1,0 +1,600 @@
+module Event = Difftrace_trace.Event
+module Symtab = Difftrace_trace.Symtab
+module Nlr = Difftrace_nlr.Nlr
+module Texttable = Difftrace_util.Texttable
+
+type marker = { m_func : string; m_occ : int }
+type range = Whole | Span of int * int | Between of marker * marker
+type under = U_loop of int | U_func of string
+
+type t =
+  | Count of { fn : string; thread : string option; range : range }
+  | List of { fn : string; thread : string option; range : range; limit : int }
+  | Sites of { fn : string; under : under option; thread : string option }
+  | Loops of { thread : string option }
+  | Diverge of { thread : string option }
+  | Threads
+  | Functions of { limit : int }
+
+(* {2 Parsing} *)
+
+let default_limit = 20
+
+let parse_int tok what =
+  match int_of_string_opt tok with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "%s: expected a number, got %S" what tok)
+
+let parse_marker tok =
+  match String.index_opt tok '#' with
+  | None -> Ok { m_func = tok; m_occ = 1 }
+  | Some i -> (
+    let name = String.sub tok 0 i in
+    let occ = String.sub tok (i + 1) (String.length tok - i - 1) in
+    if name = "" then Error (Printf.sprintf "marker %S has no function name" tok)
+    else
+      match int_of_string_opt occ with
+      | Some n when n >= 1 -> Ok { m_func = name; m_occ = n }
+      | _ -> Error (Printf.sprintf "marker %S: occurrence must be a number >= 1" tok))
+
+let parse_span tok =
+  match String.index_opt tok '.' with
+  | Some i
+    when i + 1 < String.length tok
+         && tok.[i + 1] = '.'
+         && i > 0
+         && i + 2 < String.length tok -> (
+    let lo = String.sub tok 0 i in
+    let hi = String.sub tok (i + 2) (String.length tok - i - 2) in
+    match (int_of_string_opt lo, int_of_string_opt hi) with
+    | Some lo, Some hi when lo >= 0 && hi >= lo -> Ok (lo, hi)
+    | _ -> Error (Printf.sprintf "bad interval %S (want LO..HI, 0 <= LO <= HI)" tok))
+  | _ -> Error (Printf.sprintf "bad interval %S (want LO..HI)" tok)
+
+let parse_under tok =
+  let is_loop =
+    String.length tok >= 2
+    && tok.[0] = 'L'
+    && String.for_all (fun c -> c >= '0' && c <= '9')
+         (String.sub tok 1 (String.length tok - 1))
+  in
+  if is_loop then U_loop (int_of_string (String.sub tok 1 (String.length tok - 1)))
+  else U_func tok
+
+(* the optional clauses shared by count/list/sites, in any order *)
+type clauses = {
+  c_thread : string option;
+  c_range : range;
+  c_limit : int option;
+  c_under : under option;
+}
+
+let rec parse_clauses ~allow acc = function
+  | [] -> Ok acc
+  | "on" :: t :: rest when List.mem `On allow ->
+    if acc.c_thread <> None then Error "duplicate 'on' clause"
+    else parse_clauses ~allow { acc with c_thread = Some t } rest
+  | [ "on" ] -> Error "'on' needs a thread label"
+  | "in" :: s :: rest when List.mem `Range allow -> (
+    if acc.c_range <> Whole then Error "only one 'in'/'between' clause"
+    else
+      match parse_span s with
+      | Error e -> Error e
+      | Ok (lo, hi) -> parse_clauses ~allow { acc with c_range = Span (lo, hi) } rest)
+  | [ "in" ] -> Error "'in' needs an interval LO..HI"
+  | "between" :: m1 :: "and" :: m2 :: rest when List.mem `Range allow -> (
+    if acc.c_range <> Whole then Error "only one 'in'/'between' clause"
+    else
+      match (parse_marker m1, parse_marker m2) with
+      | Error e, _ | _, Error e -> Error e
+      | Ok m1, Ok m2 ->
+        parse_clauses ~allow { acc with c_range = Between (m1, m2) } rest)
+  | "between" :: _ when List.mem `Range allow ->
+    Error "'between' needs two markers: between M1 and M2"
+  | "limit" :: n :: rest when List.mem `Limit allow -> (
+    match parse_int n "limit" with
+    | Error e -> Error e
+    | Ok n when n >= 1 -> parse_clauses ~allow { acc with c_limit = Some n } rest
+    | Ok _ -> Error "limit must be >= 1")
+  | [ "limit" ] -> Error "'limit' needs a number"
+  | "under" :: u :: rest when List.mem `Under allow ->
+    if acc.c_under <> None then Error "duplicate 'under' clause"
+    else parse_clauses ~allow { acc with c_under = Some (parse_under u) } rest
+  | [ "under" ] -> Error "'under' needs a loop label or function name"
+  | tok :: _ -> Error (Printf.sprintf "unexpected token %S" tok)
+
+let empty_clauses =
+  { c_thread = None; c_range = Whole; c_limit = None; c_under = None }
+
+let parse text =
+  let toks =
+    String.split_on_char ' ' text
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun s -> s <> "")
+  in
+  let grammar_hint =
+    "queries: count F | list F | sites F | loops | diverge | threads | funcs \
+     (see MANUAL.md)"
+  in
+  match toks with
+  | [] -> Error ("empty query; " ^ grammar_hint)
+  | "count" :: fn :: rest when fn <> "" -> (
+    match parse_clauses ~allow:[ `On; `Range ] empty_clauses rest with
+    | Error e -> Error e
+    | Ok c -> Ok (Count { fn; thread = c.c_thread; range = c.c_range }))
+  | [ "count" ] -> Error "count needs a function name"
+  | "list" :: fn :: rest when fn <> "" -> (
+    match parse_clauses ~allow:[ `On; `Range; `Limit ] empty_clauses rest with
+    | Error e -> Error e
+    | Ok c ->
+      Ok
+        (List
+           { fn;
+             thread = c.c_thread;
+             range = c.c_range;
+             limit = Option.value c.c_limit ~default:default_limit }))
+  | [ "list" ] -> Error "list needs a function name"
+  | "sites" :: fn :: rest when fn <> "" -> (
+    match parse_clauses ~allow:[ `On; `Under ] empty_clauses rest with
+    | Error e -> Error e
+    | Ok c -> Ok (Sites { fn; under = c.c_under; thread = c.c_thread }))
+  | [ "sites" ] -> Error "sites needs a function name"
+  | "loops" :: rest -> (
+    match parse_clauses ~allow:[ `On ] empty_clauses rest with
+    | Error e -> Error e
+    | Ok c -> Ok (Loops { thread = c.c_thread }))
+  | "diverge" :: rest -> (
+    match parse_clauses ~allow:[ `On ] empty_clauses rest with
+    | Error e -> Error e
+    | Ok c -> Ok (Diverge { thread = c.c_thread }))
+  | [ "threads" ] -> Ok Threads
+  | "threads" :: _ -> Error "threads takes no arguments"
+  | ("funcs" | "functions") :: rest -> (
+    match parse_clauses ~allow:[ `Limit ] empty_clauses rest with
+    | Error e -> Error e
+    | Ok c -> Ok (Functions { limit = Option.value c.c_limit ~default:default_limit }))
+  | verb :: _ -> Error (Printf.sprintf "unknown query %S; %s" verb grammar_hint)
+
+let needs_against = function
+  | Diverge _ -> true
+  | Count _ | List _ | Sites _ | Loops _ | Threads | Functions _ -> false
+
+(* {2 Evaluation} *)
+
+type hit = { h_thread : string; h_pos : int; h_depth : int; h_caller : string }
+
+type result =
+  | R_count of { subject : string; total : int }
+  | R_list of { subject : string; total : int; hits : hit list }
+  | R_sites of { subject : string; rows : (string * string * int * int) list }
+  | R_loops of { rows : (string * string * int * int * int * string) list }
+  | R_diverge of {
+      compared : int;
+      first : (string * int) option;
+      rows : (string * string * string * string) list;
+    }
+  | R_threads of (string * int * int * int * bool) list
+  | R_funcs of { total : int; rows : (string * int * int) list }
+
+type error =
+  | Unknown_thread of string
+  | Unknown_loop of string
+  | Needs_against
+
+let error_to_string = function
+  | Unknown_thread l -> Printf.sprintf "unknown thread %s" l
+  | Unknown_loop l -> Printf.sprintf "unknown loop %s" l
+  | Needs_against -> "this query compares two runs; provide a second source"
+
+let ( let* ) = Result.bind
+
+let selected (db : Eventdb.t) = function
+  | None -> Ok (Array.to_list db.Eventdb.db_threads)
+  | Some l -> (
+    match Eventdb.find_thread db l with
+    | Some th -> Ok [ th ]
+    | None -> Error (Unknown_thread l))
+
+let postings_of (db : Eventdb.t) (th : Eventdb.thread) fn =
+  match Symtab.find_opt db.Eventdb.db_symtab fn with
+  | None -> [||]
+  | Some id ->
+    if id < Array.length th.Eventdb.th_postings then th.Eventdb.th_postings.(id)
+    else [||]
+
+let marker_pos db th m =
+  let ps = postings_of db th m.m_func in
+  if m.m_occ <= Array.length ps then Some ps.(m.m_occ - 1) else None
+
+(* the half-open event-position window a range denotes on one thread;
+   [None] when a marker is absent there *)
+let resolve_range db (th : Eventdb.thread) = function
+  | Whole -> Some (0, Array.length th.Eventdb.th_events)
+  | Span (lo, hi) -> Some (lo, min hi (Array.length th.Eventdb.th_events))
+  | Between (m1, m2) -> (
+    match (marker_pos db th m1, marker_pos db th m2) with
+    | Some p1, Some p2 when p2 >= p1 -> Some (p1, p2 + 1)
+    | _ -> None)
+
+(* the interval opened by the call at [pos]; postings positions are
+   exactly the interval starts, and intervals are sorted by start *)
+let interval_at (th : Eventdb.thread) pos =
+  let ivs = th.Eventdb.th_intervals in
+  let lo = ref 0 and hi = ref (Array.length ivs - 1) in
+  let found = ref None in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let s = ivs.(mid).Intervals.iv_start in
+    if s = pos then begin
+      found := Some ivs.(mid);
+      lo := !hi + 1
+    end
+    else if s < pos then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let caller_name (db : Eventdb.t) (th : Eventdb.thread) pos =
+  match interval_at th pos with
+  | Some iv when iv.Intervals.iv_caller >= 0 ->
+    Symtab.name db.Eventdb.db_symtab iv.Intervals.iv_caller
+  | _ -> "-"
+
+let depth_at th pos =
+  match interval_at th pos with
+  | Some iv -> iv.Intervals.iv_depth
+  | None -> 0
+
+let marker_to_string m =
+  if m.m_occ = 1 then m.m_func else Printf.sprintf "%s#%d" m.m_func m.m_occ
+
+let range_suffix = function
+  | Whole -> ""
+  | Span (lo, hi) -> Printf.sprintf " in %d..%d" lo hi
+  | Between (m1, m2) ->
+    Printf.sprintf " between %s and %s" (marker_to_string m1) (marker_to_string m2)
+
+let thread_suffix = function None -> "" | Some t -> " on " ^ t
+
+let matches db th fn range =
+  match resolve_range db th range with
+  | None -> [||]
+  | Some (lo, hi) ->
+    postings_of db th fn |> Array.to_list
+    |> List.filter (fun p -> p >= lo && p < hi)
+    |> Array.of_list
+
+let under_filter db (th : Eventdb.thread) = function
+  | None -> Ok (fun _ -> true)
+  | Some (U_loop k) ->
+    if k >= Nlr.Loop_table.size db.Eventdb.db_table then
+      Error (Unknown_loop (Nlr.Loop_table.label k))
+    else
+      Ok
+        (fun p ->
+          Array.exists
+            (fun (sp : Eventdb.loop_span) ->
+              sp.Eventdb.lp_body = k
+              && p >= sp.Eventdb.lp_start
+              && p < sp.Eventdb.lp_stop)
+            th.Eventdb.th_loops)
+  | Some (U_func g) -> (
+    match Symtab.find_opt db.Eventdb.db_symtab g with
+    | None -> Ok (fun _ -> false)
+    | Some gid ->
+      let gvs =
+        Array.to_list th.Eventdb.th_intervals
+        |> List.filter (fun (iv : Intervals.t) -> iv.Intervals.iv_func = gid)
+      in
+      Ok (fun p -> List.exists (fun iv -> Intervals.contains iv p) gvs))
+
+let under_suffix = function
+  | None -> ""
+  | Some (U_loop k) -> " under " ^ Nlr.Loop_table.label k
+  | Some (U_func g) -> " under " ^ g
+
+let eval_diverge (a : Eventdb.t) (b : Eventdb.t) thread =
+  let labels =
+    let of_db (db : Eventdb.t) =
+      Array.to_list (Array.map Eventdb.label db.Eventdb.db_threads)
+    in
+    let la = of_db a in
+    la @ List.filter (fun l -> not (List.mem l la)) (of_db b)
+  in
+  let* labels =
+    match thread with
+    | None -> Ok labels
+    | Some l -> if List.mem l labels then Ok [ l ] else Error (Unknown_thread l)
+  in
+  let asym = a.Eventdb.db_symtab and bsym = b.Eventdb.db_symtab in
+  let first = ref None in
+  let rows =
+    List.filter_map
+      (fun l ->
+        match (Eventdb.find_thread a l, Eventdb.find_thread b l) with
+        | Some ta, Some tb -> (
+          match
+            Eventdb.stream_divergence asym ta.Eventdb.th_events bsym
+              tb.Eventdb.th_events
+          with
+          | None -> None
+          | Some p ->
+            let side sym (th : Eventdb.thread) =
+              if p < Array.length th.Eventdb.th_events then
+                Event.to_string sym th.Eventdb.th_events.(p)
+              else "end of trace"
+            in
+            (match !first with
+            | Some (_, best) when best <= p -> ()
+            | _ -> first := Some (l, p));
+            Some (l, string_of_int p, side asym ta, side bsym tb))
+        | Some ta, None ->
+          Some
+            ( l,
+              "-",
+              Printf.sprintf "%d events" (Array.length ta.Eventdb.th_events),
+              "missing thread" )
+        | None, Some tb ->
+          Some
+            ( l,
+              "-",
+              "missing thread",
+              Printf.sprintf "%d events" (Array.length tb.Eventdb.th_events) )
+        | None, None -> None)
+      labels
+  in
+  Ok (R_diverge { compared = List.length labels; first = !first; rows })
+
+let eval db ?against q =
+  match q with
+  | Count { fn; thread; range } ->
+    let* ths = selected db thread in
+    let total =
+      List.fold_left (fun acc th -> acc + Array.length (matches db th fn range)) 0 ths
+    in
+    Ok
+      (R_count
+         { subject = fn ^ thread_suffix thread ^ range_suffix range; total })
+  | List { fn; thread; range; limit } ->
+    let* ths = selected db thread in
+    let all =
+      List.concat_map
+        (fun th ->
+          let l = Eventdb.label th in
+          Array.to_list (matches db th fn range)
+          |> List.map (fun p ->
+                 { h_thread = l;
+                   h_pos = p;
+                   h_depth = depth_at th p;
+                   h_caller = caller_name db th p }))
+        ths
+    in
+    let total = List.length all in
+    let hits = List.filteri (fun i _ -> i < limit) all in
+    Ok
+      (R_list
+         { subject = fn ^ thread_suffix thread ^ range_suffix range; total; hits })
+  | Sites { fn; under; thread } ->
+    let* ths = selected db thread in
+    let* rows =
+      List.fold_left
+        (fun acc th ->
+          let* acc = acc in
+          let* keep = under_filter db th under in
+          let l = Eventdb.label th in
+          let sites = ref [] in
+          (* (caller, count, first) in first-seen order *)
+          Array.iter
+            (fun p ->
+              if keep p then begin
+                let caller = caller_name db th p in
+                match List.assoc_opt caller !sites with
+                | Some (count, firstp) ->
+                  sites :=
+                    (caller, (count + 1, firstp))
+                    :: List.remove_assoc caller !sites
+                | None -> sites := (caller, (1, p)) :: !sites
+              end)
+            (postings_of db th fn);
+          let here =
+            List.rev !sites
+            |> List.map (fun (caller, (count, firstp)) -> (l, caller, count, firstp))
+            |> List.sort (fun (_, _, _, fa) (_, _, _, fb) -> compare fa fb)
+          in
+          Ok (acc @ here))
+        (Ok []) ths
+    in
+    Ok
+      (R_sites
+         { subject = fn ^ under_suffix under ^ thread_suffix thread; rows })
+  | Loops { thread } ->
+    let* ths = selected db thread in
+    let rows =
+      List.concat_map
+        (fun th ->
+          let l = Eventdb.label th in
+          let groups = ref [] in
+          (* body -> (instances, iters, first) *)
+          Array.iter
+            (fun (sp : Eventdb.loop_span) ->
+              match List.assoc_opt sp.Eventdb.lp_body !groups with
+              | Some (n, iters, first) ->
+                groups :=
+                  ( sp.Eventdb.lp_body,
+                    (n + 1, iters + sp.Eventdb.lp_count, min first sp.Eventdb.lp_start)
+                  )
+                  :: List.remove_assoc sp.Eventdb.lp_body !groups
+              | None ->
+                groups :=
+                  (sp.Eventdb.lp_body, (1, sp.Eventdb.lp_count, sp.Eventdb.lp_start))
+                  :: !groups)
+            th.Eventdb.th_loops;
+          List.rev !groups
+          |> List.map (fun (body, (n, iters, first)) ->
+                 ( Nlr.Loop_table.label body,
+                   l,
+                   n,
+                   iters,
+                   first,
+                   Nlr.body_to_string ~table:db.Eventdb.db_table
+                     db.Eventdb.db_symtab body )))
+        ths
+    in
+    Ok (R_loops { rows })
+  | Diverge { thread } -> (
+    match against with
+    | None -> Error Needs_against
+    | Some b -> eval_diverge db b thread)
+  | Threads ->
+    Ok
+      (R_threads
+         (Array.to_list db.Eventdb.db_threads
+         |> List.map (fun (th : Eventdb.thread) ->
+                ( Eventdb.label th,
+                  Array.length th.Eventdb.th_events,
+                  Array.length th.Eventdb.th_intervals,
+                  Array.length th.Eventdb.th_loops,
+                  th.Eventdb.th_truncated ))))
+  | Functions { limit } ->
+    let names = Symtab.names db.Eventdb.db_symtab in
+    let rows =
+      Array.to_list
+        (Array.mapi
+           (fun id name ->
+             let calls, threads =
+               Array.fold_left
+                 (fun (c, t) (th : Eventdb.thread) ->
+                   let n =
+                     if id < Array.length th.Eventdb.th_postings then
+                       Array.length th.Eventdb.th_postings.(id)
+                     else 0
+                   in
+                   (c + n, if n > 0 then t + 1 else t))
+                 (0, 0) db.Eventdb.db_threads
+             in
+             (name, calls, threads))
+           names)
+      |> List.filter (fun (_, calls, _) -> calls > 0)
+      |> List.sort (fun (na, ca, _) (nb, cb, _) ->
+             if ca <> cb then compare cb ca else compare na nb)
+    in
+    let total = List.length rows in
+    Ok (R_funcs { total; rows = List.filteri (fun i _ -> i < limit) rows })
+
+(* {2 Rendering} *)
+
+let kind = function
+  | R_count _ -> "count"
+  | R_list _ -> "list"
+  | R_sites _ -> "sites"
+  | R_loops _ -> "loops"
+  | R_diverge _ -> "diverge"
+  | R_threads _ -> "threads"
+  | R_funcs _ -> "functions"
+
+let size = function
+  | R_count { total; _ } -> total
+  | R_list { total; _ } -> total
+  | R_sites { rows; _ } -> List.length rows
+  | R_loops { rows } -> List.length rows
+  | R_diverge { rows; _ } -> List.length rows
+  | R_threads rows -> List.length rows
+  | R_funcs { rows; _ } -> List.length rows
+
+let render = function
+  | R_count { subject; total } -> Printf.sprintf "calls of %s: %d\n" subject total
+  | R_list { subject; total; hits } ->
+    let head =
+      if total > List.length hits then
+        Printf.sprintf "calls of %s: %d (showing %d)\n" subject total
+          (List.length hits)
+      else Printf.sprintf "calls of %s: %d\n" subject total
+    in
+    if hits = [] then head
+    else
+      head
+      ^ Texttable.render
+          ~aligns:[ Texttable.Right; Left; Right; Left ]
+          ~headers:[ "Pos"; "Thread"; "Depth"; "Caller" ]
+          (List.map
+             (fun h ->
+               [ string_of_int h.h_pos;
+                 h.h_thread;
+                 string_of_int h.h_depth;
+                 h.h_caller ])
+             hits)
+  | R_sites { subject; rows } ->
+    let head =
+      Printf.sprintf "call sites of %s: %d site(s)\n" subject (List.length rows)
+    in
+    if rows = [] then head
+    else
+      head
+      ^ Texttable.render
+          ~aligns:[ Texttable.Left; Left; Right; Right ]
+          ~headers:[ "Thread"; "Caller"; "Calls"; "First" ]
+          (List.map
+             (fun (th, caller, calls, first) ->
+               [ th; caller; string_of_int calls; string_of_int first ])
+             rows)
+  | R_loops { rows } ->
+    if rows = [] then "no loops\n"
+    else
+      Texttable.render
+        ~aligns:[ Texttable.Left; Left; Right; Right; Right; Left ]
+        ~headers:[ "Loop"; "Thread"; "Instances"; "Iterations"; "First"; "Body" ]
+        (List.map
+           (fun (label, th, n, iters, first, body) ->
+             [ label;
+               th;
+               string_of_int n;
+               string_of_int iters;
+               string_of_int first;
+               body ])
+           rows)
+  | R_diverge { compared; first; rows } ->
+    let head =
+      match first with
+      | Some (th, p) ->
+        Printf.sprintf "first divergence: thread %s at event %d (%d threads compared)\n"
+          th p compared
+      | None ->
+        if rows = [] then
+          Printf.sprintf "runs are identical (%d threads compared)\n" compared
+        else Printf.sprintf "no event divergence on shared threads (%d compared)\n" compared
+    in
+    if rows = [] then head
+    else
+      head
+      ^ Texttable.render
+          ~aligns:[ Texttable.Left; Right; Left; Left ]
+          ~headers:[ "Thread"; "Event"; "Normal"; "Faulty" ]
+          (List.map (fun (th, p, a, b) -> [ th; p; a; b ]) rows)
+  | R_threads rows ->
+    Texttable.render
+      ~aligns:[ Texttable.Left; Right; Right; Right; Left ]
+      ~headers:[ "Thread"; "Events"; "Calls"; "Loops"; "Truncated" ]
+      (List.map
+         (fun (l, events, calls, loops, truncated) ->
+           [ l;
+             string_of_int events;
+             string_of_int calls;
+             string_of_int loops;
+             (if truncated then "yes" else "no") ])
+         rows)
+  | R_funcs { total; rows } ->
+    let head =
+      if total > List.length rows then
+        Printf.sprintf "functions: %d (showing %d)\n" total (List.length rows)
+      else Printf.sprintf "functions: %d\n" total
+    in
+    if rows = [] then head
+    else
+      head
+      ^ Texttable.render
+          ~aligns:[ Texttable.Left; Right; Right ]
+          ~headers:[ "Function"; "Calls"; "Threads" ]
+          (List.map
+             (fun (name, calls, threads) ->
+               [ name; string_of_int calls; string_of_int threads ])
+             rows)

@@ -1,0 +1,92 @@
+(** The drill-down query language over {!Eventdb}.
+
+    One query is one line of text. Function and marker names are symbol
+    names; [T] is a thread label ([5] or [6.4]); positions are event
+    indices into the thread's event array. The grammar:
+
+    {v
+    count F [on T] [in LO..HI | between M1 and M2]
+    list  F [on T] [in LO..HI | between M1 and M2] [limit N]
+    sites F [under LK | under G] [on T]
+    loops [on T]
+    diverge [on T]                      (needs a second run)
+    threads
+    funcs [limit N]
+    v}
+
+    [in LO..HI] restricts to event positions [LO <= p < HI]. A marker
+    is [name] or [name#k] (the k-th call of [name] on that thread,
+    1-based); [between M1 and M2] spans from M1's call to M2's call
+    inclusive, per thread, and threads missing a marker contribute
+    nothing. [under LK] keeps calls inside iterations of loop [LK] (the
+    database's loop table, see [loops]); [under G] keeps calls nested
+    anywhere inside an invocation of function [G]. *)
+
+type marker = { m_func : string; m_occ : int }
+type range = Whole | Span of int * int | Between of marker * marker
+type under = U_loop of int | U_func of string
+
+type t =
+  | Count of { fn : string; thread : string option; range : range }
+  | List of { fn : string; thread : string option; range : range; limit : int }
+  | Sites of { fn : string; under : under option; thread : string option }
+  | Loops of { thread : string option }
+  | Diverge of { thread : string option }
+  | Threads
+  | Functions of { limit : int }
+
+(** [parse text] — [Error reason] on a malformed query; never raises. *)
+val parse : string -> (t, string) result
+
+(** [needs_against q] — does [q] compare two runs? *)
+val needs_against : t -> bool
+
+type hit = { h_thread : string; h_pos : int; h_depth : int; h_caller : string }
+
+type result =
+  | R_count of { subject : string; total : int }
+  | R_list of { subject : string; total : int; hits : hit list }
+  | R_sites of {
+      subject : string;
+      rows : (string * string * int * int) list;
+          (** thread, caller, calls, first position *)
+    }
+  | R_loops of {
+      rows : (string * string * int * int * int * string) list;
+          (** loop label, thread, instances, total iterations, first
+              position, rendered body *)
+    }
+  | R_diverge of {
+      compared : int;
+      first : (string * int) option;  (** thread, position *)
+      rows : (string * string * string * string) list;
+          (** thread, position (or note), normal event, faulty event —
+              divergent or one-sided threads only *)
+    }
+  | R_threads of (string * int * int * int * bool) list
+      (** label, events, calls, loops, truncated *)
+  | R_funcs of { total : int; rows : (string * int * int) list }
+      (** name, calls, threads *)
+
+type error =
+  | Unknown_thread of string
+  | Unknown_loop of string
+  | Needs_against
+
+val error_to_string : error -> string
+
+(** [eval db ?against q]. [against] is the B run of [diverge] (in the
+    paper's terms [db] is the normal run, [against] the faulty one). *)
+val eval :
+  Eventdb.t -> ?against:Eventdb.t -> t -> (result, error) Stdlib.result
+
+(** [kind r] is the stable wire tag of the result shape ("count",
+    "list", "sites", "loops", "diverge", "threads", "functions"). *)
+val kind : result -> string
+
+(** [size r] is the headline match count: total matches for count/list,
+    row count otherwise. *)
+val size : result -> int
+
+(** [render r] is the CLI-byte-identical text of a result. *)
+val render : result -> string

@@ -177,6 +177,28 @@ let dispatch t ~client ~emit call =
                       e.Difftrace_core.Pipeline.tr_score,
                       e.Difftrace_core.Pipeline.tr_truncated ));
            pr_output = r.Session.tg_output })
+  | P.Query { rq_q; rq_source; rq_against; rq_config } ->
+    let* config =
+      P.config_of_params ~default_engine:t.default_engine rq_config
+    in
+    let* src, _ = source_of_spec rq_source in
+    let* against =
+      match rq_against with
+      | None -> Ok None
+      | Some spec ->
+        let* s, _ = source_of_spec spec in
+        Ok (Some s)
+    in
+    let* r =
+      Session.query t.dm_session config
+        { Session.qy_text = rq_q; qy_source = src; qy_against = against }
+    in
+    Ok
+      (P.P_query
+         { pq_kind = r.Session.qy_kind;
+           pq_size = r.Session.qy_size;
+           pq_warm = r.Session.qy_warm;
+           pq_output = r.Session.qy_output })
 
 (* the daemon must survive anything a request throws at it *)
 let dispatch_safe t ~client ~emit call =
@@ -218,7 +240,9 @@ let on_line t ~client ~emit line =
          restarts warm (see the kill-and-restart test) *)
       flush_warn t;
       `Continue
-    | P.Status | P.Subscribe _ -> `Continue)
+    | P.Query _ | P.Status | P.Subscribe _ ->
+      (* query persists its own index files; nothing of the session's to flush *)
+      `Continue)
 
 (* --- transports ------------------------------------------------------- *)
 

@@ -91,6 +91,12 @@ type call =
       rq_config : config_params;
       rq_limit : int;
     }
+  | Query of {
+      rq_q : string;
+      rq_source : source_spec;
+      rq_against : source_spec option;
+      rq_config : config_params;
+    }
   | Status
   | Subscribe of { rq_events : bool }
   | Shutdown
@@ -102,6 +108,7 @@ let method_name = function
   | Compare _ -> "compare"
   | Analyze _ -> "analyze"
   | Triage _ -> "triage"
+  | Query _ -> "query"
   | Status -> "status"
   | Subscribe _ -> "subscribe"
   | Shutdown -> "shutdown"
@@ -127,6 +134,12 @@ type payload =
       pr_outliers : (string * float * bool) list;
       pr_output : string;
     }
+  | P_query of {
+      pq_kind : string;
+      pq_size : int;
+      pq_warm : bool;
+      pq_output : string;
+    }
   | P_status of {
       pr_requests : int;
       pr_runs : (string * int) list;
@@ -146,6 +159,7 @@ let payload_output = function
   | P_status { pr_output; _ }
   | P_subscribe { pr_output; _ }
   | P_shutdown { pr_output } -> pr_output
+  | P_query { pq_output; _ } -> pq_output
 
 type error_body = { err_kind : string; err_message : string }
 
@@ -296,6 +310,18 @@ let call_of_json ~meth obj =
     let* rq_config = config_params_of_json ctx obj in
     let* rq_limit = field_opt ctx obj "limit" int_ ~default:8 in
     Ok (Triage { rq_subject; rq_config; rq_limit })
+  | "query" ->
+    let* rq_q = field ctx obj "q" str in
+    let* rq_source = source_field ctx obj "source" in
+    let* rq_against =
+      match Json.member "against" obj with
+      | None | Some Json.Null -> Ok None
+      | Some j ->
+        let* s = source_of_json ctx "against" j in
+        Ok (Some s)
+    in
+    let* rq_config = config_params_of_json ctx obj in
+    Ok (Query { rq_q; rq_source; rq_against; rq_config })
   | "status" -> Ok Status
   | "subscribe" ->
     let* rq_events = field_opt ctx obj "events" bool_ ~default:true in
@@ -306,7 +332,7 @@ let call_of_json ~meth obj =
       (Session.Protocol
          (Printf.sprintf
             "unknown method %S (methods: record, analyze, compare, triage, \
-             status, subscribe, shutdown)"
+             query, status, subscribe, shutdown)"
             meth))
 
 (* Best-effort lexical extraction of the "id" field from a line that
@@ -453,6 +479,12 @@ let params_of_call = function
       [ ("subject", source_to_json rq_subject);
         ("config", config_to_json rq_config);
         ("limit", Json.Int rq_limit) ]
+  | Query { rq_q; rq_source; rq_against; rq_config } ->
+    Json.Obj
+      [ ("q", Json.String rq_q);
+        ("source", source_to_json rq_source);
+        ("against", json_opt source_to_json rq_against);
+        ("config", config_to_json rq_config) ]
   | Status | Shutdown -> Json.Obj []
   | Subscribe { rq_events } -> Json.Obj [ ("events", Json.Bool rq_events) ]
 
@@ -508,6 +540,13 @@ let payload_to_json = function
                      ("truncated", Json.Bool tr) ])
                pr_outliers) );
         ("output", Json.String pr_output) ]
+  | P_query { pq_kind; pq_size; pq_warm; pq_output } ->
+    Json.Obj
+      [ ("method", Json.String "query");
+        ("kind", Json.String pq_kind);
+        ("size", Json.Int pq_size);
+        ("warm", Json.Bool pq_warm);
+        ("output", Json.String pq_output) ]
   | P_status
       { pr_requests; pr_runs; pr_summaries; pr_hits; pr_misses; pr_store;
         pr_output } ->
@@ -629,6 +668,11 @@ let payload_of_json obj =
     in
     let* pr_outliers = req ctx obj "outliers" (list_of outlier) in
     Ok (P_triage { pr_outliers; pr_output = output })
+  | "query" ->
+    let* pq_kind = req ctx obj "kind" str in
+    let* pq_size = req ctx obj "size" int_ in
+    let* pq_warm = req ctx obj "warm" bool_ in
+    Ok (P_query { pq_kind; pq_size; pq_warm; pq_output = output })
   | "status" ->
     let run j =
       match (Json.member "name" j, Json.member "traces" j) with

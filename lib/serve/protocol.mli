@@ -100,6 +100,13 @@ type call =
       rq_config : config_params;
       rq_limit : int;  (** default 8 *)
     }
+  | Query of {
+      rq_q : string;  (** one event-DB query (grammar in MANUAL.md) *)
+      rq_source : source_spec;
+      rq_against : source_spec option;
+          (** second run for two-run queries ([diverge]) *)
+      rq_config : config_params;  (** only the engine matters here *)
+    }
   | Status
   | Subscribe of { rq_events : bool }
   | Shutdown
@@ -131,6 +138,12 @@ type payload =
   | P_triage of {
       pr_outliers : (string * float * bool) list;  (** label, score, truncated *)
       pr_output : string;
+    }
+  | P_query of {
+      pq_kind : string;  (** stable query-form tag ("count", "list", ...) *)
+      pq_size : int;  (** matches / rows behind the rendered output *)
+      pq_warm : bool;  (** every event DB came from the store, no rebuild *)
+      pq_output : string;
     }
   | P_status of {
       pr_requests : int;

@@ -49,7 +49,6 @@ The state directory survives inspection without execution:
 The triage report drills into the best-ranked analyzable cell:
 
   $ difftrace campaign report -d camp --diffnlr | tail -12
-  cell 0 [dlBug(rank=1,after=0)@s1]:
   === diffNLR(0) ===
       normal        | faulty       
       --------------+--------------
@@ -61,6 +60,7 @@ The triage report drills into the best-ranked analyzable cell:
     ~ MPI_Finalize  | MPI_Recv     
       --------------+--------------
       faulty trace is TRUNCATED: the thread hung inside its last call
+    event db: trace 0: first divergence at event 13 (normal: ret MPI_Recv, faulty: end of trace); drill down: difftrace query 'diverge on 0'
 
 A different matrix over the same directory is refused, not silently mixed:
 
@@ -83,3 +83,22 @@ processes:
   >   -f 'swapBug(rank=1,after=0)' --store camp/store --profile \
   >   | grep -E 'store\.hits|nlr\.summaries'
   | store.hits               |     4 |
+
+One flipped byte in the manifest costs at most the record it hit: the
+damaged line (and the stale CRC footer) are dropped and counted, the
+readable records still resume, only the lost cell re-executes, and the
+rewrite leaves a clean manifest behind.
+
+  $ sed -i 's/^cell\(.4.\)/xell\1/' camp/campaign.manifest
+  $ difftrace campaign run -d camp -w selftest --np 4 --seeds 2 \
+  >   -f 'dlBug(rank=1,after=0)' \
+  >   -f 'skipFunction(rank=0,func=raise)' \
+  >   -f 'swapBug(rank=1,after=0)' \
+  >   --profile | grep -E 'damaged|cell 4|executed|manifest_salvaged'
+  difftrace: campaign manifest in camp is damaged (2 unreadable line(s) dropped); cells they recorded will rerun
+  cell 4 [swapBug(rank=1,after=0)@s1]: ok (B-score 0.204)
+  campaign: 1 cells executed, 5 resumed
+  | campaign.manifest_salvaged |     2 |
+  $ difftrace campaign status -d camp | head -2
+  campaign selftest: np=4, 3 faults x 2 seeds = 6 cells
+  recorded 6/6 cells: 2 completed, 2 hung, 2 failed (6 resumed)

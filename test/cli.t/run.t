@@ -36,6 +36,7 @@ swapBug relative debugging on 16 ranks (paper Fig. 5): trace 5 leads.
       --------------+--------------
     = MPI_Finalize  | MPI_Finalize 
       --------------+--------------
+    event db: trace 5: first divergence at event 52 (normal: MPI_Recv, faulty: MPI_Send); drill down: difftrace query 'list MPI_Send on 5 in 52..62'
 
 A hung ILCS job is diagnosed at the collective:
 

@@ -1,0 +1,113 @@
+The indexed event database and its drill-down query language: count and
+list calls, window them between markers, group call sites under a loop
+or caller, inventory threads/functions/loops, and find the first
+raw-event divergence of two runs — straight from v2 archives.
+
+Record two heat-stencil runs, one clean and one with the silent halo
+protocol swap on rank 3:
+
+  $ difftrace record -w heat --out normal > /dev/null
+  $ difftrace record -w heat -f 'swapBug(rank=3,after=2)' --out faulty > /dev/null
+
+Inventories first — threads, then the busiest functions:
+
+  $ difftrace query 'threads' --archive normal | head -7
+  +--------+--------+-------+-------+-----------+
+  | Thread | Events | Calls | Loops | Truncated |
+  +--------+--------+-------+-------+-----------+
+  | 0      |    916 |   458 |     0 | no        |
+  | 0.1    |    180 |    90 |     1 | no        |
+  | 0.2    |    180 |    90 |     1 | no        |
+  | 0.3    |    180 |    90 |     1 | no        |
+  $ difftrace query 'funcs limit 5' --archive normal
+  functions: 19 (showing 5)
+  +---------------------+-------+---------+
+  | Function            | Calls | Threads |
+  +---------------------+-------+---------+
+  | GOMP_critical_end   |  1440 |      32 |
+  | GOMP_critical_start |  1440 |      32 |
+  | JacobiKernel        |   960 |      32 |
+  | MPI_Irecv           |   420 |       8 |
+  | MPI_Send            |   420 |       8 |
+  +---------------------+-------+---------+
+
+Counting and listing calls, on one thread, in a position window:
+
+  $ difftrace query 'count MPI_Send' --archive normal
+  calls of MPI_Send: 420
+  $ difftrace query 'list MPI_Send on 3 in 0..200 limit 3' --archive normal
+  calls of MPI_Send on 3 in 0..200: 12 (showing 3)
+  +-----+--------+-------+--------------+
+  | Pos | Thread | Depth | Caller       |
+  +-----+--------+-------+--------------+
+  |  14 | 3      |     2 | ExchangeHalo |
+  |  16 | 3      |     2 | ExchangeHalo |
+  |  50 | 3      |     2 | ExchangeHalo |
+  +-----+--------+-------+--------------+
+
+Markers window a query between the k-th calls of two functions — here
+the first halo exchange of rank 3:
+
+  $ difftrace query 'count MPI_Send on 3 between ExchangeHalo#1 and ExchangeHalo#2' --archive normal
+  calls of MPI_Send on 3 between ExchangeHalo and ExchangeHalo#2: 2
+
+The database recognizes NLR loops and places every instance at event
+positions; 'sites' groups a function's calls by caller:
+
+  $ difftrace query 'loops on 1' --archive normal
+  +------+--------+-----------+------------+-------+-------------+
+  | Loop | Thread | Instances | Iterations | First | Body        |
+  +------+--------+-----------+------------+-------+-------------+
+  | L1   | 1      |        30 |         60 |    10 | [MPI_Irecv] |
+  | L2   | 1      |        30 |         60 |    14 | [MPI_Send]  |
+  | L3   | 1      |        30 |         60 |    18 | [MPI_Wait]  |
+  +------+--------+-----------+------------+-------+-------------+
+  $ difftrace query 'sites MPI_Send under ExchangeHalo on 1' --archive normal
+  call sites of MPI_Send under ExchangeHalo on 1: 1 site(s)
+  +--------+--------------+-------+-------+
+  | Thread | Caller       | Calls | First |
+  +--------+--------------+-------+-------+
+  | 1      | ExchangeHalo |    60 |    14 |
+  +--------+--------------+-------+-------+
+
+Two-run queries take --against; 'diverge' is the first raw-event
+disagreement per thread — the swap flips the Irecv/Send order at
+event 82:
+
+  $ difftrace query 'diverge on 3' --archive normal --against faulty
+  first divergence: thread 3 at event 82 (1 threads compared)
+  +--------+-------+-----------+----------+
+  | Thread | Event | Normal    | Faulty   |
+  +--------+-------+-----------+----------+
+  | 3      |    82 | MPI_Irecv | MPI_Send |
+  +--------+-------+-----------+----------+
+
+The index persists next to the store, namespaced by the content digest
+of its source traces. The first (cold) query builds and saves it:
+
+  $ difftrace query 'count MPI_Send' --archive normal --store st --profile | grep eventdb
+  | eventdb.builds        |     1 |
+  | eventdb.saved         |     1 |
+  $ ls st/eventdb | wc -l | tr -d ' '
+  1
+
+A warm rerun performs zero index rebuilds — only eventdb.loads moves,
+eventdb.builds does not appear at all:
+
+  $ difftrace query 'count MPI_Send' --archive normal --store st --profile | grep eventdb
+  | eventdb.loads         |     1 |
+
+Bad queries are answered, not crashed on, and exit nonzero:
+
+  $ difftrace query 'bogus stuff' --archive normal
+  difftrace: query: unknown query "bogus"; queries: count F | list F | sites F | loops | diverge | threads | funcs (see MANUAL.md)
+  [1]
+  $ difftrace query 'count MPI_Send on 99' --archive normal
+  difftrace: unknown trace label "99" (known labels: 0, 0.1, 0.2, 0.3, 1, 1.1, 1.2, 1.3, 2, 2.1, 2.2, 2.3, 3, 3.1, 3.2, 3.3, 4, 4.1, 4.2, 4.3, 5, 5.1, 5.2, 5.3, 6, 6.1, 6.2, 6.3, 7, 7.1, 7.2, 7.3)
+  [1]
+  $ difftrace query 'sites MPI_Send under L99' --archive normal
+  difftrace: query: unknown loop L99 (the database has 4 loop bodies; see 'loops')
+  [1]
+  $ difftrace query 'diverge' --archive normal
+  difftrace: query: this query compares two runs; provide a second source (--against)
+  [1]

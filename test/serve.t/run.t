@@ -30,12 +30,12 @@ method, an unknown run, an event subscription, and shutdown.
   {"difftrace-rpc":1,"id":"r1","ok":{"method":"status","requests":1,"runs":[],"summaries":0,"hits":0,"misses":0,"store":null,"output":"requests: 1\nruns: (none)\nmemo: 0 summaries, 0 hits, 0 misses\nstore: (none)\n"}}
   {"difftrace-rpc":1,"id":"r2","ok":{"method":"record","files":4,"traces":4,"events":128,"hung":0,"run":"normal","output":"archived 4 trace files to state/runs/normal\n"}}
   {"difftrace-rpc":1,"id":"r3","ok":{"method":"record","files":4,"traces":4,"events":128,"hung":0,"run":"faulty","output":"archived 4 trace files to state/runs/faulty\n"}}
-  {"difftrace-rpc":1,"id":"r4","ok":{"method":"compare","bscore":1.0,"top_processes":[1,0,2,3],"top_threads":[],"suspects":[{"trace":"1","score":0.50000000000000011},{"trace":"0","score":0.16666666666666674},{"trace":"2","score":0.16666666666666674},{"trace":"3","score":0.16666666666666663}],"output":"configuration: 11.mpiall.K10 / sing.noFreq / ward\nB-score: 1.000\ntop processes: 1, 0, 2, 3\ntop threads:   \nsuspicious traces:\n  1      0.500\n  0      0.167\n  2      0.167\n  3      0.167\n=== diffNLR(1) ===\n    normal        | faulty       \n    --------------+--------------\n  = MPI_Init      | MPI_Init     \n  = MPI_Comm_rank | MPI_Comm_rank\n  = MPI_Comm_size | MPI_Comm_size\n    --------------+--------------\n  ~ L1^4          | L1^2         \n  >               | L0^2         \n    --------------+--------------\n  = MPI_Finalize  | MPI_Finalize \n    --------------+--------------\n"}}
+  {"difftrace-rpc":1,"id":"r4","ok":{"method":"compare","bscore":1.0,"top_processes":[1,0,2,3],"top_threads":[],"suspects":[{"trace":"1","score":0.50000000000000011},{"trace":"0","score":0.16666666666666674},{"trace":"2","score":0.16666666666666674},{"trace":"3","score":0.16666666666666663}],"output":"configuration: 11.mpiall.K10 / sing.noFreq / ward\nB-score: 1.000\ntop processes: 1, 0, 2, 3\ntop threads:   \nsuspicious traces:\n  1      0.500\n  0      0.167\n  2      0.167\n  3      0.167\n=== diffNLR(1) ===\n    normal        | faulty       \n    --------------+--------------\n  = MPI_Init      | MPI_Init     \n  = MPI_Comm_rank | MPI_Comm_rank\n  = MPI_Comm_size | MPI_Comm_size\n    --------------+--------------\n  ~ L1^4          | L1^2         \n  >               | L0^2         \n    --------------+--------------\n  = MPI_Finalize  | MPI_Finalize \n    --------------+--------------\n  event db: trace 1: first divergence at event 22 (normal: MPI_Recv, faulty: MPI_Send); drill down: difftrace query 'list MPI_Send on 1 in 22..32'\n"}}
   {"difftrace-rpc":1,"id":"r5","ok":{"method":"status","requests":5,"runs":[{"name":"faulty","traces":4},{"name":"normal","traces":4}],"summaries":5,"hits":3,"misses":5,"store":null,"output":"requests: 5\nruns: faulty (4 traces), normal (4 traces)\nmemo: 5 summaries, 3 hits, 5 misses\nstore: (none)\n"}}
-  {"difftrace-rpc":1,"id":"r6","ok":{"method":"compare","bscore":1.0,"top_processes":[1,0,2,3],"top_threads":[],"suspects":[{"trace":"1","score":0.50000000000000011},{"trace":"0","score":0.16666666666666674},{"trace":"2","score":0.16666666666666674},{"trace":"3","score":0.16666666666666663}],"output":"configuration: 11.mpiall.K10 / sing.noFreq / ward\nB-score: 1.000\ntop processes: 1, 0, 2, 3\ntop threads:   \nsuspicious traces:\n  1      0.500\n  0      0.167\n  2      0.167\n  3      0.167\n=== diffNLR(1) ===\n    normal        | faulty       \n    --------------+--------------\n  = MPI_Init      | MPI_Init     \n  = MPI_Comm_rank | MPI_Comm_rank\n  = MPI_Comm_size | MPI_Comm_size\n    --------------+--------------\n  ~ L1^4          | L1^2         \n  >               | L0^2         \n    --------------+--------------\n  = MPI_Finalize  | MPI_Finalize \n    --------------+--------------\n"}}
+  {"difftrace-rpc":1,"id":"r6","ok":{"method":"compare","bscore":1.0,"top_processes":[1,0,2,3],"top_threads":[],"suspects":[{"trace":"1","score":0.50000000000000011},{"trace":"0","score":0.16666666666666674},{"trace":"2","score":0.16666666666666674},{"trace":"3","score":0.16666666666666663}],"output":"configuration: 11.mpiall.K10 / sing.noFreq / ward\nB-score: 1.000\ntop processes: 1, 0, 2, 3\ntop threads:   \nsuspicious traces:\n  1      0.500\n  0      0.167\n  2      0.167\n  3      0.167\n=== diffNLR(1) ===\n    normal        | faulty       \n    --------------+--------------\n  = MPI_Init      | MPI_Init     \n  = MPI_Comm_rank | MPI_Comm_rank\n  = MPI_Comm_size | MPI_Comm_size\n    --------------+--------------\n  ~ L1^4          | L1^2         \n  >               | L0^2         \n    --------------+--------------\n  = MPI_Finalize  | MPI_Finalize \n    --------------+--------------\n  event db: trace 1: first divergence at event 22 (normal: MPI_Recv, faulty: MPI_Send); drill down: difftrace query 'list MPI_Send on 1 in 22..32'\n"}}
   {"difftrace-rpc":1,"id":"r7","ok":{"method":"status","requests":7,"runs":[{"name":"faulty","traces":4},{"name":"normal","traces":4}],"summaries":5,"hits":11,"misses":5,"store":null,"output":"requests: 7\nruns: faulty (4 traces), normal (4 traces)\nmemo: 5 summaries, 11 hits, 5 misses\nstore: (none)\n"}}
   {"difftrace-rpc":1,"id":null,"error":{"kind":"invalid-request","message":"malformed JSON: bad literal true at 0"}}
-  {"difftrace-rpc":1,"id":"r8","error":{"kind":"invalid-request","message":"unknown method \"frobnicate\" (methods: record, analyze, compare, triage, status, subscribe, shutdown)"}}
+  {"difftrace-rpc":1,"id":"r8","error":{"kind":"invalid-request","message":"unknown method \"frobnicate\" (methods: record, analyze, compare, triage, query, status, subscribe, shutdown)"}}
   {"difftrace-rpc":1,"id":"r9","error":{"kind":"unknown-run","message":"unknown run \"nope\" (registered: faulty, normal)"}}
   {"difftrace-rpc":1,"id":"r10","ok":{"method":"subscribe","events":true,"output":"subscribed to events\n"}}
   {"difftrace-rpc":1,"event":"request","id":"r11","method":"triage"}
@@ -67,3 +67,26 @@ bytes the one-shot CLI prints for the same analysis:
   $ wait
   $ cat serve.log
   difftrace serve: listening on d.sock (difftrace-rpc/1)
+
+The query method serves the event DB over the same wire — a fresh
+stdio daemon, two archives recorded through it, then drill-down
+queries against them (the daemon stays up through a bad query):
+
+  $ rm -rf qstate
+  $ cat > qtranscript <<'REQS'
+  > {"difftrace-rpc":1,"id":"q1","method":"record","params":{"workload":"oddeven","np":4,"name":"qnormal"}}
+  > {"difftrace-rpc":1,"id":"q2","method":"record","params":{"workload":"oddeven","np":4,"fault":"swapBug(rank=1,after=1)","name":"qfaulty"}}
+  > {"difftrace-rpc":1,"id":"q3","method":"query","params":{"q":"count MPI_Send","source":{"archive":"qstate/runs/qnormal"}}}
+  > {"difftrace-rpc":1,"id":"q4","method":"query","params":{"q":"diverge","source":{"archive":"qstate/runs/qnormal"},"against":{"archive":"qstate/runs/qfaulty"}}}
+  > {"difftrace-rpc":1,"id":"q5","method":"query","params":{"q":"total nonsense","source":{"archive":"qstate/runs/qnormal"}}}
+  > {"difftrace-rpc":1,"id":"q6","method":"query","params":{"q":"threads"}}
+  > {"difftrace-rpc":1,"id":"q7","method":"shutdown"}
+  > REQS
+  $ difftrace serve --stdio --state qstate < qtranscript
+  {"difftrace-rpc":1,"id":"q1","ok":{"method":"record","files":4,"traces":4,"events":128,"hung":0,"run":"qnormal","output":"archived 4 trace files to qstate/runs/qnormal\n"}}
+  {"difftrace-rpc":1,"id":"q2","ok":{"method":"record","files":4,"traces":4,"events":128,"hung":0,"run":"qfaulty","output":"archived 4 trace files to qstate/runs/qfaulty\n"}}
+  {"difftrace-rpc":1,"id":"q3","ok":{"method":"query","kind":"count","size":12,"warm":false,"output":"calls of MPI_Send: 12\n"}}
+  {"difftrace-rpc":1,"id":"q4","ok":{"method":"query","kind":"diverge","size":1,"warm":false,"output":"first divergence: thread 1 at event 16 (4 threads compared)\n+--------+-------+----------+----------+\n| Thread | Event | Normal   | Faulty   |\n+--------+-------+----------+----------+\n| 1      |    16 | MPI_Recv | MPI_Send |\n+--------+-------+----------+----------+\n"}}
+  {"difftrace-rpc":1,"id":"q5","error":{"kind":"invalid-params","message":"query: unknown query \"total\"; queries: count F | list F | sites F | loops | diverge | threads | funcs (see MANUAL.md)"}}
+  {"difftrace-rpc":1,"id":"q6","error":{"kind":"invalid-params","message":"query: missing source \"source\""}}
+  {"difftrace-rpc":1,"id":"q7","ok":{"method":"shutdown","output":"daemon stopping\n"}}

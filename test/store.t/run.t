@@ -13,6 +13,7 @@ and the report is byte-identical either way.
   === diffNLR(0.2) ===
       normal       | faulty      
       -------------+-------------
+    event db: trace 0.2: streams identical (70 events)
 
   $ difftrace compare -w ilcs --np 6 -f 'swapBug(rank=3,after=5)' --store st --profile > warm.txt
 

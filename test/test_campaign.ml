@@ -88,7 +88,7 @@ let test_run_isolates_failures () =
   let streamed = ref [] in
   let on_cell r = streamed := r.C.cell.C.index :: !streamed in
   match C.run ~on_cell ~dir (mixed_matrix ()) with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (C.error_to_string e)
   | Ok o ->
     Alcotest.(check int) "all cells executed" 3 o.C.executed;
     Alcotest.(check int) "nothing resumed" 0 o.C.resumed_cells;
@@ -124,7 +124,7 @@ let test_run_timeout_verdict () =
       ~seeds:[ 1 ] ()
   in
   match C.run ~dir m with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (C.error_to_string e)
   | Ok o -> (
     match verdict_of o 0 with
     | C.Hung { timed_out; _ } ->
@@ -141,14 +141,14 @@ let counter rep name =
 let test_run_resumes () =
   let dir = tmpdir "resume" in
   (match C.run ~dir (mixed_matrix ()) with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (C.error_to_string e)
   | Ok o -> Alcotest.(check int) "first pass executes" 3 o.C.executed);
   Telemetry.enable ();
   let second = C.run ~dir (mixed_matrix ()) in
   let rep = Telemetry.report () in
   Telemetry.disable ();
   match second with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (C.error_to_string e)
   | Ok o ->
     Alcotest.(check int) "nothing re-executed" 0 o.C.executed;
     Alcotest.(check int) "all cells resumed" 3 o.C.resumed_cells;
@@ -168,10 +168,10 @@ let test_run_resumes () =
 let test_status_reads_back () =
   let dir = tmpdir "status" in
   (match C.run ~dir (mixed_matrix ()) with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (C.error_to_string e)
   | Ok _ -> ());
   match C.status ~dir with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (C.error_to_string e)
   | Ok o ->
     Alcotest.(check int) "status executes nothing" 0 o.C.executed;
     Alcotest.(check int) "three recorded cells" 3 (List.length o.C.results);
@@ -182,36 +182,110 @@ let test_status_reads_back () =
 let test_corrupt_manifest_recovery () =
   let dir = tmpdir "corrupt" in
   (match C.run ~dir (mixed_matrix ()) with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (C.error_to_string e)
   | Ok _ -> ());
   let manifest = Filename.concat dir "campaign.manifest" in
   let oc = open_out_gen [ Open_append ] 0o644 manifest in
   output_string oc "garbage";
   close_out oc;
+  (* trailing garbage invalidates the CRC, but every record line is still
+     readable: status salvages all three cells instead of refusing *)
   (match C.status ~dir with
-  | Error _ -> ()
-  | Ok _ -> Alcotest.fail "status accepted a damaged manifest");
-  (* run recovers: warns, restarts, re-adopts the surviving archives *)
+  | Error e -> Alcotest.failf "status gave up on a salvageable manifest: %s"
+                 (C.error_to_string e)
+  | Ok o -> Alcotest.(check int) "status salvages the cells" 3
+              (List.length o.C.results));
+  (* run recovers: warns, resumes the readable records, rewrites clean *)
   match C.run ~dir (mixed_matrix ()) with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (C.error_to_string e)
   | Ok o ->
     Alcotest.(check int) "recovered every cell" 3 (List.length o.C.results);
+    Alcotest.(check int) "readable records resumed" 3 o.C.resumed_cells;
     (match verdict_of o 0 with
     | C.Hung _ -> ()
-    | v -> Alcotest.failf "re-adopted verdict: %s" (C.verdict_to_string v))
+    | v -> Alcotest.failf "re-adopted verdict: %s" (C.verdict_to_string v));
+    (* the damaged file was replaced by a clean checksummed manifest *)
+    match C.status ~dir with
+    | Error e -> Alcotest.fail (C.error_to_string e)
+    | Ok o -> Alcotest.(check int) "manifest rewritten clean" 3
+                (List.length o.C.results)
+
+(* one flipped byte in the middle of the manifest must cost at most the
+   record it hit, never the campaign *)
+let test_flipped_byte_manifest_salvage () =
+  let dir = tmpdir "flip" in
+  (match C.run ~dir (mixed_matrix ()) with
+  | Error e -> Alcotest.fail (C.error_to_string e)
+  | Ok _ -> ());
+  let manifest = Filename.concat dir "campaign.manifest" in
+  let text =
+    let ic = open_in_bin manifest in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  (* flip one byte of the second cell record's tag: that line (and the
+     now-stale CRC footer) become unreadable, every other line survives *)
+  let index_from sub i =
+    let n = String.length sub in
+    let rec go i =
+      if i + n > String.length text then Alcotest.failf "no %S in manifest" sub
+      else if String.sub text i n = sub then i
+      else go (i + 1)
+    in
+    go i
+  in
+  let first = index_from "\ncell\t" 0 in
+  let second = index_from "\ncell\t" (first + 1) in
+  let flipped = Bytes.of_string text in
+  Bytes.set flipped (second + 1) (Char.chr (Char.code 'c' lxor 1));
+  let oc = open_out_bin manifest in
+  output_bytes oc flipped;
+  close_out oc;
+  Telemetry.enable ();
+  let second_run = C.run ~dir (mixed_matrix ()) in
+  let rep = Telemetry.report () in
+  Telemetry.disable ();
+  (match second_run with
+  | Error e -> Alcotest.fail (C.error_to_string e)
+  | Ok o ->
+    Alcotest.(check int) "every cell accounted for" 3 (List.length o.C.results);
+    Alcotest.(check int) "intact records resumed" 2 o.C.resumed_cells;
+    Alcotest.(check int) "only the lost cell reran" 1 o.C.executed;
+    Alcotest.(check bool) "unreadable lines counted" true
+      (counter rep "campaign.manifest_salvaged" > 0);
+    (* the rerun cell (index 1, the raising one) reproduced its verdict *)
+    match verdict_of o 1 with
+    | C.Failed { error; _ } ->
+      Alcotest.(check bool) "rerun reproduced the crash" true
+        (contains "injected crash" error)
+    | v -> Alcotest.failf "rerun verdict: %s" (C.verdict_to_string v));
+  (* the rewrite healed the manifest: a third run salvages nothing *)
+  Telemetry.enable ();
+  let third = C.run ~dir (mixed_matrix ()) in
+  let rep = Telemetry.report () in
+  Telemetry.disable ();
+  match third with
+  | Error e -> Alcotest.fail (C.error_to_string e)
+  | Ok o ->
+    Alcotest.(check int) "all resumed after heal" 3 o.C.resumed_cells;
+    Alcotest.(check int) "no salvage after heal" 0
+      (counter rep "campaign.manifest_salvaged")
 
 let test_mismatched_matrix_rejected () =
   let dir = tmpdir "mismatch" in
   (match C.run ~dir (mixed_matrix ()) with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (C.error_to_string e)
   | Ok _ -> ());
   let other =
     C.matrix ~kind:"selftest" ~np:8 ~faults:[ dl_fault; crash_fault; swap_fault ]
       ~seeds:[ 1 ] ()
   in
   match C.run ~dir other with
-  | Error e ->
-    Alcotest.(check bool) "names the mismatch" true (contains "np" e)
+  | Error (C.Wrong_campaign _ as e) ->
+    Alcotest.(check bool) "names the mismatch" true
+      (contains "np" (C.error_to_string e))
+  | Error e -> Alcotest.failf "wrong error: %s" (C.error_to_string e)
   | Ok _ -> Alcotest.fail "accepted a different campaign in the same dir"
 
 (* ------------------------------------------------------------------ *)
@@ -221,7 +295,7 @@ let test_mismatched_matrix_rejected () =
 let test_render_ranks_failures_first () =
   let dir = tmpdir "render" in
   match C.run ~dir (mixed_matrix ()) with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (C.error_to_string e)
   | Ok o ->
     let s = C.render o in
     Alcotest.(check bool) "header" true (contains "campaign selftest" s);
@@ -242,7 +316,7 @@ let test_render_ranks_failures_first () =
 let test_top_cell_diffnlr () =
   let dir = tmpdir "diffnlr" in
   match C.run ~dir (mixed_matrix ()) with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (C.error_to_string e)
   | Ok o -> (
     match C.top_cell_diffnlr ~dir o with
     | Error e -> Alcotest.fail e
@@ -265,6 +339,8 @@ let () =
           Alcotest.test_case "status" `Quick test_status_reads_back;
           Alcotest.test_case "corrupt manifest" `Quick
             test_corrupt_manifest_recovery;
+          Alcotest.test_case "flipped-byte salvage" `Quick
+            test_flipped_byte_manifest_salvage;
           Alcotest.test_case "mismatch rejected" `Quick
             test_mismatched_matrix_rejected ] );
       ( "report",

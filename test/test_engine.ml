@@ -180,10 +180,14 @@ let test_parallel_identical_analysis () =
 
 let test_autotune_cache_hit_rate () =
   let r =
-    Autotune.search
-      ~normal:(Lazy.force oe16_normal)
-      ~faulty:(Lazy.force oe16_swap)
-      ()
+    match
+      Autotune.search
+        ~normal:(Lazy.force oe16_normal)
+        ~faulty:(Lazy.force oe16_swap)
+        ()
+    with
+    | Ok r -> r
+    | Error e -> Alcotest.fail (Session.error_to_string e)
   in
   let c = r.Autotune.cache in
   Alcotest.(check bool) "summaries were reused" true (c.Memo.hits > 0);
@@ -194,7 +198,11 @@ let test_autotune_cache_hit_rate () =
 
 let test_autotune_memo_correctness () =
   let normal = Lazy.force oe16_normal and faulty = Lazy.force oe16_swap in
-  let with_memo = Autotune.search ~normal ~faulty () in
+  let with_memo =
+    match Autotune.search ~normal ~faulty () with
+    | Ok r -> r
+    | Error e -> Alcotest.fail (Session.error_to_string e)
+  in
   (* force every evaluation to miss: a fresh memo per configuration *)
   let sweep_no_reuse =
     List.map

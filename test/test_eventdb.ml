@@ -1,0 +1,321 @@
+(* Event DB: the index must agree with a linear scan of the raw events
+   under every engine, survive a save/load round trip byte-identically,
+   and rebuild (never crash) on a damaged index file. *)
+
+open Difftrace
+module R = Difftrace_simulator.Runtime
+module Api = Difftrace_simulator.Api
+module Fault = Difftrace_simulator.Fault
+module Event = Difftrace_trace.Event
+module Trace = Difftrace_trace.Trace
+module Trace_set = Difftrace_trace.Trace_set
+module Symtab = Difftrace_trace.Symtab
+module Heat = Difftrace_workloads.Heat
+module Odd_even = Difftrace_workloads.Odd_even
+module Intervals = Difftrace_eventdb.Intervals
+
+let qtest ?(count = 10) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* the same randomized mixed-API program family as test_properties *)
+let random_program ~recipe env =
+  let rng = Difftrace_util.Prng.create (recipe + (R.pid env * 31)) in
+  let shared_rng = Difftrace_util.Prng.create recipe in
+  Api.call env "main" (fun () ->
+      Api.mpi_init env;
+      let rank = Api.comm_rank env in
+      let np = Api.comm_size env in
+      let rounds = 1 + Difftrace_util.Prng.int shared_rng 4 in
+      for round = 1 to rounds do
+        Api.call env "phase" (fun () ->
+            for _ = 1 to Difftrace_util.Prng.int rng 4 do
+              Api.call env "compute" (fun () -> ())
+            done;
+            let next = (rank + 1) mod np and prev = (rank + np - 1) mod np in
+            let r = Api.irecv env ~src:prev ~tag:round () in
+            Api.send env ~dst:next ~tag:round [| rank; round |];
+            ignore (Api.wait env r);
+            ignore (Api.allreduce env ~op:R.Op_sum [| rank |]))
+      done;
+      Api.barrier env;
+      Api.mpi_finalize env)
+
+let random_traces ~recipe ~np ~seed =
+  (R.run ~np ~seed (random_program ~recipe)).R.traces
+
+let recipe_gen =
+  QCheck2.Gen.(triple (int_range 0 500) (int_range 2 6) (int_range 0 500))
+
+let parallel_runner =
+  let r = Engine.runner (Engine.Parallel { domains = 2 }) in
+  { Eventdb.run = (fun n f -> r.Engine.run n f) }
+
+(* --- the linear-scan oracle ---------------------------------------- *)
+
+let oracle_postings (events : Event.t array) ~nsyms =
+  let acc = Array.make nsyms [] in
+  Array.iteri
+    (fun pos e ->
+      match e with
+      | Event.Call f -> acc.(f) <- pos :: acc.(f)
+      | Event.Return _ -> ())
+    events;
+  Array.map (fun l -> Array.of_list (List.rev l)) acc
+
+let check_thread_against_oracle ~nsyms (th : Eventdb.thread) =
+  let want = oracle_postings th.Eventdb.th_events ~nsyms in
+  let got = th.Eventdb.th_postings in
+  Array.length got <= nsyms
+  && Array.for_all Fun.id
+       (Array.init nsyms (fun f ->
+            let g = if f < Array.length got then got.(f) else [||] in
+            g = want.(f)))
+  (* one interval per call, starting at that call's position *)
+  && Array.length th.Eventdb.th_intervals
+     = Array.fold_left (fun n p -> n + Array.length p) 0 want
+  && Array.for_all
+       (fun (iv : Intervals.t) ->
+         iv.Intervals.iv_start < Array.length th.Eventdb.th_events
+         && th.Eventdb.th_events.(iv.Intervals.iv_start)
+            = Event.Call iv.Intervals.iv_func
+         && iv.Intervals.iv_stop > iv.Intervals.iv_start
+         && iv.Intervals.iv_stop <= Array.length th.Eventdb.th_events)
+       th.Eventdb.th_intervals
+  (* loop spans sit inside the event log and cover only call positions *)
+  && Array.for_all
+       (fun (lp : Eventdb.loop_span) ->
+         lp.Eventdb.lp_start >= 0
+         && lp.Eventdb.lp_start <= lp.Eventdb.lp_stop
+         && lp.Eventdb.lp_stop <= Array.length th.Eventdb.th_events)
+       th.Eventdb.th_loops
+
+let prop_index_matches_oracle =
+  qtest "index == linear scan (sequential and parallel engines)" recipe_gen
+    (fun (recipe, np, seed) ->
+      let ts = random_traces ~recipe ~np ~seed in
+      let nsyms = Symtab.size (Trace_set.symtab ts) in
+      let db_seq = Eventdb.build ts in
+      let db_par = Eventdb.build ~runner:parallel_runner ts in
+      Array.for_all (check_thread_against_oracle ~nsyms) db_seq.Eventdb.db_threads
+      (* both engines produce the same database *)
+      && db_seq.Eventdb.db_digest = db_par.Eventdb.db_digest
+      && Array.length db_seq.Eventdb.db_threads
+         = Array.length db_par.Eventdb.db_threads
+      && Array.for_all2
+           (fun (a : Eventdb.thread) (b : Eventdb.thread) ->
+             a.Eventdb.th_events = b.Eventdb.th_events
+             && a.Eventdb.th_postings = b.Eventdb.th_postings
+             && a.Eventdb.th_intervals = b.Eventdb.th_intervals
+             && a.Eventdb.th_loops = b.Eventdb.th_loops)
+           db_seq.Eventdb.db_threads db_par.Eventdb.db_threads)
+
+let prop_count_query_matches_oracle =
+  qtest "count/list queries == linear scan" recipe_gen
+    (fun (recipe, np, seed) ->
+      let ts = random_traces ~recipe ~np ~seed in
+      let db = Eventdb.build ts in
+      List.for_all
+        (fun fn ->
+          let want =
+            Array.fold_left
+              (fun n (th : Eventdb.thread) ->
+                Array.fold_left
+                  (fun n e -> match e with
+                     | Event.Call f
+                       when Symtab.name db.Eventdb.db_symtab f = fn -> n + 1
+                     | _ -> n)
+                  n th.Eventdb.th_events)
+              0 db.Eventdb.db_threads
+          in
+          match Query.parse (Printf.sprintf "count %s" fn) with
+          | Error _ -> false
+          | Ok q -> (
+            match Query.eval db q with
+            | Ok (Query.R_count { total; _ }) -> total = want
+            | _ -> false))
+        [ "MPI_Send"; "compute"; "phase"; "never_called" ])
+
+(* --- divergence ----------------------------------------------------- *)
+
+let prop_divergence_matches_oracle =
+  qtest "stream divergence == first naive mismatch"
+    QCheck2.Gen.(triple (int_range 0 200) (int_range 2 5) (int_range 0 200))
+    (fun (recipe, np, seed) ->
+      let a = random_traces ~recipe ~np ~seed in
+      let b = random_traces ~recipe:(recipe + 1) ~np ~seed in
+      let syma = Trace_set.symtab a and symb = Trace_set.symtab b in
+      Array.for_all2
+        (fun (ta : Trace.t) (tb : Trace.t) ->
+          let naive =
+            let ea = ta.Trace.events and eb = tb.Trace.events in
+            let n = min (Array.length ea) (Array.length eb) in
+            let rec go i =
+              if i >= n then
+                if Array.length ea = Array.length eb then None else Some n
+              else if
+                Event.to_string syma ea.(i) <> Event.to_string symb eb.(i)
+              then Some i
+              else go (i + 1)
+            in
+            go 0
+          in
+          Eventdb.stream_divergence syma ta.Trace.events symb tb.Trace.events
+          = naive)
+        (Trace_set.traces a) (Trace_set.traces b))
+
+(* --- persistence ----------------------------------------------------- *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let tmpdir name =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) ("difftrace_edb_" ^ name)
+  in
+  rm_rf dir;
+  dir
+
+let heat_traces =
+  lazy (fst (Heat.run ~fault:Fault.No_fault ())).R.traces
+
+let query_render db q =
+  match Query.parse q with
+  | Error m -> Alcotest.failf "parse %S: %s" q m
+  | Ok ast -> (
+    match Query.eval db ast with
+    | Ok r -> Query.render r
+    | Error e -> Alcotest.failf "eval %S: %s" q (Query.error_to_string e))
+
+let test_save_load_roundtrip () =
+  let dir = tmpdir "roundtrip" in
+  let ts = Lazy.force heat_traces in
+  let db = Eventdb.build ts in
+  (match Eventdb.save ~dir db with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "save: %s" m);
+  match Eventdb.load ~dir ~digest:db.Eventdb.db_digest with
+  | Error m -> Alcotest.failf "load: %s" m
+  | Ok db' ->
+    Alcotest.(check string) "digest" db.Eventdb.db_digest db'.Eventdb.db_digest;
+    Alcotest.(check int) "threads"
+      (Array.length db.Eventdb.db_threads)
+      (Array.length db'.Eventdb.db_threads);
+    Array.iter2
+      (fun (a : Eventdb.thread) (b : Eventdb.thread) ->
+        Alcotest.(check bool) "thread identical" true
+          (a.Eventdb.th_pid = b.Eventdb.th_pid
+          && a.Eventdb.th_tid = b.Eventdb.th_tid
+          && a.Eventdb.th_truncated = b.Eventdb.th_truncated
+          && a.Eventdb.th_events = b.Eventdb.th_events
+          && a.Eventdb.th_postings = b.Eventdb.th_postings
+          && a.Eventdb.th_intervals = b.Eventdb.th_intervals
+          && a.Eventdb.th_loops = b.Eventdb.th_loops))
+      db.Eventdb.db_threads db'.Eventdb.db_threads;
+    (* the loaded database answers queries byte-identically *)
+    List.iter
+      (fun q ->
+        Alcotest.(check string) q (query_render db q) (query_render db' q))
+      [ "threads"; "funcs"; "loops"; "count MPI_Send"; "sites MPI_Send" ]
+
+let test_corrupt_index_rebuilds () =
+  let dir = tmpdir "corrupt" in
+  let ts = Lazy.force heat_traces in
+  let db = Eventdb.build ts in
+  (match Eventdb.save ~dir db with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "save: %s" m);
+  let path = Filename.concat dir (db.Eventdb.db_digest ^ ".edb") in
+  let text =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let mid = String.length text / 2 in
+  let flipped = Bytes.of_string text in
+  Bytes.set flipped mid (Char.chr (Char.code text.[mid] lxor 0xff));
+  let oc = open_out_bin path in
+  output_bytes oc flipped;
+  close_out oc;
+  (match Eventdb.load ~dir ~digest:db.Eventdb.db_digest with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "loaded a corrupted index");
+  (* the warm path falls back to a rebuild and heals the file *)
+  let db2, how = Eventdb.open_ ~dir ts in
+  Alcotest.(check bool) "rebuilt" true (how = `Built);
+  Alcotest.(check string) "same database" db.Eventdb.db_digest
+    db2.Eventdb.db_digest;
+  match Eventdb.load ~dir ~digest:db.Eventdb.db_digest with
+  | Error m -> Alcotest.failf "index not healed: %s" m
+  | Ok _ -> ()
+
+let test_open_warm () =
+  let dir = tmpdir "warm" in
+  let ts = Lazy.force heat_traces in
+  let _, first = Eventdb.open_ ~dir ts in
+  let _, second = Eventdb.open_ ~dir ts in
+  Alcotest.(check bool) "cold build" true (first = `Built);
+  Alcotest.(check bool) "warm load" true (second = `Loaded)
+
+(* --- query semantics pinned on a deterministic workload -------------- *)
+
+let test_between_markers () =
+  let db = Eventdb.build (Lazy.force heat_traces) in
+  (* the window from ExchangeHalo#1 to ExchangeHalo#2 holds exactly the
+     sends of the first halo exchange *)
+  match Query.parse "count MPI_Send on 3 between ExchangeHalo#1 and ExchangeHalo#2" with
+  | Error m -> Alcotest.failf "parse: %s" m
+  | Ok q -> (
+    match Query.eval db q with
+    | Ok (Query.R_count { total; _ }) ->
+      Alcotest.(check int) "window count" 2 total
+    | Ok _ -> Alcotest.fail "wrong result shape"
+    | Error e -> Alcotest.failf "eval: %s" (Query.error_to_string e))
+
+let test_under_function () =
+  let db = Eventdb.build (Lazy.force heat_traces) in
+  match Query.parse "sites MPI_Send under ExchangeHalo" with
+  | Error m -> Alcotest.failf "parse: %s" m
+  | Ok q -> (
+    match Query.eval db q with
+    | Ok (Query.R_sites { rows; _ }) ->
+      Alcotest.(check bool) "has sites" true (rows <> []);
+      List.iter
+        (fun (_, caller, _, _) ->
+          Alcotest.(check string) "caller" "ExchangeHalo" caller)
+        rows
+    | Ok _ -> Alcotest.fail "wrong result shape"
+    | Error e -> Alcotest.failf "eval: %s" (Query.error_to_string e))
+
+let test_unknown_thread_is_typed () =
+  let db = Eventdb.build (Lazy.force heat_traces) in
+  match Query.parse "count MPI_Send on 99" with
+  | Error m -> Alcotest.failf "parse: %s" m
+  | Ok q -> (
+    match Query.eval db q with
+    | Error (Query.Unknown_thread "99") -> ()
+    | Error e -> Alcotest.failf "wrong error: %s" (Query.error_to_string e)
+    | Ok _ -> Alcotest.fail "accepted an unknown thread")
+
+let () =
+  Alcotest.run "eventdb"
+    [ ( "oracle",
+        [ prop_index_matches_oracle;
+          prop_count_query_matches_oracle;
+          prop_divergence_matches_oracle ] );
+      ( "persistence",
+        [ Alcotest.test_case "save/load roundtrip" `Quick
+            test_save_load_roundtrip;
+          Alcotest.test_case "corrupt index rebuilds" `Quick
+            test_corrupt_index_rebuilds;
+          Alcotest.test_case "warm open loads" `Quick test_open_warm ] );
+      ( "query",
+        [ Alcotest.test_case "between markers" `Quick test_between_markers;
+          Alcotest.test_case "under function" `Quick test_under_function;
+          Alcotest.test_case "unknown thread typed" `Quick
+            test_unknown_thread_is_typed ] ) ]

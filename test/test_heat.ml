@@ -172,7 +172,9 @@ let test_autotune_finds_discriminating_config () =
     Heat.run ~fault:(Fault.Swap_send_recv { rank = 3; after_iter = 2 }) ()
   in
   let r =
-    Autotune.search ~normal:normal.R.traces ~faulty:faulty.R.traces ()
+    match Autotune.search ~normal:normal.R.traces ~faulty:faulty.R.traces () with
+    | Ok r -> r
+    | Error e -> Alcotest.fail (Session.error_to_string e)
   in
   Alcotest.(check int) "2 filters x 6 attrs" 12 r.Autotune.evaluated;
   Alcotest.(check bool) "best config separates the runs" true
@@ -194,7 +196,9 @@ let test_autotune_finds_discriminating_config () =
 let test_autotune_identity_runs () =
   let normal, _ = Heat.run ~max_iters:5 ~fault:Fault.No_fault () in
   let r =
-    Autotune.search ~normal:normal.R.traces ~faulty:normal.R.traces ()
+    match Autotune.search ~normal:normal.R.traces ~faulty:normal.R.traces () with
+    | Ok r -> r
+    | Error e -> Alcotest.fail (Session.error_to_string e)
   in
   Alcotest.(check (float 1e-9)) "identical runs: best bscore 1" 1.0
     r.Autotune.best.Autotune.bscore;
@@ -203,10 +207,24 @@ let test_autotune_identity_runs () =
 
 let test_autotune_empty_axis () =
   let normal, _ = Heat.run ~np:2 ~max_iters:2 ~fault:Fault.No_fault () in
-  Alcotest.check_raises "empty ks" (Invalid_argument "Autotune.search: empty axis")
-    (fun () ->
-      ignore
-        (Autotune.search ~ks:[] ~normal:normal.R.traces ~faulty:normal.R.traces ()))
+  (* an empty sweep is request data, not a bug: a typed error, not a raise *)
+  (match
+     Autotune.search ~ks:[] ~normal:normal.R.traces ~faulty:normal.R.traces ()
+   with
+  | Ok _ -> Alcotest.fail "empty ks: expected Error"
+  | Error e ->
+    Alcotest.(check string) "empty ks"
+      "autotune: empty parameter axis (K): nothing to sweep"
+      (Session.error_to_string e));
+  match
+    Autotune.search ~ks:[] ~linkages:[] ~normal:normal.R.traces
+      ~faulty:normal.R.traces ()
+  with
+  | Ok _ -> Alcotest.fail "two empty axes: expected Error"
+  | Error e ->
+    Alcotest.(check string) "names every empty axis"
+      "autotune: empty parameter axis (K, linkages): nothing to sweep"
+      (Session.error_to_string e)
 
 let () =
   Alcotest.run "heat+cct+autotune"
