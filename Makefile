@@ -1,6 +1,6 @@
 # Convenience targets mirroring what CI runs (.github/workflows/ci.yml).
 
-.PHONY: all build test bench bench-smoke campaign-smoke fuzz-smoke store-smoke sketch-smoke serve-smoke query-smoke fmt clean
+.PHONY: all build test bench bench-smoke campaign-smoke fuzz-smoke store-smoke sketch-smoke serve-smoke query-smoke vdiff-smoke fmt clean
 
 all: build
 
@@ -47,6 +47,13 @@ serve-smoke: build
 # emit the difftrace-bench/1 artifact with the build/load/query timings
 query-smoke: build
 	sh scripts/query_smoke.sh
+
+# the vdiff smoke pass: a fault x seed selftest matrix through
+# campaign run -> report --variational; the minimal discriminating
+# condition must name exactly the injected fault axis, and a warm
+# rerun must replay the merged alignment out of the store
+vdiff-smoke: build
+	sh scripts/vdiff_smoke.sh
 
 # the archive fault-injection corpus on its own: deterministic bit
 # flips, truncations, chunk deletions and garbage appends against v1/v2

@@ -52,19 +52,21 @@ type options = {
   store : bool;
   sketch : bool;
   query : bool;
+  vdiff : bool;
   json : string option;
 }
 
 let usage oc =
   output_string oc
     "usage: bench [--quick] [--perf | --engine | --store | --sketch | \
-     --query] [--json FILE]\n\n\
+     --query | --vdiff] [--json FILE]\n\n\
     \  (no mode)    regenerate every paper table and figure\n\
     \  --perf       Bechamel micro-benchmarks only\n\
     \  --engine     engine/memo-cache benchmarks only\n\
     \  --store      cold vs. warm persistent-store benchmarks only\n\
     \  --sketch     MinHash/LSH sketch tier vs. exact JSM sweep only\n\
     \  --query      event-DB index build/load and query-latency benches only\n\
+    \  --vdiff      k-way variational merge wall-time sweep only\n\
     \  --quick      shrink workloads to CI scale\n\
     \  --json FILE  write metrics + telemetry to FILE (difftrace-bench/1)\n"
 
@@ -85,6 +87,7 @@ let opts =
     | "--store" :: rest -> parse { acc with store = true } rest
     | "--sketch" :: rest -> parse { acc with sketch = true } rest
     | "--query" :: rest -> parse { acc with query = true } rest
+    | "--vdiff" :: rest -> parse { acc with vdiff = true } rest
     | "--json" :: file :: rest when file = "" || file.[0] <> '-' ->
       parse { acc with json = Some file } rest
     | [ "--json" ] | "--json" :: _ -> die "--json requires FILE"
@@ -93,14 +96,15 @@ let opts =
   let o =
     parse
       { quick = false; perf = false; engine = false; store = false;
-        sketch = false; query = false; json = None }
+        sketch = false; query = false; vdiff = false; json = None }
       (List.tl (Array.to_list Sys.argv))
   in
   if (if o.perf then 1 else 0) + (if o.engine then 1 else 0)
      + (if o.store then 1 else 0) + (if o.sketch then 1 else 0)
-     + (if o.query then 1 else 0)
+     + (if o.query then 1 else 0) + (if o.vdiff then 1 else 0)
      > 1
-  then die "--perf, --engine, --store, --sketch and --query are exclusive";
+  then
+    die "--perf, --engine, --store, --sketch, --query and --vdiff are exclusive";
   o
 
 let quick = opts.quick
@@ -109,6 +113,7 @@ let engine_only = opts.engine
 let store_only = opts.store
 let sketch_only = opts.sketch
 let query_only = opts.query
+let vdiff_only = opts.vdiff
 
 (* named scalar metrics collected for --json; every section that
    measures something worth tracking across commits pushes here *)
@@ -1085,6 +1090,67 @@ let sketch_bench () =
     (100.0 *. !last_ratio)
 
 (* ------------------------------------------------------------------ *)
+(* --vdiff: k-way variational merge wall time                          *)
+(* ------------------------------------------------------------------ *)
+
+(* synthetic run family: a shared core sequence with per-run edits —
+   one block only the "bad" half carries, plus per-run noise — the
+   shape a campaign's run set takes (one structural divergence under a
+   fault axis, scheduler jitter everywhere else) *)
+let vdiff_runs k len =
+  List.init k (fun i ->
+      let bad = i >= k / 2 in
+      let elems =
+        List.concat_map
+          (fun j ->
+            let core = Printf.sprintf "f%d" j in
+            if bad && j = len / 2 then [ core; Printf.sprintf "bad%d" j ]
+            else if (j + i) mod 17 = 0 then
+              [ core; Printf.sprintf "r%d.n%d" i j ]
+            else [ core ])
+          (List.init len Fun.id)
+      in
+      { Variational.vr_name = Printf.sprintf "run%d" i;
+        vr_elems = elems;
+        vr_axes =
+          [ ("fault", (if bad then "f1" else "none"));
+            ("seed", string_of_int i) ];
+        vr_bad = bad })
+
+let vdiff_bench () =
+  section "V1" "k-way variational merge: wall time and alignment width";
+  let len = if quick then 120 else 400 in
+  let ks = if quick then [ 2; 4; 8 ] else [ 2; 4; 8; 16; 32 ] in
+  let rows =
+    List.map
+      (fun k ->
+        let runs = vdiff_runs k len in
+        let v, t = time (fun () -> Variational.merge runs) in
+        (* the merge must stay lossless at every k *)
+        List.iteri
+          (fun i r ->
+            if Variational.reconstruct v i <> r.Variational.vr_elems then
+              failwith (Printf.sprintf "vdiff: k=%d run %d not lossless" k i))
+          runs;
+        let cols = Array.length v.Variational.columns in
+        let nregions = List.length (Variational.regions v) in
+        metric (Printf.sprintf "vdiff.k%d.merge_s" k) t;
+        metric ~unit:"columns" (Printf.sprintf "vdiff.k%d.columns" k)
+          (float_of_int cols);
+        [ string_of_int k;
+          Printf.sprintf "%.4f" t;
+          string_of_int cols;
+          string_of_int nregions;
+          (match Variational.discriminating v with
+          | Some c -> Variational.condition_to_string c
+          | None -> "-") ])
+      ks
+  in
+  Difftrace_util.Texttable.print
+    ~headers:[ "k"; "merge s"; "columns"; "regions"; "condition" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* --json trajectory artifact                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1098,7 +1164,8 @@ let write_json file =
         ("engine", Json.Bool opts.engine);
         ("store", Json.Bool opts.store);
         ("sketch", Json.Bool opts.sketch);
-        ("query", Json.Bool opts.query) ]
+        ("query", Json.Bool opts.query);
+        ("vdiff", Json.Bool opts.vdiff) ]
   in
   let metric_objs =
     List.rev_map
@@ -1133,6 +1200,7 @@ let () =
   else if store_only then store_bench ()
   else if sketch_only then sketch_bench ()
   else if query_only then query_bench ()
+  else if vdiff_only then vdiff_bench ()
   else if not perf_only then begin
     table_i ();
     odd_even_walkthrough ();

@@ -524,6 +524,152 @@ let analyze_cmd =
           $ k_t $ linkage_t $ engine_t $ mode_t $ store_flags_t $ salvage_t
           $ diffnlr_t $ profile_t)
 
+(* --- vdiff: n-way variational diffing -------------------------------- *)
+
+let vdiff_cmd =
+  let doc =
+    "Merge two or more recorded archives into one variational NLR: every \
+     structural region annotated with the minimal condition (over the \
+     declared axes) selecting the runs it appears in, ranked suspect \
+     regions, and the condition discriminating the runs marked --bad."
+  in
+  let runs_t =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "r"; "run" ] ~docv:"NAME=DIR"
+          ~doc:
+            "A run to align: display name and archive directory. Repeat at \
+             least twice; run order fixes the r0, r1, ... indices.")
+  in
+  let axes_t =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "axes" ] ~docv:"NAME:K=V[,K=V...]"
+          ~doc:
+            "Condition axes of run NAME, e.g. cell7:fault=f2,seed=3. Axes \
+             missing on a run read as \"-\".")
+  in
+  let bad_t =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "bad" ] ~docv:"NAME"
+          ~doc:
+            "Mark run NAME as bad (its verdict label); repeatable. The \
+             report names the minimal condition discriminating the bad \
+             set.")
+  in
+  let trace_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"LABEL"
+          ~doc:
+            "Trace label to align; default: the first label common to every \
+             run.")
+  in
+  let salvage_t =
+    Arg.(
+      value & flag
+      & info [ "salvage" ]
+          ~doc:
+            "Recover damaged archives: keep the longest checksum-valid, \
+             cleanly-decoding prefix of each corrupt trace instead of \
+             refusing the whole run.")
+  in
+  let split_once c s =
+    match String.index_opt s c with
+    | None -> None
+    | Some i ->
+      Some (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  in
+  let usage_exit m =
+    Printf.eprintf "difftrace: %s\n" m;
+    exit 2
+  in
+  let action runs axes bad trace filter custom attrs k linkage engine mode
+      store salvage prof =
+    let named =
+      List.map
+        (fun spec ->
+          match split_once '=' spec with
+          | Some (name, dir) when name <> "" && dir <> "" -> (name, dir)
+          | _ -> usage_exit (Printf.sprintf "--run %S: expected NAME=DIR" spec))
+        runs
+    in
+    if List.length named < 2 then
+      usage_exit "vdiff needs at least two --run NAME=DIR archives";
+    (match
+       List.find_opt
+         (fun (n, _) -> List.length (List.filter (fun (m, _) -> m = n) named) > 1)
+         named
+     with
+    | Some (n, _) -> usage_exit (Printf.sprintf "duplicate run name %S" n)
+    | None -> ());
+    let known n = List.mem_assoc n named in
+    let axes_of =
+      List.map
+        (fun spec ->
+          match split_once ':' spec with
+          | None ->
+            usage_exit (Printf.sprintf "--axes %S: expected NAME:K=V[,K=V...]" spec)
+          | Some (name, kvs) ->
+            if not (known name) then
+              usage_exit (Printf.sprintf "--axes %S: no --run named %S" spec name);
+            let pairs =
+              List.map
+                (fun kv ->
+                  match split_once '=' kv with
+                  | Some (k, v) when k <> "" -> (k, v)
+                  | _ ->
+                    usage_exit
+                      (Printf.sprintf "--axes %S: malformed %S" spec kv))
+                (String.split_on_char ',' kvs)
+            in
+            (name, pairs))
+        axes
+    in
+    List.iter
+      (fun n ->
+        if not (known n) then
+          usage_exit (Printf.sprintf "--bad %S: no --run with that name" n))
+      bad;
+    let config = config_of ~filter ~custom ~attrs ~k ~linkage ~engine ~mode in
+    run_profiled prof ~config @@ fun () ->
+    let store = open_store (store_of store) in
+    let ses = Session.create ?store () in
+    let vd_runs =
+      List.map
+        (fun (name, dir) ->
+          { Session.vdr_name = name;
+            vdr_source = Session.Archive { dir; salvage };
+            vdr_axes =
+              List.concat_map snd
+                (List.filter (fun (n, _) -> n = name) axes_of);
+            vdr_bad = List.mem name bad })
+        named
+    in
+    let r = Session.vdiff ses config { Session.vd_runs; vd_trace = trace } in
+    flush_store store;
+    match r with
+    | Ok r -> print_string r.Session.vd_output
+    | Error e ->
+      Printf.eprintf "difftrace: %s\n" (Session.error_to_string e);
+      (match e with
+      | Session.Archive_failed _ when not salvage ->
+        prerr_endline
+          "hint: --salvage recovers the checksum-valid prefix of damaged \
+           traces"
+      | _ -> ());
+      exit 1
+  in
+  Cmd.v (Cmd.info "vdiff" ~doc)
+    Term.(const action $ runs_t $ axes_t $ bad_t $ trace_t $ filter_t
+          $ custom_t $ attrs_t $ k_t $ linkage_t $ engine_t $ mode_t
+          $ store_flags_t $ salvage_t $ profile_t)
+
 (* --- archive: integrity tooling ------------------------------------- *)
 
 let archive_cmd =
@@ -921,7 +1067,9 @@ let campaign_cmd =
   let report_cmd =
     let doc =
       "Render the ranked cross-fault triage report from a campaign \
-       directory; --diffnlr drills into the best-ranked cell's top suspect."
+       directory; --diffnlr drills into the best-ranked cell's top suspect, \
+       --variational merges every archived run into one conditioned \
+       variational NLR."
     in
     let diffnlr_t =
       Arg.(
@@ -931,8 +1079,18 @@ let campaign_cmd =
               "Also re-load the best-ranked cell's archives and print the \
                diffNLR of its top suspect against the reference run.")
     in
-    let action dir diffnlr filter custom attrs k linkage engine mode store
-        prof =
+    let variational_t =
+      Arg.(
+        value & flag
+        & info [ "variational" ]
+            ~doc:
+              "Also merge every archived run (references + recorded cells) \
+               into one variational NLR conditioned on the fault and seed \
+               axes, and name the minimal condition discriminating the bad \
+               cells.")
+    in
+    let action dir diffnlr variational filter custom attrs k linkage engine
+        mode store prof =
       let config = config_of ~filter ~custom ~attrs ~k ~linkage ~engine ~mode in
       run_profiled prof ~config @@ fun () ->
       match C.status ~dir with
@@ -941,21 +1099,27 @@ let campaign_cmd =
         exit 1
       | Ok o -> (
         print_outcome o;
-        if diffnlr then begin
+        if diffnlr || variational then begin
           let store = open_store (campaign_store_of ~dir store) in
-          match C.top_cell_diffnlr ~config ?store ~dir o with
-          | Ok s ->
-            flush_store store;
-            print_string s
-          | Error e ->
-            Printf.eprintf "difftrace: %s\n" e;
-            exit 1
+          (if diffnlr then
+             match C.top_cell_diffnlr ~config ?store ~dir o with
+             | Ok s -> print_string s
+             | Error e ->
+               Printf.eprintf "difftrace: %s\n" e;
+               exit 1);
+          (if variational then
+             match C.variational ~config ?store ~dir o with
+             | Ok s -> print_string s
+             | Error e ->
+               Printf.eprintf "difftrace: %s\n" e;
+               exit 1);
+          flush_store store
         end)
     in
     Cmd.v (Cmd.info "report" ~doc)
-      Term.(const action $ dir_t $ diffnlr_t $ filter_t $ custom_t $ attrs_t
-            $ k_t $ linkage_t $ engine_t $ mode_t $ store_flags_t
-            $ profile_t)
+      Term.(const action $ dir_t $ diffnlr_t $ variational_t $ filter_t
+            $ custom_t $ attrs_t $ k_t $ linkage_t $ engine_t $ mode_t
+            $ store_flags_t $ profile_t)
   in
   let doc =
     "Fault campaigns: run a declarative fault x scheduler-seed matrix with \
@@ -1014,19 +1178,31 @@ let store_cmd =
         & info [ "keep-signatures" ] ~docv:"N"
             ~doc:"Keep at most $(docv) newest MinHash signatures.")
     in
-    let action dir keep_summaries keep_matrices keep_signatures =
+    let keep_vdiffs_t =
+      Arg.(
+        value
+        & opt int 64
+        & info [ "keep-vdiffs" ] ~docv:"N"
+            ~doc:"Keep at most $(docv) newest variational alignments.")
+    in
+    let action dir keep_summaries keep_matrices keep_signatures keep_vdiffs =
       let st = load_or_exit dir in
-      let s, m, g = Store.gc ~keep_summaries ~keep_matrices ~keep_signatures st in
+      let s, m, g, v =
+        Store.gc ~keep_summaries ~keep_matrices ~keep_signatures ~keep_vdiffs st
+      in
       (match Store.flush st with
       | Ok () -> ()
       | Error e ->
         Printf.eprintf "difftrace: %s\n" (Store.error_to_string e);
         exit 1);
-      Printf.printf "evicted %d summaries, %d matrices, %d signatures\n" s m g
+      (* the vdiff field appears only when something was dropped, keeping
+         the long-standing three-field line byte-stable *)
+      Printf.printf "evicted %d summaries, %d matrices, %d signatures%s\n" s m g
+        (if v > 0 then Printf.sprintf ", %d vdiffs" v else "")
     in
     Cmd.v (Cmd.info "gc" ~doc)
       Term.(const action $ dir_t $ keep_summaries_t $ keep_matrices_t
-            $ keep_signatures_t)
+            $ keep_signatures_t $ keep_vdiffs_t)
   in
   let verify_cmd =
     let doc =
@@ -1192,6 +1368,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; compare_cmd; table_cmd; record_cmd; analyze_cmd;
-            archive_cmd; campaign_cmd; store_cmd; triage_cmd; autotune_cmd;
-            query_cmd; report_cmd; explore_cmd; export_cmd; filters_cmd;
-            serve_cmd; client_cmd ]))
+            vdiff_cmd; archive_cmd; campaign_cmd; store_cmd; triage_cmd;
+            autotune_cmd; query_cmd; report_cmd; explore_cmd; export_cmd;
+            filters_cmd; serve_cmd; client_cmd ]))

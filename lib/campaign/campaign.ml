@@ -3,6 +3,7 @@ module Engine = Difftrace_core.Engine
 module Memo = Difftrace_core.Memo
 module Store = Difftrace_core.Store
 module Pipeline = Difftrace_core.Pipeline
+module Session = Difftrace_core.Session
 module Fault = Difftrace_simulator.Fault
 module Runtime = Difftrace_simulator.Runtime
 module Archive = Difftrace_parlot.Archive
@@ -32,19 +33,8 @@ type error =
   | Wrong_campaign of { dir : string; what : string }
   | Manifest_damaged of { dir : string; reason : string }
   | No_manifest of string
+  | Unknown_kind of string
   | Io of string
-
-let error_to_string = function
-  | State_dir reason -> "campaign state dir: " ^ reason
-  | Wrong_campaign { dir; what } ->
-    Printf.sprintf
-      "%s holds a different campaign (mismatched %s); use a fresh state \
-       directory or delete it"
-      dir what
-  | Manifest_damaged { dir; reason } ->
-    Printf.sprintf "campaign manifest in %s: %s" dir reason
-  | No_manifest dir -> "no campaign manifest in " ^ dir
-  | Io reason -> reason
 
 (* ------------------------------------------------------------------ *)
 (* Cell kinds                                                          *)
@@ -93,6 +83,24 @@ let () =
            deterministic stand-in for a livelocked cell *)
         oddeven ~np ~seed ~max_steps:(Some 10) ~fault:Fault.No_fault
       | fault -> oddeven ~np ~seed ~max_steps ~fault)
+
+let error_to_string = function
+  | State_dir reason -> "campaign state dir: " ^ reason
+  | Wrong_campaign { dir; what } ->
+    Printf.sprintf
+      "%s holds a different campaign (mismatched %s); use a fresh state \
+       directory or delete it"
+      dir what
+  | Manifest_damaged { dir; reason } ->
+    Printf.sprintf "campaign manifest in %s: %s" dir reason
+  | No_manifest dir -> "no campaign manifest in " ^ dir
+  | Unknown_kind kind ->
+    Printf.sprintf
+      "campaign cell kind %S is not registered (registered: %s); a custom \
+       kind must be re-registered before resuming its campaign"
+      kind
+      (String.concat ", " (kinds ()))
+  | Io reason -> reason
 
 (* ------------------------------------------------------------------ *)
 (* Matrix                                                              *)
@@ -637,6 +645,14 @@ let run ?(config = Config.default) ?on_cell ?store ~dir m =
   Span.with_ "campaign.run" @@ fun () ->
   Printexc.record_backtrace true;
   let config_name = Config.name config in
+  (* the kind must resolve before anything touches disk: a resumed
+     matrix can name a kind that was never re-registered in this
+     process (status reconstructs such matrices on purpose), and a
+     fresh matrix can outlive its registration — both are a typed
+     refusal, not a Not_found crash mid-campaign *)
+  match Hashtbl.find_opt kind_tbl m.kind with
+  | None -> Error (Unknown_kind m.kind)
+  | Some kind_fn -> (
   match mkdir_p dir with
   | Error reason -> Error (State_dir reason)
   | Ok () -> (
@@ -672,7 +688,6 @@ let run ?(config = Config.default) ?on_cell ?store ~dir m =
       match write_manifest ~dir m ~config_name prior with
       | exception Sys_error reason -> Error (Io ("campaign manifest: " ^ reason))
       | () ->
-      let kind_fn = Hashtbl.find kind_tbl m.kind in
       let runner = Engine.runner config.Config.engine in
       (* fault-free reference runs, one per seed a pending cell needs *)
       let seeds_needed =
@@ -754,7 +769,7 @@ let run ?(config = Config.default) ?on_cell ?store ~dir m =
         { matrix = m;
           results;
           executed = Array.length pending_arr;
-          resumed_cells = List.length prior }))
+          resumed_cells = List.length prior })))
 
 (* ------------------------------------------------------------------ *)
 (* Status                                                              *)
@@ -906,3 +921,50 @@ let top_cell_diffnlr ?(config = Config.default) ?store ~dir o =
                   ~title:(Printf.sprintf "diffNLR(%s)" label)
                   d
                ^ note)))))
+
+(* the n-way drill-down: merge every archived run of the campaign —
+   the per-seed fault-free references plus every recorded cell that
+   left an archive (Failed cells crashed before archiving anything) —
+   into one variational NLR conditioned on the fault and seed axes,
+   with each cell's verdict as its bad/good label. *)
+let variational ?(config = Config.default) ?store ~dir o =
+  let archived =
+    List.filter
+      (fun r -> match r.verdict with Failed _ -> false | _ -> true)
+      o.results
+  in
+  let seeds =
+    List.sort_uniq Int.compare (List.map (fun r -> r.cell.seed) archived)
+  in
+  let refs =
+    List.map
+      (fun seed ->
+        { Session.vdr_name = Printf.sprintf "ref@s%d" seed;
+          vdr_source =
+            Session.Archive { dir = normal_dir dir seed; salvage = true };
+          vdr_axes = [ ("fault", "none"); ("seed", string_of_int seed) ];
+          vdr_bad = false })
+      seeds
+  in
+  let cells =
+    List.map
+      (fun r ->
+        { Session.vdr_name = cell_label r.cell;
+          vdr_source =
+            Session.Archive { dir = cell_dir dir r.cell.index; salvage = true };
+          vdr_axes =
+            [ ("fault", Fault.to_string r.cell.fault);
+              ("seed", string_of_int r.cell.seed) ];
+          vdr_bad = (match r.verdict with Completed -> false | _ -> true) })
+      archived
+  in
+  let runs = refs @ cells in
+  if List.length runs < 2 then
+    Error "variational: fewer than two archived runs to align"
+  else
+    let ses = Session.create ?store () in
+    match
+      Session.vdiff ses config { Session.vd_runs = runs; vd_trace = None }
+    with
+    | Error e -> Error (Session.error_to_string e)
+    | Ok r -> Ok r.Session.vd_output

@@ -55,6 +55,12 @@ type error =
       (** the manifest survives but salvage could not recover what the
           operation needs *)
   | No_manifest of string  (** [status] on a directory with no manifest *)
+  | Unknown_kind of string
+      (** the matrix names a cell kind absent from the registry — a
+          custom kind not re-registered before resuming, or a typo; the
+          rendering lists the registered kinds. {!status} still reads
+          such a campaign (inspection needs no runner), only {!run}
+          refuses. *)
   | Io of string  (** the initial manifest write failed *)
 
 val error_to_string : error -> string
@@ -205,6 +211,25 @@ val render : outcome -> string
     suspect to a raw-event position. [Error] when no cell is
     analyzable or the archives are gone. *)
 val top_cell_diffnlr :
+  ?config:Difftrace_core.Config.t ->
+  ?store:Difftrace_core.Store.t ->
+  dir:string ->
+  outcome ->
+  (string, string) result
+
+(** [variational ?config ?store ~dir o] — the n-way drill-down
+    ([campaign report --variational]): re-load {e every} archived run
+    of the campaign — the per-seed fault-free references plus each
+    recorded cell (Failed cells crashed before archiving and are
+    skipped) — and render one conditioned variational NLR
+    ({!Difftrace_core.Session.vdiff}) with [fault] and [seed] as the
+    condition axes and each cell's verdict as its bad/good label. The
+    report annotates every structural region with the minimal condition
+    selecting the runs it appears in, and names the minimal
+    discriminating condition of the bad set — e.g. [fault=f2] when the
+    divergent region tracks one injected fault exactly. [Error] when
+    fewer than two archived runs remain or an archive is unreadable. *)
+val variational :
   ?config:Difftrace_core.Config.t ->
   ?store:Difftrace_core.Store.t ->
   dir:string ->

@@ -11,6 +11,8 @@ module Stacktree = Difftrace_stacktree.Stacktree
 module Diffnlr = Difftrace_diff.Diffnlr
 module Eventdb = Difftrace_eventdb.Eventdb
 module Equery = Difftrace_eventdb.Query
+module Variational = Difftrace_variational.Variational
+module Bitset = Difftrace_util.Bitset
 
 type error =
   | Invalid of string
@@ -398,6 +400,198 @@ let query t config req =
                 qy_size = Equery.size r;
                 qy_warm = warm;
                 qy_output = Equery.render r })))
+
+(* --- vdiff ------------------------------------------------------------ *)
+
+type vdiff_run = {
+  vdr_name : string;
+  vdr_source : source;
+  vdr_axes : (string * string) list;
+  vdr_bad : bool;
+}
+
+type vdiff_request = {
+  vd_runs : vdiff_run list;
+  vd_trace : string option;
+}
+
+type vdiff_response = {
+  vd_nruns : int;
+  vd_columns : int;
+  vd_regions : int;
+  vd_warm : bool;
+  vd_condition : string option;
+  vd_output : string;
+}
+
+(* the store key for a merged alignment: a digest over the aligned
+   label and every run's element sequence in run order. Sequences are
+   length-prefixed so no two distinct run sets concatenate to the same
+   bytes. The merge is a pure function of exactly these inputs (names,
+   axes and verdicts only annotate the result), so equal keys mean the
+   persisted columns replay bit-identically. *)
+let vdiff_key ~label runs =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "difftrace-vdiff 1\n";
+  Buffer.add_string b (Printf.sprintf "%d %s\n" (List.length runs) label);
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Printf.sprintf "%d\n" (List.length r.Variational.vr_elems));
+      List.iter
+        (fun e -> Buffer.add_string b (Printf.sprintf "%d:%s" (String.length e) e))
+        r.Variational.vr_elems)
+    runs;
+  Digest.string (Buffer.contents b)
+
+(* per-suspect event-DB footer: pin the region to the first raw-event
+   divergence between a run that lacks it and one that has it, so a
+   conditioned suspect is one [difftrace query] away from its events *)
+let vdiff_footers ~label ~trace_sets sps =
+  let buf = Buffer.create 128 in
+  let seen = Hashtbl.create 4 in
+  List.iter
+    (fun (sp : Variational.suspect) ->
+      let pres = sp.Variational.sp_region.Variational.rg_present in
+      let first_where p =
+        let n = Array.length trace_sets in
+        let rec go i = if i >= n then None else if p i then Some i else go (i + 1) in
+        go 0
+      in
+      match
+        ( first_where (fun i -> not (Bitset.mem pres i)),
+          first_where (fun i -> Bitset.mem pres i) )
+      with
+      | Some without, Some with_ ->
+        (* orient so "normal" is the region's good side: a [Present]
+           suspect tracks the bad runs, so the run with the region is
+           the faulty one; an [Absent] suspect is the reverse *)
+        let normal_i, faulty_i =
+          match sp.Variational.sp_polarity with
+          | Variational.Present -> (without, with_)
+          | Variational.Absent -> (with_, without)
+        in
+        Option.iter
+          (fun note ->
+            if not (Hashtbl.mem seen note) then begin
+              Hashtbl.replace seen note ();
+              Buffer.add_string buf note
+            end)
+          (Eventdb.divergence_note ~normal:trace_sets.(normal_i)
+             ~faulty:trace_sets.(faulty_i) ~label)
+      | _ -> ())
+    sps;
+  Buffer.contents buf
+
+let vdiff t config req =
+  let n = List.length req.vd_runs in
+  if n < 2 then
+    Error (Invalid "vdiff: need at least two runs to align")
+  else
+    let engine = config.Config.engine in
+    (* resolve + analyze every run against the session's shared tables
+       (the store's memo when there is one), so NLR element strings
+       mean the same thing across runs *)
+    let rec gather acc = function
+      | [] -> Ok (List.rev acc)
+      | r :: rest -> (
+        match resolve t ~engine r.vdr_source with
+        | Error e -> Error e
+        | Ok (ts, _salvaged) ->
+          let a =
+            match t.ses_store with
+            | Some st -> Pipeline.analyze ~store:st config ts
+            | None -> Pipeline.analyze ~memo:t.ses_memo config ts
+          in
+          gather ((r, ts, a) :: acc) rest)
+    in
+    match gather [] req.vd_runs with
+    | Error e -> Error e
+    | Ok resolved -> (
+      (* the trace to align: the request's, or the first label (in run
+         0's order) common to every run *)
+      let label_of =
+        match req.vd_trace with
+        | Some l -> Ok l
+        | None -> (
+          let _, _, a0 = List.hd resolved in
+          let common l =
+            List.for_all
+              (fun (_, _, a) -> Array.exists (String.equal l) a.Pipeline.labels)
+              resolved
+          in
+          match Array.find_opt common a0.Pipeline.labels with
+          | Some l -> Ok l
+          | None -> Error (Invalid "vdiff: the runs have no trace in common"))
+      in
+      match label_of with
+      | Error e -> Error e
+      | Ok label -> (
+        let nlr_of (_, _, a) =
+          match Pipeline.find_nlr a label with
+          | Ok (nlr, _truncated) ->
+            Ok (Difftrace_nlr.Nlr.to_strings a.Pipeline.symtab nlr)
+          | Error e -> Error (Unknown_label e)
+        in
+        let rec elems acc = function
+          | [] -> Ok (List.rev acc)
+          | r :: rest -> (
+            match nlr_of r with
+            | Error e -> Error e
+            | Ok es -> elems (es :: acc) rest)
+        in
+        match elems [] resolved with
+        | Error e -> Error e
+        | Ok elem_lists ->
+          let runs =
+            List.map2
+              (fun (r, _, _) es ->
+                { Variational.vr_name = r.vdr_name;
+                  vr_elems = es;
+                  vr_axes = r.vdr_axes;
+                  vr_bad = r.vdr_bad })
+              resolved elem_lists
+          in
+          let key = vdiff_key ~label runs in
+          (* warm path: replay the persisted alignment instead of
+             re-running the k-way merge *)
+          let v, warm =
+            match
+              Option.bind t.ses_store (fun st -> Store.find_vdiff st ~key)
+            with
+            | Some cols -> (
+              match Variational.of_columns runs cols with
+              | v -> (v, true)
+              | exception Invalid_argument _ ->
+                (* a damaged record: fall back to a fresh merge *)
+                (Variational.merge runs, false))
+            | None ->
+              let v = Variational.merge runs in
+              Option.iter
+                (fun st ->
+                  Store.add_vdiff st ~key ~nruns:n (Variational.columns_repr v))
+                t.ses_store;
+              (v, false)
+          in
+          let trace_sets =
+            Array.of_list (List.map (fun (_, ts, _) -> ts) resolved)
+          in
+          let sps = Variational.suspects v in
+          let buf = Buffer.create 1024 in
+          Buffer.add_string buf
+            (Variational.render
+               ~title:(Printf.sprintf "variational NLR(%s): %d runs" label n)
+               v);
+          Buffer.add_string buf (vdiff_footers ~label ~trace_sets sps);
+          Ok
+            { vd_nruns = n;
+              vd_columns = Array.length v.Variational.columns;
+              vd_regions = List.length (Variational.regions v);
+              vd_warm = warm;
+              vd_condition =
+                Option.map Variational.condition_to_string
+                  (Variational.discriminating v);
+              vd_output = Buffer.contents buf }))
 
 (* --- status ---------------------------------------------------------- *)
 

@@ -193,6 +193,47 @@ type query_response = {
     labels the database actually has. *)
 val query : t -> Config.t -> query_request -> (query_response, error) result
 
+(** {2 Variational diff}
+
+    The n-way generalization of {!compare}: k runs merged into one
+    conditioned variational NLR (see {!Difftrace_variational}). *)
+
+type vdiff_run = {
+  vdr_name : string;  (** display name, e.g. a campaign cell label *)
+  vdr_source : source;
+  vdr_axes : (string * string) list;
+      (** condition axes, e.g. [[("fault", "f2"); ("seed", "3")]] *)
+  vdr_bad : bool;  (** verdict label: this run went wrong *)
+}
+
+type vdiff_request = {
+  vd_runs : vdiff_run list;  (** at least two *)
+  vd_trace : string option;
+      (** trace label to align; default: the first label (in run 0's
+          order) common to every run *)
+}
+
+type vdiff_response = {
+  vd_nruns : int;
+  vd_columns : int;  (** merged alignment width *)
+  vd_regions : int;
+  vd_warm : bool;  (** the alignment replayed from the store *)
+  vd_condition : string option;
+      (** the bad set's minimal discriminating condition; [None] when
+          no run — or every run — is bad *)
+  vd_output : string;
+}
+
+(** [vdiff t config req] — align one trace label across every run and
+    render the conditioned variational NLR: regions annotated with
+    their minimal presence condition, ranked suspect regions, the bad
+    set's discriminating condition, and an event-DB footer pinning each
+    suspect to its first raw-event divergence. All runs analyze against
+    the session's shared tables. With a store, the merged alignment
+    persists keyed by a digest of the aligned sequences, so a warm
+    rerun ([vd_warm]) skips the k-way re-alignment entirely. *)
+val vdiff : t -> Config.t -> vdiff_request -> (vdiff_response, error) result
+
 (** {2 Status} *)
 
 type status = {

@@ -17,10 +17,15 @@ let c_crc_fail = Telemetry.Counter.make "store.crc_fail"
 let c_sig_hits = Telemetry.Counter.make "store.sig_hits"
 let c_sig_misses = Telemetry.Counter.make "store.sig_misses"
 
+(* merged variational alignments served warm (vdiff skips re-alignment) *)
+let c_vdiff_hits = Telemetry.Counter.make "store.vdiff_hits"
+let c_vdiff_misses = Telemetry.Counter.make "store.vdiff_misses"
+
 (* retention caps applied by [flush]; [gc] takes explicit ones *)
 let default_keep_summaries = 4096
 let default_keep_matrices = 64
 let default_keep_signatures = 4096
+let default_keep_vdiffs = 64
 
 let magic = "difftrace-store 1\n"
 let store_file = "analysis.store"
@@ -47,6 +52,16 @@ type matrix_entry = {
    same attribute-name set, same signature bit for bit. *)
 type sig_entry = { sg_stamp : int; sg_mins : int array }
 
+(* a persisted variational alignment: the merged column sequence of an
+   n-way vdiff, keyed by a digest over the aligned runs' element
+   sequences (in run order) — same runs, same columns, so a hit skips
+   the whole progressive re-alignment *)
+type vdiff_entry = {
+  vd_stamp : int;
+  vd_nruns : int;
+  vd_cols : (string * int list) array;  (* (text, presence indices) *)
+}
+
 type t = {
   dir : string;
   file : string;
@@ -55,6 +70,7 @@ type t = {
   evicted : (string, unit) Hashtbl.t;  (* summary keys gc'd, skip at flush *)
   matrices : (string, matrix_entry) Hashtbl.t;  (* identity -> entry *)
   signatures : (string, sig_entry) Hashtbl.t;  (* object digest -> entry *)
+  vdiffs : (string, vdiff_entry) Hashtbl.t;  (* run-set digest -> entry *)
   mutable next_stamp : int;
   mutable dirty : bool;
   mutable salvaged : bool;
@@ -92,16 +108,18 @@ let object_digest ctx i =
    File = magic line, then records: varint payload length, payload,
    CRC-32 of the payload (4 LE bytes). Payload byte 0 is the type.
    Write order is symbols, loop bodies, summaries, signatures,
-   matrices, so every reference points backwards and a salvaged prefix
-   is self-consistent. Signature records are standalone (they
-   reference nothing), and an exact-mode store holds none, so the
-   historical exact-mode byte layout is unchanged. *)
+   matrices, vdiffs, so every reference points backwards and a
+   salvaged prefix is self-consistent. Signature and vdiff records are
+   standalone (they reference nothing), and a store that never served
+   a sketch run or a vdiff holds none, so the historical byte layout
+   is unchanged. *)
 
 let tag_symbol = 1
 let tag_body = 2
 let tag_summary = 3
 let tag_matrix = 4
 let tag_signature = 5
+let tag_vdiff = 6
 
 let write_elem buf = function
   | Nlr.Sym id ->
@@ -172,6 +190,22 @@ let payload_signature ~digest (e : sig_entry) =
   Array.iter (fun m -> Buffer.add_int64_le b (Int64.of_int m)) e.sg_mins;
   Buffer.contents b
 
+let payload_vdiff ~key (e : vdiff_entry) =
+  let b = Buffer.create 256 in
+  Buffer.add_char b (Char.chr tag_vdiff);
+  Buffer.add_string b key;
+  Varint.write b e.vd_stamp;
+  Varint.write b e.vd_nruns;
+  Varint.write b (Array.length e.vd_cols);
+  Array.iter
+    (fun (text, present) ->
+      Varint.write b (String.length text);
+      Buffer.add_string b text;
+      Varint.write b (List.length present);
+      List.iter (Varint.write b) present)
+    e.vd_cols;
+  Buffer.contents b
+
 (* {2 Record decoding}
 
    Decoding validates structure against the running table sizes; any
@@ -221,6 +255,7 @@ type raw =
   | Rsummary of { key : string; stamp : int; nlr : Nlr.t }
   | Rmatrix of matrix_entry
   | Rsignature of { digest : string; entry : sig_entry }
+  | Rvdiff of { key : string; entry : vdiff_entry }
 
 (* [n_syms]/[n_bodies] are the table sizes accumulated from preceding
    records of this load — the only IDs a well-formed record may cite *)
@@ -283,6 +318,39 @@ let decode_payload ~n_syms ~n_bodies s =
             v)
       in
       (Rsignature { digest; entry = { sg_stamp = stamp; sg_mins = mins } },
+       !pos)
+    end
+    else if tag = tag_vdiff then begin
+      let key, pos = read_digest s 1 in
+      let stamp, pos = Varint.read s pos in
+      let nruns, pos = Varint.read s pos in
+      if nruns < 1 then bad "vdiff with %d runs" nruns;
+      let ncols, pos = Varint.read s pos in
+      (* a column costs at least 2 bytes (empty text, one index) *)
+      if ncols * 2 > len - pos then bad "column count %d overruns record" ncols;
+      let pos = ref pos in
+      let cols =
+        Array.init ncols (fun _ ->
+            let tl, p = Varint.read s !pos in
+            if p + tl > len then bad "truncated vdiff column text";
+            let text = String.sub s p tl in
+            let np, p = Varint.read s (p + tl) in
+            if np < 1 then bad "vdiff column with empty presence";
+            if np > nruns then bad "presence count %d exceeds %d runs" np nruns;
+            let p = ref p in
+            let present =
+              List.init np (fun _ ->
+                  let i, q = Varint.read s !p in
+                  if i >= nruns then
+                    bad "run index %d out of range (%d runs)" i nruns;
+                  p := q;
+                  i)
+            in
+            pos := !p;
+            (text, present))
+      in
+      (Rvdiff { key; entry = { vd_stamp = stamp; vd_nruns = nruns;
+                               vd_cols = cols } },
        !pos)
     end
     else bad "unknown record type %d" tag
@@ -383,7 +451,11 @@ let adopt t records =
          | Rsignature { digest; entry } ->
            Hashtbl.replace t.signatures digest entry;
            if entry.sg_stamp >= t.next_stamp then
-             t.next_stamp <- entry.sg_stamp + 1)
+             t.next_stamp <- entry.sg_stamp + 1
+         | Rvdiff { key; entry } ->
+           Hashtbl.replace t.vdiffs key entry;
+           if entry.vd_stamp >= t.next_stamp then
+             t.next_stamp <- entry.vd_stamp + 1)
        records
    with Bad_record reason -> damage := Some reason);
   !damage
@@ -401,6 +473,7 @@ let load ~dir =
         evicted = Hashtbl.create 16;
         matrices = Hashtbl.create 16;
         signatures = Hashtbl.create 64;
+        vdiffs = Hashtbl.create 16;
         next_stamp = 0;
         dirty = false;
         salvaged = false }
@@ -537,6 +610,24 @@ let jsm t ~config ~init ctx =
   end;
   result
 
+(* {2 Variational alignments} *)
+
+let find_vdiff t ~key =
+  match Hashtbl.find_opt t.vdiffs key with
+  | Some e ->
+    Telemetry.Counter.incr c_vdiff_hits;
+    Some e.vd_cols
+  | None ->
+    Telemetry.Counter.incr c_vdiff_misses;
+    None
+
+let add_vdiff t ~key ~nruns cols =
+  let stamp = t.next_stamp in
+  t.next_stamp <- stamp + 1;
+  Hashtbl.replace t.vdiffs key
+    { vd_stamp = stamp; vd_nruns = nruns; vd_cols = cols };
+  t.dirty <- true
+
 (* {2 Eviction, flush, stats} *)
 
 (* summaries not yet persisted (no stamp) sort newest; among them key
@@ -568,6 +659,13 @@ let signature_entries t =
          | 0 -> String.compare d1 d2
          | c -> c)
 
+let vdiff_entries t =
+  Hashtbl.fold (fun k e acc -> (k, e) :: acc) t.vdiffs []
+  |> List.sort (fun (k1, e1) (k2, e2) ->
+         match compare e1.vd_stamp e2.vd_stamp with
+         | 0 -> String.compare k1 k2
+         | c -> c)
+
 let drop_oldest entries ~keep =
   let total = List.length entries in
   if total <= keep then ([], entries)
@@ -584,7 +682,8 @@ let drop_oldest entries ~keep =
 
 let evict ?(keep_summaries = default_keep_summaries)
     ?(keep_matrices = default_keep_matrices)
-    ?(keep_signatures = default_keep_signatures) t =
+    ?(keep_signatures = default_keep_signatures)
+    ?(keep_vdiffs = default_keep_vdiffs) t =
   let drop_s, _ = drop_oldest (summary_entries t) ~keep:keep_summaries in
   List.iter (fun (key, _, _) -> Hashtbl.replace t.evicted key ()) drop_s;
   let drop_m, _ = drop_oldest (matrix_entries t) ~keep:keep_matrices in
@@ -594,17 +693,20 @@ let evict ?(keep_summaries = default_keep_summaries)
      growing without bound (they used to escape eviction entirely) *)
   let drop_g, _ = drop_oldest (signature_entries t) ~keep:keep_signatures in
   List.iter (fun (d, _) -> Hashtbl.remove t.signatures d) drop_g;
+  let drop_v, _ = drop_oldest (vdiff_entries t) ~keep:keep_vdiffs in
+  List.iter (fun (k, _) -> Hashtbl.remove t.vdiffs k) drop_v;
   let ns = List.length drop_s
   and nm = List.length drop_m
-  and ng = List.length drop_g in
-  if ns + nm + ng > 0 then begin
-    Telemetry.Counter.add c_evictions (ns + nm + ng);
+  and ng = List.length drop_g
+  and nv = List.length drop_v in
+  if ns + nm + ng + nv > 0 then begin
+    Telemetry.Counter.add c_evictions (ns + nm + ng + nv);
     t.dirty <- true
   end;
-  (ns, nm, ng)
+  (ns, nm, ng, nv)
 
-let gc ?keep_summaries ?keep_matrices ?keep_signatures t =
-  evict ?keep_summaries ?keep_matrices ?keep_signatures t
+let gc ?keep_summaries ?keep_matrices ?keep_signatures ?keep_vdiffs t =
+  evict ?keep_summaries ?keep_matrices ?keep_signatures ?keep_vdiffs t
 
 let rec mkdir_p d =
   if not (Sys.file_exists d) then begin
@@ -643,12 +745,14 @@ let render t =
     (fun (digest, e) -> add_record buf (payload_signature ~digest e))
     (signature_entries t);
   List.iter (fun (_, e) -> add_record buf (payload_matrix e)) (matrix_entries t);
+  List.iter (fun (key, e) -> add_record buf (payload_vdiff ~key e))
+    (vdiff_entries t);
   Buffer.contents buf
 
 let flush t =
   if not (t.dirty || has_new_summaries t) then Ok ()
   else begin
-    ignore (evict t : int * int * int);
+    ignore (evict t : int * int * int * int);
     match
       mkdir_p t.dir;
       let tmp = t.file ^ ".tmp" in
@@ -671,6 +775,7 @@ type stats = {
   summaries : int;
   matrices : int;
   signatures : int;
+  vdiffs : int;
   symbols : int;
   loop_bodies : int;
   file_bytes : int;
@@ -681,6 +786,7 @@ let stats t =
   { summaries = List.length (summary_entries t);
     matrices = Hashtbl.length t.matrices;
     signatures = Hashtbl.length t.signatures;
+    vdiffs = Hashtbl.length t.vdiffs;
     symbols = Difftrace_trace.Symtab.size (Memo.symtab t.memo);
     loop_bodies = Nlr.Loop_table.size (Memo.loop_table t.memo);
     file_bytes =
@@ -692,6 +798,9 @@ let render_stats s =
   Printf.bprintf buf "summaries   %d\n" s.summaries;
   Printf.bprintf buf "matrices    %d\n" s.matrices;
   Printf.bprintf buf "signatures  %d\n" s.signatures;
+  (* conditional like [salvaged]: stores that never served a vdiff
+     render exactly as they always have *)
+  if s.vdiffs > 0 then Printf.bprintf buf "vdiffs      %d\n" s.vdiffs;
   Printf.bprintf buf "symbols     %d\n" s.symbols;
   Printf.bprintf buf "loop bodies %d\n" s.loop_bodies;
   Printf.bprintf buf "file bytes  %d\n" s.file_bytes;
@@ -703,6 +812,7 @@ type check = {
   c_summaries : int;
   c_matrices : int;
   c_signatures : int;
+  c_vdiffs : int;
   c_symbols : int;
   c_loop_bodies : int;
   c_bytes : int;
@@ -717,6 +827,7 @@ let verify ~dir =
         c_summaries = 0;
         c_matrices = 0;
         c_signatures = 0;
+        c_vdiffs = 0;
         c_symbols = 0;
         c_loop_bodies = 0;
         c_bytes = 0;
@@ -727,20 +838,22 @@ let verify ~dir =
     | image ->
       let records, damage, bytes = scan image in
       let sy = ref 0 and bo = ref 0 and su = ref 0 and ma = ref 0 in
-      let sg = ref 0 in
+      let sg = ref 0 and vd = ref 0 in
       List.iter
         (function
           | Rsymbol _ -> incr sy
           | Rbody _ -> incr bo
           | Rsummary _ -> incr su
           | Rmatrix _ -> incr ma
-          | Rsignature _ -> incr sg)
+          | Rsignature _ -> incr sg
+          | Rvdiff _ -> incr vd)
         records;
       Ok
         { c_records = List.length records;
           c_summaries = !su;
           c_matrices = !ma;
           c_signatures = !sg;
+          c_vdiffs = !vd;
           c_symbols = !sy;
           c_loop_bodies = !bo;
           c_bytes = bytes;
@@ -756,6 +869,7 @@ let render_check c =
   Printf.bprintf buf "summaries   %d\n" c.c_summaries;
   Printf.bprintf buf "matrices    %d\n" c.c_matrices;
   Printf.bprintf buf "signatures  %d\n" c.c_signatures;
+  if c.c_vdiffs > 0 then Printf.bprintf buf "vdiffs      %d\n" c.c_vdiffs;
   Printf.bprintf buf "symbols     %d\n" c.c_symbols;
   Printf.bprintf buf "loop bodies %d\n" c.c_loop_bodies;
   Buffer.contents buf

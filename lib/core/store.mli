@@ -34,6 +34,13 @@
       signature records, so existing store files keep their historical
       byte layout.
 
+    - Merged variational alignments ({!Difftrace_variational}) are
+      keyed by a digest over the aligned runs' element sequences in run
+      order; a hit replays the persisted column/presence sequence and
+      skips the whole progressive re-alignment. Stores that never
+      served a vdiff hold no such records, keeping the historical byte
+      layout.
+
     Robustness follows {!Archive}/{!Campaign} discipline: CRC-32/varint
     record framing, atomic rewrite (tmp + rename), and a
     result-returning loader that salvages the valid prefix of a damaged
@@ -41,8 +48,9 @@
 
     Telemetry: [store.hits]/[store.misses] (JSM base lookups),
     [store.sig_hits]/[store.sig_misses] (signature lookups, sketch mode
-    only), [store.evictions] (gc and flush caps), [store.crc_fail]
-    (damaged files/records encountered). *)
+    only), [store.vdiff_hits]/[store.vdiff_misses] (variational
+    alignment lookups), [store.evictions] (gc and flush caps),
+    [store.crc_fail] (damaged files/records encountered). *)
 
 type t
 
@@ -96,6 +104,7 @@ type stats = {
   summaries : int;
   matrices : int;
   signatures : int;
+  vdiffs : int;  (** persisted variational alignments *)
   symbols : int;
   loop_bodies : int;
   file_bytes : int;  (** store file size on disk; 0 before first flush *)
@@ -107,29 +116,45 @@ val stats : t -> stats
 (** Text rendering of {!stats} for [difftrace store stats]. *)
 val render_stats : stats -> string
 
-(** [gc ?keep_summaries ?keep_matrices ?keep_signatures t] — drop all
-    but the newest [keep_summaries] summaries (default 4096),
-    [keep_matrices] matrices (default 64) and [keep_signatures]
-    MinHash signatures (default 4096); ties resolve by key so the
-    outcome is deterministic. Signatures participate in the same
-    stamp-ordered aging as everything else, so a sketch-heavy store
-    cannot grow unbounded. Returns
-    [(summaries_dropped, matrices_dropped, signatures_dropped)], also
-    counted into [store.evictions]. Takes effect on disk at the next
-    {!flush}. Shared symbol/loop tables are never shrunk — live
-    summaries index into them. *)
+(** [gc ?keep_summaries ?keep_matrices ?keep_signatures ?keep_vdiffs t]
+    — drop all but the newest [keep_summaries] summaries (default
+    4096), [keep_matrices] matrices (default 64), [keep_signatures]
+    MinHash signatures (default 4096) and [keep_vdiffs] variational
+    alignments (default 64); ties resolve by key so the outcome is
+    deterministic. Signatures and vdiffs participate in the same
+    stamp-ordered aging as everything else, so a sketch- or
+    vdiff-heavy store cannot grow unbounded. Returns
+    [(summaries_dropped, matrices_dropped, signatures_dropped,
+    vdiffs_dropped)], also counted into [store.evictions]. Takes
+    effect on disk at the next {!flush}. Shared symbol/loop tables are
+    never shrunk — live summaries index into them. *)
 val gc :
   ?keep_summaries:int ->
   ?keep_matrices:int ->
   ?keep_signatures:int ->
+  ?keep_vdiffs:int ->
   t ->
-  int * int * int
+  int * int * int * int
+
+(** [find_vdiff t ~key] — the persisted variational alignment keyed by
+    [key] (a digest over the aligned runs' element sequences, in run
+    order — see {!Session.vdiff}), as the column/presence
+    representation accepted by [Variational.of_columns]. A hit counts
+    [store.vdiff_hits] and lets the caller skip the whole k-way
+    progressive re-alignment; a miss counts [store.vdiff_misses]. *)
+val find_vdiff : t -> key:string -> (string * int list) array option
+
+(** [add_vdiff t ~key ~nruns cols] — record a merged alignment over
+    [nruns] runs for future {!find_vdiff} lookups; persisted at the
+    next {!flush}. Replaces any previous entry under [key]. *)
+val add_vdiff : t -> key:string -> nruns:int -> (string * int list) array -> unit
 
 type check = {
   c_records : int;
   c_summaries : int;
   c_matrices : int;
   c_signatures : int;
+  c_vdiffs : int;
   c_symbols : int;
   c_loop_bodies : int;
   c_bytes : int;

@@ -72,6 +72,9 @@ module Diffnlr = Difftrace_diff.Diffnlr
 module Phasediff = Difftrace_diff.Phasediff
 module Myers = Difftrace_diff.Myers
 
+(* N-way variational diffing: k runs merged into one conditioned NLR. *)
+module Variational = Difftrace_variational.Variational
+
 (* Structural and temporal views. *)
 module Stacktree = Difftrace_stacktree.Stacktree
 module Cct = Difftrace_stacktree.Cct

@@ -19,6 +19,7 @@ module P = Protocol
 let ( let* ) = Result.bind
 let c_requests = Telemetry.Counter.make "rpc.requests"
 let c_errors = Telemetry.Counter.make "rpc.errors"
+let c_accept_errors = Telemetry.Counter.make "rpc.accept_errors"
 
 type t = {
   dm_session : Session.t;
@@ -199,6 +200,35 @@ let dispatch t ~client ~emit call =
            pq_size = r.Session.qy_size;
            pq_warm = r.Session.qy_warm;
            pq_output = r.Session.qy_output })
+  | P.Vdiff { rq_runs; rq_trace; rq_config } ->
+    let* config =
+      P.config_of_params ~default_engine:t.default_engine rq_config
+    in
+    let* vd_runs =
+      List.fold_left
+        (fun acc (r : P.vdiff_run_spec) ->
+          let* acc = acc in
+          let* src, _ = source_of_spec r.P.vs_source in
+          Ok
+            ({ Session.vdr_name = r.P.vs_name;
+               vdr_source = src;
+               vdr_axes = r.P.vs_axes;
+               vdr_bad = r.P.vs_bad }
+            :: acc))
+        (Ok []) rq_runs
+    in
+    let* r =
+      Session.vdiff t.dm_session config
+        { Session.vd_runs = List.rev vd_runs; vd_trace = rq_trace }
+    in
+    Ok
+      (P.P_vdiff
+         { pv_nruns = r.Session.vd_nruns;
+           pv_columns = r.Session.vd_columns;
+           pv_regions = r.Session.vd_regions;
+           pv_warm = r.Session.vd_warm;
+           pv_condition = r.Session.vd_condition;
+           pv_output = r.Session.vd_output })
 
 (* the daemon must survive anything a request throws at it *)
 let dispatch_safe t ~client ~emit call =
@@ -235,7 +265,7 @@ let on_line t ~client ~emit line =
       broadcast t ~emit { P.ev_name = "shutdown"; ev_fields = [] };
       flush_warn t;
       `Shutdown
-    | P.Record _ | P.Compare _ | P.Analyze _ | P.Triage _ ->
+    | P.Record _ | P.Compare _ | P.Analyze _ | P.Triage _ | P.Vdiff _ ->
       (* persist what the request just computed, so a killed daemon
          restarts warm (see the kill-and-restart test) *)
       flush_warn t;
@@ -280,7 +310,7 @@ let write_all fd s =
   in
   go 0
 
-let serve_socket t ~path =
+let serve_socket ?(accept = Unix.accept ?cloexec:None) t ~path =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
   if Sys.file_exists path then Sys.remove path;
@@ -358,14 +388,20 @@ let serve_socket t ~path =
         (fun fd ->
           if !stopping then ()
           else if fd = listen_fd then begin
-            let cfd, _ = Unix.accept listen_fd in
-            let id = !next_id in
-            incr next_id;
-            Hashtbl.replace clients id
-              { cl_fd = cfd;
-                cl_id = id;
-                cl_buf = Buffer.create 256;
-                cl_discarding = false }
+            (* a failed accept is the peer's problem (aborted handshake)
+               or a transient of ours (fd exhaustion, a signal): either
+               way it must not take down the clients already connected *)
+            match accept listen_fd with
+            | cfd, _ ->
+              let id = !next_id in
+              incr next_id;
+              Hashtbl.replace clients id
+                { cl_fd = cfd;
+                  cl_id = id;
+                  cl_buf = Buffer.create 256;
+                  cl_discarding = false }
+            | exception Unix.Unix_error (_, _, _) ->
+              Telemetry.Counter.incr c_accept_errors
           end
           else
             match client_of_fd fd with

@@ -68,5 +68,13 @@ val serve_stdio : t -> unit
     multiplex clients with a single-threaded select loop until a
     [shutdown] request arrives. A client whose unterminated line
     exceeds {!Protocol.max_line_bytes} gets an error response and the
-    oversized line is discarded, not buffered. *)
-val serve_socket : t -> path:string -> unit
+    oversized line is discarded, not buffered. A raising accept
+    ([ECONNABORTED], [EMFILE], [EINTR], ...) never stops the loop:
+    the failure is counted by [rpc.accept_errors] and the connected
+    clients keep being served. [accept] substitutes the accept call —
+    a test hook for injecting exactly such failures. *)
+val serve_socket :
+  ?accept:(Unix.file_descr -> Unix.file_descr * Unix.sockaddr) ->
+  t ->
+  path:string ->
+  unit

@@ -67,6 +67,13 @@ type source_spec =
   | Src_archive of { dir : string; salvage : bool }
   | Src_workload of workload_spec
 
+type vdiff_run_spec = {
+  vs_name : string;
+  vs_source : source_spec;
+  vs_axes : (string * string) list;
+  vs_bad : bool;
+}
+
 type call =
   | Record of {
       rq_workload : workload_spec;
@@ -97,6 +104,11 @@ type call =
       rq_against : source_spec option;
       rq_config : config_params;
     }
+  | Vdiff of {
+      rq_runs : vdiff_run_spec list;
+      rq_trace : string option;
+      rq_config : config_params;
+    }
   | Status
   | Subscribe of { rq_events : bool }
   | Shutdown
@@ -109,6 +121,7 @@ let method_name = function
   | Analyze _ -> "analyze"
   | Triage _ -> "triage"
   | Query _ -> "query"
+  | Vdiff _ -> "vdiff"
   | Status -> "status"
   | Subscribe _ -> "subscribe"
   | Shutdown -> "shutdown"
@@ -140,6 +153,14 @@ type payload =
       pq_warm : bool;
       pq_output : string;
     }
+  | P_vdiff of {
+      pv_nruns : int;
+      pv_columns : int;
+      pv_regions : int;
+      pv_warm : bool;
+      pv_condition : string option;
+      pv_output : string;
+    }
   | P_status of {
       pr_requests : int;
       pr_runs : (string * int) list;
@@ -160,6 +181,7 @@ let payload_output = function
   | P_subscribe { pr_output; _ }
   | P_shutdown { pr_output } -> pr_output
   | P_query { pq_output; _ } -> pq_output
+  | P_vdiff { pv_output; _ } -> pv_output
 
 type error_body = { err_kind : string; err_message : string }
 
@@ -322,6 +344,44 @@ let call_of_json ~meth obj =
     in
     let* rq_config = config_params_of_json ctx obj in
     Ok (Query { rq_q; rq_source; rq_against; rq_config })
+  | "vdiff" ->
+    let axes_of_json = function
+      | Json.Obj fields ->
+        let rec go acc = function
+          | [] -> Some (List.rev acc)
+          | (k, Json.String v) :: tl -> go ((k, v) :: acc) tl
+          | _ -> None
+        in
+        go [] fields
+      | _ -> None
+    in
+    let* rq_runs =
+      match Json.member "runs" obj with
+      | None | Some Json.Null ->
+        Error (Session.Invalid (ctx ^ ": missing field \"runs\""))
+      | Some (Json.List l) ->
+        let rec go acc i = function
+          | [] -> Ok (List.rev acc)
+          | j :: tl -> (
+            let rctx = Printf.sprintf "%s.runs[%d]" ctx i in
+            match j with
+            | Json.Obj _ ->
+              let* vs_name = field rctx j "name" str in
+              let* vs_source = source_field rctx j "source" in
+              let* vs_axes = field_opt rctx j "axes" axes_of_json ~default:[] in
+              let* vs_bad = field_opt rctx j "bad" bool_ ~default:false in
+              go ({ vs_name; vs_source; vs_axes; vs_bad } :: acc) (i + 1) tl
+            | _ -> Error (Session.Invalid (rctx ^ ": must be an object")))
+        in
+        go [] 0 l
+      | Some _ -> bad ctx "runs"
+    in
+    let* rq_trace =
+      field_opt ctx obj "trace" (fun j -> Option.map Option.some (str j))
+        ~default:None
+    in
+    let* rq_config = config_params_of_json ctx obj in
+    Ok (Vdiff { rq_runs; rq_trace; rq_config })
   | "status" -> Ok Status
   | "subscribe" ->
     let* rq_events = field_opt ctx obj "events" bool_ ~default:true in
@@ -332,7 +392,7 @@ let call_of_json ~meth obj =
       (Session.Protocol
          (Printf.sprintf
             "unknown method %S (methods: record, analyze, compare, triage, \
-             query, status, subscribe, shutdown)"
+             query, vdiff, status, subscribe, shutdown)"
             meth))
 
 (* Best-effort lexical extraction of the "id" field from a line that
@@ -485,6 +545,23 @@ let params_of_call = function
         ("source", source_to_json rq_source);
         ("against", json_opt source_to_json rq_against);
         ("config", config_to_json rq_config) ]
+  | Vdiff { rq_runs; rq_trace; rq_config } ->
+    Json.Obj
+      [ ( "runs",
+          Json.List
+            (List.map
+               (fun r ->
+                 Json.Obj
+                   [ ("name", Json.String r.vs_name);
+                     ("source", source_to_json r.vs_source);
+                     ( "axes",
+                       Json.Obj
+                         (List.map (fun (k, v) -> (k, Json.String v)) r.vs_axes)
+                     );
+                     ("bad", Json.Bool r.vs_bad) ])
+               rq_runs) );
+        ("trace", json_opt (fun s -> Json.String s) rq_trace);
+        ("config", config_to_json rq_config) ]
   | Status | Shutdown -> Json.Obj []
   | Subscribe { rq_events } -> Json.Obj [ ("events", Json.Bool rq_events) ]
 
@@ -547,6 +624,16 @@ let payload_to_json = function
         ("size", Json.Int pq_size);
         ("warm", Json.Bool pq_warm);
         ("output", Json.String pq_output) ]
+  | P_vdiff { pv_nruns; pv_columns; pv_regions; pv_warm; pv_condition;
+              pv_output } ->
+    Json.Obj
+      [ ("method", Json.String "vdiff");
+        ("nruns", Json.Int pv_nruns);
+        ("columns", Json.Int pv_columns);
+        ("regions", Json.Int pv_regions);
+        ("warm", Json.Bool pv_warm);
+        ("condition", json_opt (fun s -> Json.String s) pv_condition);
+        ("output", Json.String pv_output) ]
   | P_status
       { pr_requests; pr_runs; pr_summaries; pr_hits; pr_misses; pr_store;
         pr_output } ->
@@ -673,6 +760,17 @@ let payload_of_json obj =
     let* pq_size = req ctx obj "size" int_ in
     let* pq_warm = req ctx obj "warm" bool_ in
     Ok (P_query { pq_kind; pq_size; pq_warm; pq_output = output })
+  | "vdiff" ->
+    let* pv_nruns = req ctx obj "nruns" int_ in
+    let* pv_columns = req ctx obj "columns" int_ in
+    let* pv_regions = req ctx obj "regions" int_ in
+    let* pv_warm = req ctx obj "warm" bool_ in
+    let* pv_condition =
+      opt ctx obj "condition" (fun j -> Option.map Option.some (str j))
+        ~default:None
+    in
+    Ok (P_vdiff { pv_nruns; pv_columns; pv_regions; pv_warm; pv_condition;
+                  pv_output = output })
   | "status" ->
     let run j =
       match (Json.member "name" j, Json.member "traces" j) with

@@ -76,6 +76,16 @@ type source_spec =
   | Src_archive of { dir : string; salvage : bool }
   | Src_workload of workload_spec
 
+(** One run of an n-way [vdiff] request: display name, trace source,
+    condition axes ([axes] object on the wire, e.g.
+    [{"fault":"f2","seed":"3"}]) and the bad/good verdict label. *)
+type vdiff_run_spec = {
+  vs_name : string;
+  vs_source : source_spec;
+  vs_axes : (string * string) list;
+  vs_bad : bool;
+}
+
 type call =
   | Record of {
       rq_workload : workload_spec;
@@ -106,6 +116,12 @@ type call =
       rq_against : source_spec option;
           (** second run for two-run queries ([diverge]) *)
       rq_config : config_params;  (** only the engine matters here *)
+    }
+  | Vdiff of {
+      rq_runs : vdiff_run_spec list;  (** at least two *)
+      rq_trace : string option;
+          (** trace label to align; default: first common label *)
+      rq_config : config_params;
     }
   | Status
   | Subscribe of { rq_events : bool }
@@ -144,6 +160,15 @@ type payload =
       pq_size : int;  (** matches / rows behind the rendered output *)
       pq_warm : bool;  (** every event DB came from the store, no rebuild *)
       pq_output : string;
+    }
+  | P_vdiff of {
+      pv_nruns : int;
+      pv_columns : int;  (** merged alignment width *)
+      pv_regions : int;
+      pv_warm : bool;  (** the alignment replayed from the store *)
+      pv_condition : string option;
+          (** the bad set's minimal discriminating condition *)
+      pv_output : string;
     }
   | P_status of {
       pr_requests : int;

@@ -1,0 +1,60 @@
+#!/bin/sh
+# vdiff-smoke: run a small fault x seed selftest matrix through
+# `campaign run`, merge every archived run with
+# `campaign report --variational`, and check that the minimal
+# discriminating condition names exactly the injected fault axis.
+# A second report must replay the merged alignment warm out of the
+# campaign store (store.vdiff_hits), and a direct 2-run `difftrace
+# vdiff` over the same archives must render the pairwise view.
+#
+#   make vdiff-smoke                  # local, against the dune build
+#   DIFFTRACE="difftrace" sh scripts/vdiff_smoke.sh  # installed binary
+set -eu
+
+DIFFTRACE=${DIFFTRACE:-"_build/default/bin/difftrace_cli.exe"}
+DIR=${SMOKE_DIR:-_build/vdiff-smoke}
+RENDER=${VDIFF_RENDER:-vdiff-render.txt}
+
+rm -rf "$DIR"
+mkdir -p "$DIR"
+
+# 2 faults x 4 seeds = 8 cells: skipping a noop leaves the run clean,
+# skipping into a spin burns the step budget and hangs
+$DIFFTRACE campaign run -d "$DIR/camp" -w selftest --np 4 --seeds 4 \
+  -f 'skipFunction(rank=0,func=noop)' \
+  -f 'skipFunction(rank=0,func=spin)' > "$DIR/run.log"
+
+$DIFFTRACE campaign report -d "$DIR/camp" --variational > "$RENDER"
+
+# the merge must recover the injected fault axis, exactly
+grep -qF \
+  'minimal discriminating condition: fault=skipFunction(rank=0,func=spin)' \
+  "$RENDER" || {
+  echo "vdiff-smoke: discriminating condition missing from $RENDER" >&2
+  exit 1
+}
+# ... and link the top suspect to its first divergent event
+grep -q 'event db: trace' "$RENDER" || {
+  echo "vdiff-smoke: event-db footer missing from $RENDER" >&2
+  exit 1
+}
+
+# warm rerun: the persisted vdiff record skips re-alignment
+$DIFFTRACE campaign report -d "$DIR/camp" --variational --profile \
+  > "$DIR/warm.log" 2>&1
+grep -q 'store\.vdiff_hits' "$DIR/warm.log" || {
+  echo "vdiff-smoke: warm rerun did not hit the stored vdiff record" >&2
+  exit 1
+}
+
+# the 2-run special case straight off the archives
+$DIFFTRACE vdiff --salvage \
+  -r "ref=$DIR/camp/normal_s1" \
+  -r "spin=$DIR/camp/cell_4" --axes 'spin:fault=spin' --bad spin \
+  > "$DIR/pair.log"
+grep -qF 'minimal discriminating condition: fault=spin' "$DIR/pair.log" || {
+  echo "vdiff-smoke: 2-run vdiff condition wrong" >&2
+  exit 1
+}
+
+echo "vdiff-smoke: OK ($RENDER)"

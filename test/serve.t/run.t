@@ -35,7 +35,7 @@ method, an unknown run, an event subscription, and shutdown.
   {"difftrace-rpc":1,"id":"r6","ok":{"method":"compare","bscore":1.0,"top_processes":[1,0,2,3],"top_threads":[],"suspects":[{"trace":"1","score":0.50000000000000011},{"trace":"0","score":0.16666666666666674},{"trace":"2","score":0.16666666666666674},{"trace":"3","score":0.16666666666666663}],"output":"configuration: 11.mpiall.K10 / sing.noFreq / ward\nB-score: 1.000\ntop processes: 1, 0, 2, 3\ntop threads:   \nsuspicious traces:\n  1      0.500\n  0      0.167\n  2      0.167\n  3      0.167\n=== diffNLR(1) ===\n    normal        | faulty       \n    --------------+--------------\n  = MPI_Init      | MPI_Init     \n  = MPI_Comm_rank | MPI_Comm_rank\n  = MPI_Comm_size | MPI_Comm_size\n    --------------+--------------\n  ~ L1^4          | L1^2         \n  >               | L0^2         \n    --------------+--------------\n  = MPI_Finalize  | MPI_Finalize \n    --------------+--------------\n  event db: trace 1: first divergence at event 22 (normal: MPI_Recv, faulty: MPI_Send); drill down: difftrace query 'list MPI_Send on 1 in 22..32'\n"}}
   {"difftrace-rpc":1,"id":"r7","ok":{"method":"status","requests":7,"runs":[{"name":"faulty","traces":4},{"name":"normal","traces":4}],"summaries":5,"hits":11,"misses":5,"store":null,"output":"requests: 7\nruns: faulty (4 traces), normal (4 traces)\nmemo: 5 summaries, 11 hits, 5 misses\nstore: (none)\n"}}
   {"difftrace-rpc":1,"id":null,"error":{"kind":"invalid-request","message":"malformed JSON: bad literal true at 0"}}
-  {"difftrace-rpc":1,"id":"r8","error":{"kind":"invalid-request","message":"unknown method \"frobnicate\" (methods: record, analyze, compare, triage, query, status, subscribe, shutdown)"}}
+  {"difftrace-rpc":1,"id":"r8","error":{"kind":"invalid-request","message":"unknown method \"frobnicate\" (methods: record, analyze, compare, triage, query, vdiff, status, subscribe, shutdown)"}}
   {"difftrace-rpc":1,"id":"r9","error":{"kind":"unknown-run","message":"unknown run \"nope\" (registered: faulty, normal)"}}
   {"difftrace-rpc":1,"id":"r10","ok":{"method":"subscribe","events":true,"output":"subscribed to events\n"}}
   {"difftrace-rpc":1,"event":"request","id":"r11","method":"triage"}

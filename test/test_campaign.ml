@@ -272,6 +272,49 @@ let test_flipped_byte_manifest_salvage () =
     Alcotest.(check int) "no salvage after heal" 0
       (counter rep "campaign.manifest_salvaged")
 
+(* resuming a manifest that names a kind this process never registered
+   must be a typed refusal, not the Not_found crash it used to be *)
+let test_unknown_kind_refused () =
+  let dir = tmpdir "unkind" in
+  (match C.run ~dir (mixed_matrix ()) with
+  | Error e -> Alcotest.fail (C.error_to_string e)
+  | Ok _ -> ());
+  (* rewrite the manifest's kind to something unregistered, keeping the
+     CRC footer valid so the file reads as intact *)
+  let manifest = Filename.concat dir "campaign.manifest" in
+  let text =
+    let ic = open_in_bin manifest in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let crc_len = String.length "crc 00000000\n" in
+  let body = String.sub text 0 (String.length text - crc_len) in
+  let body =
+    String.split_on_char '\n' body
+    |> List.map (fun l -> if l = "kind selftest" then "kind custom" else l)
+    |> String.concat "\n"
+  in
+  let oc = open_out_bin manifest in
+  output_string oc
+    (body ^ Printf.sprintf "crc %08x\n" (Difftrace_util.Crc32.string body));
+  close_out oc;
+  (* status reconstructs the matrix without executing: still readable *)
+  match C.status ~dir with
+  | Error e -> Alcotest.failf "status refused a readable manifest: %s"
+                 (C.error_to_string e)
+  | Ok o ->
+    Alcotest.(check string) "kind read back" "custom" o.C.matrix.C.kind;
+    Alcotest.(check int) "cells still readable" 3 (List.length o.C.results);
+    (* resuming that matrix must refuse with the typed error *)
+    match C.run ~dir o.C.matrix with
+    | Error (C.Unknown_kind k as e) ->
+      Alcotest.(check string) "names the kind" "custom" k;
+      Alcotest.(check bool) "lists registered kinds" true
+        (contains "selftest" (C.error_to_string e))
+    | Error e -> Alcotest.failf "wrong error: %s" (C.error_to_string e)
+    | Ok _ -> Alcotest.fail "ran a campaign with an unregistered kind"
+
 let test_mismatched_matrix_rejected () =
   let dir = tmpdir "mismatch" in
   (match C.run ~dir (mixed_matrix ()) with
@@ -341,6 +384,8 @@ let () =
             test_corrupt_manifest_recovery;
           Alcotest.test_case "flipped-byte salvage" `Quick
             test_flipped_byte_manifest_salvage;
+          Alcotest.test_case "unknown kind refused" `Quick
+            test_unknown_kind_refused;
           Alcotest.test_case "mismatch rejected" `Quick
             test_mismatched_matrix_rejected ] );
       ( "report",

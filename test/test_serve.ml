@@ -457,6 +457,61 @@ let test_socket_round_trip () =
   Thread.join th;
   Alcotest.(check bool) "socket removed" false (Sys.file_exists path)
 
+(* a raising accept must cost one counter tick, never the daemon: the
+   select loop used to die on the first transient ECONNABORTED *)
+let test_accept_failure_survived () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "difftrace_serve_acc_%d.sock" (Unix.getpid ()))
+  in
+  if Sys.file_exists path then Sys.remove path;
+  let failures = ref 1 in
+  let accept fd =
+    if !failures > 0 then begin
+      decr failures;
+      raise (Unix.Unix_error (Unix.ECONNABORTED, "accept", ""))
+    end
+    else Unix.accept fd
+  in
+  let d = Daemon.create ~default_engine:Engine.Sequential () in
+  Difftrace_obs.Telemetry.enable ();
+  let th = Thread.create (fun () -> Daemon.serve_socket ~accept d ~path) () in
+  (* the injected raise happens before the real accept, so the pending
+     connection stays queued on the listen socket: the very same client
+     is served once the loop survives and retries *)
+  let rec connect tries =
+    match Serve.Client.connect ~path () with
+    | Ok c -> c
+    | Error _ when tries > 0 ->
+      Unix.sleepf 0.02;
+      connect (tries - 1)
+    | Error m -> Alcotest.fail m
+  in
+  let conn = connect 50 in
+  let rpc line =
+    match Serve.Client.rpc conn line ~on_event:(fun _ -> ()) with
+    | Ok r -> r
+    | Error m -> Alcotest.fail m
+  in
+  (match rpc {|{"difftrace-rpc":1,"id":"a1","method":"status"}|} with
+  | { P.rsp_id = Some "a1"; rsp_body = Ok (P.P_status _) } -> ()
+  | _ -> Alcotest.fail "daemon did not serve after the accept failure");
+  (match rpc {|{"difftrace-rpc":1,"id":"a2","method":"shutdown"}|} with
+  | { P.rsp_body = Ok (P.P_shutdown _); _ } -> ()
+  | _ -> Alcotest.fail "unexpected shutdown reply");
+  Serve.Client.close conn;
+  Thread.join th;
+  let rep = Difftrace_obs.Telemetry.report () in
+  Difftrace_obs.Telemetry.disable ();
+  let counter name =
+    match List.assoc_opt name rep.Difftrace_obs.Telemetry.counters with
+    | Some v -> v
+    | None -> 0
+  in
+  Alcotest.(check int) "injected failure consumed" 0 !failures;
+  Alcotest.(check int) "rpc.accept_errors counted" 1
+    (counter "rpc.accept_errors")
+
 let () =
   Alcotest.run "serve"
     [ ( "protocol",
@@ -486,5 +541,6 @@ let () =
         [ Alcotest.test_case "kill-and-restart re-adopts the store warm" `Quick
             test_kill_and_restart_warm ] );
       ( "socket",
-        [ Alcotest.test_case "socket round-trip" `Quick test_socket_round_trip ]
-      ) ]
+        [ Alcotest.test_case "socket round-trip" `Quick test_socket_round_trip;
+          Alcotest.test_case "accept failure survived" `Quick
+            test_accept_failure_survived ] ) ]

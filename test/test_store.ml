@@ -250,7 +250,7 @@ let test_gc_and_eviction_accounting () =
   let s0 = Store.stats st in
   with_telemetry (fun () ->
       let before = Telemetry.Counter.value c_evictions in
-      let ds, dm, dg = Store.gc ~keep_summaries:1 ~keep_matrices:0 st in
+      let ds, dm, dg, _ = Store.gc ~keep_summaries:1 ~keep_matrices:0 st in
       Alcotest.(check int) "summaries dropped" (s0.Store.summaries - 1) ds;
       Alcotest.(check int) "matrices dropped" s0.Store.matrices dm;
       Alcotest.(check int) "no signatures in an exact-mode store" 0 dg;
@@ -304,7 +304,7 @@ let test_signatures_persist_and_gc_caps () =
     c.Store.c_signatures;
   (* the gc cap: signatures age out stamp-ordered like summaries and
      matrices, and the cap survives the next flush *)
-  let _, _, dg = Store.gc ~keep_signatures:1 st2 in
+  let _, _, dg, _ = Store.gc ~keep_signatures:1 st2 in
   Alcotest.(check int) "all but the newest dropped" (s0.Store.signatures - 1) dg;
   get (Store.flush st2);
   let s1 = Store.stats (get (Store.load ~dir)) in

@@ -1,0 +1,101 @@
+An 8-cell selftest matrix (2 faults x 4 seeds): the noop-skipping cells
+complete like the references, the spin cells burn their step budget and
+hang. The variational report merges every archived run -- 4 fault-free
+references plus all 8 cells -- into one variational NLR and names the
+injected fault axis as the minimal discriminating condition.
+
+  $ difftrace campaign run -d camp -w selftest --np 4 --seeds 4 \
+  >   -f 'skipFunction(rank=0,func=noop)' \
+  >   -f 'skipFunction(rank=0,func=spin)' | grep -E '^cell|^campaign:'
+  cell 0 [skipFunction(rank=0,func=noop)@s1]: ok (B-score 1.000)
+  cell 1 [skipFunction(rank=0,func=noop)@s2]: ok (B-score 1.000)
+  cell 2 [skipFunction(rank=0,func=noop)@s3]: ok (B-score 1.000)
+  cell 3 [skipFunction(rank=0,func=noop)@s4]: ok (B-score 1.000)
+  cell 4 [skipFunction(rank=0,func=spin)@s1]: HUNG(4 blocked, timed out) (B-score 0.000)
+  cell 5 [skipFunction(rank=0,func=spin)@s2]: HUNG(4 blocked, timed out) (B-score 0.204)
+  cell 6 [skipFunction(rank=0,func=spin)@s3]: HUNG(4 blocked, timed out) (B-score 0.000)
+  cell 7 [skipFunction(rank=0,func=spin)@s4]: HUNG(4 blocked, timed out) (B-score 0.000)
+  campaign: 8 cells executed, 0 resumed
+
+  $ difftrace campaign report -d camp --variational
+  campaign selftest: np=4, 2 faults x 4 seeds = 8 cells
+  recorded 8/8 cells: 4 completed, 4 hung, 0 failed (8 resumed)
+  +------+--------------------------------+------+---------+---------+-------------+----------+
+  | Cell | Fault                          | Seed | Verdict | B-score | Top suspect | Salvaged |
+  +------+--------------------------------+------+---------+---------+-------------+----------+
+  | 4    | skipFunction(rank=0,func=spin) | 1    | HUNG    | 0.000   | 2 (0.667)   |          |
+  | 6    | skipFunction(rank=0,func=spin) | 3    | HUNG    | 0.000   | 2 (0.667)   |          |
+  | 7    | skipFunction(rank=0,func=spin) | 4    | HUNG    | 0.000   | 2 (0.667)   |          |
+  | 5    | skipFunction(rank=0,func=spin) | 2    | HUNG    | 0.204   | 2 (0.733)   |          |
+  | 0    | skipFunction(rank=0,func=noop) | 1    | ok      | 1.000   | -           |          |
+  | 1    | skipFunction(rank=0,func=noop) | 2    | ok      | 1.000   | -           |          |
+  | 2    | skipFunction(rank=0,func=noop) | 3    | ok      | 1.000   | -           |          |
+  | 3    | skipFunction(rank=0,func=noop) | 4    | ok      | 1.000   | -           |          |
+  +------+--------------------------------+------+---------+---------+-------------+----------+
+  === variational NLR(0): 12 runs ===
+    r0 ref@s1 [fault=none seed=1]
+    r1 ref@s2 [fault=none seed=2]
+    r2 ref@s3 [fault=none seed=3]
+    r3 ref@s4 [fault=none seed=4]
+    r4 skipFunction(rank=0,func=noop)@s1 [fault=skipFunction(rank=0,func=noop) seed=1]
+    r5 skipFunction(rank=0,func=noop)@s2 [fault=skipFunction(rank=0,func=noop) seed=2]
+    r6 skipFunction(rank=0,func=noop)@s3 [fault=skipFunction(rank=0,func=noop) seed=3]
+    r7 skipFunction(rank=0,func=noop)@s4 [fault=skipFunction(rank=0,func=noop) seed=4]
+    r8 skipFunction(rank=0,func=spin)@s1 [fault=skipFunction(rank=0,func=spin) seed=1] BAD
+    r9 skipFunction(rank=0,func=spin)@s2 [fault=skipFunction(rank=0,func=spin) seed=2] BAD
+    r10 skipFunction(rank=0,func=spin)@s3 [fault=skipFunction(rank=0,func=spin) seed=3] BAD
+    r11 skipFunction(rank=0,func=spin)@s4 [fault=skipFunction(rank=0,func=spin) seed=4] BAD
+    7 columns in 4 regions
+      = MPI_Init
+      = MPI_Comm_rank
+      = MPI_Comm_size
+    [present: fault∈{none,skipFunction(rank=0,func=noop)}]
+      ~ L0^2
+      ~ MPI_Finalize
+    [present: fault=skipFunction(rank=0,func=spin)]
+      ~ MPI_Send
+    [present: fault=skipFunction(rank=0,func=spin) ∧ seed∈{1,3,4}]
+      ~ MPI_Recv
+  suspect regions:
+    1. `L0^2 .. MPI_Finalize` absent exactly where fault=skipFunction(rank=0,func=spin)
+    2. `MPI_Send` present exactly where fault=skipFunction(rank=0,func=spin)
+    3. `MPI_Recv` present mostly where fault=skipFunction(rank=0,func=spin) ∧ seed∈{1,3,4}
+  minimal discriminating condition: fault=skipFunction(rank=0,func=spin)
+    event db: trace 0: first divergence at event 13 (normal: ret MPI_Recv, faulty: end of trace); drill down: difftrace query 'diverge on 0'
+
+The same alignment straight from the archives, two runs at a time: a
+2-run vdiff is exactly the classical pairwise diffNLR, plus the
+presence conditions.
+
+  $ difftrace vdiff --salvage \
+  >   -r ref=camp/normal_s1 \
+  >   -r spin=camp/cell_4 --axes 'spin:fault=spin' --bad spin
+  === variational NLR(0): 2 runs ===
+    r0 ref
+    r1 spin [fault=spin] BAD
+    7 columns in 3 regions
+      = MPI_Init
+      = MPI_Comm_rank
+      = MPI_Comm_size
+    [present: fault=-]
+      ~ L0^2
+      ~ MPI_Finalize
+    [present: fault=spin]
+      ~ MPI_Send
+      ~ MPI_Recv
+  suspect regions:
+    1. `L0^2 .. MPI_Finalize` absent exactly where fault=spin
+    2. `MPI_Send .. MPI_Recv` present exactly where fault=spin
+  minimal discriminating condition: fault=spin
+    event db: trace 0: first divergence at event 13 (normal: ret MPI_Recv, faulty: end of trace); drill down: difftrace query 'diverge on 0'
+
+A warm rerun replays the merged alignment out of the campaign store
+without re-aligning: the vdiff record was persisted above.
+
+  $ difftrace campaign report -d camp --variational --profile 2>/dev/null \
+  >   | grep -E 'vdiff_(hits|misses)'
+  | store.vdiff_hits         |     1 |
+
+  $ difftrace store stats -d camp/store | grep -E '^(summaries|vdiffs)'
+  summaries   10
+  vdiffs      1
