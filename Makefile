@@ -1,6 +1,6 @@
 # Convenience targets mirroring what CI runs (.github/workflows/ci.yml).
 
-.PHONY: all build test bench bench-smoke campaign-smoke fuzz-smoke store-smoke sketch-smoke serve-smoke query-smoke vdiff-smoke fmt clean
+.PHONY: all build test bench bench-smoke campaign-smoke fuzz-smoke store-smoke sketch-smoke serve-smoke query-smoke vdiff-smoke frontend-smoke fmt clean
 
 all: build
 
@@ -55,11 +55,26 @@ query-smoke: build
 vdiff-smoke: build
 	sh scripts/vdiff_smoke.sh
 
-# the archive fault-injection corpus on its own: deterministic bit
-# flips, truncations, chunk deletions and garbage appends against v1/v2
-# archives (see test/test_archive.ml, "resilience" suite)
-fuzz-smoke:
+# the fault-injection corpora on their own: deterministic bit flips,
+# truncations, chunk deletions and garbage appends against v1/v2
+# archives (see test/test_archive.ml, "resilience" suite), then the
+# same mutation battery against the ingestion frontends through the
+# conformance checker (scripts/frontend_fuzz.sh)
+fuzz-smoke: build
 	dune exec test/test_archive.exe -- test resilience
+	sh scripts/frontend_fuzz.sh
+
+# the frontend smoke pass: ingest + compare the checked-in CI-log and
+# strace fixtures end to end, then the --frontend ingest-throughput
+# bench with its difftrace-bench/1 artifact
+frontend-smoke: build
+	_build/default/bin/difftrace_cli.exe compare \
+	  test/corpus/cilog/build_pass.log test/corpus/cilog/build_fail.log \
+	  --frontend cilog > /dev/null
+	_build/default/bin/difftrace_cli.exe compare \
+	  test/corpus/syscall/normal.strace test/corpus/syscall/faulty.strace \
+	  --frontend syscall > /dev/null
+	dune exec bench/main.exe -- --frontend --quick --json frontend-bench-ci.json
 
 # rewrite sources in place with ocamlformat (advisory in CI; see the
 # non-blocking fmt job)

@@ -53,13 +53,14 @@ type options = {
   sketch : bool;
   query : bool;
   vdiff : bool;
+  frontend : bool;
   json : string option;
 }
 
 let usage oc =
   output_string oc
     "usage: bench [--quick] [--perf | --engine | --store | --sketch | \
-     --query | --vdiff] [--json FILE]\n\n\
+     --query | --vdiff | --frontend] [--json FILE]\n\n\
     \  (no mode)    regenerate every paper table and figure\n\
     \  --perf       Bechamel micro-benchmarks only\n\
     \  --engine     engine/memo-cache benchmarks only\n\
@@ -67,6 +68,7 @@ let usage oc =
     \  --sketch     MinHash/LSH sketch tier vs. exact JSM sweep only\n\
     \  --query      event-DB index build/load and query-latency benches only\n\
     \  --vdiff      k-way variational merge wall-time sweep only\n\
+    \  --frontend   ingestion-frontend throughput sweep only\n\
     \  --quick      shrink workloads to CI scale\n\
     \  --json FILE  write metrics + telemetry to FILE (difftrace-bench/1)\n"
 
@@ -88,6 +90,7 @@ let opts =
     | "--sketch" :: rest -> parse { acc with sketch = true } rest
     | "--query" :: rest -> parse { acc with query = true } rest
     | "--vdiff" :: rest -> parse { acc with vdiff = true } rest
+    | "--frontend" :: rest -> parse { acc with frontend = true } rest
     | "--json" :: file :: rest when file = "" || file.[0] <> '-' ->
       parse { acc with json = Some file } rest
     | [ "--json" ] | "--json" :: _ -> die "--json requires FILE"
@@ -96,15 +99,19 @@ let opts =
   let o =
     parse
       { quick = false; perf = false; engine = false; store = false;
-        sketch = false; query = false; vdiff = false; json = None }
+        sketch = false; query = false; vdiff = false; frontend = false;
+        json = None }
       (List.tl (Array.to_list Sys.argv))
   in
   if (if o.perf then 1 else 0) + (if o.engine then 1 else 0)
      + (if o.store then 1 else 0) + (if o.sketch then 1 else 0)
      + (if o.query then 1 else 0) + (if o.vdiff then 1 else 0)
+     + (if o.frontend then 1 else 0)
      > 1
   then
-    die "--perf, --engine, --store, --sketch, --query and --vdiff are exclusive";
+    die
+      "--perf, --engine, --store, --sketch, --query, --vdiff and --frontend \
+       are exclusive";
   o
 
 let quick = opts.quick
@@ -114,6 +121,7 @@ let store_only = opts.store
 let sketch_only = opts.sketch
 let query_only = opts.query
 let vdiff_only = opts.vdiff
+let frontend_only = opts.frontend
 
 (* named scalar metrics collected for --json; every section that
    measures something worth tracking across commits pushes here *)
@@ -1151,6 +1159,161 @@ let vdiff_bench () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* --frontend: ingestion-frontend throughput sweep                     *)
+(* ------------------------------------------------------------------ *)
+
+module Fe = Difftrace_frontend.Frontend
+module Fe_cilog = Difftrace_frontend.Cilog
+module Fe_syscall = Difftrace_frontend.Syscall
+
+(* synthetic GH-Actions-style build log: [steps] ##[group] blocks of
+   [lines_per_step] timestamped lines carrying the token shapes the
+   normalizer must fold (clocks, paths, counters, hex) *)
+let synth_cilog ~steps ~lines_per_step ~fail =
+  let b = Buffer.create (steps * lines_per_step * 56) in
+  for s = 0 to steps - 1 do
+    let ts l = Printf.sprintf "10:%02d:%02d" (s mod 60) (l mod 60) in
+    Buffer.add_string b
+      (Printf.sprintf "%s ##[group]phase %d\n" (ts 0) s);
+    for l = 1 to lines_per_step do
+      if fail && s = steps / 2 && l = lines_per_step / 2 then
+        Buffer.add_string b
+          (Printf.sprintf "%s ERROR /src/mod%d.ml build failed\n" (ts l) l)
+      else
+        Buffer.add_string b
+          (Printf.sprintf "%s compiled /src/mod%d.ml in %d ms id %08x\n"
+             (ts l) l (l mod 97) (0xbeef0000 + l))
+    done;
+    Buffer.add_string b (Printf.sprintf "%s ##[endgroup]\n" (ts 61))
+  done;
+  Buffer.contents b
+
+(* synthetic strace capture: [pids] threads of [calls] syscalls each,
+   one per-thread exit leaf; the faulty variant takes a SIGSEGV *)
+let synth_strace ~pids ~calls ~fail =
+  let names = [| "read"; "write"; "openat"; "close"; "mmap"; "futex" |] in
+  let b = Buffer.create (pids * calls * 36) in
+  for p = 0 to pids - 1 do
+    for c = 0 to calls - 1 do
+      if fail && p = 0 && c = calls / 2 then
+        Buffer.add_string b
+          (Printf.sprintf "[pid %d] --- SIGSEGV {si_signo=SIGSEGV} ---\n"
+             (1000 + p))
+      else
+        Buffer.add_string b
+          (Printf.sprintf "[pid %d] %s(%d) = %d\n" (1000 + p)
+             names.((c + p) mod Array.length names)
+             c (c mod 7))
+    done;
+    Buffer.add_string b
+      (Printf.sprintf "[pid %d] +++ exited with 0 +++\n" (1000 + p))
+  done;
+  Buffer.contents b
+
+let count_lines s =
+  String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 s
+
+let frontend_bench () =
+  section "N1" "Ingestion frontends: throughput sweep (seq vs. parallel)";
+  let domains = max 2 (Domain.recommended_domain_count ()) in
+  let par = Engine.parallel ~domains () in
+  let par_runner =
+    let r = Engine.runner par in
+    { Fe.run = (fun n f -> r.Engine.run n f) }
+  in
+  let scales = if quick then [ 1; 4 ] else [ 1; 4; 16 ] in
+  let cases =
+    List.concat_map
+      (fun scale ->
+        [ ( Fe_cilog.frontend,
+            Printf.sprintf "cilog.x%d" scale,
+            synth_cilog ~steps:(8 * scale) ~lines_per_step:200 ~fail:false );
+          ( Fe_syscall.frontend,
+            Printf.sprintf "syscall.x%d" scale,
+            synth_strace ~pids:(4 * scale) ~calls:400 ~fail:false ) ])
+      scales
+  in
+  let rows =
+    List.map
+      (fun (fe, label, input) ->
+        let ingest runner =
+          match Fe.ingest_string fe ~runner input with
+          | Ok ts -> ts
+          | Error e ->
+            failwith
+              (Printf.sprintf "frontend bench %s: %s" label
+                 (Fe.error_to_string e))
+        in
+        let ts, t_seq = time (fun () -> ingest Fe.sequential_runner) in
+        let tp, t_par = time (fun () -> ingest par_runner) in
+        (* the parallel path must stay observably identical *)
+        if Fe.digest ts <> Fe.digest tp then
+          failwith (Printf.sprintf "frontend bench %s: seq/par digest" label);
+        let lines = count_lines input in
+        let lps = float_of_int lines /. t_seq in
+        metric (Printf.sprintf "frontend.%s.ingest_s" label) t_seq;
+        metric ~unit:"lines/s" (Printf.sprintf "frontend.%s.lines_per_s" label)
+          lps;
+        [ label;
+          string_of_int lines;
+          Printf.sprintf "%.1f KB" (float_of_int (String.length input) /. 1e3);
+          string_of_int (Trace_set.cardinal ts);
+          string_of_int (Trace_set.total_events ts);
+          Printf.sprintf "%.4f" t_seq;
+          Printf.sprintf "%.4f" t_par;
+          Printf.sprintf "%.0f" lps ])
+      cases
+  in
+  Difftrace_util.Texttable.print
+    ~headers:
+      [ "input"; "lines"; "bytes"; "traces"; "events"; "seq s"; "par s";
+        "lines/s" ]
+    rows;
+  (* one end-to-end compare per frontend: synthesize a pass/fail pair,
+     ingest both sides, and run the whole pipeline — ingestion must not
+     be the only stage this mode times *)
+  section "N2" "Ingestion frontends: end-to-end compare wall time";
+  let config = Config.default |> Config.with_filter (F.of_spec "11.all") in
+  let e2e =
+    List.map
+      (fun (name, normal, faulty) ->
+        let tmp tag text =
+          let file = Filename.temp_file ("bench-fe-" ^ tag) ".log" in
+          let oc = open_out_bin file in
+          output_string oc text;
+          close_out oc;
+          file
+        in
+        let a = tmp (name ^ "-normal") normal
+        and b = tmp (name ^ "-faulty") faulty in
+        let session = Session.create () in
+        let resp, t =
+          time (fun () ->
+              autotune_exn
+                (Session.compare session config
+                   { Session.cp_normal = Session.Ingest { path = a; frontend = name };
+                     cp_faulty = Session.Ingest { path = b; frontend = name };
+                     cp_diffnlr = None }))
+        in
+        Sys.remove a;
+        Sys.remove b;
+        metric (Printf.sprintf "frontend.%s.compare_s" name) t;
+        [ name;
+          Printf.sprintf "%.3f" resp.Session.cp_bscore;
+          string_of_int (Array.length resp.Session.cp_suspects);
+          Printf.sprintf "%.4f" t ])
+      [ ( "cilog",
+          synth_cilog ~steps:8 ~lines_per_step:120 ~fail:false,
+          synth_cilog ~steps:8 ~lines_per_step:120 ~fail:true );
+        ( "syscall",
+          synth_strace ~pids:4 ~calls:300 ~fail:false,
+          synth_strace ~pids:4 ~calls:300 ~fail:true ) ]
+  in
+  Difftrace_util.Texttable.print
+    ~headers:[ "frontend"; "B-score"; "suspects"; "compare s" ]
+    e2e
+
+(* ------------------------------------------------------------------ *)
 (* --json trajectory artifact                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1165,7 +1328,8 @@ let write_json file =
         ("store", Json.Bool opts.store);
         ("sketch", Json.Bool opts.sketch);
         ("query", Json.Bool opts.query);
-        ("vdiff", Json.Bool opts.vdiff) ]
+        ("vdiff", Json.Bool opts.vdiff);
+        ("frontend", Json.Bool opts.frontend) ]
   in
   let metric_objs =
     List.rev_map
@@ -1201,6 +1365,7 @@ let () =
   else if sketch_only then sketch_bench ()
   else if query_only then query_bench ()
   else if vdiff_only then vdiff_bench ()
+  else if frontend_only then frontend_bench ()
   else if not perf_only then begin
     table_i ();
     odd_even_walkthrough ();

@@ -179,6 +179,29 @@ let mode_t =
 
 let level_of all_images = if all_images then Tracer.All_images else Tracer.Main_image
 
+(* --- ingestion frontends -------------------------------------------- *)
+
+module Frontend = Difftrace_frontend.Frontend
+module Frontend_registry = Difftrace_frontend.Registry
+module Conformance = Difftrace_frontend.Conformance
+
+let frontend_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "frontend" ] ~docv:"NAME"
+        ~doc:
+          "Ingest foreign-format trace files (CI logs, strace captures) \
+           through the named frontend instead of reading archives or \
+           executing workloads. Unless --filter is given explicitly, the \
+           filter defaults to '11.all' (foreign traces have no MPI calls \
+           to keep). See $(b,difftrace frontend list).")
+
+(* foreign traces have no MPI_* calls, so the MPI default filter would
+   empty them; an explicit --filter still wins *)
+let frontend_filter ~frontend filter =
+  if frontend <> None && filter = "11.mpiall" then "11.all" else filter
+
 (* --- the persistent analysis store ---------------------------------- *)
 
 (* every analysis command takes --store DIR (reuse NLR summaries and
@@ -345,8 +368,9 @@ let run_cmd =
 
 let compare_cmd =
   let doc =
-    "Run a workload normally and with a fault; print B-score, suspicious \
-     traces and a diffNLR."
+    "Run a workload normally and with a fault (or, with --frontend, ingest \
+     two foreign-format trace files); print B-score, suspicious traces and \
+     a diffNLR."
   in
   let diffnlr_t =
     Arg.(
@@ -355,21 +379,53 @@ let compare_cmd =
       & info [ "diffnlr" ] ~docv:"LABEL"
           ~doc:"Trace to diff (e.g. '5' or '6.4'); default: top suspect.")
   in
+  let files_t =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"FILE"
+          ~doc:
+            "With $(b,--frontend): the normal and the faulty foreign-format \
+             file, in that order.")
+  in
   let action w np seed fault all_images filter custom attrs k linkage engine
-      mode store diffnlr prof =
-    if fault = Fault.No_fault then
-      prerr_endline "warning: comparing a run against itself (--fault none)";
-    let level = level_of all_images in
+      mode store diffnlr frontend files prof =
+    let filter = frontend_filter ~frontend filter in
     let config = config_of ~filter ~custom ~attrs ~k ~linkage ~engine ~mode in
+    let sources =
+      match (frontend, files) with
+      | Some fe, [ a; b ] ->
+        `Sources (Session.Ingest { path = a; frontend = fe },
+                  Session.Ingest { path = b; frontend = fe })
+      | Some _, _ ->
+        Printf.eprintf
+          "difftrace: compare --frontend needs exactly two FILE arguments \
+           (normal faulty)\n";
+        exit 2
+      | None, _ :: _ ->
+        Printf.eprintf
+          "difftrace: positional FILE arguments require --frontend NAME\n";
+        exit 2
+      | None, [] ->
+        if fault = Fault.No_fault then
+          prerr_endline "warning: comparing a run against itself (--fault none)";
+        `Workload
+    in
     run_profiled prof ~config @@ fun () ->
-    let normal = run_workload w ~np ~seed ~level ~fault:Fault.No_fault in
-    let faulty = run_workload w ~np ~seed ~level ~fault in
+    let normal_src, faulty_src =
+      match sources with
+      | `Sources (n, f) -> (n, f)
+      | `Workload ->
+        let level = level_of all_images in
+        let normal = run_workload w ~np ~seed ~level ~fault:Fault.No_fault in
+        let faulty = run_workload w ~np ~seed ~level ~fault in
+        (Session.Traces normal.R.traces, Session.Traces faulty.R.traces)
+    in
     let store = open_store (store_of store) in
     let ses = Session.create ?store () in
     let r =
       Session.compare ses config
-        { Session.cp_normal = Session.Traces normal.R.traces;
-          cp_faulty = Session.Traces faulty.R.traces;
+        { Session.cp_normal = normal_src;
+          cp_faulty = faulty_src;
           cp_diffnlr = diffnlr }
     in
     flush_store store;
@@ -382,7 +438,8 @@ let compare_cmd =
   Cmd.v (Cmd.info "compare" ~doc)
     Term.(const action $ workload_t $ np_t $ seed_t $ fault_t $ all_images_t
           $ filter_t $ custom_t $ attrs_t $ k_t $ linkage_t $ engine_t
-          $ mode_t $ store_flags_t $ diffnlr_t $ profile_t)
+          $ mode_t $ store_flags_t $ diffnlr_t $ frontend_t $ files_t
+          $ profile_t)
 
 (* --- table --------------------------------------------------------- *)
 
@@ -495,15 +552,23 @@ let analyze_cmd =
              truncated) instead of refusing the whole run.")
   in
   let action normal_dir faulty_dir filter custom attrs k linkage engine mode
-      store salvage diffnlr prof =
+      store salvage diffnlr frontend prof =
+    let filter = frontend_filter ~frontend filter in
     let config = config_of ~filter ~custom ~attrs ~k ~linkage ~engine ~mode in
     run_profiled prof ~config @@ fun () ->
     let store = open_store (store_of store) in
     let ses = Session.create ?store () in
+    (* with --frontend, --normal/--faulty name foreign-format files
+       rather than archive directories *)
+    let source_of path =
+      match frontend with
+      | Some fe -> Session.Ingest { path; frontend = fe }
+      | None -> Session.Archive { dir = path; salvage }
+    in
     let r =
       Session.analyze ses config
-        { Session.cp_normal = Session.Archive { dir = normal_dir; salvage };
-          cp_faulty = Session.Archive { dir = faulty_dir; salvage };
+        { Session.cp_normal = source_of normal_dir;
+          cp_faulty = source_of faulty_dir;
           cp_diffnlr = diffnlr }
     in
     flush_store store;
@@ -522,7 +587,7 @@ let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc)
     Term.(const action $ normal_t $ faulty_t $ filter_t $ custom_t $ attrs_t
           $ k_t $ linkage_t $ engine_t $ mode_t $ store_flags_t $ salvage_t
-          $ diffnlr_t $ profile_t)
+          $ diffnlr_t $ frontend_t $ profile_t)
 
 (* --- vdiff: n-way variational diffing -------------------------------- *)
 
@@ -590,7 +655,7 @@ let vdiff_cmd =
     exit 2
   in
   let action runs axes bad trace filter custom attrs k linkage engine mode
-      store salvage prof =
+      store salvage frontend prof =
     let named =
       List.map
         (fun spec ->
@@ -636,6 +701,7 @@ let vdiff_cmd =
         if not (known n) then
           usage_exit (Printf.sprintf "--bad %S: no --run with that name" n))
       bad;
+    let filter = frontend_filter ~frontend filter in
     let config = config_of ~filter ~custom ~attrs ~k ~linkage ~engine ~mode in
     run_profiled prof ~config @@ fun () ->
     let store = open_store (store_of store) in
@@ -644,7 +710,10 @@ let vdiff_cmd =
       List.map
         (fun (name, dir) ->
           { Session.vdr_name = name;
-            vdr_source = Session.Archive { dir; salvage };
+            vdr_source =
+              (match frontend with
+              | Some fe -> Session.Ingest { path = dir; frontend = fe }
+              | None -> Session.Archive { dir; salvage });
             vdr_axes =
               List.concat_map snd
                 (List.filter (fun (n, _) -> n = name) axes_of);
@@ -668,7 +737,145 @@ let vdiff_cmd =
   Cmd.v (Cmd.info "vdiff" ~doc)
     Term.(const action $ runs_t $ axes_t $ bad_t $ trace_t $ filter_t
           $ custom_t $ attrs_t $ k_t $ linkage_t $ engine_t $ mode_t
-          $ store_flags_t $ salvage_t $ profile_t)
+          $ store_flags_t $ salvage_t $ frontend_t $ profile_t)
+
+(* --- frontend: foreign-format ingestion ------------------------------ *)
+
+let frontend_cmd =
+  let doc = "Ingestion frontends: list, ingest, inspect and check them." in
+  let file_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Foreign-format trace file to ingest.")
+  in
+  let named_frontend_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "F"; "frontend" ] ~docv:"NAME"
+          ~doc:"Frontend to ingest through (see $(b,difftrace frontend list)).")
+  in
+  let fail e =
+    Printf.eprintf "difftrace: %s\n" (Session.error_to_string e);
+    exit 1
+  in
+  let list_cmd =
+    let doc = "List the registered ingestion frontends." in
+    let action () =
+      print_string
+        (Difftrace_util.Texttable.render ~headers:[ "Name"; "Description" ]
+           (List.map
+              (fun fe -> [ fe.Frontend.name; fe.Frontend.description ])
+              (Frontend_registry.all ())))
+    in
+    Cmd.v (Cmd.info "list" ~doc) Term.(const action $ const ())
+  in
+  let ingest_cmd =
+    let doc =
+      "Ingest a foreign-format file and archive the result (after which \
+       any analysis command consumes it like a recorded run)."
+    in
+    let out_t =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Archive directory to write.")
+    in
+    let action file fename out engine =
+      let config = Config.default |> Config.with_engine engine in
+      match
+        Session.ingest (Session.create ()) config
+          { Session.ig_path = file;
+            ig_frontend = fename;
+            ig_name = None;
+            ig_dir = out;
+            ig_format = Archive.V2 }
+      with
+      | Ok r ->
+        print_string r.Session.ig_output;
+        Printf.printf "digest: %s\n" r.Session.ig_digest
+      | Error e -> fail e
+    in
+    Cmd.v (Cmd.info "ingest" ~doc)
+      Term.(const action $ file_t $ named_frontend_t $ out_t $ engine_t)
+  in
+  let dfg_cmd =
+    let doc =
+      "Ingest a foreign-format file and print its directly-follows graph \
+       (one edge per consecutive call pair on a thread)."
+    in
+    let action file fename engine =
+      let config = Config.default |> Config.with_engine engine in
+      let ses = Session.create () in
+      match
+        Session.resolve ses ~engine:config.Config.engine
+          (Session.Ingest { path = file; frontend = fename })
+      with
+      | Ok (ts, _) -> print_string (Frontend.render_dfg ts)
+      | Error e -> fail e
+    in
+    Cmd.v (Cmd.info "dfg" ~doc)
+      Term.(const action $ file_t $ named_frontend_t $ engine_t)
+  in
+  let check_cmd =
+    let doc =
+      "Run the frontend conformance suite (totality, determinism, runner \
+       parity, round-trip fixed point, salvage compatibility) against one \
+       input file. Exit 0 when conformant — a typed ingestion error is a \
+       conforming outcome — and 1 when any property is violated."
+    in
+    let scratch_t =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "scratch" ] ~docv:"DIR"
+            ~doc:
+              "Scratch directory for the salvage-compatibility property \
+               (skipped when absent).")
+    in
+    let action file fename scratch =
+      match Frontend_registry.find fename with
+      | None ->
+        fail
+          (Session.Unknown_frontend
+             { name = fename; known = Frontend_registry.known () })
+      | Some fe -> (
+        match
+          let ic = open_in_bin file in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        with
+        | exception Sys_error m ->
+          Printf.eprintf "difftrace: cannot read %s: %s\n" file m;
+          exit 1
+        | input -> (
+          match Conformance.check ?scratch fe input with
+          | [] ->
+            (match fe.Frontend.ingest ~runner:Frontend.sequential_runner input with
+            | Ok ts ->
+              Printf.printf "ok: %d traces, %d events, digest %s\n"
+                (Trace_set.cardinal ts)
+                (Trace_set.total_events ts)
+                (Frontend.digest ts)
+            | Error e ->
+              Printf.printf "ok (typed reject): %s\n"
+                (Frontend.error_to_string e)
+            | exception _ -> assert false (* totality just passed *))
+          | vs ->
+            List.iter
+              (fun v ->
+                Printf.printf "violation %s\n"
+                  (Conformance.violation_to_string v))
+              vs;
+            exit 1))
+    in
+    Cmd.v (Cmd.info "check" ~doc)
+      Term.(const action $ file_t $ named_frontend_t $ scratch_t)
+  in
+  Cmd.group (Cmd.info "frontend" ~doc)
+    [ list_cmd; ingest_cmd; dfg_cmd; check_cmd ]
 
 (* --- archive: integrity tooling ------------------------------------- *)
 
@@ -972,9 +1179,11 @@ let campaign_cmd =
       & opt string "oddeven"
       & info [ "w"; "workload" ] ~docv:"KIND"
           ~doc:
-            "Cell kind: oddeven, ilcs, lulesh, heat, heat2d, or selftest \
+            "Cell kind: oddeven, ilcs, lulesh, heat, heat2d, selftest \
              (odd/even plus injected crash/timeout faults for exercising \
-             crash isolation).")
+             crash isolation), or corpus:FRONTEND:DIR (each cell ingests \
+             a file of DIR through an ingestion frontend; the reference \
+             run ingests the first file, seed s selects file s mod n).")
   in
   let faults_t =
     Arg.(
@@ -1013,6 +1222,13 @@ let campaign_cmd =
           "difftrace: campaign run needs at least one --fault (repeatable)";
         exit 2
       end;
+      (* corpus cells hold foreign traces; the MPI default filter would
+         empty them (an explicit --filter still wins) *)
+      let filter =
+        if String.length kind >= 7 && String.sub kind 0 7 = "corpus:" then
+          frontend_filter ~frontend:(Some kind) filter
+        else filter
+      in
       let config = config_of ~filter ~custom ~attrs ~k ~linkage ~engine ~mode in
       run_profiled prof ~config @@ fun () ->
       (* campaigns persist analysis by default, beside their archives;
@@ -1368,6 +1584,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; compare_cmd; table_cmd; record_cmd; analyze_cmd;
-            vdiff_cmd; archive_cmd; campaign_cmd; store_cmd; triage_cmd;
+            vdiff_cmd; frontend_cmd; archive_cmd; campaign_cmd; store_cmd;
+            triage_cmd;
             autotune_cmd; query_cmd; report_cmd; explore_cmd; export_cmd;
             filters_cmd; serve_cmd; client_cmd ]))

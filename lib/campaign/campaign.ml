@@ -61,6 +61,82 @@ let kinds () =
 let oddeven ~np ~seed ~max_steps ~fault =
   fst (Odd_even.run ~np ~seed ?max_steps ~fault ())
 
+(* Frontend-backed corpus cells: the kind "corpus:FRONTEND:DIR" doesn't
+   execute anything — it ingests checked-in foreign-format files (CI
+   logs, strace captures) through a registered frontend. The fault-free
+   reference run ingests the first file of DIR (sorted); a faulty cell
+   with seed s ingests file s mod n, so one campaign sweep ranks every
+   corpus member against the baseline. The fault axis only
+   distinguishes reference from cell; ingestion failures raise and are
+   contained by the campaign's crash isolation. *)
+let corpus_prefix = "corpus:"
+
+let corpus_kind name : kind_fn option =
+  if not (String.starts_with ~prefix:corpus_prefix name) then None
+  else
+    let rest =
+      String.sub name (String.length corpus_prefix)
+        (String.length name - String.length corpus_prefix)
+    in
+    match String.index_opt rest ':' with
+    | None -> None
+    | Some i ->
+      let fename = String.sub rest 0 i in
+      let dir = String.sub rest (i + 1) (String.length rest - i - 1) in
+      if fename = "" || dir = "" then None
+      else
+        Some
+          (fun ~np:_ ~seed ~max_steps:_ ~fault ->
+            let module Frontend = Difftrace_frontend.Frontend in
+            let fe =
+              match Difftrace_frontend.Registry.find fename with
+              | Some fe -> fe
+              | None ->
+                failwith (Printf.sprintf "corpus cell: unknown frontend %S" fename)
+            in
+            let files =
+              match Sys.readdir dir with
+              | a ->
+                Array.to_list a
+                |> List.filter (fun f ->
+                       not (Sys.is_directory (Filename.concat dir f)))
+                |> List.sort String.compare
+              | exception Sys_error m -> failwith ("corpus cell: " ^ m)
+            in
+            let n = List.length files in
+            if n = 0 then failwith ("corpus cell: no files in " ^ dir);
+            let idx =
+              if fault = Fault.No_fault then 0 else ((seed mod n) + n) mod n
+            in
+            let file = Filename.concat dir (List.nth files idx) in
+            match Frontend.ingest_file fe file with
+            | Error e -> failwith (Frontend.error_to_string e)
+            | Ok ts ->
+              let threads = Trace_set.cardinal ts in
+              let total_events = Trace_set.total_events ts in
+              { Runtime.traces = ts;
+                stats =
+                  { Difftrace_parlot.Capture.threads;
+                    total_events;
+                    total_compressed_bytes = 0;
+                    mean_compressed_bytes = 0.;
+                    mean_events_per_process =
+                      (if threads = 0 then 0.
+                       else float_of_int total_events /. float_of_int threads);
+                    mean_distinct_functions = 0.;
+                    compression_ratio = 0. };
+                deadlocked = [];
+                timed_out = false;
+                collective_mismatch = None;
+                races = [];
+                sync_log = [] })
+
+(* registered kinds, plus the parameterized corpus family *)
+let find_kind name =
+  match Hashtbl.find_opt kind_tbl name with
+  | Some fn -> Some fn
+  | None -> corpus_kind name
+
 let () =
   register_kind "oddeven" oddeven;
   register_kind "ilcs" (fun ~np ~seed ~max_steps ~fault ->
@@ -115,7 +191,7 @@ type matrix = {
 }
 
 let matrix ?max_steps ~kind ~np ~faults ~seeds () =
-  if not (Hashtbl.mem kind_tbl kind) then
+  if Option.is_none (find_kind kind) then
     invalid_arg
       (Printf.sprintf "Campaign.matrix: unknown cell kind %S (known: %s)" kind
          (String.concat ", " (kinds ())));
@@ -650,7 +726,7 @@ let run ?(config = Config.default) ?on_cell ?store ~dir m =
      process (status reconstructs such matrices on purpose), and a
      fresh matrix can outlive its registration — both are a typed
      refusal, not a Not_found crash mid-campaign *)
-  match Hashtbl.find_opt kind_tbl m.kind with
+  match find_kind m.kind with
   | None -> Error (Unknown_kind m.kind)
   | Some kind_fn -> (
   match mkdir_p dir with

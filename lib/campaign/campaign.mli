@@ -74,7 +74,16 @@ val error_to_string : error -> string
     as an injected exception and [Skip_function {func = "spin"}] as a
     forced step-budget timeout, so campaign crash isolation can be
     exercised end to end from the CLI. See EXTENDING.md for adding
-    kinds. *)
+    kinds.
+
+    One kind family is parameterized rather than registered:
+    ["corpus:FRONTEND:DIR"] cells execute nothing — each ingests a
+    checked-in foreign-format file of [DIR] through the named
+    {!Difftrace_frontend.Registry} frontend. The fault-free reference
+    ingests the first file (sorted); a cell with seed [s] ingests file
+    [s mod n], so one sweep ranks every corpus member against the
+    baseline. Ingestion failures surface as [Failed] verdicts through
+    the campaign's crash isolation. *)
 
 (** [run ~np ~seed ~max_steps ~fault] — execute one cell program.
     [max_steps] is the campaign's per-cell step budget (None = the

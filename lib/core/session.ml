@@ -13,13 +13,17 @@ module Eventdb = Difftrace_eventdb.Eventdb
 module Equery = Difftrace_eventdb.Query
 module Variational = Difftrace_variational.Variational
 module Bitset = Difftrace_util.Bitset
+module Frontend = Difftrace_frontend.Frontend
+module Frontend_registry = Difftrace_frontend.Registry
 
 type error =
   | Invalid of string
   | Unknown_workload of { name : string; known : string list }
+  | Unknown_frontend of { name : string; known : string list }
   | Unknown_run of { name : string; known : string list }
   | Unknown_label of Pipeline.lookup_error
   | Archive_failed of Archive.error
+  | Frontend_failed of Frontend.error
   | Store_failed of string
   | Run_failed of string
   | Protocol of string
@@ -27,9 +31,11 @@ type error =
 let error_kind = function
   | Invalid _ -> "invalid-params"
   | Unknown_workload _ -> "unknown-workload"
+  | Unknown_frontend _ -> "unknown-frontend"
   | Unknown_run _ -> "unknown-run"
   | Unknown_label _ -> "unknown-label"
   | Archive_failed _ -> "archive-error"
+  | Frontend_failed _ -> "frontend-error"
   | Store_failed _ -> "store-error"
   | Run_failed _ -> "run-failed"
   | Protocol _ -> "invalid-request"
@@ -39,11 +45,15 @@ let error_to_string = function
   | Unknown_workload { name; known } ->
     Printf.sprintf "unknown workload %S (known: %s)" name
       (String.concat ", " known)
+  | Unknown_frontend { name; known } ->
+    Printf.sprintf "unknown frontend %S (known: %s)" name
+      (String.concat ", " known)
   | Unknown_run { name; known } ->
     Printf.sprintf "unknown run %S (registered: %s)" name
       (match known with [] -> "none" | l -> String.concat ", " l)
   | Unknown_label e -> Pipeline.lookup_error_to_string e
   | Archive_failed e -> Archive.error_to_string e
+  | Frontend_failed e -> Frontend.error_to_string e
   | Store_failed m -> m
   | Run_failed m -> Printf.sprintf "workload failed: %s" m
   | Protocol m -> m
@@ -73,6 +83,7 @@ type source =
   | Traces of Trace_set.t
   | Archive of { dir : string; salvage : bool }
   | Run of string
+  | Ingest of { path : string; frontend : string }
 
 let run_names t =
   Hashtbl.fold (fun k ts acc -> (k, Trace_set.cardinal ts) :: acc) t.runs []
@@ -81,6 +92,20 @@ let run_names t =
 let archive_runner engine =
   let r = Engine.runner engine in
   { Archive.run = (fun n f -> r.Engine.run n f) }
+
+let frontend_runner engine =
+  let r = Engine.runner engine in
+  { Frontend.run = (fun n f -> r.Engine.run n f) }
+
+let ingest_source ~engine ~path ~frontend =
+  match Frontend_registry.find frontend with
+  | None ->
+    Error
+      (Unknown_frontend { name = frontend; known = Frontend_registry.known () })
+  | Some fe -> (
+    match Frontend.ingest_file fe ~runner:(frontend_runner engine) path with
+    | Ok ts -> Ok (fe, ts)
+    | Error e -> Error (Frontend_failed e))
 
 let resolve t ~engine = function
   | Traces ts -> Ok (ts, [])
@@ -93,6 +118,10 @@ let resolve t ~engine = function
     match Archive.load ~runner:(archive_runner engine) ~salvage ~dir () with
     | Ok l -> Ok (l.Archive.set, l.Archive.salvaged)
     | Error e -> Error (Archive_failed e))
+  | Ingest { path; frontend } -> (
+    match ingest_source ~engine ~path ~frontend with
+    | Ok (_fe, ts) -> Ok (ts, [])
+    | Error e -> Error e)
 
 (* --- record --------------------------------------------------------- *)
 
@@ -157,6 +186,58 @@ let record t ~outcome req =
             rc_events = Trace_set.total_events ts;
             rc_hung = hung;
             rc_output = Buffer.contents buf })
+
+(* --- ingest ---------------------------------------------------------- *)
+
+type ingest_request = {
+  ig_path : string;
+  ig_frontend : string;
+  ig_name : string option;
+  ig_dir : string option;
+  ig_format : Archive.format;
+}
+
+type ingest_response = {
+  ig_traces : int;
+  ig_events : int;
+  ig_files : int;
+  ig_digest : string;
+  ig_output : string;
+}
+
+let ingest t config req =
+  let engine = config.Config.engine in
+  match
+    ingest_source ~engine ~path:req.ig_path ~frontend:req.ig_frontend
+  with
+  | Error e -> Error e
+  | Ok (_fe, ts) -> (
+    let buf = Buffer.create 128 in
+    Buffer.add_string buf
+      (Printf.sprintf "ingested %s via %s: %d traces, %d events\n" req.ig_path
+         req.ig_frontend (Trace_set.cardinal ts) (Trace_set.total_events ts));
+    let archived =
+      match req.ig_dir with
+      | None -> Ok 0
+      | Some dir -> (
+        match Archive.save ~format:req.ig_format ~dir ts with
+        | n ->
+          Buffer.add_string buf
+            (Printf.sprintf "archived %d trace files to %s\n" n dir);
+          Ok n
+        | exception (Invalid_argument m | Sys_error m) ->
+          Error (Archive_failed { Archive.err_path = dir; err_reason = m }))
+    in
+    match archived with
+    | Error e -> Error e
+    | Ok files ->
+      Option.iter (fun name -> Hashtbl.replace t.runs name ts) req.ig_name;
+      Ok
+        { ig_traces = Trace_set.cardinal ts;
+          ig_events = Trace_set.total_events ts;
+          ig_files = files;
+          ig_digest = Frontend.digest ts;
+          ig_output = Buffer.contents buf })
 
 (* --- compare / analyze ---------------------------------------------- *)
 

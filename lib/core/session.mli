@@ -24,10 +24,13 @@
 type error =
   | Invalid of string  (** malformed request parameters *)
   | Unknown_workload of { name : string; known : string list }
+  | Unknown_frontend of { name : string; known : string list }
   | Unknown_run of { name : string; known : string list }
   | Unknown_label of Pipeline.lookup_error
       (** a trace label that exists in neither run *)
   | Archive_failed of Difftrace_parlot.Archive.error
+  | Frontend_failed of Difftrace_frontend.Frontend.error
+      (** a foreign-format ingestion rejected its input *)
   | Store_failed of string
   | Run_failed of string  (** the workload itself raised *)
   | Protocol of string
@@ -70,10 +73,13 @@ type source =
           traces — including the partially-written archive of a run
           that is {e still executing} *)
   | Run of string  (** a run registered in this session by {!record} *)
+  | Ingest of { path : string; frontend : string }
+      (** a foreign-format file (CI log, strace capture, ...) ingested
+          through the named {!Difftrace_frontend.Registry} frontend *)
 
 (** [resolve t ~engine source] — the trace set plus any salvage
-    outcomes (always [[]] for [Traces]/[Run]). Archive loads fan
-    per-thread ingestion over [engine]. *)
+    outcomes (always [[]] for [Traces]/[Run]/[Ingest]). Archive loads
+    and frontend ingestion fan per-thread work over [engine]. *)
 val resolve :
   t ->
   engine:Engine.t ->
@@ -112,6 +118,35 @@ val record :
 
 (** [run_names t] — registered runs, sorted. *)
 val run_names : t -> (string * int) list
+
+(** {2 Ingest}
+
+    Pull a foreign-format file through a registered frontend once, and
+    keep the result: as a named in-session run, as an on-disk archive,
+    or both — after which every other operation (compare, triage,
+    query, vdiff) consumes it like any simulator run. *)
+
+type ingest_request = {
+  ig_path : string;
+  ig_frontend : string;
+  ig_name : string option;  (** register the set under this run name *)
+  ig_dir : string option;  (** archive it to this directory *)
+  ig_format : Difftrace_parlot.Archive.format;
+}
+
+type ingest_response = {
+  ig_traces : int;
+  ig_events : int;
+  ig_files : int;  (** trace files archived (0 without [ig_dir]) *)
+  ig_digest : string;
+      (** the canonical {!Difftrace_frontend.Frontend.digest} — equal
+          digests mean the analysis pipeline cannot tell the sets
+          apart *)
+  ig_output : string;
+}
+
+val ingest :
+  t -> Config.t -> ingest_request -> (ingest_response, error) result
 
 (** {2 Compare / analyze} *)
 

@@ -58,8 +58,12 @@ let parse_under tok =
     && String.for_all (fun c -> c >= '0' && c <= '9')
          (String.sub tok 1 (String.length tok - 1))
   in
-  if is_loop then U_loop (int_of_string (String.sub tok 1 (String.length tok - 1)))
-  else U_func tok
+  if is_loop then
+    (* all-digit, but possibly wider than an int ("L99999999999999999999") *)
+    match int_of_string_opt (String.sub tok 1 (String.length tok - 1)) with
+    | Some n -> Ok (U_loop n)
+    | None -> Error (Printf.sprintf "loop label %S is out of range" tok)
+  else Ok (U_func tok)
 
 (* the optional clauses shared by count/list/sites, in any order *)
 type clauses = {
@@ -97,9 +101,12 @@ let rec parse_clauses ~allow acc = function
     | Ok n when n >= 1 -> parse_clauses ~allow { acc with c_limit = Some n } rest
     | Ok _ -> Error "limit must be >= 1")
   | [ "limit" ] -> Error "'limit' needs a number"
-  | "under" :: u :: rest when List.mem `Under allow ->
+  | "under" :: u :: rest when List.mem `Under allow -> (
     if acc.c_under <> None then Error "duplicate 'under' clause"
-    else parse_clauses ~allow { acc with c_under = Some (parse_under u) } rest
+    else
+      match parse_under u with
+      | Error e -> Error e
+      | Ok u -> parse_clauses ~allow { acc with c_under = Some u } rest)
   | [ "under" ] -> Error "'under' needs a loop label or function name"
   | tok :: _ -> Error (Printf.sprintf "unexpected token %S" tok)
 

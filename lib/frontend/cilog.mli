@@ -1,0 +1,17 @@
+(** CI/build-log ingestion (the CiDiff-style frontend).
+
+    A CI log becomes one trace per interleaved stream (docker-compose
+    style [name | ...] prefixes; unprefixed lines form the main
+    thread). Step headers ([##\[group\]TITLE] /
+    [##\[endgroup\]], docker [Step N/M : CMD]) become call
+    boundaries; every other line becomes a leaf call whose name is the
+    log-aware normalization of the line: ANSI stripped, timestamps
+    [<ts>], long hex runs (commit ids, digests) [<hex>], paths
+    [<path>] and counters [<n>], so two runs of the same pipeline
+    differ only where they genuinely diverge. *)
+
+val frontend : Frontend.t
+
+(** [normalize line] — the log-aware tokenization on one (ANSI-free)
+    line; idempotent. Exposed for tests. *)
+val normalize : string -> string

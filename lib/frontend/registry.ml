@@ -1,0 +1,9 @@
+(* Referencing the built-in frontends here keeps them linked (and
+   therefore registered) in every executable that resolves names. *)
+
+let () = Frontend.register Cilog.frontend
+let () = Frontend.register Syscall.frontend
+
+let find = Frontend.find
+let known = Frontend.known
+let all = Frontend.all

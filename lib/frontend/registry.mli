@@ -1,0 +1,15 @@
+(** The frontend registry with the built-in frontends installed.
+
+    Resolve frontend names through this module, not {!Frontend.find}
+    directly: linking [Registry] is what forces {!Cilog} and
+    {!Syscall} to register (OCaml links only the archive members an
+    executable actually references, so a registration side effect in a
+    module nobody mentions would silently be dropped). *)
+
+val find : string -> Frontend.t option
+
+(** Registered names, sorted. *)
+val known : unit -> string list
+
+(** Registered frontends in name order. *)
+val all : unit -> Frontend.t list

@@ -1,0 +1,15 @@
+(** strace-style syscall capture ingestion.
+
+    Each traced process ([\[pid N\]] or leading-pid strace output)
+    becomes one thread, renumbered to its first-appearance index so
+    two captures of the same program align thread-by-thread whatever
+    raw pids the kernel handed out; each syscall becomes a leaf call; signal
+    deliveries and exits become [sig:NAME] / [exited] leaves;
+    [<unfinished ...>] / [<... name resumed>] pairs become genuinely
+    nested calls. A pending unfinished call at end of input marks the
+    thread truncated — the same convention the simulator uses for
+    deadlocked ranks — so the stacktree / FCA machinery and the
+    {!Frontend.dfg_edges} directly-follows view consume the result
+    unchanged. *)
+
+val frontend : Frontend.t

@@ -73,6 +73,7 @@ type stream = {
   mutable s_acc : int; (* partial event varint *)
   mutable s_shift : int;
   mutable s_partial : bool; (* an event varint is in flight *)
+  mutable s_bytes : int; (* compressed bytes fed so far *)
 }
 
 let stream () =
@@ -80,7 +81,8 @@ let stream () =
     s_events = Vec.create ();
     s_acc = 0;
     s_shift = 0;
-    s_partial = false }
+    s_partial = false;
+    s_bytes = 0 }
 
 let drain st =
   let raw = Lzw.decode_take st.lzw in
@@ -103,14 +105,17 @@ let drain st =
     raw
 
 let stream_feed st data =
+  st.s_bytes <- st.s_bytes + String.length data;
   Lzw.decode_feed st.lzw data;
   drain st
 
 let stream_events st = Vec.length st.s_events
 
+(* a zero-byte stream is a complete empty trace — the streaming analogue
+   of [Lzw.decompress ""] = "" — not a missing end-of-stream marker *)
 let stream_complete st =
   drain st;
-  Lzw.decode_finished st.lzw && not st.s_partial
+  st.s_bytes = 0 || (Lzw.decode_finished st.lzw && not st.s_partial)
 
 let stream_trace st ~pid ~tid ~truncated =
   Telemetry.Counter.incr c_decoded_traces;
@@ -119,7 +124,7 @@ let stream_trace st ~pid ~tid ~truncated =
 
 let stream_finish st ~pid ~tid ~truncated =
   drain st;
-  ignore (Lzw.decode_finish st.lzw);
+  if st.s_bytes > 0 then ignore (Lzw.decode_finish st.lzw);
   if st.s_partial then invalid_arg "Tracer.decode: truncated event stream";
   stream_trace st ~pid ~tid ~truncated
 

@@ -83,11 +83,14 @@ val stream_feed : stream -> string -> unit
 val stream_events : stream -> int
 
 (** [stream_complete st] — has the stream seen its end-of-stream marker
-    with no event split across it? *)
+    with no event split across it? A stream fed zero bytes (an empty
+    trace file) is complete: it decodes to the empty event sequence,
+    mirroring [Lzw.decompress ""] = [""]. *)
 val stream_complete : stream -> bool
 
 (** [stream_finish st ~pid ~tid ~truncated] closes a well-formed stream.
-    Raises [Invalid_argument] if it is unterminated or ends mid-event. *)
+    Raises [Invalid_argument] if it is unterminated or ends mid-event;
+    a stream fed zero bytes finishes as a valid empty trace. *)
 val stream_finish :
   stream -> pid:int -> tid:int -> truncated:bool -> Difftrace_trace.Trace.t
 

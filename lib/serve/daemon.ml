@@ -79,6 +79,8 @@ let source_of_spec = function
   | P.Src_workload ws ->
     let* o = run_workload ws in
     Ok (Session.Traces o.Runtime.traces, Some o)
+  | P.Src_ingest { path; frontend } ->
+    Ok (Session.Ingest { path; frontend }, None)
 
 let record_dir t ~name ~out =
   match out with

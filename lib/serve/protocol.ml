@@ -66,6 +66,7 @@ type source_spec =
   | Src_run of string
   | Src_archive of { dir : string; salvage : bool }
   | Src_workload of workload_spec
+  | Src_ingest of { path : string; frontend : string }
 
 type vdiff_run_spec = {
   vs_name : string;
@@ -255,21 +256,25 @@ let source_of_json ctx name j =
     match
       ( Json.member "run" obj,
         Json.member "archive" obj,
-        Json.member "workload" obj )
+        Json.member "workload" obj,
+        Json.member "file" obj )
     with
-    | Some (Json.String r), None, None -> Ok (Src_run r)
-    | None, Some (Json.String dir), None ->
+    | Some (Json.String r), None, None, None -> Ok (Src_run r)
+    | None, Some (Json.String dir), None, None ->
       let* salvage = field_opt ctx obj "salvage" bool_ ~default:false in
       Ok (Src_archive { dir; salvage })
-    | None, None, Some _ ->
+    | None, None, Some _, None ->
       let* ws = workload_of_obj ctx obj in
       Ok (Src_workload ws)
+    | None, None, None, Some (Json.String path) ->
+      let* frontend = field ctx obj "frontend" str in
+      Ok (Src_ingest { path; frontend })
     | _ ->
       Error
         (Session.Invalid
            (Printf.sprintf
-              "%s: source %S needs exactly one of \"run\", \"archive\" or \
-               \"workload\""
+              "%s: source %S needs exactly one of \"run\", \"archive\", \
+               \"workload\" or \"file\""
               ctx name)))
   | _ ->
     Error
@@ -506,6 +511,8 @@ let workload_fields ws =
 
 let source_to_json = function
   | Src_run r -> Json.Obj [ ("run", Json.String r) ]
+  | Src_ingest { path; frontend } ->
+    Json.Obj [ ("file", Json.String path); ("frontend", Json.String frontend) ]
   | Src_archive { dir; salvage } ->
     Json.Obj [ ("archive", Json.String dir); ("salvage", Json.Bool salvage) ]
   | Src_workload ws -> Json.Obj (workload_fields ws)

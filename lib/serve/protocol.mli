@@ -70,11 +70,14 @@ type workload_spec = {
 }
 
 (** Where a request's traces come from: a run registered by [record],
-    an on-disk archive, or a workload the daemon executes. *)
+    an on-disk archive, a workload the daemon executes, or a
+    foreign-format file ingested through a registered frontend
+    ([{"file": "a.log", "frontend": "cilog"}] on the wire). *)
 type source_spec =
   | Src_run of string
   | Src_archive of { dir : string; salvage : bool }
   | Src_workload of workload_spec
+  | Src_ingest of { path : string; frontend : string }
 
 (** One run of an n-way [vdiff] request: display name, trace source,
     condition axes ([axes] object on the wire, e.g.

@@ -1,0 +1,106 @@
+#!/bin/sh
+# frontend-fuzz: deterministic mutation fuzzing of the ingestion
+# frontends. Every checked-in corpus fixture is mutated — bit flips,
+# truncations, binary garbage, CRLF/UTF-16-ish re-encodings, an
+# oversized single line to trip the max-line guard — and every mutant
+# is driven through `difftrace frontend check`, i.e. the full
+# conformance suite (totality, determinism, runner parity, round-trip,
+# archive salvage). A mutant may ingest or be rejected with a typed
+# error; what it must never do is violate a conformance property
+# (nonzero exit). The per-case log is written for CI to upload.
+#
+#   make fuzz-smoke                                     # local
+#   DIFFTRACE="difftrace" sh scripts/frontend_fuzz.sh   # installed binary
+set -eu
+
+DIFFTRACE=${DIFFTRACE:-"_build/default/bin/difftrace_cli.exe"}
+DIR=${FUZZ_DIR:-_build/frontend-fuzz}
+ARTIFACT=${FUZZ_LOG:-frontend-fuzz.log}
+
+rm -rf "$DIR"
+mkdir -p "$DIR/cases" "$DIR/scratch"
+: > "$ARTIFACT"
+
+cases=0
+fail=0
+
+# run_check NAME FRONTEND FILE — one conformance pass over one mutant
+run_check() {
+  cases=$((cases + 1))
+  if out=$("$DIFFTRACE" frontend check "$3" -F "$2" \
+      --scratch "$DIR/scratch" 2>&1); then
+    printf '%-40s %s\n' "$1" "$out" >> "$ARTIFACT"
+  else
+    fail=$((fail + 1))
+    printf '%-40s VIOLATION\n%s\n' "$1" "$out" >> "$ARTIFACT"
+    echo "frontend-fuzz: $1 violated conformance:" >&2
+    echo "$out" >&2
+  fi
+}
+
+# flip_byte FILE OFFSET — XOR one byte with 0x20 (deterministic)
+flip_byte() {
+  b=$(od -An -t u1 -j "$2" -N 1 "$1" | tr -d ' ')
+  [ -n "$b" ] || return 0
+  printf "$(printf '\\%03o' $((b ^ 32)))" \
+    | dd of="$1" bs=1 seek="$2" count=1 conv=notrunc 2> /dev/null
+}
+
+mutate_and_check() { # FRONTEND FIXTURE
+  fe=$1
+  fix=$2
+  base=$(basename "$fix")
+  size=$(wc -c < "$fix" | tr -d ' ')
+
+  # verbatim — the fixture itself must be conformant
+  cp "$fix" "$DIR/cases/$base"
+  run_check "$fe/$base" "$fe" "$DIR/cases/$base"
+
+  # bit flips at deterministic offsets
+  for off in 0 17 $((size / 2)) $((size - 2)); do
+    [ "$off" -ge 0 ] && [ "$off" -lt "$size" ] || continue
+    cp "$fix" "$DIR/cases/flip$off-$base"
+    flip_byte "$DIR/cases/flip$off-$base" "$off"
+    run_check "$fe/flip$off-$base" "$fe" "$DIR/cases/flip$off-$base"
+  done
+
+  # truncations, including the empty file
+  for n in 0 1 $((size / 2)); do
+    head -c "$n" "$fix" > "$DIR/cases/trunc$n-$base"
+    run_check "$fe/trunc$n-$base" "$fe" "$DIR/cases/trunc$n-$base"
+  done
+
+  # binary garbage appended mid-stream
+  { cat "$fix"; printf '\000\001\002\377\376\375GARBAGE\000END'; } \
+    > "$DIR/cases/garbage-$base"
+  run_check "$fe/garbage-$base" "$fe" "$DIR/cases/garbage-$base"
+
+  # mixed encodings: CRLF line endings, then a UTF-16-style BOM with
+  # NUL-interleaved first bytes
+  sed 's/$/\r/' "$fix" > "$DIR/cases/crlf-$base"
+  run_check "$fe/crlf-$base" "$fe" "$DIR/cases/crlf-$base"
+  { printf '\377\376h\000i\000\n'; cat "$fix"; } > "$DIR/cases/bom-$base"
+  run_check "$fe/bom-$base" "$fe" "$DIR/cases/bom-$base"
+}
+
+for fix in test/corpus/cilog/*; do
+  mutate_and_check cilog "$fix"
+done
+for fix in test/corpus/syscall/*; do
+  mutate_and_check syscall "$fix"
+done
+
+# the max-line guard: a single multi-megabyte line must be a typed
+# reject (never an allocation blowup or a crash) for every frontend
+awk 'BEGIN { s = "aaaaaaaaaaaaaaaa"; for (i = 0; i < 17; i++) s = s s;
+  printf "%s\n", s }' > "$DIR/cases/hugeline"
+for fe in cilog syscall; do
+  run_check "$fe/hugeline" "$fe" "$DIR/cases/hugeline"
+  grep -q "$fe/hugeline.*typed reject" "$ARTIFACT" || {
+    echo "frontend-fuzz: $fe accepted a $(wc -c < "$DIR/cases/hugeline")-byte line" >&2
+    fail=$((fail + 1))
+  }
+done
+
+echo "frontend-fuzz: $cases cases, $fail violations ($ARTIFACT)"
+[ "$fail" -eq 0 ]

@@ -1,0 +1,131 @@
+Ingestion frontends, end to end: the registry listing, single-file
+ingestion, the flagship compare-two-foreign-files path for both
+shipped frontends, the DFG view, the conformance checker, and every
+CLI error path.
+
+Registry listing:
+
+  $ difftrace frontend list
+  +---------+----------------------------------------------------------------------------------------------------------------------------------+
+  | Name    | Description                                                                                                                      |
+  +---------+----------------------------------------------------------------------------------------------------------------------------------+
+  | cilog   | CI/build logs: log-aware tokenization (<ts>/<hex>/<path>/<n>), step headers as call boundaries, 'name |' interleaving as threads |
+  | syscall | strace captures: pid -> thread, syscall -> function, unfinished/resumed nesting, directly-follows-graph view                     |
+  +---------+----------------------------------------------------------------------------------------------------------------------------------+
+
+Ingest one CI log (the digest is the canonical trace-set digest —
+equal digests mean the pipeline cannot tell two sets apart):
+
+  $ difftrace frontend ingest corpus/cilog/build_pass.log -F cilog
+  ingested corpus/cilog/build_pass.log via cilog: 1 traces, 28 events
+  digest: 51a036c3107b14f3f0bd9af078168fe3
+
+ANSI colors and interleaved "name |" streams are invisible to the
+tokenizer — three streams become three threads:
+
+  $ difftrace frontend ingest corpus/cilog/ansi_interleaved.log -F cilog
+  ingested corpus/cilog/ansi_interleaved.log via cilog: 3 traces, 26 events
+  digest: 2a5616a2530c58ddc94cb95fee0f07a0
+
+Compare two CI logs directly — the CiDiff-style workflow: step headers
+are call boundaries, volatile tokens are normalized away, and the
+diffNLR pins the divergence to the Build step:
+
+  $ difftrace compare corpus/cilog/build_pass.log corpus/cilog/build_fail.log --frontend cilog
+  configuration: 11.all.K10 / sing.noFreq / ward
+  B-score: 1.000
+  top processes: 
+  top threads:   
+  suspicious traces:
+  === diffNLR(0) ===
+      normal                                                             | faulty                                                            
+      -------------------------------------------------------------------+-------------------------------------------------------------------
+    = step:Checkout sources                                              | step:Checkout sources                                             
+    = <ts> Syncing repository: <path>                                    | <ts> Syncing repository: <path>                                   
+    = <ts> Checking out <hex>                                            | <ts> Checking out <hex>                                           
+    = step:Install dependencies                                          | step:Install dependencies                                         
+    = <ts> resolving <n> packages                                        | <ts> resolving <n> packages                                       
+    = <ts> fetched <n> packages in <n>                                   | <ts> fetched <n> packages in <n>                                  
+    = step:Build                                                         | step:Build                                                        
+    = L0^2                                                               | L0^2                                                              
+      -------------------------------------------------------------------+-------------------------------------------------------------------
+    ~ <ts> linking <path>                                                | <ts> <path> error: implicit declaration of function 'wdg_checksum'
+    ~ <ts> build finished in <n>                                         | <ts> make: *** <path> Error <n>                                   
+    < step:Test                                                          |                                                                   
+    < <ts> running <n> tests                                             |                                                                   
+    < <ts> <n> passed, <n> failed                                        |                                                                   
+      -------------------------------------------------------------------+-------------------------------------------------------------------
+    event db: trace 0: first divergence at event 17 (normal: <ts> linking <path>, faulty: <ts> <path> error: implicit declaration of function 'wdg_checksum'); drill down: difftrace query 'list <ts> <path> error: implicit declaration of function 'wdg_checksum' on 0 in 17..27'
+
+Compare two strace captures — pids align as threads whatever raw ids
+the kernel handed out, and the ranking pays attention to both:
+
+  $ difftrace compare corpus/syscall/normal.strace corpus/syscall/faulty.strace --frontend syscall
+  configuration: 11.all.K10 / sing.noFreq / ward
+  B-score: 1.000
+  top processes: 0, 1
+  top threads:   
+  suspicious traces:
+    1      0.185
+    0      0.185
+  === diffNLR(1) ===
+      normal          | faulty         
+      ----------------+----------------
+    = process         | process        
+    = set_robust_list | set_robust_list
+    = futex           | futex          
+      ----------------+----------------
+    < write           |                
+    < exit_group      |                
+      ----------------+----------------
+    = exited          | exited         
+      ----------------+----------------
+    event db: trace 1: first divergence at event 5 (normal: write, faulty: exited); drill down: difftrace query 'list exited on 1 in 5..15'
+
+The directly-follows graph of a capture:
+
+  $ difftrace frontend dfg corpus/syscall/normal.strace -F syscall
+  directly-follows graph: 15 edges
+  +-----------------+-----------------+-------+
+  | From            | To              | Count |
+  +-----------------+-----------------+-------+
+  | brk             | openat          | 1     |
+  | clone           | write           | 1     |
+  | close           | clone           | 1     |
+  | execve          | brk             | 1     |
+  | exit_group      | exited          | 2     |
+  | futex           | wait4           | 1     |
+  | futex           | write           | 1     |
+  | openat          | read            | 1     |
+  | process         | execve          | 1     |
+  | process         | set_robust_list | 1     |
+  | read            | close           | 1     |
+  | set_robust_list | futex           | 1     |
+  | wait4           | exit_group      | 1     |
+  | write           | exit_group      | 1     |
+  | write           | futex           | 1     |
+  +-----------------+-----------------+-------+
+
+Conformance checks — a pending <unfinished ...> at EOF is a truncated
+thread, not an error; a foreign format is a typed reject, never a
+crash:
+
+  $ difftrace frontend check corpus/syscall/unfinished.strace -F syscall
+  ok: 2 traces, 10 events, digest 523be24c07c376c16f257675e945ec77
+  $ difftrace frontend check corpus/cilog/build_pass.log -F syscall
+  ok (typed reject): frontend syscall: line 1: unrecognized strace line
+
+Error paths:
+
+  $ difftrace compare a.log --frontend cilog
+  difftrace: compare --frontend needs exactly two FILE arguments (normal faulty)
+  [2]
+  $ difftrace compare a.log b.log --frontend nosuch
+  difftrace: unknown frontend "nosuch" (known: cilog, syscall)
+  [1]
+  $ difftrace compare corpus/cilog/build_pass.log corpus/cilog/build_fail.log
+  difftrace: positional FILE arguments require --frontend NAME
+  [2]
+  $ difftrace frontend ingest /nonexistent.log -F cilog
+  difftrace: frontend cilog: cannot read /nonexistent.log: /nonexistent.log: No such file or directory
+  [1]

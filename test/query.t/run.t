@@ -111,3 +111,17 @@ Bad queries are answered, not crashed on, and exit nonzero:
   $ difftrace query 'diverge' --archive normal
   difftrace: query: this query compares two runs; provide a second source (--against)
   [1]
+
+Adversarial inputs are typed parse errors too — integers wider than
+the machine word (in loop labels, limits and intervals) and embedded
+NULs never escape as exceptions:
+
+  $ difftrace query 'sites MPI_Send under L99999999999999999999999999999999' --archive normal
+  difftrace: query: loop label "L99999999999999999999999999999999" is out of range
+  [1]
+  $ difftrace query 'list MPI_Send limit 99999999999999999999999999999999' --archive normal
+  difftrace: query: limit: expected a number, got "99999999999999999999999999999999"
+  [1]
+  $ difftrace query 'count MPI_Send in 0..99999999999999999999999999999999' --archive normal
+  difftrace: query: bad interval "0..99999999999999999999999999999999" (want LO..HI, 0 <= LO <= HI)
+  [1]

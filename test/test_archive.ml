@@ -112,6 +112,22 @@ let sample_traces () =
   let outcome, _ = Odd_even.run ~np:4 ~fault:Fault.No_fault () in
   outcome.R.traces
 
+(* regression: a zero-byte trace file is a complete empty trace — the
+   streaming analogue of [Lzw.decompress ""] = "" — not an
+   unterminated-stream error *)
+let test_stream_empty_input () =
+  let st = Tracer.stream () in
+  Alcotest.(check bool) "complete before any feed" true
+    (Tracer.stream_complete st);
+  let st = Tracer.stream () in
+  Tracer.stream_feed st "";
+  Alcotest.(check int) "no events" 0 (Tracer.stream_events st);
+  Alcotest.(check bool) "complete after empty feed" true
+    (Tracer.stream_complete st);
+  let tr = Tracer.stream_finish st ~pid:3 ~tid:1 ~truncated:false in
+  Alcotest.(check int) "empty trace" 0 (Trace.length tr);
+  Alcotest.(check bool) "flags preserved" false tr.Trace.truncated
+
 let make_archive ?format ?chunk_size name ts =
   let dir = tmpdir name in
   ignore (Archive.save ?format ?chunk_size ~dir ts);
@@ -350,6 +366,26 @@ let test_save_dir_is_file () =
     Alcotest.(check bool) "clear error" true
       (String.length m > 0 && String.sub m 0 12 = "Archive.save"));
   Sys.remove path
+
+let test_zero_byte_trace_file () =
+  (* the file a crashed writer leaves behind: created, never flushed —
+     a byte-less stream must load as the valid empty trace the manifest
+     promised, with nothing salvaged *)
+  let symtab = Symtab.create () in
+  let f = Symtab.intern symtab "f" in
+  let full =
+    Trace.make ~pid:0 ~tid:0 ~truncated:false [| Event.Call f; Event.Return f |]
+  in
+  let empty = Trace.make ~pid:1 ~tid:0 ~truncated:false [||] in
+  let ts = Trace_set.create symtab [ full; empty ] in
+  let dir = make_archive ~format:Archive.V1 "zero_byte" ts in
+  let oc = open_out_bin (Archive.trace_file dir ~pid:1 ~tid:0) in
+  close_out oc;
+  match Archive.load ~dir () with
+  | Error e -> Alcotest.fail (Archive.error_to_string e)
+  | Ok l ->
+    Alcotest.(check int) "nothing salvaged" 0 (List.length l.Archive.salvaged);
+    Alcotest.(check bool) "identical traces" true (set_equal ts l.Archive.set)
 
 let test_v1_length_mismatch () =
   (* v1 manifests carry no checksum, so a tampered length must be
@@ -653,7 +689,10 @@ let () =
           Alcotest.test_case "repair" `Quick test_repair;
           Alcotest.test_case "save creates parents" `Quick test_save_creates_parents;
           Alcotest.test_case "save onto a file" `Quick test_save_dir_is_file;
-          Alcotest.test_case "v1 length mismatch" `Quick test_v1_length_mismatch ] );
+          Alcotest.test_case "v1 length mismatch" `Quick test_v1_length_mismatch;
+          Alcotest.test_case "empty stream input" `Quick test_stream_empty_input;
+          Alcotest.test_case "zero-byte trace file" `Quick
+            test_zero_byte_trace_file ] );
       ( "stacktree",
         [ Alcotest.test_case "final stack" `Quick test_final_stack_reconstruction;
           Alcotest.test_case "balanced stack" `Quick test_final_stack_balanced;

@@ -302,6 +302,55 @@ let test_unknown_thread_is_typed () =
     | Error e -> Alcotest.failf "wrong error: %s" (Query.error_to_string e)
     | Ok _ -> Alcotest.fail "accepted an unknown thread")
 
+(* adversarial parser coverage: whatever bytes arrive — NULs, huge
+   integers, deeply repeated clauses — parse returns Ok or Error, never
+   an exception *)
+
+let query_bytes_gen =
+  QCheck2.Gen.(string_size ~gen:(char_range '\000' '\255') (0 -- 300))
+
+(* random walks over the grammar's own vocabulary, which get much
+   deeper into the clause parser than raw bytes do *)
+let query_tokens_gen =
+  QCheck2.Gen.(
+    let word =
+      oneof
+        [ oneofl
+            [ "count"; "list"; "sites"; "loops"; "diverge"; "threads"; "funcs";
+              "on"; "in"; "between"; "and"; "limit"; "under"; "MPI_Send" ];
+          map (Printf.sprintf "L%d") (0 -- 99);
+          return "L99999999999999999999999999999999";
+          return "99999999999999999999999999999999";
+          map (fun (a, b) -> Printf.sprintf "%d..%d" a b) (pair (0 -- 99) (0 -- 99));
+          map (Printf.sprintf "f#%d") (0 -- 99);
+          return "\000";
+          string_size (0 -- 8) ]
+    in
+    map (String.concat " ") (list_size (0 -- 30) word))
+
+let never_raises name gen =
+  qtest ~count:500 name gen (fun text ->
+      match Query.parse text with Ok _ | Error _ -> true)
+
+let prop_parse_total_bytes = never_raises "parse total on raw bytes" query_bytes_gen
+let prop_parse_total_tokens =
+  never_raises "parse total on grammar-shaped tokens" query_tokens_gen
+
+let test_parse_adversarial_pinned () =
+  List.iter
+    (fun (q, want) ->
+      match Query.parse q with
+      | Ok _ -> Alcotest.failf "accepted %S" q
+      | Error e -> Alcotest.(check string) q want e)
+    [ ( "sites f under L99999999999999999999999999999999",
+        "loop label \"L99999999999999999999999999999999\" is out of range" );
+      ( "list f limit 99999999999999999999999999999999",
+        "limit: expected a number, got \"99999999999999999999999999999999\"" );
+      ( "count f in 0..99999999999999999999999999999999",
+        "bad interval \"0..99999999999999999999999999999999\" (want LO..HI, 0 \
+         <= LO <= HI)" );
+      ("count f\000g on", "'on' needs a thread label") ]
+
 let () =
   Alcotest.run "eventdb"
     [ ( "oracle",
@@ -318,4 +367,9 @@ let () =
         [ Alcotest.test_case "between markers" `Quick test_between_markers;
           Alcotest.test_case "under function" `Quick test_under_function;
           Alcotest.test_case "unknown thread typed" `Quick
-            test_unknown_thread_is_typed ] ) ]
+            test_unknown_thread_is_typed ] );
+      ( "parser-adversarial",
+        [ prop_parse_total_bytes;
+          prop_parse_total_tokens;
+          Alcotest.test_case "pinned error renders" `Quick
+            test_parse_adversarial_pinned ] ) ]
